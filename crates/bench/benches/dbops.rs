@@ -1,0 +1,101 @@
+//! C2 — in-database operators vs frontend row processing (paper §4.2):
+//! "this allows to use SQL database functionality for many of the
+//! operators, which results in better performance than to process the data
+//! within a Python script."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sqldb::aggregate::{Accumulator, AggKind};
+use sqldb::{Engine, Value};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn build_table(n: usize) -> Engine {
+    let db = Engine::new();
+    db.execute("CREATE TABLE m (grp INTEGER, v FLOAT)").unwrap();
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            vec![
+                Value::Int((i % 64) as i64),
+                Value::Float((i as f64).sin().abs() * 100.0),
+            ]
+        })
+        .collect();
+    db.insert_rows("m", rows).unwrap();
+    db
+}
+
+fn c2_db_vs_script(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c2_db_vs_script");
+    g.sample_size(10);
+    for n in [10_000usize, 100_000, 400_000] {
+        let db = build_table(n);
+        g.throughput(Throughput::Elements(n as u64));
+
+        g.bench_with_input(BenchmarkId::new("in_db_group_by", n), &db, |b, db| {
+            b.iter(|| {
+                let rs = db.query("SELECT grp, avg(v), stddev(v) FROM m GROUP BY grp").unwrap();
+                assert_eq!(rs.len(), 64);
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("frontend_row_loop", n), &db, |b, db| {
+            b.iter(|| {
+                // Ship every row to the caller and aggregate there.
+                let all = db.query("SELECT grp, v FROM m").unwrap();
+                let mut acc: HashMap<i64, Accumulator> = HashMap::new();
+                for row in all.rows() {
+                    acc.entry(row[0].as_i64().unwrap())
+                        .or_insert_with(|| Accumulator::new(AggKind::Avg))
+                        .update(&row[1]);
+                }
+                assert_eq!(black_box(acc).len(), 64);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the streaming single-pass aggregation fast path vs. the
+/// general expression path. `avg(v)` qualifies for the fast plan; wrapping
+/// it in arithmetic (`avg(v) + 0`) forces per-group expression substitution
+/// — the design choice DESIGN.md calls out for the §4.2 claim.
+fn ablation_fast_vs_general_path(c: &mut Criterion) {
+    let db = build_table(100_000);
+    let mut g = c.benchmark_group("ablation_agg_path");
+    g.sample_size(10);
+    g.bench_function("fast_path_avg", |b| {
+        b.iter(|| {
+            let rs = db.query("SELECT grp, avg(v) FROM m GROUP BY grp").unwrap();
+            assert_eq!(rs.len(), 64);
+        })
+    });
+    g.bench_function("general_path_avg_plus_zero", |b| {
+        b.iter(|| {
+            let rs = db.query("SELECT grp, avg(v) + 0 FROM m GROUP BY grp").unwrap();
+            assert_eq!(rs.len(), 64);
+        })
+    });
+    g.finish();
+}
+
+fn aggregate_kernels(c: &mut Criterion) {
+    // Raw accumulator throughput — the floor for both paths.
+    let values: Vec<Value> = (0..100_000).map(|i| Value::Float(i as f64 * 0.5)).collect();
+    let mut g = c.benchmark_group("aggregate_kernels");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    for kind in [AggKind::Avg, AggKind::StdDev, AggKind::Max] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &values, |b, vals| {
+            b.iter(|| {
+                let mut a = Accumulator::new(kind);
+                for v in vals {
+                    a.update(v);
+                }
+                black_box(a.finish().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, c2_db_vs_script, ablation_fast_vs_general_path, aggregate_kernels);
+criterion_main!(benches);

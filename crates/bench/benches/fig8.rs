@@ -1,0 +1,76 @@
+//! F8 — the headline experiment: the full §5 pipeline producing Fig. 8,
+//! split into its phases (generation, import, query, render).
+
+use bench::{campaign_files, empty_experiment, fig7_query, imported_campaign, input_description};
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfbase_core::import::Importer;
+use perfbase_core::query::QueryRunner;
+use std::hint::black_box;
+use workloads::beffio::{simulate, BeffIoConfig, Technique};
+
+fn fig8_phases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+
+    // Phase 1: workload generation (the benchmark run itself).
+    g.bench_function("generate_output_files", |b| {
+        b.iter(|| {
+            let runs = campaign_files(5);
+            assert_eq!(black_box(runs).len(), 10);
+        })
+    });
+
+    // Phase 2: import of the whole campaign.
+    let runs = campaign_files(5);
+    g.bench_function("import_campaign", |b| {
+        b.iter(|| {
+            let db = empty_experiment();
+            let desc = input_description();
+            let importer = Importer::new(&db);
+            for run in &runs {
+                importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+            }
+            assert_eq!(db.run_ids().unwrap().len(), 10);
+        })
+    });
+
+    // Phase 3: the Fig. 7 query on the imported campaign.
+    let db = imported_campaign(&runs);
+    g.bench_function("fig7_query", |b| {
+        b.iter(|| {
+            let out = QueryRunner::new(&db).run(fig7_query()).unwrap();
+            assert!(out.artifacts["plot"].contains("histogram"));
+        })
+    });
+
+    g.finish();
+}
+
+fn fig8_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_end_to_end");
+    g.sample_size(10);
+    g.bench_function("generate_import_query_render", |b| {
+        b.iter(|| {
+            let db = empty_experiment();
+            let desc = input_description();
+            let importer = Importer::new(&db);
+            for technique in [Technique::ListBased, Technique::ListLess] {
+                for rep in 1..=3u32 {
+                    let run = simulate(BeffIoConfig {
+                        technique,
+                        run_index: rep,
+                        seed: u64::from(rep),
+                        ..BeffIoConfig::default()
+                    });
+                    importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+                }
+            }
+            let out = QueryRunner::new(&db).run(fig7_query()).unwrap();
+            black_box(out.artifacts["plot"].len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig8_phases, fig8_end_to_end);
+criterion_main!(benches);

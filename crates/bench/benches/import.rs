@@ -1,0 +1,142 @@
+//! F1 — import-path benchmarks: the four Fig. 1 mappings plus raw
+//! extraction throughput.
+
+use bench::{empty_experiment, input_description};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perfbase_core::import::Importer;
+use perfbase_core::input::{extract_runs, Pattern};
+use std::hint::black_box;
+use workloads::beffio::{simulate, BeffIoConfig};
+
+fn fig1_mappings(c: &mut Criterion) {
+    let desc = input_description();
+    let run = simulate(BeffIoConfig::default());
+    let text = run.render();
+
+    let mut g = c.benchmark_group("fig1_mappings");
+    g.sample_size(20);
+
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("a_single_file_single_run", |b| {
+        b.iter(|| {
+            let db = empty_experiment();
+            let r = Importer::new(&db)
+                .import_file(&desc, &run.filename(), black_box(&text))
+                .unwrap();
+            assert_eq!(r.runs_created.len(), 1);
+        })
+    });
+
+    // b) one file holding 4 runs via separators
+    let mut sep_desc = input_description();
+    sep_desc.run_separator = Some(Pattern::Literal("MEMORY PER PROCESSOR".into()));
+    let combined: String = (1..=4u64)
+        .map(|s| simulate(BeffIoConfig { seed: s, ..BeffIoConfig::default() }).render())
+        .collect();
+    g.throughput(Throughput::Bytes(combined.len() as u64));
+    g.bench_function("b_separators_four_runs", |b| {
+        b.iter(|| {
+            let db = empty_experiment();
+            let r = Importer::new(&db)
+                .import_file(&sep_desc, "multi.out", black_box(&combined))
+                .unwrap();
+            assert_eq!(r.runs_created.len(), 4);
+        })
+    });
+
+    g.finish();
+}
+
+fn fig1_batch_import(c: &mut Criterion) {
+    let desc = input_description();
+    let mut g = c.benchmark_group("fig1_batch");
+    g.sample_size(10);
+    for files in [4usize, 16, 64] {
+        let generated: Vec<(String, String)> = (0..files as u64)
+            .map(|s| {
+                let run = simulate(BeffIoConfig {
+                    seed: s + 1,
+                    run_index: s as u32 + 1,
+                    ..BeffIoConfig::default()
+                });
+                (format!("{}_{s}", run.filename()), run.render())
+            })
+            .collect();
+        g.throughput(Throughput::Elements(files as u64));
+        g.bench_with_input(BenchmarkId::new("c_files_to_runs", files), &generated, |b, gen| {
+            b.iter(|| {
+                let db = empty_experiment();
+                let pairs: Vec<(&str, &str)> =
+                    gen.iter().map(|(n, c)| (n.as_str(), c.as_str())).collect();
+                let r = Importer::new(&db).import_files(&desc, &pairs).unwrap();
+                assert_eq!(r.runs_created.len(), gen.len());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn extraction_only(c: &mut Criterion) {
+    // The parsing layer in isolation: regex/named/tabular location matching
+    // without database writes.
+    let desc = input_description();
+    let db = empty_experiment();
+    let def = db.definition();
+    let run = simulate(BeffIoConfig::default());
+    let text = run.render();
+    let name = run.filename();
+
+    let mut g = c.benchmark_group("extraction");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("beffio_file", |b| {
+        b.iter(|| {
+            let runs = extract_runs(&desc, &def, &name, black_box(&text)).unwrap();
+            assert_eq!(runs[0].datasets.len(), 24);
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: literal substring matching vs. the regex engine for the same
+/// named location — quantifies what the Thompson-NFA substrate costs over
+/// plain `str::find` on real b_eff_io files.
+fn ablation_literal_vs_regex(c: &mut Criterion) {
+    use perfbase_core::input::{Direction, InputDescription, Location, Pattern};
+    use rematch::Regex;
+    let db = empty_experiment();
+    let def = db.definition();
+    let run = simulate(BeffIoConfig::default());
+    let text = run.render();
+
+    let literal = InputDescription::new().with_location(Location::Named {
+        variable: "mem".into(),
+        pattern: Pattern::Literal("MEMORY PER PROCESSOR =".into()),
+        direction: Direction::After,
+        occurrence: 1,
+    });
+    let regex = InputDescription::new().with_location(Location::Named {
+        variable: "mem".into(),
+        pattern: Pattern::Regexp(Regex::new(r"MEMORY PER PROCESSOR = (\d+)").unwrap()),
+        direction: Direction::After,
+        occurrence: 1,
+    });
+
+    let mut g = c.benchmark_group("ablation_pattern_kind");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("literal", |b| {
+        b.iter(|| extract_runs(&literal, &def, "f", black_box(&text)).unwrap())
+    });
+    g.bench_function("regex", |b| {
+        b.iter(|| extract_runs(&regex, &def, "f", black_box(&text)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_mappings,
+    fig1_batch_import,
+    extraction_only,
+    ablation_literal_vs_regex
+);
+criterion_main!(benches);

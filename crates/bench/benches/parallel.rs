@@ -1,0 +1,90 @@
+//! F3 / C4 — parallel query execution (paper §4.3, Fig. 3): wall-clock of
+//! the sweep query run sequentially, thread-parallel, and distributed over
+//! simulated clusters of 2–8 nodes.
+
+use bench::{imported_campaign, multi_fs_files, sweep_query_xml};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfbase_core::query::spec::query_from_str;
+use perfbase_core::query::{ParallelQueryRunner, Placement, QueryRunner};
+use sqldb::cluster::{Cluster, LatencyModel};
+
+fn fig3_scaling(c: &mut Criterion) {
+    let db = imported_campaign(&multi_fs_files(3));
+    let spec = sweep_query_xml();
+
+    let mut g = c.benchmark_group("fig3_scaling");
+    g.sample_size(10);
+
+    g.bench_function("sequential", |b| {
+        b.iter(|| QueryRunner::new(&db).run(query_from_str(&spec).unwrap()).unwrap())
+    });
+    g.bench_function("threads_single_node", |b| {
+        b.iter(|| ParallelQueryRunner::new(&db).run(query_from_str(&spec).unwrap()).unwrap())
+    });
+    for nodes in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("cluster_nodes", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let cluster = Cluster::new(nodes, LatencyModel::fast_interconnect());
+                ParallelQueryRunner::new(&db)
+                    .on_cluster(&cluster, Placement::RoundRobin)
+                    .run(query_from_str(&spec).unwrap())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// C4 — the degree of parallelism grows with the sweep width: wider sweeps
+/// benefit more from the thread pool (paper: "for parameter sweeps, this
+/// degree can be significant, making a parallelisation worthwhile").
+fn c4_sweep_parallelism(c: &mut Criterion) {
+    let db = imported_campaign(&multi_fs_files(2));
+
+    // Sub-sweeps of growing width: 3, 6, 9 source chains.
+    let sweep_subset = |combos: &[(&str, &str)]| -> String {
+        let mut elements = String::new();
+        let mut tops = Vec::new();
+        for (fs, mode) in combos {
+            let id = format!("{fs}_{mode}");
+            elements.push_str(&format!(
+                r#"<source id="s_{id}">
+                     <parameter name="fs" value="{fs}"/>
+                     <parameter name="mode" value="{mode}"/>
+                     <parameter name="s_chunk" carry="true"/>
+                     <value name="b_separate"/>
+                   </source>
+                   <operator id="avg_{id}" type="avg" input="s_{id}"/>
+                   <operator id="top_{id}" type="max" input="avg_{id}"/>"#
+            ));
+            tops.push(format!("top_{id}"));
+        }
+        elements.push_str(&format!(
+            r#"<operator id="best" type="max" input="{}"/>
+               <output id="o" input="best" format="csv"/>"#,
+            tops.join(",")
+        ));
+        format!("<query name=\"sweep\">{elements}</query>")
+    };
+
+    let all: Vec<(&str, &str)> = ["ufs", "nfs", "pvfs"]
+        .iter()
+        .flat_map(|fs| ["write", "rewrite", "read"].iter().map(move |m| (*fs, *m)))
+        .collect();
+
+    let mut g = c.benchmark_group("c4_sweep_width");
+    g.sample_size(10);
+    for width in [3usize, 6, 9] {
+        let spec = sweep_subset(&all[..width]);
+        g.bench_with_input(BenchmarkId::new("parallel", width), &spec, |b, spec| {
+            b.iter(|| ParallelQueryRunner::new(&db).run(query_from_str(spec).unwrap()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("sequential", width), &spec, |b, spec| {
+            b.iter(|| QueryRunner::new(&db).run(query_from_str(spec).unwrap()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig3_scaling, c4_sweep_parallelism);
+criterion_main!(benches);

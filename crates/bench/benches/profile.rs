@@ -1,0 +1,41 @@
+//! C1 — per-element query profiling (paper §4.3): the wall-clock of chain
+//! queries of growing operator depth. The source cost is fixed, so deeper
+//! chains dilute the source fraction — the numeric fractions themselves are
+//! printed by `repro -- c1`.
+
+use bench::{campaign_files, chain_query_xml, imported_campaign};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfbase_core::query::spec::query_from_str;
+use perfbase_core::query::QueryRunner;
+
+fn c1_source_fraction(c: &mut Criterion) {
+    let db = imported_campaign(&campaign_files(4));
+    let mut g = c.benchmark_group("c1_chain_depth");
+    g.sample_size(15);
+    for depth in [1usize, 4, 16, 32] {
+        let spec = chain_query_xml(depth);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &spec, |b, spec| {
+            b.iter(|| QueryRunner::new(&db).run(query_from_str(spec).unwrap()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn source_element_alone(c: &mut Criterion) {
+    // The cost of only the source stage — the numerator of the C1 fraction.
+    let db = imported_campaign(&campaign_files(4));
+    let spec = r#"<query name="src_only">
+      <source id="s">
+        <parameter name="s_chunk" carry="true"/>
+        <parameter name="mode" carry="true"/>
+        <value name="b_separate"/>
+      </source>
+      <output id="o" input="s" format="csv"/>
+    </query>"#;
+    c.bench_function("c1_source_only", |b| {
+        b.iter(|| QueryRunner::new(&db).run(query_from_str(spec).unwrap()).unwrap())
+    });
+}
+
+criterion_group!(benches, c1_source_fraction, source_element_alone);
+criterion_main!(benches);

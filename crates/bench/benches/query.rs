@@ -1,0 +1,36 @@
+//! F2 — the Fig. 2/Fig. 7 query cascade, and scaling of query latency with
+//! the number of stored runs.
+
+use bench::{campaign_files, fig7_query, imported_campaign};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perfbase_core::query::QueryRunner;
+
+fn fig2_cascade(c: &mut Criterion) {
+    let db = imported_campaign(&campaign_files(5));
+    let mut g = c.benchmark_group("fig2_cascade");
+    g.sample_size(20);
+    g.bench_function("fig7_query_10_runs", |b| {
+        b.iter(|| {
+            let out = QueryRunner::new(&db).run(fig7_query()).unwrap();
+            assert_eq!(out.artifacts.len(), 3);
+        })
+    });
+    g.finish();
+}
+
+fn query_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_scaling");
+    g.sample_size(10);
+    for reps in [2u32, 8, 32] {
+        let db = imported_campaign(&campaign_files(reps));
+        let runs = 2 * reps as u64;
+        g.throughput(Throughput::Elements(runs));
+        g.bench_with_input(BenchmarkId::new("runs", runs), &db, |b, db| {
+            b.iter(|| QueryRunner::new(db).run(fig7_query()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig2_cascade, query_scaling);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Shared fixtures for the benchmark harness and the `repro` binary.
+//!
+//! Every bench and every `repro --figN` experiment builds its data through
+//! these helpers so the workload is identical across the table/figure
+//! reproductions (see DESIGN.md §3 for the experiment index).
+
+use perfbase_core::experiment::ExperimentDb;
+use perfbase_core::import::Importer;
+use perfbase_core::input::{input_description_from_str, InputDescription};
+use perfbase_core::query::spec::{query_from_str, QuerySpec};
+use perfbase_core::xmldef;
+use sqldb::Engine;
+use std::sync::Arc;
+use workloads::beffio::{simulate, BeffIoConfig, BeffIoRun, FsType, Technique};
+
+/// The Fig. 5-style experiment definition shipped with the repo.
+pub const EXPERIMENT_XML: &str = include_str!("../data/b_eff_io_experiment.xml");
+/// The Fig. 6-style input description.
+pub const INPUT_XML: &str = include_str!("../data/b_eff_io_input.xml");
+/// The Fig. 7 query specification.
+pub const QUERY_XML: &str = include_str!("../data/b_eff_io_query.xml");
+
+/// Fresh, empty b_eff_io experiment.
+pub fn empty_experiment() -> ExperimentDb {
+    let def = xmldef::definition_from_str(EXPERIMENT_XML).expect("definition parses");
+    ExperimentDb::create(Arc::new(Engine::new()), def).expect("experiment created")
+}
+
+/// The shipped input description, parsed.
+pub fn input_description() -> InputDescription {
+    input_description_from_str(INPUT_XML).expect("input description parses")
+}
+
+/// The Fig. 7 query, parsed.
+pub fn fig7_query() -> QuerySpec {
+    query_from_str(QUERY_XML).expect("query parses")
+}
+
+/// Generate the §5 campaign: `reps` repetitions per technique on ufs.
+pub fn campaign_files(reps: u32) -> Vec<BeffIoRun> {
+    let mut runs = Vec::new();
+    for technique in [Technique::ListBased, Technique::ListLess] {
+        for rep in 1..=reps {
+            runs.push(simulate(BeffIoConfig {
+                technique,
+                run_index: rep,
+                seed: u64::from(rep) * 31 + technique.file_tag().len() as u64,
+                ..BeffIoConfig::default()
+            }));
+        }
+    }
+    runs
+}
+
+/// Generate a wider campaign across file systems (for sweep queries).
+pub fn multi_fs_files(reps: u32) -> Vec<BeffIoRun> {
+    let mut runs = Vec::new();
+    let mut seed = 1;
+    for fs in [FsType::Ufs, FsType::Nfs, FsType::Pvfs] {
+        for technique in [Technique::ListBased, Technique::ListLess] {
+            for rep in 1..=reps {
+                runs.push(simulate(BeffIoConfig {
+                    fs,
+                    technique,
+                    run_index: rep,
+                    seed,
+                    ..BeffIoConfig::default()
+                }));
+                seed += 1;
+            }
+        }
+    }
+    runs
+}
+
+/// Import a set of generated runs into a fresh experiment.
+pub fn imported_campaign(runs: &[BeffIoRun]) -> ExperimentDb {
+    let db = empty_experiment();
+    let desc = input_description();
+    let importer = Importer::new(&db).at_time(1_101_229_830);
+    for run in runs {
+        importer
+            .import_file(&desc, &run.filename(), &run.render())
+            .expect("import succeeds");
+    }
+    db
+}
+
+/// A parameter-sweep-shaped query over `fs × mode` with an aggregation
+/// chain per combination (the §4.3 "significant degree of parallelism"
+/// case). Returns the XML text.
+pub fn sweep_query_xml() -> String {
+    let mut elements = String::new();
+    let mut tops = Vec::new();
+    for fs in ["ufs", "nfs", "pvfs"] {
+        for mode in ["write", "rewrite", "read"] {
+            let id = format!("{fs}_{mode}");
+            elements.push_str(&format!(
+                r#"<source id="s_{id}">
+                     <parameter name="fs" value="{fs}"/>
+                     <parameter name="mode" value="{mode}"/>
+                     <parameter name="s_chunk" carry="true"/>
+                     <value name="b_separate"/>
+                   </source>
+                   <operator id="avg_{id}" type="avg" input="s_{id}"/>
+                   <operator id="top_{id}" type="max" input="avg_{id}"/>
+                "#
+            ));
+            tops.push(format!("top_{id}"));
+        }
+    }
+    elements.push_str(&format!(
+        r#"<operator id="best" type="max" input="{}"/>
+           <output id="o" input="best" format="csv"/>"#,
+        tops.join(",")
+    ));
+    format!("<query name=\"sweep\">{elements}</query>")
+}
+
+/// A linear operator-chain query of the given depth, for the C1
+/// source-fraction measurement: source → avg → (scale ×(depth−1)) → output.
+/// Deeper chains add operator work while the source cost stays fixed, which
+/// is exactly how the paper argues the source fraction shrinks with query
+/// complexity.
+pub fn chain_query_xml(depth: usize) -> String {
+    let depth = depth.max(1);
+    let mut elements = String::from(
+        r#"<source id="s">
+             <parameter name="s_chunk" carry="true"/>
+             <parameter name="mode" carry="true"/>
+             <value name="b_separate"/>
+           </source>
+           <operator id="op1" type="avg" input="s"/>"#,
+    );
+    for k in 2..=depth {
+        elements.push_str(&format!(
+            r#"<operator id="op{k}" type="scale" input="op{prev}" arg="1.000001"/>"#,
+            prev = k - 1
+        ));
+    }
+    elements.push_str(&format!(r#"<output id="o" input="op{depth}" format="csv"/>"#));
+    format!("<query name=\"chain\">{elements}</query>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let runs = campaign_files(1);
+        assert_eq!(runs.len(), 2);
+        let db = imported_campaign(&runs);
+        assert_eq!(db.run_ids().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sweep_query_parses() {
+        let q = query_from_str(&sweep_query_xml()).unwrap();
+        assert_eq!(q.elements.len(), 9 * 3 + 2);
+    }
+}

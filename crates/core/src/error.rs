@@ -1,0 +1,98 @@
+//! Unified error type for perfbase-core.
+
+use std::fmt;
+
+/// Any failure in the perfbase pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Malformed control file (experiment definition / input description /
+    /// query specification).
+    ControlFile(String),
+    /// Experiment definition inconsistency (unknown variable, duplicate
+    /// name, invalid evolution step, …).
+    Definition(String),
+    /// Data extraction from an input file failed.
+    Extraction(String),
+    /// Import-level failure (duplicate import, missing content under a
+    /// strict policy, …).
+    Import(String),
+    /// Query specification or execution failure.
+    Query(String),
+    /// Access control violation.
+    Access(String),
+    /// Propagated database error.
+    Db(sqldb::DbError),
+    /// Propagated I/O error (stringified: `std::io::Error` is not `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ControlFile(m) => write!(f, "control file error: {m}"),
+            Error::Definition(m) => write!(f, "experiment definition error: {m}"),
+            Error::Extraction(m) => write!(f, "extraction error: {m}"),
+            Error::Import(m) => write!(f, "import error: {m}"),
+            Error::Query(m) => write!(f, "query error: {m}"),
+            Error::Access(m) => write!(f, "access denied: {m}"),
+            Error::Db(e) => write!(f, "database error: {e}"),
+            Error::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<sqldb::DbError> for Error {
+    fn from(e: sqldb::DbError) -> Self {
+        Error::Db(e)
+    }
+}
+
+impl From<xmlite::ParseError> for Error {
+    fn from(e: xmlite::ParseError) -> Self {
+        Error::ControlFile(e.to_string())
+    }
+}
+
+impl From<rematch::Error> for Error {
+    fn from(e: rematch::Error) -> Self {
+        Error::ControlFile(e.to_string())
+    }
+}
+
+impl From<exprcalc::ParseError> for Error {
+    fn from(e: exprcalc::ParseError) -> Self {
+        Error::ControlFile(e.to_string())
+    }
+}
+
+impl From<exprcalc::EvalError> for Error {
+    fn from(e: exprcalc::EvalError) -> Self {
+        Error::Extraction(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: Error = sqldb::DbError::NoSuchTable("t".into()).into();
+        assert!(e.to_string().contains("no such table"));
+        let e: Error = exprcalc::Expr::parse("1 +").unwrap_err().into();
+        assert!(matches!(e, Error::ControlFile(_)));
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,514 @@
+//! Storage binding of an experiment to the SQL database (paper §4.2).
+//!
+//! Table layout per experiment:
+//!
+//! * `pb_meta(key, value)` — meta information plus the serialized
+//!   experiment definition, so the experiment can be reopened.
+//! * `pb_users(name, level)` — the access-control list.
+//! * `pb_imports(hash, filename, run_id)` — import provenance; the `hash`
+//!   column implements "without explicit confirmation, importing data from
+//!   the same input file more than once is not possible" (§3.2).
+//! * `pb_runs(run_id, created, <once-occurrence variables>)` — one row per
+//!   run.
+//! * `pb_rundata_<id>(<multiple-occurrence variables>)` — "for each new run,
+//!   one table is created which contains the tabular data".
+
+use super::{AccessLevel, ExperimentDef, Occurrence, Variable};
+use crate::error::{Error, Result};
+use crate::xmldef;
+use parking_lot::RwLock;
+use sqldb::{Column, DataType, Engine, Schema, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An experiment bound to a database engine.
+pub struct ExperimentDb {
+    engine: Arc<Engine>,
+    def: RwLock<ExperimentDef>,
+}
+
+/// One row of `pb_runs`, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Run id.
+    pub run_id: i64,
+    /// Import time (Unix seconds).
+    pub created: i64,
+    /// Once-occurrence variable contents, in definition order.
+    pub once_values: Vec<(String, Value)>,
+    /// Number of data sets in the run's data table.
+    pub datasets: usize,
+}
+
+impl ExperimentDb {
+    /// Create a new experiment in `engine` (the `perfbase setup` command).
+    pub fn create(engine: Arc<Engine>, def: ExperimentDef) -> Result<ExperimentDb> {
+        for v in &def.variables {
+            validate_variable_name(v)?;
+        }
+        engine.execute("CREATE TABLE pb_meta (key TEXT NOT NULL, value TEXT)")?;
+        engine.execute("CREATE TABLE pb_users (name TEXT NOT NULL, level TEXT NOT NULL)")?;
+        engine.execute(
+            "CREATE TABLE pb_imports (hash TEXT NOT NULL, filename TEXT, run_id INTEGER)",
+        )?;
+        engine.create_table("pb_runs", runs_schema(&def))?;
+        let db = ExperimentDb { engine, def: RwLock::new(def) };
+        db.persist_definition()?;
+        Ok(db)
+    }
+
+    /// Reopen an experiment previously created in `engine`.
+    pub fn open(engine: Arc<Engine>) -> Result<ExperimentDb> {
+        let rs = engine.query("SELECT value FROM pb_meta WHERE key = 'definition'")?;
+        let xml = rs
+            .rows()
+            .first()
+            .and_then(|r| r[0].as_str().map(str::to_string))
+            .ok_or_else(|| Error::Definition("no experiment stored in this database".into()))?;
+        let def = xmldef::definition_from_str(&xml)?;
+        Ok(ExperimentDb { engine, def: RwLock::new(def) })
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// A clone of the current definition.
+    pub fn definition(&self) -> ExperimentDef {
+        self.def.read().clone()
+    }
+
+    /// Check user access (paper §4.2 user classes).
+    pub fn check_access(&self, user: &str, level: AccessLevel) -> Result<()> {
+        self.def.read().check_access(user, level)
+    }
+
+    /// Apply an evolution step to the definition (add/modify/remove
+    /// variables, meta changes, grants) and persist it. The `pb_runs`
+    /// schema is rebuilt to match: new once-variables appear as NULL in
+    /// existing runs, removed ones lose their content.
+    pub fn update_definition(
+        &self,
+        mutate: impl FnOnce(&mut ExperimentDef) -> Result<()>,
+    ) -> Result<()> {
+        let mut def = self.def.write();
+        let mut candidate = def.clone();
+        mutate(&mut candidate)?;
+        for v in &candidate.variables {
+            validate_variable_name(v)?;
+        }
+        // Rebuild pb_runs under the new schema.
+        let (old_schema, old_rows) = self.engine.read_snapshot("pb_runs")?;
+        let new_schema = runs_schema(&candidate);
+        let mut new_rows = Vec::with_capacity(old_rows.len());
+        for row in &old_rows {
+            let mut out = Vec::with_capacity(new_schema.arity());
+            for col in &new_schema.columns {
+                match old_schema.index_of(&col.name) {
+                    Some(i) => out.push(row[i].clone()),
+                    None => out.push(Value::Null),
+                }
+            }
+            new_rows.push(out);
+        }
+        self.engine.drop_table("pb_runs", false)?;
+        self.engine.create_table("pb_runs", new_schema)?;
+        self.engine.insert_rows("pb_runs", new_rows)?;
+
+        *def = candidate;
+        drop(def);
+        self.persist_definition()
+    }
+
+    fn persist_definition(&self) -> Result<()> {
+        let def = self.def.read();
+        let xml = xmldef::definition_to_string(&def);
+        self.engine.execute("DELETE FROM pb_meta")?;
+        self.engine.insert_rows(
+            "pb_meta",
+            vec![
+                vec![Value::Text("name".into()), Value::Text(def.meta.name.clone())],
+                vec![Value::Text("project".into()), Value::Text(def.meta.project.clone())],
+                vec![Value::Text("synopsis".into()), Value::Text(def.meta.synopsis.clone())],
+                vec![Value::Text("definition".into()), Value::Text(xml)],
+            ],
+        )?;
+        self.engine.execute("DELETE FROM pb_users")?;
+        let user_rows: Vec<Vec<Value>> = def
+            .users
+            .iter()
+            .map(|(u, l)| vec![Value::Text(u.clone()), Value::Text(l.name().to_string())])
+            .collect();
+        self.engine.insert_rows("pb_users", user_rows)?;
+        Ok(())
+    }
+
+    /// Next free run id.
+    pub fn next_run_id(&self) -> Result<i64> {
+        let rs = self.engine.query("SELECT max(run_id) FROM pb_runs")?;
+        Ok(match rs.rows().first().map(|r| &r[0]) {
+            Some(Value::Int(m)) => m + 1,
+            _ => 1,
+        })
+    }
+
+    /// Store one run: its once-occurrence values plus its data sets
+    /// (multiple-occurrence tuples). `created` is the import timestamp.
+    /// Returns the new run id.
+    pub fn add_run(
+        &self,
+        once: &HashMap<String, Value>,
+        datasets: &[HashMap<String, Value>],
+        created: i64,
+    ) -> Result<i64> {
+        let def = self.def.read();
+        // Reject unknown names and occurrence mismatches up front.
+        for name in once.keys() {
+            match def.variable(name) {
+                None => {
+                    return Err(Error::Import(format!("unknown variable '{name}'")));
+                }
+                Some(v) if v.occurrence != Occurrence::Once => {
+                    return Err(Error::Import(format!(
+                        "variable '{name}' has multiple occurrence but was provided as run-constant"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        for ds in datasets {
+            for name in ds.keys() {
+                match def.variable(name) {
+                    None => {
+                        return Err(Error::Import(format!("unknown variable '{name}'")));
+                    }
+                    Some(v) if v.occurrence != Occurrence::Multiple => {
+                        return Err(Error::Import(format!(
+                            "variable '{name}' has unique occurrence but appears in a data set"
+                        )));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let run_id = self.next_run_id()?;
+        let mut row = vec![Value::Int(run_id), Value::Timestamp(created)];
+        for v in def.variables_with(Occurrence::Once) {
+            let val = once
+                .get(&v.name)
+                .cloned()
+                .or_else(|| v.default.clone())
+                .unwrap_or(Value::Null);
+            row.push(val);
+        }
+        self.engine.insert_rows("pb_runs", vec![row])?;
+
+        let data_table = rundata_table(run_id);
+        self.engine.create_table(&data_table, rundata_schema(&def))?;
+        let multi: Vec<&Variable> = def.variables_with(Occurrence::Multiple).collect();
+        let mut rows = Vec::with_capacity(datasets.len());
+        for ds in datasets {
+            let mut r = Vec::with_capacity(multi.len());
+            for v in &multi {
+                let val = ds
+                    .get(&v.name)
+                    .cloned()
+                    .or_else(|| v.default.clone())
+                    .unwrap_or(Value::Null);
+                r.push(val);
+            }
+            rows.push(r);
+        }
+        self.engine.insert_rows(&data_table, rows)?;
+        Ok(run_id)
+    }
+
+    /// All run ids, ascending.
+    pub fn run_ids(&self) -> Result<Vec<i64>> {
+        let rs = self.engine.query("SELECT run_id FROM pb_runs ORDER BY run_id")?;
+        Ok(rs.rows().iter().filter_map(|r| r[0].as_i64()).collect())
+    }
+
+    /// Summary of one run.
+    pub fn run_summary(&self, run_id: i64) -> Result<RunSummary> {
+        let rs = self
+            .engine
+            .query(&format!("SELECT * FROM pb_runs WHERE run_id = {run_id}"))?;
+        let row = rs
+            .rows()
+            .first()
+            .ok_or_else(|| Error::Query(format!("no run with id {run_id}")))?;
+        let def = self.def.read();
+        let mut once_values = Vec::new();
+        for (i, v) in def.variables_with(Occurrence::Once).enumerate() {
+            once_values.push((v.name.clone(), row[2 + i].clone()));
+        }
+        let datasets = self.engine.row_count(&rundata_table(run_id))?;
+        Ok(RunSummary {
+            run_id,
+            created: row[1].as_i64().unwrap_or(0),
+            once_values,
+            datasets,
+        })
+    }
+
+    /// Column names and rows of a run's data-set table.
+    pub fn run_datasets(&self, run_id: i64) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+        let (schema, rows) = self.engine.read_snapshot(&rundata_table(run_id))?;
+        Ok((schema.names(), rows))
+    }
+
+    /// Delete a run and its data table.
+    pub fn delete_run(&self, run_id: i64) -> Result<()> {
+        let n = self
+            .engine
+            .execute(&format!("DELETE FROM pb_runs WHERE run_id = {run_id}"))?;
+        if n == 0 {
+            return Err(Error::Query(format!("no run with id {run_id}")));
+        }
+        self.engine.drop_table(&rundata_table(run_id), true)?;
+        self.engine
+            .execute(&format!("DELETE FROM pb_imports WHERE run_id = {run_id}"))?;
+        Ok(())
+    }
+
+    /// Has a file with this content hash been imported before?
+    pub fn is_imported(&self, hash: &str) -> Result<bool> {
+        let rs = self
+            .engine
+            .query(&format!("SELECT count(*) FROM pb_imports WHERE hash = '{hash}'"))?;
+        Ok(rs.rows()[0][0].as_i64().unwrap_or(0) > 0)
+    }
+
+    /// Record import provenance for duplicate detection.
+    pub fn record_import(&self, hash: &str, filename: &str, run_id: i64) -> Result<()> {
+        self.engine.insert_rows(
+            "pb_imports",
+            vec![vec![
+                Value::Text(hash.to_string()),
+                Value::Text(filename.to_string()),
+                Value::Int(run_id),
+            ]],
+        )?;
+        Ok(())
+    }
+}
+
+/// Name of the per-run data table.
+pub(crate) fn rundata_table(run_id: i64) -> String {
+    format!("pb_rundata_{run_id}")
+}
+
+fn runs_schema(def: &ExperimentDef) -> Schema {
+    let mut cols = vec![
+        Column::not_null("run_id", DataType::Int),
+        Column::not_null("created", DataType::Timestamp),
+    ];
+    for v in def.variables_with(Occurrence::Once) {
+        cols.push(Column::new(&v.name, v.datatype));
+    }
+    Schema::new(cols).expect("variable names validated on definition")
+}
+
+fn rundata_schema(def: &ExperimentDef) -> Schema {
+    let cols: Vec<Column> = def
+        .variables_with(Occurrence::Multiple)
+        .map(|v| Column::new(&v.name, v.datatype))
+        .collect();
+    Schema::new(cols).expect("variable names validated on definition")
+}
+
+fn validate_variable_name(v: &Variable) -> Result<()> {
+    if !super::is_identifier(&v.name) {
+        return Err(Error::Definition(format!(
+            "variable name '{}' is not a valid identifier",
+            v.name
+        )));
+    }
+    if sqldb::sql::is_reserved(&v.name) {
+        return Err(Error::Definition(format!(
+            "variable name '{}' collides with an SQL keyword",
+            v.name
+        )));
+    }
+    if v.name.starts_with("pb_") || v.name == "run_id" || v.name == "created" {
+        return Err(Error::Definition(format!(
+            "variable name '{}' is reserved by perfbase",
+            v.name
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Meta, VarKind};
+
+    fn test_def() -> ExperimentDef {
+        let mut def = ExperimentDef::new(
+            Meta { name: "b_eff_io".into(), ..Meta::default() },
+            "joachim",
+        );
+        def.add_variable(
+            Variable::new("fs", VarKind::Parameter, DataType::Text)
+                .once()
+                .with_valid(&["ufs", "nfs", "unknown"])
+                .with_default(Value::Text("unknown".into())),
+        )
+        .unwrap();
+        def.add_variable(Variable::new("t_spec", VarKind::Parameter, DataType::Int).once())
+            .unwrap();
+        def.add_variable(Variable::new("s_chunk", VarKind::Parameter, DataType::Int)).unwrap();
+        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        def
+    }
+
+    fn make_db() -> ExperimentDb {
+        ExperimentDb::create(Arc::new(Engine::new()), test_def()).unwrap()
+    }
+
+    fn one_run(db: &ExperimentDb) -> i64 {
+        let mut once = HashMap::new();
+        once.insert("fs".to_string(), Value::Text("ufs".into()));
+        once.insert("t_spec".to_string(), Value::Int(10));
+        let ds1: HashMap<String, Value> = [
+            ("s_chunk".to_string(), Value::Int(1024)),
+            ("bw".to_string(), Value::Float(59.0)),
+        ]
+        .into();
+        let ds2: HashMap<String, Value> = [
+            ("s_chunk".to_string(), Value::Int(2048)),
+            ("bw".to_string(), Value::Float(61.5)),
+        ]
+        .into();
+        db.add_run(&once, &[ds1, ds2], 1_100_000_000).unwrap()
+    }
+
+    #[test]
+    fn create_and_store_run() {
+        let db = make_db();
+        let id = one_run(&db);
+        assert_eq!(id, 1);
+        assert_eq!(db.run_ids().unwrap(), vec![1]);
+        let s = db.run_summary(1).unwrap();
+        assert_eq!(s.datasets, 2);
+        assert_eq!(
+            s.once_values.iter().find(|(n, _)| n == "fs").unwrap().1,
+            Value::Text("ufs".into())
+        );
+        let (cols, rows) = db.run_datasets(1).unwrap();
+        assert_eq!(cols, vec!["s_chunk", "bw"]);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn run_ids_increment() {
+        let db = make_db();
+        assert_eq!(one_run(&db), 1);
+        assert_eq!(one_run(&db), 2);
+        assert_eq!(db.next_run_id().unwrap(), 3);
+    }
+
+    #[test]
+    fn defaults_fill_missing_once_values() {
+        let db = make_db();
+        let once = HashMap::new(); // no fs provided -> default "unknown"
+        let id = db.add_run(&once, &[], 0).unwrap();
+        let s = db.run_summary(id).unwrap();
+        assert_eq!(
+            s.once_values.iter().find(|(n, _)| n == "fs").unwrap().1,
+            Value::Text("unknown".into())
+        );
+        // t_spec has no default -> NULL
+        assert_eq!(
+            s.once_values.iter().find(|(n, _)| n == "t_spec").unwrap().1,
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn occurrence_mismatch_rejected() {
+        let db = make_db();
+        let mut once = HashMap::new();
+        once.insert("bw".to_string(), Value::Float(1.0)); // bw is multiple
+        assert!(db.add_run(&once, &[], 0).is_err());
+        let ds: HashMap<String, Value> = [("fs".to_string(), Value::Text("ufs".into()))].into();
+        assert!(db.add_run(&HashMap::new(), &[ds], 0).is_err());
+        let unk: HashMap<String, Value> = [("zzz".to_string(), Value::Int(1))].into();
+        assert!(db.add_run(&unk, &[], 0).is_err());
+    }
+
+    #[test]
+    fn delete_run_cleans_up() {
+        let db = make_db();
+        let id = one_run(&db);
+        db.delete_run(id).unwrap();
+        assert!(db.run_ids().unwrap().is_empty());
+        assert!(db.run_summary(id).is_err());
+        assert!(db.delete_run(id).is_err());
+        assert!(!db.engine().has_table(&rundata_table(id)));
+    }
+
+    #[test]
+    fn import_provenance() {
+        let db = make_db();
+        assert!(!db.is_imported("abc123").unwrap());
+        db.record_import("abc123", "out1.txt", 1).unwrap();
+        assert!(db.is_imported("abc123").unwrap());
+    }
+
+    #[test]
+    fn reopen_from_engine() {
+        let engine = Arc::new(Engine::new());
+        {
+            let db = ExperimentDb::create(engine.clone(), test_def()).unwrap();
+            one_run(&db);
+        }
+        let db2 = ExperimentDb::open(engine).unwrap();
+        assert_eq!(db2.definition().meta.name, "b_eff_io");
+        assert_eq!(db2.run_ids().unwrap(), vec![1]);
+        assert_eq!(db2.definition().variables.len(), 4);
+    }
+
+    #[test]
+    fn evolution_adds_column_as_null() {
+        let db = make_db();
+        one_run(&db);
+        db.update_definition(|def| {
+            def.add_variable(
+                Variable::new("nodes", VarKind::Parameter, DataType::Int).once(),
+            )
+        })
+        .unwrap();
+        let s = db.run_summary(1).unwrap();
+        assert_eq!(
+            s.once_values.iter().find(|(n, _)| n == "nodes").unwrap().1,
+            Value::Null
+        );
+        // And the definition was persisted for reopen.
+        let db2 = ExperimentDb::open(db.engine().clone()).unwrap();
+        assert!(db2.definition().variable("nodes").is_some());
+    }
+
+    #[test]
+    fn evolution_removes_column() {
+        let db = make_db();
+        one_run(&db);
+        db.update_definition(|def| def.remove_variable("t_spec").map(|_| ())).unwrap();
+        let s = db.run_summary(1).unwrap();
+        assert!(!s.once_values.iter().any(|(n, _)| n == "t_spec"));
+    }
+
+    #[test]
+    fn reserved_variable_names_rejected() {
+        let mut def = test_def();
+        def.variables.push(Variable::new("select", VarKind::Parameter, DataType::Int));
+        assert!(ExperimentDb::create(Arc::new(Engine::new()), def).is_err());
+        let mut def = test_def();
+        def.variables.push(Variable::new("run_id", VarKind::Parameter, DataType::Int));
+        assert!(ExperimentDb::create(Arc::new(Engine::new()), def).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! Input descriptions and data extraction (paper §3.2, Fig. 6).
+//!
+//! An input description tells perfbase how to pull the content of
+//! experiment variables out of arbitrary ASCII output files. The location
+//! types are exactly the paper's:
+//!
+//! * **named location** — match a string or regular expression and take the
+//!   text behind (or in front of) the match;
+//! * **fixed location** — a defined row and column of the text file;
+//! * **tabular location** — a table whose start is found by a match plus an
+//!   offset, yielding one *data set* per row;
+//! * **filename location** — content encoded in the input file's name;
+//! * **fixed value** — constant content from the XML file or command line;
+//! * **derived parameter** — an arithmetic relation over other variables;
+//! * **run separator** — a match splitting one file into multiple runs.
+
+mod extract;
+pub mod trace;
+mod xmlinput;
+
+pub use extract::{extract_runs, ExtractedRun};
+pub use xmlinput::{input_description_from_str, input_description_to_string, input_schema};
+
+use crate::error::{Error, Result};
+use rematch::Regex;
+
+/// How a named location's pattern is given.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// Literal substring match.
+    Literal(String),
+    /// Regular expression (group 1, when present, is the content).
+    Regexp(Regex),
+}
+
+impl Pattern {
+    /// Find the first match at or after `from` in `line`;
+    /// returns (start, end, captured content of group 1 if any).
+    pub fn find_at<'t>(
+        &self,
+        text: &'t str,
+        from: usize,
+    ) -> Option<(usize, usize, Option<&'t str>)> {
+        match self {
+            Pattern::Literal(s) => {
+                let i = text[from..].find(s.as_str())? + from;
+                Some((i, i + s.len(), None))
+            }
+            Pattern::Regexp(re) => {
+                let m = re.find_at(text, from)?;
+                let g1 = if m.len() > 1 { m.get(1) } else { None };
+                Some((m.start(), m.end(), g1))
+            }
+        }
+    }
+
+    /// Does this pattern match anywhere in `text`?
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find_at(text, 0).is_some()
+    }
+}
+
+/// Which side of a named-location match the content sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Content follows the match (default).
+    #[default]
+    After,
+    /// Content precedes the match.
+    Before,
+}
+
+/// One extraction rule.
+#[derive(Debug, Clone)]
+pub enum Location {
+    /// Named location (paper: "a named location matches a given string or a
+    /// regular expression and use the text behind (or in front of) this
+    /// match as content").
+    Named {
+        /// Target variable.
+        variable: String,
+        /// The match.
+        pattern: Pattern,
+        /// Side of the match holding the content.
+        direction: Direction,
+        /// 1-based occurrence of the match to use.
+        occurrence: usize,
+    },
+    /// Fixed location: 1-based row and whitespace-separated column.
+    Fixed {
+        /// Target variable.
+        variable: String,
+        /// 1-based line number.
+        row: usize,
+        /// 1-based whitespace-separated token number in that line.
+        column: usize,
+    },
+    /// Tabular location yielding data sets.
+    Tabular(TabularSpec),
+    /// Content parsed out of the input file name.
+    Filename {
+        /// Target variable.
+        variable: String,
+        /// Regex applied to the file name; group 1 (or the whole match) is
+        /// the content.
+        pattern: Regex,
+    },
+    /// Constant content defined in the XML file or on the command line.
+    FixedValue {
+        /// Target variable.
+        variable: String,
+        /// Raw content (parsed by the variable's type).
+        content: String,
+    },
+    /// Arithmetic relation over other variables.
+    Derived {
+        /// Target variable.
+        variable: String,
+        /// The expression; its variables refer to experiment variables.
+        expression: exprcalc::Expr,
+    },
+}
+
+impl Location {
+    /// The paper's name for this location type.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Location::Named { .. } => "named location",
+            Location::Fixed { .. } => "fixed location",
+            Location::Tabular(_) => "tabular location",
+            Location::Filename { .. } => "filename location",
+            Location::FixedValue { .. } => "fixed value",
+            Location::Derived { .. } => "derived parameter",
+        }
+    }
+
+    /// The variable this location fills (tabular locations fill several).
+    pub fn variables(&self) -> Vec<&str> {
+        match self {
+            Location::Named { variable, .. }
+            | Location::Fixed { variable, .. }
+            | Location::Filename { variable, .. }
+            | Location::FixedValue { variable, .. }
+            | Location::Derived { variable, .. } => vec![variable],
+            Location::Tabular(t) => t.columns.iter().map(|c| c.variable.as_str()).collect(),
+        }
+    }
+}
+
+/// A tabular location (paper §3.2): "the start of a table is defined by a
+/// match of a string or regular expression and possibly an offset".
+#[derive(Debug, Clone)]
+pub struct TabularSpec {
+    /// Match locating the table.
+    pub start: Pattern,
+    /// Lines to skip after the matching line before the body starts.
+    pub offset: usize,
+    /// Optional match ending the table.
+    pub end: Option<Pattern>,
+    /// When true, body lines that fail to parse are skipped; when false the
+    /// first such line ends the table.
+    pub skip_mismatch: bool,
+    /// Column extraction rules.
+    pub columns: Vec<TabularColumn>,
+}
+
+/// One column of a tabular location.
+#[derive(Debug, Clone)]
+pub struct TabularColumn {
+    /// 1-based whitespace-separated token index.
+    pub index: usize,
+    /// Target variable.
+    pub variable: String,
+}
+
+/// A complete input description.
+#[derive(Debug, Clone, Default)]
+pub struct InputDescription {
+    /// Optional separator splitting one file into several runs
+    /// (mapping b of Fig. 1).
+    pub run_separator: Option<Pattern>,
+    /// All extraction rules, applied in order.
+    pub locations: Vec<Location>,
+}
+
+impl InputDescription {
+    /// Empty description builder.
+    pub fn new() -> Self {
+        InputDescription::default()
+    }
+
+    /// Builder: add a location.
+    pub fn with_location(mut self, loc: Location) -> Self {
+        self.locations.push(loc);
+        self
+    }
+
+    /// Builder: set the run separator.
+    pub fn with_run_separator(mut self, p: Pattern) -> Self {
+        self.run_separator = Some(p);
+        self
+    }
+
+    /// Override or add a fixed value (the paper's "provided … from the
+    /// command line").
+    pub fn set_fixed_value(&mut self, variable: &str, content: &str) {
+        for loc in &mut self.locations {
+            if let Location::FixedValue { variable: v, content: c } = loc {
+                if v == variable {
+                    *c = content.to_string();
+                    return;
+                }
+            }
+        }
+        self.locations.push(Location::FixedValue {
+            variable: variable.to_string(),
+            content: content.to_string(),
+        });
+    }
+
+    /// All variables any location of this description can fill.
+    pub fn covered_variables(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.locations.iter().flat_map(|l| l.variables()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Sanity-check against an experiment definition: every referenced
+    /// variable must exist, tabular columns must have multiple occurrence,
+    /// and scalar locations unique occurrence.
+    pub fn validate(&self, def: &crate::experiment::ExperimentDef) -> Result<()> {
+        use crate::experiment::Occurrence;
+        for loc in &self.locations {
+            let (vars, want_multiple) = match loc {
+                Location::Tabular(t) => {
+                    (t.columns.iter().map(|c| c.variable.as_str()).collect::<Vec<_>>(), true)
+                }
+                other => (other.variables(), false),
+            };
+            for name in vars {
+                let var = def.variable(name).ok_or_else(|| {
+                    Error::ControlFile(format!(
+                        "input description references unknown variable '{name}'"
+                    ))
+                })?;
+                let is_multiple = var.occurrence == Occurrence::Multiple;
+                // Derived variables may be either; they follow their inputs.
+                if !matches!(loc, Location::Derived { .. }) && is_multiple != want_multiple {
+                    return Err(Error::ControlFile(format!(
+                        "variable '{name}' occurrence does not fit its location type"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_literal_and_regex() {
+        let p = Pattern::Literal("T=".into());
+        let (s, e, g) = p.find_at("-N 4 T=10, MT=1024", 0).unwrap();
+        assert_eq!((s, e, g), (5, 7, None));
+
+        let p = Pattern::Regexp(Regex::new(r"T=(\d+)").unwrap());
+        let (_, _, g) = p.find_at("-N 4 T=10, MT=1024", 0).unwrap();
+        assert_eq!(g, Some("10"));
+    }
+
+    #[test]
+    fn fixed_value_override() {
+        let mut d = InputDescription::new().with_location(Location::FixedValue {
+            variable: "technique".into(),
+            content: "list-based".into(),
+        });
+        d.set_fixed_value("technique", "list-less");
+        d.set_fixed_value("nodes", "4");
+        assert_eq!(d.locations.len(), 2);
+        match &d.locations[0] {
+            Location::FixedValue { content, .. } => assert_eq!(content, "list-less"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn covered_variables_deduped() {
+        let d = InputDescription::new()
+            .with_location(Location::FixedValue { variable: "a".into(), content: "1".into() })
+            .with_location(Location::FixedValue { variable: "a".into(), content: "2".into() })
+            .with_location(Location::Tabular(TabularSpec {
+                start: Pattern::Literal("x".into()),
+                offset: 0,
+                end: None,
+                skip_mismatch: false,
+                columns: vec![TabularColumn { index: 1, variable: "b".into() }],
+            }));
+        assert_eq!(d.covered_variables(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn validation_against_definition() {
+        use crate::experiment::{ExperimentDef, Meta, Variable, VarKind};
+        use sqldb::DataType;
+        let mut def = ExperimentDef::new(Meta::default(), "u");
+        def.add_variable(Variable::new("t_spec", VarKind::Parameter, DataType::Int).once())
+            .unwrap();
+        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+
+        let good = InputDescription::new()
+            .with_location(Location::FixedValue { variable: "t_spec".into(), content: "1".into() })
+            .with_location(Location::Tabular(TabularSpec {
+                start: Pattern::Literal("x".into()),
+                offset: 0,
+                end: None,
+                skip_mismatch: false,
+                columns: vec![TabularColumn { index: 1, variable: "bw".into() }],
+            }));
+        good.validate(&def).unwrap();
+
+        let unknown = InputDescription::new()
+            .with_location(Location::FixedValue { variable: "zzz".into(), content: "1".into() });
+        assert!(unknown.validate(&def).is_err());
+
+        // once-variable in a tabular column is an occurrence mismatch
+        let mismatch = InputDescription::new().with_location(Location::Tabular(TabularSpec {
+            start: Pattern::Literal("x".into()),
+            offset: 0,
+            end: None,
+            skip_mismatch: false,
+            columns: vec![TabularColumn { index: 1, variable: "t_spec".into() }],
+        }));
+        assert!(mismatch.validate(&def).is_err());
+    }
+}

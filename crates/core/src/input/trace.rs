@@ -1,0 +1,357 @@
+//! Binary trace input (paper §6, outlook: "processing of non-ASCII input
+//! files (like traces)").
+//!
+//! Tracing tools emit compact binary event streams rather than ASCII
+//! summaries. This module defines the small `PBTR` trace container —
+//! a typed field table followed by fixed-order records — with a writer (for
+//! instrumented applications and the workload generators), a reader, and a
+//! bridge that turns a trace into an [`ExtractedRun`] so the normal import
+//! pipeline (policies, duplicate detection, storage) applies unchanged.
+//!
+//! Format, little-endian throughout:
+//!
+//! ```text
+//! magic   "PBTR"            4 bytes
+//! version u8 = 1
+//! nfields u16
+//! fields  nfields × { namelen u16, name bytes, tag u8 }   tag: 0=int 1=float 2=text
+//! records until EOF: per field by tag { i64 | f64 | u32 len + bytes }
+//! ```
+
+use super::ExtractedRun;
+use crate::error::{Error, Result};
+use crate::experiment::{ExperimentDef, Occurrence};
+use sqldb::{DataType, Value};
+use std::collections::HashMap;
+
+const MAGIC: &[u8; 4] = b"PBTR";
+const VERSION: u8 = 1;
+
+/// Field type tags of the trace container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Length-prefixed UTF-8 text.
+    Text,
+}
+
+impl TraceType {
+    fn tag(self) -> u8 {
+        match self {
+            TraceType::Int => 0,
+            TraceType::Float => 1,
+            TraceType::Text => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<TraceType> {
+        match t {
+            0 => Some(TraceType::Int),
+            1 => Some(TraceType::Float),
+            2 => Some(TraceType::Text),
+            _ => None,
+        }
+    }
+}
+
+/// One declared trace field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceField {
+    /// Field name (matched against experiment variables on import).
+    pub name: String,
+    /// Value type.
+    pub ty: TraceType,
+}
+
+/// Streaming writer for `PBTR` traces.
+pub struct TraceWriter {
+    fields: Vec<TraceField>,
+    buf: Vec<u8>,
+}
+
+impl TraceWriter {
+    /// Start a trace with the given field table.
+    pub fn new(fields: Vec<TraceField>) -> TraceWriter {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&(fields.len() as u16).to_le_bytes());
+        for f in &fields {
+            buf.extend_from_slice(&(f.name.len() as u16).to_le_bytes());
+            buf.extend_from_slice(f.name.as_bytes());
+            buf.push(f.ty.tag());
+        }
+        TraceWriter { fields, buf }
+    }
+
+    /// Append one record; values must match the field table.
+    pub fn record(&mut self, values: &[Value]) -> Result<()> {
+        if values.len() != self.fields.len() {
+            return Err(Error::Extraction(format!(
+                "trace record has {} values, field table has {}",
+                values.len(),
+                self.fields.len()
+            )));
+        }
+        for (f, v) in self.fields.iter().zip(values) {
+            match (f.ty, v) {
+                (TraceType::Int, v) => {
+                    let x = v.as_i64().ok_or_else(|| {
+                        Error::Extraction(format!("field '{}' expects an integer", f.name))
+                    })?;
+                    self.buf.extend_from_slice(&x.to_le_bytes());
+                }
+                (TraceType::Float, v) => {
+                    let x = v.as_f64().ok_or_else(|| {
+                        Error::Extraction(format!("field '{}' expects a float", f.name))
+                    })?;
+                    self.buf.extend_from_slice(&x.to_le_bytes());
+                }
+                (TraceType::Text, Value::Text(s)) => {
+                    self.buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    self.buf.extend_from_slice(s.as_bytes());
+                }
+                (TraceType::Text, other) => {
+                    let s = other.to_string();
+                    self.buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    self.buf.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish and return the trace bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A fully parsed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Declared fields.
+    pub fields: Vec<TraceField>,
+    /// All records in order.
+    pub records: Vec<Vec<Value>>,
+}
+
+/// Parse `PBTR` bytes.
+pub fn parse_trace(bytes: &[u8]) -> Result<Trace> {
+    let bad = |m: &str| Error::Extraction(format!("malformed trace: {m}"));
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Result<&[u8]> {
+        let end = at.checked_add(n).ok_or_else(|| bad("length overflow"))?;
+        if end > bytes.len() {
+            return Err(bad("truncated"));
+        }
+        let s = &bytes[*at..end];
+        *at = end;
+        Ok(s)
+    };
+
+    if take(&mut at, 4)? != MAGIC {
+        return Err(bad("wrong magic"));
+    }
+    if take(&mut at, 1)?[0] != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let nfields = u16::from_le_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
+    if nfields == 0 {
+        return Err(bad("empty field table"));
+    }
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let namelen =
+            u16::from_le_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
+        let name = std::str::from_utf8(take(&mut at, namelen)?)
+            .map_err(|_| bad("field name is not UTF-8"))?
+            .to_string();
+        let ty = TraceType::from_tag(take(&mut at, 1)?[0]).ok_or_else(|| bad("bad type tag"))?;
+        fields.push(TraceField { name, ty });
+    }
+
+    let mut records = Vec::new();
+    while at < bytes.len() {
+        let mut rec = Vec::with_capacity(fields.len());
+        for f in &fields {
+            match f.ty {
+                TraceType::Int => {
+                    let x = i64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8 bytes"));
+                    rec.push(Value::Int(x));
+                }
+                TraceType::Float => {
+                    let x = f64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8 bytes"));
+                    rec.push(Value::Float(x));
+                }
+                TraceType::Text => {
+                    let len =
+                        u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes"))
+                            as usize;
+                    let s = std::str::from_utf8(take(&mut at, len)?)
+                        .map_err(|_| bad("text value is not UTF-8"))?
+                        .to_string();
+                    rec.push(Value::Text(s));
+                }
+            }
+        }
+        records.push(rec);
+    }
+    Ok(Trace { fields, records })
+}
+
+/// Convert a trace into an [`ExtractedRun`] under an experiment definition:
+/// trace fields matching multiple-occurrence variables become data-set
+/// columns (one data set per record); fields matching once-variables must
+/// be constant across the trace and become run constants; unmatched fields
+/// are an error (traces are machine-generated — silence would hide bugs).
+pub fn trace_to_run(def: &ExperimentDef, trace: &Trace) -> Result<ExtractedRun> {
+    let mut run = ExtractedRun::default();
+    let mut multi_idx: Vec<(usize, String, DataType)> = Vec::new();
+    for (i, f) in trace.fields.iter().enumerate() {
+        let var = def.variable(&f.name).ok_or_else(|| {
+            Error::Extraction(format!("trace field '{}' is not an experiment variable", f.name))
+        })?;
+        match var.occurrence {
+            Occurrence::Once => {
+                let mut seen: Option<Value> = None;
+                for rec in &trace.records {
+                    match &seen {
+                        None => seen = Some(rec[i].clone()),
+                        Some(prev) if prev == &rec[i] => {}
+                        Some(prev) => {
+                            return Err(Error::Extraction(format!(
+                                "trace field '{}' maps to a run constant but varies ({prev} vs {})",
+                                f.name, rec[i]
+                            )))
+                        }
+                    }
+                }
+                if let Some(v) = seen {
+                    let v = v.coerce(var.datatype).map_err(Error::Extraction)?;
+                    run.once.insert(f.name.clone(), v);
+                }
+            }
+            Occurrence::Multiple => {
+                multi_idx.push((i, f.name.clone(), var.datatype));
+            }
+        }
+    }
+    for rec in &trace.records {
+        let mut ds = HashMap::with_capacity(multi_idx.len());
+        for (i, name, dtype) in &multi_idx {
+            let v = rec[*i].clone().coerce(*dtype).map_err(Error::Extraction)?;
+            ds.insert(name.clone(), v);
+        }
+        if !ds.is_empty() {
+            run.datasets.push(ds);
+        }
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentDef, Meta, Variable, VarKind};
+
+    fn fields() -> Vec<TraceField> {
+        vec![
+            TraceField { name: "host".into(), ty: TraceType::Text },
+            TraceField { name: "chunk".into(), ty: TraceType::Int },
+            TraceField { name: "bw".into(), ty: TraceType::Float },
+        ]
+    }
+
+    fn sample_trace() -> Vec<u8> {
+        let mut w = TraceWriter::new(fields());
+        for (c, b) in [(1024i64, 59.0f64), (2048, 61.5), (4096, 66.25)] {
+            w.record(&[Value::Text("grisu0".into()), Value::Int(c), Value::Float(b)]).unwrap();
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let bytes = sample_trace();
+        let t = parse_trace(&bytes).unwrap();
+        assert_eq!(t.fields, fields());
+        assert_eq!(t.records.len(), 3);
+        assert_eq!(t.records[1], vec![
+            Value::Text("grisu0".into()),
+            Value::Int(2048),
+            Value::Float(61.5)
+        ]);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_rejected() {
+        let bytes = sample_trace();
+        for cut in [0, 3, 5, 8, bytes.len() - 1] {
+            assert!(parse_trace(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(parse_trace(&wrong_magic).is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 9;
+        assert!(parse_trace(&wrong_version).is_err());
+    }
+
+    #[test]
+    fn writer_validates_record_shape() {
+        let mut w = TraceWriter::new(fields());
+        assert!(w.record(&[Value::Int(1)]).is_err()); // arity
+        assert!(w
+            .record(&[Value::Text("h".into()), Value::Text("x".into()), Value::Float(1.0)])
+            .is_err()); // type
+    }
+
+    fn def() -> ExperimentDef {
+        let mut d = ExperimentDef::new(Meta::default(), "u");
+        d.add_variable(Variable::new("host", VarKind::Parameter, DataType::Text).once())
+            .unwrap();
+        d.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int)).unwrap();
+        d.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        d
+    }
+
+    #[test]
+    fn trace_becomes_run() {
+        let t = parse_trace(&sample_trace()).unwrap();
+        let run = trace_to_run(&def(), &t).unwrap();
+        assert_eq!(run.once.get("host"), Some(&Value::Text("grisu0".into())));
+        assert_eq!(run.datasets.len(), 3);
+        assert_eq!(run.datasets[2]["chunk"], Value::Int(4096));
+    }
+
+    #[test]
+    fn varying_run_constant_rejected() {
+        let mut w = TraceWriter::new(fields());
+        w.record(&[Value::Text("h1".into()), Value::Int(1), Value::Float(1.0)]).unwrap();
+        w.record(&[Value::Text("h2".into()), Value::Int(2), Value::Float(2.0)]).unwrap();
+        let t = parse_trace(&w.finish()).unwrap();
+        let err = trace_to_run(&def(), &t).unwrap_err();
+        assert!(err.to_string().contains("varies"));
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let mut w = TraceWriter::new(vec![TraceField { name: "zzz".into(), ty: TraceType::Int }]);
+        w.record(&[Value::Int(1)]).unwrap();
+        let t = parse_trace(&w.finish()).unwrap();
+        assert!(trace_to_run(&def(), &t).is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_empty_run() {
+        let w = TraceWriter::new(fields());
+        let t = parse_trace(&w.finish()).unwrap();
+        let run = trace_to_run(&def(), &t).unwrap();
+        assert!(run.once.is_empty());
+        assert!(run.datasets.is_empty());
+    }
+}

@@ -1,0 +1,413 @@
+//! XML form of the input description (paper §3.2, Fig. 6).
+
+use super::{
+    Direction, InputDescription, Location, Pattern, TabularColumn, TabularSpec,
+};
+use crate::error::{Error, Result};
+use rematch::Regex;
+use xmlite::dtd::{AttrDecl, Dtd, Model};
+use xmlite::{Document, Element};
+
+/// DTD-lite schema for input descriptions.
+pub fn input_schema() -> Dtd {
+    let attr = |name: &str| AttrDecl { name: name.into(), required: false, default: None };
+    Dtd::new()
+        .declare(
+            "input",
+            Model::Children(vec![
+                "run_separator".into(),
+                "named".into(),
+                "fixed".into(),
+                "tabular".into(),
+                "filename".into(),
+                "fixed_value".into(),
+                "derived".into(),
+            ]),
+        )
+        .declare("run_separator", Model::Empty)
+        .attribute("run_separator", attr("match"))
+        .attribute("run_separator", attr("regexp"))
+        .declare(
+            "named",
+            Model::Children(vec![
+                "variable".into(),
+                "match".into(),
+                "regexp".into(),
+                "direction".into(),
+                "occurrence".into(),
+            ]),
+        )
+        .declare("fixed", Model::Children(vec!["variable".into(), "row".into(), "column".into()]))
+        .declare(
+            "tabular",
+            Model::Children(vec!["start".into(), "end".into(), "column".into()]),
+        )
+        .attribute("tabular", attr("skip_mismatch"))
+        .declare("start", Model::Empty)
+        .attribute("start", attr("match"))
+        .attribute("start", attr("regexp"))
+        .attribute("start", attr("offset"))
+        .declare("end", Model::Empty)
+        .attribute("end", attr("match"))
+        .attribute("end", attr("regexp"))
+        .declare("column", Model::Children(vec!["variable".into()]))
+        .attribute(
+            "column",
+            AttrDecl { name: "index".into(), required: true, default: None },
+        )
+        .declare("filename", Model::Children(vec!["variable".into(), "regexp".into()]))
+        .declare(
+            "fixed_value",
+            Model::Children(vec!["variable".into(), "content".into()]),
+        )
+        .declare("derived", Model::Children(vec!["variable".into(), "expression".into()]))
+        .declare("variable", Model::Text)
+        .declare("match", Model::Text)
+        .declare("regexp", Model::Text)
+        .declare("direction", Model::Text)
+        .declare("occurrence", Model::Text)
+        .declare("row", Model::Text)
+        .declare("column_index", Model::Text)
+        .declare("content", Model::Text)
+        .declare("expression", Model::Text)
+}
+
+/// Parse an input description from XML text.
+pub fn input_description_from_str(xml: &str) -> Result<InputDescription> {
+    let doc = xmlite::parse(xml)?;
+    let root = &doc.root;
+    if root.name != "input" {
+        return Err(Error::ControlFile(format!(
+            "expected <input> document element, found <{}>",
+            root.name
+        )));
+    }
+    if let Err(errors) = input_schema().validate(root) {
+        let msgs: Vec<String> = errors.iter().take(5).map(|e| e.to_string()).collect();
+        return Err(Error::ControlFile(format!(
+            "input description does not validate: {}",
+            msgs.join("; ")
+        )));
+    }
+
+    let mut desc = InputDescription::new();
+    for el in root.elements() {
+        match el.name.as_str() {
+            "run_separator" => {
+                desc.run_separator = Some(pattern_from_attrs(el)?);
+            }
+            "named" => {
+                let pattern = if let Some(m) = el.child_text("match") {
+                    Pattern::Literal(m)
+                } else if let Some(r) = el.child_text("regexp") {
+                    Pattern::Regexp(Regex::new(&r)?)
+                } else {
+                    return Err(Error::ControlFile(
+                        "<named> needs a <match> or <regexp>".into(),
+                    ));
+                };
+                let direction = match el.child_text("direction").as_deref() {
+                    None | Some("after") => Direction::After,
+                    Some("before") => Direction::Before,
+                    Some(other) => {
+                        return Err(Error::ControlFile(format!(
+                            "invalid direction '{other}'"
+                        )))
+                    }
+                };
+                let occurrence = match el.child_text("occurrence") {
+                    None => 1,
+                    Some(o) => o.parse().map_err(|_| {
+                        Error::ControlFile(format!("invalid occurrence '{o}'"))
+                    })?,
+                };
+                desc.locations.push(Location::Named {
+                    variable: required_variable(el)?,
+                    pattern,
+                    direction,
+                    occurrence,
+                });
+            }
+            "fixed" => {
+                let row = numeric_child(el, "row")?;
+                let column = numeric_child(el, "column")?;
+                desc.locations.push(Location::Fixed {
+                    variable: required_variable(el)?,
+                    row,
+                    column,
+                });
+            }
+            "tabular" => {
+                let start_el = el
+                    .child("start")
+                    .ok_or_else(|| Error::ControlFile("<tabular> needs <start>".into()))?;
+                let start = pattern_from_attrs(start_el)?;
+                let offset = match start_el.attr("offset") {
+                    None => 0,
+                    Some(o) => o.parse().map_err(|_| {
+                        Error::ControlFile(format!("invalid offset '{o}'"))
+                    })?,
+                };
+                let end = match el.child("end") {
+                    Some(e) => Some(pattern_from_attrs(e)?),
+                    None => None,
+                };
+                let skip_mismatch = el.attr("skip_mismatch") == Some("true");
+                let mut columns = Vec::new();
+                for c in el.children_named("column") {
+                    let index: usize = c
+                        .attr("index")
+                        .ok_or_else(|| Error::ControlFile("<column> needs index".into()))?
+                        .parse()
+                        .map_err(|_| Error::ControlFile("invalid column index".into()))?;
+                    columns.push(TabularColumn { index, variable: required_variable(c)? });
+                }
+                if columns.is_empty() {
+                    return Err(Error::ControlFile("<tabular> needs at least one <column>".into()));
+                }
+                desc.locations
+                    .push(Location::Tabular(TabularSpec { start, offset, end, skip_mismatch, columns }));
+            }
+            "filename" => {
+                let r = el
+                    .child_text("regexp")
+                    .ok_or_else(|| Error::ControlFile("<filename> needs <regexp>".into()))?;
+                desc.locations.push(Location::Filename {
+                    variable: required_variable(el)?,
+                    pattern: Regex::new(&r)?,
+                });
+            }
+            "fixed_value" => {
+                desc.locations.push(Location::FixedValue {
+                    variable: required_variable(el)?,
+                    content: el.child_text("content").unwrap_or_default(),
+                });
+            }
+            "derived" => {
+                let src = el
+                    .child_text("expression")
+                    .ok_or_else(|| Error::ControlFile("<derived> needs <expression>".into()))?;
+                desc.locations.push(Location::Derived {
+                    variable: required_variable(el)?,
+                    expression: exprcalc::Expr::parse(&src)?,
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(desc)
+}
+
+fn required_variable(el: &Element) -> Result<String> {
+    el.child_text("variable")
+        .filter(|v| !v.is_empty())
+        .ok_or_else(|| Error::ControlFile(format!("<{}> needs a <variable>", el.name)))
+}
+
+fn numeric_child(el: &Element, name: &str) -> Result<usize> {
+    el.child_text(name)
+        .ok_or_else(|| Error::ControlFile(format!("<{}> needs <{name}>", el.name)))?
+        .parse()
+        .map_err(|_| Error::ControlFile(format!("invalid <{name}> in <{}>", el.name)))
+}
+
+fn pattern_from_attrs(el: &Element) -> Result<Pattern> {
+    if let Some(m) = el.attr("match") {
+        return Ok(Pattern::Literal(m.to_string()));
+    }
+    if let Some(r) = el.attr("regexp") {
+        return Ok(Pattern::Regexp(Regex::new(r)?));
+    }
+    Err(Error::ControlFile(format!(
+        "<{}> needs a match or regexp attribute",
+        el.name
+    )))
+}
+
+/// Serialize an input description back to XML text.
+pub fn input_description_to_string(desc: &InputDescription) -> String {
+    let mut root = Element::new("input");
+    if let Some(sep) = &desc.run_separator {
+        root = root.with_child(pattern_to_attrs(Element::new("run_separator"), sep));
+    }
+    for loc in &desc.locations {
+        let el = match loc {
+            Location::Named { variable, pattern, direction, occurrence } => {
+                let mut e = Element::new("named").with_text_child("variable", variable);
+                e = match pattern {
+                    Pattern::Literal(m) => e.with_text_child("match", m),
+                    Pattern::Regexp(r) => e.with_text_child("regexp", r.as_str()),
+                };
+                if *direction == Direction::Before {
+                    e = e.with_text_child("direction", "before");
+                }
+                if *occurrence != 1 {
+                    e = e.with_text_child("occurrence", &occurrence.to_string());
+                }
+                e
+            }
+            Location::Fixed { variable, row, column } => Element::new("fixed")
+                .with_text_child("variable", variable)
+                .with_text_child("row", &row.to_string())
+                .with_text_child("column", &column.to_string()),
+            Location::Tabular(t) => {
+                let mut e = Element::new("tabular");
+                if t.skip_mismatch {
+                    e = e.with_attr("skip_mismatch", "true");
+                }
+                let mut start = pattern_to_attrs(Element::new("start"), &t.start);
+                if t.offset != 0 {
+                    start.set_attr("offset", &t.offset.to_string());
+                }
+                e = e.with_child(start);
+                if let Some(end) = &t.end {
+                    e = e.with_child(pattern_to_attrs(Element::new("end"), end));
+                }
+                for c in &t.columns {
+                    e = e.with_child(
+                        Element::new("column")
+                            .with_attr("index", &c.index.to_string())
+                            .with_text_child("variable", &c.variable),
+                    );
+                }
+                e
+            }
+            Location::Filename { variable, pattern } => Element::new("filename")
+                .with_text_child("variable", variable)
+                .with_text_child("regexp", pattern.as_str()),
+            Location::FixedValue { variable, content } => Element::new("fixed_value")
+                .with_text_child("variable", variable)
+                .with_text_child("content", content),
+            Location::Derived { variable, expression } => Element::new("derived")
+                .with_text_child("variable", variable)
+                .with_text_child("expression", expression.source()),
+        };
+        root = root.with_child(el);
+    }
+    xmlite::to_string_pretty(&Document::from_root(root))
+}
+
+fn pattern_to_attrs(el: Element, p: &Pattern) -> Element {
+    match p {
+        Pattern::Literal(m) => el.with_attr("match", m),
+        Pattern::Regexp(r) => el.with_attr("regexp", r.as_str()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Fig. 6-style description for b_eff_io output files.
+    pub(crate) const FIG6: &str = r#"<input>
+  <run_separator match="MEMORY PER PROCESSOR"/>
+  <filename>
+    <variable>fs</variable>
+    <regexp>_([a-z]+)_grisu</regexp>
+  </filename>
+  <named>
+    <variable>mem</variable>
+    <match>MEMORY PER PROCESSOR =</match>
+  </named>
+  <named>
+    <variable>t_spec</variable>
+    <regexp>T=(\d+)</regexp>
+  </named>
+  <named>
+    <variable>hostname</variable>
+    <match>hostname :</match>
+  </named>
+  <tabular skip_mismatch="true">
+    <start match="number pos chunk-" offset="2"/>
+    <end match="This table"/>
+    <column index="1"><variable>n_proc</variable></column>
+    <column index="4"><variable>s_chunk</variable></column>
+    <column index="5"><variable>mode</variable></column>
+    <column index="6"><variable>b_scatter</variable></column>
+  </tabular>
+  <fixed_value>
+    <variable>technique</variable>
+    <content>list-based</content>
+  </fixed_value>
+  <derived>
+    <variable>mb_total</variable>
+    <expression>s_chunk * n_proc / 1024</expression>
+  </derived>
+</input>"#;
+
+    #[test]
+    fn parses_fig6_structure() {
+        let d = input_description_from_str(FIG6).unwrap();
+        assert!(d.run_separator.is_some());
+        assert_eq!(d.locations.len(), 7);
+        assert!(matches!(d.locations[0], Location::Filename { .. }));
+        match &d.locations[4] {
+            Location::Tabular(t) => {
+                assert_eq!(t.offset, 2);
+                assert!(t.skip_mismatch);
+                assert!(t.end.is_some());
+                assert_eq!(t.columns.len(), 4);
+                assert_eq!(t.columns[1].index, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &d.locations[6] {
+            Location::Derived { expression, .. } => {
+                assert_eq!(
+                    expression.variables().into_iter().collect::<Vec<_>>(),
+                    vec!["n_proc".to_string(), "s_chunk".to_string()]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = input_description_from_str(FIG6).unwrap();
+        let xml = input_description_to_string(&d);
+        let d2 = input_description_from_str(&xml).unwrap();
+        assert_eq!(d2.locations.len(), d.locations.len());
+        assert_eq!(input_description_to_string(&d2), xml);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(input_description_from_str("<query/>").is_err());
+        assert!(input_description_from_str("<input><named><variable>x</variable></named></input>")
+            .is_err());
+        assert!(input_description_from_str(
+            "<input><tabular><start match=\"x\"/></tabular></input>"
+        )
+        .is_err());
+        assert!(input_description_from_str(
+            "<input><named><match>x</match></named></input>"
+        )
+        .is_err());
+        assert!(input_description_from_str("<input><bogus/></input>").is_err());
+    }
+
+    #[test]
+    fn default_direction_and_occurrence() {
+        let d = input_description_from_str(
+            "<input><named><variable>v</variable><match>x</match></named></input>",
+        )
+        .unwrap();
+        match &d.locations[0] {
+            Location::Named { direction, occurrence, .. } => {
+                assert_eq!(*direction, Direction::After);
+                assert_eq!(*occurrence, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_regex_reported() {
+        let err = input_description_from_str(
+            "<input><named><variable>v</variable><regexp>((</regexp></named></input>",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("regex"));
+    }
+}

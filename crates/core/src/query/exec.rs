@@ -1,0 +1,1308 @@
+//! Sequential query execution (paper §3.3, §4.2).
+//!
+//! Each element materialises its output vector into its own temporary table
+//! (`pb_tmp_<query>_<element>`); only the table name (wrapped in a
+//! [`DataVector`] with column metadata) flows between elements. Operators
+//! lean on the database's aggregation (GROUP BY) wherever possible — the
+//! paper's §4.2 performance argument.
+//!
+//! Operator mode selection is automatic (paper §3.3.2):
+//!
+//! * input vector stems from a **source** element → *data-set aggregation*:
+//!   reduce result values that share an identical set of input parameters;
+//! * single input from a non-source element → reduce the whole vector into
+//!   a single element;
+//! * two or more input vectors → element-wise operation after aligning the
+//!   vectors on their common parameters.
+
+use super::spec::{
+    CombinerSpec, ElementKind, OpKind, OutputSpec, QuerySpec, SourceSpec,
+};
+use super::{DataVector, QueryDag};
+use crate::error::{Error, Result};
+use crate::experiment::{ExperimentDb, Occurrence};
+use crate::output;
+use sqldb::aggregate::AggKind;
+use sqldb::{Engine, Value};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Wall-clock cost of one executed element — the measurement behind the
+/// §4.3 observation that source elements account for only ~10 % of query
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementTiming {
+    /// Element id.
+    pub id: String,
+    /// Element kind name (`source`, `operator`, …).
+    pub kind: &'static str,
+    /// Time spent executing the element.
+    pub wall: Duration,
+    /// Rows in the element's output vector (0 for output elements) — the
+    /// volume that would cross the interconnect under a Fig. 3 placement.
+    pub rows: usize,
+}
+
+/// Everything a query run produces.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutcome {
+    /// Output vectors by element id.
+    pub vectors: HashMap<String, DataVector>,
+    /// Rendered artifacts by output-element id.
+    pub artifacts: HashMap<String, String>,
+    /// Per-element timings in execution order.
+    pub timings: Vec<ElementTiming>,
+}
+
+impl QueryOutcome {
+    /// Fraction of total element time spent in source elements (§4.3).
+    pub fn source_time_fraction(&self) -> f64 {
+        let total: Duration = self.timings.iter().map(|t| t.wall).sum();
+        if total.is_zero() {
+            return 0.0;
+        }
+        let sources: Duration =
+            self.timings.iter().filter(|t| t.kind == "source").map(|t| t.wall).sum();
+        sources.as_secs_f64() / total.as_secs_f64()
+    }
+}
+
+/// Sequential query runner over the experiment's own database engine.
+pub struct QueryRunner<'a> {
+    db: &'a ExperimentDb,
+}
+
+impl<'a> QueryRunner<'a> {
+    /// New runner.
+    pub fn new(db: &'a ExperimentDb) -> Self {
+        QueryRunner { db }
+    }
+
+    /// Execute `spec` and drop all temporary tables afterwards unless
+    /// `keep_temps` was requested.
+    pub fn run(&self, spec: QuerySpec) -> Result<QueryOutcome> {
+        let dag = QueryDag::build(spec)?;
+        let engine = self.db.engine().clone();
+        let mut outcome = QueryOutcome::default();
+        let mut vectors: Vec<Option<DataVector>> = vec![None; dag.spec.elements.len()];
+        let mut from_source: Vec<bool> = vec![false; dag.spec.elements.len()];
+
+        for &i in &dag.topo_order {
+            let element = &dag.spec.elements[i];
+            let started = Instant::now();
+            let table = temp_table_name(&dag.spec.name, &element.id);
+            match &element.kind {
+                ElementKind::Source(s) => {
+                    let v = run_source(self.db, &engine, s, &table)?;
+                    from_source[i] = true;
+                    vectors[i] = Some(v);
+                }
+                ElementKind::Operator(o) => {
+                    let inputs: Vec<(&DataVector, bool)> = dag.input_idx[i]
+                        .iter()
+                        .map(|&j| (vectors[j].as_ref().expect("topo order"), from_source[j]))
+                        .collect();
+                    let v = run_operator(&engine, &engine, &o.op, &inputs, &table)?;
+                    vectors[i] = Some(v);
+                }
+                ElementKind::Combiner(c) => {
+                    let l = vectors[dag.input_idx[i][0]].as_ref().expect("topo order");
+                    let r = vectors[dag.input_idx[i][1]].as_ref().expect("topo order");
+                    let v = run_combiner(&engine, &engine, c, l, r, &table)?;
+                    vectors[i] = Some(v);
+                }
+                ElementKind::Output(o) => {
+                    let inputs: Vec<&DataVector> = dag.input_idx[i]
+                        .iter()
+                        .map(|&j| vectors[j].as_ref().expect("topo order"))
+                        .collect();
+                    let artifact = run_output(&engine, o, &inputs)?;
+                    if let Some(path) = &o.filename {
+                        std::fs::write(path, &artifact)?;
+                    }
+                    outcome.artifacts.insert(element.id.clone(), artifact);
+                }
+            }
+            let rows = vectors[i]
+                .as_ref()
+                .map(|v| engine.row_count(&v.table).unwrap_or(0))
+                .unwrap_or(0);
+            outcome.timings.push(ElementTiming {
+                id: element.id.clone(),
+                kind: element.kind.name(),
+                wall: started.elapsed(),
+                rows,
+            });
+        }
+
+        for (i, v) in vectors.into_iter().enumerate() {
+            if let Some(v) = v {
+                outcome.vectors.insert(dag.spec.elements[i].id.clone(), v);
+            }
+        }
+        engine.drop_temp_tables();
+        Ok(outcome)
+    }
+}
+
+/// Temp-table name for one element of one query.
+pub(crate) fn temp_table_name(query: &str, element: &str) -> String {
+    format!("pb_tmp_{query}_{element}")
+}
+
+/// Render a [`Value`] as an SQL literal.
+pub(crate) fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Value::Timestamp(t) => t.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.is_finite() {
+                format!("{f:?}")
+            } else {
+                "NULL".to_string()
+            }
+        }
+    }
+}
+
+/// Execute a source element (paper §3.3.1): retrieve data tuples matching
+/// the parameter and run restrictions from the experiment database
+/// `db`, materialising the output vector into `table` on `out_engine`.
+pub(crate) fn run_source(
+    db: &ExperimentDb,
+    out_engine: &Engine,
+    spec: &SourceSpec,
+    table: &str,
+) -> Result<DataVector> {
+    let def = db.definition();
+    let exp_engine = db.engine();
+
+    // Sort every referenced variable into once/multiple occurrence.
+    let occurrence_of = |name: &str| -> Result<Occurrence> {
+        def.variable(name)
+            .map(|v| v.occurrence)
+            .ok_or_else(|| Error::Query(format!("source references unknown variable '{name}'")))
+    };
+    let mut once_where = Vec::new();
+    let mut multi_where = Vec::new();
+    for f in &spec.filters {
+        let var = def
+            .variable(&f.parameter)
+            .ok_or_else(|| Error::Query(format!("unknown filter parameter '{}'", f.parameter)))?;
+        let clause = if f.op == super::spec::FilterOp::In {
+            let lits: Result<Vec<String>> = f
+                .value
+                .split(',')
+                .map(|raw| Ok(sql_literal(&var.parse_content(raw.trim())?)))
+                .collect();
+            format!("{} IN ({})", f.parameter, lits?.join(", "))
+        } else {
+            let lit = sql_literal(&var.parse_content(&f.value)?);
+            format!("{} {} {}", f.parameter, f.op.sql(), lit)
+        };
+        match var.occurrence {
+            Occurrence::Once => once_where.push(clause),
+            Occurrence::Multiple => multi_where.push(clause),
+        }
+    }
+    if let Some(from) = spec.run_filter.from {
+        once_where.push(format!("created >= {from}"));
+    }
+    if let Some(to) = spec.run_filter.to {
+        once_where.push(format!("created <= {to}"));
+    }
+    if !spec.run_filter.ids.is_empty() {
+        let ids: Vec<String> = spec.run_filter.ids.iter().map(i64::to_string).collect();
+        once_where.push(format!("run_id IN ({})", ids.join(", ")));
+    }
+
+    let mut once_carry = Vec::new();
+    let mut multi_carry = Vec::new();
+    for c in &spec.carry {
+        match occurrence_of(c)? {
+            Occurrence::Once => once_carry.push(c.clone()),
+            Occurrence::Multiple => multi_carry.push(c.clone()),
+        }
+    }
+    let mut once_values = Vec::new();
+    let mut multi_values = Vec::new();
+    for v in &spec.values {
+        match occurrence_of(v)? {
+            Occurrence::Once => once_values.push(v.clone()),
+            Occurrence::Multiple => multi_values.push(v.clone()),
+        }
+    }
+
+    // 1. Select matching runs (shared read access on pb_runs).
+    let mut run_cols = vec!["run_id".to_string()];
+    run_cols.extend(once_carry.iter().cloned());
+    run_cols.extend(once_values.iter().cloned());
+    let mut sql = format!("SELECT {} FROM pb_runs", run_cols.join(", "));
+    if !once_where.is_empty() {
+        sql.push_str(&format!(" WHERE {}", once_where.join(" AND ")));
+    }
+    sql.push_str(" ORDER BY run_id");
+    let runs = exp_engine.query(&sql)?;
+
+    // 2. Per run, select the matching data sets and attach the run-level
+    //    columns.
+    let params: Vec<String> = once_carry.iter().chain(&multi_carry).cloned().collect();
+    let values: Vec<String> = once_values.iter().chain(&multi_values).cloned().collect();
+    let out_cols: Vec<String> = params.iter().chain(&values).cloned().collect();
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for run_row in runs.rows() {
+        let run_id = run_row[0].as_i64().expect("run_id is INTEGER");
+        let once_vals: HashMap<&str, &Value> = run_cols
+            .iter()
+            .skip(1)
+            .zip(run_row.iter().skip(1))
+            .map(|(n, v)| (n.as_str(), v))
+            .collect();
+
+        if multi_carry.is_empty() && multi_values.is_empty() {
+            // Purely run-level data: one tuple per run.
+            let row: Vec<Value> =
+                out_cols.iter().map(|c| (*once_vals[c.as_str()]).clone()).collect();
+            rows.push(row);
+            continue;
+        }
+
+        let data_table = crate::experiment::rundata_table_name(run_id);
+        let mut dcols: Vec<String> = multi_carry.clone();
+        dcols.extend(multi_values.iter().cloned());
+        let mut dsql = format!("SELECT {} FROM {}", dcols.join(", "), data_table);
+        if !multi_where.is_empty() {
+            dsql.push_str(&format!(" WHERE {}", multi_where.join(" AND ")));
+        }
+        let data = exp_engine.query(&dsql)?;
+        for drow in data.rows() {
+            let dmap: HashMap<&str, &Value> =
+                dcols.iter().zip(drow.iter()).map(|(n, v)| (n.as_str(), v)).collect();
+            let row: Vec<Value> = out_cols
+                .iter()
+                .map(|c| {
+                    once_vals
+                        .get(c.as_str())
+                        .map(|v| (*v).clone())
+                        .or_else(|| dmap.get(c.as_str()).map(|v| (*v).clone()))
+                        .expect("column is carry or value")
+                })
+                .collect();
+            rows.push(row);
+        }
+    }
+
+    // 3. Materialise the vector, with labels from the definition.
+    let mut labels = HashMap::new();
+    for c in out_cols.iter() {
+        if let Some(var) = def.variable(c) {
+            let unit = var.unit.to_string();
+            let base = if var.synopsis.is_empty() { var.name.clone() } else { var.synopsis.clone() };
+            labels
+                .insert(c.clone(), if unit.is_empty() { base } else { format!("{base} [{unit}]") });
+        }
+    }
+    materialize(out_engine, table, &out_cols, rows)?;
+    Ok(DataVector { table: table.to_string(), params, values, labels })
+}
+
+/// Create `table` on `engine` holding `rows` under `columns`.
+pub(crate) fn materialize(
+    engine: &Engine,
+    table: &str,
+    columns: &[String],
+    rows: Vec<Vec<Value>>,
+) -> Result<()> {
+    use sqldb::{Column, DataType, Schema};
+    let mut cols = Vec::with_capacity(columns.len());
+    for (i, name) in columns.iter().enumerate() {
+        let dtype = rows
+            .iter()
+            .find_map(|r| r.get(i).and_then(Value::data_type))
+            .unwrap_or(DataType::Float);
+        cols.push(Column::new(name, dtype));
+    }
+    engine.drop_table(table, true)?;
+    engine.create_table_opts(table, Schema::new(cols)?, true, false)?;
+    engine.insert_rows(table, rows)?;
+    Ok(())
+}
+
+/// Read a vector's rows from wherever its temp table lives.
+pub(crate) fn read_vector(engine: &Engine, v: &DataVector) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    let (schema, rows) = engine.read_snapshot(&v.table)?;
+    Ok((schema.names(), rows))
+}
+
+/// Execute an operator element. `in_engine` holds the input tables,
+/// `out_engine` receives the output table (they differ in cluster mode).
+pub(crate) fn run_operator(
+    in_engine: &Engine,
+    out_engine: &Engine,
+    op: &OpKind,
+    inputs: &[(&DataVector, bool)],
+    table: &str,
+) -> Result<DataVector> {
+    match inputs {
+        [] => Err(Error::Query("operator without inputs".into())),
+        [(v, from_source)] => run_operator_single(in_engine, out_engine, op, v, *from_source, table),
+        multiple => run_operator_elementwise(in_engine, out_engine, op, multiple, table),
+    }
+}
+
+/// Single-input operator: data-set aggregation (source input), full
+/// reduction (non-source input), or row-wise transform (eval/scale/offset).
+fn run_operator_single(
+    in_engine: &Engine,
+    out_engine: &Engine,
+    op: &OpKind,
+    v: &DataVector,
+    from_source: bool,
+    table: &str,
+) -> Result<DataVector> {
+    if let Some(agg) = op.aggregate() {
+        return if from_source && !v.params.is_empty() {
+            aggregate_datasets(in_engine, out_engine, agg, v, table)
+        } else {
+            reduce_all(in_engine, out_engine, agg, v, table)
+        };
+    }
+    // Row-wise transforms keep the vector shape.
+    let (cols, rows) = read_vector(in_engine, v)?;
+    let value_idx: Vec<usize> = v
+        .values
+        .iter()
+        .map(|name| cols.iter().position(|c| c == name).expect("vector columns"))
+        .collect();
+    let mut out_rows = rows;
+    let mut out_values = v.values.clone();
+    match op {
+        OpKind::Scale(f) => {
+            for row in &mut out_rows {
+                for &i in &value_idx {
+                    if let Some(x) = row[i].as_f64() {
+                        row[i] = Value::Float(x * f);
+                    }
+                }
+            }
+        }
+        OpKind::Offset(b) => {
+            for row in &mut out_rows {
+                for &i in &value_idx {
+                    if let Some(x) = row[i].as_f64() {
+                        row[i] = Value::Float(x + b);
+                    }
+                }
+            }
+        }
+        OpKind::Eval(expr) => {
+            // New value column computed from any numeric columns.
+            let mut rows2 = Vec::with_capacity(out_rows.len());
+            for row in &out_rows {
+                let mut ctx = exprcalc::Context::new();
+                for (c, val) in cols.iter().zip(row.iter()) {
+                    if let Some(x) = val.as_f64() {
+                        ctx.set(c, x);
+                    }
+                }
+                let y = expr.eval(&ctx).map_err(crate::error::Error::from)?;
+                let mut r = row.clone();
+                r.push(Value::Float(y));
+                rows2.push(r);
+            }
+            out_rows = rows2;
+            out_values.push("eval".to_string());
+        }
+        other => {
+            return Err(Error::Query(format!(
+                "operator '{}' cannot take a single input",
+                other.name()
+            )))
+        }
+    }
+    let mut out_cols = cols;
+    if out_values.len() > v.values.len() {
+        out_cols.push("eval".to_string());
+    }
+    materialize(out_engine, table, &out_cols, out_rows)?;
+    let mut labels = v.labels.clone();
+    if let OpKind::Eval(expr) = op {
+        labels.insert("eval".into(), expr.source().to_string());
+    }
+    Ok(DataVector { table: table.to_string(), params: v.params.clone(), values: out_values, labels })
+}
+
+/// Data-set aggregation via the database (GROUP BY all parameters) — the
+/// in-database operator path the paper's §4.2 advocates.
+fn aggregate_datasets(
+    in_engine: &Engine,
+    out_engine: &Engine,
+    agg: AggKind,
+    v: &DataVector,
+    table: &str,
+) -> Result<DataVector> {
+    let aggs: Vec<String> =
+        v.values.iter().map(|c| format!("{}({c}) AS {c}", agg.name())).collect();
+    let sql = format!(
+        "SELECT {}, {} FROM {} GROUP BY {}",
+        v.params.join(", "),
+        aggs.join(", "),
+        v.table,
+        v.params.join(", "),
+    );
+    let rs = in_engine.query(&sql)?;
+    let cols: Vec<String> = rs.column_names().to_vec();
+    materialize(out_engine, table, &cols, rs.into_rows())?;
+    let mut labels = v.labels.clone();
+    for c in &v.values {
+        let base = v.label(c);
+        labels.insert(c.clone(), format!("{}({base})", agg.name()));
+    }
+    Ok(DataVector {
+        table: table.to_string(),
+        params: v.params.clone(),
+        values: v.values.clone(),
+        labels,
+    })
+}
+
+/// Reduce the whole vector to one element (mode 2 of §3.3.2).
+fn reduce_all(
+    in_engine: &Engine,
+    out_engine: &Engine,
+    agg: AggKind,
+    v: &DataVector,
+    table: &str,
+) -> Result<DataVector> {
+    let aggs: Vec<String> =
+        v.values.iter().map(|c| format!("{}({c}) AS {c}", agg.name())).collect();
+    let sql = format!("SELECT {} FROM {}", aggs.join(", "), v.table);
+    let rs = in_engine.query(&sql)?;
+    let cols: Vec<String> = rs.column_names().to_vec();
+    materialize(out_engine, table, &cols, rs.into_rows())?;
+    let mut labels = HashMap::new();
+    for c in &v.values {
+        labels.insert(c.clone(), format!("{}({})", agg.name(), v.label(c)));
+    }
+    Ok(DataVector {
+        table: table.to_string(),
+        params: Vec::new(),
+        values: v.values.clone(),
+        labels,
+    })
+}
+
+/// Element-wise operation across ≥2 vectors aligned on common parameters
+/// (mode 3 of §3.3.2).
+fn run_operator_elementwise(
+    in_engine: &Engine,
+    out_engine: &Engine,
+    op: &OpKind,
+    inputs: &[(&DataVector, bool)],
+    table: &str,
+) -> Result<DataVector> {
+    // Load every input up front so broadcast eligibility is known before
+    // the alignment key is chosen.
+    let loaded: Vec<(Vec<String>, Vec<Vec<Value>>)> = inputs
+        .iter()
+        .map(|(v, _)| read_vector(in_engine, v))
+        .collect::<Result<_>>()?;
+
+    // Broadcast rule: a vector with no parameters and a single tuple is
+    // applied against every key (e.g. comparing a sweep to one global
+    // reference number).
+    let broadcast: Vec<Option<Vec<Value>>> = inputs
+        .iter()
+        .zip(&loaded)
+        .map(|((v, _), (cols, rows))| {
+            if v.params.is_empty() && rows.len() == 1 {
+                let vidx: Vec<usize> = v
+                    .values
+                    .iter()
+                    .filter_map(|name| cols.iter().position(|c| c == name))
+                    .collect();
+                Some(vidx.iter().map(|&i| rows[0][i].clone()).collect())
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    // Alignment key: parameters common to every NON-broadcast input (the
+    // broadcast inputs join every key by definition).
+    let aligned: Vec<usize> =
+        (0..inputs.len()).filter(|&k| broadcast[k].is_none()).collect();
+    let common: Vec<String> = match aligned.first() {
+        None => Vec::new(), // all inputs broadcast: one global tuple
+        Some(&k0) => inputs[k0]
+            .0
+            .params
+            .iter()
+            .filter(|p| aligned.iter().all(|&k| inputs[k].0.params.contains(p)))
+            .cloned()
+            .collect(),
+    };
+
+    // Without an alignment key, multi-row vectors cannot be paired
+    // element-wise; silently matching arbitrary rows would fabricate data.
+    if common.is_empty() {
+        for &k in &aligned {
+            if loaded[k].1.len() > 1 {
+                return Err(Error::Query(format!(
+                    "cannot align vectors element-wise: input '{}' has {} rows but the \
+                     inputs share no parameters (aggregate it first)",
+                    inputs[k].0.table,
+                    loaded[k].1.len()
+                )));
+            }
+        }
+    }
+
+    // Key every non-broadcast input by its common-parameter tuple.
+    // key → (parameter tuple, value tuple)
+    type KeyedVector = HashMap<String, (Vec<Value>, Vec<Value>)>;
+    let mut keyed: Vec<KeyedVector> = Vec::new();
+    for ((v, _), (cols, rows)) in inputs.iter().zip(&loaded) {
+        let pidx: Vec<usize> = common
+            .iter()
+            .filter_map(|p| cols.iter().position(|c| c == p))
+            .collect();
+        let vidx: Vec<usize> = v
+            .values
+            .iter()
+            .filter_map(|name| cols.iter().position(|c| c == name))
+            .collect();
+        let mut map = HashMap::new();
+        for row in rows {
+            let key = pidx.iter().map(|&i| canon_key(&row[i])).collect::<Vec<_>>().join("\u{1}");
+            let pvals: Vec<Value> = pidx.iter().map(|&i| row[i].clone()).collect();
+            let vvals: Vec<Value> = vidx.iter().map(|&i| row[i].clone()).collect();
+            // Duplicate keys: last one wins (operators normally follow an
+            // aggregation step, which makes keys unique).
+            map.insert(key, (pvals, vvals));
+        }
+        keyed.push(map);
+    }
+
+    // The driver supplies the keys (and parameter tuples): the first
+    // non-broadcast input, or input 0 when everything broadcasts.
+    let driver = aligned.first().copied().unwrap_or(0);
+    let first = inputs[0].0;
+
+    let out_value_name = match op {
+        OpKind::Eval(_) => "eval".to_string(),
+        other => other.name().to_string(),
+    };
+    let mut out_rows = Vec::new();
+    'keys: for (key, (pvals, driver_vals)) in &keyed[driver] {
+        // Gather the aligned first value of every input.
+        let mut operands: Vec<f64> = Vec::with_capacity(inputs.len());
+        let mut named: exprcalc::Context = exprcalc::Context::new();
+        for (slot, ((v, _), map)) in inputs.iter().zip(&keyed).enumerate() {
+            let vals = if slot == driver {
+                driver_vals.clone()
+            } else if let Some(b) = &broadcast[slot] {
+                b.clone()
+            } else {
+                match map.get(key) {
+                    Some((_, vals)) => vals.clone(),
+                    None => continue 'keys, // inner-join semantics
+                }
+            };
+            let x = vals
+                .first()
+                .and_then(Value::as_f64)
+                .ok_or_else(|| Error::Query("element-wise operator needs numeric values".into()))?;
+            operands.push(x);
+            // For eval: expose every value column, suffixed by position when
+            // names collide across inputs.
+            for (name, val) in v.values.iter().zip(&vals) {
+                if let Some(f) = val.as_f64() {
+                    let unique = inputs
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, (w, _))| *k != slot && w.values.contains(name))
+                        .count()
+                        == 0;
+                    if unique {
+                        named.set(name, f);
+                    }
+                    named.set(&format!("{name}_{}", slot + 1), f);
+                }
+            }
+        }
+        // Parameters are numeric context too (chunk sizes etc.).
+        for (p, val) in common.iter().zip(pvals) {
+            if let Some(f) = val.as_f64() {
+                named.set(p, f);
+            }
+        }
+
+        let y = apply_elementwise(op, &operands, &named)?;
+        let mut row = pvals.clone();
+        row.push(Value::Float(y));
+        out_rows.push(row);
+    }
+
+    let mut out_cols = common.clone();
+    out_cols.push(out_value_name.clone());
+    materialize(out_engine, table, &out_cols, out_rows)?;
+
+    let mut labels: HashMap<String, String> = HashMap::new();
+    for p in &common {
+        labels.insert(p.clone(), first.label(p));
+    }
+    let lname = first.values.first().map(|c| first.label(c)).unwrap_or_default();
+    let rname = inputs
+        .get(1)
+        .and_then(|(v, _)| v.values.first().map(|c| v.label(c)))
+        .unwrap_or_default();
+    let label = match op {
+        OpKind::Diff => format!("{lname} - {rname}"),
+        OpKind::Div => format!("{lname} / {rname}"),
+        OpKind::PercentOf => format!("{lname} as % of {rname}"),
+        OpKind::Above => format!("{lname} relative to {rname} [%]"),
+        OpKind::Below => format!("{lname} below {rname} [%]"),
+        OpKind::Eval(e) => e.source().to_string(),
+        other => format!("{}({lname}, …)", other.name()),
+    };
+    labels.insert(out_value_name.clone(), label);
+
+    Ok(DataVector {
+        table: table.to_string(),
+        params: common,
+        values: vec![out_value_name],
+        labels,
+    })
+}
+
+fn apply_elementwise(op: &OpKind, xs: &[f64], named: &exprcalc::Context) -> Result<f64> {
+    let binary = |f: fn(f64, f64) -> f64| -> Result<f64> {
+        if xs.len() != 2 {
+            return Err(Error::Query(format!(
+                "operator '{}' needs exactly two inputs",
+                op.name()
+            )));
+        }
+        Ok(f(xs[0], xs[1]))
+    };
+    match op {
+        OpKind::Diff => binary(|a, b| a - b),
+        OpKind::Div => binary(|a, b| a / b),
+        OpKind::PercentOf => binary(|a, b| a / b * 100.0),
+        OpKind::Above => binary(|a, b| (a / b - 1.0) * 100.0),
+        OpKind::Below => binary(|a, b| (1.0 - a / b) * 100.0),
+        OpKind::Min => Ok(xs.iter().copied().fold(f64::INFINITY, f64::min)),
+        OpKind::Max => Ok(xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+        OpKind::Sum => Ok(xs.iter().sum()),
+        OpKind::Prod => Ok(xs.iter().product()),
+        OpKind::Avg => Ok(xs.iter().sum::<f64>() / xs.len() as f64),
+        OpKind::Median => {
+            let mut v: Vec<f64> = xs.to_vec();
+            v.sort_by(f64::total_cmp);
+            let n = v.len();
+            Ok(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
+        }
+        OpKind::Scale(f) => Ok(xs[0] * f),
+        OpKind::Offset(b) => Ok(xs[0] + b),
+        OpKind::Eval(e) => Ok(e.eval(named)?),
+        other => Err(Error::Query(format!(
+            "operator '{}' is not element-wise",
+            other.name()
+        ))),
+    }
+}
+
+fn canon_key(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("t:{s}"),
+        Value::Null => "null".to_string(),
+        other => format!("n:{}", other.as_f64().unwrap_or(f64::NAN)),
+    }
+}
+
+/// Execute a combiner element (paper §3.3.3): align two vectors on their
+/// shared parameters; all result values of both pass through, duplicate
+/// parameters are removed, colliding value names are suffixed.
+pub(crate) fn run_combiner(
+    in_engine: &Engine,
+    out_engine: &Engine,
+    spec: &CombinerSpec,
+    left: &DataVector,
+    right: &DataVector,
+    table: &str,
+) -> Result<DataVector> {
+    let common: Vec<String> =
+        left.params.iter().filter(|p| right.params.contains(p)).cloned().collect();
+
+    let (lcols, lrows) = read_vector(in_engine, left)?;
+    let (rcols, rrows) = read_vector(in_engine, right)?;
+
+    let idx = |cols: &[String], name: &str| cols.iter().position(|c| c == name);
+    let lkey: Vec<usize> = common.iter().map(|p| idx(&lcols, p).expect("common")).collect();
+    let rkey: Vec<usize> = common.iter().map(|p| idx(&rcols, p).expect("common")).collect();
+
+    // Rename colliding value columns.
+    let rename = |name: &str, from_left: bool| -> String {
+        let collides = left.values.contains(&name.to_string())
+            && right.values.contains(&name.to_string());
+        if collides {
+            format!(
+                "{name}{}",
+                if from_left { &spec.suffix_left } else { &spec.suffix_right }
+            )
+        } else {
+            name.to_string()
+        }
+    };
+
+    // Output layout: common params, left-only params, right-only params,
+    // left values, right values.
+    let mut out_params = common.clone();
+    let lonly: Vec<String> =
+        left.params.iter().filter(|p| !common.contains(p)).cloned().collect();
+    let ronly: Vec<String> =
+        right.params.iter().filter(|p| !common.contains(p)).cloned().collect();
+    out_params.extend(lonly.iter().cloned());
+    out_params.extend(ronly.iter().cloned());
+    let lvals_out: Vec<String> = left.values.iter().map(|v| rename(v, true)).collect();
+    let rvals_out: Vec<String> = right.values.iter().map(|v| rename(v, false)).collect();
+    let mut out_cols = out_params.clone();
+    out_cols.extend(lvals_out.iter().cloned());
+    out_cols.extend(rvals_out.iter().cloned());
+
+    // Hash-join right side by common key.
+    let mut rmap: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
+    for row in &rrows {
+        let key = rkey.iter().map(|&i| canon_key(&row[i])).collect::<Vec<_>>().join("\u{1}");
+        rmap.entry(key).or_default().push(row);
+    }
+
+    let mut out_rows = Vec::new();
+    for lrow in &lrows {
+        let key = lkey.iter().map(|&i| canon_key(&lrow[i])).collect::<Vec<_>>().join("\u{1}");
+        let Some(matches) = rmap.get(&key) else { continue };
+        for rrow in matches {
+            let mut row: Vec<Value> = Vec::with_capacity(out_cols.len());
+            for p in &common {
+                row.push(lrow[idx(&lcols, p).expect("common")].clone());
+            }
+            for p in &lonly {
+                row.push(lrow[idx(&lcols, p).expect("lonly")].clone());
+            }
+            for p in &ronly {
+                row.push(rrow[idx(&rcols, p).expect("ronly")].clone());
+            }
+            for v in &left.values {
+                row.push(lrow[idx(&lcols, v).expect("lval")].clone());
+            }
+            for v in &right.values {
+                row.push(rrow[idx(&rcols, v).expect("rval")].clone());
+            }
+            out_rows.push(row);
+        }
+    }
+
+    materialize(out_engine, table, &out_cols, out_rows)?;
+
+    let mut labels = HashMap::new();
+    for p in &out_params {
+        let l = left.labels.get(p).or_else(|| right.labels.get(p));
+        if let Some(l) = l {
+            labels.insert(p.clone(), l.clone());
+        }
+    }
+    for (orig, renamed) in left.values.iter().zip(&lvals_out) {
+        let mut label = left.label(orig);
+        if renamed != orig {
+            label.push_str(&format!(" [{}]", spec.suffix_left.trim_start_matches('_')));
+        }
+        labels.insert(renamed.clone(), label);
+    }
+    for (orig, renamed) in right.values.iter().zip(&rvals_out) {
+        let mut label = right.label(orig);
+        if renamed != orig {
+            label.push_str(&format!(" [{}]", spec.suffix_right.trim_start_matches('_')));
+        }
+        labels.insert(renamed.clone(), label);
+    }
+    let mut out_values = lvals_out;
+    out_values.extend(rvals_out);
+    Ok(DataVector { table: table.to_string(), params: out_params, values: out_values, labels })
+}
+
+/// Execute an output element: render every input vector in the requested
+/// format (paper §3.3.4).
+pub(crate) fn run_output(
+    in_engine: &Engine,
+    spec: &OutputSpec,
+    inputs: &[&DataVector],
+) -> Result<String> {
+    let mut parts = Vec::with_capacity(inputs.len());
+    for v in inputs {
+        let (cols, mut rows) = read_vector(in_engine, v)?;
+        // Deterministic presentation: sort by parameter columns.
+        let pidx: Vec<usize> = v
+            .params
+            .iter()
+            .filter_map(|p| cols.iter().position(|c| c == p))
+            .collect();
+        rows.sort_by(|a, b| {
+            for &i in &pidx {
+                let ord = a[i].total_cmp(&b[i]);
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        parts.push(output::render(spec, v, &cols, &rows)?);
+    }
+    Ok(parts.join("\n"))
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentDef, Meta, Variable, VarKind};
+    use crate::query::spec::query_from_str;
+    use sqldb::DataType;
+    use std::sync::Arc;
+
+    /// Small experiment: technique × chunk, bandwidth values, 2 runs per
+    /// configuration with controlled numbers.
+    pub(crate) fn seeded_db() -> ExperimentDb {
+        let mut def = ExperimentDef::new(Meta { name: "t".into(), ..Meta::default() }, "u");
+        def.add_variable(
+            Variable::new("technique", VarKind::Parameter, DataType::Text).once(),
+        )
+        .unwrap();
+        def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int)).unwrap();
+        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        let db = ExperimentDb::create(Arc::new(Engine::new()), def).unwrap();
+
+        // old: bw = chunk/100 + rep   new: bw = chunk/50 + rep (better)
+        for technique in ["old", "new"] {
+            for rep in 0..2 {
+                let once: HashMap<String, Value> =
+                    [("technique".to_string(), Value::Text(technique.into()))].into();
+                let datasets: Vec<HashMap<String, Value>> = [100i64, 200, 400]
+                    .iter()
+                    .map(|&chunk| {
+                        let factor = if technique == "old" { 100.0 } else { 50.0 };
+                        [
+                            ("chunk".to_string(), Value::Int(chunk)),
+                            (
+                                "bw".to_string(),
+                                Value::Float(chunk as f64 / factor + rep as f64),
+                            ),
+                        ]
+                        .into()
+                    })
+                    .collect();
+                db.add_run(&once, &datasets, 1000 + rep).unwrap();
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn source_retrieves_filtered_tuples() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q"><source id="s">
+                 <parameter name="technique" value="old"/>
+                 <parameter name="chunk" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <output id="o" input="s" format="csv"/></query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        let v = &out.vectors["s"];
+        assert_eq!(v.params, vec!["chunk"]);
+        assert_eq!(v.values, vec!["bw"]);
+        // 2 runs × 3 chunks.
+        let csv = &out.artifacts["o"];
+        assert_eq!(csv.lines().count(), 1 + 6);
+    }
+
+    #[test]
+    fn dataset_aggregation_mode() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q"><source id="s">
+                 <parameter name="technique" value="old"/>
+                 <parameter name="chunk" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <operator id="m" type="max" input="s"/>
+               <output id="o" input="m" format="csv"/></query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        // Aggregated over runs: 3 rows (one per chunk), max of rep 0/1 = +1.
+        let csv = &out.artifacts["o"];
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 3);
+        assert!(lines[1].starts_with("100,"));
+        assert!(lines[1].contains("2")); // 100/100 + 1
+    }
+
+    #[test]
+    fn full_reduction_mode() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q"><source id="s">
+                 <parameter name="technique" value="old"/>
+                 <parameter name="chunk" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <operator id="m" type="max" input="s"/>
+               <operator id="g" type="max" input="m"/>
+               <output id="o" input="g" format="csv"/></query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        let v = &out.vectors["g"];
+        assert!(v.params.is_empty());
+        let csv = &out.artifacts["o"];
+        assert_eq!(csv.lines().count(), 2); // header + single reduced row
+        assert!(csv.lines().nth(1).unwrap().starts_with("5")); // 400/100+1
+    }
+
+    #[test]
+    fn fig7_pipeline_relative_difference() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q">
+              <source id="s_old">
+                <parameter name="technique" value="old"/>
+                <parameter name="chunk" carry="true"/>
+                <value name="bw"/>
+              </source>
+              <source id="s_new">
+                <parameter name="technique" value="new"/>
+                <parameter name="chunk" carry="true"/>
+                <value name="bw"/>
+              </source>
+              <operator id="max_old" type="max" input="s_old"/>
+              <operator id="max_new" type="max" input="s_new"/>
+              <operator id="rel" type="above" input="max_new,max_old"/>
+              <output id="o" input="rel" format="csv"/>
+            </query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        let v = &out.vectors["rel"];
+        assert_eq!(v.params, vec!["chunk"]);
+        let (cols, rows) = {
+            let csv = &out.artifacts["o"];
+            let mut lines = csv.lines();
+            let cols: Vec<String> = lines.next().unwrap().split(',').map(str::to_string).collect();
+            let rows: Vec<Vec<String>> = lines
+                .map(|l| l.split(',').map(str::to_string).collect())
+                .collect();
+            (cols, rows)
+        };
+        assert_eq!(cols, vec!["chunk", "above"]);
+        assert_eq!(rows.len(), 3);
+        // chunk=400: old max = 5, new max = 9 → (9/5-1)*100 = 80%
+        let r400 = rows.iter().find(|r| r[0] == "400").unwrap();
+        let pct: f64 = r400[1].parse().unwrap();
+        assert!((pct - 80.0).abs() < 1e-9, "{pct}");
+    }
+
+    #[test]
+    fn eval_operator_single_input() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q"><source id="s">
+                 <parameter name="technique" value="old"/>
+                 <parameter name="chunk" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <operator id="m" type="avg" input="s"/>
+               <operator id="e" type="eval" input="m" arg="bw * 8"/>
+               <output id="o" input="e" format="csv"/></query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        let v = &out.vectors["e"];
+        assert!(v.values.contains(&"eval".to_string()));
+        // avg over reps of chunk 100 = (1.0 + 2.0)/2 = 1.5; ×8 = 12
+        let csv = &out.artifacts["o"];
+        let line = csv.lines().find(|l| l.starts_with("100,")).unwrap();
+        assert!(line.ends_with("12") || line.contains("12"), "{line}");
+    }
+
+    #[test]
+    fn scale_and_offset() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q"><source id="s">
+                 <parameter name="technique" value="old"/>
+                 <parameter name="chunk" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <operator id="a" type="avg" input="s"/>
+               <operator id="x" type="scale" input="a" arg="2"/>
+               <operator id="y" type="offset" input="x" arg="-1"/>
+               <output id="o" input="y" format="csv"/></query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        let csv = &out.artifacts["o"];
+        // chunk 100: avg 1.5 → ×2 = 3 → -1 = 2
+        let line = csv.lines().find(|l| l.starts_with("100,")).unwrap();
+        let val: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+        assert!((val - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combiner_merges_vectors() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q">
+              <source id="s_old">
+                <parameter name="technique" value="old"/>
+                <parameter name="chunk" carry="true"/>
+                <value name="bw"/>
+              </source>
+              <source id="s_new">
+                <parameter name="technique" value="new"/>
+                <parameter name="chunk" carry="true"/>
+                <value name="bw"/>
+              </source>
+              <operator id="m1" type="avg" input="s_old"/>
+              <operator id="m2" type="avg" input="s_new"/>
+              <combiner id="c" input="m1,m2" suffixes="_old,_new"/>
+              <output id="o" input="c" format="csv"/>
+            </query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        let v = &out.vectors["c"];
+        assert_eq!(v.params, vec!["chunk"]);
+        assert_eq!(v.values, vec!["bw_old", "bw_new"]);
+        let csv = &out.artifacts["o"];
+        assert_eq!(csv.lines().next().unwrap(), "chunk,bw_old,bw_new");
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn timings_cover_all_elements() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q"><source id="s">
+                 <parameter name="chunk" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <operator id="a" type="avg" input="s"/>
+               <output id="o" input="a" format="ascii"/></query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        assert_eq!(out.timings.len(), 3);
+        let frac = out.source_time_fraction();
+        assert!((0.0..=1.0).contains(&frac));
+    }
+
+    #[test]
+    fn temp_tables_cleaned_up() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="clean"><source id="s">
+                 <parameter name="chunk" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <output id="o" input="s" format="ascii"/></query>"#,
+        )
+        .unwrap();
+        QueryRunner::new(&db).run(q).unwrap();
+        assert!(db.engine().temp_table_names().is_empty());
+        assert!(!db.engine().has_table("pb_tmp_clean_s"));
+    }
+
+    #[test]
+    fn run_id_filter() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q"><source id="s">
+                 <run ids="1"/>
+                 <parameter name="chunk" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <output id="o" input="s" format="csv"/></query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        assert_eq!(out.artifacts["o"].lines().count(), 1 + 3); // one run only
+    }
+
+    #[test]
+    fn time_window_filter() {
+        let db = seeded_db();
+        // Runs were created at 1000 and 1001; restrict to created >= 1001.
+        let mut q = query_from_str(
+            r#"<query name="q"><source id="s">
+                 <parameter name="chunk" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <output id="o" input="s" format="csv"/></query>"#,
+        )
+        .unwrap();
+        if let ElementKind::Source(s) = &mut q.elements[0].kind {
+            s.run_filter.from = Some(1001);
+        }
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        // 2 techniques × 1 run × 3 chunks
+        assert_eq!(out.artifacts["o"].lines().count(), 1 + 6);
+    }
+
+    #[test]
+    fn in_filter() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q"><source id="s">
+                 <parameter name="technique" op="in" value="old,new"/>
+                 <parameter name="chunk" op="ge" value="200" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <output id="o" input="s" format="csv"/></query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        // 4 runs × 2 chunks (200, 400)
+        assert_eq!(out.artifacts["o"].lines().count(), 1 + 8);
+    }
+
+    #[test]
+    fn elementwise_without_shared_params_needs_aggregation() {
+        let db = seeded_db();
+        // Two raw multi-row source vectors aligned only on... nothing:
+        // one side is reduced, the other is not, and the carries differ.
+        let q = query_from_str(
+            r#"<query name="q">
+              <source id="a">
+                <parameter name="technique" value="old"/>
+                <parameter name="chunk" carry="true"/>
+                <value name="bw"/>
+              </source>
+              <source id="b">
+                <parameter name="technique" value="new"/>
+                <value name="bw"/>
+              </source>
+              <operator id="d" type="diff" input="a,b"/>
+              <output id="o" input="d" format="csv"/>
+            </query>"#,
+        )
+        .unwrap();
+        let err = QueryRunner::new(&db).run(q).unwrap_err();
+        assert!(err.to_string().contains("aggregate it first"), "{err}");
+    }
+
+    #[test]
+    fn broadcast_against_global_reference() {
+        let db = seeded_db();
+        // Reduce one side to a single global number, then compare the whole
+        // sweep against it (percentof with a broadcast input).
+        let q = query_from_str(
+            r#"<query name="q">
+              <source id="sweep">
+                <parameter name="technique" value="old"/>
+                <parameter name="chunk" carry="true"/>
+                <value name="bw"/>
+              </source>
+              <operator id="per_chunk" type="max" input="sweep"/>
+              <source id="refsrc">
+                <parameter name="technique" value="old"/>
+                <parameter name="chunk" carry="true"/>
+                <value name="bw"/>
+              </source>
+              <operator id="agg" type="max" input="refsrc"/>
+              <operator id="best" type="max" input="agg"/>
+              <operator id="pct" type="percentof" input="per_chunk,best"/>
+              <output id="o" input="pct" format="csv"/>
+            </query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        let csv = &out.artifacts["o"];
+        // Global max is 5 (chunk 400, rep 1). percentof: chunk 400 → 100%.
+        let line = csv.lines().find(|l| l.starts_with("400,")).unwrap();
+        let pct: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+        assert!((pct - 100.0).abs() < 1e-9);
+        // chunk 100 → max 2 → 40% of 5.
+        let line = csv.lines().find(|l| l.starts_with("100,")).unwrap();
+        let pct: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+        assert!((pct - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combiner_without_shared_params_cross_joins_single_rows() {
+        let db = seeded_db();
+        // Combine two fully-reduced single-row vectors: the only sensible
+        // alignment is the cross product of the 1×1 rows.
+        let q = query_from_str(
+            r#"<query name="q">
+              <source id="a">
+                <parameter name="technique" value="old"/>
+                <parameter name="chunk" carry="true"/>
+                <value name="bw"/>
+              </source>
+              <source id="b">
+                <parameter name="technique" value="new"/>
+                <parameter name="chunk" carry="true"/>
+                <value name="bw"/>
+              </source>
+              <operator id="ra" type="avg" input="a"/>
+              <operator id="ga" type="max" input="ra"/>
+              <operator id="rb" type="avg" input="b"/>
+              <operator id="gb" type="max" input="rb"/>
+              <combiner id="c" input="ga,gb" suffixes="_old,_new"/>
+              <output id="o" input="c" format="csv"/>
+            </query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        let csv = &out.artifacts["o"];
+        assert_eq!(csv.lines().next().unwrap(), "bw_old,bw_new");
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn median_operator_dataset_aggregation() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q"><source id="s">
+                 <parameter name="technique" value="old"/>
+                 <parameter name="chunk" carry="true"/>
+                 <value name="bw"/>
+               </source>
+               <operator id="m" type="median" input="s"/>
+               <output id="o" input="m" format="csv"/></query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        // chunk 100: values 1.0 and 2.0 over the two reps → median 1.5.
+        let line = out.artifacts["o"].lines().find(|l| l.starts_with("100,")).unwrap();
+        let m: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+        assert!((m - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_variable_in_source_errors() {
+        let db = seeded_db();
+        let q = query_from_str(
+            r#"<query name="q"><source id="s"><value name="zzz"/></source>
+               <output id="o" input="s"/></query>"#,
+        )
+        .unwrap();
+        assert!(QueryRunner::new(&db).run(q).is_err());
+    }
+}

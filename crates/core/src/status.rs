@@ -1,0 +1,328 @@
+//! Experiment status retrieval (paper §3.4): list runs by criteria, show
+//! variable content, and find holes in a parameter sweep.
+
+use crate::error::{Error, Result};
+use crate::experiment::{ExperimentDb, Occurrence, RunSummary, Variable};
+use crate::query::exec::sql_literal;
+use sqldb::Value;
+use std::collections::BTreeMap;
+
+/// Criteria for listing runs.
+#[derive(Debug, Clone, Default)]
+pub struct RunCriteria {
+    /// Only runs whose once-parameter equals this content,
+    /// e.g. `("fs", "ufs")`.
+    pub parameter_equals: Vec<(String, String)>,
+    /// Only runs imported at or after this time.
+    pub since: Option<i64>,
+    /// Only runs imported at or before this time.
+    pub until: Option<i64>,
+}
+
+/// List runs matching `criteria`.
+pub fn list_runs(db: &ExperimentDb, criteria: &RunCriteria) -> Result<Vec<RunSummary>> {
+    let def = db.definition();
+    let mut clauses = Vec::new();
+    for (name, raw) in &criteria.parameter_equals {
+        let var = def
+            .variable(name)
+            .ok_or_else(|| Error::Query(format!("unknown parameter '{name}'")))?;
+        if var.occurrence != Occurrence::Once {
+            return Err(Error::Query(format!(
+                "'{name}' is a data-set variable; list criteria use run-constant parameters"
+            )));
+        }
+        clauses.push(format!("{name} = {}", sql_literal(&var.parse_content(raw)?)));
+    }
+    if let Some(s) = criteria.since {
+        clauses.push(format!("created >= {s}"));
+    }
+    if let Some(u) = criteria.until {
+        clauses.push(format!("created <= {u}"));
+    }
+    let mut sql = "SELECT run_id FROM pb_runs".to_string();
+    if !clauses.is_empty() {
+        sql.push_str(&format!(" WHERE {}", clauses.join(" AND ")));
+    }
+    sql.push_str(" ORDER BY run_id");
+    let rs = db.engine().query(&sql)?;
+    rs.rows()
+        .iter()
+        .filter_map(|r| r[0].as_i64())
+        .map(|id| db.run_summary(id))
+        .collect()
+}
+
+/// The distinct contents a once-parameter has taken across all runs.
+pub fn observed_values(db: &ExperimentDb, parameter: &str) -> Result<Vec<Value>> {
+    let def = db.definition();
+    let var = def
+        .variable(parameter)
+        .ok_or_else(|| Error::Query(format!("unknown parameter '{parameter}'")))?;
+    match var.occurrence {
+        Occurrence::Once => {
+            let rs = db.engine().query(&format!(
+                "SELECT DISTINCT {parameter} FROM pb_runs ORDER BY {parameter}"
+            ))?;
+            Ok(rs.rows().iter().map(|r| r[0].clone()).collect())
+        }
+        Occurrence::Multiple => {
+            // Union over every run's data table.
+            let mut seen: BTreeMap<String, Value> = BTreeMap::new();
+            for id in db.run_ids()? {
+                let rs = db.engine().query(&format!(
+                    "SELECT DISTINCT {parameter} FROM {}",
+                    crate::experiment::rundata_table_name(id)
+                ))?;
+                for r in rs.rows() {
+                    seen.insert(format!("{}", r[0]), r[0].clone());
+                }
+            }
+            Ok(seen.into_values().collect())
+        }
+    }
+}
+
+/// A hole in a parameter sweep: a combination of parameter contents with no
+/// stored run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepHole {
+    /// `(parameter, content)` pairs of the missing combination.
+    pub combination: Vec<(String, Value)>,
+}
+
+/// Find combinations of the given once-parameters that have **no** run —
+/// "this allows to determine which parameter settings might still be
+/// missing for a parameter sweep" (§3.4). The candidate grid is the cross
+/// product of the values each parameter was observed with.
+pub fn missing_sweep_points(db: &ExperimentDb, parameters: &[&str]) -> Result<Vec<SweepHole>> {
+    if parameters.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut axes: Vec<Vec<Value>> = Vec::with_capacity(parameters.len());
+    for p in parameters {
+        let vals = observed_values(db, p)?;
+        if vals.is_empty() {
+            return Ok(Vec::new()); // no data at all: nothing meaningful to report
+        }
+        axes.push(vals);
+    }
+
+    let mut holes = Vec::new();
+    let mut index = vec![0usize; parameters.len()];
+    'grid: loop {
+        let combination: Vec<(String, Value)> = parameters
+            .iter()
+            .zip(&index)
+            .zip(&axes)
+            .map(|((p, &i), axis)| (p.to_string(), axis[i].clone()))
+            .collect();
+
+        let clauses: Vec<String> = combination
+            .iter()
+            .map(|(p, v)| {
+                if v.is_null() {
+                    format!("{p} IS NULL")
+                } else {
+                    format!("{p} = {}", sql_literal(v))
+                }
+            })
+            .collect();
+        let rs = db.engine().query(&format!(
+            "SELECT count(*) FROM pb_runs WHERE {}",
+            clauses.join(" AND ")
+        ))?;
+        if rs.rows()[0][0].as_i64() == Some(0) {
+            holes.push(SweepHole { combination });
+        }
+
+        // Advance the mixed-radix counter.
+        for k in (0..index.len()).rev() {
+            index[k] += 1;
+            if index[k] < axes[k].len() {
+                continue 'grid;
+            }
+            index[k] = 0;
+            if k == 0 {
+                break 'grid;
+            }
+        }
+    }
+    Ok(holes)
+}
+
+/// Render a human-readable experiment summary (the `perfbase info`
+/// command).
+pub fn experiment_info(db: &ExperimentDb) -> Result<String> {
+    let def = db.definition();
+    let runs = db.run_ids()?;
+    let mut out = String::new();
+    out.push_str(&format!("experiment: {}\n", def.meta.name));
+    if !def.meta.synopsis.is_empty() {
+        out.push_str(&format!("synopsis:   {}\n", def.meta.synopsis));
+    }
+    if !def.meta.project.is_empty() {
+        out.push_str(&format!("project:    {}\n", def.meta.project));
+    }
+    if !def.meta.performed_by.name.is_empty() {
+        out.push_str(&format!(
+            "author:     {} ({})\n",
+            def.meta.performed_by.name, def.meta.performed_by.organization
+        ));
+    }
+    out.push_str(&format!("runs:       {}\n", runs.len()));
+    out.push_str("variables:\n");
+    for v in &def.variables {
+        out.push_str(&format!("  {}\n", describe_variable(v)));
+    }
+    out.push_str("users:\n");
+    for (u, l) in &def.users {
+        out.push_str(&format!("  {u} [{}]\n", l.name()));
+    }
+    Ok(out)
+}
+
+/// One-line description of a variable.
+pub fn describe_variable(v: &Variable) -> String {
+    let kind = match v.kind {
+        crate::experiment::VarKind::Parameter => "parameter",
+        crate::experiment::VarKind::ResultValue => "result",
+    };
+    let occ = match v.occurrence {
+        Occurrence::Once => "once",
+        Occurrence::Multiple => "multiple",
+    };
+    let unit = v.unit.to_string();
+    let mut s = format!(
+        "{:<12} {kind:<9} {occ:<8} {}",
+        v.name,
+        crate::xmldef::datatype_name(v.datatype)
+    );
+    if !unit.is_empty() {
+        s.push_str(&format!(" [{unit}]"));
+    }
+    if !v.synopsis.is_empty() {
+        s.push_str(&format!(" — {}", v.synopsis));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentDef, Meta, VarKind};
+    use sqldb::{DataType, Engine};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn db() -> ExperimentDb {
+        let mut def = ExperimentDef::new(Meta { name: "sweep".into(), ..Meta::default() }, "u");
+        def.add_variable(Variable::new("fs", VarKind::Parameter, DataType::Text).once()).unwrap();
+        def.add_variable(Variable::new("nodes", VarKind::Parameter, DataType::Int).once())
+            .unwrap();
+        def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int)).unwrap();
+        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        let db = ExperimentDb::create(Arc::new(Engine::new()), def).unwrap();
+        // Sweep fs × nodes, but leave (nfs, 8) unmeasured.
+        for (fs, nodes, t) in [("ufs", 4, 10), ("ufs", 8, 20), ("nfs", 4, 30)] {
+            let once: HashMap<String, Value> = [
+                ("fs".to_string(), Value::Text(fs.into())),
+                ("nodes".to_string(), Value::Int(nodes)),
+            ]
+            .into();
+            let ds: HashMap<String, Value> = [
+                ("chunk".to_string(), Value::Int(1024)),
+                ("bw".to_string(), Value::Float(nodes as f64 * 10.0)),
+            ]
+            .into();
+            db.add_run(&once, &[ds], t).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn list_all_runs() {
+        let db = db();
+        let runs = list_runs(&db, &RunCriteria::default()).unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].run_id, 1);
+    }
+
+    #[test]
+    fn list_by_parameter() {
+        let db = db();
+        let c = RunCriteria {
+            parameter_equals: vec![("fs".into(), "ufs".into())],
+            ..RunCriteria::default()
+        };
+        let runs = list_runs(&db, &c).unwrap();
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn list_by_time_window() {
+        let db = db();
+        let c = RunCriteria { since: Some(15), until: Some(25), ..RunCriteria::default() };
+        let runs = list_runs(&db, &c).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].run_id, 2);
+    }
+
+    #[test]
+    fn list_rejects_dataset_variable() {
+        let db = db();
+        let c = RunCriteria {
+            parameter_equals: vec![("chunk".into(), "1024".into())],
+            ..RunCriteria::default()
+        };
+        assert!(list_runs(&db, &c).is_err());
+    }
+
+    #[test]
+    fn observed_values_once_and_multiple() {
+        let db = db();
+        let fs = observed_values(&db, "fs").unwrap();
+        assert_eq!(fs.len(), 2);
+        let chunk = observed_values(&db, "chunk").unwrap();
+        assert_eq!(chunk, vec![Value::Int(1024)]);
+    }
+
+    #[test]
+    fn sweep_hole_detected() {
+        let db = db();
+        let holes = missing_sweep_points(&db, &["fs", "nodes"]).unwrap();
+        assert_eq!(holes.len(), 1);
+        let combo = &holes[0].combination;
+        assert!(combo.contains(&("fs".to_string(), Value::Text("nfs".into()))));
+        assert!(combo.contains(&("nodes".to_string(), Value::Int(8))));
+    }
+
+    #[test]
+    fn no_holes_when_grid_complete() {
+        let db = db();
+        // Fill the hole.
+        let once: HashMap<String, Value> = [
+            ("fs".to_string(), Value::Text("nfs".into())),
+            ("nodes".to_string(), Value::Int(8)),
+        ]
+        .into();
+        db.add_run(&once, &[], 40).unwrap();
+        assert!(missing_sweep_points(&db, &["fs", "nodes"]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn info_rendering() {
+        let db = db();
+        let info = experiment_info(&db).unwrap();
+        assert!(info.contains("experiment: sweep"));
+        assert!(info.contains("runs:       3"));
+        assert!(info.contains("bw"));
+        assert!(info.contains("u [admin]"));
+    }
+
+    #[test]
+    fn empty_sweep_list() {
+        let db = db();
+        assert!(missing_sweep_points(&db, &[]).unwrap().is_empty());
+    }
+}

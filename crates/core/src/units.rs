@@ -1,0 +1,352 @@
+//! Physical/logical units of experiment variables (paper §3.1, Fig. 5).
+//!
+//! Every parameter and result value carries a unit built from *base units*
+//! with an optional SI *scaling* prefix, optionally composed as a fraction
+//! (`<dividend>`/`<divisor>`), e.g. bandwidth =
+//! `Mega·byte / s` → rendered `MB/s`. "Units are defined such that they can
+//! be converted correctly" — two units of the same dimension convert by a
+//! pure scale factor.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use xmlite::Element;
+
+/// SI (and binary) scaling prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scaling {
+    /// 10⁻⁹
+    Nano,
+    /// 10⁻⁶
+    Micro,
+    /// 10⁻³
+    Milli,
+    /// 10⁰ (default)
+    #[default]
+    One,
+    /// 10³
+    Kilo,
+    /// 10⁶
+    Mega,
+    /// 10⁹
+    Giga,
+    /// 10¹²
+    Tera,
+    /// 2¹⁰
+    Kibi,
+    /// 2²⁰
+    Mebi,
+    /// 2³⁰
+    Gibi,
+}
+
+impl Scaling {
+    /// Multiplicative factor relative to the unscaled unit.
+    pub fn factor(&self) -> f64 {
+        match self {
+            Scaling::Nano => 1e-9,
+            Scaling::Micro => 1e-6,
+            Scaling::Milli => 1e-3,
+            Scaling::One => 1.0,
+            Scaling::Kilo => 1e3,
+            Scaling::Mega => 1e6,
+            Scaling::Giga => 1e9,
+            Scaling::Tera => 1e12,
+            Scaling::Kibi => 1024.0,
+            Scaling::Mebi => 1024.0 * 1024.0,
+            Scaling::Gibi => 1024.0 * 1024.0 * 1024.0,
+        }
+    }
+
+    /// Symbol used when rendering (`M` in `MB/s`).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Scaling::Nano => "n",
+            Scaling::Micro => "u",
+            Scaling::Milli => "m",
+            Scaling::One => "",
+            Scaling::Kilo => "K",
+            Scaling::Mega => "M",
+            Scaling::Giga => "G",
+            Scaling::Tera => "T",
+            Scaling::Kibi => "Ki",
+            Scaling::Mebi => "Mi",
+            Scaling::Gibi => "Gi",
+        }
+    }
+
+    /// Parse a `<scaling>` element's text (case-insensitive name or symbol).
+    pub fn parse(s: &str) -> Result<Scaling> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "nano" | "n" => Ok(Scaling::Nano),
+            "micro" | "u" => Ok(Scaling::Micro),
+            "milli" => Ok(Scaling::Milli),
+            "" | "one" | "none" => Ok(Scaling::One),
+            "kilo" | "k" => Ok(Scaling::Kilo),
+            "mega" => Ok(Scaling::Mega),
+            "giga" | "g" => Ok(Scaling::Giga),
+            "tera" | "t" => Ok(Scaling::Tera),
+            "kibi" | "ki" => Ok(Scaling::Kibi),
+            "mebi" | "mi" => Ok(Scaling::Mebi),
+            "gibi" | "gi" => Ok(Scaling::Gibi),
+            other => Err(Error::ControlFile(format!("unknown scaling '{other}'"))),
+        }
+    }
+}
+
+/// A scaled base unit like `Mega·byte`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScaledUnit {
+    /// Base unit name, e.g. `byte`, `s`, `process`.
+    pub base: String,
+    /// SI prefix.
+    pub scaling: Scaling,
+}
+
+impl ScaledUnit {
+    /// Unscaled base unit.
+    pub fn base(name: &str) -> Self {
+        ScaledUnit { base: name.to_string(), scaling: Scaling::One }
+    }
+
+    /// Scaled base unit.
+    pub fn scaled(name: &str, scaling: Scaling) -> Self {
+        ScaledUnit { base: name.to_string(), scaling }
+    }
+
+    fn render(&self) -> String {
+        // Conventional symbol for byte is `B`.
+        let base = if self.base == "byte" { "B" } else { self.base.as_str() };
+        format!("{}{}", self.scaling.symbol(), base)
+    }
+}
+
+/// A unit: either a single scaled base unit, a fraction of two, or
+/// dimensionless (no unit at all).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Unit {
+    /// No unit.
+    #[default]
+    Dimensionless,
+    /// A single scaled base unit.
+    Simple(ScaledUnit),
+    /// `dividend / divisor`, e.g. MB/s.
+    Fraction {
+        /// Numerator.
+        dividend: ScaledUnit,
+        /// Denominator.
+        divisor: ScaledUnit,
+    },
+}
+
+impl Unit {
+    /// Convenience constructor for a simple unit.
+    pub fn simple(base: &str, scaling: Scaling) -> Self {
+        Unit::Simple(ScaledUnit::scaled(base, scaling))
+    }
+
+    /// Convenience constructor for a fraction.
+    pub fn fraction(dividend: ScaledUnit, divisor: ScaledUnit) -> Self {
+        Unit::Fraction { dividend, divisor }
+    }
+
+    /// Do the two units measure the same dimension (same base units)?
+    pub fn compatible(&self, other: &Unit) -> bool {
+        match (self, other) {
+            (Unit::Dimensionless, Unit::Dimensionless) => true,
+            (Unit::Simple(a), Unit::Simple(b)) => a.base == b.base,
+            (
+                Unit::Fraction { dividend: ad, divisor: av },
+                Unit::Fraction { dividend: bd, divisor: bv },
+            ) => ad.base == bd.base && av.base == bv.base,
+            _ => false,
+        }
+    }
+
+    /// Factor converting a value expressed in `self` into `other`.
+    /// E.g. `MB/s → KB/s` is 1000.
+    pub fn conversion_factor(&self, other: &Unit) -> Result<f64> {
+        if !self.compatible(other) {
+            return Err(Error::Definition(format!(
+                "incompatible units: {self} vs {other}"
+            )));
+        }
+        let factor = |u: &Unit| match u {
+            Unit::Dimensionless => 1.0,
+            Unit::Simple(s) => s.scaling.factor(),
+            Unit::Fraction { dividend, divisor } => {
+                dividend.scaling.factor() / divisor.scaling.factor()
+            }
+        };
+        Ok(factor(self) / factor(other))
+    }
+
+    /// Convert `value` from `self` into `other`.
+    pub fn convert(&self, value: f64, other: &Unit) -> Result<f64> {
+        Ok(value * self.conversion_factor(other)?)
+    }
+
+    /// Parse the `<unit>` element of an experiment definition (Fig. 5):
+    ///
+    /// ```xml
+    /// <unit> <base_unit>s</base_unit> </unit>
+    /// <unit> <fraction>
+    ///   <dividend> <base_unit>byte</base_unit> <scaling>Mega</scaling> </dividend>
+    ///   <divisor>  <base_unit>s</base_unit> </divisor>
+    /// </fraction> </unit>
+    /// ```
+    pub fn from_xml(el: &Element) -> Result<Unit> {
+        if let Some(frac) = el.child("fraction") {
+            let dividend = scaled_from_xml(frac.child("dividend").ok_or_else(|| {
+                Error::ControlFile("fraction without <dividend>".to_string())
+            })?)?;
+            let divisor = scaled_from_xml(frac.child("divisor").ok_or_else(|| {
+                Error::ControlFile("fraction without <divisor>".to_string())
+            })?)?;
+            return Ok(Unit::Fraction { dividend, divisor });
+        }
+        if el.child("base_unit").is_some() {
+            return Ok(Unit::Simple(scaled_from_xml(el)?));
+        }
+        Ok(Unit::Dimensionless)
+    }
+
+    /// Serialize back to the Fig. 5 XML structure.
+    pub fn to_xml(&self) -> Option<Element> {
+        match self {
+            Unit::Dimensionless => None,
+            Unit::Simple(s) => Some(scaled_to_xml_into(Element::new("unit"), s)),
+            Unit::Fraction { dividend, divisor } => {
+                let f = Element::new("fraction")
+                    .with_child(scaled_to_xml_into(Element::new("dividend"), dividend))
+                    .with_child(scaled_to_xml_into(Element::new("divisor"), divisor));
+                Some(Element::new("unit").with_child(f))
+            }
+        }
+    }
+}
+
+fn scaled_from_xml(el: &Element) -> Result<ScaledUnit> {
+    let base = el
+        .child_text("base_unit")
+        .ok_or_else(|| Error::ControlFile("unit without <base_unit>".to_string()))?;
+    let scaling = match el.child_text("scaling") {
+        Some(s) => Scaling::parse(&s)?,
+        None => Scaling::One,
+    };
+    Ok(ScaledUnit { base, scaling })
+}
+
+fn scaled_to_xml_into(el: Element, s: &ScaledUnit) -> Element {
+    let mut el = el.with_text_child("base_unit", &s.base);
+    if s.scaling != Scaling::One {
+        el = el.with_text_child("scaling", scaling_name(s.scaling));
+    }
+    el
+}
+
+fn scaling_name(s: Scaling) -> &'static str {
+    match s {
+        Scaling::Nano => "Nano",
+        Scaling::Micro => "Micro",
+        Scaling::Milli => "Milli",
+        Scaling::One => "One",
+        Scaling::Kilo => "Kilo",
+        Scaling::Mega => "Mega",
+        Scaling::Giga => "Giga",
+        Scaling::Tera => "Tera",
+        Scaling::Kibi => "Kibi",
+        Scaling::Mebi => "Mebi",
+        Scaling::Gibi => "Gibi",
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unit::Dimensionless => Ok(()),
+            Unit::Simple(s) => f.write_str(&s.render()),
+            Unit::Fraction { dividend, divisor } => {
+                write!(f, "{}/{}", dividend.render(), divisor.render())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb_per_s() -> Unit {
+        Unit::fraction(ScaledUnit::scaled("byte", Scaling::Mega), ScaledUnit::base("s"))
+    }
+
+    #[test]
+    fn rendering() {
+        assert_eq!(mb_per_s().to_string(), "MB/s");
+        assert_eq!(Unit::simple("byte", Scaling::One).to_string(), "B");
+        assert_eq!(Unit::simple("s", Scaling::Micro).to_string(), "us");
+        assert_eq!(Unit::simple("byte", Scaling::Mebi).to_string(), "MiB");
+        assert_eq!(Unit::Dimensionless.to_string(), "");
+        assert_eq!(Unit::simple("process", Scaling::One).to_string(), "process");
+    }
+
+    #[test]
+    fn conversion_between_prefixes() {
+        let kb_s = Unit::fraction(ScaledUnit::scaled("byte", Scaling::Kilo), ScaledUnit::base("s"));
+        assert_eq!(mb_per_s().conversion_factor(&kb_s).unwrap(), 1000.0);
+        assert_eq!(mb_per_s().convert(2.0, &kb_s).unwrap(), 2000.0);
+        // decimal vs binary megabytes (the footnote in Fig. 4!)
+        let mib_s =
+            Unit::fraction(ScaledUnit::scaled("byte", Scaling::Mebi), ScaledUnit::base("s"));
+        let f = mb_per_s().conversion_factor(&mib_s).unwrap();
+        assert!((f - 1e6 / (1024.0 * 1024.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incompatible_units_rejected() {
+        let s = Unit::simple("s", Scaling::One);
+        assert!(mb_per_s().conversion_factor(&s).is_err());
+        assert!(!mb_per_s().compatible(&s));
+        let b = Unit::simple("byte", Scaling::One);
+        let bits = Unit::simple("bit", Scaling::One);
+        assert!(!b.compatible(&bits));
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let xml = r#"<unit> <fraction>
+            <dividend> <base_unit>byte</base_unit> <scaling>Mega</scaling> </dividend>
+            <divisor> <base_unit>s</base_unit> </divisor>
+          </fraction> </unit>"#;
+        let doc = xmlite::parse(xml).unwrap();
+        let u = Unit::from_xml(&doc.root).unwrap();
+        assert_eq!(u, mb_per_s());
+        let back = u.to_xml().unwrap();
+        let u2 = Unit::from_xml(&back).unwrap();
+        assert_eq!(u, u2);
+    }
+
+    #[test]
+    fn simple_xml() {
+        let doc = xmlite::parse("<unit><base_unit>process</base_unit></unit>").unwrap();
+        let u = Unit::from_xml(&doc.root).unwrap();
+        assert_eq!(u, Unit::simple("process", Scaling::One));
+        let doc = xmlite::parse("<unit/>").unwrap();
+        assert_eq!(Unit::from_xml(&doc.root).unwrap(), Unit::Dimensionless);
+    }
+
+    #[test]
+    fn scaling_parse_aliases() {
+        assert_eq!(Scaling::parse("Mega").unwrap(), Scaling::Mega);
+        assert_eq!(Scaling::parse("ki").unwrap(), Scaling::Kibi);
+        assert!(Scaling::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn dimensionless_conversion_is_identity() {
+        assert_eq!(
+            Unit::Dimensionless.conversion_factor(&Unit::Dimensionless).unwrap(),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! XML form of the experiment definition (paper §3.1, Fig. 5).
+//!
+//! The definition is an XML document conforming to a perfbase DTD. This
+//! module provides the parser, the serializer (used to persist the
+//! definition into `pb_meta`), and the built-in DTD-lite schema the document
+//! is validated against.
+
+use crate::error::{Error, Result};
+use crate::experiment::{
+    AccessLevel, ExperimentDef, Meta, Occurrence, Person, Variable, VarKind,
+};
+use crate::units::Unit;
+use sqldb::DataType;
+use xmlite::dtd::{AttrDecl, Dtd, Model};
+use xmlite::{Document, Element};
+
+/// The DTD-lite schema for experiment definitions.
+pub fn definition_schema() -> Dtd {
+    let var_children = vec![
+        "name".to_string(),
+        "synopsis".to_string(),
+        "description".to_string(),
+        "datatype".to_string(),
+        "unit".to_string(),
+        "valid".to_string(),
+        "default".to_string(),
+    ];
+    Dtd::new()
+        .declare(
+            "experiment",
+            Model::Children(vec![
+                "name".into(),
+                "info".into(),
+                "user".into(),
+                "parameter".into(),
+                "result".into(),
+            ]),
+        )
+        .declare("name", Model::Text)
+        .declare(
+            "info",
+            Model::Children(vec![
+                "performed_by".into(),
+                "project".into(),
+                "synopsis".into(),
+                "description".into(),
+            ]),
+        )
+        .declare("performed_by", Model::Children(vec!["name".into(), "organization".into()]))
+        .declare("organization", Model::Text)
+        .declare("project", Model::Text)
+        .declare("synopsis", Model::Text)
+        .declare("description", Model::Text)
+        .declare("user", Model::Text)
+        .attribute("user", AttrDecl { name: "access".into(), required: true, default: None })
+        .declare("parameter", Model::Children(var_children.clone()))
+        .attribute(
+            "parameter",
+            AttrDecl { name: "occurence".into(), required: false, default: Some("multiple".into()) },
+        )
+        .declare("result", Model::Children(var_children))
+        .attribute(
+            "result",
+            AttrDecl { name: "occurence".into(), required: false, default: Some("multiple".into()) },
+        )
+        .declare("datatype", Model::Text)
+        .declare("valid", Model::Text)
+        .declare("default", Model::Text)
+        .declare("unit", Model::Children(vec!["base_unit".into(), "scaling".into(), "fraction".into()]))
+        .declare("fraction", Model::Children(vec!["dividend".into(), "divisor".into()]))
+        .declare("dividend", Model::Children(vec!["base_unit".into(), "scaling".into()]))
+        .declare("divisor", Model::Children(vec!["base_unit".into(), "scaling".into()]))
+        .declare("base_unit", Model::Text)
+        .declare("scaling", Model::Text)
+}
+
+/// Parse a definition from XML text.
+pub fn definition_from_str(xml: &str) -> Result<ExperimentDef> {
+    let doc = xmlite::parse(xml)?;
+    definition_from_xml(&doc.root)
+}
+
+/// Parse a definition from a parsed `<experiment>` element.
+pub fn definition_from_xml(root: &Element) -> Result<ExperimentDef> {
+    if root.name != "experiment" {
+        return Err(Error::ControlFile(format!(
+            "expected <experiment> document element, found <{}>",
+            root.name
+        )));
+    }
+    if let Err(errors) = definition_schema().validate(root) {
+        let msgs: Vec<String> = errors.iter().take(5).map(|e| e.to_string()).collect();
+        return Err(Error::ControlFile(format!(
+            "experiment definition does not validate: {}",
+            msgs.join("; ")
+        )));
+    }
+
+    let mut meta = Meta {
+        name: root
+            .child_text("name")
+            .ok_or_else(|| Error::ControlFile("experiment without <name>".into()))?,
+        ..Meta::default()
+    };
+    if let Some(info) = root.child("info") {
+        meta.project = info.child_text("project").unwrap_or_default();
+        meta.synopsis = info.child_text("synopsis").unwrap_or_default();
+        meta.description = normalize_ws(&info.child_text("description").unwrap_or_default());
+        if let Some(p) = info.child("performed_by") {
+            meta.performed_by = Person {
+                name: p.child_text("name").unwrap_or_default(),
+                organization: p.child_text("organization").unwrap_or_default(),
+            };
+        }
+    }
+
+    let mut users = Vec::new();
+    for u in root.children_named("user") {
+        let level = AccessLevel::parse(u.attr("access").unwrap_or("query"))?;
+        users.push((u.text(), level));
+    }
+    if users.is_empty() {
+        // The author is always at least an admin.
+        users.push((meta.performed_by.name.clone(), AccessLevel::Admin));
+    }
+
+    let mut def = ExperimentDef { meta, variables: Vec::new(), users };
+    for el in root.elements() {
+        let kind = match el.name.as_str() {
+            "parameter" => VarKind::Parameter,
+            "result" => VarKind::ResultValue,
+            _ => continue,
+        };
+        def.add_variable(variable_from_xml(el, kind)?)?;
+    }
+    Ok(def)
+}
+
+fn variable_from_xml(el: &Element, kind: VarKind) -> Result<Variable> {
+    let name = el
+        .child_text("name")
+        .ok_or_else(|| Error::ControlFile("variable without <name>".into()))?;
+    let dt_text = el.child_text("datatype").unwrap_or_else(|| "string".to_string());
+    let datatype = datatype_from_name(&dt_text)
+        .ok_or_else(|| Error::ControlFile(format!("unknown datatype '{dt_text}'")))?;
+    let occurrence = match el.attr("occurence").unwrap_or("multiple") {
+        "once" => Occurrence::Once,
+        "multiple" => Occurrence::Multiple,
+        other => {
+            return Err(Error::ControlFile(format!(
+                "invalid occurence '{other}' on variable '{name}'"
+            )))
+        }
+    };
+    let unit = match el.child("unit") {
+        Some(u) => Unit::from_xml(u)?,
+        None => Unit::Dimensionless,
+    };
+    let mut var = Variable {
+        name,
+        kind,
+        occurrence,
+        synopsis: el.child_text("synopsis").unwrap_or_default(),
+        description: el.child_text("description").unwrap_or_default(),
+        datatype,
+        unit,
+        valid: el.children_named("valid").map(Element::text).collect(),
+        default: None,
+    };
+    if let Some(d) = el.child_text("default") {
+        var.default = Some(var.parse_content(&d).map_err(|e| {
+            Error::ControlFile(format!("bad <default> for '{}': {e}", var.name))
+        })?);
+    }
+    Ok(var)
+}
+
+/// The `<datatype>` vocabulary of Fig. 5.
+pub fn datatype_from_name(s: &str) -> Option<DataType> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "integer" | "int" => Some(DataType::Int),
+        "float" | "double" => Some(DataType::Float),
+        "string" | "text" => Some(DataType::Text),
+        "boolean" | "bool" => Some(DataType::Bool),
+        "timestamp" | "date" => Some(DataType::Timestamp),
+        _ => None,
+    }
+}
+
+/// Inverse of [`datatype_from_name`].
+pub fn datatype_name(t: DataType) -> &'static str {
+    match t {
+        DataType::Int => "integer",
+        DataType::Float => "float",
+        DataType::Text => "string",
+        DataType::Bool => "boolean",
+        DataType::Timestamp => "timestamp",
+    }
+}
+
+/// Serialize a definition to an `<experiment>` element.
+pub fn definition_to_xml(def: &ExperimentDef) -> Element {
+    let mut root = Element::new("experiment").with_text_child("name", &def.meta.name);
+    let info = Element::new("info")
+        .with_child(
+            Element::new("performed_by")
+                .with_text_child("name", &def.meta.performed_by.name)
+                .with_text_child("organization", &def.meta.performed_by.organization),
+        )
+        .with_text_child("project", &def.meta.project)
+        .with_text_child("synopsis", &def.meta.synopsis)
+        .with_text_child("description", &def.meta.description);
+    root = root.with_child(info);
+    for (user, level) in &def.users {
+        root = root
+            .with_child(Element::new("user").with_attr("access", level.name()).with_text(user));
+    }
+    for v in &def.variables {
+        root = root.with_child(variable_to_xml(v));
+    }
+    root
+}
+
+fn variable_to_xml(v: &Variable) -> Element {
+    let tag = match v.kind {
+        VarKind::Parameter => "parameter",
+        VarKind::ResultValue => "result",
+    };
+    let occ = match v.occurrence {
+        Occurrence::Once => "once",
+        Occurrence::Multiple => "multiple",
+    };
+    let mut el = Element::new(tag).with_attr("occurence", occ).with_text_child("name", &v.name);
+    if !v.synopsis.is_empty() {
+        el = el.with_text_child("synopsis", &v.synopsis);
+    }
+    if !v.description.is_empty() {
+        el = el.with_text_child("description", &v.description);
+    }
+    el = el.with_text_child("datatype", datatype_name(v.datatype));
+    if let Some(u) = v.unit.to_xml() {
+        el = el.with_child(u);
+    }
+    for val in &v.valid {
+        el = el.with_text_child("valid", val);
+    }
+    if let Some(d) = &v.default {
+        el = el.with_text_child("default", &d.to_string());
+    }
+    el
+}
+
+/// Serialize a definition to XML text.
+pub fn definition_to_string(def: &ExperimentDef) -> String {
+    xmlite::to_string_pretty(&Document::from_root(definition_to_xml(def)))
+}
+
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Scaling, ScaledUnit};
+    use sqldb::Value;
+
+    /// The Fig. 5 excerpt, verbatim in structure.
+    pub(crate) const FIG5: &str = r#"<experiment>
+  <name>b_eff_io</name>
+  <info>
+    <performed_by>
+      <name>Joachim Worringen</name>
+      <organization>C&amp;C Research Laboratories, NEC Europe Ltd.</organization>
+    </performed_by>
+    <project>Optimization of MPI I/O Operations</project>
+    <synopsis>Results of b_eff_io Benchmark</synopsis>
+    <description> We want to track the performance changes that we achieve with
+     new algorithms and parameter optimization I/O operations. </description>
+  </info>
+  <parameter occurence="once">
+    <name>T</name>
+    <synopsis>specified runtime of the test</synopsis>
+    <datatype>integer</datatype>
+    <unit> <base_unit>s</base_unit> </unit>
+  </parameter>
+  <parameter occurence="once">
+    <name>fs</name>
+    <synopsis>type of file system for the used path</synopsis>
+    <datatype>string</datatype>
+    <valid>ufs</valid> <valid>nfs</valid> <valid>pvfs</valid> <valid>sfs</valid> <valid>unknown</valid>
+    <default>unknown</default>
+  </parameter>
+  <parameter occurence="once">
+    <name>date_run</name>
+    <synopsis>date and time the run was performed</synopsis>
+    <datatype>timestamp</datatype>
+  </parameter>
+  <parameter>
+    <name>S_chunk</name>
+    <synopsis>amount of data that is written or read</synopsis>
+    <datatype>integer</datatype>
+    <unit> <base_unit>byte</base_unit> </unit>
+  </parameter>
+  <parameter>
+    <name>N_proc</name>
+    <synopsis>number of processes involved in the operation</synopsis>
+    <datatype>integer</datatype>
+    <unit> <base_unit>process</base_unit> </unit>
+  </parameter>
+  <result>
+    <name>B_scatter</name>
+    <synopsis>bandwidth for access type 0 (scatter)</synopsis>
+    <datatype>float</datatype>
+    <unit> <fraction>
+             <dividend> <base_unit>byte</base_unit> <scaling>Mega</scaling> </dividend>
+             <divisor> <base_unit>s</base_unit> </divisor>
+    </fraction> </unit>
+  </result>
+</experiment>"#;
+
+    #[test]
+    fn parses_fig5() {
+        let def = definition_from_str(FIG5).unwrap();
+        assert_eq!(def.meta.name, "b_eff_io");
+        assert_eq!(def.meta.performed_by.name, "Joachim Worringen");
+        assert!(def.meta.performed_by.organization.contains("C&C"));
+        assert_eq!(def.variables.len(), 6);
+
+        let t = def.variable("T").unwrap();
+        assert_eq!(t.occurrence, Occurrence::Once);
+        assert_eq!(t.datatype, DataType::Int);
+        assert_eq!(t.unit.to_string(), "s");
+
+        let fs = def.variable("fs").unwrap();
+        assert_eq!(fs.valid.len(), 5);
+        assert_eq!(fs.default, Some(Value::Text("unknown".into())));
+
+        let chunk = def.variable("S_chunk").unwrap();
+        assert_eq!(chunk.occurrence, Occurrence::Multiple);
+
+        let b = def.variable("B_scatter").unwrap();
+        assert_eq!(b.kind, VarKind::ResultValue);
+        assert_eq!(
+            b.unit,
+            Unit::fraction(ScaledUnit::scaled("byte", Scaling::Mega), ScaledUnit::base("s"))
+        );
+        assert_eq!(b.unit.to_string(), "MB/s");
+
+        // Author becomes admin when no explicit user list is given.
+        def.check_access("Joachim Worringen", AccessLevel::Admin).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_preserves_definition() {
+        let def = definition_from_str(FIG5).unwrap();
+        let xml = definition_to_string(&def);
+        let def2 = definition_from_str(&xml).unwrap();
+        assert_eq!(def, def2);
+    }
+
+    #[test]
+    fn users_roundtrip() {
+        let mut def = definition_from_str(FIG5).unwrap();
+        def.grant("alice", AccessLevel::Input);
+        def.grant("bob", AccessLevel::Query);
+        let def2 = definition_from_str(&definition_to_string(&def)).unwrap();
+        def2.check_access("alice", AccessLevel::Input).unwrap();
+        assert!(def2.check_access("bob", AccessLevel::Input).is_err());
+    }
+
+    #[test]
+    fn schema_rejects_unknown_elements() {
+        let bad = "<experiment><name>x</name><bogus/></experiment>";
+        let err = definition_from_str(bad).unwrap_err();
+        assert!(err.to_string().contains("does not validate"));
+    }
+
+    #[test]
+    fn rejects_bad_datatype_and_occurrence() {
+        let bad = "<experiment><name>x</name><parameter><name>p</name><datatype>quux</datatype></parameter></experiment>";
+        assert!(definition_from_str(bad).is_err());
+        let bad = "<experiment><name>x</name><parameter occurence=\"sometimes\"><name>p</name><datatype>integer</datatype></parameter></experiment>";
+        assert!(definition_from_str(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        assert!(definition_from_str("<query/>").is_err());
+    }
+
+    #[test]
+    fn default_validated_against_type() {
+        let bad = "<experiment><name>x</name><parameter><name>p</name><datatype>integer</datatype><default>abc</default></parameter></experiment>";
+        assert!(definition_from_str(bad).is_err());
+    }
+
+    #[test]
+    fn datatype_vocabulary() {
+        assert_eq!(datatype_from_name("integer"), Some(DataType::Int));
+        assert_eq!(datatype_from_name("String"), Some(DataType::Text));
+        assert_eq!(datatype_from_name("date"), Some(DataType::Timestamp));
+        assert_eq!(datatype_from_name("complex"), None);
+        for t in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool, DataType::Timestamp] {
+            assert_eq!(datatype_from_name(datatype_name(t)), Some(t));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests of the extraction → storage → query pipeline:
+//! whatever the workload prints, perfbase must read back exactly, and the
+//! query engine's statistics must match independently computed oracles.
+
+use perfbase_core::experiment::{ExperimentDb, ExperimentDef, Meta, Variable, VarKind};
+use perfbase_core::import::Importer;
+use perfbase_core::input::{
+    input_description_from_str, InputDescription, Location, Pattern, TabularColumn, TabularSpec,
+};
+use perfbase_core::query::spec::query_from_str;
+use perfbase_core::query::QueryRunner;
+use proptest::prelude::*;
+use sqldb::{DataType, Engine, Value};
+use std::sync::Arc;
+
+fn definition() -> ExperimentDef {
+    let mut def = ExperimentDef::new(Meta { name: "prop".into(), ..Meta::default() }, "u");
+    def.add_variable(Variable::new("tag", VarKind::Parameter, DataType::Text).once()).unwrap();
+    def.add_variable(Variable::new("idx", VarKind::Parameter, DataType::Int)).unwrap();
+    def.add_variable(Variable::new("val", VarKind::ResultValue, DataType::Float)).unwrap();
+    def
+}
+
+fn tabular_desc() -> InputDescription {
+    InputDescription::new()
+        .with_location(Location::Named {
+            variable: "tag".into(),
+            pattern: Pattern::Literal("tag:".into()),
+            direction: perfbase_core::input::Direction::After,
+            occurrence: 1,
+        })
+        .with_location(Location::Tabular(TabularSpec {
+            start: Pattern::Literal("--data--".into()),
+            offset: 0,
+            end: None,
+            skip_mismatch: false,
+            columns: vec![
+                TabularColumn { index: 1, variable: "idx".into() },
+                TabularColumn { index: 2, variable: "val".into() },
+            ],
+        }))
+}
+
+proptest! {
+    /// Render a random table to text, extract it back: every (idx, val)
+    /// tuple must survive bit-exactly.
+    #[test]
+    fn tabular_extraction_roundtrip(
+        tag in "[a-z]{1,8}",
+        data in proptest::collection::vec((0i64..10_000, -1e6f64..1e6), 1..40),
+    ) {
+        let mut text = format!("tag: {tag}\n--data--\n");
+        for (i, v) in &data {
+            text.push_str(&format!("{i} {v:?}\n"));
+        }
+        let db = ExperimentDb::create(Arc::new(Engine::new()), definition()).unwrap();
+        let report = Importer::new(&db).import_file(&tabular_desc(), "f.out", &text).unwrap();
+        prop_assert_eq!(report.runs_created.len(), 1);
+
+        let s = db.run_summary(report.runs_created[0]).unwrap();
+        prop_assert_eq!(
+            s.once_values.iter().find(|(n, _)| n == "tag").map(|(_, v)| v.clone()),
+            Some(Value::Text(tag))
+        );
+        let (cols, rows) = db.run_datasets(report.runs_created[0]).unwrap();
+        prop_assert_eq!(cols, vec!["idx".to_string(), "val".to_string()]);
+        prop_assert_eq!(rows.len(), data.len());
+        for (row, (i, v)) in rows.iter().zip(&data) {
+            prop_assert_eq!(&row[0], &Value::Int(*i));
+            prop_assert_eq!(&row[1], &Value::Float(*v));
+        }
+    }
+
+    /// The avg/min/max/count query operators agree with oracles computed
+    /// straight from the generated data.
+    #[test]
+    fn query_statistics_match_oracle(
+        values in proptest::collection::vec(-1e3f64..1e3, 2..30),
+    ) {
+        let db = ExperimentDb::create(Arc::new(Engine::new()), definition()).unwrap();
+        let mut text = String::from("tag: x\n--data--\n");
+        for v in &values {
+            text.push_str(&format!("7 {v:?}\n"));
+        }
+        Importer::new(&db).import_file(&tabular_desc(), "f.out", &text).unwrap();
+
+        let q = query_from_str(
+            r#"<query name="q">
+              <source id="s"><parameter name="idx" carry="true"/><value name="val"/></source>
+              <operator id="a" type="avg" input="s"/>
+              <operator id="mn" type="min" input="s"/>
+              <operator id="mx" type="max" input="s"/>
+              <operator id="n" type="count" input="s"/>
+              <combiner id="c1" input="a,mn" suffixes="_avg,_min"/>
+              <combiner id="c2" input="mx,n" suffixes="_max,_n"/>
+              <combiner id="all" input="c1,c2"/>
+              <output id="o" input="all" format="csv"/>
+            </query>"#,
+        )
+        .unwrap();
+        let out = QueryRunner::new(&db).run(q).unwrap();
+        let csv = &out.artifacts["o"];
+        let line = csv.lines().nth(1).expect("one data row");
+        let fields: Vec<f64> = line.split(',').skip(1).map(|x| x.parse().unwrap()).collect();
+        let (avg, min, max, count) = (fields[0], fields[1], fields[2], fields[3]);
+
+        // The CSV renderer prints 6 decimal places, so compare within that.
+        let tol = |x: f64| 1e-6 * (1.0 + x.abs());
+        let o_avg = values.iter().sum::<f64>() / values.len() as f64;
+        let o_min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let o_max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((avg - o_avg).abs() < tol(o_avg), "avg {avg} vs {o_avg}");
+        prop_assert!((min - o_min).abs() < tol(o_min), "min {min} vs {o_min}");
+        prop_assert!((max - o_max).abs() < tol(o_max), "max {max} vs {o_max}");
+        prop_assert_eq!(count as usize, values.len());
+    }
+
+    /// Filters never let a non-matching run through, and matching runs are
+    /// never lost (source-element completeness).
+    #[test]
+    fn source_filter_partition(
+        tags in proptest::collection::vec(prop::sample::select(vec!["red", "blue"]), 1..12),
+    ) {
+        let db = ExperimentDb::create(Arc::new(Engine::new()), definition()).unwrap();
+        for (k, tag) in tags.iter().enumerate() {
+            let text = format!("tag: {tag}\n--data--\n{k} 1.0\n");
+            Importer::new(&db).import_file(&tabular_desc(), &format!("f{k}"), &text).unwrap();
+        }
+        let count_for = |tag: &str| -> usize {
+            let q = query_from_str(&format!(
+                r#"<query name="q">
+                  <source id="s">
+                    <parameter name="tag" value="{tag}"/>
+                    <parameter name="idx" carry="true"/>
+                    <value name="val"/>
+                  </source>
+                  <output id="o" input="s" format="csv"/>
+                </query>"#
+            ))
+            .unwrap();
+            let out = QueryRunner::new(&db).run(q).unwrap();
+            out.artifacts["o"].lines().count() - 1
+        };
+        let red = count_for("red");
+        let blue = count_for("blue");
+        prop_assert_eq!(red, tags.iter().filter(|t| **t == "red").count());
+        prop_assert_eq!(red + blue, tags.len());
+    }
+
+    /// Input descriptions round-trip through their XML serialization and
+    /// extract identically afterwards.
+    #[test]
+    fn description_serialization_preserves_extraction(
+        data in proptest::collection::vec((0i64..100, -10.0f64..10.0), 1..10),
+    ) {
+        let desc = tabular_desc();
+        let xml = perfbase_core::input::input_description_to_string(&desc);
+        let desc2 = input_description_from_str(&xml).unwrap();
+
+        let mut text = String::from("tag: t\n--data--\n");
+        for (i, v) in &data {
+            text.push_str(&format!("{i} {v:?}\n"));
+        }
+        let def = definition();
+        let runs1 =
+            perfbase_core::input::extract_runs(&desc, &def, "f", &text).unwrap();
+        let runs2 =
+            perfbase_core::input::extract_runs(&desc2, &def, "f", &text).unwrap();
+        prop_assert_eq!(runs1, runs2);
+    }
+
+    /// Importing the same content twice never creates a second run, no
+    /// matter the content.
+    #[test]
+    fn duplicate_protection_total(tag in "[a-z]{1,6}", n in 1usize..10) {
+        let db = ExperimentDb::create(Arc::new(Engine::new()), definition()).unwrap();
+        let mut text = format!("tag: {tag}\n--data--\n");
+        for k in 0..n {
+            text.push_str(&format!("{k} 1.5\n"));
+        }
+        let imp = Importer::new(&db);
+        let r1 = imp.import_file(&tabular_desc(), "a", &text).unwrap();
+        let r2 = imp.import_file(&tabular_desc(), "b", &text).unwrap();
+        prop_assert_eq!(r1.runs_created.len(), 1);
+        prop_assert_eq!(r2.runs_created.len(), 0);
+        prop_assert_eq!(r2.duplicates_skipped, 1);
+        prop_assert_eq!(db.run_ids().unwrap().len(), 1);
+    }
+}

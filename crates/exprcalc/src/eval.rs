@@ -1,0 +1,263 @@
+//! Tree-walking evaluator and built-in function table.
+
+use crate::{Ast, BinOp, UnaryOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Variable bindings for evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    vars: HashMap<String, f64>,
+}
+
+impl Context {
+    /// Empty context.
+    pub fn new() -> Self {
+        Context::default()
+    }
+
+    /// Bind `name` to `value` (replacing any previous binding).
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.vars.get(name).copied()
+    }
+
+    /// Build from an iterator of pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, f64)>) -> Self {
+        let mut c = Context::new();
+        for (k, v) in pairs {
+            c.set(k, v);
+        }
+        c
+    }
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn err(msg: String) -> EvalError {
+    EvalError { message: msg }
+}
+
+fn truthy(v: f64) -> bool {
+    v != 0.0
+}
+
+fn boolval(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Evaluate `ast` under `ctx`.
+pub fn eval(ast: &Ast, ctx: &Context) -> Result<f64, EvalError> {
+    match ast {
+        Ast::Num(v) => Ok(*v),
+        Ast::Var(name) => {
+            ctx.get(name).ok_or_else(|| err(format!("unknown variable '{name}'")))
+        }
+        Ast::Unary(op, x) => {
+            let v = eval(x, ctx)?;
+            Ok(match op {
+                UnaryOp::Neg => -v,
+                UnaryOp::Not => boolval(!truthy(v)),
+            })
+        }
+        Ast::Binary(op, l, r) => {
+            // Short-circuit logic first.
+            match op {
+                BinOp::And => {
+                    let lv = eval(l, ctx)?;
+                    if !truthy(lv) {
+                        return Ok(0.0);
+                    }
+                    return Ok(boolval(truthy(eval(r, ctx)?)));
+                }
+                BinOp::Or => {
+                    let lv = eval(l, ctx)?;
+                    if truthy(lv) {
+                        return Ok(1.0);
+                    }
+                    return Ok(boolval(truthy(eval(r, ctx)?)));
+                }
+                _ => {}
+            }
+            let lv = eval(l, ctx)?;
+            let rv = eval(r, ctx)?;
+            match op {
+                BinOp::Add => Ok(lv + rv),
+                BinOp::Sub => Ok(lv - rv),
+                BinOp::Mul => Ok(lv * rv),
+                BinOp::Div => {
+                    if rv == 0.0 {
+                        Err(err("division by zero".into()))
+                    } else {
+                        Ok(lv / rv)
+                    }
+                }
+                BinOp::Rem => {
+                    if rv == 0.0 {
+                        Err(err("remainder by zero".into()))
+                    } else {
+                        Ok(lv % rv)
+                    }
+                }
+                BinOp::Pow => Ok(lv.powf(rv)),
+                BinOp::Lt => Ok(boolval(lv < rv)),
+                BinOp::Gt => Ok(boolval(lv > rv)),
+                BinOp::Le => Ok(boolval(lv <= rv)),
+                BinOp::Ge => Ok(boolval(lv >= rv)),
+                BinOp::Eq => Ok(boolval(lv == rv)),
+                BinOp::Ne => Ok(boolval(lv != rv)),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        Ast::Call(name, args) => {
+            let vals: Result<Vec<f64>, EvalError> = args.iter().map(|a| eval(a, ctx)).collect();
+            call(name, &vals?)
+        }
+    }
+}
+
+fn arity(name: &str, args: &[f64], n: usize) -> Result<(), EvalError> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(err(format!("function '{name}' expects {n} argument(s), got {}", args.len())))
+    }
+}
+
+fn call(name: &str, args: &[f64]) -> Result<f64, EvalError> {
+    match name {
+        "abs" => {
+            arity(name, args, 1)?;
+            Ok(args[0].abs())
+        }
+        "sqrt" => {
+            arity(name, args, 1)?;
+            if args[0] < 0.0 {
+                Err(err("sqrt of negative value".into()))
+            } else {
+                Ok(args[0].sqrt())
+            }
+        }
+        "log" | "ln" => {
+            arity(name, args, 1)?;
+            if args[0] <= 0.0 {
+                Err(err("log of non-positive value".into()))
+            } else {
+                Ok(args[0].ln())
+            }
+        }
+        "log2" => {
+            arity(name, args, 1)?;
+            if args[0] <= 0.0 {
+                Err(err("log2 of non-positive value".into()))
+            } else {
+                Ok(args[0].log2())
+            }
+        }
+        "log10" => {
+            arity(name, args, 1)?;
+            if args[0] <= 0.0 {
+                Err(err("log10 of non-positive value".into()))
+            } else {
+                Ok(args[0].log10())
+            }
+        }
+        "exp" => {
+            arity(name, args, 1)?;
+            Ok(args[0].exp())
+        }
+        "floor" => {
+            arity(name, args, 1)?;
+            Ok(args[0].floor())
+        }
+        "ceil" => {
+            arity(name, args, 1)?;
+            Ok(args[0].ceil())
+        }
+        "round" => {
+            arity(name, args, 1)?;
+            Ok(args[0].round())
+        }
+        "pow" => {
+            arity(name, args, 2)?;
+            Ok(args[0].powf(args[1]))
+        }
+        "min" => {
+            if args.is_empty() {
+                return Err(err("min() needs at least one argument".into()));
+            }
+            Ok(args.iter().copied().fold(f64::INFINITY, f64::min))
+        }
+        "max" => {
+            if args.is_empty() {
+                return Err(err("max() needs at least one argument".into()));
+            }
+            Ok(args.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        }
+        "pi" => {
+            arity(name, args, 0)?;
+            Ok(std::f64::consts::PI)
+        }
+        other => Err(err(format!("unknown function '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+
+    #[test]
+    fn context_from_pairs() {
+        let ctx = Context::from_pairs([("a", 1.0), ("b", 2.0)]);
+        assert_eq!(ctx.get("a"), Some(1.0));
+        assert_eq!(ctx.get("b"), Some(2.0));
+        assert_eq!(ctx.get("c"), None);
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_errors() {
+        // RHS has an unknown variable, but the LHS decides the result.
+        let ctx = Context::new();
+        assert_eq!(Expr::parse("0 && boom").unwrap().eval(&ctx).unwrap(), 0.0);
+        assert_eq!(Expr::parse("1 || boom").unwrap().eval(&ctx).unwrap(), 1.0);
+        assert!(Expr::parse("1 && boom").unwrap().eval(&ctx).is_err());
+    }
+
+    #[test]
+    fn domain_errors() {
+        let ctx = Context::new();
+        assert!(Expr::parse("sqrt(-1)").unwrap().eval(&ctx).is_err());
+        assert!(Expr::parse("log(0)").unwrap().eval(&ctx).is_err());
+        assert!(Expr::parse("min()").unwrap().eval(&ctx).is_err());
+        assert!(Expr::parse("abs(1,2)").unwrap().eval(&ctx).is_err());
+    }
+
+    #[test]
+    fn pi_constant() {
+        let ctx = Context::new();
+        let v = Expr::parse("2*pi()").unwrap().eval(&ctx).unwrap();
+        assert!((v - std::f64::consts::TAU).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,267 @@
+//! `exprcalc` — a safe arithmetic expression engine.
+//!
+//! perfbase needs run-time expression evaluation in two places (paper §3.2,
+//! §3.3.2): *derived parameters* in input descriptions ("for parameters which
+//! can not be retrieved from the input files directly, but need to be derived
+//! from other parameters, a derived parameter provides the means to express
+//! such an arithmetic relation") and the `eval` query operator ("arbitrary
+//! function definitions"). The original implementation leaned on Python's
+//! `eval`; this crate provides the equivalent capability without an
+//! interpreter: a tokenizer, a recursive-descent parser and a tree-walking
+//! evaluator over `f64` values.
+//!
+//! Grammar (usual precedence, `^` is right-associative exponentiation):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( '||' and )*
+//! and     := cmp ( '&&' cmp )*
+//! cmp     := sum ( ('<'|'>'|'<='|'>='|'=='|'!=') sum )?
+//! sum     := term ( ('+'|'-') term )*
+//! term    := unary ( ('*'|'/'|'%') unary )*
+//! unary   := ('-'|'!')* power
+//! power   := atom ( '^' unary )?
+//! atom    := number | ident | ident '(' args ')' | '(' expr ')'
+//! ```
+//!
+//! Logical results use `1.0`/`0.0`. Identifiers refer to variables resolved
+//! through a [`Context`]; unknown variables are an evaluation error, so typos
+//! in control files are caught rather than silently treated as zero.
+//!
+//! # Example
+//!
+//! ```
+//! use exprcalc::{Context, Expr};
+//! let e = Expr::parse("S_chunk * N_proc / (1024 * 1024)").unwrap();
+//! let mut ctx = Context::new();
+//! ctx.set("S_chunk", 32768.0);
+//! ctx.set("N_proc", 64.0);
+//! assert_eq!(e.eval(&ctx).unwrap(), 2.0);
+//! ```
+
+mod eval;
+mod parse;
+
+pub use eval::{Context, EvalError};
+pub use parse::ParseError;
+
+use std::collections::BTreeSet;
+
+/// Parsed expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ast {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Ast>),
+    /// Binary operation.
+    Binary(BinOp, Box<Ast>, Box<Ast>),
+    /// Function call.
+    Call(String, Vec<Ast>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `^`
+    Pow,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// A compiled, reusable expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    source: String,
+    ast: Ast,
+}
+
+impl Expr {
+    /// Parse `source` into an expression.
+    pub fn parse(source: &str) -> Result<Expr, ParseError> {
+        let ast = parse::parse(source)?;
+        Ok(Expr { source: source.to_string(), ast })
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed AST.
+    pub fn ast(&self) -> &Ast {
+        &self.ast
+    }
+
+    /// Evaluate against a variable context.
+    pub fn eval(&self, ctx: &Context) -> Result<f64, EvalError> {
+        eval::eval(&self.ast, ctx)
+    }
+
+    /// The set of variable names referenced by the expression.
+    /// perfbase uses this to determine which parameters a derived
+    /// parameter depends on.
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut vars = BTreeSet::new();
+        fn walk(a: &Ast, vars: &mut BTreeSet<String>) {
+            match a {
+                Ast::Num(_) => {}
+                Ast::Var(v) => {
+                    vars.insert(v.clone());
+                }
+                Ast::Unary(_, x) => walk(x, vars),
+                Ast::Binary(_, l, r) => {
+                    walk(l, vars);
+                    walk(r, vars);
+                }
+                Ast::Call(_, args) => args.iter().for_each(|a| walk(a, vars)),
+            }
+        }
+        walk(&self.ast, &mut vars);
+        vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: &str) -> f64 {
+        Expr::parse(src).unwrap().eval(&Context::new()).unwrap()
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        assert_eq!(ev("2+3*4"), 14.0);
+        assert_eq!(ev("(2+3)*4"), 20.0);
+        assert_eq!(ev("2^3^2"), 512.0); // right-assoc
+        assert_eq!(ev("10-3-2"), 5.0); // left-assoc
+        assert_eq!(ev("7%4"), 3.0);
+        assert_eq!(ev("-2^2"), -4.0); // unary binds looser than ^
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(ev("3 < 4"), 1.0);
+        assert_eq!(ev("3 >= 4"), 0.0);
+        assert_eq!(ev("1 && 0 || 1"), 1.0);
+        assert_eq!(ev("!(2 == 2)"), 0.0);
+        assert_eq!(ev("1 + (2 < 3)"), 2.0);
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(ev("sqrt(16)"), 4.0);
+        assert_eq!(ev("abs(-3.5)"), 3.5);
+        assert_eq!(ev("min(3, 1, 2)"), 1.0);
+        assert_eq!(ev("max(3, 1, 2)"), 3.0);
+        assert_eq!(ev("floor(2.7) + ceil(2.2)"), 5.0);
+        assert_eq!(ev("round(2.5)"), 3.0);
+        assert_eq!(ev("log2(1024)"), 10.0);
+        assert_eq!(ev("log10(1000)"), 3.0);
+        assert!((ev("log(exp(1))") - 1.0).abs() < 1e-12);
+        assert_eq!(ev("pow(2, 10)"), 1024.0);
+    }
+
+    #[test]
+    fn variables_resolved_from_context() {
+        let e = Expr::parse("bw * 1e6 / chunk").unwrap();
+        let mut ctx = Context::new();
+        ctx.set("bw", 214.516);
+        ctx.set("chunk", 1024.0);
+        let v = e.eval(&ctx).unwrap();
+        assert!((v - 214.516e6 / 1024.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let e = Expr::parse("nope + 1").unwrap();
+        let err = e.eval(&Context::new()).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn variables_listed() {
+        let e = Expr::parse("a + sqrt(b * a) - min(c, 2)").unwrap();
+        let vars: Vec<String> = e.variables().into_iter().collect();
+        assert_eq!(vars, vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn scientific_notation_literals() {
+        assert_eq!(ev("1e3"), 1000.0);
+        assert_eq!(ev("2.5E-2"), 0.025);
+        assert_eq!(ev(".5 + 1."), 1.5);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = Expr::parse("1/0").unwrap();
+        assert!(e.eval(&Context::new()).is_err());
+        let e = Expr::parse("5 % 0").unwrap();
+        assert!(e.eval(&Context::new()).is_err());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("1 +").is_err());
+        assert!(Expr::parse("(1").is_err());
+        assert!(Expr::parse("f(1,)").is_err());
+        assert!(Expr::parse("1 2").is_err());
+        assert!(Expr::parse("@x").is_err());
+    }
+
+    #[test]
+    fn unknown_function_is_eval_error() {
+        let e = Expr::parse("frobnicate(1)").unwrap();
+        assert!(e.eval(&Context::new()).is_err());
+    }
+
+    #[test]
+    fn paper_style_derived_parameter() {
+        // Derived parameter: total bytes moved = chunk size × processes ×
+        // repetition count (the arithmetic-relation use case of §3.2).
+        let e = Expr::parse("S_chunk * N_proc * reps / 2^20").unwrap();
+        let mut ctx = Context::new();
+        ctx.set("S_chunk", 32768.0);
+        ctx.set("N_proc", 4.0);
+        ctx.set("reps", 8.0);
+        assert_eq!(e.eval(&ctx).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Tokenizer and recursive-descent parser for expressions.
+
+use crate::{Ast, BinOp, UnaryOp};
+use std::fmt;
+
+/// Parse failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Byte offset in the source.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Op(&'static str),
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = i;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+            || (c == '.' && bytes.get(i + 1).is_none())
+        {
+            let mut s = String::new();
+            let mut seen_dot = false;
+            let mut seen_exp = false;
+            while i < bytes.len() {
+                let d = bytes[i];
+                if d.is_ascii_digit() {
+                    s.push(d);
+                } else if d == '.' && !seen_dot && !seen_exp {
+                    seen_dot = true;
+                    s.push(d);
+                } else if (d == 'e' || d == 'E') && !seen_exp && !s.is_empty() {
+                    // Only an exponent if followed by digit or sign+digit.
+                    let next = bytes.get(i + 1);
+                    let next2 = bytes.get(i + 2);
+                    let is_exp = match next {
+                        Some(n) if n.is_ascii_digit() => true,
+                        Some('+') | Some('-') => next2.is_some_and(|n| n.is_ascii_digit()),
+                        _ => false,
+                    };
+                    if !is_exp {
+                        break;
+                    }
+                    seen_exp = true;
+                    s.push(d);
+                    if let Some(&sign @ ('+' | '-')) = bytes.get(i + 1) {
+                        s.push(sign);
+                        i += 1;
+                    }
+                } else {
+                    break;
+                }
+                i += 1;
+            }
+            let v: f64 = s
+                .parse()
+                .map_err(|_| ParseError { message: format!("bad number '{s}'"), position: start })?;
+            toks.push((Tok::Num(v), start));
+        } else if c.is_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                s.push(bytes[i]);
+                i += 1;
+            }
+            toks.push((Tok::Ident(s), start));
+        } else {
+            let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+            let op2 = ["<=", ">=", "==", "!=", "&&", "||"].iter().find(|o| **o == two);
+            if let Some(op) = op2 {
+                toks.push((Tok::Op(op), start));
+                i += 2;
+            } else {
+                let t = match c {
+                    '+' => Tok::Op("+"),
+                    '-' => Tok::Op("-"),
+                    '*' => Tok::Op("*"),
+                    '/' => Tok::Op("/"),
+                    '%' => Tok::Op("%"),
+                    '^' => Tok::Op("^"),
+                    '<' => Tok::Op("<"),
+                    '>' => Tok::Op(">"),
+                    '!' => Tok::Op("!"),
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    ',' => Tok::Comma,
+                    other => {
+                        return Err(ParseError {
+                            message: format!("unexpected character '{other}'"),
+                            position: start,
+                        })
+                    }
+                };
+                toks.push((t, start));
+                i += 1;
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Parse `src` into an [`Ast`].
+pub fn parse(src: &str) -> Result<Ast, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = P { toks, pos: 0, src_len: src.len() };
+    let ast = p.or_expr()?;
+    if p.pos < p.toks.len() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(ast)
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl P {
+    fn err(&self, msg: &str) -> ParseError {
+        let position = self.toks.get(self.pos).map(|t| t.1).unwrap_or(self.src_len);
+        ParseError { message: msg.to_string(), position }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Op(o)) if *o == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Ast, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_op("||") {
+            let rhs = self.and_expr()?;
+            lhs = Ast::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Ast, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_op("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = Ast::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Ast, ParseError> {
+        let lhs = self.sum()?;
+        let op = match self.peek() {
+            Some(Tok::Op("<")) => BinOp::Lt,
+            Some(Tok::Op(">")) => BinOp::Gt,
+            Some(Tok::Op("<=")) => BinOp::Le,
+            Some(Tok::Op(">=")) => BinOp::Ge,
+            Some(Tok::Op("==")) => BinOp::Eq,
+            Some(Tok::Op("!=")) => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.sum()?;
+        Ok(Ast::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn sum(&mut self) -> Result<Ast, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.eat_op("+") {
+                let rhs = self.term()?;
+                lhs = Ast::Binary(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("-") {
+                let rhs = self.term()?;
+                lhs = Ast::Binary(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Ast, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.eat_op("*") {
+                let rhs = self.unary()?;
+                lhs = Ast::Binary(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("/") {
+                let rhs = self.unary()?;
+                lhs = Ast::Binary(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("%") {
+                let rhs = self.unary()?;
+                lhs = Ast::Binary(BinOp::Rem, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Ast, ParseError> {
+        if self.eat_op("-") {
+            let inner = self.unary()?;
+            return Ok(Ast::Unary(UnaryOp::Neg, Box::new(inner)));
+        }
+        if self.eat_op("!") {
+            let inner = self.unary()?;
+            return Ok(Ast::Unary(UnaryOp::Not, Box::new(inner)));
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Ast, ParseError> {
+        let base = self.atom()?;
+        if self.eat_op("^") {
+            // Right-associative: exponent re-enters at unary level.
+            let exp = self.unary()?;
+            return Ok(Ast::Binary(BinOp::Pow, Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Num(v)) => {
+                self.pos += 1;
+                Ok(Ast::Num(v))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(Tok::LParen)) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Some(Tok::RParen)) {
+                        loop {
+                            args.push(self.or_expr()?);
+                            if matches!(self.peek(), Some(Tok::Comma)) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    if !matches!(self.peek(), Some(Tok::RParen)) {
+                        return Err(self.err("expected ')'"));
+                    }
+                    self.pos += 1;
+                    Ok(Ast::Call(name, args))
+                } else {
+                    Ok(Ast::Var(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.or_expr()?;
+                if !matches!(self.peek(), Some(Tok::RParen)) {
+                    return Err(self.err("expected ')'"));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            _ => Err(self.err("expected a value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_numbers() {
+        let t = tokenize("1 2.5 1e3 2E-2 .5").unwrap();
+        let nums: Vec<f64> = t
+            .iter()
+            .filter_map(|(t, _)| match t {
+                Tok::Num(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec![1.0, 2.5, 1000.0, 0.02, 0.5]);
+    }
+
+    #[test]
+    fn e_followed_by_ident_is_not_exponent() {
+        // "2e" ... "x" — 'e' with no digits must not be swallowed.
+        let t = tokenize("2 ex").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(matches!(t[1].0, Tok::Ident(ref s) if s == "ex"));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let t = tokenize("<= >= == != && ||").unwrap();
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn ast_shape_for_mixed_expression() {
+        let ast = parse("a + b * c").unwrap();
+        match ast {
+            Ast::Binary(BinOp::Add, l, r) => {
+                assert_eq!(*l, Ast::Var("a".into()));
+                assert!(matches!(*r, Ast::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_with_no_args() {
+        let ast = parse("pi()").unwrap();
+        assert_eq!(ast, Ast::Call("pi".into(), vec![]));
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse("1 + + 2").unwrap_err();
+        assert_eq!(e.position, 4);
+        let e = parse("  @").unwrap_err();
+        assert_eq!(e.position, 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the expression engine.
+
+use exprcalc::{Context, Expr};
+use proptest::prelude::*;
+
+fn ctx(a: f64, b: f64, c: f64) -> Context {
+    Context::from_pairs([("a", a), ("b", b), ("c", c)])
+}
+
+proptest! {
+    /// The parser/evaluator agree with Rust's own arithmetic on the
+    /// standard precedence cases.
+    #[test]
+    fn matches_rust_arithmetic(a in -100.0f64..100.0, b in -100.0f64..100.0, c in 1.0f64..100.0) {
+        let cases: Vec<(&str, f64)> = vec![
+            ("a + b * c", a + b * c),
+            ("(a + b) * c", (a + b) * c),
+            ("a - b - c", a - b - c),
+            ("a / c + b", a / c + b),
+            ("-a + b", -a + b),
+            ("a * a - b * b", a * a - b * b),
+        ];
+        for (src, expect) in cases {
+            let got = Expr::parse(src).unwrap().eval(&ctx(a, b, c)).unwrap();
+            let tol = 1e-9 * (1.0 + expect.abs());
+            prop_assert!((got - expect).abs() <= tol, "{src}: {got} vs {expect}");
+        }
+    }
+
+    /// Commutativity and associativity of + and * hold (within float
+    /// tolerance) through the whole parse/eval pipeline.
+    #[test]
+    fn algebraic_identities(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        let e1 = Expr::parse("a + b").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
+        let e2 = Expr::parse("b + a").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
+        prop_assert_eq!(e1, e2);
+        let m1 = Expr::parse("a * b").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
+        let m2 = Expr::parse("b * a").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// min/max are order statistics: min ≤ every argument ≤ max.
+    #[test]
+    fn min_max_bounds(a in -100.0f64..100.0, b in -100.0f64..100.0, c in -100.0f64..100.0) {
+        let lo = Expr::parse("min(a, b, c)").unwrap().eval(&ctx(a, b, c)).unwrap();
+        let hi = Expr::parse("max(a, b, c)").unwrap().eval(&ctx(a, b, c)).unwrap();
+        for x in [a, b, c] {
+            prop_assert!(lo <= x && x <= hi);
+        }
+    }
+
+    /// Comparison operators return exactly 0.0 or 1.0 and match Rust.
+    #[test]
+    fn comparisons_boolean(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        let lt = Expr::parse("a < b").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
+        prop_assert_eq!(lt, f64::from(a < b));
+        let ge = Expr::parse("a >= b").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
+        prop_assert_eq!(ge, f64::from(a >= b));
+    }
+
+    /// `variables()` reports exactly the identifiers needed: binding them
+    /// all makes evaluation succeed; dropping any one makes it fail.
+    #[test]
+    fn variables_are_exactly_the_dependencies(names in proptest::collection::btree_set("[a-z]{1,4}", 1..4)) {
+        let src = names.iter().cloned().collect::<Vec<_>>().join(" + ");
+        let e = Expr::parse(&src).unwrap();
+        prop_assert_eq!(e.variables(), names.clone());
+        let mut full = Context::new();
+        for n in &names {
+            full.set(n, 1.0);
+        }
+        prop_assert!(e.eval(&full).is_ok());
+        for skip in &names {
+            let mut partial = Context::new();
+            for n in names.iter().filter(|n| n != &skip) {
+                partial.set(n, 1.0);
+            }
+            prop_assert!(e.eval(&partial).is_err());
+        }
+    }
+
+    /// The parser never panics, and parse errors carry in-range positions.
+    #[test]
+    fn parser_total(src in "[ -~]{0,32}") {
+        match Expr::parse(&src) {
+            Ok(e) => {
+                let _ = e.eval(&Context::new());
+            }
+            Err(pe) => prop_assert!(pe.position <= src.len()),
+        }
+    }
+}

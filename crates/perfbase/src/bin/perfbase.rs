@@ -1,0 +1,17 @@
+//! The `perfbase` executable: a thin wrapper around [`perfbase::cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match perfbase::cli::run(argv) {
+        Ok(output) => {
+            print!("{output}");
+            if !output.ends_with('\n') {
+                println!();
+            }
+        }
+        Err(message) => {
+            eprintln!("perfbase: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal argument parser for the `perfbase` frontend.
+//!
+//! The approved dependency list has no CLI crate, and the original perfbase
+//! used a thin `sh` wrapper anyway — this module is the equivalent:
+//! `--option value`, `--option=value`, boolean `--flags`, repeated options,
+//! and positional arguments.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Argument parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Declaration of one accepted option.
+#[derive(Debug, Clone, Copy)]
+pub struct OptSpec {
+    /// Long name without dashes, e.g. `db`.
+    pub name: &'static str,
+    /// Whether the option consumes a value.
+    pub takes_value: bool,
+}
+
+/// Parsed arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    options: HashMap<String, Vec<String>>,
+    flags: Vec<String>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    /// Parse `argv` against the accepted option set.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        argv: I,
+        accepted: &[OptSpec],
+    ) -> Result<Args, ArgsError> {
+        let spec = |name: &str| accepted.iter().find(|s| s.name == name);
+        let mut out = Args::default();
+        let mut it = argv.into_iter();
+        while let Some(arg) = it.next() {
+            if let Some(body) = arg.strip_prefix("--") {
+                let (name, inline) = match body.split_once('=') {
+                    Some((n, v)) => (n.to_string(), Some(v.to_string())),
+                    None => (body.to_string(), None),
+                };
+                let s = spec(&name)
+                    .ok_or_else(|| ArgsError(format!("unknown option --{name}")))?;
+                if s.takes_value {
+                    let value = match inline {
+                        Some(v) => v,
+                        None => it
+                            .next()
+                            .ok_or_else(|| ArgsError(format!("--{name} needs a value")))?,
+                    };
+                    out.options.entry(name).or_default().push(value);
+                } else {
+                    if inline.is_some() {
+                        return Err(ArgsError(format!("--{name} takes no value")));
+                    }
+                    out.flags.push(name);
+                }
+            } else {
+                out.positionals.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Last occurrence of an option's value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// All occurrences of an option.
+    pub fn get_all(&self, name: &str) -> &[String] {
+        self.options.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Required option, with a helpful error.
+    pub fn require(&self, name: &str) -> Result<&str, ArgsError> {
+        self.get(name).ok_or_else(|| ArgsError(format!("missing required option --{name}")))
+    }
+
+    /// Is a boolean flag present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &[OptSpec] = &[
+        OptSpec { name: "db", takes_value: true },
+        OptSpec { name: "fixed", takes_value: true },
+        OptSpec { name: "force", takes_value: false },
+    ];
+
+    fn parse(args: &[&str]) -> Result<Args, ArgsError> {
+        Args::parse(args.iter().map(|s| s.to_string()), SPEC)
+    }
+
+    #[test]
+    fn options_flags_positionals() {
+        let a = parse(&["--db", "x.pb", "file1", "--force", "file2"]).unwrap();
+        assert_eq!(a.get("db"), Some("x.pb"));
+        assert!(a.flag("force"));
+        assert_eq!(a.positionals(), &["file1".to_string(), "file2".to_string()]);
+    }
+
+    #[test]
+    fn equals_form_and_repeats() {
+        let a = parse(&["--fixed=a=1", "--fixed", "b=2"]).unwrap();
+        assert_eq!(a.get_all("fixed"), &["a=1".to_string(), "b=2".to_string()]);
+        assert_eq!(a.get("fixed"), Some("b=2"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--nope"]).is_err());
+        assert!(parse(&["--db"]).is_err());
+        assert!(parse(&["--force=yes"]).is_err());
+        assert!(parse(&[]).unwrap().require("db").is_err());
+    }
+}

@@ -1,0 +1,524 @@
+//! The `perfbase` command-line frontend (paper §4: "it is invoked by
+//! providing the perfbase command (like setup, input or query) plus
+//! required arguments").
+//!
+//! Commands:
+//!
+//! * `setup --def exp.xml --db file` — create an experiment database
+//! * `update --def exp.xml --db file --user U` — evolve the definition
+//! * `input --db file --desc input.xml [--user U] [--force] [--policy P]
+//!   [--fixed var=value] [--merge] files…` — import runs
+//! * `query --db file --spec query.xml [--user U] [--parallel] [--nodes N]`
+//! * `info --db file` / `ls --db file [--param name=value] [--since/--until]`
+//! * `missing --db file param…` — sweep-hole detection
+//! * `delete --db file --run N --user U`
+//! * `show --db file --run N` — display a run's variable contents (§3.4)
+//! * `check --kind experiment|input|query file` — validate a control file
+//! * `dump --db file` — print the SQL dump
+//! * `suspect --db file --value V --group p1,p2` — anomaly screening (§6)
+//!
+//! Every command returns its textual output, making the frontend fully
+//! testable without process spawning.
+
+pub mod args;
+
+use args::{Args, OptSpec};
+use perfbase_core::experiment::{AccessLevel, ExperimentDb};
+use perfbase_core::import::{Importer, MissingPolicy};
+use perfbase_core::input::input_description_from_str;
+use perfbase_core::query::spec::query_from_str;
+use perfbase_core::query::{ParallelQueryRunner, Placement, QueryRunner};
+use perfbase_core::status::{self, RunCriteria};
+use perfbase_core::xmldef;
+use sqldb::cluster::{Cluster, LatencyModel};
+use sqldb::Engine;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Run one CLI invocation; `argv` excludes the program name.
+pub fn run(argv: Vec<String>) -> Result<String, String> {
+    let mut it = argv.into_iter();
+    let command = it.next().ok_or_else(usage)?;
+    let rest: Vec<String> = it.collect();
+    match command.as_str() {
+        "setup" => cmd_setup(rest),
+        "update" => cmd_update(rest),
+        "input" => cmd_input(rest),
+        "query" => cmd_query(rest),
+        "info" => cmd_info(rest),
+        "ls" => cmd_ls(rest),
+        "missing" => cmd_missing(rest),
+        "delete" => cmd_delete(rest),
+        "check" => cmd_check(rest),
+        "dump" => cmd_dump(rest),
+        "show" => cmd_show(rest),
+        "suspect" => cmd_suspect(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: perfbase <setup|update|input|query|info|ls|show|missing|delete|check|dump|suspect> [options]\n\
+     run `perfbase help` for details"
+        .to_string()
+}
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+fn open_db(path: &str) -> Result<ExperimentDb, String> {
+    let engine = Engine::load_from_file(Path::new(path)).map_err(err)?;
+    ExperimentDb::open(Arc::new(engine)).map_err(err)
+}
+
+fn save_db(db: &ExperimentDb, path: &str) -> Result<(), String> {
+    db.engine().save_to_file(Path::new(path)).map_err(err)
+}
+
+const COMMON: &[OptSpec] = &[
+    OptSpec { name: "db", takes_value: true },
+    OptSpec { name: "user", takes_value: true },
+];
+
+fn with(extra: &[OptSpec]) -> Vec<OptSpec> {
+    COMMON.iter().chain(extra).copied().collect()
+}
+
+fn user_of(a: &Args) -> String {
+    a.get("user").map(str::to_string).unwrap_or_else(|| "anonymous".to_string())
+}
+
+fn cmd_setup(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(argv, &with(&[OptSpec { name: "def", takes_value: true }]))
+        .map_err(err)?;
+    let def_path = a.require("def").map_err(err)?;
+    let db_path = a.require("db").map_err(err)?;
+    let xml = std::fs::read_to_string(def_path).map_err(err)?;
+    let mut def = xmldef::definition_from_str(&xml).map_err(err)?;
+    if let Some(user) = a.get("user") {
+        def.grant(user, AccessLevel::Admin);
+    }
+    let name = def.meta.name.clone();
+    let vars = def.variables.len();
+    let db = ExperimentDb::create(Arc::new(Engine::new()), def).map_err(err)?;
+    save_db(&db, db_path)?;
+    Ok(format!("created experiment '{name}' with {vars} variables in {db_path}"))
+}
+
+fn cmd_update(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(argv, &with(&[OptSpec { name: "def", takes_value: true }]))
+        .map_err(err)?;
+    let db_path = a.require("db").map_err(err)?;
+    let xml = std::fs::read_to_string(a.require("def").map_err(err)?).map_err(err)?;
+    let new_def = xmldef::definition_from_str(&xml).map_err(err)?;
+    let db = open_db(db_path)?;
+    db.check_access(&user_of(&a), AccessLevel::Admin).map_err(err)?;
+    let mut added = 0;
+    let mut removed = 0;
+    db.update_definition(|def| {
+        // Evolution: adopt meta/users from the new definition; add new
+        // variables, drop vanished ones, replace changed ones.
+        def.meta = new_def.meta.clone();
+        def.users = new_def.users.clone();
+        let old_names: Vec<String> = def.variables.iter().map(|v| v.name.clone()).collect();
+        for name in &old_names {
+            if new_def.variable(name).is_none() {
+                def.remove_variable(name)?;
+                removed += 1;
+            }
+        }
+        for v in &new_def.variables {
+            if def.variable(&v.name).is_some() {
+                def.modify_variable(v.clone())?;
+            } else {
+                def.add_variable(v.clone())?;
+                added += 1;
+            }
+        }
+        Ok(())
+    })
+    .map_err(err)?;
+    save_db(&db, db_path)?;
+    Ok(format!("updated definition: {added} variable(s) added, {removed} removed"))
+}
+
+fn cmd_input(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(
+        argv,
+        &with(&[
+            OptSpec { name: "desc", takes_value: true },
+            OptSpec { name: "policy", takes_value: true },
+            OptSpec { name: "fixed", takes_value: true },
+            OptSpec { name: "at", takes_value: true },
+            OptSpec { name: "force", takes_value: false },
+            OptSpec { name: "merge", takes_value: false },
+        ]),
+    )
+    .map_err(err)?;
+    let db_path = a.require("db").map_err(err)?;
+    let db = open_db(db_path)?;
+    db.check_access(&user_of(&a), AccessLevel::Input).map_err(err)?;
+
+    let policy = match a.get("policy").unwrap_or("allow") {
+        "allow" => MissingPolicy::AllowMissing,
+        "discard" => MissingPolicy::DiscardIncomplete,
+        "fail" => MissingPolicy::FailIncomplete,
+        other => return Err(format!("unknown policy '{other}' (allow|discard|fail)")),
+    };
+    let now = match a.get("at") {
+        Some(t) => sqldb::parse_timestamp(t).ok_or_else(|| format!("bad --at time '{t}'"))?,
+        None => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0),
+    };
+    let importer =
+        Importer::new(&db).with_policy(policy).force_duplicates(a.flag("force")).at_time(now);
+
+    let descs = a.get_all("desc");
+    if descs.is_empty() {
+        return Err("missing required option --desc".to_string());
+    }
+    let files = a.positionals();
+    if files.is_empty() {
+        return Err("no input files given".to_string());
+    }
+
+    let load_desc = |path: &str| -> Result<perfbase_core::input::InputDescription, String> {
+        let xml = std::fs::read_to_string(path).map_err(err)?;
+        let mut desc = input_description_from_str(&xml).map_err(err)?;
+        for fv in a.get_all("fixed") {
+            let (var, content) = fv
+                .split_once('=')
+                .ok_or_else(|| format!("--fixed expects var=value, got '{fv}'"))?;
+            desc.set_fixed_value(var, content);
+        }
+        Ok(desc)
+    };
+
+    let report = if a.flag("merge") {
+        // Mapping d: one description per file, one merged run.
+        if descs.len() != files.len() {
+            return Err(format!(
+                "--merge needs one --desc per file ({} descs, {} files)",
+                descs.len(),
+                files.len()
+            ));
+        }
+        let parsed: Result<Vec<_>, String> =
+            descs.iter().map(|d| load_desc(d)).collect();
+        let parsed = parsed?;
+        let contents: Result<Vec<String>, String> =
+            files.iter().map(|f| std::fs::read_to_string(f).map_err(err)).collect();
+        let contents = contents?;
+        let sources: Vec<(&perfbase_core::input::InputDescription, &str, &str)> = parsed
+            .iter()
+            .zip(files)
+            .zip(&contents)
+            .map(|((d, f), c)| (d, f.as_str(), c.as_str()))
+            .collect();
+        importer.import_merged(&sources).map_err(err)?
+    } else {
+        if descs.len() != 1 {
+            return Err("exactly one --desc expected without --merge".to_string());
+        }
+        let desc = load_desc(&descs[0])?;
+        let contents: Result<Vec<String>, String> =
+            files.iter().map(|f| std::fs::read_to_string(f).map_err(err)).collect();
+        let contents = contents?;
+        let pairs: Vec<(&str, &str)> = files
+            .iter()
+            .zip(&contents)
+            .map(|(f, c)| (f.as_str(), c.as_str()))
+            .collect();
+        importer.import_files(&desc, &pairs).map_err(err)?
+    };
+
+    save_db(&db, db_path)?;
+    Ok(format!(
+        "imported {} run(s), discarded {}, skipped {} duplicate file(s)",
+        report.runs_created.len(),
+        report.runs_discarded,
+        report.duplicates_skipped
+    ))
+}
+
+fn cmd_query(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(
+        argv,
+        &with(&[
+            OptSpec { name: "spec", takes_value: true },
+            OptSpec { name: "nodes", takes_value: true },
+            OptSpec { name: "parallel", takes_value: false },
+            OptSpec { name: "timings", takes_value: false },
+        ]),
+    )
+    .map_err(err)?;
+    let db = open_db(a.require("db").map_err(err)?)?;
+    db.check_access(&user_of(&a), AccessLevel::Query).map_err(err)?;
+    let xml = std::fs::read_to_string(a.require("spec").map_err(err)?).map_err(err)?;
+    let spec = query_from_str(&xml).map_err(err)?;
+
+    let outcome = if a.flag("parallel") {
+        match a.get("nodes") {
+            Some(n) => {
+                let n: usize = n.parse().map_err(|_| "bad --nodes".to_string())?;
+                let cluster = Cluster::new(n.max(1), LatencyModel::fast_interconnect());
+                ParallelQueryRunner::new(&db)
+                    .on_cluster(&cluster, Placement::RoundRobin)
+                    .run(spec)
+                    .map_err(err)?
+            }
+            None => ParallelQueryRunner::new(&db).run(spec).map_err(err)?,
+        }
+    } else {
+        QueryRunner::new(&db).run(spec).map_err(err)?
+    };
+
+    let mut ids: Vec<&String> = outcome.artifacts.keys().collect();
+    ids.sort();
+    let mut out = String::new();
+    for id in ids {
+        out.push_str(&format!("== output element '{id}' ==\n"));
+        out.push_str(&outcome.artifacts[id]);
+        out.push('\n');
+    }
+    if a.flag("timings") {
+        out.push_str("== element timings ==\n");
+        for t in &outcome.timings {
+            out.push_str(&format!("{:<10} {:<8} {:?}\n", t.id, t.kind, t.wall));
+        }
+        out.push_str(&format!(
+            "source fraction: {:.1}%\n",
+            outcome.source_time_fraction() * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_info(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(argv, &with(&[])).map_err(err)?;
+    let db = open_db(a.require("db").map_err(err)?)?;
+    status::experiment_info(&db).map_err(err)
+}
+
+fn cmd_ls(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(
+        argv,
+        &with(&[
+            OptSpec { name: "param", takes_value: true },
+            OptSpec { name: "since", takes_value: true },
+            OptSpec { name: "until", takes_value: true },
+        ]),
+    )
+    .map_err(err)?;
+    let db = open_db(a.require("db").map_err(err)?)?;
+    let mut criteria = RunCriteria::default();
+    for p in a.get_all("param") {
+        let (name, value) = p
+            .split_once('=')
+            .ok_or_else(|| format!("--param expects name=value, got '{p}'"))?;
+        criteria.parameter_equals.push((name.to_string(), value.to_string()));
+    }
+    if let Some(s) = a.get("since") {
+        criteria.since = sqldb::parse_timestamp(s);
+    }
+    if let Some(u) = a.get("until") {
+        criteria.until = sqldb::parse_timestamp(u);
+    }
+    let runs = status::list_runs(&db, &criteria).map_err(err)?;
+    let mut out = format!("{} run(s)\n", runs.len());
+    for r in runs {
+        let params: Vec<String> = r
+            .once_values
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect();
+        out.push_str(&format!(
+            "run {:>4}  imported {}  datasets {:>5}  {}\n",
+            r.run_id,
+            sqldb::format_timestamp(r.created),
+            r.datasets,
+            params.join(" ")
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_missing(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(argv, &with(&[])).map_err(err)?;
+    let db = open_db(a.require("db").map_err(err)?)?;
+    let params: Vec<&str> = a.positionals().iter().map(String::as_str).collect();
+    if params.is_empty() {
+        return Err("missing: name the sweep parameters, e.g. `missing --db f fs nodes`".into());
+    }
+    let holes = status::missing_sweep_points(&db, &params).map_err(err)?;
+    if holes.is_empty() {
+        return Ok("no holes: every observed parameter combination has runs\n".to_string());
+    }
+    let mut out = format!("{} missing combination(s):\n", holes.len());
+    for h in holes {
+        let combo: Vec<String> =
+            h.combination.iter().map(|(p, v)| format!("{p}={v}")).collect();
+        out.push_str(&format!("  {}\n", combo.join(" ")));
+    }
+    Ok(out)
+}
+
+fn cmd_delete(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(argv, &with(&[OptSpec { name: "run", takes_value: true }]))
+        .map_err(err)?;
+    let db_path = a.require("db").map_err(err)?;
+    let db = open_db(db_path)?;
+    db.check_access(&user_of(&a), AccessLevel::Admin).map_err(err)?;
+    let run: i64 = a
+        .require("run")
+        .map_err(err)?
+        .parse()
+        .map_err(|_| "bad --run id".to_string())?;
+    db.delete_run(run).map_err(err)?;
+    save_db(&db, db_path)?;
+    Ok(format!("deleted run {run}"))
+}
+
+fn cmd_check(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(argv, &[OptSpec { name: "kind", takes_value: true }]).map_err(err)?;
+    let kind = a.require("kind").map_err(err)?;
+    let file = a
+        .positionals()
+        .first()
+        .ok_or_else(|| "check: name the control file".to_string())?;
+    let xml = std::fs::read_to_string(file).map_err(err)?;
+    match kind {
+        "experiment" => {
+            let def = xmldef::definition_from_str(&xml).map_err(err)?;
+            Ok(format!(
+                "OK: experiment '{}' with {} variables",
+                def.meta.name,
+                def.variables.len()
+            ))
+        }
+        "input" => {
+            let desc = input_description_from_str(&xml).map_err(err)?;
+            Ok(format!("OK: input description with {} locations", desc.locations.len()))
+        }
+        "query" => {
+            let spec = query_from_str(&xml).map_err(err)?;
+            perfbase_core::query::QueryDag::build(spec.clone()).map_err(err)?;
+            Ok(format!("OK: query '{}' with {} elements", spec.name, spec.elements.len()))
+        }
+        other => Err(format!("unknown kind '{other}' (experiment|input|query)")),
+    }
+}
+
+fn cmd_dump(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(argv, &with(&[])).map_err(err)?;
+    let db = open_db(a.require("db").map_err(err)?)?;
+    Ok(db.engine().dump_sql())
+}
+
+/// `perfbase show` — §3.4: "see the actual content of variables for a
+/// run": the run constants plus the full data-set table.
+fn cmd_show(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(argv, &with(&[OptSpec { name: "run", takes_value: true }]))
+        .map_err(err)?;
+    let db = open_db(a.require("db").map_err(err)?)?;
+    db.check_access(&user_of(&a), AccessLevel::Query).map_err(err)?;
+    let run: i64 = a
+        .require("run")
+        .map_err(err)?
+        .parse()
+        .map_err(|_| "bad --run id".to_string())?;
+    let s = db.run_summary(run).map_err(err)?;
+    let mut out = format!(
+        "run {} (imported {})\n",
+        s.run_id,
+        sqldb::format_timestamp(s.created)
+    );
+    for (name, value) in &s.once_values {
+        out.push_str(&format!("  {name:<14} = {value}\n"));
+    }
+    let (cols, rows) = db.run_datasets(run).map_err(err)?;
+    out.push_str(&format!("{} data set(s)\n", rows.len()));
+    if !rows.is_empty() {
+        let mut widths: Vec<usize> = cols.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> =
+            rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let header: Vec<String> = cols.clone();
+        out.push_str(&format!("  {}\n", fmt_row(&header)));
+        for row in &cells {
+            out.push_str(&format!("  {}\n", fmt_row(row)));
+        }
+    }
+    Ok(out)
+}
+
+/// `perfbase suspect` — the §6 outlook feature: automatically screen one
+/// result value for deviating runs and unstable parameter combinations.
+fn cmd_suspect(argv: Vec<String>) -> Result<String, String> {
+    use perfbase_core::anomaly::{screen_experiment, AnomalyConfig};
+    use perfbase_core::query::spec::{Filter, FilterOp, RunFilter, SourceSpec};
+    let a = Args::parse(
+        argv,
+        &with(&[
+            OptSpec { name: "value", takes_value: true },
+            OptSpec { name: "group", takes_value: true },
+            OptSpec { name: "param", takes_value: true },
+            OptSpec { name: "threshold", takes_value: true },
+            OptSpec { name: "max-rel-stddev", takes_value: true },
+            OptSpec { name: "min-samples", takes_value: true },
+        ]),
+    )
+    .map_err(err)?;
+    let db = open_db(a.require("db").map_err(err)?)?;
+    db.check_access(&user_of(&a), AccessLevel::Query).map_err(err)?;
+
+    let value = a.require("value").map_err(err)?.to_string();
+    let carry: Vec<String> = a
+        .require("group")
+        .map_err(err)?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let mut filters = Vec::new();
+    for p in a.get_all("param") {
+        let (name, v) = p
+            .split_once('=')
+            .ok_or_else(|| format!("--param expects name=value, got '{p}'"))?;
+        filters.push(Filter {
+            parameter: name.to_string(),
+            op: FilterOp::Eq,
+            value: v.to_string(),
+        });
+    }
+    let mut config = AnomalyConfig::default();
+    if let Some(t) = a.get("threshold") {
+        config.threshold = t.parse().map_err(|_| "bad --threshold".to_string())?;
+    }
+    if let Some(t) = a.get("max-rel-stddev") {
+        config.max_rel_stddev = t.parse().map_err(|_| "bad --max-rel-stddev".to_string())?;
+    }
+    if let Some(t) = a.get("min-samples") {
+        config.min_samples = t.parse().map_err(|_| "bad --min-samples".to_string())?;
+    }
+
+    let source =
+        SourceSpec { filters, run_filter: RunFilter::default(), carry, values: vec![value] };
+    let report = screen_experiment(&db, &source, &config).map_err(err)?;
+    Ok(report.render())
+}

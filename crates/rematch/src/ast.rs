@@ -1,0 +1,123 @@
+//! Abstract syntax tree for parsed regular expressions.
+
+/// One item inside a character class: a single char or an inclusive range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character, e.g. `a` in `[abc]`.
+    Char(char),
+    /// An inclusive range, e.g. `a-z`.
+    Range(char, char),
+}
+
+impl ClassItem {
+    /// Does this item contain `c`?
+    pub fn contains(&self, c: char) -> bool {
+        match *self {
+            ClassItem::Char(x) => x == c,
+            ClassItem::Range(lo, hi) => lo <= c && c <= hi,
+        }
+    }
+}
+
+/// Parsed regular-expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// A character class `[...]`.
+    Class {
+        /// True for `[^...]`.
+        negated: bool,
+        /// The member items.
+        items: Vec<ClassItem>,
+    },
+    /// Sequence of expressions.
+    Concat(Vec<Ast>),
+    /// `a|b|c`.
+    Alternate(Vec<Ast>),
+    /// Repetition `{min, max}`; `max == None` means unbounded.
+    Repeat {
+        /// Repeated node.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` = infinity.
+        max: Option<u32>,
+        /// Greedy (default) or lazy (`*?`).
+        greedy: bool,
+    },
+    /// A group. `index` is `Some(i)` for capturing groups `(...)`,
+    /// `None` for `(?:...)`.
+    Group {
+        /// Capture index (1-based), if capturing.
+        index: Option<u32>,
+        /// Grouped node.
+        node: Box<Ast>,
+    },
+    /// `^` anchor.
+    AnchorStart,
+    /// `$` anchor.
+    AnchorEnd,
+    /// `\b` (true) or `\B` (false).
+    WordBoundary(bool),
+}
+
+impl Ast {
+    /// Number of capturing groups contained in this subtree.
+    pub fn capture_groups(&self) -> u32 {
+        match self {
+            Ast::Concat(xs) | Ast::Alternate(xs) => xs.iter().map(Ast::capture_groups).sum(),
+            Ast::Repeat { node, .. } => node.capture_groups(),
+            Ast::Group { index, node } => u32::from(index.is_some()) + node.capture_groups(),
+            _ => 0,
+        }
+    }
+}
+
+/// Is `c` a word character for `\w` / `\b` purposes (ASCII semantics)?
+pub fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_item_contains() {
+        assert!(ClassItem::Char('x').contains('x'));
+        assert!(!ClassItem::Char('x').contains('y'));
+        assert!(ClassItem::Range('a', 'f').contains('c'));
+        assert!(!ClassItem::Range('a', 'f').contains('g'));
+    }
+
+    #[test]
+    fn capture_group_counting() {
+        // (a)(?:b(c)) has 2 capturing groups.
+        let ast = Ast::Concat(vec![
+            Ast::Group { index: Some(1), node: Box::new(Ast::Literal('a')) },
+            Ast::Group {
+                index: None,
+                node: Box::new(Ast::Concat(vec![
+                    Ast::Literal('b'),
+                    Ast::Group { index: Some(2), node: Box::new(Ast::Literal('c')) },
+                ])),
+            },
+        ]);
+        assert_eq!(ast.capture_groups(), 2);
+    }
+
+    #[test]
+    fn word_chars() {
+        assert!(is_word_char('a'));
+        assert!(is_word_char('Z'));
+        assert!(is_word_char('0'));
+        assert!(is_word_char('_'));
+        assert!(!is_word_char('-'));
+        assert!(!is_word_char(' '));
+    }
+}

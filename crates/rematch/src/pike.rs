@@ -1,0 +1,278 @@
+//! The Pike VM: executes a compiled [`Program`] over input text in
+//! `O(len(text) · len(program))` time while tracking capture slots.
+//!
+//! Thread priority encodes leftmost-first (Perl-like) match semantics:
+//! threads earlier in the list are preferred; a `Split` adds its preferred
+//! branch first, and new start-of-match threads are appended last so earlier
+//! starting positions always win.
+
+use crate::ast::{is_word_char, ClassItem};
+use crate::compile::{Inst, Program};
+
+type Slots = Vec<Option<usize>>;
+
+struct ThreadList {
+    /// Threads in priority order.
+    dense: Vec<(usize, Slots)>,
+    /// `seen[pc]` marks program counters already queued this step.
+    seen: Vec<bool>,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> Self {
+        ThreadList { dense: Vec::with_capacity(16), seen: vec![false; n] }
+    }
+
+    fn clear(&mut self) {
+        self.dense.clear();
+        self.seen.iter_mut().for_each(|s| *s = false);
+    }
+}
+
+/// Context needed to evaluate position assertions.
+#[derive(Clone, Copy)]
+struct Pos {
+    /// Byte offset in the haystack.
+    at: usize,
+    /// Total haystack length in bytes.
+    len: usize,
+    /// Character immediately before `at`, if any.
+    prev: Option<char>,
+    /// Character at `at`, if any.
+    next: Option<char>,
+}
+
+impl Pos {
+    fn word_boundary(&self) -> bool {
+        let before = self.prev.map(is_word_char).unwrap_or(false);
+        let after = self.next.map(is_word_char).unwrap_or(false);
+        before != after
+    }
+}
+
+/// Follow epsilon transitions from `pc`, queueing consuming instructions.
+fn add_thread(prog: &Program, list: &mut ThreadList, pc: usize, slots: &Slots, pos: Pos) {
+    // Explicit stack to avoid recursion depth issues on large programs.
+    let mut stack: Vec<(usize, Option<Slots>)> = vec![(pc, None)];
+    while let Some((pc, owned)) = stack.pop() {
+        if list.seen[pc] {
+            continue;
+        }
+        list.seen[pc] = true;
+        let cur: &Slots = owned.as_ref().unwrap_or(slots);
+        match &prog.insts[pc] {
+            Inst::Jmp(x) => stack.push((*x, owned.clone())),
+            Inst::Split(a, b) => {
+                // Preferred branch `a` must be explored first ⇒ push `b` first.
+                stack.push((*b, owned.clone()));
+                stack.push((*a, owned));
+            }
+            Inst::Save(slot) => {
+                let mut s = cur.clone();
+                if *slot < s.len() {
+                    s[*slot] = Some(pos.at);
+                }
+                stack.push((pc + 1, Some(s)));
+            }
+            Inst::AssertStart => {
+                if pos.at == 0 {
+                    stack.push((pc + 1, owned));
+                }
+            }
+            Inst::AssertEnd => {
+                if pos.at == pos.len {
+                    stack.push((pc + 1, owned));
+                }
+            }
+            Inst::AssertWord(want) => {
+                if pos.word_boundary() == *want {
+                    stack.push((pc + 1, owned));
+                }
+            }
+            Inst::Char(_) | Inst::Any | Inst::Class { .. } | Inst::MatchEnd => {
+                list.dense.push((pc, cur.clone()));
+            }
+        }
+    }
+}
+
+fn fold(c: char) -> char {
+    if c.is_ascii() {
+        c.to_ascii_lowercase()
+    } else {
+        c.to_lowercase().next().unwrap_or(c)
+    }
+}
+
+fn char_eq(a: char, b: char, ci: bool) -> bool {
+    a == b || (ci && fold(a) == fold(b))
+}
+
+fn class_contains(items: &[ClassItem], negated: bool, c: char, ci: bool) -> bool {
+    let mut hit = items.iter().any(|i| i.contains(c));
+    if !hit && ci {
+        let lo = fold(c);
+        let up = c.to_uppercase().next().unwrap_or(c);
+        hit = items.iter().any(|i| i.contains(lo) || i.contains(up));
+    }
+    hit != negated
+}
+
+/// Search `text` for the leftmost match at or after byte offset `start`.
+/// Returns the capture slots on success.
+pub fn search(prog: &Program, text: &str, start: usize) -> Option<Slots> {
+    if start > text.len() {
+        return None;
+    }
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    let mut matched: Option<Slots> = None;
+    let empty_slots: Slots = vec![None; prog.num_slots];
+
+    let bytes_len = text.len();
+    let mut at = start;
+    let mut prev: Option<char> = if start == 0 {
+        None
+    } else {
+        text[..start].chars().next_back()
+    };
+
+    loop {
+        let next_char = text[at..].chars().next();
+        let pos = Pos { at, len: bytes_len, prev, next: next_char };
+
+        if matched.is_none() {
+            // New potential match start — lowest priority.
+            add_thread(prog, &mut clist, 0, &empty_slots, pos);
+        }
+
+        let mut i = 0;
+        while i < clist.dense.len() {
+            let (pc, slots) = {
+                let t = &clist.dense[i];
+                (t.0, t.1.clone())
+            };
+            match &prog.insts[pc] {
+                Inst::MatchEnd => {
+                    // Leftmost-first: this thread beats every lower-priority
+                    // thread, so drop them; higher-priority threads continue.
+                    matched = Some(slots);
+                    clist.dense.truncate(i + 1);
+                    break;
+                }
+                Inst::Char(x) => {
+                    if let Some(c) = next_char {
+                        if char_eq(c, *x, prog.case_insensitive) {
+                            let npos = Pos {
+                                at: at + c.len_utf8(),
+                                len: bytes_len,
+                                prev: Some(c),
+                                next: text[at + c.len_utf8()..].chars().next(),
+                            };
+                            add_thread(prog, &mut nlist, pc + 1, &slots, npos);
+                        }
+                    }
+                }
+                Inst::Any => {
+                    if let Some(c) = next_char {
+                        if c != '\n' {
+                            let npos = Pos {
+                                at: at + c.len_utf8(),
+                                len: bytes_len,
+                                prev: Some(c),
+                                next: text[at + c.len_utf8()..].chars().next(),
+                            };
+                            add_thread(prog, &mut nlist, pc + 1, &slots, npos);
+                        }
+                    }
+                }
+                Inst::Class { negated, items } => {
+                    if let Some(c) = next_char {
+                        if class_contains(items, *negated, c, prog.case_insensitive) {
+                            let npos = Pos {
+                                at: at + c.len_utf8(),
+                                len: bytes_len,
+                                prev: Some(c),
+                                next: text[at + c.len_utf8()..].chars().next(),
+                            };
+                            add_thread(prog, &mut nlist, pc + 1, &slots, npos);
+                        }
+                    }
+                }
+                // Epsilon instructions never appear in the dense list.
+                _ => unreachable!("epsilon instruction queued as thread"),
+            }
+            i += 1;
+        }
+
+        std::mem::swap(&mut clist, &mut nlist);
+        nlist.clear();
+
+        match next_char {
+            None => break,
+            Some(c) => {
+                if clist.dense.is_empty() && matched.is_some() {
+                    break;
+                }
+                prev = Some(c);
+                at += c.len_utf8();
+            }
+        }
+    }
+
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+
+    fn run(pat: &str, text: &str) -> Option<(usize, usize)> {
+        let p = compile(&parse(pat).unwrap(), false);
+        search(&p, text, 0).map(|s| (s[0].unwrap(), s[1].unwrap()))
+    }
+
+    #[test]
+    fn earliest_start_beats_longer_later() {
+        assert_eq!(run("a+|b+", "bb aaa"), Some((0, 2)));
+    }
+
+    #[test]
+    fn greedy_takes_longest_at_same_start() {
+        assert_eq!(run("a*", "aaab"), Some((0, 3)));
+    }
+
+    #[test]
+    fn anchored_end_only() {
+        assert_eq!(run("b$", "abab"), Some((3, 4)));
+    }
+
+    #[test]
+    fn search_with_offset() {
+        let p = compile(&parse("a").unwrap(), false);
+        let s = search(&p, "abca", 1).unwrap();
+        assert_eq!(s[0], Some(3));
+    }
+
+    #[test]
+    fn offset_past_end_is_none() {
+        let p = compile(&parse("a").unwrap(), false);
+        assert!(search(&p, "abc", 10).is_none());
+    }
+
+    #[test]
+    fn word_boundary_with_offset_context() {
+        // Starting mid-word: \b must see the previous character.
+        let p = compile(&parse(r"\bcat").unwrap(), false);
+        assert!(search(&p, "concat", 3).is_none());
+        assert!(search(&p, "con cat", 4).is_some());
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_at_start() {
+        assert_eq!(run("", "xyz"), Some((0, 0)));
+    }
+}

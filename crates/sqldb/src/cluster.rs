@@ -1,0 +1,259 @@
+//! Simulated database cluster (paper §4.3, Fig. 3).
+//!
+//! The paper proposes distributing perfbase query elements across cluster
+//! nodes, each running an independent database server; an element's output
+//! table lives **on the node that consumes it**, and remote access happens
+//! "via sockets, possibly using a high-speed interconnection network".
+//!
+//! We do not have a cluster, so this module simulates one: every [`Node`]
+//! owns an independent [`Engine`], and all cross-node data movement goes
+//! through [`Cluster::copy_table`] / [`Cluster::fetch`], which charge a
+//! configurable socket-latency cost (a real `thread::sleep`, so wall-clock
+//! benchmarks see it) and record transfer statistics. Same-node access is
+//! free, exactly like the paper's placement argument.
+
+use crate::engine::{Engine, ResultSet};
+use crate::error::DbError;
+use crate::exec::infer_schema;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cost model for the simulated interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed cost per message (connection + round trip).
+    pub per_message: Duration,
+    /// Marginal cost per transferred row.
+    pub per_row: Duration,
+}
+
+impl LatencyModel {
+    /// No simulated latency (unit tests).
+    pub fn none() -> Self {
+        LatencyModel { per_message: Duration::ZERO, per_row: Duration::ZERO }
+    }
+
+    /// A gigabit-Ethernet-like LAN: ~100 µs per message, ~1 µs per row.
+    pub fn lan() -> Self {
+        LatencyModel { per_message: Duration::from_micros(100), per_row: Duration::from_micros(1) }
+    }
+
+    /// A high-speed interconnect (the paper's preferred option): ~10 µs per
+    /// message, ~100 ns per row.
+    pub fn fast_interconnect() -> Self {
+        LatencyModel { per_message: Duration::from_micros(10), per_row: Duration::from_nanos(100) }
+    }
+
+    /// Total cost of moving `rows` rows in one message.
+    pub fn cost(&self, rows: usize) -> Duration {
+        self.per_message + self.per_row * rows as u32
+    }
+}
+
+/// Aggregate transfer statistics for a cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Cross-node messages sent.
+    pub messages: u64,
+    /// Rows moved between nodes.
+    pub rows: u64,
+    /// Total simulated socket time.
+    pub simulated: Duration,
+}
+
+/// One cluster node: an id plus its own database engine.
+#[derive(Debug)]
+pub struct Node {
+    /// Node index within the cluster.
+    pub id: usize,
+    /// The node-local database server.
+    pub engine: Engine,
+}
+
+/// A set of independent database nodes joined by a simulated interconnect.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<Arc<Node>>,
+    latency: LatencyModel,
+    stats: Mutex<TransferStats>,
+}
+
+impl Cluster {
+    /// Build a cluster of `n` nodes (`n >= 1`). Node 0 plays the role of the
+    /// frontend node holding the persistent experiment data.
+    pub fn new(n: usize, latency: LatencyModel) -> Self {
+        assert!(n >= 1, "a cluster needs at least one node");
+        Cluster {
+            nodes: (0..n).map(|id| Arc::new(Node { id, engine: Engine::new() })).collect(),
+            latency,
+            stats: Mutex::new(TransferStats::default()),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: clusters have ≥ 1 node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shared handle to node `i`.
+    pub fn node(&self, i: usize) -> &Arc<Node> {
+        &self.nodes[i]
+    }
+
+    /// The frontend node (index 0).
+    pub fn frontend(&self) -> &Arc<Node> {
+        &self.nodes[0]
+    }
+
+    /// Transfer statistics so far.
+    pub fn stats(&self) -> TransferStats {
+        *self.stats.lock()
+    }
+
+    /// Publicly charge one cross-node message of `rows` rows — used by
+    /// upper layers that move data between nodes through their own code
+    /// path (e.g. perfbase materialising an element's output vector on the
+    /// consuming node).
+    pub fn charge_transfer(&self, rows: usize) {
+        self.charge(rows);
+    }
+
+    fn charge(&self, rows: usize) {
+        let cost = self.latency.cost(rows);
+        {
+            let mut s = self.stats.lock();
+            s.messages += 1;
+            s.rows += rows as u64;
+            s.simulated += cost;
+        }
+        if !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+    }
+
+    /// Run a query on node `src` and return the result *here* (i.e. to the
+    /// caller's node `dst`), charging socket cost when `src != dst`.
+    pub fn fetch(&self, src: usize, dst: usize, sql: &str) -> Result<ResultSet, DbError> {
+        let rs = self.nodes[src].engine.query(sql)?;
+        if src != dst {
+            self.charge(rs.len());
+        }
+        Ok(rs)
+    }
+
+    /// Copy a whole table from node `src` to node `dst` under `dst_name`
+    /// (replacing it if present), charging socket cost when crossing nodes.
+    /// Returns the number of rows moved.
+    pub fn copy_table(
+        &self,
+        src: usize,
+        src_name: &str,
+        dst: usize,
+        dst_name: &str,
+    ) -> Result<usize, DbError> {
+        let (schema, rows) = self.nodes[src].engine.read_snapshot(src_name)?;
+        let n = rows.len();
+        if src != dst {
+            self.charge(n);
+        }
+        let dst_engine = &self.nodes[dst].engine;
+        dst_engine.drop_table(dst_name, true)?;
+        dst_engine.create_table_opts(dst_name, schema, true, false)?;
+        dst_engine.insert_rows(dst_name, rows)?;
+        Ok(n)
+    }
+
+    /// Materialise a result set as a TEMP table on node `dst`. This is how a
+    /// query element stores its output vector "on the node on which the
+    /// query element(s) run which use this data for their input".
+    pub fn materialize(
+        &self,
+        dst: usize,
+        table: &str,
+        rs: &ResultSet,
+    ) -> Result<(), DbError> {
+        let schema = infer_schema(rs.column_names(), rs.rows())?;
+        let engine = &self.nodes[dst].engine;
+        engine.drop_table(table, true)?;
+        engine.create_table_opts(table, schema, true, false)?;
+        engine.insert_rows(table, rs.rows().to_vec())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn nodes_are_independent() {
+        let c = Cluster::new(2, LatencyModel::none());
+        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        assert!(c.node(0).engine.has_table("t"));
+        assert!(!c.node(1).engine.has_table("t"));
+    }
+
+    #[test]
+    fn copy_table_moves_rows_and_counts_stats() {
+        let c = Cluster::new(2, LatencyModel::none());
+        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        c.node(0).engine.execute("INSERT INTO t VALUES (1),(2),(3)").unwrap();
+        let n = c.copy_table(0, "t", 1, "t_copy").unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(c.node(1).engine.row_count("t_copy").unwrap(), 3);
+        let s = c.stats();
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.rows, 3);
+    }
+
+    #[test]
+    fn same_node_copy_is_free() {
+        let c = Cluster::new(1, LatencyModel::lan());
+        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        c.node(0).engine.execute("INSERT INTO t VALUES (1)").unwrap();
+        c.copy_table(0, "t", 0, "t2").unwrap();
+        assert_eq!(c.stats().messages, 0);
+    }
+
+    #[test]
+    fn fetch_remote_charges() {
+        let c = Cluster::new(2, LatencyModel::none());
+        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        c.node(0).engine.execute("INSERT INTO t VALUES (1),(2)").unwrap();
+        let rs = c.fetch(0, 1, "SELECT x FROM t").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(c.stats().messages, 1);
+        // Local fetch: no message.
+        c.fetch(0, 0, "SELECT x FROM t").unwrap();
+        assert_eq!(c.stats().messages, 1);
+    }
+
+    #[test]
+    fn materialize_result_set() {
+        let c = Cluster::new(2, LatencyModel::none());
+        c.node(0).engine.execute("CREATE TABLE t (x INTEGER, s TEXT)").unwrap();
+        c.node(0).engine.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
+        let rs = c.node(0).engine.query("SELECT x, s FROM t").unwrap();
+        c.materialize(1, "out", &rs).unwrap();
+        let got = c.node(1).engine.query("SELECT x, s FROM out").unwrap();
+        assert_eq!(got.rows()[0], vec![Value::Int(1), Value::Text("a".into())]);
+        // materialize is temp: cleanup drops it
+        c.node(1).engine.drop_temp_tables();
+        assert!(!c.node(1).engine.has_table("out"));
+    }
+
+    #[test]
+    fn latency_cost_arithmetic() {
+        let m = LatencyModel::lan();
+        assert_eq!(m.cost(0), Duration::from_micros(100));
+        assert_eq!(m.cost(1000), Duration::from_micros(1100));
+        assert_eq!(LatencyModel::none().cost(1_000_000), Duration::ZERO);
+    }
+}

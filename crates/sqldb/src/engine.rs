@@ -1,0 +1,463 @@
+//! The engine: catalog of tables plus the SQL entry points.
+
+use crate::error::DbError;
+use crate::exec;
+use crate::expr::{self, RowCtx};
+use crate::schema::{Column, Schema};
+use crate::sql::{self, Stmt};
+use crate::table::{Row, Table};
+use crate::value::Value;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Result of a SELECT: column names plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Construct from parts (used by the executor).
+    pub(crate) fn new(columns: Vec<String>, rows: Vec<Row>) -> Self {
+        ResultSet { columns, rows }
+    }
+
+    /// Output column names.
+    pub fn column_names(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Value at (row, named column).
+    pub fn get(&self, row: usize, column: &str) -> Option<&Value> {
+        let i = self.columns.iter().position(|c| c == column)?;
+        self.rows.get(row)?.get(i)
+    }
+
+    /// One whole column as a vector.
+    pub fn column(&self, name: &str) -> Option<Vec<Value>> {
+        let i = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| r[i].clone()).collect())
+    }
+}
+
+/// An in-process database: a catalog of `RwLock`-guarded tables.
+///
+/// The engine is `Sync`; concurrent readers of the same table proceed in
+/// parallel, which is what lets perfbase *source* elements run concurrently
+/// (paper §4.3).
+#[derive(Debug, Default)]
+pub struct Engine {
+    tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+    temps: Mutex<HashSet<String>>,
+}
+
+impl Engine {
+    /// Empty database.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Create a table programmatically.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<(), DbError> {
+        self.create_table_opts(name, schema, false, false)
+    }
+
+    /// Create a table with TEMP / IF NOT EXISTS options.
+    pub fn create_table_opts(
+        &self,
+        name: &str,
+        schema: Schema,
+        temp: bool,
+        if_not_exists: bool,
+    ) -> Result<(), DbError> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        tables.insert(name.to_string(), Arc::new(RwLock::new(Table::new(schema))));
+        if temp {
+            self.temps.lock().insert(name.to_string());
+        }
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<(), DbError> {
+        let removed = self.tables.write().remove(name).is_some();
+        self.temps.lock().remove(name);
+        if !removed && !if_exists {
+            return Err(DbError::NoSuchTable(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Does `name` exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Shared handle to a table.
+    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>, DbError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Insert rows programmatically.
+    pub fn insert_rows(&self, name: &str, rows: Vec<Row>) -> Result<usize, DbError> {
+        let t = self.table(name)?;
+        let n = t.write().insert_all(rows)?;
+        Ok(n)
+    }
+
+    /// Snapshot a table's schema and rows (copy under the read lock).
+    pub fn read_snapshot(&self, name: &str) -> Result<(Schema, Vec<Row>), DbError> {
+        let t = self.table(name)?;
+        let guard = t.read();
+        Ok((guard.schema.clone(), guard.rows().to_vec()))
+    }
+
+    /// Row count of a table.
+    pub fn row_count(&self, name: &str) -> Result<usize, DbError> {
+        Ok(self.table(name)?.read().len())
+    }
+
+    /// All table names (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Names of TEMP tables (sorted).
+    pub fn temp_table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.temps.lock().iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Drop every TEMP table — perfbase does this at the end of a query.
+    pub fn drop_temp_tables(&self) {
+        let names = self.temp_table_names();
+        let mut tables = self.tables.write();
+        for n in &names {
+            tables.remove(n);
+        }
+        self.temps.lock().clear();
+    }
+
+    /// Execute a non-SELECT statement; returns the number of affected rows
+    /// (0 for DDL).
+    pub fn execute(&self, sql_text: &str) -> Result<usize, DbError> {
+        self.run_parsed(sql::parse_statement(sql_text)?)
+    }
+
+    /// Execute an already-parsed non-SELECT statement.
+    pub(crate) fn run_parsed(&self, stmt: Stmt) -> Result<usize, DbError> {
+        match stmt {
+            Stmt::CreateTable { name, temp, if_not_exists, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|c| Column { name: c.name, dtype: c.dtype, nullable: c.nullable })
+                        .collect(),
+                )?;
+                self.create_table_opts(&name, schema, temp, if_not_exists)?;
+                Ok(0)
+            }
+            Stmt::DropTable { name, if_exists } => {
+                self.drop_table(&name, if_exists)?;
+                Ok(0)
+            }
+            Stmt::Insert { table, columns, rows } => self.run_insert(&table, columns, rows),
+            Stmt::Update { table, sets, where_clause } => {
+                self.run_update(&table, sets, where_clause)
+            }
+            Stmt::Delete { table, where_clause } => self.run_delete(&table, where_clause),
+            Stmt::Select(_) => Err(DbError::Execution(
+                "use query() for SELECT statements".into(),
+            )),
+        }
+    }
+
+    /// Run a SELECT and return its rows.
+    pub fn query(&self, sql_text: &str) -> Result<ResultSet, DbError> {
+        match sql::parse_statement(sql_text)? {
+            Stmt::Select(sel) => exec::run_select(self, &sel),
+            _ => Err(DbError::Execution("query() only accepts SELECT statements".into())),
+        }
+    }
+
+    fn run_insert(
+        &self,
+        table: &str,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<sql::SqlExpr>>,
+    ) -> Result<usize, DbError> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        let schema = guard.schema.clone();
+        let empty_schema = Schema::default();
+        let empty_row: Vec<Value> = Vec::new();
+        let const_ctx = RowCtx { schema: &empty_schema, row: &empty_row };
+
+        let mut n = 0;
+        for row_exprs in rows {
+            let values: Result<Vec<Value>, DbError> =
+                row_exprs.iter().map(|e| expr::eval(e, &const_ctx)).collect();
+            let values = values?;
+            let full_row = match &columns {
+                None => values,
+                Some(cols) => {
+                    if cols.len() != values.len() {
+                        return Err(DbError::Type(format!(
+                            "INSERT column list has {} names but {} values",
+                            cols.len(),
+                            values.len()
+                        )));
+                    }
+                    let mut full = vec![Value::Null; schema.arity()];
+                    for (c, v) in cols.iter().zip(values) {
+                        let i = schema
+                            .index_of(c)
+                            .ok_or_else(|| DbError::NoSuchColumn(c.clone()))?;
+                        full[i] = v;
+                    }
+                    full
+                }
+            };
+            guard.insert(full_row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn run_update(
+        &self,
+        table: &str,
+        sets: Vec<(String, sql::SqlExpr)>,
+        where_clause: Option<sql::SqlExpr>,
+    ) -> Result<usize, DbError> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        let schema = guard.schema.clone();
+        // Resolve target columns up front.
+        let mut targets = Vec::with_capacity(sets.len());
+        for (name, e) in &sets {
+            let i = schema.index_of(name).ok_or_else(|| DbError::NoSuchColumn(name.clone()))?;
+            targets.push((i, e));
+        }
+        let mut err: Option<DbError> = None;
+        let n = guard.update_where(|row| {
+            if err.is_some() {
+                return false;
+            }
+            let ctx = RowCtx { schema: &schema, row };
+            let hit = match &where_clause {
+                None => true,
+                Some(w) => match expr::eval(w, &ctx) {
+                    Ok(v) => expr::truthy(&v),
+                    Err(e) => {
+                        err = Some(e);
+                        return false;
+                    }
+                },
+            };
+            if !hit {
+                return false;
+            }
+            // Evaluate all RHS against the pre-update row, then assign.
+            let mut new_vals = Vec::with_capacity(targets.len());
+            for (i, e) in &targets {
+                match expr::eval(e, &RowCtx { schema: &schema, row }) {
+                    Ok(v) => match v.coerce(schema.columns[*i].dtype) {
+                        Ok(cv) => new_vals.push((*i, cv)),
+                        Err(m) => {
+                            err = Some(DbError::Type(m));
+                            return false;
+                        }
+                    },
+                    Err(e) => {
+                        err = Some(e);
+                        return false;
+                    }
+                }
+            }
+            for (i, v) in new_vals {
+                row[i] = v;
+            }
+            true
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+
+    fn run_delete(
+        &self,
+        table: &str,
+        where_clause: Option<sql::SqlExpr>,
+    ) -> Result<usize, DbError> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        let schema = guard.schema.clone();
+        let mut err: Option<DbError> = None;
+        let n = guard.delete_where(|row| {
+            if err.is_some() {
+                return false;
+            }
+            match &where_clause {
+                None => true,
+                Some(w) => match expr::eval(w, &RowCtx { schema: &schema, row }) {
+                    Ok(v) => expr::truthy(&v),
+                    Err(e) => {
+                        err = Some(e);
+                        false
+                    }
+                },
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn programmatic_api_roundtrip() {
+        let db = Engine::new();
+        let schema = Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("v", DataType::Float),
+        ])
+        .unwrap();
+        db.create_table("t", schema).unwrap();
+        db.insert_rows("t", vec![vec![Value::Int(1), Value::Float(2.0)]]).unwrap();
+        let (schema, rows) = db.read_snapshot("t").unwrap();
+        assert_eq!(schema.arity(), 2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(db.row_count("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        assert!(matches!(db.execute("CREATE TABLE t (a INTEGER)"), Err(DbError::TableExists(_))));
+        db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)").unwrap();
+    }
+
+    #[test]
+    fn drop_semantics() {
+        let db = Engine::new();
+        assert!(db.execute("DROP TABLE nope").is_err());
+        db.execute("DROP TABLE IF EXISTS nope").unwrap();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        db.execute("DROP TABLE t").unwrap();
+        assert!(!db.has_table("t"));
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT, c FLOAT)").unwrap();
+        db.execute("INSERT INTO t (c, a) VALUES (1.5, 7)").unwrap();
+        let rs = db.query("SELECT a, b, c FROM t").unwrap();
+        assert_eq!(rs.rows()[0], vec![Value::Int(7), Value::Null, Value::Float(1.5)]);
+    }
+
+    #[test]
+    fn insert_rejects_unknown_column() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        assert!(matches!(
+            db.execute("INSERT INTO t (zzz) VALUES (1)"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn update_uses_pre_update_values() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        db.execute("UPDATE t SET a = b, b = a").unwrap();
+        let rs = db.query("SELECT a, b FROM t").unwrap();
+        assert_eq!(rs.rows()[0], vec![Value::Int(10), Value::Int(1)]);
+    }
+
+    #[test]
+    fn query_rejects_non_select_and_vice_versa() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        assert!(db.query("INSERT INTO t VALUES (1)").is_err());
+        assert!(db.execute("SELECT a FROM t").is_err());
+    }
+
+    #[test]
+    fn resultset_accessors() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+        let rs = db.query("SELECT a, b FROM t ORDER BY a").unwrap();
+        assert_eq!(rs.get(1, "b"), Some(&Value::Text("y".into())));
+        assert_eq!(rs.column("a").unwrap(), vec![Value::Int(1), Value::Int(2)]);
+        assert!(rs.get(5, "b").is_none());
+        assert!(rs.column("zzz").is_none());
+    }
+
+    #[test]
+    fn concurrent_readers_do_not_block() {
+        use std::thread;
+        let db = std::sync::Arc::new(Engine::new());
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        for i in 0..100 {
+            db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let db = db.clone();
+            handles.push(thread::spawn(move || {
+                let rs = db.query("SELECT count(*) FROM t").unwrap();
+                assert_eq!(rs.rows()[0][0], Value::Int(100));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

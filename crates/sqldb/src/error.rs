@@ -1,0 +1,47 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+/// Any failure reported by the database engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL text could not be tokenized/parsed.
+    Parse(String),
+    /// A named table does not exist.
+    NoSuchTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A referenced column does not exist (or is ambiguous).
+    NoSuchColumn(String),
+    /// A value did not fit the column type, or arity mismatched.
+    Type(String),
+    /// Anything else (planner/executor invariant violations).
+    Execution(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DbError::NoSuchTable("x".into()).to_string().contains("x"));
+        assert!(DbError::Parse("boom".into()).to_string().contains("boom"));
+        assert!(DbError::NoSuchColumn("c".into()).to_string().contains("c"));
+    }
+}

@@ -1,0 +1,763 @@
+//! SELECT execution: scan → join → filter → group/aggregate → project →
+//! distinct → order → limit.
+
+use crate::aggregate::{Accumulator, AggKind};
+use crate::engine::{Engine, ResultSet};
+use crate::error::DbError;
+use crate::expr::{eval, truthy, RowCtx};
+use crate::schema::{Column, Schema};
+use crate::sql::{JoinClause, SelectItem, SelectStmt, SqlExpr};
+use crate::table::Row;
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// Execute a SELECT against the engine.
+pub fn run_select(engine: &Engine, sel: &SelectStmt) -> Result<ResultSet, DbError> {
+    // 0. Streaming fast path for single-table aggregation: filter and
+    //    accumulate in one scan under the read lock, never materialising a
+    //    snapshot. This is the paper's §4.2 in-database operator advantage.
+    if let Some(base) = &sel.from {
+        if sel.joins.is_empty() {
+            let handle = engine.table(base)?;
+            let guard = handle.read();
+            let schema = &guard.schema;
+            if let Some(key_idx) = resolve_group_keys(sel, schema) {
+                if let Some(plan) = plan_fast(sel, schema, &key_idx) {
+                    let mut agg = FastAgg::new(plan, key_idx);
+                    for row in guard.rows() {
+                        if let Some(w) = &sel.where_clause {
+                            let v = eval(w, &RowCtx { schema, row })?;
+                            if !truthy(&v) {
+                                continue;
+                            }
+                        }
+                        agg.update(row);
+                    }
+                    let out_rows = agg.finish()?;
+                    let columns = output_names(sel, schema);
+                    drop(guard);
+                    return finalize(sel, columns, out_rows);
+                }
+            }
+        }
+    }
+
+    // 1. Input relation.
+    let (schema, mut rows) = match &sel.from {
+        None => (Schema::default(), vec![Vec::new()]),
+        Some(base) => {
+            if sel.joins.is_empty() {
+                engine.read_snapshot(base)?
+            } else {
+                join_input(engine, base, &sel.joins)?
+            }
+        }
+    };
+
+    // 2. Filter.
+    if let Some(w) = &sel.where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for r in rows {
+            let v = eval(w, &RowCtx { schema: &schema, row: &r })?;
+            if truthy(&v) {
+                kept.push(r);
+            }
+        }
+        rows = kept;
+    }
+
+    // 3. Aggregate or plain projection.
+    let has_agg = sel.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        SelectItem::Star => false,
+    });
+
+    let (columns, out_rows) = if has_agg || !sel.group_by.is_empty() {
+        aggregate_project(sel, &schema, &rows)?
+    } else {
+        plain_project(sel, &schema, &rows)?
+    };
+
+    finalize(sel, columns, out_rows)
+}
+
+/// Group-key column indices, when every GROUP BY name resolves and the
+/// query has an aggregation shape at all.
+fn resolve_group_keys(sel: &SelectStmt, schema: &Schema) -> Option<Vec<usize>> {
+    let has_agg = sel.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        SelectItem::Star => false,
+    });
+    if !has_agg && sel.group_by.is_empty() {
+        return None;
+    }
+    sel.group_by.iter().map(|g| schema.index_of(g)).collect()
+}
+
+/// DISTINCT → ORDER BY → LIMIT, shared by both execution paths.
+fn finalize(
+    sel: &SelectStmt,
+    columns: Vec<String>,
+    mut out_rows: Vec<Row>,
+) -> Result<ResultSet, DbError> {
+    if sel.distinct {
+        let mut seen = HashMap::new();
+        let mut deduped = Vec::with_capacity(out_rows.len());
+        for r in out_rows {
+            let key = encode_row(&r);
+            if seen.insert(key, ()).is_none() {
+                deduped.push(r);
+            }
+        }
+        out_rows = deduped;
+    }
+
+    if !sel.order_by.is_empty() {
+        let mut keys = Vec::with_capacity(sel.order_by.len());
+        for k in &sel.order_by {
+            let idx = match k.position {
+                Some(p) => {
+                    if p == 0 || p > columns.len() {
+                        return Err(DbError::Execution(format!(
+                            "ORDER BY position {p} out of range"
+                        )));
+                    }
+                    p - 1
+                }
+                None => resolve_output_column(&columns, &k.column)
+                    .ok_or_else(|| DbError::NoSuchColumn(k.column.clone()))?,
+            };
+            keys.push((idx, k.desc));
+        }
+        out_rows.sort_by(|a, b| {
+            for (idx, desc) in &keys {
+                let ord = a[*idx].total_cmp(&b[*idx]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    if let Some(n) = sel.limit {
+        out_rows.truncate(n);
+    }
+
+    Ok(ResultSet::new(columns, out_rows))
+}
+
+/// Resolve an ORDER BY name against output column names: exact match first,
+/// then match on the unqualified suffix (`mbps` ↔ `bw.mbps`).
+fn resolve_output_column(columns: &[String], name: &str) -> Option<usize> {
+    if let Some(i) = columns.iter().position(|c| c == name) {
+        return Some(i);
+    }
+    columns
+        .iter()
+        .position(|c| c.rsplit('.').next() == Some(name) || name.rsplit('.').next() == Some(c.as_str()))
+}
+
+/// Build the joined input relation. Output column names are qualified
+/// (`table.column`) so both sides stay addressable.
+fn join_input(
+    engine: &Engine,
+    base: &str,
+    joins: &[JoinClause],
+) -> Result<(Schema, Vec<Row>), DbError> {
+    let (bs, brows) = engine.read_snapshot(base)?;
+    let mut schema = qualify(&bs, base)?;
+    let mut rows = brows;
+
+    for j in joins {
+        let (js, jrows) = engine.read_snapshot(&j.table)?;
+        let jschema = qualify(&js, &j.table)?;
+
+        // Decide which key belongs to the accumulated side.
+        let (acc_key, new_key) = if schema.index_of(&j.left_col).is_some()
+            && jschema.index_of(&j.right_col).is_some()
+        {
+            (&j.left_col, &j.right_col)
+        } else if schema.index_of(&j.right_col).is_some()
+            && jschema.index_of(&j.left_col).is_some()
+        {
+            (&j.right_col, &j.left_col)
+        } else {
+            return Err(DbError::NoSuchColumn(format!(
+                "join keys {} / {} not found",
+                j.left_col, j.right_col
+            )));
+        };
+        let ai = schema.index_of(acc_key).expect("checked above");
+        let ni = jschema.index_of(new_key).expect("checked above");
+
+        // Hash join: build on the joined (usually smaller metadata) side.
+        let mut built: HashMap<String, Vec<usize>> = HashMap::new();
+        for (k, r) in jrows.iter().enumerate() {
+            if r[ni].is_null() {
+                continue; // NULL keys never match
+            }
+            built.entry(encode_value(&r[ni])).or_default().push(k);
+        }
+
+        let mut out = Vec::new();
+        for r in &rows {
+            if r[ai].is_null() {
+                continue;
+            }
+            if let Some(matches) = built.get(&encode_value(&r[ai])) {
+                for &k in matches {
+                    let mut joined = r.clone();
+                    joined.extend(jrows[k].iter().cloned());
+                    out.push(joined);
+                }
+            }
+        }
+
+        let mut cols = schema.columns;
+        cols.extend(jschema.columns);
+        schema = Schema::new(cols)?;
+        rows = out;
+    }
+    Ok((schema, rows))
+}
+
+fn qualify(schema: &Schema, table: &str) -> Result<Schema, DbError> {
+    Schema::new(
+        schema
+            .columns
+            .iter()
+            .map(|c| Column {
+                name: format!("{table}.{}", c.name),
+                dtype: c.dtype,
+                nullable: c.nullable,
+            })
+            .collect(),
+    )
+}
+
+fn plain_project(
+    sel: &SelectStmt,
+    schema: &Schema,
+    rows: &[Row],
+) -> Result<(Vec<String>, Vec<Row>), DbError> {
+    let columns = output_names(sel, schema);
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        let ctx = RowCtx { schema, row: r };
+        let mut projected = Vec::with_capacity(columns.len());
+        for item in &sel.items {
+            match item {
+                SelectItem::Star => projected.extend(r.iter().cloned()),
+                SelectItem::Expr { expr, .. } => projected.push(eval(expr, &ctx)?),
+            }
+        }
+        out.push(projected);
+    }
+    Ok((columns, out))
+}
+
+/// Plan of a fast-path aggregation item.
+enum FastItem {
+    /// Pass through group-key slot `k`.
+    Key(usize),
+    /// Accumulate `agg(column i)`; `None` column means `count(*)`.
+    Agg(AggKind, Option<usize>),
+}
+
+/// Build the fast-path plan for the common `SELECT g…, agg(col)… GROUP BY
+/// g…` shape. Returns `None` when any item needs the general expression
+/// path.
+fn plan_fast(sel: &SelectStmt, schema: &Schema, key_idx: &[usize]) -> Option<Vec<FastItem>> {
+    let mut plan = Vec::with_capacity(sel.items.len());
+    for item in &sel.items {
+        let expr = match item {
+            SelectItem::Expr { expr, .. } => expr,
+            SelectItem::Star => return None,
+        };
+        match expr {
+            SqlExpr::Col(name) => {
+                let i = schema.index_of(name)?;
+                let k = key_idx.iter().position(|&ki| ki == i)?;
+                plan.push(FastItem::Key(k));
+            }
+            SqlExpr::Func { name, args, star } => {
+                let kind = AggKind::from_name(name)?;
+                if *star {
+                    plan.push(FastItem::Agg(kind, None));
+                } else {
+                    match args.as_slice() {
+                        [SqlExpr::Col(col)] => {
+                            let i = schema.index_of(col)?;
+                            plan.push(FastItem::Agg(kind, Some(i)));
+                        }
+                        // count(<non-null literal>) counts rows; other
+                        // aggregates over literals take the general path.
+                        [SqlExpr::Lit(l)] if kind == AggKind::Count && !l.is_null() => {
+                            plan.push(FastItem::Agg(kind, None))
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(plan)
+}
+
+/// Streaming state for the single-pass aggregation: one scan, one
+/// accumulator set per group, byte-encoded keys. This is what makes
+/// in-database aggregation beat row-at-a-time processing in the frontend
+/// (paper §4.2).
+struct FastAgg {
+    plan: Vec<FastItem>,
+    key_idx: Vec<usize>,
+    group_of: HashMap<Vec<u8>, usize>,
+    keys: Vec<Vec<Value>>,
+    accs: Vec<Vec<Accumulator>>,
+}
+
+impl FastAgg {
+    fn new(plan: Vec<FastItem>, key_idx: Vec<usize>) -> Self {
+        let mut agg = FastAgg {
+            plan,
+            key_idx,
+            group_of: HashMap::new(),
+            keys: Vec::new(),
+            accs: Vec::new(),
+        };
+        if agg.key_idx.is_empty() {
+            // One global group, present even for zero input rows.
+            agg.keys.push(Vec::new());
+            let fresh = agg.fresh_accs();
+            agg.accs.push(fresh);
+        }
+        agg
+    }
+
+    fn fresh_accs(&self) -> Vec<Accumulator> {
+        self.plan
+            .iter()
+            .filter_map(|it| match it {
+                FastItem::Agg(kind, _) => Some(Accumulator::new(*kind)),
+                FastItem::Key(_) => None,
+            })
+            .collect()
+    }
+
+    fn update(&mut self, row: &Row) {
+        let gi = if self.key_idx.is_empty() {
+            0
+        } else {
+            let mut key = Vec::with_capacity(self.key_idx.len() * 9);
+            for &i in &self.key_idx {
+                encode_value_bytes(&row[i], &mut key);
+            }
+            match self.group_of.get(&key) {
+                Some(&gi) => gi,
+                None => {
+                    let gi = self.keys.len();
+                    self.group_of.insert(key, gi);
+                    self.keys.push(self.key_idx.iter().map(|&i| row[i].clone()).collect());
+                    let fresh = self.fresh_accs();
+                    self.accs.push(fresh);
+                    gi
+                }
+            }
+        };
+        let group_accs = &mut self.accs[gi];
+        let star_value = Value::Int(1);
+        let mut a = 0;
+        for it in &self.plan {
+            if let FastItem::Agg(_, col) = it {
+                let v = match col {
+                    Some(i) => &row[*i],
+                    None => &star_value,
+                };
+                group_accs[a].update(v);
+                a += 1;
+            }
+        }
+    }
+
+    fn finish(self) -> Result<Vec<Row>, DbError> {
+        let mut out = Vec::with_capacity(self.keys.len());
+        for (key, group_accs) in self.keys.iter().zip(&self.accs) {
+            let mut row = Vec::with_capacity(self.plan.len());
+            let mut a = 0;
+            for it in &self.plan {
+                match it {
+                    FastItem::Key(k) => row.push(key[*k].clone()),
+                    FastItem::Agg(..) => {
+                        row.push(group_accs[a].finish().map_err(DbError::Type)?);
+                        a += 1;
+                    }
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+/// Slice-based wrapper used by the general path (post-join/filter input).
+fn try_fast_aggregate(
+    sel: &SelectStmt,
+    schema: &Schema,
+    rows: &[Row],
+    key_idx: &[usize],
+) -> Option<Result<Vec<Row>, DbError>> {
+    let plan = plan_fast(sel, schema, key_idx)?;
+    let mut agg = FastAgg::new(plan, key_idx.to_vec());
+    for row in rows {
+        agg.update(row);
+    }
+    Some(agg.finish())
+}
+
+fn aggregate_project(
+    sel: &SelectStmt,
+    schema: &Schema,
+    rows: &[Row],
+) -> Result<(Vec<String>, Vec<Row>), DbError> {
+    // Group rows by the GROUP BY key.
+    let key_idx: Result<Vec<usize>, DbError> = sel
+        .group_by
+        .iter()
+        .map(|g| schema.index_of(g).ok_or_else(|| DbError::NoSuchColumn(g.clone())))
+        .collect();
+    let key_idx = key_idx?;
+
+    if let Some(fast) = try_fast_aggregate(sel, schema, rows, &key_idx) {
+        return Ok((output_names(sel, schema), fast?));
+    }
+
+    let mut group_of: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<Vec<&Row>> = Vec::new();
+    if key_idx.is_empty() {
+        // One global group — present even with zero input rows, so that
+        // `SELECT count(*) FROM empty` yields 0.
+        groups.push(rows.iter().collect());
+    } else {
+        for r in rows {
+            let key: String =
+                key_idx.iter().map(|i| encode_value(&r[*i])).collect::<Vec<_>>().join("\u{1}");
+            let gi = *group_of.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[gi].push(r);
+        }
+    }
+
+    let columns = output_names(sel, schema);
+    let null_row: Row = vec![Value::Null; schema.arity()];
+    let mut out = Vec::with_capacity(groups.len());
+    for g in &groups {
+        let rep: &Row = g.first().copied().unwrap_or(&null_row);
+        let ctx = RowCtx { schema, row: rep };
+        let mut projected = Vec::with_capacity(columns.len());
+        for item in &sel.items {
+            match item {
+                SelectItem::Star => projected.extend(rep.iter().cloned()),
+                SelectItem::Expr { expr, .. } => {
+                    let substituted = substitute_aggregates(expr, schema, g)?;
+                    projected.push(eval(&substituted, &ctx)?);
+                }
+            }
+        }
+        out.push(projected);
+    }
+    Ok((columns, out))
+}
+
+/// Replace every aggregate call in `expr` with the literal aggregate value
+/// computed over `group`, leaving a plain row expression behind.
+fn substitute_aggregates(
+    expr: &SqlExpr,
+    schema: &Schema,
+    group: &[&Row],
+) -> Result<SqlExpr, DbError> {
+    Ok(match expr {
+        SqlExpr::Func { name, args, star } => {
+            if let Some(kind) = AggKind::from_name(name) {
+                if args.len() != 1 {
+                    return Err(DbError::Type(format!(
+                        "aggregate {name}() expects exactly one argument"
+                    )));
+                }
+                let mut acc = Accumulator::new(kind);
+                for r in group {
+                    let v = eval(&args[0], &RowCtx { schema, row: r })?;
+                    acc.update(&v);
+                }
+                SqlExpr::Lit(acc.finish().map_err(DbError::Type)?)
+            } else {
+                let new_args: Result<Vec<SqlExpr>, DbError> =
+                    args.iter().map(|a| substitute_aggregates(a, schema, group)).collect();
+                SqlExpr::Func { name: name.clone(), args: new_args?, star: *star }
+            }
+        }
+        SqlExpr::Unary(op, x) => {
+            SqlExpr::Unary(*op, Box::new(substitute_aggregates(x, schema, group)?))
+        }
+        SqlExpr::Binary(op, l, r) => SqlExpr::Binary(
+            op,
+            Box::new(substitute_aggregates(l, schema, group)?),
+            Box::new(substitute_aggregates(r, schema, group)?),
+        ),
+        SqlExpr::InList { expr, list, negated } => SqlExpr::InList {
+            expr: Box::new(substitute_aggregates(expr, schema, group)?),
+            list: list
+                .iter()
+                .map(|e| substitute_aggregates(e, schema, group))
+                .collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        SqlExpr::IsNull { expr, negated } => SqlExpr::IsNull {
+            expr: Box::new(substitute_aggregates(expr, schema, group)?),
+            negated: *negated,
+        },
+        SqlExpr::Like { expr, pattern, negated } => SqlExpr::Like {
+            expr: Box::new(substitute_aggregates(expr, schema, group)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        other => other.clone(),
+    })
+}
+
+fn output_names(sel: &SelectStmt, schema: &Schema) -> Vec<String> {
+    let mut names = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Star => names.extend(schema.names()),
+            SelectItem::Expr { expr, alias } => names.push(match alias {
+                Some(a) => a.clone(),
+                None => expr.to_string_for_order(),
+            }),
+        }
+    }
+    names
+}
+
+/// Canonical encoding used for grouping, joining and DISTINCT. Numeric
+/// values encode by their f64 image so `1` and `1.0` collide, matching
+/// `Value::sql_eq`.
+pub(crate) fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "\u{0}null".to_string(),
+        Value::Text(s) => format!("t:{s}"),
+        Value::Bool(b) => format!("b:{b}"),
+        other => {
+            let f = other.as_f64().unwrap_or(f64::NAN);
+            let f = if f == 0.0 { 0.0 } else { f }; // normalize -0.0
+            format!("n:{}", f.to_bits())
+        }
+    }
+}
+
+fn encode_row(r: &Row) -> String {
+    r.iter().map(encode_value).collect::<Vec<_>>().join("\u{1}")
+}
+
+/// Allocation-light binary encoding with the same equivalence classes as
+/// [`encode_value`], used for hot grouping paths.
+fn encode_value_bytes(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Text(s) => {
+            out.push(2);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            out.push(3);
+            out.push(u8::from(*b));
+        }
+        other => {
+            let f = other.as_f64().unwrap_or(f64::NAN);
+            let f = if f == 0.0 { 0.0 } else { f }; // normalize -0.0
+            out.push(1);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Schema of a result set inferred from its first row — used when a result
+/// is materialised into a (temp) table. Columns with no observed value
+/// default to FLOAT.
+pub fn infer_schema(columns: &[String], rows: &[Row]) -> Result<Schema, DbError> {
+    let mut cols = Vec::with_capacity(columns.len());
+    for (i, name) in columns.iter().enumerate() {
+        let dtype = rows
+            .iter()
+            .find_map(|r| r.get(i).and_then(Value::data_type))
+            .unwrap_or(DataType::Float);
+        cols.push(Column::new(name, dtype));
+    }
+    Schema::new(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Engine {
+        let e = Engine::new();
+        e.execute("CREATE TABLE t (id INTEGER, grp TEXT, v FLOAT)").unwrap();
+        e.execute(
+            "INSERT INTO t VALUES (1,'a',10.0),(2,'a',20.0),(3,'b',30.0),(4,'b',50.0),(5,'c',NULL)",
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn star_projection() {
+        let rs = db().query("SELECT * FROM t WHERE id = 3").unwrap();
+        assert_eq!(rs.column_names(), &["id", "grp", "v"]);
+        assert_eq!(rs.rows()[0], vec![Value::Int(3), Value::Text("b".into()), Value::Float(30.0)]);
+    }
+
+    #[test]
+    fn expression_projection_with_alias() {
+        let rs = db().query("SELECT v * 2 AS dbl, id FROM t WHERE id = 1").unwrap();
+        assert_eq!(rs.column_names(), &["dbl", "id"]);
+        assert_eq!(rs.rows()[0][0], Value::Float(20.0));
+    }
+
+    #[test]
+    fn group_by_with_expression_on_aggregate() {
+        let rs = db()
+            .query("SELECT grp, avg(v) + 1 AS a1 FROM t GROUP BY grp ORDER BY grp")
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.rows()[0], vec![Value::Text("a".into()), Value::Float(16.0)]);
+        assert_eq!(rs.rows()[1], vec![Value::Text("b".into()), Value::Float(41.0)]);
+        // group 'c' has only a NULL value -> avg NULL -> NULL + 1 = NULL
+        assert_eq!(rs.rows()[2], vec![Value::Text("c".into()), Value::Null]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let e = Engine::new();
+        e.execute("CREATE TABLE empty (x INTEGER)").unwrap();
+        let rs = e.query("SELECT count(*), max(x) FROM empty").unwrap();
+        assert_eq!(rs.rows()[0], vec![Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn count_star_vs_count_column() {
+        let rs = db().query("SELECT count(*), count(v) FROM t").unwrap();
+        assert_eq!(rs.rows()[0], vec![Value::Int(5), Value::Int(4)]);
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let rs = db().query("SELECT DISTINCT grp FROM t ORDER BY grp").unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let rs = db().query("SELECT id FROM t ORDER BY id DESC LIMIT 2").unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Int(5));
+        assert_eq!(rs.rows()[1][0], Value::Int(4));
+    }
+
+    #[test]
+    fn order_by_position() {
+        let rs = db().query("SELECT grp, v FROM t WHERE v IS NOT NULL ORDER BY 2 DESC LIMIT 1").unwrap();
+        assert_eq!(rs.rows()[0][1], Value::Float(50.0));
+    }
+
+    #[test]
+    fn order_by_aggregate_name() {
+        let rs = db()
+            .query("SELECT grp, sum(v) FROM t GROUP BY grp ORDER BY sum(v) DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Text("b".into()));
+    }
+
+    #[test]
+    fn nulls_sort_first() {
+        let rs = db().query("SELECT v FROM t ORDER BY v").unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Null);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let e = Engine::new();
+        let rs = e.query("SELECT 1 + 2 AS three, 'x' AS tag").unwrap();
+        assert_eq!(rs.rows()[0], vec![Value::Int(3), Value::Text("x".into())]);
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let e = Engine::new();
+        e.execute("CREATE TABLE a (k INTEGER)").unwrap();
+        e.execute("CREATE TABLE b (k INTEGER)").unwrap();
+        e.execute("INSERT INTO a VALUES (1), (NULL)").unwrap();
+        e.execute("INSERT INTO b VALUES (1), (NULL)").unwrap();
+        let rs = e.query("SELECT a.k FROM a JOIN b ON a.k = b.k").unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn join_one_to_many() {
+        let e = Engine::new();
+        e.execute("CREATE TABLE runs (id INTEGER, host TEXT)").unwrap();
+        e.execute("CREATE TABLE vals (run INTEGER, v FLOAT)").unwrap();
+        e.execute("INSERT INTO runs VALUES (1,'h1'),(2,'h2')").unwrap();
+        e.execute("INSERT INTO vals VALUES (1,1.0),(1,2.0),(2,3.0)").unwrap();
+        let rs = e
+            .query(
+                "SELECT runs.host, sum(vals.v) FROM vals JOIN runs ON vals.run = runs.id \
+                 GROUP BY runs.host ORDER BY runs.host",
+            )
+            .unwrap();
+        assert_eq!(rs.rows()[0], vec![Value::Text("h1".into()), Value::Float(3.0)]);
+        assert_eq!(rs.rows()[1], vec![Value::Text("h2".into()), Value::Float(3.0)]);
+    }
+
+    #[test]
+    fn grouping_treats_int_float_equal() {
+        let e = Engine::new();
+        e.execute("CREATE TABLE m (k FLOAT, v INTEGER)").unwrap();
+        e.execute("INSERT INTO m VALUES (1.0, 10), (1, 20), (2, 5)").unwrap();
+        let rs = e.query("SELECT k, count(*) FROM m GROUP BY k ORDER BY k").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows()[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn infer_schema_from_rows() {
+        let cols = vec!["a".to_string(), "b".to_string()];
+        let rows = vec![
+            vec![Value::Null, Value::Text("x".into())],
+            vec![Value::Int(1), Value::Text("y".into())],
+        ];
+        let s = infer_schema(&cols, &rows).unwrap();
+        assert_eq!(s.columns[0].dtype, DataType::Int);
+        assert_eq!(s.columns[1].dtype, DataType::Text);
+    }
+
+    #[test]
+    fn unknown_group_column_errors() {
+        assert!(matches!(
+            db().query("SELECT count(*) FROM t GROUP BY zzz"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_order_column_errors() {
+        assert!(matches!(
+            db().query("SELECT id FROM t ORDER BY zzz"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+    }
+}

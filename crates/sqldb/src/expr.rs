@@ -1,0 +1,387 @@
+//! Row-level evaluation of SQL expressions.
+
+use crate::error::DbError;
+use crate::schema::Schema;
+use crate::sql::{SqlExpr, UnOp};
+use crate::value::Value;
+
+/// Evaluation context: one row plus its schema.
+pub struct RowCtx<'a> {
+    /// Schema of the row.
+    pub schema: &'a Schema,
+    /// The row values.
+    pub row: &'a [Value],
+}
+
+/// Truthiness for WHERE: NULL and zero are false.
+pub fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Null => false,
+        Value::Bool(b) => *b,
+        Value::Int(i) => *i != 0,
+        Value::Float(f) => *f != 0.0,
+        Value::Timestamp(t) => *t != 0,
+        Value::Text(s) => !s.is_empty(),
+    }
+}
+
+/// Evaluate `expr` against one row. Aggregate calls are rejected here — the
+/// grouping stage in `exec` must have replaced them already.
+pub fn eval(expr: &SqlExpr, ctx: &RowCtx<'_>) -> Result<Value, DbError> {
+    match expr {
+        SqlExpr::Lit(v) => Ok(v.clone()),
+        SqlExpr::Col(name) => {
+            let i = ctx
+                .schema
+                .index_of(name)
+                .ok_or_else(|| DbError::NoSuchColumn(name.clone()))?;
+            Ok(ctx.row[i].clone())
+        }
+        SqlExpr::Unary(UnOp::Neg, x) => {
+            let v = eval(x, ctx)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                other => Err(DbError::Type(format!("cannot negate {other}"))),
+            }
+        }
+        SqlExpr::Unary(UnOp::Not, x) => {
+            let v = eval(x, ctx)?;
+            Ok(Value::Bool(!truthy(&v)))
+        }
+        SqlExpr::Binary(op, l, r) => binary(op, l, r, ctx),
+        SqlExpr::Func { name, args, .. } => {
+            if crate::aggregate::AggKind::from_name(name).is_some() {
+                return Err(DbError::Execution(format!(
+                    "aggregate function {name}() is not allowed in this context"
+                )));
+            }
+            let vals: Result<Vec<Value>, DbError> = args.iter().map(|a| eval(a, ctx)).collect();
+            scalar_fn(name, &vals?)
+        }
+        SqlExpr::InList { expr, list, negated } => {
+            let v = eval(expr, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Bool(false));
+            }
+            let mut found = false;
+            for item in list {
+                let w = eval(item, ctx)?;
+                if v.sql_eq(&w) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        SqlExpr::IsNull { expr, negated } => {
+            let v = eval(expr, ctx)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        SqlExpr::Like { expr, pattern, negated } => {
+            let v = eval(expr, ctx)?;
+            let matched = match &v {
+                Value::Text(s) => like_match(s, pattern),
+                Value::Null => false,
+                other => like_match(&other.to_string(), pattern),
+            };
+            Ok(Value::Bool(matched != *negated))
+        }
+    }
+}
+
+fn binary(op: &str, l: &SqlExpr, r: &SqlExpr, ctx: &RowCtx<'_>) -> Result<Value, DbError> {
+    // Logic operators (NULL treated as false; no three-valued logic).
+    if op == "AND" {
+        let lv = eval(l, ctx)?;
+        if !truthy(&lv) {
+            return Ok(Value::Bool(false));
+        }
+        let rv = eval(r, ctx)?;
+        return Ok(Value::Bool(truthy(&rv)));
+    }
+    if op == "OR" {
+        let lv = eval(l, ctx)?;
+        if truthy(&lv) {
+            return Ok(Value::Bool(true));
+        }
+        let rv = eval(r, ctx)?;
+        return Ok(Value::Bool(truthy(&rv)));
+    }
+
+    let lv = eval(l, ctx)?;
+    let rv = eval(r, ctx)?;
+
+    match op {
+        "=" => Ok(Value::Bool(lv.sql_eq(&rv))),
+        "<>" => Ok(Value::Bool(!lv.is_null() && !rv.is_null() && !lv.sql_eq(&rv))),
+        "<" | "<=" | ">" | ">=" => {
+            if lv.is_null() || rv.is_null() {
+                return Ok(Value::Bool(false));
+            }
+            let ord = lv.total_cmp(&rv);
+            let b = match op {
+                "<" => ord.is_lt(),
+                "<=" => ord.is_le(),
+                ">" => ord.is_gt(),
+                _ => ord.is_ge(),
+            };
+            Ok(Value::Bool(b))
+        }
+        "+" | "-" | "*" | "/" | "%" => {
+            if lv.is_null() || rv.is_null() {
+                return Ok(Value::Null);
+            }
+            // Text concatenation with '+' is deliberately unsupported.
+            if let (Value::Int(a), Value::Int(b)) = (&lv, &rv) {
+                return match op {
+                    "+" => Ok(Value::Int(a + b)),
+                    "-" => Ok(Value::Int(a - b)),
+                    "*" => Ok(Value::Int(a * b)),
+                    "%" => {
+                        if *b == 0 {
+                            Err(DbError::Execution("modulo by zero".into()))
+                        } else {
+                            Ok(Value::Int(a % b))
+                        }
+                    }
+                    _ => {
+                        if *b == 0 {
+                            Err(DbError::Execution("division by zero".into()))
+                        } else {
+                            Ok(Value::Float(*a as f64 / *b as f64))
+                        }
+                    }
+                };
+            }
+            let a = lv
+                .as_f64()
+                .ok_or_else(|| DbError::Type(format!("non-numeric operand {lv} for '{op}'")))?;
+            let b = rv
+                .as_f64()
+                .ok_or_else(|| DbError::Type(format!("non-numeric operand {rv} for '{op}'")))?;
+            match op {
+                "+" => Ok(Value::Float(a + b)),
+                "-" => Ok(Value::Float(a - b)),
+                "*" => Ok(Value::Float(a * b)),
+                "/" => {
+                    if b == 0.0 {
+                        Err(DbError::Execution("division by zero".into()))
+                    } else {
+                        Ok(Value::Float(a / b))
+                    }
+                }
+                _ => {
+                    if b == 0.0 {
+                        Err(DbError::Execution("modulo by zero".into()))
+                    } else {
+                        Ok(Value::Float(a % b))
+                    }
+                }
+            }
+        }
+        other => Err(DbError::Execution(format!("unknown operator '{other}'"))),
+    }
+}
+
+fn scalar_fn(name: &str, args: &[Value]) -> Result<Value, DbError> {
+    let one_num = |args: &[Value]| -> Result<Option<f64>, DbError> {
+        if args.len() != 1 {
+            return Err(DbError::Type(format!("{name}() expects one argument")));
+        }
+        if args[0].is_null() {
+            return Ok(None);
+        }
+        args[0]
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| DbError::Type(format!("{name}() expects a numeric argument")))
+    };
+    match name {
+        "abs" => Ok(one_num(args)?.map(|x| Value::Float(x.abs())).unwrap_or(Value::Null)),
+        "sqrt" => match one_num(args)? {
+            None => Ok(Value::Null),
+            Some(x) if x < 0.0 => Err(DbError::Execution("sqrt of negative value".into())),
+            Some(x) => Ok(Value::Float(x.sqrt())),
+        },
+        "floor" => Ok(one_num(args)?.map(|x| Value::Float(x.floor())).unwrap_or(Value::Null)),
+        "ceil" => Ok(one_num(args)?.map(|x| Value::Float(x.ceil())).unwrap_or(Value::Null)),
+        "round" => Ok(one_num(args)?.map(|x| Value::Float(x.round())).unwrap_or(Value::Null)),
+        "upper" | "lower" => {
+            if args.len() != 1 {
+                return Err(DbError::Type(format!("{name}() expects one argument")));
+            }
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                v => {
+                    let s = v.to_string();
+                    Ok(Value::Text(if name == "upper" {
+                        s.to_uppercase()
+                    } else {
+                        s.to_lowercase()
+                    }))
+                }
+            }
+        }
+        "length" => {
+            if args.len() != 1 {
+                return Err(DbError::Type("length() expects one argument".into()));
+            }
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Int(v.to_string().chars().count() as i64)),
+            }
+        }
+        "coalesce" => Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null)),
+        other => Err(DbError::Execution(format!("unknown function '{other}'"))),
+    }
+}
+
+/// SQL LIKE with `%` (any run) and `_` (any single char).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Match zero or more characters.
+                if rec(s, &p[1..]) {
+                    return true;
+                }
+                (1..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::sql::parse_statement;
+    use crate::sql::Stmt;
+    use crate::value::DataType;
+
+    fn ctx_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Float),
+            Column::new("s", DataType::Text),
+            Column::new("n", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn eval_where(src: &str, row: &[Value]) -> Value {
+        let stmt = parse_statement(&format!("SELECT a FROM t WHERE {src}")).unwrap();
+        let e = match stmt {
+            Stmt::Select(s) => s.where_clause.unwrap(),
+            other => panic!("{other:?}"),
+        };
+        let schema = ctx_schema();
+        eval(&e, &RowCtx { schema: &schema, row }).unwrap()
+    }
+
+    fn row() -> Vec<Value> {
+        vec![Value::Int(4), Value::Float(2.5), Value::Text("ufs".into()), Value::Null]
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval_where("a = 4", &row()), Value::Bool(true));
+        assert_eq!(eval_where("a < b", &row()), Value::Bool(false));
+        assert_eq!(eval_where("b <= 2.5", &row()), Value::Bool(true));
+        assert_eq!(eval_where("s = 'ufs'", &row()), Value::Bool(true));
+        assert_eq!(eval_where("s <> 'nfs'", &row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_comparisons_false() {
+        assert_eq!(eval_where("n = 0", &row()), Value::Bool(false));
+        assert_eq!(eval_where("n <> 0", &row()), Value::Bool(false));
+        assert_eq!(eval_where("n < 5", &row()), Value::Bool(false));
+        assert_eq!(eval_where("n IS NULL", &row()), Value::Bool(true));
+        assert_eq!(eval_where("a IS NOT NULL", &row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        assert_eq!(eval_where("a + 1 = 5", &row()), Value::Bool(true));
+        assert_eq!(eval_where("a / 8 = 0.5", &row()), Value::Bool(true)); // int / int -> float
+        assert_eq!(eval_where("a % 3 = 1", &row()), Value::Bool(true));
+        assert_eq!(eval_where("-a = -4", &row()), Value::Bool(true));
+        assert_eq!(eval_where("a * b = 10.0", &row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        assert_eq!(eval_where("n + 1 IS NULL", &row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_and_like() {
+        assert_eq!(eval_where("s IN ('nfs', 'ufs')", &row()), Value::Bool(true));
+        assert_eq!(eval_where("s NOT IN ('nfs')", &row()), Value::Bool(true));
+        assert_eq!(eval_where("s LIKE 'uf%'", &row()), Value::Bool(true));
+        assert_eq!(eval_where("s LIKE '_fs'", &row()), Value::Bool(true));
+        assert_eq!(eval_where("s NOT LIKE 'n%'", &row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(eval_where("abs(-2) = 2", &row()), Value::Bool(true));
+        assert_eq!(eval_where("upper(s) = 'UFS'", &row()), Value::Bool(true));
+        assert_eq!(eval_where("length(s) = 3", &row()), Value::Bool(true));
+        assert_eq!(eval_where("coalesce(n, a) = 4", &row()), Value::Bool(true));
+        assert_eq!(eval_where("round(b) = 3", &row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_matcher_edge_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%"));
+        assert!(like_match("abc", "a%c"));
+        assert!(like_match("abc", "%b%"));
+        assert!(!like_match("abc", "a%d"));
+        assert!(like_match("a%b", "a%b")); // '%' in text matches via wildcard
+        assert!(like_match("bio_T10_N4", "bio%N_"));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let schema = ctx_schema();
+        let e = SqlExpr::Col("zzz".into());
+        let r = row();
+        assert!(matches!(
+            eval(&e, &RowCtx { schema: &schema, row: &r }),
+            Err(DbError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_rejected_in_row_context() {
+        let schema = ctx_schema();
+        let e = SqlExpr::Func { name: "avg".into(), args: vec![SqlExpr::Col("a".into())], star: false };
+        let r = row();
+        assert!(eval(&e, &RowCtx { schema: &schema, row: &r }).is_err());
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let schema = ctx_schema();
+        let e = parse_statement("SELECT a FROM t WHERE a / 0 = 1").unwrap();
+        let w = match e {
+            Stmt::Select(s) => s.where_clause.unwrap(),
+            other => panic!("{other:?}"),
+        };
+        let r = row();
+        assert!(eval(&w, &RowCtx { schema: &schema, row: &r }).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! `sqldb` — an embedded, thread-safe relational database engine.
+//!
+//! perfbase stores all persistent data in an SQL database; the original used
+//! a PostgreSQL server (paper §4.2). This crate is the in-process substitute:
+//! it provides typed tables, an SQL text front-end (lexer → parser →
+//! planner → executor), grouping and aggregation, temporary tables, and a
+//! simulated multi-node [`cluster`] used to reproduce the paper's query
+//! parallelisation experiment (Fig. 3).
+//!
+//! Design decisions mirror what perfbase actually needs:
+//!
+//! * Query elements communicate **through temporary tables** — so temp
+//!   tables are first-class and cheap.
+//! * Source elements perform **shared read access** on run tables while each
+//!   element writes only its own output table — so tables are individually
+//!   `RwLock`-guarded and the engine itself is `Sync`.
+//! * Operators lean on **in-database aggregation** (`avg`, `stddev`, …)
+//!   because that beats row-at-a-time processing in the frontend language —
+//!   the claim benchmarked in `bench/benches/dbops.rs`.
+//!
+//! Not implemented (not needed by perfbase): transactions, indexes beyond
+//! full scans, NULL-aware three-valued logic (NULL comparisons are false),
+//! and subqueries.
+//!
+//! # Example
+//!
+//! ```
+//! use sqldb::Engine;
+//! let db = Engine::new();
+//! db.execute("CREATE TABLE runs (id INTEGER, fs TEXT, bw FLOAT)").unwrap();
+//! db.execute("INSERT INTO runs VALUES (1, 'ufs', 214.5), (2, 'nfs', 98.1), (3, 'ufs', 222.0)").unwrap();
+//! let rows = db.query("SELECT fs, avg(bw) FROM runs GROUP BY fs ORDER BY fs").unwrap();
+//! assert_eq!(rows.len(), 2);
+//! assert_eq!(rows.column_names(), &["fs", "avg(bw)"]);
+//! ```
+
+pub mod aggregate;
+pub mod cluster;
+mod dump;
+mod engine;
+mod error;
+mod exec;
+mod expr;
+mod schema;
+pub mod sql;
+mod table;
+mod value;
+
+pub use engine::{Engine, ResultSet};
+pub use error::DbError;
+pub use schema::{Column, Schema};
+pub use table::Table;
+pub use value::{format_timestamp, parse_timestamp, DataType, Value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Engine {
+        let db = Engine::new();
+        db.execute(
+            "CREATE TABLE bw (run INTEGER, fs TEXT, chunk INTEGER, mode TEXT, mbps FLOAT)",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO bw VALUES \
+             (1, 'ufs', 1024, 'write', 59.0), \
+             (1, 'ufs', 1024, 'read', 227.1), \
+             (1, 'ufs', 2097152, 'read', 516.5), \
+             (2, 'nfs', 1024, 'write', 11.2), \
+             (2, 'nfs', 1024, 'read', 88.4), \
+             (2, 'nfs', 2097152, 'read', 120.9)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_select_where() {
+        let db = sample_db();
+        let rs = db
+            .query("SELECT mbps FROM bw WHERE fs = 'ufs' AND mode = 'read' ORDER BY mbps")
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows()[0][0], Value::Float(227.1));
+        assert_eq!(rs.rows()[1][0], Value::Float(516.5));
+    }
+
+    #[test]
+    fn end_to_end_group_aggregate() {
+        let db = sample_db();
+        let rs = db
+            .query("SELECT fs, max(mbps), count(mbps) FROM bw GROUP BY fs ORDER BY fs")
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(
+            rs.rows()[0],
+            vec![Value::Text("nfs".into()), Value::Float(120.9), Value::Int(3)]
+        );
+        assert_eq!(
+            rs.rows()[1],
+            vec![Value::Text("ufs".into()), Value::Float(516.5), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn end_to_end_join() {
+        let db = sample_db();
+        db.execute("CREATE TABLE meta (run INTEGER, host TEXT)").unwrap();
+        db.execute("INSERT INTO meta VALUES (1, 'grisu0'), (2, 'grisu1')").unwrap();
+        let rs = db
+            .query(
+                "SELECT meta.host, bw.mbps FROM bw JOIN meta ON bw.run = meta.run \
+                 WHERE bw.mode = 'write' ORDER BY bw.mbps DESC",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows()[0][0], Value::Text("grisu0".into()));
+    }
+
+    #[test]
+    fn end_to_end_update_delete() {
+        let db = sample_db();
+        let n = db.execute("UPDATE bw SET mbps = 0.0 WHERE fs = 'nfs'").unwrap();
+        assert_eq!(n, 3);
+        let n = db.execute("DELETE FROM bw WHERE mbps = 0.0").unwrap();
+        assert_eq!(n, 3);
+        let rs = db.query("SELECT count(run) FROM bw").unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn temp_tables_listed_separately() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE perm (x INTEGER)").unwrap();
+        db.execute("CREATE TEMP TABLE tmp1 (x INTEGER)").unwrap();
+        assert!(db.table_names().contains(&"perm".to_string()));
+        assert!(db.table_names().contains(&"tmp1".to_string()));
+        assert!(db.temp_table_names().contains(&"tmp1".to_string()));
+        assert!(!db.temp_table_names().contains(&"perm".to_string()));
+        db.drop_temp_tables();
+        assert!(!db.table_names().contains(&"tmp1".to_string()));
+        assert!(db.table_names().contains(&"perm".to_string()));
+    }
+}

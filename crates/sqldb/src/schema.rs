@@ -1,0 +1,118 @@
+//! Table schemas.
+
+use crate::error::DbError;
+use crate::value::DataType;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (case-sensitive; perfbase generates lowercase names).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Whether NULL content is allowed (paper §3.2: variables may have no
+    /// content unless the user forbids it).
+    pub nullable: bool,
+}
+
+impl Column {
+    /// Nullable column shorthand.
+    pub fn new(name: &str, dtype: DataType) -> Self {
+        Column { name: name.to_string(), dtype, nullable: true }
+    }
+
+    /// NOT NULL column shorthand.
+    pub fn not_null(name: &str, dtype: DataType) -> Self {
+        Column { name: name.to_string(), dtype, nullable: false }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build from a column list, rejecting duplicate names.
+    pub fn new(columns: Vec<Column>) -> Result<Schema, DbError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(DbError::Type(format!("duplicate column name '{}'", c.name)));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of column `name`. Exact matches win; otherwise the unqualified
+    /// suffixes are compared, so a `table.column` lookup finds a plain
+    /// `column` and a bare `column` lookup finds a qualified `table.column`
+    /// (first match in declaration order).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c.name == name) {
+            return Some(i);
+        }
+        let bare = name.rsplit('.').next()?;
+        if let Some(i) = self.columns.iter().position(|c| c.name == bare) {
+            return Some(i);
+        }
+        self.columns.iter().position(|c| c.name.rsplit('.').next() == Some(bare))
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("a", DataType::Text),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn qualified_lookup_falls_back_to_bare_name() {
+        let s = Schema::new(vec![
+            Column::new("run", DataType::Int),
+            Column::new("mbps", DataType::Float),
+        ])
+        .unwrap();
+        assert_eq!(s.index_of("mbps"), Some(1));
+        assert_eq!(s.index_of("bw.mbps"), Some(1));
+        assert_eq!(s.index_of("bw.zzz"), None);
+    }
+
+    #[test]
+    fn qualified_column_name_exact_match_wins() {
+        // Join output tables store qualified names directly.
+        let s = Schema::new(vec![
+            Column::new("a.id", DataType::Int),
+            Column::new("b.id", DataType::Int),
+        ])
+        .unwrap();
+        assert_eq!(s.index_of("a.id"), Some(0));
+        assert_eq!(s.index_of("b.id"), Some(1));
+        // Bare "id" resolves to the first suffix match.
+        assert_eq!(s.index_of("id"), Some(0));
+    }
+}

@@ -1,0 +1,189 @@
+//! SQL tokenizer.
+
+use crate::error::DbError;
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (identifiers may be dot-qualified).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string (quotes removed, `''` unescaped).
+    Str(String),
+    /// Operator or punctuation.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// Case-insensitive keyword test.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, DbError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '-' && chars.get(i + 1) == Some(&'-') {
+            // Line comment.
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c.is_ascii_digit()
+            || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len() {
+                let d = chars[i];
+                if d.is_ascii_digit() {
+                    i += 1;
+                } else if d == '.' && !is_float {
+                    is_float = true;
+                    i += 1;
+                } else if (d == 'e' || d == 'E')
+                    && chars
+                        .get(i + 1)
+                        .is_some_and(|n| n.is_ascii_digit() || *n == '+' || *n == '-')
+                {
+                    is_float = true;
+                    i += 2;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    break;
+                } else {
+                    break;
+                }
+            }
+            let s: String = chars[start..i].iter().collect();
+            if is_float {
+                toks.push(Token::Float(s.parse().map_err(|_| bad_num(&s))?));
+            } else {
+                toks.push(Token::Int(s.parse().map_err(|_| bad_num(&s))?));
+            }
+        } else if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match chars.get(i) {
+                    None => return Err(DbError::Parse("unterminated string literal".into())),
+                    Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some('\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&x) => {
+                        s.push(x);
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Token::Str(s));
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                i += 1;
+            }
+            toks.push(Token::Word(chars[start..i].iter().collect()));
+        } else {
+            let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+            let sym2 = ["<=", ">=", "<>", "!="].iter().find(|s| **s == two);
+            if let Some(s) = sym2 {
+                toks.push(Token::Sym(s));
+                i += 2;
+            } else {
+                let s = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    ';' => ";",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '%' => "%",
+                    other => {
+                        return Err(DbError::Parse(format!("unexpected character '{other}'")))
+                    }
+                };
+                toks.push(Token::Sym(s));
+                i += 1;
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn bad_num(s: &str) -> DbError {
+    DbError::Parse(format!("bad numeric literal '{s}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_numbers_strings() {
+        let t = tokenize("SELECT a.b, 'it''s', 3, 4.5, 1e3 FROM t").unwrap();
+        assert_eq!(t[0], Token::Word("SELECT".into()));
+        assert_eq!(t[1], Token::Word("a.b".into()));
+        assert_eq!(t[3], Token::Str("it's".into()));
+        assert_eq!(t[5], Token::Int(3));
+        assert_eq!(t[7], Token::Float(4.5));
+        assert_eq!(t[9], Token::Float(1000.0));
+    }
+
+    #[test]
+    fn symbols() {
+        let t = tokenize("a <= b <> c != d >= e = f").unwrap();
+        let syms: Vec<&Token> = t.iter().filter(|x| matches!(x, Token::Sym(_))).collect();
+        assert_eq!(
+            syms,
+            vec![
+                &Token::Sym("<="),
+                &Token::Sym("<>"),
+                &Token::Sym("!="),
+                &Token::Sym(">="),
+                &Token::Sym("=")
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn keyword_case_insensitive() {
+        let t = tokenize("select").unwrap();
+        assert!(t[0].is_kw("SELECT"));
+        assert!(t[0].is_kw("select"));
+        assert!(!t[0].is_kw("FROM"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! SQL text front-end: lexer, AST and parser.
+//!
+//! The dialect is the subset perfbase needs (see crate docs): CREATE
+//! \[TEMP\] TABLE, DROP TABLE, INSERT, SELECT (WHERE / JOIN ON equality /
+//! GROUP BY / ORDER BY / LIMIT / DISTINCT), UPDATE and DELETE.
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{
+    ColumnDef, JoinClause, OrderKey, SelectItem, SelectStmt, SqlExpr, Stmt, UnOp,
+};
+pub use lexer::{tokenize, Token};
+pub use parser::{is_reserved, parse_script, parse_statement};

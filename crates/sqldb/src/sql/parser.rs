@@ -1,0 +1,664 @@
+//! Recursive-descent SQL parser.
+
+use super::ast::*;
+use super::lexer::{tokenize, Token};
+use crate::error::DbError;
+use crate::value::{DataType, Value};
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse_statement(src: &str) -> Result<Stmt, DbError> {
+    let toks = tokenize(src)?;
+    let mut p = P { toks, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_sym(";");
+    if p.pos < p.toks.len() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script into statements. String literals may
+/// contain semicolons — splitting happens at the token level.
+pub fn parse_script(src: &str) -> Result<Vec<Stmt>, DbError> {
+    let toks = tokenize(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        while p.eat_sym(";") {}
+        if p.pos >= p.toks.len() {
+            break;
+        }
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+struct P {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn err(&self, msg: &str) -> DbError {
+        DbError::Parse(format!("{msg} (near token {})", self.pos))
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {kw}")))
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), DbError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{s}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.peek() {
+            Some(Token::Word(w)) if !is_reserved(w) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(self.err("expected an identifier")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, DbError> {
+        if self.eat_kw("CREATE") {
+            self.create_table()
+        } else if self.eat_kw("DROP") {
+            self.drop_table()
+        } else if self.eat_kw("INSERT") {
+            self.insert()
+        } else if self.peek_kw("SELECT") {
+            Ok(Stmt::Select(self.select()?))
+        } else if self.eat_kw("UPDATE") {
+            self.update()
+        } else if self.eat_kw("DELETE") {
+            self.delete()
+        } else {
+            Err(self.err("expected CREATE, DROP, INSERT, SELECT, UPDATE or DELETE"))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Stmt, DbError> {
+        let temp = self.eat_kw("TEMP") || self.eat_kw("TEMPORARY");
+        self.expect_kw("TABLE")?;
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_sym("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty_word = match self.peek() {
+                Some(Token::Word(w)) => w.clone(),
+                _ => return Err(self.err("expected a column type")),
+            };
+            let dtype = DataType::from_sql_name(&ty_word)
+                .ok_or_else(|| self.err(&format!("unknown type '{ty_word}'")))?;
+            self.pos += 1;
+            let mut nullable = true;
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                nullable = false;
+            } else if self.eat_kw("NULL") {
+                // explicit nullable
+            }
+            columns.push(ColumnDef { name: col, dtype, nullable });
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(Stmt::CreateTable { name, temp, if_not_exists, columns })
+    }
+
+    fn drop_table(&mut self) -> Result<Stmt, DbError> {
+        self.expect_kw("TABLE")?;
+        let if_exists = if self.eat_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        Ok(Stmt::DropTable { name, if_exists })
+    }
+
+    fn insert(&mut self) -> Result<Stmt, DbError> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let columns = if self.eat_sym("(") {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_sym("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            rows.push(row);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(Stmt::Insert { table, columns, rows })
+    }
+
+    fn update(&mut self) -> Result<Stmt, DbError> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_sym("=")?;
+            let e = self.expr()?;
+            sets.push((col, e));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Stmt::Update { table, sets, where_clause })
+    }
+
+    fn delete(&mut self) -> Result<Stmt, DbError> {
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Stmt::Delete { table, where_clause })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, DbError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_sym("*") {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    match self.peek() {
+                        // Implicit alias: bare identifier directly after expr.
+                        Some(Token::Word(w)) if !is_reserved(w) && !w.contains('.') => {
+                            let w = w.clone();
+                            self.pos += 1;
+                            Some(w)
+                        }
+                        _ => None,
+                    }
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+
+        let mut from = None;
+        let mut joins = Vec::new();
+        if self.eat_kw("FROM") {
+            from = Some(self.ident()?);
+            while self.eat_kw("JOIN") || (self.eat_kw("INNER") && self.eat_kw("JOIN")) {
+                let table = self.ident()?;
+                self.expect_kw("ON")?;
+                let left_col = self.ident()?;
+                self.expect_sym("=")?;
+                let right_col = self.ident()?;
+                joins.push(JoinClause { table, left_col, right_col });
+            }
+        }
+
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.ident()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let (column, position) = match self.peek() {
+                    Some(Token::Int(n)) => {
+                        let n = *n;
+                        self.pos += 1;
+                        if n < 1 {
+                            return Err(self.err("ORDER BY position must be >= 1"));
+                        }
+                        (String::new(), Some(n as usize))
+                    }
+                    _ => {
+                        // Accept function-call shaped keys like avg(bw):
+                        // consume the textual form of a full expression.
+                        let e = self.expr()?;
+                        (e.to_string_for_order(), None)
+                    }
+                };
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderKey { column, position, desc });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("LIMIT") {
+            match self.peek() {
+                Some(Token::Int(n)) if *n >= 0 => {
+                    let n = *n as usize;
+                    self.pos += 1;
+                    Some(n)
+                }
+                _ => return Err(self.err("LIMIT expects a non-negative integer")),
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStmt { distinct, items, from, joins, where_clause, group_by, order_by, limit })
+    }
+
+    // Expression grammar: or > and > not > cmp > add > mul > unary > primary
+    fn expr(&mut self) -> Result<SqlExpr, DbError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = SqlExpr::Binary("OR", Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = SqlExpr::Binary("AND", Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, DbError> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(SqlExpr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let lhs = self.add_expr()?;
+
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(SqlExpr::IsNull { expr: Box::new(lhs), negated });
+        }
+        // [NOT] IN / [NOT] LIKE
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("IN") {
+            self.expect_sym("(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(SqlExpr::InList { expr: Box::new(lhs), list, negated });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = match self.peek() {
+                Some(Token::Str(s)) => s.clone(),
+                _ => return Err(self.err("LIKE expects a string literal")),
+            };
+            self.pos += 1;
+            return Ok(SqlExpr::Like { expr: Box::new(lhs), pattern, negated });
+        }
+        if negated {
+            return Err(self.err("expected IN or LIKE after NOT"));
+        }
+
+        for (sym, op) in
+            [("=", "="), ("<>", "<>"), ("!=", "<>"), ("<=", "<="), (">=", ">="), ("<", "<"), (">", ">")]
+        {
+            if self.eat_sym(sym) {
+                let rhs = self.add_expr()?;
+                return Ok(SqlExpr::Binary(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_sym("+") {
+                let rhs = self.mul_expr()?;
+                lhs = SqlExpr::Binary("+", Box::new(lhs), Box::new(rhs));
+            } else if self.eat_sym("-") {
+                let rhs = self.mul_expr()?;
+                lhs = SqlExpr::Binary("-", Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<SqlExpr, DbError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_sym("*") {
+                let rhs = self.unary_expr()?;
+                lhs = SqlExpr::Binary("*", Box::new(lhs), Box::new(rhs));
+            } else if self.eat_sym("/") {
+                let rhs = self.unary_expr()?;
+                lhs = SqlExpr::Binary("/", Box::new(lhs), Box::new(rhs));
+            } else if self.eat_sym("%") {
+                let rhs = self.unary_expr()?;
+                lhs = SqlExpr::Binary("%", Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<SqlExpr, DbError> {
+        if self.eat_sym("-") {
+            let inner = self.unary_expr()?;
+            return Ok(SqlExpr::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr, DbError> {
+        match self.peek().cloned() {
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Lit(Value::Int(v)))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Lit(Value::Float(v)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Lit(Value::Text(s)))
+            }
+            Some(Token::Sym("(")) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(inner)
+            }
+            Some(Token::Word(w)) => {
+                if w.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(SqlExpr::Lit(Value::Null));
+                }
+                if w.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(SqlExpr::Lit(Value::Bool(true)));
+                }
+                if w.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(SqlExpr::Lit(Value::Bool(false)));
+                }
+                if is_reserved(&w) {
+                    return Err(self.err(&format!("unexpected keyword '{w}'")));
+                }
+                self.pos += 1;
+                if self.eat_sym("(") {
+                    // Function call.
+                    let name = w.to_ascii_lowercase();
+                    if self.eat_sym("*") {
+                        self.expect_sym(")")?;
+                        return Ok(SqlExpr::Func {
+                            name,
+                            args: vec![SqlExpr::Lit(Value::Int(1))],
+                            star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_sym(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                        self.expect_sym(")")?;
+                    }
+                    Ok(SqlExpr::Func { name, args, star: false })
+                } else {
+                    Ok(SqlExpr::Col(w))
+                }
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+impl SqlExpr {
+    /// Textual form used to match ORDER BY keys against output column names:
+    /// bare columns stay bare, everything else uses `Display`.
+    pub(crate) fn to_string_for_order(&self) -> String {
+        match self {
+            SqlExpr::Col(c) => c.clone(),
+            other => other.to_string(),
+        }
+    }
+}
+
+/// Is `w` an SQL keyword of this dialect? Exposed so that upper layers
+/// (perfbase variable names become column names) can refuse collisions.
+pub fn is_reserved(w: &str) -> bool {
+    const KW: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AND", "OR", "NOT", "IN",
+        "IS", "NULL", "LIKE", "AS", "JOIN", "INNER", "ON", "CREATE", "DROP", "TABLE", "INSERT",
+        "INTO", "VALUES", "UPDATE", "SET", "DELETE", "DISTINCT", "TEMP", "TEMPORARY", "IF",
+        "EXISTS", "ASC", "DESC", "TRUE", "FALSE",
+    ];
+    KW.iter().any(|k| w.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_forms() {
+        let s = parse_statement(
+            "CREATE TEMP TABLE IF NOT EXISTS t (a INTEGER NOT NULL, b FLOAT, c TEXT NULL)",
+        )
+        .unwrap();
+        match s {
+            Stmt::CreateTable { name, temp, if_not_exists, columns } => {
+                assert_eq!(name, "t");
+                assert!(temp);
+                assert!(if_not_exists);
+                assert_eq!(columns.len(), 3);
+                assert!(!columns[0].nullable);
+                assert!(columns[1].nullable);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match s {
+            Stmt::Insert { table, columns, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns.unwrap(), vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_full_clause_set() {
+        let s = parse_statement(
+            "SELECT DISTINCT fs, avg(bw) AS abw FROM runs JOIN meta ON runs.id = meta.id \
+             WHERE n >= 4 AND fs IN ('ufs','nfs') GROUP BY fs ORDER BY abw DESC, 1 LIMIT 10",
+        )
+        .unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert!(sel.distinct);
+                assert_eq!(sel.items.len(), 2);
+                assert_eq!(sel.from.as_deref(), Some("runs"));
+                assert_eq!(sel.joins.len(), 1);
+                assert_eq!(sel.joins[0].left_col, "runs.id");
+                assert!(sel.where_clause.is_some());
+                assert_eq!(sel.group_by, vec!["fs"]);
+                assert_eq!(sel.order_by.len(), 2);
+                assert!(sel.order_by[0].desc);
+                assert_eq!(sel.order_by[1].position, Some(1));
+                assert_eq!(sel.limit, Some(10));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star() {
+        let s = parse_statement("SELECT count(*) FROM t").unwrap();
+        match s {
+            Stmt::Select(sel) => match &sel.items[0] {
+                SelectItem::Expr { expr: SqlExpr::Func { name, star, .. }, .. } => {
+                    assert_eq!(name, "count");
+                    assert!(*star);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_operators() {
+        for src in [
+            "SELECT a FROM t WHERE a IS NULL",
+            "SELECT a FROM t WHERE a IS NOT NULL",
+            "SELECT a FROM t WHERE a NOT IN (1,2)",
+            "SELECT a FROM t WHERE name LIKE 'bio_%'",
+            "SELECT a FROM t WHERE name NOT LIKE '%run1'",
+            "SELECT a FROM t WHERE NOT (a = 1 OR b <> 2)",
+            "SELECT a FROM t WHERE a % 2 = 0",
+        ] {
+            parse_statement(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn update_delete() {
+        parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
+        parse_statement("DELETE FROM t WHERE id IN (1, 2, 3)").unwrap();
+        parse_statement("DELETE FROM t").unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("SELEKT 1").is_err());
+        assert!(parse_statement("SELECT FROM t").is_err());
+        assert!(parse_statement("INSERT INTO t").is_err());
+        assert!(parse_statement("SELECT a FROM t WHERE").is_err());
+        assert!(parse_statement("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse_statement("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse_statement("SELECT 1 extra junk everywhere (").is_err());
+    }
+
+    #[test]
+    fn select_without_from() {
+        let s = parse_statement("SELECT 1 + 2 AS three").unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert!(sel.from.is_none());
+                match &sel.items[0] {
+                    SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("three")),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

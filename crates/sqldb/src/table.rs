@@ -1,0 +1,148 @@
+//! In-memory row storage.
+
+use crate::error::DbError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row is a vector of values, one per schema column.
+pub type Row = Vec<Value>;
+
+/// An in-memory table: a schema plus row storage.
+///
+/// Tables are stored behind `RwLock`s in the [`crate::Engine`] catalog; the
+/// table itself is a plain data structure.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column definitions.
+    pub schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Read-only view of all rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Validate, coerce and append one row.
+    pub fn insert(&mut self, row: Row) -> Result<(), DbError> {
+        if row.len() != self.schema.arity() {
+            return Err(DbError::Type(format!(
+                "insert arity mismatch: expected {} values, got {}",
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (v, col) in row.into_iter().zip(&self.schema.columns) {
+            if v.is_null() && !col.nullable {
+                return Err(DbError::Type(format!("column '{}' is NOT NULL", col.name)));
+            }
+            let cv = v.coerce(col.dtype).map_err(DbError::Type)?;
+            out.push(cv);
+        }
+        self.rows.push(out);
+        Ok(())
+    }
+
+    /// Append many rows (stops at the first bad row).
+    pub fn insert_all(&mut self, rows: Vec<Row>) -> Result<usize, DbError> {
+        let mut n = 0;
+        for r in rows {
+            self.insert(r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Remove rows matching `pred`; returns the number removed.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        before - self.rows.len()
+    }
+
+    /// Update rows in place via `f`, which returns true when it modified the
+    /// row; returns the number of rows modified.
+    pub fn update_where(&mut self, mut f: impl FnMut(&mut Row) -> bool) -> usize {
+        let mut n = 0;
+        for r in &mut self.rows {
+            if f(r) {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn t() -> Table {
+        Table::new(
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("bw", DataType::Float),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_coerces_types() {
+        let mut tb = t();
+        tb.insert(vec![Value::Int(1), Value::Int(5)]).unwrap();
+        assert_eq!(tb.rows()[0][1], Value::Float(5.0));
+    }
+
+    #[test]
+    fn insert_rejects_arity_mismatch() {
+        let mut tb = t();
+        assert!(tb.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn insert_rejects_null_in_not_null() {
+        let mut tb = t();
+        assert!(tb.insert(vec![Value::Null, Value::Float(1.0)]).is_err());
+        tb.insert(vec![Value::Int(1), Value::Null]).unwrap(); // bw is nullable
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let mut tb = t();
+        for i in 0..5 {
+            tb.insert(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
+        }
+        let n = tb.update_where(|r| {
+            if r[0].as_i64().unwrap() % 2 == 0 {
+                r[1] = Value::Float(0.0);
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(n, 3);
+        let n = tb.delete_where(|r| r[1] == Value::Float(0.0));
+        assert_eq!(n, 3);
+        assert_eq!(tb.len(), 2);
+    }
+}

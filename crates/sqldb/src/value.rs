@@ -1,0 +1,398 @@
+//! Typed values and data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types. These map 1:1 onto the perfbase experiment-definition
+/// `<datatype>` element (paper §3.1: "integer, float, text or other types";
+/// the other types in use are boolean and timestamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Seconds since the Unix epoch (UTC).
+    Timestamp,
+}
+
+impl DataType {
+    /// SQL type name, used by the SQL front-end and `DESCRIBE`-style output.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Int => "INTEGER",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOLEAN",
+            DataType::Timestamp => "TIMESTAMP",
+        }
+    }
+
+    /// Parse an SQL type name (several aliases accepted).
+    pub fn from_sql_name(name: &str) -> Option<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INTEGER" | "INT" | "BIGINT" | "SMALLINT" => Some(DataType::Int),
+            "FLOAT" | "REAL" | "DOUBLE" | "NUMERIC" => Some(DataType::Float),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => Some(DataType::Text),
+            "BOOLEAN" | "BOOL" => Some(DataType::Bool),
+            "TIMESTAMP" | "DATETIME" => Some(DataType::Timestamp),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL / missing content (paper §3.2 allows variables without
+    /// content).
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// Unix timestamp (seconds, UTC).
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The value's type, if not NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int, Float, Bool and Timestamp coerce; Text does not).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(f64::from(*b)),
+            Value::Timestamp(t) => Some(*t as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Timestamp(t) => Some(*t),
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Coerce into `ty`, used on INSERT so that `1` can populate a FLOAT
+    /// column and `'2004-11-23 18:30:30'` a TIMESTAMP column.
+    pub fn coerce(self, ty: DataType) -> Result<Value, String> {
+        if self.is_null() {
+            return Ok(Value::Null);
+        }
+        let err = |v: &Value| Err(format!("cannot coerce {v} to {ty}"));
+        match ty {
+            DataType::Int => match &self {
+                Value::Int(_) => Ok(self),
+                Value::Float(f) if f.fract() == 0.0 => Ok(Value::Int(*f as i64)),
+                Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
+                Value::Text(s) => s.trim().parse().map(Value::Int).or_else(|_| err(&self)),
+                _ => err(&self),
+            },
+            DataType::Float => match &self {
+                Value::Float(_) => Ok(self),
+                Value::Int(i) => Ok(Value::Float(*i as f64)),
+                Value::Text(s) => s.trim().parse().map(Value::Float).or_else(|_| err(&self)),
+                _ => err(&self),
+            },
+            DataType::Text => match self {
+                Value::Text(_) => Ok(self),
+                other => Ok(Value::Text(other.to_string())),
+            },
+            DataType::Bool => match &self {
+                Value::Bool(_) => Ok(self),
+                Value::Int(i) => Ok(Value::Bool(*i != 0)),
+                Value::Text(s) => match s.trim().to_ascii_lowercase().as_str() {
+                    "true" | "t" | "yes" | "1" | "on" => Ok(Value::Bool(true)),
+                    "false" | "f" | "no" | "0" | "off" => Ok(Value::Bool(false)),
+                    _ => err(&self),
+                },
+                _ => err(&self),
+            },
+            DataType::Timestamp => match &self {
+                Value::Timestamp(_) => Ok(self),
+                Value::Int(i) => Ok(Value::Timestamp(*i)),
+                Value::Text(s) => {
+                    parse_timestamp(s).map(Value::Timestamp).ok_or(()).or_else(|_| err(&self))
+                }
+                _ => err(&self),
+            },
+        }
+    }
+
+    /// Total ordering used by ORDER BY and GROUP BY: NULL sorts first,
+    /// numbers compare numerically across Int/Float, text lexicographically.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Text(a), Text(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                // Heterogeneous non-numeric: order by type discriminant.
+                _ => type_rank(a).cmp(&type_rank(b)),
+            },
+        }
+    }
+
+    /// Equality used by filters and grouping (numeric cross-type equality).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 3,
+        Value::Timestamp(_) => 4,
+        Value::Text(_) => 5,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Text(a), Text(b)) => a == b,
+            (Bool(a), Bool(b)) => a == b,
+            (Timestamp(a), Timestamp(b)) => a == b,
+            (Int(a), Float(b)) | (Float(b), Int(a)) => *a as f64 == *b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Text(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Timestamp(t) => f.write_str(&format_timestamp(*t)),
+        }
+    }
+}
+
+/// Days-from-civil algorithm (Howard Hinnant): days since 1970-01-01.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parse `YYYY-MM-DD[ HH:MM[:SS]]` (also accepts `T` as a date/time
+/// separator) into Unix seconds. Returns `None` on malformed input.
+pub fn parse_timestamp(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (date, time) = match s.find([' ', 'T']) {
+        Some(i) => (&s[..i], Some(&s[i + 1..])),
+        None => (s, None),
+    };
+    let mut dp = date.split('-');
+    let y: i64 = dp.next()?.parse().ok()?;
+    let m: u32 = dp.next()?.parse().ok()?;
+    let d: u32 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let mut secs = days_from_civil(y, m, d) * 86_400;
+    if let Some(t) = time {
+        let mut tp = t.split(':');
+        let h: i64 = tp.next()?.parse().ok()?;
+        let mi: i64 = tp.next()?.parse().ok()?;
+        let se: i64 = match tp.next() {
+            Some(x) => x.parse().ok()?,
+            None => 0,
+        };
+        if tp.next().is_some() || !(0..24).contains(&h) || !(0..60).contains(&mi) || !(0..60).contains(&se)
+        {
+            return None;
+        }
+        secs += h * 3600 + mi * 60 + se;
+    }
+    Some(secs)
+}
+
+/// Format Unix seconds as `YYYY-MM-DD HH:MM:SS` (UTC).
+pub fn format_timestamp(secs: i64) -> String {
+    let days = secs.div_euclid(86_400);
+    let rem = secs.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{y:04}-{m:02}-{d:02} {:02}:{:02}:{:02}",
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_roundtrip() {
+        for t in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool, DataType::Timestamp]
+        {
+            assert_eq!(DataType::from_sql_name(t.sql_name()), Some(t));
+        }
+        assert_eq!(DataType::from_sql_name("varchar"), Some(DataType::Text));
+        assert_eq!(DataType::from_sql_name("nope"), None);
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(3).coerce(DataType::Float).unwrap(), Value::Float(3.0));
+        assert_eq!(Value::Float(3.0).coerce(DataType::Int).unwrap(), Value::Int(3));
+        assert!(Value::Float(3.5).coerce(DataType::Int).is_err());
+        assert_eq!(
+            Value::Text(" 42 ".into()).coerce(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::Text("yes".into()).coerce(DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(Value::Int(7).coerce(DataType::Text).unwrap(), Value::Text("7".into()));
+        assert!(Value::Text("abc".into()).coerce(DataType::Float).is_err());
+        assert_eq!(Value::Null.coerce(DataType::Int).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn ordering_rules() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Less);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Equal);
+        assert_eq!(Value::Int(3).total_cmp(&Value::Float(2.5)), Greater);
+        assert_eq!(Value::Text("a".into()).total_cmp(&Value::Text("b".into())), Less);
+    }
+
+    #[test]
+    fn sql_eq_null_is_never_equal() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(Value::Int(1).sql_eq(&Value::Float(1.0)));
+        assert!(!Value::Int(1).sql_eq(&Value::Text("1".into())));
+    }
+
+    #[test]
+    fn timestamp_parse_format_roundtrip() {
+        let cases = [
+            "1970-01-01 00:00:00",
+            "2004-11-23 18:30:30",
+            "2026-07-06 12:00:00",
+            "1969-12-31 23:59:59",
+            "2000-02-29 01:02:03",
+        ];
+        for c in cases {
+            let t = parse_timestamp(c).unwrap();
+            assert_eq!(format_timestamp(t), c, "case {c}");
+        }
+    }
+
+    #[test]
+    fn timestamp_epoch_is_zero() {
+        assert_eq!(parse_timestamp("1970-01-01"), Some(0));
+        assert_eq!(parse_timestamp("1970-01-02"), Some(86_400));
+        assert_eq!(parse_timestamp("2004-11-23T18:30:30"), parse_timestamp("2004-11-23 18:30:30"));
+    }
+
+    #[test]
+    fn timestamp_rejects_malformed() {
+        for bad in ["", "2004", "2004-13-01", "2004-00-10", "2004-01-32", "2004-1-1 25:00", "x-y-z"] {
+            assert_eq!(parse_timestamp(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(
+            Value::Timestamp(parse_timestamp("2004-11-23 18:30:30").unwrap()).to_string(),
+            "2004-11-23 18:30:30"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Concurrency stress tests: the engine must support the perfbase access
+//! pattern — many concurrent readers over shared run tables while each
+//! query element writes only its own temp table (paper §4.2/§4.3).
+
+use sqldb::cluster::{Cluster, LatencyModel};
+use sqldb::{Engine, Value};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn concurrent_readers_see_consistent_counts() {
+    let db = Arc::new(Engine::new());
+    db.execute("CREATE TABLE t (a INTEGER, b FLOAT)").unwrap();
+    let rows: Vec<Vec<Value>> =
+        (0..5_000).map(|i| vec![Value::Int(i % 50), Value::Float(i as f64)]).collect();
+    db.insert_rows("t", rows).unwrap();
+
+    let handles: Vec<_> = (0..8)
+        .map(|k| {
+            let db = db.clone();
+            thread::spawn(move || {
+                for _ in 0..20 {
+                    let rs = db
+                        .query(&format!("SELECT count(*), sum(b) FROM t WHERE a = {}", k % 50))
+                        .unwrap();
+                    assert_eq!(rs.rows()[0][0], Value::Int(100));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn writers_on_distinct_temp_tables_do_not_interfere() {
+    let db = Arc::new(Engine::new());
+    let handles: Vec<_> = (0..8)
+        .map(|k| {
+            let db = db.clone();
+            thread::spawn(move || {
+                let table = format!("pb_tmp_stress_{k}");
+                db.execute(&format!("CREATE TEMP TABLE {table} (x INTEGER)")).unwrap();
+                for i in 0..200 {
+                    db.execute(&format!("INSERT INTO {table} VALUES ({i})")).unwrap();
+                }
+                let rs = db.query(&format!("SELECT count(*) FROM {table}")).unwrap();
+                assert_eq!(rs.rows()[0][0], Value::Int(200));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(db.temp_table_names().len(), 8);
+    db.drop_temp_tables();
+    assert!(db.temp_table_names().is_empty());
+}
+
+#[test]
+fn readers_concurrent_with_a_writer_never_see_torn_rows() {
+    let db = Arc::new(Engine::new());
+    db.execute("CREATE TABLE log (pair_lo INTEGER, pair_hi INTEGER)").unwrap();
+
+    let writer = {
+        let db = db.clone();
+        thread::spawn(move || {
+            for i in 0..400i64 {
+                // Invariant: pair_hi == pair_lo + 1 in every committed row.
+                db.execute(&format!("INSERT INTO log VALUES ({i}, {})", i + 1)).unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let db = db.clone();
+            thread::spawn(move || {
+                for _ in 0..50 {
+                    let rs = db
+                        .query("SELECT count(*) FROM log WHERE pair_hi <> pair_lo + 1")
+                        .unwrap();
+                    assert_eq!(rs.rows()[0][0], Value::Int(0), "torn row observed");
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(db.row_count("log").unwrap(), 400);
+}
+
+#[test]
+fn cluster_nodes_used_from_many_threads() {
+    let cluster = Arc::new(Cluster::new(4, LatencyModel::none()));
+    cluster.node(0).engine.execute("CREATE TABLE src (x INTEGER)").unwrap();
+    cluster
+        .node(0)
+        .engine
+        .execute("INSERT INTO src VALUES (1), (2), (3)")
+        .unwrap();
+
+    let handles: Vec<_> = (0..8)
+        .map(|k| {
+            let cluster = cluster.clone();
+            thread::spawn(move || {
+                let dst = 1 + (k % 3);
+                let table = format!("copy_{k}");
+                cluster.copy_table(0, "src", dst, &table).unwrap();
+                let rs = cluster
+                    .fetch(dst, 0, &format!("SELECT count(*) FROM {table}"))
+                    .unwrap();
+                assert_eq!(rs.rows()[0][0], Value::Int(3));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = cluster.stats();
+    assert_eq!(stats.messages, 16); // 8 copies + 8 remote fetches
+}
+
+#[test]
+fn dump_while_reading_is_consistent() {
+    let db = Arc::new(Engine::new());
+    db.execute("CREATE TABLE t (x INTEGER)").unwrap();
+    for i in 0..100 {
+        db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let db = db.clone();
+            thread::spawn(move || {
+                for _ in 0..10 {
+                    let dump = db.dump_sql();
+                    let restored = Engine::from_sql_dump(&dump).unwrap();
+                    assert_eq!(restored.row_count("t").unwrap(), 100);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

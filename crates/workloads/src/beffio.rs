@@ -1,0 +1,507 @@
+//! A `b_eff_io` output-file simulator (paper §5, Fig. 4).
+//!
+//! The real benchmark \[11\] measures MPI-IO bandwidth for five access types
+//! over a fixed ladder of chunk sizes, in write / rewrite / read modes, and
+//! prints a summarising ASCII file. This module reproduces that output
+//! *shape* from a parameterised bandwidth model:
+//!
+//! * chunk-size ladder `32 … 2 MiB` with the odd `+8`-byte sizes
+//!   (1032, 32776, 1048584) representing **non-contiguous** patterns;
+//! * per-access-type and per-mode saturation curves;
+//! * file-system throughput factors (ufs/nfs/pvfs) and noise levels —
+//!   shared I/O systems vary much more than message passing (§5);
+//! * the list-based vs. **list-less** non-contiguous technique of \[14\]:
+//!   list-less is genuinely faster on non-contiguous patterns, **except**
+//!   for a planted performance bug on large read accesses
+//!   (chunk ≥ 1 MB), where it reaches only ≈ 40 % of list-based bandwidth —
+//!   exactly the regression Fig. 8 uncovers.
+
+use crate::noise::Noise;
+
+/// The benchmark's chunk-size ladder (bytes). Odd `+8` sizes are the
+/// non-contiguous patterns.
+pub const CHUNK_SIZES: [u64; 8] =
+    [32, 1024, 1032, 32_768, 32_776, 1_048_576, 1_048_584, 2_097_152];
+
+/// The five access types of `b_eff_io`.
+pub const ACCESS_TYPES: [&str; 5] = ["scatter", "shared", "separate", "segmened", "seg-coll"];
+
+/// I/O modes measured by the benchmark.
+pub const MODES: [&str; 3] = ["write", "rewrite", "read"];
+
+/// File-system types of the paper's test environments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsType {
+    /// Local Unix file system.
+    Ufs,
+    /// Network file system (slow, very noisy shared resource).
+    Nfs,
+    /// Parallel file system (fast, scales with processes).
+    Pvfs,
+}
+
+impl FsType {
+    /// Name as encoded into output-file names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsType::Ufs => "ufs",
+            FsType::Nfs => "nfs",
+            FsType::Pvfs => "pvfs",
+        }
+    }
+
+    fn throughput_factor(&self) -> f64 {
+        match self {
+            FsType::Ufs => 1.0,
+            FsType::Nfs => 0.35,
+            FsType::Pvfs => 1.6,
+        }
+    }
+
+    /// Relative noise level (log-normal σ).
+    pub fn noise_sigma(&self) -> f64 {
+        match self {
+            FsType::Ufs => 0.06,
+            FsType::Nfs => 0.22,
+            FsType::Pvfs => 0.10,
+        }
+    }
+}
+
+/// The non-contiguous I/O technique under test (paper §5, \[14\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// The old list-based implementation.
+    ListBased,
+    /// The new list-less implementation — faster, except for the planted
+    /// large-read regression.
+    ListLess,
+}
+
+impl Technique {
+    /// Name as encoded into output-file names and `-i` options.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::ListBased => "list-based",
+            Technique::ListLess => "list-less",
+        }
+    }
+
+    /// Compact form for file names.
+    pub fn file_tag(&self) -> &'static str {
+        match self {
+            Technique::ListBased => "listbased",
+            Technique::ListLess => "listless",
+        }
+    }
+}
+
+/// Configuration of one simulated benchmark run.
+#[derive(Debug, Clone)]
+pub struct BeffIoConfig {
+    /// Number of MPI processes.
+    pub n_procs: u32,
+    /// Memory per processor in MBytes.
+    pub mem_mb: u32,
+    /// Scheduled benchmark time in minutes (`-T`).
+    pub t_spec: u32,
+    /// File system under test.
+    pub fs: FsType,
+    /// Non-contiguous I/O technique.
+    pub technique: Technique,
+    /// Host the run pretends to execute on.
+    pub hostname: String,
+    /// Date string placed in the output (ctime format).
+    pub date: String,
+    /// Repetition index (encoded in the file name).
+    pub run_index: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BeffIoConfig {
+    fn default() -> Self {
+        BeffIoConfig {
+            n_procs: 4,
+            mem_mb: 256,
+            t_spec: 10,
+            fs: FsType::Ufs,
+            technique: Technique::ListBased,
+            hostname: "grisu0.ccrl-nece.de".into(),
+            date: "Tue Nov 23 18:30:30 2004".into(),
+            run_index: 1,
+            seed: 1,
+        }
+    }
+}
+
+/// One table row: bandwidths of the five access types for a (mode, chunk).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternRow {
+    /// I/O mode (`write`/`rewrite`/`read`).
+    pub mode: &'static str,
+    /// Position in the ladder (1-based).
+    pub pos: usize,
+    /// Chunk size in bytes.
+    pub chunk: u64,
+    /// MB/s per access type.
+    pub bandwidth: [f64; 5],
+}
+
+/// A complete simulated run.
+#[derive(Debug, Clone)]
+pub struct BeffIoRun {
+    /// The configuration it ran under.
+    pub config: BeffIoConfig,
+    /// All table rows, grouped by mode in ladder order.
+    pub rows: Vec<PatternRow>,
+    /// Weighted average bandwidth per mode (write, rewrite, read).
+    pub weighted_avg: [f64; 3],
+    /// The headline `b_eff_io` number.
+    pub b_eff_io: f64,
+}
+
+/// Is this chunk size a non-contiguous pattern (the `+8` sizes)?
+pub fn is_noncontiguous(chunk: u64) -> bool {
+    chunk == 1032 || chunk == 32_776 || chunk == 1_048_584
+}
+
+/// The noise-free bandwidth model in MB/s. Public so that benches and tests
+/// can assert the planted shape without sampling noise.
+pub fn model_bandwidth(
+    n_procs: u32,
+    fs: FsType,
+    technique: Technique,
+    access_idx: usize,
+    mode: &str,
+    chunk: u64,
+) -> f64 {
+    // Saturation curve over chunk size: small chunks are latency-bound.
+    let chunk_f = chunk as f64;
+    let saturation = chunk_f / (chunk_f + 20_000.0);
+
+    // Peak bandwidth per access type (scatter is CPU-bound and flat;
+    // separate/segmented scale best), roughly shaped after Fig. 4.
+    let peak = match access_idx {
+        0 => 70.0,  // scatter
+        1 => 85.0,  // shared
+        2 => 95.0,  // separate
+        3 => 92.0,  // segmented
+        4 => 88.0,  // seg-coll
+        _ => 80.0,
+    };
+    // Scatter keeps a useful floor at tiny chunks; shared collapses there.
+    let floor = match access_idx {
+        0 => 30.0,
+        1 => 0.8,
+        _ => 2.0,
+    };
+
+    // Reads are served from fewer sync constraints: a large factor, higher
+    // for large chunks (page-cache friendly), as in Fig. 4.
+    let mode_factor = match mode {
+        "write" => 1.0,
+        "rewrite" => 1.12,
+        "read" => 4.0 + 8.0 * saturation,
+        _ => 1.0,
+    };
+
+    let scale = (n_procs as f64 / 4.0).powf(match fs {
+        FsType::Pvfs => 0.8, // parallel fs scales
+        _ => 0.15,           // shared fs barely does
+    });
+
+    let mut bw = (floor + peak * saturation) * mode_factor * fs.throughput_factor() * scale;
+
+    // Technique effect only exists on non-contiguous patterns.
+    if is_noncontiguous(chunk) {
+        bw *= match technique {
+            Technique::ListBased => 1.0,
+            Technique::ListLess => {
+                if mode == "read" && chunk >= 1_000_000 {
+                    // The planted performance bug of §5 / Fig. 8:
+                    // ≈ 60 % slower than list-based for large reads.
+                    0.4
+                } else {
+                    // Otherwise the new technique genuinely wins.
+                    1.18
+                }
+            }
+        };
+    }
+    bw
+}
+
+/// Simulate one benchmark run.
+pub fn simulate(config: BeffIoConfig) -> BeffIoRun {
+    let mut noise = Noise::new(config.seed);
+    let sigma = config.fs.noise_sigma();
+    let mut rows = Vec::with_capacity(MODES.len() * CHUNK_SIZES.len());
+    for mode in MODES {
+        for (pos, &chunk) in CHUNK_SIZES.iter().enumerate() {
+            let mut bandwidth = [0.0; 5];
+            for (a, slot) in bandwidth.iter_mut().enumerate() {
+                let base = model_bandwidth(
+                    config.n_procs,
+                    config.fs,
+                    config.technique,
+                    a,
+                    mode,
+                    chunk,
+                );
+                *slot = (base * noise.lognormal_factor(sigma)).max(0.001);
+            }
+            rows.push(PatternRow { mode, pos: pos + 1, chunk, bandwidth });
+        }
+    }
+
+    // Weighted average per mode over all patterns and access types,
+    // weighting large chunks higher (they move most of the bytes).
+    let mut weighted_avg = [0.0; 3];
+    for (m, mode) in MODES.iter().enumerate() {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for row in rows.iter().filter(|r| r.mode == *mode) {
+            let w = (row.chunk as f64).sqrt();
+            for bw in row.bandwidth {
+                num += w * bw;
+                den += w;
+            }
+        }
+        weighted_avg[m] = num / den;
+    }
+    // b_eff_io headline: geometric-ish blend dominated by read bandwidth.
+    let b_eff_io = (weighted_avg[0] + weighted_avg[1] + weighted_avg[2]) / 3.0;
+
+    BeffIoRun { config, rows, weighted_avg, b_eff_io }
+}
+
+impl BeffIoRun {
+    /// The output-file name this run would have, encoding the information
+    /// that is *not* in the file body (fs type, technique, run index) —
+    /// paper §5: "such information can be encoded in the filename".
+    pub fn filename(&self) -> String {
+        format!(
+            "bio_T{}_N{}_{}_{}_grisu_run{}",
+            self.config.t_spec,
+            self.config.n_procs,
+            self.config.technique.file_tag(),
+            self.config.fs.name(),
+            self.config.run_index,
+        )
+    }
+
+    /// Render the Fig. 4-style summarising output file.
+    pub fn render(&self) -> String {
+        let c = &self.config;
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "MEMORY PER PROCESSOR = {} MBytes [1MBytes = 1024*1024 bytes, 1MB = 1e6 bytes]\n",
+            c.mem_mb
+        ));
+        out.push_str("Maximum chunk size =      2.000 MBytes\n");
+        out.push_str(&format!(
+            "-N {} T={}, MT={} MBytes -i {}_io.info, -rewrite\n",
+            c.n_procs,
+            c.t_spec,
+            c.mem_mb * c.n_procs,
+            c.technique.name().replace('-', "_"),
+        ));
+        out.push_str(&format!("PATH=/tmp, PREFIX={}\n", self.filename()));
+        out.push_str("      system name : Linux\n");
+        out.push_str(&format!("      hostname : {}\n", c.hostname));
+        out.push_str("      OS release : 2.6.6\n");
+        out.push_str("      OS version : #1 SMP Tue Jun 22 14:37:05 CEST 2004\n");
+        out.push_str("      machine : i686\n");
+        out.push_str(&format!("Date of measurement: {}\n\n", c.date));
+        out.push_str(&format!(
+            "Summary of file I/O bandwidth accumulated on {} processes with {} MByte/PE\n",
+            c.n_procs, c.mem_mb
+        ));
+        out.push_str(
+            "number pos chunk-   access type=0  type=1   type=2   type=3   type=4\n",
+        );
+        out.push_str(
+            "of PEs     size (l)  methode scatter shared   separate segmened seg-coll\n",
+        );
+        out.push_str("           [bytes]  methode [MB/s]  [MB/s]   [MB/s]   [MB/s]   [MB/s]\n");
+
+        for mode in MODES {
+            for row in self.rows.iter().filter(|r| r.mode == mode) {
+                out.push_str(&format!(
+                    "{:3} PEs {:2} {:9} {:8}",
+                    c.n_procs, row.pos, row.chunk, row.mode
+                ));
+                for bw in row.bandwidth {
+                    out.push_str(&format!(" {:8.3}", bw));
+                }
+                out.push('\n');
+            }
+            // The per-mode total line (skipped by tabular extraction).
+            let mode_idx = MODES.iter().position(|m| *m == mode).expect("known mode");
+            out.push_str(&format!(
+                "{:3} PEs    total-{mode}  {:10.3}\n",
+                c.n_procs, self.weighted_avg[mode_idx]
+            ));
+        }
+
+        out.push_str(
+            "\nThis table shows all results, except pattern 2 (scatter, l=1MBytes, L=2MBytes):\n",
+        );
+        out.push_str(&format!(
+            " bw_pat2= {:.3} MB/s write, {:.3} MB/s rewrite, {:.3} MB/s read\n\n",
+            self.weighted_avg[0], self.weighted_avg[1], self.weighted_avg[2]
+        ));
+        for (m, mode) in MODES.iter().enumerate() {
+            out.push_str(&format!(
+                "weighted average bandwidth for {mode:<7}: {:.3} MB/s on {} processes\n",
+                self.weighted_avg[m], c.n_procs
+            ));
+        }
+        out.push_str(&format!(
+            "\nb_eff_io of these measurements = {:.3} MB/s on {} processes with {} MByte/PE and scheduled time={:.1} min\n",
+            self.b_eff_io,
+            c.n_procs,
+            c.mem_mb,
+            c.t_spec as f64 / 50.0,
+        ));
+        out.push_str(&format!(
+            "b_eff_io = {:.3} MB/s on {} processes with {} MByte/PE, scheduled time={:.1} Min, on Linux {} 2.6.6 i686\n",
+            self.b_eff_io,
+            c.n_procs,
+            c.mem_mb,
+            c.t_spec as f64 / 50.0,
+            c.hostname,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate(BeffIoConfig::default());
+        let b = simulate(BeffIoConfig::default());
+        assert_eq!(a.render(), b.render());
+        let c = simulate(BeffIoConfig { seed: 2, ..BeffIoConfig::default() });
+        assert_ne!(a.render(), c.render());
+    }
+
+    #[test]
+    fn row_count_covers_modes_and_ladder() {
+        let run = simulate(BeffIoConfig::default());
+        assert_eq!(run.rows.len(), 3 * 8);
+        assert!(run.rows.iter().all(|r| r.bandwidth.iter().all(|b| *b > 0.0)));
+    }
+
+    #[test]
+    fn reads_beat_writes_at_large_chunks() {
+        for a in 0..5 {
+            let w = model_bandwidth(4, FsType::Ufs, Technique::ListBased, a, "write", 2_097_152);
+            let r = model_bandwidth(4, FsType::Ufs, Technique::ListBased, a, "read", 2_097_152);
+            assert!(r > 3.0 * w, "access {a}: read {r} vs write {w}");
+        }
+    }
+
+    #[test]
+    fn nfs_slower_and_noisier_than_ufs() {
+        let u = model_bandwidth(4, FsType::Ufs, Technique::ListBased, 2, "write", 1_048_576);
+        let n = model_bandwidth(4, FsType::Nfs, Technique::ListBased, 2, "write", 1_048_576);
+        assert!(n < 0.5 * u);
+        assert!(FsType::Nfs.noise_sigma() > 2.0 * FsType::Ufs.noise_sigma());
+    }
+
+    #[test]
+    fn planted_bug_shape() {
+        // List-less wins on non-contiguous writes and small reads …
+        let lb = model_bandwidth(4, FsType::Ufs, Technique::ListBased, 2, "write", 32_776);
+        let ll = model_bandwidth(4, FsType::Ufs, Technique::ListLess, 2, "write", 32_776);
+        assert!(ll > lb * 1.1);
+        let lb = model_bandwidth(4, FsType::Ufs, Technique::ListBased, 2, "read", 1032);
+        let ll = model_bandwidth(4, FsType::Ufs, Technique::ListLess, 2, "read", 1032);
+        assert!(ll > lb * 1.1);
+        // … but loses ≈ 60 % on large non-contiguous reads.
+        let lb = model_bandwidth(4, FsType::Ufs, Technique::ListBased, 2, "read", 1_048_584);
+        let ll = model_bandwidth(4, FsType::Ufs, Technique::ListLess, 2, "read", 1_048_584);
+        let rel = (ll / lb - 1.0) * 100.0;
+        assert!((rel + 60.0).abs() < 1.0, "relative difference {rel}%");
+        // Contiguous patterns are technique-independent.
+        let lb = model_bandwidth(4, FsType::Ufs, Technique::ListBased, 2, "read", 1_048_576);
+        let ll = model_bandwidth(4, FsType::Ufs, Technique::ListLess, 2, "read", 1_048_576);
+        assert_eq!(lb, ll);
+    }
+
+    #[test]
+    fn filename_encodes_config() {
+        let run = simulate(BeffIoConfig {
+            fs: FsType::Nfs,
+            technique: Technique::ListLess,
+            run_index: 3,
+            ..BeffIoConfig::default()
+        });
+        assert_eq!(run.filename(), "bio_T10_N4_listless_nfs_grisu_run3");
+    }
+
+    #[test]
+    fn rendered_file_structure() {
+        let run = simulate(BeffIoConfig::default());
+        let text = run.render();
+        assert!(text.starts_with("MEMORY PER PROCESSOR = 256 MBytes"));
+        assert!(text.contains("hostname : grisu0.ccrl-nece.de"));
+        assert!(text.contains("Date of measurement: Tue Nov 23 18:30:30 2004"));
+        // 24 data rows with the "N PEs pos chunk mode" shape.
+        let data_rows = text
+            .lines()
+            .filter(|l| {
+                let t: Vec<&str> = l.split_whitespace().collect();
+                t.len() == 10 && t[1] == "PEs" && t[0].parse::<u32>().is_ok()
+            })
+            .count();
+        assert_eq!(data_rows, 24);
+        assert!(text.contains("total-write"));
+        assert!(text.contains("total-rewrite"));
+        assert!(text.contains("total-read"));
+        assert!(text.contains("weighted average bandwidth for read"));
+        assert!(text.contains("b_eff_io of these measurements ="));
+    }
+
+    #[test]
+    fn noise_keeps_sign_of_planted_bug() {
+        // Even with noise, averaging a few runs must show the regression.
+        let avg = |technique: Technique| -> f64 {
+            (0..5)
+                .map(|s| {
+                    let run = simulate(BeffIoConfig {
+                        technique,
+                        seed: 100 + s,
+                        ..BeffIoConfig::default()
+                    });
+                    // access type 2 (separate), read, chunk 1048584 (pos 7)
+                    run.rows
+                        .iter()
+                        .find(|r| r.mode == "read" && r.chunk == 1_048_584)
+                        .map(|r| r.bandwidth[2])
+                        .expect("row exists")
+                })
+                .sum::<f64>()
+                / 5.0
+        };
+        let lb = avg(Technique::ListBased);
+        let ll = avg(Technique::ListLess);
+        let rel = (ll / lb - 1.0) * 100.0;
+        assert!(rel < -40.0, "expected strong regression, got {rel}%");
+    }
+
+    #[test]
+    fn pvfs_scales_with_processes() {
+        let p4 = model_bandwidth(4, FsType::Pvfs, Technique::ListBased, 2, "write", 1_048_576);
+        let p16 = model_bandwidth(16, FsType::Pvfs, Technique::ListBased, 2, "write", 1_048_576);
+        assert!(p16 > 2.0 * p4);
+        let u4 = model_bandwidth(4, FsType::Ufs, Technique::ListBased, 2, "write", 1_048_576);
+        let u16 = model_bandwidth(16, FsType::Ufs, Technique::ListBased, 2, "write", 1_048_576);
+        assert!(u16 < 1.5 * u4);
+    }
+}

@@ -1,0 +1,26 @@
+//! `workloads` — synthetic experiment workloads for perfbase.
+//!
+//! perfbase manages the *output files* of experiments; its evaluation (paper
+//! §5) runs the MPI-IO benchmark `b_eff_io` on a real cluster. We do not
+//! have that testbed, so this crate simulates the workloads at the level
+//! perfbase consumes them: **realistic ASCII output files** produced by a
+//! parameterised performance model with controlled randomness.
+//!
+//! * [`beffio`] — a `b_eff_io` output-file generator (Fig. 4 format) with a
+//!   bandwidth model covering access types, chunk sizes, file systems and
+//!   the list-based vs. list-less non-contiguous I/O techniques — including
+//!   the *planted performance bug* that Fig. 8 uncovers (list-less ≈ 60 %
+//!   slower for large read accesses).
+//! * [`optionpricing`] — a real (small) binomial-tree / Monte-Carlo option
+//!   pricer emitting parameterised simulation outputs (the paper's intro
+//!   example \[13\]).
+//! * [`testsuite`] — a test-suite log generator for the correctness-
+//!   tracking use case (§6: "a special case of a performance test with only
+//!   a single result value, namely the number of errors").
+//!
+//! All generators are deterministic given a seed.
+
+pub mod beffio;
+pub mod noise;
+pub mod optionpricing;
+pub mod testsuite;

@@ -1,0 +1,101 @@
+//! Deterministic noise sources for the workload models.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded noise source.
+pub struct Noise {
+    rng: StdRng,
+}
+
+impl Noise {
+    /// New source from a seed.
+    pub fn new(seed: u64) -> Self {
+        Noise { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Standard normal via Box–Muller (rand_distr is not on the approved
+    /// dependency list).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Multiplicative log-normal factor with the given sigma: `exp(σ·N)`.
+    /// Models the high relative variance of shared I/O systems (paper §5).
+    pub fn lognormal_factor(&mut self, sigma: f64) -> f64 {
+        (sigma * self.standard_normal()).exp()
+    }
+
+    /// Bernoulli draw.
+    pub fn happens(&mut self, probability: f64) -> bool {
+        self.uniform() < probability
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.rng.random_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Noise::new(42);
+        let mut b = Noise::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+        let mut c = Noise::new(43);
+        assert_ne!(Noise::new(42).uniform(), c.uniform());
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut n = Noise::new(7);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_factor_positive_and_centered() {
+        let mut n = Noise::new(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f = n.lognormal_factor(0.1);
+            assert!(f > 0.0);
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        // E[exp(σN)] = exp(σ²/2) ≈ 1.005 for σ = 0.1.
+        assert!((mean - 1.005).abs() < 0.02, "{mean}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut n = Noise::new(11);
+        let hits = (0..10_000).filter(|_| n.happens(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut n = Noise::new(13);
+        for _ in 0..1000 {
+            assert!(n.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Option-pricing simulation workload (paper §1, ref. \[13\]).
+//!
+//! The introduction motivates perfbase with "the price calculation of stock
+//! options … a large number of parameterised simulation runs … which often
+//! depend on half a dozen of parameters". This module is a real (small)
+//! pricer: a Cox–Ross–Rubinstein binomial tree plus a Monte-Carlo variant
+//! with error estimation, and a run-output renderer whose files perfbase
+//! imports.
+
+use crate::noise::Noise;
+
+/// Call or put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionKind {
+    /// Right to buy.
+    Call,
+    /// Right to sell.
+    Put,
+}
+
+impl OptionKind {
+    /// Lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptionKind::Call => "call",
+            OptionKind::Put => "put",
+        }
+    }
+
+    fn payoff(&self, s: f64, k: f64) -> f64 {
+        match self {
+            OptionKind::Call => (s - k).max(0.0),
+            OptionKind::Put => (k - s).max(0.0),
+        }
+    }
+}
+
+/// Exercise style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExerciseStyle {
+    /// Exercise only at maturity.
+    European,
+    /// Exercise any time.
+    American,
+}
+
+impl ExerciseStyle {
+    /// Lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExerciseStyle::European => "european",
+            ExerciseStyle::American => "american",
+        }
+    }
+}
+
+/// The half-dozen parameters of one pricing run.
+#[derive(Debug, Clone)]
+pub struct OptionParams {
+    /// Spot price.
+    pub spot: f64,
+    /// Strike price.
+    pub strike: f64,
+    /// Risk-free rate (continuous compounding).
+    pub rate: f64,
+    /// Volatility (annualised).
+    pub volatility: f64,
+    /// Time to maturity in years.
+    pub maturity: f64,
+    /// Binomial tree steps.
+    pub steps: usize,
+    /// Call/put.
+    pub kind: OptionKind,
+    /// European/American.
+    pub style: ExerciseStyle,
+}
+
+impl Default for OptionParams {
+    fn default() -> Self {
+        OptionParams {
+            spot: 100.0,
+            strike: 100.0,
+            rate: 0.05,
+            volatility: 0.2,
+            maturity: 1.0,
+            steps: 256,
+            kind: OptionKind::Call,
+            style: ExerciseStyle::European,
+        }
+    }
+}
+
+/// Cox–Ross–Rubinstein binomial-tree price.
+pub fn binomial_price(p: &OptionParams) -> f64 {
+    let n = p.steps.max(1);
+    let dt = p.maturity / n as f64;
+    let up = (p.volatility * dt.sqrt()).exp();
+    let down = 1.0 / up;
+    let disc = (-p.rate * dt).exp();
+    let q = ((p.rate * dt).exp() - down) / (up - down);
+
+    // Terminal payoffs.
+    let mut values: Vec<f64> = (0..=n)
+        .map(|j| {
+            let s = p.spot * up.powi(j as i32) * down.powi((n - j) as i32);
+            p.kind.payoff(s, p.strike)
+        })
+        .collect();
+
+    // Backward induction.
+    for step in (0..n).rev() {
+        for j in 0..=step {
+            let cont = disc * (q * values[j + 1] + (1.0 - q) * values[j]);
+            values[j] = match p.style {
+                ExerciseStyle::European => cont,
+                ExerciseStyle::American => {
+                    let s = p.spot * up.powi(j as i32) * down.powi((step - j) as i32);
+                    cont.max(p.kind.payoff(s, p.strike))
+                }
+            };
+        }
+    }
+    values[0]
+}
+
+/// Black–Scholes closed form (European only) — the oracle for tests.
+pub fn black_scholes(p: &OptionParams) -> f64 {
+    let d1 = ((p.spot / p.strike).ln() + (p.rate + 0.5 * p.volatility * p.volatility) * p.maturity)
+        / (p.volatility * p.maturity.sqrt());
+    let d2 = d1 - p.volatility * p.maturity.sqrt();
+    let df = (-p.rate * p.maturity).exp();
+    match p.kind {
+        OptionKind::Call => p.spot * norm_cdf(d1) - p.strike * df * norm_cdf(d2),
+        OptionKind::Put => p.strike * df * norm_cdf(-d2) - p.spot * norm_cdf(-d1),
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Monte-Carlo price with standard-error estimate — the "simulations which
+/// include error estimation" case of §1.
+pub fn monte_carlo_price(p: &OptionParams, paths: usize, seed: u64) -> (f64, f64) {
+    let mut noise = Noise::new(seed);
+    let drift = (p.rate - 0.5 * p.volatility * p.volatility) * p.maturity;
+    let vol_t = p.volatility * p.maturity.sqrt();
+    let df = (-p.rate * p.maturity).exp();
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for _ in 0..paths {
+        let z = noise.standard_normal();
+        let s = p.spot * (drift + vol_t * z).exp();
+        let v = df * p.kind.payoff(s, p.strike);
+        sum += v;
+        sum_sq += v * v;
+    }
+    let mean = sum / paths as f64;
+    let var = (sum_sq / paths as f64 - mean * mean).max(0.0);
+    let stderr = (var / paths as f64).sqrt();
+    (mean, stderr)
+}
+
+/// Render a pricing-run output file that a perfbase input description can
+/// parse (named locations + one tabular convergence table).
+pub fn render_run(p: &OptionParams, paths: usize, seed: u64) -> String {
+    let tree = binomial_price(p);
+    let (mc, se) = monte_carlo_price(p, paths, seed);
+    let mut out = String::new();
+    out.push_str("option pricing simulation\n");
+    out.push_str(&format!("kind = {}\n", p.kind.name()));
+    out.push_str(&format!("style = {}\n", p.style.name()));
+    out.push_str(&format!("spot = {:.4}\n", p.spot));
+    out.push_str(&format!("strike = {:.4}\n", p.strike));
+    out.push_str(&format!("rate = {:.4}\n", p.rate));
+    out.push_str(&format!("volatility = {:.4}\n", p.volatility));
+    out.push_str(&format!("maturity = {:.4}\n", p.maturity));
+    out.push_str(&format!("steps = {}\n", p.steps));
+    out.push_str(&format!("paths = {paths}\n"));
+    out.push_str("convergence table (steps price)\n");
+    for s in [16usize, 32, 64, 128, 256] {
+        let ps = OptionParams { steps: s, ..p.clone() };
+        out.push_str(&format!("{:6} {:.6}\n", s, binomial_price(&ps)));
+    }
+    out.push_str(&format!("tree price = {tree:.6}\n"));
+    out.push_str(&format!("mc price = {mc:.6}\n"));
+    out.push_str(&format!("mc stderr = {se:.6}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_converges_to_black_scholes() {
+        let p = OptionParams { steps: 2048, ..OptionParams::default() };
+        let tree = binomial_price(&p);
+        let bs = black_scholes(&p);
+        assert!((tree - bs).abs() < 0.01, "tree {tree} vs bs {bs}");
+    }
+
+    #[test]
+    fn put_call_parity() {
+        let call = OptionParams { kind: OptionKind::Call, ..OptionParams::default() };
+        let put = OptionParams { kind: OptionKind::Put, ..OptionParams::default() };
+        let c = black_scholes(&call);
+        let pv = black_scholes(&put);
+        // C - P = S - K·e^{-rT}
+        let parity = call.spot - call.strike * (-call.rate * call.maturity).exp();
+        assert!((c - pv - parity).abs() < 1e-10);
+    }
+
+    #[test]
+    fn american_put_worth_more_than_european() {
+        let eu = OptionParams {
+            kind: OptionKind::Put,
+            style: ExerciseStyle::European,
+            rate: 0.1,
+            ..OptionParams::default()
+        };
+        let am = OptionParams { style: ExerciseStyle::American, ..eu.clone() };
+        assert!(binomial_price(&am) > binomial_price(&eu) + 1e-3);
+    }
+
+    #[test]
+    fn american_call_equals_european_without_dividends() {
+        let eu = OptionParams { style: ExerciseStyle::European, ..OptionParams::default() };
+        let am = OptionParams { style: ExerciseStyle::American, ..OptionParams::default() };
+        assert!((binomial_price(&am) - binomial_price(&eu)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monte_carlo_within_error_bars() {
+        let p = OptionParams::default();
+        let bs = black_scholes(&p);
+        let (mc, se) = monte_carlo_price(&p, 200_000, 42);
+        assert!(se > 0.0);
+        assert!((mc - bs).abs() < 4.0 * se, "mc {mc} bs {bs} se {se}");
+    }
+
+    #[test]
+    fn mc_error_shrinks_with_paths() {
+        let p = OptionParams::default();
+        let (_, se_small) = monte_carlo_price(&p, 1_000, 7);
+        let (_, se_big) = monte_carlo_price(&p, 100_000, 7);
+        assert!(se_big < se_small / 5.0);
+    }
+
+    #[test]
+    fn deep_itm_call_close_to_intrinsic_plus_carry() {
+        let p = OptionParams { spot: 200.0, strike: 100.0, ..OptionParams::default() };
+        let bs = black_scholes(&p);
+        let lower = p.spot - p.strike * (-p.rate * p.maturity).exp();
+        assert!(bs >= lower - 1e-9);
+        assert!(bs < lower + 1.0);
+    }
+
+    #[test]
+    fn rendered_run_parsable_shape() {
+        let text = render_run(&OptionParams::default(), 1000, 1);
+        assert!(text.contains("strike = 100.0000"));
+        assert!(text.contains("convergence table"));
+        assert!(text.contains("tree price = "));
+        assert!(text.contains("mc stderr = "));
+        let conv_rows = text
+            .lines()
+            .filter(|l| {
+                let t: Vec<&str> = l.split_whitespace().collect();
+                t.len() == 2 && t[0].parse::<u64>().is_ok() && t[1].parse::<f64>().is_ok()
+            })
+            .count();
+        assert_eq!(conv_rows, 5);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1.5e-7); // A&S 7.1.26 accuracy bound
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1.5e-7);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+}

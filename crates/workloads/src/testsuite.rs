@@ -1,0 +1,162 @@
+//! Test-suite log workload (paper §6: correctness tracking is "a special
+//! case of a performance test with only a single result value, namely the
+//! number of errors that occurred").
+//!
+//! Simulates a software project's test suite across revisions: each test
+//! has a base flakiness, revisions may introduce or fix bugs, and the
+//! generator emits a JUnit-ish ASCII log that perfbase imports.
+
+use crate::noise::Noise;
+
+/// Configuration of one simulated suite execution.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Software revision under test (monotonic).
+    pub revision: u32,
+    /// Number of tests in the suite.
+    pub tests: usize,
+    /// Base probability that any given test is flaky-failing.
+    pub flakiness: f64,
+    /// Revisions in which a real bug is present: tests whose index is
+    /// divisible by the bug's modulus fail deterministically.
+    pub bugs: Vec<Bug>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A planted bug: present in a revision range, breaking every n-th test.
+#[derive(Debug, Clone)]
+pub struct Bug {
+    /// First revision containing the bug.
+    pub introduced: u32,
+    /// First revision with the fix.
+    pub fixed: u32,
+    /// The bug breaks tests with `index % modulus == 0`.
+    pub modulus: usize,
+}
+
+impl Bug {
+    fn affects(&self, revision: u32, test_index: usize) -> bool {
+        revision >= self.introduced && revision < self.fixed && test_index.is_multiple_of(self.modulus)
+    }
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig { revision: 1, tests: 50, flakiness: 0.01, bugs: Vec::new(), seed: 1 }
+    }
+}
+
+/// The outcome of one suite execution.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// The configuration.
+    pub config: SuiteConfig,
+    /// Per-test results: (name, passed, runtime seconds).
+    pub results: Vec<(String, bool, f64)>,
+}
+
+impl SuiteRun {
+    /// Number of failing tests — the single result value of §6.
+    pub fn errors(&self) -> usize {
+        self.results.iter().filter(|(_, ok, _)| !ok).count()
+    }
+
+    /// Total suite runtime.
+    pub fn runtime(&self) -> f64 {
+        self.results.iter().map(|(_, _, t)| t).sum()
+    }
+
+    /// Render the ASCII log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("test suite run, revision {}\n", self.config.revision));
+        out.push_str(&format!("tests: {}\n", self.results.len()));
+        for (name, ok, t) in &self.results {
+            out.push_str(&format!(
+                "{} {} ({:.3}s)\n",
+                if *ok { "PASS" } else { "FAIL" },
+                name,
+                t
+            ));
+        }
+        out.push_str(&format!("errors: {}\n", self.errors()));
+        out.push_str(&format!("total runtime: {:.3}s\n", self.runtime()));
+        out
+    }
+}
+
+/// Execute one simulated suite run.
+pub fn run_suite(config: SuiteConfig) -> SuiteRun {
+    let mut noise = Noise::new(config.seed ^ u64::from(config.revision) << 32);
+    let mut results = Vec::with_capacity(config.tests);
+    for i in 0..config.tests {
+        let buggy = config.bugs.iter().any(|b| b.affects(config.revision, i));
+        let flaky = noise.happens(config.flakiness);
+        let passed = !(buggy || flaky);
+        let runtime = 0.05 + 0.2 * noise.uniform();
+        results.push((format!("test_{i:03}"), passed, runtime));
+    }
+    SuiteRun { config, results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_revision_mostly_passes() {
+        let run = run_suite(SuiteConfig { flakiness: 0.0, ..SuiteConfig::default() });
+        assert_eq!(run.errors(), 0);
+    }
+
+    #[test]
+    fn planted_bug_breaks_expected_tests() {
+        let bug = Bug { introduced: 5, fixed: 8, modulus: 10 };
+        let cfg = |rev| SuiteConfig {
+            revision: rev,
+            flakiness: 0.0,
+            bugs: vec![bug.clone()],
+            ..SuiteConfig::default()
+        };
+        assert_eq!(run_suite(cfg(4)).errors(), 0);
+        assert_eq!(run_suite(cfg(5)).errors(), 5); // tests 0,10,20,30,40
+        assert_eq!(run_suite(cfg(7)).errors(), 5);
+        assert_eq!(run_suite(cfg(8)).errors(), 0); // fixed
+    }
+
+    #[test]
+    fn flakiness_rate_statistical() {
+        let mut total_errors = 0;
+        for seed in 0..50 {
+            let run = run_suite(SuiteConfig {
+                flakiness: 0.1,
+                tests: 100,
+                seed,
+                ..SuiteConfig::default()
+            });
+            total_errors += run.errors();
+        }
+        let rate = total_errors as f64 / (50.0 * 100.0);
+        assert!((rate - 0.1).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn log_format() {
+        let run = run_suite(SuiteConfig { tests: 3, flakiness: 0.0, ..SuiteConfig::default() });
+        let log = run.render();
+        assert!(log.starts_with("test suite run, revision 1"));
+        assert!(log.contains("PASS test_000"));
+        assert!(log.contains("errors: 0"));
+        assert!(log.contains("total runtime:"));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_revision() {
+        let a = run_suite(SuiteConfig::default());
+        let b = run_suite(SuiteConfig::default());
+        assert_eq!(a.render(), b.render());
+        let c = run_suite(SuiteConfig { revision: 2, ..SuiteConfig::default() });
+        assert_ne!(a.render(), c.render());
+    }
+}

@@ -1,0 +1,489 @@
+//! DTD-lite: declaration parsing and document validation.
+//!
+//! perfbase control files conform to a perfbase DTD (paper §3.1). Full DTD
+//! content-model semantics (ordered sequences, `+`/`?` cardinalities) are
+//! more than the control files need, so this validator implements the useful
+//! core, documented as *DTD-lite*:
+//!
+//! * `<!ELEMENT name EMPTY | ANY | (#PCDATA) | (#PCDATA|a|b)* | (a,b,c*)>` —
+//!   the child names mentioned in the model become the set of *allowed*
+//!   children; `#PCDATA` controls whether text content is allowed.
+//! * `<!ATTLIST name attr CDATA #REQUIRED|#IMPLIED|"default">` — required
+//!   attributes are enforced, undeclared attributes are rejected, defaults
+//!   are filled in by [`Dtd::apply_defaults`].
+//!
+//! Schemas can also be built programmatically, which is how perfbase-core
+//! ships its built-in experiment/input/query document schemas.
+
+use crate::node::{Element, Node};
+use std::collections::BTreeMap;
+
+/// Content model of an element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Model {
+    /// `EMPTY` — no children, no text.
+    Empty,
+    /// `ANY` — anything goes.
+    Any,
+    /// Text only (`(#PCDATA)`).
+    Text,
+    /// Mixed content: text plus the named child elements.
+    Mixed(Vec<String>),
+    /// Element content: only the named child elements, no text.
+    Children(Vec<String>),
+}
+
+/// Declared attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: String,
+    /// Whether a document is invalid without it.
+    pub required: bool,
+    /// Default value applied when absent.
+    pub default: Option<String>,
+}
+
+/// Declaration for one element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Content model.
+    pub model: Model,
+    /// Declared attributes.
+    pub attrs: Vec<AttrDecl>,
+}
+
+/// A parsed or programmatically built DTD-lite schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dtd {
+    elements: BTreeMap<String, ElementDecl>,
+    /// When true, elements not declared at all are accepted (lenient mode).
+    pub allow_undeclared_elements: bool,
+}
+
+/// One validation problem, with a path like `experiment/parameter[2]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Location of the offending node.
+    pub path: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+impl Dtd {
+    /// Empty schema builder.
+    pub fn new() -> Self {
+        Dtd::default()
+    }
+
+    /// Declare an element with its content model.
+    pub fn declare(mut self, name: &str, model: Model) -> Self {
+        self.elements
+            .entry(name.to_string())
+            .or_insert(ElementDecl { model: Model::Any, attrs: Vec::new() })
+            .model = model;
+        self
+    }
+
+    /// Declare an attribute on an element.
+    pub fn attribute(mut self, element: &str, attr: AttrDecl) -> Self {
+        self.elements
+            .entry(element.to_string())
+            .or_insert(ElementDecl { model: Model::Any, attrs: Vec::new() })
+            .attrs
+            .push(attr);
+        self
+    }
+
+    /// Accept elements that have no declaration.
+    pub fn lenient(mut self) -> Self {
+        self.allow_undeclared_elements = true;
+        self
+    }
+
+    /// Look up a declaration.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.get(name)
+    }
+
+    /// Parse the internal DTD subset text (the part between `[` and `]`).
+    pub fn parse(subset: &str) -> Result<Dtd, String> {
+        let mut dtd = Dtd::new();
+        let mut rest = subset;
+        loop {
+            rest = rest.trim_start();
+            if rest.is_empty() {
+                break;
+            }
+            if rest.starts_with("<!--") {
+                let end = rest.find("-->").ok_or("unterminated comment in DTD")?;
+                rest = &rest[end + 3..];
+                continue;
+            }
+            if !rest.starts_with("<!") {
+                return Err(format!("unexpected content in DTD subset: {:.20}...", rest));
+            }
+            let end = rest.find('>').ok_or("unterminated declaration in DTD")?;
+            let decl = &rest[2..end];
+            rest = &rest[end + 1..];
+            if let Some(body) = decl.strip_prefix("ELEMENT") {
+                let (name, model) = parse_element_decl(body.trim())?;
+                dtd = dtd.declare(&name, model);
+            } else if let Some(body) = decl.strip_prefix("ATTLIST") {
+                let (element, attrs) = parse_attlist_decl(body.trim())?;
+                for a in attrs {
+                    dtd = dtd.attribute(&element, a);
+                }
+            } else if decl.starts_with("ENTITY") || decl.starts_with("NOTATION") {
+                // Accepted but ignored by DTD-lite.
+            } else {
+                return Err(format!("unknown declaration <!{:.12}...", decl));
+            }
+        }
+        Ok(dtd)
+    }
+
+    /// Validate `root` against this schema, collecting all violations.
+    pub fn validate(&self, root: &Element) -> Result<(), Vec<ValidationError>> {
+        let mut errors = Vec::new();
+        self.check(root, root.name.clone(), &mut errors);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    fn check(&self, el: &Element, path: String, errors: &mut Vec<ValidationError>) {
+        let decl = match self.elements.get(&el.name) {
+            Some(d) => d,
+            None => {
+                if !self.allow_undeclared_elements {
+                    errors.push(ValidationError {
+                        path: path.clone(),
+                        message: format!("element '{}' is not declared", el.name),
+                    });
+                }
+                // Recurse anyway so nested declared elements get checked.
+                for (i, c) in el.elements().enumerate() {
+                    self.check(c, format!("{}/{}[{}]", path, c.name, i), errors);
+                }
+                return;
+            }
+        };
+
+        // Attribute checks.
+        for a in &decl.attrs {
+            if a.required && el.attr(&a.name).is_none() {
+                errors.push(ValidationError {
+                    path: path.clone(),
+                    message: format!("missing required attribute '{}'", a.name),
+                });
+            }
+        }
+        for (k, _) in &el.attributes {
+            if !decl.attrs.iter().any(|a| &a.name == k) {
+                errors.push(ValidationError {
+                    path: path.clone(),
+                    message: format!("undeclared attribute '{k}'"),
+                });
+            }
+        }
+
+        // Content checks.
+        let has_text = el
+            .children
+            .iter()
+            .any(|n| matches!(n, Node::Text(t) if !t.trim().is_empty()));
+        let allowed: Option<&[String]> = match &decl.model {
+            Model::Empty => {
+                if !el.children.iter().all(|n| matches!(n, Node::Comment(_))) {
+                    errors.push(ValidationError {
+                        path: path.clone(),
+                        message: "element declared EMPTY has content".into(),
+                    });
+                }
+                Some(&[])
+            }
+            Model::Any => None,
+            Model::Text => {
+                if el.elements().next().is_some() {
+                    errors.push(ValidationError {
+                        path: path.clone(),
+                        message: "text-only element has child elements".into(),
+                    });
+                }
+                Some(&[])
+            }
+            Model::Mixed(names) => Some(names.as_slice()),
+            Model::Children(names) => {
+                if has_text {
+                    errors.push(ValidationError {
+                        path: path.clone(),
+                        message: "element-content element contains text".into(),
+                    });
+                }
+                Some(names.as_slice())
+            }
+        };
+        if let Some(allowed) = allowed {
+            for c in el.elements() {
+                if !allowed.iter().any(|n| n == &c.name) {
+                    errors.push(ValidationError {
+                        path: path.clone(),
+                        message: format!("child '{}' not allowed here", c.name),
+                    });
+                }
+            }
+        }
+
+        for (i, c) in el.elements().enumerate() {
+            self.check(c, format!("{}/{}[{}]", path, c.name, i), errors);
+        }
+    }
+
+    /// Fill in declared attribute defaults on a mutable tree.
+    pub fn apply_defaults(&self, el: &mut Element) {
+        if let Some(decl) = self.elements.get(&el.name) {
+            for a in &decl.attrs {
+                if let Some(d) = &a.default {
+                    if el.attr(&a.name).is_none() {
+                        el.set_attr(&a.name, d);
+                    }
+                }
+            }
+        }
+        for n in &mut el.children {
+            if let Node::Element(c) = n {
+                self.apply_defaults(c);
+            }
+        }
+    }
+}
+
+fn parse_element_decl(body: &str) -> Result<(String, Model), String> {
+    let mut parts = body.splitn(2, char::is_whitespace);
+    let name = parts.next().filter(|s| !s.is_empty()).ok_or("ELEMENT without a name")?;
+    let spec = parts.next().map(str::trim).unwrap_or("ANY");
+    let model = match spec {
+        "EMPTY" => Model::Empty,
+        "ANY" => Model::Any,
+        _ => {
+            let inner = spec
+                .trim_start_matches('(')
+                .trim_end_matches(['*', '+', '?'])
+                .trim_end_matches(')');
+            let names: Vec<String> = inner
+                .split([',', '|'])
+                .map(|s| s.trim().trim_end_matches(['*', '+', '?']).to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let has_pcdata = names.iter().any(|n| n == "#PCDATA");
+            let children: Vec<String> = names.into_iter().filter(|n| n != "#PCDATA").collect();
+            match (has_pcdata, children.is_empty()) {
+                (true, true) => Model::Text,
+                (true, false) => Model::Mixed(children),
+                (false, _) => Model::Children(children),
+            }
+        }
+    };
+    Ok((name.to_string(), model))
+}
+
+fn parse_attlist_decl(body: &str) -> Result<(String, Vec<AttrDecl>), String> {
+    let mut tokens = tokenize_attlist(body);
+    if tokens.is_empty() {
+        return Err("ATTLIST without an element name".into());
+    }
+    let element = tokens.remove(0);
+    let mut attrs = Vec::new();
+    let mut i = 0;
+    while i + 2 < tokens.len() + 1 {
+        if i + 2 > tokens.len() {
+            break;
+        }
+        let name = tokens[i].clone();
+        let _ty = &tokens[i + 1]; // CDATA / NMTOKEN / enumeration — not enforced
+        let disp = tokens.get(i + 2).cloned().unwrap_or_default();
+        let (required, default, used) = match disp.as_str() {
+            "#REQUIRED" => (true, None, 3),
+            "#IMPLIED" => (false, None, 3),
+            "#FIXED" => {
+                let v = tokens.get(i + 3).cloned().ok_or("#FIXED without value")?;
+                (false, Some(unquote(&v)), 4)
+            }
+            v if v.starts_with('"') || v.starts_with('\'') => (false, Some(unquote(v)), 3),
+            _ => return Err(format!("malformed ATTLIST for '{element}'")),
+        };
+        attrs.push(AttrDecl { name, required, default });
+        i += used;
+    }
+    Ok((element, attrs))
+}
+
+fn tokenize_attlist(body: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut chars = body.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' || c == '\'' {
+            let q = c;
+            chars.next();
+            let mut t = String::from(q);
+            for x in chars.by_ref() {
+                t.push(x);
+                if x == q {
+                    break;
+                }
+            }
+            tokens.push(t);
+        } else if c == '(' {
+            let mut t = String::new();
+            for x in chars.by_ref() {
+                t.push(x);
+                if x == ')' {
+                    break;
+                }
+            }
+            tokens.push(t);
+        } else {
+            let mut t = String::new();
+            while let Some(&x) = chars.peek() {
+                if x.is_whitespace() {
+                    break;
+                }
+                t.push(x);
+                chars.next();
+            }
+            tokens.push(t);
+        }
+    }
+    tokens
+}
+
+fn unquote(s: &str) -> String {
+    s.trim_matches(['"', '\'']).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn schema() -> Dtd {
+        Dtd::new()
+            .declare("experiment", Model::Children(vec!["name".into(), "parameter".into()]))
+            .declare("name", Model::Text)
+            .declare("parameter", Model::Children(vec!["name".into(), "datatype".into()]))
+            .declare("datatype", Model::Text)
+            .attribute(
+                "parameter",
+                AttrDecl { name: "occurence".into(), required: false, default: Some("multiple".into()) },
+            )
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        let doc =
+            parse("<experiment><name>x</name><parameter><name>T</name></parameter></experiment>")
+                .unwrap();
+        schema().validate(&doc.root).unwrap();
+    }
+
+    #[test]
+    fn unknown_child_rejected() {
+        let doc = parse("<experiment><bogus/></experiment>").unwrap();
+        let errs = schema().validate(&doc.root).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not allowed")));
+        assert!(errs.iter().any(|e| e.message.contains("not declared")));
+    }
+
+    #[test]
+    fn text_in_element_content_rejected() {
+        let doc = parse("<experiment>loose text<name>x</name></experiment>").unwrap();
+        let errs = schema().validate(&doc.root).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("contains text")));
+    }
+
+    #[test]
+    fn required_attribute_enforced() {
+        let dtd = Dtd::new().declare("q", Model::Any).attribute(
+            "q",
+            AttrDecl { name: "id".into(), required: true, default: None },
+        );
+        let doc = parse("<q/>").unwrap();
+        let errs = dtd.validate(&doc.root).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("required attribute 'id'"));
+        let ok = parse("<q id=\"1\"/>").unwrap();
+        dtd.validate(&ok.root).unwrap();
+    }
+
+    #[test]
+    fn undeclared_attribute_rejected() {
+        let doc = parse("<experiment zzz=\"1\"><name>x</name></experiment>").unwrap();
+        let errs = schema().validate(&doc.root).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared attribute 'zzz'")));
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let mut doc =
+            parse("<experiment><name>x</name><parameter><name>T</name></parameter></experiment>")
+                .unwrap();
+        schema().apply_defaults(&mut doc.root);
+        assert_eq!(doc.root.child("parameter").unwrap().attr("occurence"), Some("multiple"));
+    }
+
+    #[test]
+    fn parse_internal_subset() {
+        let dtd = Dtd::parse(
+            r#"
+            <!ELEMENT experiment (name, parameter*)>
+            <!ELEMENT name (#PCDATA)>
+            <!ELEMENT parameter (name, datatype?)>
+            <!ELEMENT datatype (#PCDATA)>
+            <!ATTLIST parameter occurence CDATA "multiple">
+            <!ATTLIST experiment version CDATA #REQUIRED>
+        "#,
+        )
+        .unwrap();
+        assert_eq!(dtd.element("name").unwrap().model, Model::Text);
+        match &dtd.element("experiment").unwrap().model {
+            Model::Children(c) => assert_eq!(c, &vec!["name".to_string(), "parameter".to_string()]),
+            m => panic!("{m:?}"),
+        }
+        let pa = &dtd.element("parameter").unwrap().attrs[0];
+        assert_eq!(pa.default.as_deref(), Some("multiple"));
+        assert!(dtd.element("experiment").unwrap().attrs[0].required);
+    }
+
+    #[test]
+    fn parse_mixed_model() {
+        let dtd = Dtd::parse("<!ELEMENT d (#PCDATA|em)*>").unwrap();
+        assert_eq!(dtd.element("d").unwrap().model, Model::Mixed(vec!["em".into()]));
+    }
+
+    #[test]
+    fn empty_model_enforced() {
+        let dtd = Dtd::parse("<!ELEMENT br EMPTY>").unwrap();
+        let ok = parse("<br/>").unwrap();
+        dtd.validate(&ok.root).unwrap();
+        let bad = parse("<br>x</br>").unwrap();
+        assert!(dtd.validate(&bad.root).is_err());
+    }
+
+    #[test]
+    fn lenient_mode_allows_undeclared() {
+        let dtd = Dtd::new().lenient();
+        let doc = parse("<whatever><inner/></whatever>").unwrap();
+        dtd.validate(&doc.root).unwrap();
+    }
+}

@@ -1,0 +1,118 @@
+//! Entity escaping and unescaping.
+
+/// Escape character data for use in text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape character data for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolve the five predefined entities and numeric character references.
+/// Unknown entities are left verbatim (lenient mode, matching perfbase's
+/// tolerance for hand-written control files).
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        match rest.find(';') {
+            Some(semi) if semi <= 12 => {
+                let ent = &rest[1..semi];
+                let resolved = match ent {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                        u32::from_str_radix(&ent[2..], 16).ok().and_then(char::from_u32)
+                    }
+                    _ if ent.starts_with('#') => {
+                        ent[1..].parse::<u32>().ok().and_then(char::from_u32)
+                    }
+                    _ => None,
+                };
+                match resolved {
+                    Some(c) => {
+                        out.push(c);
+                        rest = &rest[semi + 1..];
+                    }
+                    None => {
+                        out.push('&');
+                        rest = &rest[1..];
+                    }
+                }
+            }
+            _ => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn attr_escaping() {
+        assert_eq!(escape_attr(r#"a"b'c"#), "a&quot;b&apos;c");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;&gt;&amp;&quot;&apos;"), "<>&\"'");
+    }
+
+    #[test]
+    fn unescape_numeric() {
+        assert_eq!(unescape("&#65;&#x42;&#X43;"), "ABC");
+        assert_eq!(unescape("&#x20AC;"), "\u{20AC}");
+    }
+
+    #[test]
+    fn unknown_entity_left_verbatim() {
+        assert_eq!(unescape("a &nbsp; b & c"), "a &nbsp; b & c");
+        assert_eq!(unescape("tail&"), "tail&");
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip() {
+        let original = "C&C Research <Labs> \"NEC\" 'Europe'";
+        assert_eq!(unescape(&escape_attr(original)), original);
+        assert_eq!(unescape(&escape_text(original)), original);
+    }
+}

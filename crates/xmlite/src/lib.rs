@@ -1,0 +1,88 @@
+//! `xmlite` — a small XML 1.0 subset parser, DOM, serializer and DTD-lite
+//! validator.
+//!
+//! All perfbase control files — experiment definitions, input descriptions
+//! and query specifications — are XML documents conforming to a
+//! perfbase-specific DTD (paper §3.1–§3.3). This crate is the substrate that
+//! parses those documents into a DOM, validates them against declared content
+//! models, and serializes them back out.
+//!
+//! Supported XML subset:
+//!
+//! * prolog (`<?xml ... ?>`), processing instructions (skipped)
+//! * `<!DOCTYPE ...>` with an optional internal DTD subset, which is parsed
+//!   into a [`dtd::Dtd`] for validation
+//! * elements, attributes (single- or double-quoted), self-closing tags
+//! * text with the five predefined entities plus decimal/hex char references
+//! * comments and CDATA sections
+//!
+//! # Example
+//!
+//! ```
+//! let doc = xmlite::parse("<experiment><name>b_eff_io</name></experiment>").unwrap();
+//! assert_eq!(doc.root.name, "experiment");
+//! assert_eq!(doc.root.child_text("name"), Some("b_eff_io".to_string()));
+//! ```
+
+pub mod dtd;
+mod escape;
+mod node;
+mod parser;
+mod writer;
+
+pub use escape::{escape_attr, escape_text, unescape};
+pub use node::{Document, Element, Node};
+pub use parser::{parse, ParseError};
+pub use writer::{to_string, to_string_pretty};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_requery_roundtrip() {
+        let src = r#"<?xml version="1.0"?>
+<experiment>
+  <name>b_eff_io</name>
+  <parameter occurence="once">
+    <name>T</name>
+    <datatype>integer</datatype>
+  </parameter>
+  <parameter>
+    <name>S_chunk</name>
+  </parameter>
+</experiment>"#;
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.root.name, "experiment");
+        let params: Vec<&Element> = doc.root.children_named("parameter").collect();
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].attr("occurence"), Some("once"));
+        assert_eq!(params[1].attr("occurence"), None);
+        assert_eq!(params[0].child_text("name").as_deref(), Some("T"));
+
+        // Round trip through the serializer.
+        let out = to_string_pretty(&doc);
+        let doc2 = parse(&out).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn entities_roundtrip() {
+        let src = "<o name=\"a&amp;b\">x &lt; y &gt; z &quot;q&quot; &apos;s&apos; &#65;&#x42;</o>";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.root.attr("name"), Some("a&b"));
+        assert_eq!(doc.root.text(), "x < y > z \"q\" 's' AB");
+        let out = to_string(&doc);
+        let doc2 = parse(&out).unwrap();
+        assert_eq!(doc.root.text(), doc2.root.text());
+    }
+
+    #[test]
+    fn cdata_and_comments() {
+        let src = "<a><!-- note --><![CDATA[1 < 2 && 3 > 2]]></a>";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.root.text(), "1 < 2 && 3 > 2");
+        // Comments survive in the DOM but do not contribute text.
+        assert!(doc.root.children.iter().any(|n| matches!(n, Node::Comment(_))));
+    }
+}

@@ -1,0 +1,191 @@
+//! DOM types: [`Document`], [`Element`] and [`Node`].
+
+/// A parsed XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// The document element.
+    pub root: Element,
+    /// The internal DTD subset, if a `<!DOCTYPE ... [ ... ]>` was present.
+    pub dtd: Option<crate::dtd::Dtd>,
+}
+
+/// One node in element content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// Character data (entities already resolved).
+    Text(String),
+    /// A comment (without the `<!--`/`-->` markers).
+    Comment(String),
+}
+
+/// An XML element: name, attributes in document order, children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an empty element named `name`.
+    pub fn new(name: &str) -> Self {
+        Element { name: name.to_string(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder: add or replace an attribute.
+    pub fn with_attr(mut self, key: &str, value: &str) -> Self {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Builder: append a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: append a text node.
+    pub fn with_text(mut self, text: &str) -> Self {
+        self.children.push(Node::Text(text.to_string()));
+        self
+    }
+
+    /// Builder: append `<name>text</name>` as a child.
+    pub fn with_text_child(self, name: &str, text: &str) -> Self {
+        self.with_child(Element::new(name).with_text(text))
+    }
+
+    /// Look up an attribute value.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attributes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Set (or replace) an attribute.
+    pub fn set_attr(&mut self, key: &str, value: &str) {
+        match self.attributes.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value.to_string(),
+            None => self.attributes.push((key.to_string(), value.to_string())),
+        }
+    }
+
+    /// Iterate over child elements (skipping text/comments).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Iterate over child elements with tag `name`.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// First child element with tag `name`.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated, whitespace-trimmed text content of this element
+    /// (direct text children only).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Text content of the first child element named `name`.
+    pub fn child_text(&self, name: &str) -> Option<String> {
+        self.child(name).map(Element::text)
+    }
+
+    /// Depth-first search for all descendant elements named `name`
+    /// (not including `self`).
+    pub fn descendants_named<'a>(&'a self, name: &'a str) -> Vec<&'a Element> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Element, name: &str, out: &mut Vec<&'a Element>) {
+            for c in e.elements() {
+                if c.name == name {
+                    out.push(c);
+                }
+                walk(c, name, out);
+            }
+        }
+        walk(self, name, &mut out);
+        out
+    }
+}
+
+impl Document {
+    /// Wrap an element as a document without a DTD.
+    pub fn from_root(root: Element) -> Self {
+        Document { root, dtd: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("run")
+            .with_attr("id", "7")
+            .with_text_child("host", "grisu0")
+            .with_child(
+                Element::new("metric").with_attr("name", "bw").with_text("214.5"),
+            )
+            .with_child(
+                Element::new("metric").with_attr("name", "lat").with_text("4.2"),
+            )
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let e = sample();
+        assert_eq!(e.attr("id"), Some("7"));
+        assert_eq!(e.attr("nope"), None);
+        assert_eq!(e.child_text("host").as_deref(), Some("grisu0"));
+        assert_eq!(e.children_named("metric").count(), 2);
+        assert_eq!(e.child("metric").unwrap().attr("name"), Some("bw"));
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut e = Element::new("x").with_attr("a", "1");
+        e.set_attr("a", "2");
+        e.set_attr("b", "3");
+        assert_eq!(e.attr("a"), Some("2"));
+        assert_eq!(e.attr("b"), Some("3"));
+        assert_eq!(e.attributes.len(), 2);
+    }
+
+    #[test]
+    fn text_trims_and_concatenates() {
+        let e = Element::new("x")
+            .with_text("  a ")
+            .with_child(Element::new("y").with_text("ignored"))
+            .with_text(" b  ");
+        assert_eq!(e.text(), "a  b");
+    }
+
+    #[test]
+    fn descendants_search() {
+        let tree = Element::new("top").with_child(
+            Element::new("mid")
+                .with_child(Element::new("leaf").with_text("1"))
+                .with_child(Element::new("leaf").with_text("2")),
+        );
+        let leaves = tree.descendants_named("leaf");
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[1].text(), "2");
+    }
+}

@@ -1,0 +1,114 @@
+//! Serialization of the DOM back to XML text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Document, Element, Node};
+
+/// Serialize `doc` compactly (no added whitespace).
+pub fn to_string(doc: &Document) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?>");
+    write_element(&doc.root, &mut out, None, 0);
+    out
+}
+
+/// Serialize `doc` with two-space indentation.
+///
+/// Elements whose content is pure text are kept on one line so that
+/// `<name>b_eff_io</name>` round-trips byte-identically in spirit.
+pub fn to_string_pretty(doc: &Document) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?>\n");
+    write_element(&doc.root, &mut out, Some(0), 0);
+    out.push('\n');
+    out
+}
+
+fn write_element(el: &Element, out: &mut String, indent: Option<usize>, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(step) = indent {
+            for _ in 0..depth * (step + 2) {
+                out.push(' ');
+            }
+        }
+    };
+
+    out.push('<');
+    out.push_str(&el.name);
+    for (k, v) in &el.attributes {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if el.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+
+    let only_text = el.children.iter().all(|n| matches!(n, Node::Text(_)));
+    for child in &el.children {
+        if indent.is_some() && !only_text {
+            out.push('\n');
+            pad(out, depth + 1);
+        }
+        match child {
+            Node::Element(e) => write_element(e, out, indent, depth + 1),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::Comment(c) => {
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+        }
+    }
+    if indent.is_some() && !only_text {
+        out.push('\n');
+        pad(out, depth);
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_serialization() {
+        let doc = parse("<a x=\"1\"><b>t</b><c/></a>").unwrap();
+        let s = to_string(&doc);
+        assert!(s.ends_with("<a x=\"1\"><b>t</b><c/></a>"));
+    }
+
+    #[test]
+    fn pretty_keeps_text_inline() {
+        let doc = parse("<a><name>b_eff_io</name></a>").unwrap();
+        let s = to_string_pretty(&doc);
+        assert!(s.contains("<name>b_eff_io</name>"));
+    }
+
+    #[test]
+    fn escaping_applied_on_write() {
+        let doc = Document::from_root(
+            crate::Element::new("x").with_attr("a", "1<2").with_text("3>2 & true"),
+        );
+        let s = to_string(&doc);
+        assert!(s.contains("a=\"1&lt;2\""));
+        assert!(s.contains("3&gt;2 &amp; true"));
+        // And it must re-parse to the same values.
+        let doc2 = parse(&s).unwrap();
+        assert_eq!(doc2.root.attr("a"), Some("1<2"));
+        assert_eq!(doc2.root.text(), "3>2 & true");
+    }
+
+    #[test]
+    fn roundtrip_stability() {
+        let src = "<q><source id=\"s1\"><parameter name=\"fs\" value=\"ufs\"/></source><operator type=\"max\"/></q>";
+        let d1 = parse(src).unwrap();
+        let d2 = parse(&to_string(&d1)).unwrap();
+        let d3 = parse(&to_string_pretty(&d2)).unwrap();
+        assert_eq!(d1, d3);
+    }
+}

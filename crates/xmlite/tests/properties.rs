@@ -1,0 +1,74 @@
+//! Property-based tests: serialization/parsing round trips on random trees.
+
+use proptest::prelude::*;
+use xmlite::{parse, to_string, to_string_pretty, Document, Element};
+
+/// Strategy producing random element trees of bounded depth and width.
+fn arb_element() -> impl Strategy<Value = Element> {
+    let name = "[a-z][a-z0-9_]{0,8}";
+    let text = "[ -%'-;=-~]{0,16}"; // printable ASCII minus '<' and '&'
+    let leaf = (name, text).prop_map(|(n, t)| {
+        let e = Element::new(&n);
+        if t.trim().is_empty() {
+            e
+        } else {
+            e.with_text(&t)
+        }
+    });
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        (
+            "[a-z][a-z0-9_]{0,8}",
+            proptest::collection::vec(("[a-z][a-z0-9]{0,5}", "[ !#-%'-;=-~]{0,10}"), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(n, attrs, children)| {
+                let mut e = Element::new(&n);
+                for (k, v) in attrs {
+                    // set_attr dedupes keys, which parsing requires.
+                    e.set_attr(&k, &v);
+                }
+                for c in children {
+                    e = e.with_child(c);
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    /// parse(to_string(t)) == t for arbitrary trees.
+    #[test]
+    fn compact_roundtrip(root in arb_element()) {
+        let doc = Document::from_root(root);
+        let s = to_string(&doc);
+        let back = parse(&s).expect("serializer must emit well-formed XML");
+        prop_assert_eq!(back, doc);
+    }
+
+    /// Pretty-printing parses back to the same tree (whitespace-only text is
+    /// insignificant by design).
+    #[test]
+    fn pretty_roundtrip(root in arb_element()) {
+        let doc = Document::from_root(root);
+        let s = to_string_pretty(&doc);
+        let back = parse(&s).expect("pretty serializer must emit well-formed XML");
+        prop_assert_eq!(back, doc);
+    }
+
+    /// Escaping is total: any attribute value and text survives a round trip.
+    #[test]
+    fn hostile_content_roundtrip(attr in "[ -~]{0,20}", text in "[ -~]{1,20}") {
+        let root = Element::new("x").with_attr("a", &attr).with_text(&text);
+        let expect_text = text.trim().to_string();
+        let doc = Document::from_root(root);
+        let back = parse(&to_string(&doc)).unwrap();
+        prop_assert_eq!(back.root.attr("a").unwrap(), attr.as_str());
+        prop_assert_eq!(back.root.text(), expect_text);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(junk in "[ -~\\n]{0,64}") {
+        let _ = parse(&junk);
+    }
+}

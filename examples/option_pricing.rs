@@ -1,0 +1,136 @@
+//! Option-pricing simulation management (the paper's §1 motivation [13]):
+//! "to find the right model and parameters, a large number of parameterised
+//! simulation runs is required. The results … need to be stored for further
+//! evaluation which compares different simulation results based on the
+//! parameters used."
+//!
+//! This example sweeps strike × volatility × path-count, imports every
+//! simulation output, then uses perfbase queries to (a) compare the
+//! Monte-Carlo error across path counts and (b) find holes in the sweep.
+//!
+//! Run with: `cargo run --example option_pricing`
+
+use perfbase::core::experiment::ExperimentDb;
+use perfbase::core::import::Importer;
+use perfbase::core::input::input_description_from_str;
+use perfbase::core::query::spec::query_from_str;
+use perfbase::core::query::QueryRunner;
+use perfbase::core::status;
+use perfbase::core::xmldef;
+use perfbase::sqldb::Engine;
+use perfbase::workloads::optionpricing::{render_run, OptionParams};
+use std::sync::Arc;
+
+fn main() {
+    let def = xmldef::definition_from_str(
+        r#"<experiment>
+          <name>option_pricing</name>
+          <info>
+            <performed_by><name>demo</name><organization>examples</organization></performed_by>
+            <project>price calculation of stock options</project>
+            <synopsis>binomial-tree and Monte-Carlo option pricing sweeps</synopsis>
+            <description>parameterised simulation runs, half a dozen parameters each</description>
+          </info>
+          <parameter occurence="once"><name>strike</name><datatype>float</datatype></parameter>
+          <parameter occurence="once"><name>volatility</name><datatype>float</datatype></parameter>
+          <parameter occurence="once"><name>paths</name><datatype>integer</datatype></parameter>
+          <parameter occurence="once"><name>maturity</name><datatype>float</datatype></parameter>
+          <parameter><name>tree_steps</name><datatype>integer</datatype></parameter>
+          <result><name>tree_value</name><datatype>float</datatype></result>
+          <result occurence="once"><name>tree_price</name><datatype>float</datatype></result>
+          <result occurence="once"><name>mc_price</name><datatype>float</datatype></result>
+          <result occurence="once"><name>mc_stderr</name><datatype>float</datatype></result>
+        </experiment>"#,
+    )
+    .expect("definition parses");
+    let db = ExperimentDb::create(Arc::new(Engine::new()), def).unwrap();
+
+    let desc = input_description_from_str(
+        r#"<input>
+          <named><variable>strike</variable><match>strike =</match></named>
+          <named><variable>volatility</variable><match>volatility =</match></named>
+          <named><variable>maturity</variable><match>maturity =</match></named>
+          <named><variable>paths</variable><match>paths =</match></named>
+          <named><variable>tree_price</variable><match>tree price =</match></named>
+          <named><variable>mc_price</variable><match>mc price =</match></named>
+          <named><variable>mc_stderr</variable><match>mc stderr =</match></named>
+          <tabular>
+            <start match="convergence table"/>
+            <column index="1"><variable>tree_steps</variable></column>
+            <column index="2"><variable>tree_value</variable></column>
+          </tabular>
+        </input>"#,
+    )
+    .expect("input description parses");
+
+    // --- the sweep (with one combination deliberately left out) ------------
+    let importer = Importer::new(&db).at_time(1_120_000_000);
+    let mut n = 0;
+    for strike in [90.0, 100.0, 110.0] {
+        for vol in [0.15, 0.25] {
+            for paths in [1_000usize, 10_000] {
+                if strike == 110.0 && vol == 0.25 && paths == 10_000 {
+                    continue; // the hole the status query will find
+                }
+                let p = OptionParams { strike, volatility: vol, ..OptionParams::default() };
+                let out = render_run(&p, paths, n as u64 + 1);
+                let name = format!("opt_k{strike}_v{vol}_p{paths}.out");
+                importer.import_file(&desc, &name, &out).expect("import succeeds");
+                n += 1;
+            }
+        }
+    }
+    println!("imported {n} pricing runs");
+
+    // --- query: Monte-Carlo error vs path count ----------------------------
+    let q = query_from_str(
+        r#"<query name="mc_error">
+          <source id="s">
+            <parameter name="paths" carry="true"/>
+            <value name="mc_stderr"/>
+          </source>
+          <operator id="mean" type="avg" input="s"/>
+          <output id="table" input="mean" format="ascii"
+                  title="average Monte-Carlo standard error by path count"/>
+        </query>"#,
+    )
+    .unwrap();
+    let outcome = QueryRunner::new(&db).run(q).unwrap();
+    println!("\n{}", outcome.artifacts["table"]);
+
+    // --- query: pricing error of the MC estimate vs the tree ---------------
+    let q = query_from_str(
+        r#"<query name="mc_vs_tree">
+          <source id="s">
+            <parameter name="strike" carry="true"/>
+            <parameter name="volatility" carry="true"/>
+            <parameter name="paths" value="10000"/>
+            <value name="mc_price"/>
+          </source>
+          <source id="t">
+            <parameter name="strike" carry="true"/>
+            <parameter name="volatility" carry="true"/>
+            <parameter name="paths" value="10000"/>
+            <value name="tree_price"/>
+          </source>
+          <operator id="m1" type="avg" input="s"/>
+          <operator id="m2" type="avg" input="t"/>
+          <operator id="d" type="diff" input="m1,m2"/>
+          <output id="table" input="d" format="ascii"
+                  title="MC minus tree price (10k paths)"/>
+        </query>"#,
+    )
+    .unwrap();
+    let outcome = QueryRunner::new(&db).run(q).unwrap();
+    println!("{}", outcome.artifacts["table"]);
+
+    // --- status: which sweep points are missing? ---------------------------
+    let holes = status::missing_sweep_points(&db, &["strike", "volatility", "paths"]).unwrap();
+    println!("missing sweep combinations: {}", holes.len());
+    for h in &holes {
+        let combo: Vec<String> =
+            h.combination.iter().map(|(p, v)| format!("{p}={v}")).collect();
+        println!("  {}", combo.join(", "));
+    }
+    assert_eq!(holes.len(), 1, "exactly the one left-out combination");
+}

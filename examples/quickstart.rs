@@ -1,0 +1,108 @@
+//! Quickstart: the three-step perfbase workflow on a tiny experiment.
+//!
+//! 1. define an experiment (parameters + result values),
+//! 2. import two ASCII output files through an input description,
+//! 3. query the data and print an ASCII table.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use perfbase::core::experiment::ExperimentDb;
+use perfbase::core::import::Importer;
+use perfbase::core::input::input_description_from_str;
+use perfbase::core::query::spec::query_from_str;
+use perfbase::core::query::QueryRunner;
+use perfbase::core::xmldef;
+use perfbase::sqldb::Engine;
+use std::sync::Arc;
+
+fn main() {
+    // --- 1. experiment definition (normally a file on disk) ---------------
+    let definition = r#"<experiment>
+      <name>latency_sweep</name>
+      <info>
+        <performed_by><name>demo</name><organization>quickstart</organization></performed_by>
+        <project>perfbase quickstart</project>
+        <synopsis>ping-pong latency for several message sizes</synopsis>
+        <description>two runs of a toy latency benchmark</description>
+      </info>
+      <parameter occurence="once">
+        <name>nodes</name>
+        <synopsis>number of nodes</synopsis>
+        <datatype>integer</datatype>
+      </parameter>
+      <parameter>
+        <name>size</name>
+        <synopsis>message size</synopsis>
+        <datatype>integer</datatype>
+        <unit><base_unit>byte</base_unit></unit>
+      </parameter>
+      <result>
+        <name>latency</name>
+        <synopsis>round-trip latency</synopsis>
+        <datatype>float</datatype>
+        <unit><base_unit>s</base_unit><scaling>Micro</scaling></unit>
+      </result>
+    </experiment>"#;
+    let def = xmldef::definition_from_str(definition).expect("definition parses");
+    let db = ExperimentDb::create(Arc::new(Engine::new()), def).expect("experiment created");
+
+    // --- 2. import runs ----------------------------------------------------
+    // The benchmark prints free-form text; the input description locates the
+    // content (paper §3.2).
+    let desc = input_description_from_str(
+        r#"<input>
+          <named><variable>nodes</variable><match>running on</match></named>
+          <tabular>
+            <start match="size latency"/>
+            <column index="1"><variable>size</variable></column>
+            <column index="2"><variable>latency</variable></column>
+          </tabular>
+        </input>"#,
+    )
+    .expect("input description parses");
+
+    let run1 = "\
+toy benchmark v1\nrunning on 2 nodes\nsize latency\n8 4.31\n64 4.90\n512 8.12\n4096 21.9\n";
+    let run2 = "\
+toy benchmark v1\nrunning on 2 nodes\nsize latency\n8 4.25\n64 5.02\n512 7.95\n4096 22.4\n";
+
+    let importer = Importer::new(&db).at_time(1_120_000_000);
+    for (name, content) in [("run1.out", run1), ("run2.out", run2)] {
+        let report = importer.import_file(&desc, name, content).expect("import succeeds");
+        println!("imported {name}: run ids {:?}", report.runs_created);
+    }
+
+    // --- 3. query: average latency per size across runs --------------------
+    let query = query_from_str(
+        r#"<query name="avg_latency">
+          <source id="s">
+            <parameter name="size" carry="true"/>
+            <value name="latency"/>
+          </source>
+          <operator id="mean" type="avg" input="s"/>
+          <output id="table" input="mean" format="ascii"
+                  title="average round-trip latency by message size"/>
+        </query>"#,
+    )
+    .expect("query parses");
+
+    let outcome = QueryRunner::new(&db).run(query).expect("query runs");
+    println!("\n{}", outcome.artifacts["table"]);
+
+    // Bonus: the same data as a Gnuplot file.
+    let gp = query_from_str(
+        r#"<query name="plot">
+          <source id="s">
+            <parameter name="size" carry="true"/>
+            <value name="latency"/>
+          </source>
+          <operator id="mean" type="avg" input="s"/>
+          <output id="plot" input="mean" format="gnuplot" style="linespoints"
+                  title="latency vs message size"/>
+        </query>"#,
+    )
+    .unwrap();
+    let outcome = QueryRunner::new(&db).run(gp).unwrap();
+    println!("--- gnuplot input (feed to `gnuplot -p`) ---");
+    println!("{}", outcome.artifacts["plot"]);
+}

@@ -1,0 +1,106 @@
+//! Correctness tracking (paper §6): "a related application is the
+//! management and analysis of the output of test suites not only for
+//! performance, but also for correctness … a special case of a performance
+//! test with only a single result value, namely the number of errors."
+//!
+//! A simulated project runs its test suite on every revision; a bug lives
+//! in revisions 5–7. perfbase tracks the error count over time — exactly
+//! the long-period tracking the paper says the naive file-folder approach
+//! makes hard.
+//!
+//! Run with: `cargo run --example testsuite_tracking`
+
+use perfbase::core::experiment::ExperimentDb;
+use perfbase::core::import::Importer;
+use perfbase::core::input::input_description_from_str;
+use perfbase::core::query::spec::query_from_str;
+use perfbase::core::query::QueryRunner;
+use perfbase::core::xmldef;
+use perfbase::sqldb::Engine;
+use perfbase::workloads::testsuite::{run_suite, Bug, SuiteConfig};
+use std::sync::Arc;
+
+fn main() {
+    let def = xmldef::definition_from_str(
+        r#"<experiment>
+          <name>nightly_tests</name>
+          <info>
+            <performed_by><name>demo</name><organization>examples</organization></performed_by>
+            <project>quality tracking</project>
+            <synopsis>test-suite results per revision</synopsis>
+            <description>errors and runtime of the nightly suite</description>
+          </info>
+          <parameter occurence="once"><name>revision</name><datatype>integer</datatype></parameter>
+          <result occurence="once"><name>errors</name><datatype>integer</datatype></result>
+          <result occurence="once">
+            <name>runtime</name><datatype>float</datatype>
+            <unit><base_unit>s</base_unit></unit>
+          </result>
+        </experiment>"#,
+    )
+    .unwrap();
+    let db = ExperimentDb::create(Arc::new(Engine::new()), def).unwrap();
+
+    let desc = input_description_from_str(
+        r#"<input>
+          <named><variable>revision</variable><regexp>revision (\d+)</regexp></named>
+          <named><variable>errors</variable><match>errors:</match></named>
+          <named><variable>runtime</variable><match>total runtime:</match></named>
+        </input>"#,
+    )
+    .unwrap();
+
+    // Twelve nightly runs; a bug is introduced in r5 and fixed in r8.
+    let bug = Bug { introduced: 5, fixed: 8, modulus: 10 };
+    for rev in 1..=12u32 {
+        let run = run_suite(SuiteConfig {
+            revision: rev,
+            flakiness: 0.005,
+            bugs: vec![bug.clone()],
+            seed: 99,
+            ..SuiteConfig::default()
+        });
+        let imp = Importer::new(&db)
+            .at_time(1_100_000_000 + i64::from(rev) * 86_400)
+            .import_file(&desc, &format!("nightly_r{rev}.log"), &run.render())
+            .unwrap();
+        assert_eq!(imp.runs_created.len(), 1);
+    }
+
+    // Error count over revisions — the long-period trend query.
+    let q = query_from_str(
+        r#"<query name="quality">
+          <source id="s">
+            <parameter name="revision" carry="true"/>
+            <value name="errors"/>
+          </source>
+          <output id="trend" input="s" format="ascii"
+                  title="suite errors by revision"/>
+          <output id="plot" input="s" format="gnuplot" style="linespoints"
+                  title="nightly suite errors"/>
+        </query>"#,
+    )
+    .unwrap();
+    let outcome = QueryRunner::new(&db).run(q).unwrap();
+    println!("{}", outcome.artifacts["trend"]);
+    println!("--- gnuplot ---\n{}", outcome.artifacts["plot"]);
+
+    // And the total error mass of the bug window: filter to revisions 5–7,
+    // aggregate per revision, then reduce the whole vector (operator mode 2
+    // of §3.3.2 kicks in automatically on the non-source input).
+    let q = query_from_str(
+        r#"<query name="window">
+          <source id="s">
+            <parameter name="revision" op="ge" value="5"/>
+            <parameter name="revision" op="le" value="7" carry="true"/>
+            <value name="errors"/>
+          </source>
+          <operator id="per_rev" type="sum" input="s"/>
+          <operator id="total" type="sum" input="per_rev"/>
+          <output id="t" input="total" format="ascii" title="errors in the bug window"/>
+        </query>"#,
+    )
+    .unwrap();
+    let outcome = QueryRunner::new(&db).run(q).unwrap();
+    println!("{}", outcome.artifacts["t"]);
+}

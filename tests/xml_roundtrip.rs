@@ -1,0 +1,90 @@
+//! Figs. 5–7 reproduction (experiments F5, F6, F7): the three control-file
+//! kinds parse, validate against their DTD-lite schemas, and round-trip
+//! through the serializers.
+
+use perfbase::core::input::{input_description_from_str, input_description_to_string};
+use perfbase::core::query::spec::{query_from_str, query_to_string};
+use perfbase::core::xmldef::{definition_from_str, definition_to_string};
+
+const EXPERIMENT: &str = include_str!("../crates/bench/data/b_eff_io_experiment.xml");
+const INPUT: &str = include_str!("../crates/bench/data/b_eff_io_input.xml");
+const QUERY: &str = include_str!("../crates/bench/data/b_eff_io_query.xml");
+
+#[test]
+fn fig5_experiment_definition_roundtrip() {
+    let def = definition_from_str(EXPERIMENT).unwrap();
+    assert_eq!(def.meta.name, "b_eff_io");
+    assert_eq!(def.meta.performed_by.name, "Joachim Worringen");
+    assert_eq!(def.variables.len(), 16);
+    // The unit machinery renders the composed fraction unit (Fig. 5:
+    // "units are defined such that they can be converted correctly").
+    let b = def.variable("b_scatter").unwrap();
+    assert_eq!(b.unit.to_string(), "MB/s");
+    let mem = def.variable("mem").unwrap();
+    assert_eq!(mem.unit.to_string(), "MiB");
+
+    let xml = definition_to_string(&def);
+    let def2 = definition_from_str(&xml).unwrap();
+    assert_eq!(def, def2);
+}
+
+#[test]
+fn fig5_units_convert() {
+    let def = definition_from_str(EXPERIMENT).unwrap();
+    let mbs = &def.variable("b_scatter").unwrap().unit;
+    let chunk = &def.variable("s_chunk").unwrap().unit; // bytes
+    assert!(!mbs.compatible(chunk));
+    // MB/s vs MB/s of another result: identical dimension, factor 1.
+    let other = &def.variable("b_segcoll").unwrap().unit;
+    assert_eq!(mbs.conversion_factor(other).unwrap(), 1.0);
+}
+
+#[test]
+fn fig6_input_description_roundtrip() {
+    let desc = input_description_from_str(INPUT).unwrap();
+    assert_eq!(desc.locations.len(), 8); // 2 filename + 5 named + 1 tabular
+    let xml = input_description_to_string(&desc);
+    let desc2 = input_description_from_str(&xml).unwrap();
+    assert_eq!(desc2.locations.len(), desc.locations.len());
+    // Serialized form is a fixpoint.
+    assert_eq!(input_description_to_string(&desc2), xml);
+}
+
+#[test]
+fn fig6_validates_against_fig5() {
+    let def = definition_from_str(EXPERIMENT).unwrap();
+    let desc = input_description_from_str(INPUT).unwrap();
+    desc.validate(&def).unwrap();
+}
+
+#[test]
+fn fig7_query_roundtrip() {
+    let q = query_from_str(QUERY).unwrap();
+    assert_eq!(q.name, "listless_vs_listbased");
+    assert_eq!(q.elements.len(), 8);
+    let xml = query_to_string(&q);
+    let q2 = query_from_str(&xml).unwrap();
+    assert_eq!(q2.elements.len(), q.elements.len());
+    for (a, b) in q.elements.iter().zip(&q2.elements) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.inputs, b.inputs);
+    }
+}
+
+#[test]
+fn fig7_builds_a_valid_dag() {
+    let q = query_from_str(QUERY).unwrap();
+    let dag = perfbase::core::query::QueryDag::build(q).unwrap();
+    let waves = dag.waves();
+    // sources | maxes | rel | outputs
+    assert_eq!(waves.len(), 4);
+    assert_eq!(waves[0].len(), 2);
+    assert_eq!(waves[3].len(), 3);
+}
+
+#[test]
+fn control_files_reject_cross_kind_confusion() {
+    assert!(definition_from_str(QUERY).is_err());
+    assert!(input_description_from_str(EXPERIMENT).is_err());
+    assert!(query_from_str(INPUT).is_err());
+}

@@ -1,0 +1,161 @@
+//! sqldb hot-path microbenchmarks: optimized pipeline vs the reference
+//! executor (snapshot + interpreted evaluation + nested-loop joins).
+//!
+//! Std-only by design — no external harness. Each benchmark reports the
+//! median wall-clock ns/op over `TRIALS` timed trials and writes
+//! `BENCH_sqldb.json` into the current directory.
+//!
+//! Run with: `cargo run --release -p bench --bin microbench`
+
+use sqldb::{Engine, Value};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Rows in the benchmark `runs` table — large enough that scans dominate
+/// and the parallel-segment threshold is crossed.
+const ROWS: usize = 20_000;
+/// Timed trials per benchmark; the median is reported.
+const TRIALS: usize = 21;
+/// Query repetitions inside one trial (amortizes timer overhead).
+const REPS: usize = 8;
+
+/// Deterministic splitmix64 — keeps the dataset identical across runs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn build_engine() -> Engine {
+    let e = Engine::new();
+    e.execute(
+        "CREATE TABLE runs (run_index INTEGER NOT NULL, fs TEXT, nodes INTEGER, bw FLOAT)",
+    )
+    .expect("create");
+    let mut rng = Rng(42);
+    let fs_names = ["ufs", "nfs", "pvfs", "unknown"];
+    let mut rows = Vec::with_capacity(ROWS);
+    for i in 0..ROWS {
+        rows.push(vec![
+            Value::Int(i as i64),
+            Value::Text(fs_names[rng.below(4) as usize].to_string()),
+            Value::Int(1 << rng.below(6)),
+            Value::Float(rng.below(1_000_000) as f64 / 1000.0),
+        ]);
+    }
+    e.insert_rows("runs", rows).expect("insert");
+    e.execute("CREATE INDEX ix_runs_run_index ON runs (run_index)").expect("index");
+    e
+}
+
+/// Median ns per operation for `TRIALS` runs of `f` (each doing `REPS` ops).
+fn median_ns(mut f: impl FnMut()) -> u64 {
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            f();
+        }
+        samples.push(t0.elapsed().as_nanos() as u64 / REPS as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct BenchResult {
+    name: &'static str,
+    optimized_ns: u64,
+    baseline_ns: u64,
+}
+
+impl BenchResult {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.optimized_ns.max(1) as f64
+    }
+}
+
+/// Compare `engine.query` (optimized) against `engine.query_reference`
+/// (snapshot baseline) on the same statement, asserting equal results.
+fn bench_pair(e: &Engine, name: &'static str, sql: &str) -> BenchResult {
+    let a = e.query(sql).expect("optimized query");
+    let b = e.query_reference(sql).expect("reference query");
+    assert_eq!(a, b, "pipelines disagree on {sql}");
+    let optimized_ns = median_ns(|| {
+        e.query(sql).expect("optimized query");
+    });
+    let baseline_ns = median_ns(|| {
+        e.query_reference(sql).expect("reference query");
+    });
+    BenchResult { name, optimized_ns, baseline_ns }
+}
+
+fn main() {
+    let e = build_engine();
+
+    let point = bench_pair(
+        &e,
+        "point_select",
+        &format!("SELECT * FROM runs WHERE run_index = {}", ROWS / 2),
+    );
+    let agg = bench_pair(
+        &e,
+        "filtered_agg",
+        "SELECT fs, avg(bw), count(*) FROM runs WHERE nodes >= 8 GROUP BY fs ORDER BY fs",
+    );
+    let filter = bench_pair(
+        &e,
+        "filter_project",
+        "SELECT run_index, bw * 2 FROM runs WHERE fs = 'ufs' AND bw > 900.0",
+    );
+
+    // Join benchmark: hash join vs nested loop (informational). The joined
+    // side is large enough that the nested loop's O(n*m) comparisons bite.
+    e.execute("CREATE TABLE hosts (node_id INTEGER, rack TEXT)").expect("create hosts");
+    let host_rows: Vec<Vec<Value>> = (0..2000)
+        .map(|i| vec![Value::Int(i), Value::Text(format!("rack{}", i % 8))])
+        .collect();
+    e.insert_rows("hosts", host_rows).expect("insert hosts");
+    let join = bench_pair(
+        &e,
+        "hash_join",
+        "SELECT hosts.rack, count(*) FROM runs JOIN hosts ON runs.nodes = hosts.node_id \
+         GROUP BY hosts.rack ORDER BY hosts.rack",
+    );
+
+    let results = [point, agg, filter, join];
+    let mut json = String::from("{\n  \"rows\": ");
+    let _ = write!(json, "{ROWS},\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"optimized_ns\": {}, \"baseline_ns\": {}, \"speedup\": {:.2}}}{}",
+            r.name,
+            r.optimized_ns,
+            r.baseline_ns,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sqldb.json", &json).expect("write BENCH_sqldb.json");
+
+    println!("{:<16} {:>14} {:>14} {:>9}", "benchmark", "optimized", "baseline", "speedup");
+    for r in &results {
+        println!(
+            "{:<16} {:>11} ns {:>11} ns {:>8.2}x",
+            r.name, r.optimized_ns, r.baseline_ns, r.speedup()
+        );
+    }
+    println!("\nwrote BENCH_sqldb.json");
+}

@@ -16,7 +16,7 @@
 use super::{AccessLevel, ExperimentDef, Occurrence, Variable};
 use crate::error::{Error, Result};
 use crate::xmldef;
-use parking_lot::RwLock;
+use sqldb::sync::RwLock;
 use sqldb::{Column, DataType, Engine, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -52,6 +52,7 @@ impl ExperimentDb {
             "CREATE TABLE pb_imports (hash TEXT NOT NULL, filename TEXT, run_id INTEGER)",
         )?;
         engine.create_table("pb_runs", runs_schema(&def))?;
+        create_hot_path_indexes(&engine)?;
         let db = ExperimentDb { engine, def: RwLock::new(def) };
         db.persist_definition()?;
         Ok(db)
@@ -66,6 +67,9 @@ impl ExperimentDb {
             .and_then(|r| r[0].as_str().map(str::to_string))
             .ok_or_else(|| Error::Definition("no experiment stored in this database".into()))?;
         let def = xmldef::definition_from_str(&xml)?;
+        // Databases restored from dumps made before indexes existed get
+        // them here; IF NOT EXISTS makes this idempotent.
+        create_hot_path_indexes(&engine)?;
         Ok(ExperimentDb { engine, def: RwLock::new(def) })
     }
 
@@ -115,6 +119,7 @@ impl ExperimentDb {
         self.engine.drop_table("pb_runs", false)?;
         self.engine.create_table("pb_runs", new_schema)?;
         self.engine.insert_rows("pb_runs", new_rows)?;
+        create_hot_path_indexes(&self.engine)?;
 
         *def = candidate;
         drop(def);
@@ -299,6 +304,15 @@ impl ExperimentDb {
 /// Name of the per-run data table.
 pub(crate) fn rundata_table(run_id: i64) -> String {
     format!("pb_rundata_{run_id}")
+}
+
+/// Secondary indexes for the query patterns every import and run lookup
+/// hits: `pb_imports.hash` (duplicate-import detection, §3.2) and
+/// `pb_runs.run_id` (run summaries, deletes, per-run joins).
+fn create_hot_path_indexes(engine: &Engine) -> Result<()> {
+    engine.execute("CREATE INDEX IF NOT EXISTS pb_ix_imports_hash ON pb_imports (hash)")?;
+    engine.execute("CREATE INDEX IF NOT EXISTS pb_ix_runs_run_id ON pb_runs (run_id)")?;
+    Ok(())
 }
 
 fn runs_schema(def: &ExperimentDef) -> Schema {

@@ -1,8 +1,8 @@
 //! Parallel query execution (paper §4.3, Fig. 3).
 //!
 //! The DAG is executed in *waves* (see [`QueryDag::waves`]): all elements of
-//! a wave have their inputs satisfied and run concurrently on a crossbeam
-//! scope. Optionally the elements are distributed across the nodes of a
+//! a wave have their inputs satisfied and run concurrently on a scoped
+//! thread pool. Optionally the elements are distributed across the nodes of a
 //! simulated [`sqldb::cluster::Cluster`]:
 //!
 //! * the **frontend node** (node 0) holds the persistent experiment data,
@@ -23,8 +23,8 @@ use super::spec::{ElementKind, QuerySpec};
 use super::{DataVector, QueryDag};
 use crate::error::{Error, Result};
 use crate::experiment::ExperimentDb;
-use parking_lot::Mutex;
 use sqldb::cluster::Cluster;
+use sqldb::sync::Mutex;
 use std::time::Instant;
 
 /// How elements are assigned to cluster nodes.
@@ -147,7 +147,8 @@ impl<'a> ParallelQueryRunner<'a> {
 
         for wave in dag.waves() {
             let errors: Mutex<Vec<Error>> = Mutex::new(Vec::new());
-            crossbeam::thread::scope(|scope| {
+            let panicked = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(wave.len());
                 for &i in &wave {
                     let dag = &dag;
                     let vectors = &vectors;
@@ -156,7 +157,7 @@ impl<'a> ParallelQueryRunner<'a> {
                     let from_source = &from_source;
                     let exec_node = &exec_node;
                     let out_node = &out_node;
-                    scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let started = Instant::now();
                         let result = self.run_element(
                             dag,
@@ -186,10 +187,13 @@ impl<'a> ParallelQueryRunner<'a> {
                             }
                             Err(e) => errors.lock().push(e),
                         }
-                    });
+                    }));
                 }
-            })
-            .map_err(|_| Error::Query("query worker thread panicked".into()))?;
+                handles.into_iter().any(|h| h.join().is_err())
+            });
+            if panicked {
+                return Err(Error::Query("query worker thread panicked".into()));
+            }
             if let Some(e) = errors.into_inner().into_iter().next() {
                 return Err(e);
             }

@@ -1,6 +1,7 @@
-//! Property-based tests of the extraction → storage → query pipeline:
-//! whatever the workload prints, perfbase must read back exactly, and the
-//! query engine's statistics must match independently computed oracles.
+//! Randomized tests of the extraction → storage → query pipeline: whatever
+//! the workload prints, perfbase must read back exactly, and the query
+//! engine's statistics must match independently computed oracles. Driven by
+//! a seeded splitmix64 generator (reproducible, offline).
 
 use perfbase_core::experiment::{ExperimentDb, ExperimentDef, Meta, Variable, VarKind};
 use perfbase_core::import::Importer;
@@ -9,9 +10,34 @@ use perfbase_core::input::{
 };
 use perfbase_core::query::spec::query_from_str;
 use perfbase_core::query::QueryRunner;
-use proptest::prelude::*;
 use sqldb::{DataType, Engine, Value};
 use std::sync::Arc;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    fn float(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+
+    fn lower_word(&mut self, min: usize, max: usize) -> String {
+        let len = min + self.below((max - min) as u64 + 1) as usize;
+        (0..len).map(|_| (b'a' + self.below(26) as u8) as char).collect()
+    }
+}
 
 fn definition() -> ExperimentDef {
     let mut def = ExperimentDef::new(Meta { name: "prop".into(), ..Meta::default() }, "u");
@@ -41,42 +67,47 @@ fn tabular_desc() -> InputDescription {
         }))
 }
 
-proptest! {
-    /// Render a random table to text, extract it back: every (idx, val)
-    /// tuple must survive bit-exactly.
-    #[test]
-    fn tabular_extraction_roundtrip(
-        tag in "[a-z]{1,8}",
-        data in proptest::collection::vec((0i64..10_000, -1e6f64..1e6), 1..40),
-    ) {
+/// Render a random table to text, extract it back: every (idx, val)
+/// tuple must survive bit-exactly.
+#[test]
+fn tabular_extraction_roundtrip() {
+    let mut rng = Rng(0x01);
+    for _ in 0..25 {
+        let tag = rng.lower_word(1, 8);
+        let n = 1 + rng.below(39) as usize;
+        let data: Vec<(i64, f64)> =
+            (0..n).map(|_| (rng.below(10_000) as i64, rng.float(-1e6, 1e6))).collect();
         let mut text = format!("tag: {tag}\n--data--\n");
         for (i, v) in &data {
             text.push_str(&format!("{i} {v:?}\n"));
         }
         let db = ExperimentDb::create(Arc::new(Engine::new()), definition()).unwrap();
         let report = Importer::new(&db).import_file(&tabular_desc(), "f.out", &text).unwrap();
-        prop_assert_eq!(report.runs_created.len(), 1);
+        assert_eq!(report.runs_created.len(), 1);
 
         let s = db.run_summary(report.runs_created[0]).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             s.once_values.iter().find(|(n, _)| n == "tag").map(|(_, v)| v.clone()),
             Some(Value::Text(tag))
         );
         let (cols, rows) = db.run_datasets(report.runs_created[0]).unwrap();
-        prop_assert_eq!(cols, vec!["idx".to_string(), "val".to_string()]);
-        prop_assert_eq!(rows.len(), data.len());
+        assert_eq!(cols, vec!["idx".to_string(), "val".to_string()]);
+        assert_eq!(rows.len(), data.len());
         for (row, (i, v)) in rows.iter().zip(&data) {
-            prop_assert_eq!(&row[0], &Value::Int(*i));
-            prop_assert_eq!(&row[1], &Value::Float(*v));
+            assert_eq!(&row[0], &Value::Int(*i));
+            assert_eq!(&row[1], &Value::Float(*v));
         }
     }
+}
 
-    /// The avg/min/max/count query operators agree with oracles computed
-    /// straight from the generated data.
-    #[test]
-    fn query_statistics_match_oracle(
-        values in proptest::collection::vec(-1e3f64..1e3, 2..30),
-    ) {
+/// The avg/min/max/count query operators agree with oracles computed
+/// straight from the generated data.
+#[test]
+fn query_statistics_match_oracle() {
+    let mut rng = Rng(0x02);
+    for _ in 0..15 {
+        let n = 2 + rng.below(28) as usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.float(-1e3, 1e3)).collect();
         let db = ExperimentDb::create(Arc::new(Engine::new()), definition()).unwrap();
         let mut text = String::from("tag: x\n--data--\n");
         for v in &values {
@@ -109,18 +140,22 @@ proptest! {
         let o_avg = values.iter().sum::<f64>() / values.len() as f64;
         let o_min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let o_max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!((avg - o_avg).abs() < tol(o_avg), "avg {avg} vs {o_avg}");
-        prop_assert!((min - o_min).abs() < tol(o_min), "min {min} vs {o_min}");
-        prop_assert!((max - o_max).abs() < tol(o_max), "max {max} vs {o_max}");
-        prop_assert_eq!(count as usize, values.len());
+        assert!((avg - o_avg).abs() < tol(o_avg), "avg {avg} vs {o_avg}");
+        assert!((min - o_min).abs() < tol(o_min), "min {min} vs {o_min}");
+        assert!((max - o_max).abs() < tol(o_max), "max {max} vs {o_max}");
+        assert_eq!(count as usize, values.len());
     }
+}
 
-    /// Filters never let a non-matching run through, and matching runs are
-    /// never lost (source-element completeness).
-    #[test]
-    fn source_filter_partition(
-        tags in proptest::collection::vec(prop::sample::select(vec!["red", "blue"]), 1..12),
-    ) {
+/// Filters never let a non-matching run through, and matching runs are
+/// never lost (source-element completeness).
+#[test]
+fn source_filter_partition() {
+    let mut rng = Rng(0x03);
+    for _ in 0..10 {
+        let n = 1 + rng.below(11) as usize;
+        let tags: Vec<&str> =
+            (0..n).map(|_| if rng.below(2) == 0 { "red" } else { "blue" }).collect();
         let db = ExperimentDb::create(Arc::new(Engine::new()), definition()).unwrap();
         for (k, tag) in tags.iter().enumerate() {
             let text = format!("tag: {tag}\n--data--\n{k} 1.0\n");
@@ -143,16 +178,20 @@ proptest! {
         };
         let red = count_for("red");
         let blue = count_for("blue");
-        prop_assert_eq!(red, tags.iter().filter(|t| **t == "red").count());
-        prop_assert_eq!(red + blue, tags.len());
+        assert_eq!(red, tags.iter().filter(|t| **t == "red").count());
+        assert_eq!(red + blue, tags.len());
     }
+}
 
-    /// Input descriptions round-trip through their XML serialization and
-    /// extract identically afterwards.
-    #[test]
-    fn description_serialization_preserves_extraction(
-        data in proptest::collection::vec((0i64..100, -10.0f64..10.0), 1..10),
-    ) {
+/// Input descriptions round-trip through their XML serialization and
+/// extract identically afterwards.
+#[test]
+fn description_serialization_preserves_extraction() {
+    let mut rng = Rng(0x04);
+    for _ in 0..25 {
+        let n = 1 + rng.below(9) as usize;
+        let data: Vec<(i64, f64)> =
+            (0..n).map(|_| (rng.below(100) as i64, rng.float(-10.0, 10.0))).collect();
         let desc = tabular_desc();
         let xml = perfbase_core::input::input_description_to_string(&desc);
         let desc2 = input_description_from_str(&xml).unwrap();
@@ -162,17 +201,20 @@ proptest! {
             text.push_str(&format!("{i} {v:?}\n"));
         }
         let def = definition();
-        let runs1 =
-            perfbase_core::input::extract_runs(&desc, &def, "f", &text).unwrap();
-        let runs2 =
-            perfbase_core::input::extract_runs(&desc2, &def, "f", &text).unwrap();
-        prop_assert_eq!(runs1, runs2);
+        let runs1 = perfbase_core::input::extract_runs(&desc, &def, "f", &text).unwrap();
+        let runs2 = perfbase_core::input::extract_runs(&desc2, &def, "f", &text).unwrap();
+        assert_eq!(runs1, runs2);
     }
+}
 
-    /// Importing the same content twice never creates a second run, no
-    /// matter the content.
-    #[test]
-    fn duplicate_protection_total(tag in "[a-z]{1,6}", n in 1usize..10) {
+/// Importing the same content twice never creates a second run, no
+/// matter the content.
+#[test]
+fn duplicate_protection_total() {
+    let mut rng = Rng(0x05);
+    for _ in 0..25 {
+        let tag = rng.lower_word(1, 6);
+        let n = 1 + rng.below(9) as usize;
         let db = ExperimentDb::create(Arc::new(Engine::new()), definition()).unwrap();
         let mut text = format!("tag: {tag}\n--data--\n");
         for k in 0..n {
@@ -181,9 +223,9 @@ proptest! {
         let imp = Importer::new(&db);
         let r1 = imp.import_file(&tabular_desc(), "a", &text).unwrap();
         let r2 = imp.import_file(&tabular_desc(), "b", &text).unwrap();
-        prop_assert_eq!(r1.runs_created.len(), 1);
-        prop_assert_eq!(r2.runs_created.len(), 0);
-        prop_assert_eq!(r2.duplicates_skipped, 1);
-        prop_assert_eq!(db.run_ids().unwrap().len(), 1);
+        assert_eq!(r1.runs_created.len(), 1);
+        assert_eq!(r2.runs_created.len(), 0);
+        assert_eq!(r2.duplicates_skipped, 1);
+        assert_eq!(db.run_ids().unwrap().len(), 1);
     }
 }

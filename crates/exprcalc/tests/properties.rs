@@ -1,17 +1,48 @@
-//! Property-based tests for the expression engine.
+//! Randomized tests for the expression engine, driven by a seeded
+//! splitmix64 generator (reproducible, offline).
 
 use exprcalc::{Context, Expr};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    fn float(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+
+    fn lower_word(&mut self, min: usize, max: usize) -> String {
+        let len = min + self.below((max - min) as u64 + 1) as usize;
+        (0..len).map(|_| (b'a' + self.below(26) as u8) as char).collect()
+    }
+}
 
 fn ctx(a: f64, b: f64, c: f64) -> Context {
     Context::from_pairs([("a", a), ("b", b), ("c", c)])
 }
 
-proptest! {
-    /// The parser/evaluator agree with Rust's own arithmetic on the
-    /// standard precedence cases.
-    #[test]
-    fn matches_rust_arithmetic(a in -100.0f64..100.0, b in -100.0f64..100.0, c in 1.0f64..100.0) {
+/// The parser/evaluator agree with Rust's own arithmetic on the
+/// standard precedence cases.
+#[test]
+fn matches_rust_arithmetic() {
+    let mut rng = Rng(0xE0);
+    for _ in 0..200 {
+        let a = rng.float(-100.0, 100.0);
+        let b = rng.float(-100.0, 100.0);
+        let c = rng.float(1.0, 100.0);
         let cases: Vec<(&str, f64)> = vec![
             ("a + b * c", a + b * c),
             ("(a + b) * c", (a + b) * c),
@@ -23,70 +54,98 @@ proptest! {
         for (src, expect) in cases {
             let got = Expr::parse(src).unwrap().eval(&ctx(a, b, c)).unwrap();
             let tol = 1e-9 * (1.0 + expect.abs());
-            prop_assert!((got - expect).abs() <= tol, "{src}: {got} vs {expect}");
+            assert!((got - expect).abs() <= tol, "{src}: {got} vs {expect}");
         }
     }
+}
 
-    /// Commutativity and associativity of + and * hold (within float
-    /// tolerance) through the whole parse/eval pipeline.
-    #[test]
-    fn algebraic_identities(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+/// Commutativity and associativity of + and * hold (within float
+/// tolerance) through the whole parse/eval pipeline.
+#[test]
+fn algebraic_identities() {
+    let mut rng = Rng(0xE1);
+    for _ in 0..200 {
+        let a = rng.float(-50.0, 50.0);
+        let b = rng.float(-50.0, 50.0);
         let e1 = Expr::parse("a + b").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
         let e2 = Expr::parse("b + a").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
-        prop_assert_eq!(e1, e2);
+        assert_eq!(e1, e2);
         let m1 = Expr::parse("a * b").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
         let m2 = Expr::parse("b * a").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
-        prop_assert_eq!(m1, m2);
+        assert_eq!(m1, m2);
     }
+}
 
-    /// min/max are order statistics: min ≤ every argument ≤ max.
-    #[test]
-    fn min_max_bounds(a in -100.0f64..100.0, b in -100.0f64..100.0, c in -100.0f64..100.0) {
+/// min/max are order statistics: min ≤ every argument ≤ max.
+#[test]
+fn min_max_bounds() {
+    let mut rng = Rng(0xE2);
+    for _ in 0..200 {
+        let a = rng.float(-100.0, 100.0);
+        let b = rng.float(-100.0, 100.0);
+        let c = rng.float(-100.0, 100.0);
         let lo = Expr::parse("min(a, b, c)").unwrap().eval(&ctx(a, b, c)).unwrap();
         let hi = Expr::parse("max(a, b, c)").unwrap().eval(&ctx(a, b, c)).unwrap();
         for x in [a, b, c] {
-            prop_assert!(lo <= x && x <= hi);
+            assert!(lo <= x && x <= hi);
         }
     }
+}
 
-    /// Comparison operators return exactly 0.0 or 1.0 and match Rust.
-    #[test]
-    fn comparisons_boolean(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+/// Comparison operators return exactly 0.0 or 1.0 and match Rust.
+#[test]
+fn comparisons_boolean() {
+    let mut rng = Rng(0xE3);
+    for _ in 0..200 {
+        let a = rng.float(-10.0, 10.0);
+        let b = rng.float(-10.0, 10.0);
         let lt = Expr::parse("a < b").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
-        prop_assert_eq!(lt, f64::from(a < b));
+        assert_eq!(lt, f64::from(a < b));
         let ge = Expr::parse("a >= b").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
-        prop_assert_eq!(ge, f64::from(a >= b));
+        assert_eq!(ge, f64::from(a >= b));
     }
+}
 
-    /// `variables()` reports exactly the identifiers needed: binding them
-    /// all makes evaluation succeed; dropping any one makes it fail.
-    #[test]
-    fn variables_are_exactly_the_dependencies(names in proptest::collection::btree_set("[a-z]{1,4}", 1..4)) {
+/// `variables()` reports exactly the identifiers needed: binding them
+/// all makes evaluation succeed; dropping any one makes it fail.
+#[test]
+fn variables_are_exactly_the_dependencies() {
+    let mut rng = Rng(0xE4);
+    for _ in 0..100 {
+        let mut names = BTreeSet::new();
+        for _ in 0..1 + rng.below(3) {
+            names.insert(rng.lower_word(1, 4));
+        }
         let src = names.iter().cloned().collect::<Vec<_>>().join(" + ");
         let e = Expr::parse(&src).unwrap();
-        prop_assert_eq!(e.variables(), names.clone());
+        assert_eq!(e.variables(), names.clone());
         let mut full = Context::new();
         for n in &names {
             full.set(n, 1.0);
         }
-        prop_assert!(e.eval(&full).is_ok());
+        assert!(e.eval(&full).is_ok());
         for skip in &names {
             let mut partial = Context::new();
             for n in names.iter().filter(|n| n != &skip) {
                 partial.set(n, 1.0);
             }
-            prop_assert!(e.eval(&partial).is_err());
+            assert!(e.eval(&partial).is_err());
         }
     }
+}
 
-    /// The parser never panics, and parse errors carry in-range positions.
-    #[test]
-    fn parser_total(src in "[ -~]{0,32}") {
+/// The parser never panics, and parse errors carry in-range positions.
+#[test]
+fn parser_total() {
+    let mut rng = Rng(0xE5);
+    for _ in 0..500 {
+        let len = rng.below(33) as usize;
+        let src: String = (0..len).map(|_| (b' ' + rng.below(95) as u8) as char).collect();
         match Expr::parse(&src) {
             Ok(e) => {
                 let _ = e.eval(&Context::new());
             }
-            Err(pe) => prop_assert!(pe.position <= src.len()),
+            Err(pe) => assert!(pe.position <= src.len()),
         }
     }
 }

@@ -1,7 +1,33 @@
-//! Property-based tests for the regex engine.
+//! Randomized tests for the regex engine, driven by a seeded splitmix64
+//! generator (reproducible, offline).
 
-use proptest::prelude::*;
 use rematch::{Regex, RegexBuilder};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    fn string(&mut self, alphabet: &[u8], min: usize, max: usize) -> String {
+        let len = min + self.below((max - min) as u64 + 1) as usize;
+        (0..len).map(|_| alphabet[self.below(alphabet.len() as u64) as usize] as char).collect()
+    }
+
+    fn printable(&mut self, min: usize, max: usize) -> String {
+        let len = min + self.below((max - min) as u64 + 1) as usize;
+        (0..len).map(|_| (b' ' + self.below(95) as u8) as char).collect()
+    }
+}
 
 /// Escape every regex metacharacter in `s` so it matches literally.
 fn escape(s: &str) -> String {
@@ -15,98 +41,135 @@ fn escape(s: &str) -> String {
     out
 }
 
-proptest! {
-    /// An escaped literal always matches itself, with the span equal to the
-    /// first occurrence.
-    #[test]
-    fn escaped_literal_matches_itself(s in "[ -~]{1,24}") {
+/// An escaped literal always matches itself, with the span equal to the
+/// first occurrence.
+#[test]
+fn escaped_literal_matches_itself() {
+    let mut rng = Rng(0x11);
+    for _ in 0..200 {
+        let s = rng.printable(1, 24);
         let re = Regex::new(&escape(&s)).unwrap();
         let m = re.find(&s).expect("literal must match itself");
-        prop_assert_eq!(m.as_str(), s.as_str());
-        prop_assert_eq!(m.start(), 0);
+        assert_eq!(m.as_str(), s.as_str());
+        assert_eq!(m.start(), 0);
     }
+}
 
-    /// Matching inside a larger haystack finds the first occurrence.
-    #[test]
-    fn literal_found_at_first_occurrence(prefix in "[a-z]{0,10}", needle in "[A-Z]{1,6}", suffix in "[a-z]{0,10}") {
+/// Matching inside a larger haystack finds the first occurrence.
+#[test]
+fn literal_found_at_first_occurrence() {
+    let mut rng = Rng(0x22);
+    for _ in 0..200 {
+        let prefix = rng.string(b"abcdefghijklmnopqrstuvwxyz", 0, 10);
+        let needle = rng.string(b"ABCDEFGHIJKLMNOPQRSTUVWXYZ", 1, 6);
+        let suffix = rng.string(b"abcdefghijklmnopqrstuvwxyz", 0, 10);
         let hay = format!("{prefix}{needle}{suffix}");
         let re = Regex::new(&escape(&needle)).unwrap();
         let m = re.find(&hay).unwrap();
-        prop_assert_eq!(m.start(), prefix.len());
-        prop_assert_eq!(m.as_str(), needle.as_str());
+        assert_eq!(m.start(), prefix.len());
+        assert_eq!(m.as_str(), needle.as_str());
     }
+}
 
-    /// `\d+` matches exactly when a digit is present, and the matched text is
-    /// all digits.
-    #[test]
-    fn digit_class_consistency(s in "[a-z0-9 ]{0,32}") {
-        let re = Regex::new(r"\d+").unwrap();
+/// `\d+` matches exactly when a digit is present, and the matched text is
+/// all digits.
+#[test]
+fn digit_class_consistency() {
+    let mut rng = Rng(0x33);
+    let re = Regex::new(r"\d+").unwrap();
+    for _ in 0..300 {
+        let s = rng.string(b"abcdefghijklmnopqrstuvwxyz0123456789 ", 0, 32);
         let has_digit = s.chars().any(|c| c.is_ascii_digit());
         match re.find(&s) {
             Some(m) => {
-                prop_assert!(has_digit);
-                prop_assert!(m.as_str().chars().all(|c| c.is_ascii_digit()));
+                assert!(has_digit);
+                assert!(m.as_str().chars().all(|c| c.is_ascii_digit()));
                 // Maximal munch: chars around the match are not digits.
                 let before = s[..m.start()].chars().next_back();
                 let after = s[m.end()..].chars().next();
-                prop_assert!(before.is_none_or(|c| !c.is_ascii_digit()));
-                prop_assert!(after.is_none_or(|c| !c.is_ascii_digit()));
+                assert!(before.is_none_or(|c| !c.is_ascii_digit()));
+                assert!(after.is_none_or(|c| !c.is_ascii_digit()));
             }
-            None => prop_assert!(!has_digit),
+            None => assert!(!has_digit),
         }
     }
+}
 
-    /// Spans produced by `find_iter` are in order and non-overlapping.
-    #[test]
-    fn find_iter_spans_ordered(s in "[ab ]{0,40}") {
-        let re = Regex::new("a+").unwrap();
+/// Spans produced by `find_iter` are in order and non-overlapping.
+#[test]
+fn find_iter_spans_ordered() {
+    let mut rng = Rng(0x44);
+    let re = Regex::new("a+").unwrap();
+    for _ in 0..300 {
+        let s = rng.string(b"ab ", 0, 40);
         let mut last_end = 0usize;
         for m in re.find_iter(&s) {
-            prop_assert!(m.start() >= last_end);
-            prop_assert!(m.end() > m.start());
+            assert!(m.start() >= last_end);
+            assert!(m.end() > m.start());
             last_end = m.end();
         }
     }
+}
 
-    /// split + rejoin round-trips the input.
-    #[test]
-    fn split_roundtrip(parts in proptest::collection::vec("[a-z]{0,5}", 1..6)) {
+/// split + rejoin round-trips the input.
+#[test]
+fn split_roundtrip() {
+    let mut rng = Rng(0x55);
+    let re = Regex::new(",").unwrap();
+    for _ in 0..200 {
+        let n = 1 + rng.below(5) as usize;
+        let parts: Vec<String> =
+            (0..n).map(|_| rng.string(b"abcdefghijklmnopqrstuvwxyz", 0, 5)).collect();
         let joined = parts.join(",");
-        let re = Regex::new(",").unwrap();
         let split = re.split(&joined);
         let rejoined = split.join(",");
-        prop_assert_eq!(rejoined, joined);
+        assert_eq!(rejoined, joined);
     }
+}
 
-    /// Case-insensitive matching is invariant under case changes of the
-    /// haystack for alphabetic literals.
-    #[test]
-    fn case_insensitive_invariance(word in "[a-zA-Z]{1,10}") {
+/// Case-insensitive matching is invariant under case changes of the
+/// haystack for alphabetic literals.
+#[test]
+fn case_insensitive_invariance() {
+    let mut rng = Rng(0x66);
+    for _ in 0..200 {
+        let word =
+            rng.string(b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ", 1, 10);
         let re = RegexBuilder::new(&escape(&word)).case_insensitive(true).build().unwrap();
-        prop_assert!(re.is_match(&word.to_uppercase()));
-        prop_assert!(re.is_match(&word.to_lowercase()));
+        assert!(re.is_match(&word.to_uppercase()));
+        assert!(re.is_match(&word.to_lowercase()));
     }
+}
 
-    /// Group 0 always equals the full match and nested group spans lie
-    /// inside it.
-    #[test]
-    fn groups_nest_inside_whole_match(a in "[a-c]{1,4}", b in "[x-z]{1,4}") {
+/// Group 0 always equals the full match and nested group spans lie
+/// inside it.
+#[test]
+fn groups_nest_inside_whole_match() {
+    let mut rng = Rng(0x77);
+    let re = Regex::new("([a-c]+)([x-z]+)").unwrap();
+    for _ in 0..200 {
+        let a = rng.string(b"abc", 1, 4);
+        let b = rng.string(b"xyz", 1, 4);
         let hay = format!("--{a}{b}--");
-        let re = Regex::new("([a-c]+)([x-z]+)").unwrap();
         let m = re.captures(&hay).unwrap();
         let whole = m.get(0).unwrap();
         let g1 = m.get(1).unwrap();
         let g2 = m.get(2).unwrap();
         let concat = format!("{g1}{g2}");
-        prop_assert_eq!(whole, concat.as_str());
-        prop_assert_eq!(g1, a.as_str());
-        prop_assert_eq!(g2, b.as_str());
+        assert_eq!(whole, concat.as_str());
+        assert_eq!(g1, a.as_str());
+        assert_eq!(g2, b.as_str());
     }
+}
 
-    /// The engine is total: arbitrary (possibly invalid) patterns either fail
-    /// to compile or run without panicking on arbitrary text.
-    #[test]
-    fn never_panics(pat in "[ -~]{0,16}", text in "[ -~]{0,32}") {
+/// The engine is total: arbitrary (possibly invalid) patterns either fail
+/// to compile or run without panicking on arbitrary text.
+#[test]
+fn never_panics() {
+    let mut rng = Rng(0x88);
+    for _ in 0..500 {
+        let pat = rng.printable(0, 16);
+        let text = rng.printable(0, 32);
         if let Ok(re) = Regex::new(&pat) {
             let _ = re.find(&text);
         }

@@ -15,7 +15,7 @@
 use crate::engine::{Engine, ResultSet};
 use crate::error::DbError;
 use crate::exec::infer_schema;
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -7,7 +7,7 @@ use crate::schema::{Column, Schema};
 use crate::sql::{self, Stmt};
 use crate::table::{Row, Table};
 use crate::value::Value;
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -201,16 +201,42 @@ impl Engine {
                 self.run_update(&table, sets, where_clause)
             }
             Stmt::Delete { table, where_clause } => self.run_delete(&table, where_clause),
+            Stmt::CreateIndex { name, table, column, if_not_exists } => {
+                match self.create_index(&name, &table, &column) {
+                    Ok(()) => Ok(0),
+                    Err(DbError::Execution(_)) if if_not_exists => Ok(0),
+                    Err(e) => Err(e),
+                }
+            }
             Stmt::Select(_) => Err(DbError::Execution(
                 "use query() for SELECT statements".into(),
             )),
         }
     }
 
+    /// Create a secondary hash index over `table.column`. A second index on
+    /// an already-indexed column is a no-op.
+    pub fn create_index(&self, name: &str, table: &str, column: &str) -> Result<(), DbError> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        guard.create_index(name, column)
+    }
+
     /// Run a SELECT and return its rows.
     pub fn query(&self, sql_text: &str) -> Result<ResultSet, DbError> {
         match sql::parse_statement(sql_text)? {
             Stmt::Select(sel) => exec::run_select(self, &sel),
+            _ => Err(DbError::Execution("query() only accepts SELECT statements".into())),
+        }
+    }
+
+    /// Run a SELECT through the unoptimized reference executor: full table
+    /// snapshots, interpreted expression evaluation and nested-loop joins.
+    /// Exists as the oracle for the equivalence tests and as the baseline
+    /// for the `microbench` binary — not for production use.
+    pub fn query_reference(&self, sql_text: &str) -> Result<ResultSet, DbError> {
+        match sql::parse_statement(sql_text)? {
+            Stmt::Select(sel) => exec::run_select_reference(self, &sel),
             _ => Err(DbError::Execution("query() only accepts SELECT statements".into())),
         }
     }

@@ -112,7 +112,13 @@ fn binary(op: &str, l: &SqlExpr, r: &SqlExpr, ctx: &RowCtx<'_>) -> Result<Value,
 
     let lv = eval(l, ctx)?;
     let rv = eval(r, ctx)?;
+    binary_values(op, lv, rv)
+}
 
+/// Apply a non-logical binary operator to two already-evaluated operands.
+/// Shared by the interpreted evaluator above and the compiled evaluator in
+/// [`crate::compile`], so both have identical semantics by construction.
+pub(crate) fn binary_values(op: &str, lv: Value, rv: Value) -> Result<Value, DbError> {
     match op {
         "=" => Ok(Value::Bool(lv.sql_eq(&rv))),
         "<>" => Ok(Value::Bool(!lv.is_null() && !rv.is_null() && !lv.sql_eq(&rv))),
@@ -185,7 +191,18 @@ fn binary(op: &str, l: &SqlExpr, r: &SqlExpr, ctx: &RowCtx<'_>) -> Result<Value,
     }
 }
 
-fn scalar_fn(name: &str, args: &[Value]) -> Result<Value, DbError> {
+/// Is `name` a scalar function [`scalar_fn`] can dispatch? Used by the
+/// index planner to prove an expression cannot raise a name error.
+pub(crate) fn is_known_scalar(name: &str) -> bool {
+    matches!(
+        name,
+        "abs" | "sqrt" | "floor" | "ceil" | "round" | "upper" | "lower" | "length" | "coalesce"
+    )
+}
+
+/// Scalar (non-aggregate) SQL function dispatch over evaluated arguments.
+/// Shared by the interpreted and compiled evaluators.
+pub(crate) fn scalar_fn(name: &str, args: &[Value]) -> Result<Value, DbError> {
     let one_num = |args: &[Value]| -> Result<Option<f64>, DbError> {
         if args.len() != 1 {
             return Err(DbError::Type(format!("{name}() expects one argument")));

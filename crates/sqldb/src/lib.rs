@@ -16,10 +16,14 @@
 //!   `RwLock`-guarded and the engine itself is `Sync`.
 //! * Operators lean on **in-database aggregation** (`avg`, `stddev`, …)
 //!   because that beats row-at-a-time processing in the frontend language —
-//!   the claim benchmarked in `bench/benches/dbops.rs`.
+//!   the claim benchmarked by the `microbench` binary in the bench crate.
+//! * Point lookups on run/hash columns dominate the import and query paths —
+//!   so tables support **secondary hash indexes** (`CREATE INDEX`), SELECTs
+//!   compile their expressions once per statement, and equi-joins hash the
+//!   smaller side (see DESIGN.md "Query execution pipeline").
 //!
-//! Not implemented (not needed by perfbase): transactions, indexes beyond
-//! full scans, NULL-aware three-valued logic (NULL comparisons are false),
+//! Not implemented (not needed by perfbase): transactions, B-tree/range
+//! indexes, NULL-aware three-valued logic (NULL comparisons are false),
 //! and subqueries.
 //!
 //! # Example
@@ -36,6 +40,7 @@
 
 pub mod aggregate;
 pub mod cluster;
+mod compile;
 mod dump;
 mod engine;
 mod error;
@@ -43,6 +48,7 @@ mod exec;
 mod expr;
 mod schema;
 pub mod sql;
+pub mod sync;
 mod table;
 mod value;
 
@@ -50,7 +56,7 @@ pub use engine::{Engine, ResultSet};
 pub use error::DbError;
 pub use schema::{Column, Schema};
 pub use table::Table;
-pub use value::{format_timestamp, parse_timestamp, DataType, Value};
+pub use value::{format_timestamp, parse_timestamp, DataType, Value, ValueKey};
 
 #[cfg(test)]
 mod tests {

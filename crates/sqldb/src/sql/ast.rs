@@ -51,6 +51,18 @@ pub enum Stmt {
         /// Row filter.
         where_clause: Option<SqlExpr>,
     },
+    /// `CREATE INDEX [IF NOT EXISTS] name ON table (column)` — a secondary
+    /// hash index for `WHERE column = <const>` point lookups.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// Swallow the "already exists" error.
+        if_not_exists: bool,
+    },
 }
 
 /// Column definition inside CREATE TABLE.

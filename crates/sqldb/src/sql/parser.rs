@@ -98,7 +98,11 @@ impl P {
 
     fn statement(&mut self) -> Result<Stmt, DbError> {
         if self.eat_kw("CREATE") {
-            self.create_table()
+            if self.eat_kw("INDEX") {
+                self.create_index()
+            } else {
+                self.create_table()
+            }
         } else if self.eat_kw("DROP") {
             self.drop_table()
         } else if self.eat_kw("INSERT") {
@@ -150,6 +154,23 @@ impl P {
         }
         self.expect_sym(")")?;
         Ok(Stmt::CreateTable { name, temp, if_not_exists, columns })
+    }
+
+    fn create_index(&mut self) -> Result<Stmt, DbError> {
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_sym("(")?;
+        let column = self.ident()?;
+        self.expect_sym(")")?;
+        Ok(Stmt::CreateIndex { name, table, column, if_not_exists })
     }
 
     fn drop_table(&mut self) -> Result<Stmt, DbError> {
@@ -559,6 +580,22 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn create_index_forms() {
+        let s = parse_statement("CREATE INDEX IF NOT EXISTS ix_run ON pb_runs (run_id)").unwrap();
+        match s {
+            Stmt::CreateIndex { name, table, column, if_not_exists } => {
+                assert_eq!(name, "ix_run");
+                assert_eq!(table, "pb_runs");
+                assert_eq!(column, "run_id");
+                assert!(if_not_exists);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("CREATE INDEX ON t (a)").is_err());
+        assert!(parse_statement("CREATE INDEX i ON t ()").is_err());
     }
 
     #[test]

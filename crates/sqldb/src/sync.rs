@@ -1,0 +1,78 @@
+//! Thin wrappers over `std::sync` locks with non-poisoning ergonomics.
+//!
+//! The engine treats a panic while holding a lock as fatal to the invariant
+//! anyway (a half-applied insert), so poison carries no information for us:
+//! these wrappers recover the guard on poison instead of forcing every call
+//! site to unwrap a `LockResult`. Exported so dependent crates share the
+//! same locking discipline without an external dependency.
+
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Mutual-exclusion lock; `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquire the lock, recovering from poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the lock and return the inner value, recovering from poison.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Reader-writer lock; `read()`/`write()` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(StdRwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        RwLock(StdRwLock::new(value))
+    }
+
+    /// Acquire shared access, recovering from poison.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire exclusive access, recovering from poison.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_survives_poison() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+    }
+}

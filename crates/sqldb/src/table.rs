@@ -1,13 +1,38 @@
-//! In-memory row storage.
+//! In-memory row storage with optional secondary hash indexes.
 
 use crate::error::DbError;
 use crate::schema::Schema;
-use crate::value::Value;
+use crate::value::{Value, ValueKey};
+use std::collections::HashMap;
 
 /// A row is a vector of values, one per schema column.
 pub type Row = Vec<Value>;
 
-/// An in-memory table: a schema plus row storage.
+/// A secondary hash index over one column: equality key → row positions.
+///
+/// NULL keys are not indexed — SQL `=` never matches NULL, so a point
+/// lookup can never want them.
+#[derive(Debug, Clone)]
+struct Index {
+    name: String,
+    column: usize,
+    map: HashMap<ValueKey, Vec<usize>>,
+}
+
+impl Index {
+    fn build(name: String, column: usize, rows: &[Row]) -> Self {
+        let mut map: HashMap<ValueKey, Vec<usize>> = HashMap::new();
+        for (i, r) in rows.iter().enumerate() {
+            let key = ValueKey::of(&r[column]);
+            if !key.is_null() {
+                map.entry(key).or_default().push(i);
+            }
+        }
+        Index { name, column, map }
+    }
+}
+
+/// An in-memory table: a schema plus row storage plus secondary indexes.
 ///
 /// Tables are stored behind `RwLock`s in the [`crate::Engine`] catalog; the
 /// table itself is a plain data structure.
@@ -16,12 +41,13 @@ pub struct Table {
     /// Column definitions.
     pub schema: Schema,
     rows: Vec<Row>,
+    indexes: Vec<Index>,
 }
 
 impl Table {
     /// Empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table { schema, rows: Vec::new(), indexes: Vec::new() }
     }
 
     /// Number of rows.
@@ -37,6 +63,50 @@ impl Table {
     /// Read-only view of all rows.
     pub fn rows(&self) -> &[Row] {
         &self.rows
+    }
+
+    /// Create a hash index named `name` over `column`. Creating a second
+    /// index on an already-indexed column is a no-op (the existing index
+    /// serves the same lookups); a duplicate index *name* on a different
+    /// column is an error.
+    pub fn create_index(&mut self, name: &str, column: &str) -> Result<(), DbError> {
+        let ci = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| DbError::NoSuchColumn(column.to_string()))?;
+        if self.indexes.iter().any(|ix| ix.column == ci) {
+            return Ok(());
+        }
+        if self.indexes.iter().any(|ix| ix.name == name) {
+            return Err(DbError::Execution(format!("index '{name}' already exists")));
+        }
+        self.indexes.push(Index::build(name.to_string(), ci, &self.rows));
+        Ok(())
+    }
+
+    /// Is there an index over `column` (by position)?
+    pub fn has_index_on(&self, column: usize) -> bool {
+        self.indexes.iter().any(|ix| ix.column == column)
+    }
+
+    /// Indexed positions of rows whose `column` equals `key`, or `None` when
+    /// no index covers that column. NULL keys return an empty slice — SQL
+    /// `=` never matches NULL.
+    pub fn index_lookup(&self, column: usize, key: &ValueKey) -> Option<&[usize]> {
+        let ix = self.indexes.iter().find(|ix| ix.column == column)?;
+        if key.is_null() {
+            return Some(&[]);
+        }
+        Some(ix.map.get(key).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// `(index name, column name)` for every index, in creation order. Used
+    /// by the SQL dumper to round-trip indexes.
+    pub fn index_columns(&self) -> Vec<(String, String)> {
+        self.indexes
+            .iter()
+            .map(|ix| (ix.name.clone(), self.schema.columns[ix.column].name.clone()))
+            .collect()
     }
 
     /// Validate, coerce and append one row.
@@ -56,12 +126,20 @@ impl Table {
             let cv = v.coerce(col.dtype).map_err(DbError::Type)?;
             out.push(cv);
         }
+        let pos = self.rows.len();
+        for ix in &mut self.indexes {
+            let key = ValueKey::of(&out[ix.column]);
+            if !key.is_null() {
+                ix.map.entry(key).or_default().push(pos);
+            }
+        }
         self.rows.push(out);
         Ok(())
     }
 
     /// Append many rows (stops at the first bad row).
     pub fn insert_all(&mut self, rows: Vec<Row>) -> Result<usize, DbError> {
+        self.rows.reserve(rows.len());
         let mut n = 0;
         for r in rows {
             self.insert(r)?;
@@ -70,15 +148,21 @@ impl Table {
         Ok(n)
     }
 
-    /// Remove rows matching `pred`; returns the number removed.
+    /// Remove rows matching `pred`; returns the number removed. Deletion
+    /// shifts row positions, so all indexes are rebuilt afterwards.
     pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
         let before = self.rows.len();
         self.rows.retain(|r| !pred(r));
-        before - self.rows.len()
+        let removed = before - self.rows.len();
+        if removed > 0 {
+            self.rebuild_indexes();
+        }
+        removed
     }
 
     /// Update rows in place via `f`, which returns true when it modified the
-    /// row; returns the number of rows modified.
+    /// row; returns the number of rows modified. Indexes are rebuilt when
+    /// any row changed (an update may rewrite indexed key columns).
     pub fn update_where(&mut self, mut f: impl FnMut(&mut Row) -> bool) -> usize {
         let mut n = 0;
         for r in &mut self.rows {
@@ -86,7 +170,16 @@ impl Table {
                 n += 1;
             }
         }
+        if n > 0 {
+            self.rebuild_indexes();
+        }
         n
+    }
+
+    fn rebuild_indexes(&mut self) {
+        for ix in &mut self.indexes {
+            *ix = Index::build(ix.name.clone(), ix.column, &self.rows);
+        }
     }
 }
 
@@ -144,5 +237,81 @@ mod tests {
         let n = tb.delete_where(|r| r[1] == Value::Float(0.0));
         assert_eq!(n, 3);
         assert_eq!(tb.len(), 2);
+    }
+
+    fn lookup_ids(tb: &Table, key: i64) -> Vec<i64> {
+        tb.index_lookup(0, &ValueKey::of(&Value::Int(key)))
+            .unwrap()
+            .iter()
+            .map(|&i| tb.rows()[i][0].as_i64().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn index_tracks_insert_delete_update() {
+        let mut tb = t();
+        tb.create_index("by_id", "id").unwrap();
+        for i in 0..6 {
+            tb.insert(vec![Value::Int(i % 3), Value::Float(i as f64)]).unwrap();
+        }
+        assert_eq!(lookup_ids(&tb, 1), vec![1, 1]);
+        assert!(tb.index_lookup(0, &ValueKey::of(&Value::Int(9))).unwrap().is_empty());
+        // Delete shifts positions; the index must follow.
+        tb.delete_where(|r| r[0] == Value::Int(0));
+        assert_eq!(lookup_ids(&tb, 2), vec![2, 2]);
+        // Update rewrites the key column; the index must follow.
+        tb.update_where(|r| {
+            if r[0] == Value::Int(1) {
+                r[0] = Value::Int(7);
+                true
+            } else {
+                false
+            }
+        });
+        assert!(tb.index_lookup(0, &ValueKey::of(&Value::Int(1))).unwrap().is_empty());
+        assert_eq!(lookup_ids(&tb, 7), vec![7, 7]);
+    }
+
+    #[test]
+    fn index_built_over_existing_rows() {
+        let mut tb = t();
+        for i in 0..4 {
+            tb.insert(vec![Value::Int(i), Value::Null]).unwrap();
+        }
+        tb.create_index("by_id", "id").unwrap();
+        assert_eq!(lookup_ids(&tb, 2), vec![2]);
+        assert!(tb.has_index_on(0));
+        assert!(!tb.has_index_on(1));
+        assert_eq!(tb.index_columns(), vec![("by_id".to_string(), "id".to_string())]);
+    }
+
+    #[test]
+    fn index_skips_null_keys() {
+        let mut tb = Table::new(
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Float),
+            ])
+            .unwrap(),
+        );
+        tb.create_index("by_k", "k").unwrap();
+        tb.insert(vec![Value::Null, Value::Float(1.0)]).unwrap();
+        tb.insert(vec![Value::Int(5), Value::Float(2.0)]).unwrap();
+        // NULL never matches '='.
+        assert!(tb.index_lookup(0, &ValueKey::Null).unwrap().is_empty());
+        assert_eq!(tb.index_lookup(0, &ValueKey::of(&Value::Int(5))).unwrap(), &[1]);
+    }
+
+    #[test]
+    fn duplicate_index_rules() {
+        let mut tb = t();
+        tb.create_index("one", "id").unwrap();
+        // Same column again: no-op.
+        tb.create_index("two", "id").unwrap();
+        assert_eq!(tb.index_columns().len(), 1);
+        // Same name, different column: error.
+        assert!(tb.create_index("one", "bw").is_err());
+        // Unknown column: error.
+        assert!(tb.create_index("x", "zzz").is_err());
     }
 }

@@ -190,6 +190,50 @@ impl Value {
     }
 }
 
+/// Hashable key with the same equivalence classes as grouping, DISTINCT and
+/// equi-joins: numeric values (Int, Float, Bool-as-number is *not* included —
+/// see below, Timestamp) collapse onto their f64 image so `1` and `1.0`
+/// produce the same key, `-0.0` normalizes to `0.0`, text and bool keep their
+/// own identity, and NULL is its own variant (callers that implement SQL `=`
+/// must treat [`ValueKey::Null`] as matching nothing).
+///
+/// This is the `HashMap` key for hash joins, secondary indexes, GROUP BY and
+/// DISTINCT. It deliberately mirrors the engine's canonical string/byte
+/// encodings, not `Value::sql_eq` (which additionally equates `TRUE` with
+/// `1` — a cross-type comparison that never occurs within one typed column).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueKey {
+    /// NULL (never equal to anything under SQL `=`).
+    Null,
+    /// Normalized f64 bit pattern of a numeric value.
+    Num(u64),
+    /// Text identity.
+    Text(String),
+    /// Bool identity.
+    Bool(bool),
+}
+
+impl ValueKey {
+    /// Key of a value.
+    pub fn of(v: &Value) -> ValueKey {
+        match v {
+            Value::Null => ValueKey::Null,
+            Value::Text(s) => ValueKey::Text(s.clone()),
+            Value::Bool(b) => ValueKey::Bool(*b),
+            other => {
+                let f = other.as_f64().unwrap_or(f64::NAN);
+                let f = if f == 0.0 { 0.0 } else { f }; // normalize -0.0
+                ValueKey::Num(f.to_bits())
+            }
+        }
+    }
+
+    /// Is this the NULL key?
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueKey::Null)
+    }
+}
+
 fn type_rank(v: &Value) -> u8 {
     match v {
         Value::Null => 0,
@@ -382,6 +426,20 @@ mod tests {
         for bad in ["", "2004", "2004-13-01", "2004-00-10", "2004-01-32", "2004-1-1 25:00", "x-y-z"] {
             assert_eq!(parse_timestamp(bad), None, "{bad}");
         }
+    }
+
+    #[test]
+    fn value_key_equivalence_classes() {
+        assert_eq!(ValueKey::of(&Value::Int(1)), ValueKey::of(&Value::Float(1.0)));
+        assert_eq!(ValueKey::of(&Value::Float(0.0)), ValueKey::of(&Value::Float(-0.0)));
+        assert_eq!(ValueKey::of(&Value::Timestamp(5)), ValueKey::of(&Value::Int(5)));
+        assert_ne!(ValueKey::of(&Value::Int(1)), ValueKey::of(&Value::Text("1".into())));
+        assert_ne!(ValueKey::of(&Value::Bool(true)), ValueKey::of(&Value::Int(1)));
+        assert!(ValueKey::of(&Value::Null).is_null());
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ValueKey::of(&Value::Int(2)));
+        assert!(set.contains(&ValueKey::of(&Value::Float(2.0))));
     }
 
     #[test]

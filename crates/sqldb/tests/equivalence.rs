@@ -1,0 +1,180 @@
+//! Equivalence between the optimized pipeline (`Engine::query`: compiled
+//! expressions, streaming scans, index point lookups, hash joins, parallel
+//! segments) and the reference pipeline (`Engine::query_reference`:
+//! snapshots, interpreted evaluation, nested-loop joins).
+//!
+//! Both must return byte-identical result sets — same rows, same order —
+//! for every query the engine accepts. Tables stay below the parallel-scan
+//! threshold except in the dedicated large-table tests, so comparisons are
+//! exact (parallel float aggregation may differ in the last ulp).
+
+mod common;
+
+use common::Rng;
+use sqldb::{Engine, ResultSet, Value};
+
+const FS_NAMES: [&str; 4] = ["ufs", "nfs", "pvfs", "unknown"];
+
+/// Engine with a randomized `runs` table (and an index on `run_index` when
+/// `indexed`), plus a small `hosts` table for joins.
+fn random_engine(rng: &mut Rng, rows: usize, indexed: bool) -> Engine {
+    let e = Engine::new();
+    e.execute("CREATE TABLE runs (run_index INTEGER, fs TEXT, nodes INTEGER, bw FLOAT)")
+        .unwrap();
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let null_slot = rng.below(8); // sprinkle NULLs across all columns
+        data.push(vec![
+            if null_slot == 0 { Value::Null } else { Value::Int(rng.int(0, 20)) },
+            if null_slot == 1 {
+                Value::Null
+            } else {
+                Value::Text(FS_NAMES[rng.below(4) as usize].to_string())
+            },
+            if null_slot == 2 { Value::Null } else { Value::Int(1 << rng.below(5)) },
+            if null_slot == 3 { Value::Null } else { Value::Float(rng.float(0.0, 1000.0)) },
+        ]);
+    }
+    e.insert_rows("runs", data).unwrap();
+    if indexed {
+        e.execute("CREATE INDEX ix_eq_run_index ON runs (run_index)").unwrap();
+    }
+    e.execute("CREATE TABLE hosts (node_id INTEGER, rack TEXT)").unwrap();
+    let hosts: Vec<Vec<Value>> = (0..6)
+        .map(|i| vec![Value::Int(1 << i), Value::Text(format!("rack{}", i % 3))])
+        .collect();
+    e.insert_rows("hosts", hosts).unwrap();
+    e
+}
+
+fn assert_equivalent(e: &Engine, sql: &str) {
+    let optimized: Result<ResultSet, _> = e.query(sql);
+    let reference: Result<ResultSet, _> = e.query_reference(sql);
+    match (optimized, reference) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "result mismatch on: {sql}"),
+        (Err(a), Err(b)) => assert_eq!(a, b, "error mismatch on: {sql}"),
+        (a, b) => panic!("outcome mismatch on {sql}: optimized={a:?} reference={b:?}"),
+    }
+}
+
+/// Query shapes covering every optimized code path: point lookups,
+/// compiled filters, projections, fast and general aggregation, DISTINCT,
+/// ORDER BY, LIMIT.
+fn query_corpus(rng: &mut Rng) -> Vec<String> {
+    let k = rng.int(0, 20);
+    let b = rng.float(0.0, 1000.0);
+    vec![
+        format!("SELECT * FROM runs WHERE run_index = {k}"),
+        format!("SELECT * FROM runs WHERE {k} = run_index"),
+        format!("SELECT fs, bw FROM runs WHERE run_index = {k} AND bw > {b:.3}"),
+        format!("SELECT * FROM runs WHERE run_index = {k} OR bw > {b:.3}"),
+        format!("SELECT count(*), avg(bw), min(bw), max(bw) FROM runs WHERE run_index = {k}"),
+        format!("SELECT run_index, bw * 2 + 1 FROM runs WHERE bw > {b:.3} ORDER BY 2 DESC"),
+        "SELECT fs, count(*), sum(bw) FROM runs GROUP BY fs ORDER BY fs".to_string(),
+        "SELECT fs, nodes, avg(bw) FROM runs GROUP BY fs, nodes ORDER BY fs, nodes".to_string(),
+        format!("SELECT fs, avg(bw) + 1 FROM runs WHERE nodes >= 4 GROUP BY fs ORDER BY fs"),
+        "SELECT DISTINCT fs, nodes FROM runs ORDER BY fs, nodes LIMIT 7".to_string(),
+        "SELECT DISTINCT bw FROM runs".to_string(),
+        format!("SELECT upper(fs), abs(bw - {b:.3}) FROM runs WHERE fs IS NOT NULL LIMIT 11"),
+        "SELECT * FROM runs WHERE fs LIKE 'u%' ORDER BY run_index, bw".to_string(),
+        format!("SELECT * FROM runs WHERE nodes IN (1, 4, 16) AND run_index <> {k}"),
+        "SELECT count(*) FROM runs WHERE fs = 'ufs' AND NOT (nodes = 2)".to_string(),
+        "SELECT stddev(bw), variance(bw), median(bw) FROM runs".to_string(),
+        format!("SELECT run_index FROM runs WHERE run_index = {k} LIMIT 2"),
+        "SELECT run_index + nodes FROM runs WHERE bw IS NULL".to_string(),
+    ]
+}
+
+#[test]
+fn randomized_single_table_equivalence() {
+    let mut rng = Rng::new(0xE051);
+    for round in 0..25 {
+        let rows = rng.int(0, 120) as usize;
+        let e = random_engine(&mut rng, rows, round % 2 == 0);
+        for sql in query_corpus(&mut rng) {
+            assert_equivalent(&e, &sql);
+        }
+    }
+}
+
+#[test]
+fn join_equivalence_both_build_sides() {
+    let mut rng = Rng::new(0x0101);
+    // runs larger than hosts → build on hosts; reversed FROM order → build
+    // flips to the accumulated side. Both must match the nested loop.
+    for rows in [0, 1, 5, 40, 200] {
+        let e = random_engine(&mut rng, rows, false);
+        for sql in [
+            "SELECT runs.fs, hosts.rack FROM runs JOIN hosts ON runs.nodes = hosts.node_id",
+            "SELECT hosts.rack, runs.bw FROM hosts JOIN runs ON hosts.node_id = runs.nodes",
+            "SELECT hosts.rack, count(*), avg(runs.bw) FROM runs \
+             JOIN hosts ON runs.nodes = hosts.node_id GROUP BY hosts.rack ORDER BY hosts.rack",
+            "SELECT DISTINCT hosts.rack FROM runs JOIN hosts ON runs.nodes = hosts.node_id",
+        ] {
+            assert_equivalent(&e, sql);
+        }
+    }
+}
+
+#[test]
+fn index_maintenance_keeps_equivalence_through_mutations() {
+    let mut rng = Rng::new(0x0DE1);
+    let e = random_engine(&mut rng, 60, true);
+    let probes = |e: &Engine| {
+        for k in [0, 3, 7, 19, 99] {
+            assert_equivalent(e, &format!("SELECT * FROM runs WHERE run_index = {k}"));
+            assert_equivalent(
+                e,
+                &format!("SELECT count(*), sum(bw) FROM runs WHERE run_index = {k}"),
+            );
+        }
+        assert_equivalent(e, "SELECT * FROM runs WHERE run_index = NULL");
+        assert_equivalent(e, "SELECT * FROM runs WHERE run_index = 'text'");
+    };
+    probes(&e);
+    // INSERT, including NULL keys.
+    e.execute("INSERT INTO runs VALUES (3, 'ufs', 4, 1.5), (NULL, 'nfs', 2, 2.5)").unwrap();
+    probes(&e);
+    // DELETE shifts row positions under the index.
+    e.execute("DELETE FROM runs WHERE nodes = 4").unwrap();
+    probes(&e);
+    // UPDATE rewrites indexed keys (including to NULL).
+    e.execute("UPDATE runs SET run_index = 7 WHERE fs = 'pvfs'").unwrap();
+    e.execute("UPDATE runs SET run_index = NULL WHERE fs = 'nfs'").unwrap();
+    probes(&e);
+}
+
+#[test]
+fn large_table_parallel_scan_is_exact_for_plain_queries() {
+    // Above the parallel threshold; plain filter/project and min/max/count
+    // aggregation are order- and bit-exact regardless of segmentation.
+    let mut rng = Rng::new(0x0B16);
+    let e = random_engine(&mut rng, 10_000, true);
+    assert_equivalent(&e, "SELECT run_index, fs, bw FROM runs WHERE bw > 500.0");
+    assert_equivalent(&e, "SELECT * FROM runs WHERE fs = 'ufs' ORDER BY bw DESC LIMIT 20");
+    assert_equivalent(&e, "SELECT count(*), min(bw), max(bw) FROM runs WHERE nodes >= 4");
+    assert_equivalent(&e, "SELECT fs, count(*) FROM runs GROUP BY fs ORDER BY fs");
+    assert_equivalent(&e, "SELECT * FROM runs WHERE run_index = 13");
+}
+
+#[test]
+fn large_table_parallel_float_aggregates_within_tolerance() {
+    let mut rng = Rng::new(0xF10A7);
+    let e = random_engine(&mut rng, 10_000, false);
+    let sql = "SELECT fs, avg(bw), sum(bw), stddev(bw) FROM runs GROUP BY fs ORDER BY fs";
+    let a = e.query(sql).unwrap();
+    let b = e.query_reference(sql).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.rows().iter().zip(b.rows()) {
+        assert_eq!(ra[0], rb[0]);
+        for (va, vb) in ra[1..].iter().zip(&rb[1..]) {
+            match (va.as_f64(), vb.as_f64()) {
+                (Some(x), Some(y)) => {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    assert!((x - y).abs() / scale < 1e-9, "{va:?} vs {vb:?} in {sql}");
+                }
+                _ => assert_eq!(va, vb, "{sql}"),
+            }
+        }
+    }
+}

@@ -1,7 +1,9 @@
-//! Property-based tests for the database engine: SQL-computed aggregates and
+//! Randomized tests for the database engine: SQL-computed aggregates and
 //! filters must agree with independently computed oracles.
 
-use proptest::prelude::*;
+mod common;
+
+use common::Rng;
 use sqldb::{Engine, Value};
 
 fn load(values: &[(i64, f64, bool)]) -> Engine {
@@ -13,29 +15,46 @@ fn load(values: &[(i64, f64, bool)]) -> Engine {
     db
 }
 
-proptest! {
-    /// count / sum / min / max via SQL equal the straightforward fold.
-    #[test]
-    fn aggregates_match_oracle(vals in proptest::collection::vec((0i64..5, -100.0f64..100.0, any::<bool>()), 1..50)) {
+fn random_rows(
+    rng: &mut Rng,
+    max_k: i64,
+    span: f64,
+    min: usize,
+    max: usize,
+) -> Vec<(i64, f64, bool)> {
+    let n = min + rng.below((max - min) as u64 + 1) as usize;
+    (0..n).map(|_| (rng.int(0, max_k), rng.float(-span, span), rng.bool())).collect()
+}
+
+/// count / sum / min / max via SQL equal the straightforward fold.
+#[test]
+fn aggregates_match_oracle() {
+    let mut rng = Rng::new(0xA66);
+    for _ in 0..100 {
+        let vals = random_rows(&mut rng, 5, 100.0, 1, 49);
         let db = load(&vals);
         let rs = db.query("SELECT count(*), sum(v), min(v), max(v), avg(v) FROM t").unwrap();
         let row = &rs.rows()[0];
-        prop_assert_eq!(&row[0], &Value::Int(vals.len() as i64));
+        assert_eq!(&row[0], &Value::Int(vals.len() as i64));
         let sum: f64 = vals.iter().map(|x| x.1).sum();
         let min = vals.iter().map(|x| x.1).fold(f64::INFINITY, f64::min);
         let max = vals.iter().map(|x| x.1).fold(f64::NEG_INFINITY, f64::max);
         let avg = sum / vals.len() as f64;
         let get = |v: &Value| v.as_f64().unwrap();
-        prop_assert!((get(&row[1]) - sum).abs() < 1e-6);
-        prop_assert!((get(&row[2]) - min).abs() < 1e-12);
-        prop_assert!((get(&row[3]) - max).abs() < 1e-12);
-        prop_assert!((get(&row[4]) - avg).abs() < 1e-6);
+        assert!((get(&row[1]) - sum).abs() < 1e-6);
+        assert!((get(&row[2]) - min).abs() < 1e-12);
+        assert!((get(&row[3]) - max).abs() < 1e-12);
+        assert!((get(&row[4]) - avg).abs() < 1e-6);
     }
+}
 
-    /// GROUP BY partitions the rows: per-group counts sum to the total, and
-    /// each group's count matches the oracle.
-    #[test]
-    fn group_by_partitions(vals in proptest::collection::vec((0i64..4, -10.0f64..10.0, any::<bool>()), 1..60)) {
+/// GROUP BY partitions the rows: per-group counts sum to the total, and
+/// each group's count matches the oracle.
+#[test]
+fn group_by_partitions() {
+    let mut rng = Rng::new(0x9B0);
+    for _ in 0..100 {
+        let vals = random_rows(&mut rng, 4, 10.0, 1, 59);
         let db = load(&vals);
         let rs = db.query("SELECT k, count(*) FROM t GROUP BY k ORDER BY k").unwrap();
         let mut total = 0i64;
@@ -43,65 +62,90 @@ proptest! {
             let k = row[0].as_i64().unwrap();
             let c = row[1].as_i64().unwrap();
             let expect = vals.iter().filter(|x| x.0 == k).count() as i64;
-            prop_assert_eq!(c, expect);
+            assert_eq!(c, expect);
             total += c;
         }
-        prop_assert_eq!(total, vals.len() as i64);
+        assert_eq!(total, vals.len() as i64);
     }
+}
 
-    /// WHERE filtering equals the oracle predicate.
-    #[test]
-    fn where_filter_matches(vals in proptest::collection::vec((0i64..10, -10.0f64..10.0, any::<bool>()), 0..50), threshold in -10i64..10) {
+/// WHERE filtering equals the oracle predicate.
+#[test]
+fn where_filter_matches() {
+    let mut rng = Rng::new(0xF17);
+    for _ in 0..100 {
+        let vals = random_rows(&mut rng, 10, 10.0, 0, 49);
+        let threshold = rng.int(-10, 10);
         let db = load(&vals);
-        let rs = db.query(&format!("SELECT count(*) FROM t WHERE k >= {threshold} AND flag = TRUE")).unwrap();
+        let rs = db
+            .query(&format!("SELECT count(*) FROM t WHERE k >= {threshold} AND flag = TRUE"))
+            .unwrap();
         let expect = vals.iter().filter(|x| x.0 >= threshold && x.2).count() as i64;
-        prop_assert_eq!(&rs.rows()[0][0], &Value::Int(expect));
+        assert_eq!(&rs.rows()[0][0], &Value::Int(expect));
     }
+}
 
-    /// ORDER BY yields a sorted column; LIMIT never yields more rows than
-    /// asked for; DISTINCT never yields duplicates.
-    #[test]
-    fn order_limit_distinct(vals in proptest::collection::vec((0i64..6, -10.0f64..10.0, any::<bool>()), 0..40), limit in 0usize..20) {
+/// ORDER BY yields a sorted column; LIMIT never yields more rows than
+/// asked for; DISTINCT never yields duplicates.
+#[test]
+fn order_limit_distinct() {
+    let mut rng = Rng::new(0x0DD);
+    for _ in 0..100 {
+        let vals = random_rows(&mut rng, 6, 10.0, 0, 39);
+        let limit = rng.below(20) as usize;
         let db = load(&vals);
         let rs = db.query(&format!("SELECT v FROM t ORDER BY v LIMIT {limit}")).unwrap();
-        prop_assert!(rs.len() <= limit);
+        assert!(rs.len() <= limit);
         let col: Vec<f64> = rs.rows().iter().map(|r| r[0].as_f64().unwrap()).collect();
-        prop_assert!(col.windows(2).all(|w| w[0] <= w[1]));
+        assert!(col.windows(2).all(|w| w[0] <= w[1]));
 
         let rs = db.query("SELECT DISTINCT k FROM t").unwrap();
         let mut ks: Vec<i64> = rs.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
         let n = ks.len();
         ks.sort_unstable();
         ks.dedup();
-        prop_assert_eq!(n, ks.len());
+        assert_eq!(n, ks.len());
     }
+}
 
-    /// DELETE removes exactly the matching rows.
-    #[test]
-    fn delete_matches_oracle(vals in proptest::collection::vec((0i64..5, -10.0f64..10.0, any::<bool>()), 0..40), cut in 0i64..5) {
+/// DELETE removes exactly the matching rows.
+#[test]
+fn delete_matches_oracle() {
+    let mut rng = Rng::new(0xDE1);
+    for _ in 0..100 {
+        let vals = random_rows(&mut rng, 5, 10.0, 0, 39);
+        let cut = rng.int(0, 5);
         let db = load(&vals);
         let removed = db.execute(&format!("DELETE FROM t WHERE k = {cut}")).unwrap();
         let expect_removed = vals.iter().filter(|x| x.0 == cut).count();
-        prop_assert_eq!(removed, expect_removed);
-        prop_assert_eq!(db.row_count("t").unwrap(), vals.len() - expect_removed);
+        assert_eq!(removed, expect_removed);
+        assert_eq!(db.row_count("t").unwrap(), vals.len() - expect_removed);
     }
+}
 
-    /// Text round-trips through SQL string literals unharmed (including
-    /// embedded quotes).
-    #[test]
-    fn text_roundtrip(s in "[ -~]{0,30}") {
+/// Text round-trips through SQL string literals unharmed (including
+/// embedded quotes).
+#[test]
+fn text_roundtrip() {
+    let mut rng = Rng::new(0x7E7);
+    for _ in 0..200 {
+        let s = rng.printable(30);
         let db = Engine::new();
         db.execute("CREATE TABLE s (x TEXT)").unwrap();
         let quoted = s.replace('\'', "''");
         db.execute(&format!("INSERT INTO s VALUES ('{quoted}')")).unwrap();
         let rs = db.query("SELECT x FROM s").unwrap();
-        prop_assert_eq!(&rs.rows()[0][0], &Value::Text(s));
+        assert_eq!(&rs.rows()[0][0], &Value::Text(s));
     }
+}
 
-    /// The SQL parser never panics on arbitrary input.
-    #[test]
-    fn parser_total(junk in "[ -~]{0,64}") {
-        let db = Engine::new();
+/// The SQL parser never panics on arbitrary input.
+#[test]
+fn parser_total() {
+    let mut rng = Rng::new(0x90F);
+    let db = Engine::new();
+    for _ in 0..500 {
+        let junk = rng.printable(64);
         let _ = db.execute(&junk);
         let _ = db.query(&junk);
     }

@@ -1,29 +1,40 @@
 //! Deterministic noise sources for the workload models.
-
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+//!
+//! Backed by a local splitmix64 generator: one multiply/xor-shift round per
+//! draw, full 64-bit state, no external dependency. Statistical quality is
+//! far beyond what the workload models need (the moment tests below check
+//! it), and every stream is reproducible from its seed.
 
 /// A seeded noise source.
 pub struct Noise {
-    rng: StdRng,
+    state: u64,
 }
 
 impl Noise {
     /// New source from a seed.
     pub fn new(seed: u64) -> Self {
-        Noise { rng: StdRng::seed_from_u64(seed) }
+        Noise { state: seed }
+    }
+
+    /// Next raw 64-bit draw (splitmix64).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.random::<f64>()
+        // 53 high bits -> the full double mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Standard normal via Box–Muller (rand_distr is not on the approved
-    /// dependency list).
+    /// Standard normal via Box–Muller.
     pub fn standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.rng.random::<f64>().max(1e-12);
-        let u2: f64 = self.rng.random::<f64>();
+        let u1: f64 = self.uniform().max(1e-12);
+        let u2: f64 = self.uniform();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -40,7 +51,9 @@ impl Noise {
 
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: u64) -> u64 {
-        self.rng.random_range(0..n)
+        // Multiply-shift maps the 64-bit draw onto [0, n) without the
+        // modulo's low-bit bias.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
     }
 }
 
@@ -96,6 +109,20 @@ mod tests {
         let mut n = Noise::new(13);
         for _ in 0..1000 {
             assert!(n.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn uniform_in_unit_interval_and_spread() {
+        let mut n = Noise::new(17);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            let u = n.uniform();
+            assert!((0.0..1.0).contains(&u));
+            buckets[(u * 10.0) as usize] += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            assert!((700..1300).contains(b), "bucket {i} has {b} hits");
         }
     }
 }

@@ -1,74 +1,116 @@
-//! Property-based tests: serialization/parsing round trips on random trees.
+//! Randomized tests: serialization/parsing round trips on random trees,
+//! driven by a seeded splitmix64 generator (reproducible, offline).
 
-use proptest::prelude::*;
 use xmlite::{parse, to_string, to_string_pretty, Document, Element};
 
-/// Strategy producing random element trees of bounded depth and width.
-fn arb_element() -> impl Strategy<Value = Element> {
-    let name = "[a-z][a-z0-9_]{0,8}";
-    let text = "[ -%'-;=-~]{0,16}"; // printable ASCII minus '<' and '&'
-    let leaf = (name, text).prop_map(|(n, t)| {
-        let e = Element::new(&n);
-        if t.trim().is_empty() {
-            e
-        } else {
-            e.with_text(&t)
-        }
-    });
-    leaf.prop_recursive(3, 24, 4, move |inner| {
-        (
-            "[a-z][a-z0-9_]{0,8}",
-            proptest::collection::vec(("[a-z][a-z0-9]{0,5}", "[ !#-%'-;=-~]{0,10}"), 0..3),
-            proptest::collection::vec(inner, 0..4),
-        )
-            .prop_map(|(n, attrs, children)| {
-                let mut e = Element::new(&n);
-                for (k, v) in attrs {
-                    // set_attr dedupes keys, which parsing requires.
-                    e.set_attr(&k, &v);
-                }
-                for c in children {
-                    e = e.with_child(c);
-                }
-                e
-            })
-    })
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    fn string(&mut self, alphabet: &[u8], min: usize, max: usize) -> String {
+        let len = min + self.below((max - min) as u64 + 1) as usize;
+        (0..len).map(|_| alphabet[self.below(alphabet.len() as u64) as usize] as char).collect()
+    }
 }
 
-proptest! {
-    /// parse(to_string(t)) == t for arbitrary trees.
-    #[test]
-    fn compact_roundtrip(root in arb_element()) {
-        let doc = Document::from_root(root);
+const NAME_FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const NAME_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+// Printable ASCII minus '<' and '&' (text) resp. minus '<', '&', '"' (attrs).
+const TEXT_CHARS: &[u8] =
+    b" !#$%'()*+,-./0123456789:;=?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[]^_abcdefghijklmnopqrstuvwxyz{|}~";
+
+fn name(rng: &mut Rng) -> String {
+    format!("{}{}", rng.string(NAME_FIRST, 1, 1), rng.string(NAME_REST, 0, 8))
+}
+
+/// Random element tree of bounded depth and width.
+fn arb_element(rng: &mut Rng, depth: usize) -> Element {
+    let mut e = Element::new(&name(rng));
+    for _ in 0..rng.below(3) {
+        // set_attr dedupes keys, which parsing requires.
+        e.set_attr(&name(rng), &rng.string(TEXT_CHARS, 0, 10));
+    }
+    if depth == 0 || rng.below(3) == 0 {
+        let t = rng.string(TEXT_CHARS, 0, 16);
+        if !t.trim().is_empty() {
+            return e.with_text(&t);
+        }
+        return e;
+    }
+    for _ in 0..rng.below(4) {
+        e = e.with_child(arb_element(rng, depth - 1));
+    }
+    e
+}
+
+/// parse(to_string(t)) == t for arbitrary trees.
+#[test]
+fn compact_roundtrip() {
+    let mut rng = Rng(0xC0);
+    for _ in 0..200 {
+        let doc = Document::from_root(arb_element(&mut rng, 3));
         let s = to_string(&doc);
         let back = parse(&s).expect("serializer must emit well-formed XML");
-        prop_assert_eq!(back, doc);
+        assert_eq!(back, doc);
     }
+}
 
-    /// Pretty-printing parses back to the same tree (whitespace-only text is
-    /// insignificant by design).
-    #[test]
-    fn pretty_roundtrip(root in arb_element()) {
-        let doc = Document::from_root(root);
+/// Pretty-printing parses back to the same tree (whitespace-only text is
+/// insignificant by design).
+#[test]
+fn pretty_roundtrip() {
+    let mut rng = Rng(0xC1);
+    for _ in 0..200 {
+        let doc = Document::from_root(arb_element(&mut rng, 3));
         let s = to_string_pretty(&doc);
         let back = parse(&s).expect("pretty serializer must emit well-formed XML");
-        prop_assert_eq!(back, doc);
+        assert_eq!(back, doc);
     }
+}
 
-    /// Escaping is total: any attribute value and text survives a round trip.
-    #[test]
-    fn hostile_content_roundtrip(attr in "[ -~]{0,20}", text in "[ -~]{1,20}") {
+/// Escaping is total: any attribute value and text survives a round trip.
+#[test]
+fn hostile_content_roundtrip() {
+    let mut rng = Rng(0xC2);
+    for _ in 0..300 {
+        let attr: String =
+            (0..rng.below(21)).map(|_| (b' ' + rng.below(95) as u8) as char).collect();
+        let text: String =
+            (0..1 + rng.below(20)).map(|_| (b' ' + rng.below(95) as u8) as char).collect();
         let root = Element::new("x").with_attr("a", &attr).with_text(&text);
         let expect_text = text.trim().to_string();
         let doc = Document::from_root(root);
         let back = parse(&to_string(&doc)).unwrap();
-        prop_assert_eq!(back.root.attr("a").unwrap(), attr.as_str());
-        prop_assert_eq!(back.root.text(), expect_text);
+        assert_eq!(back.root.attr("a").unwrap(), attr.as_str());
+        assert_eq!(back.root.text(), expect_text);
     }
+}
 
-    /// The parser never panics on arbitrary input.
-    #[test]
-    fn parser_total(junk in "[ -~\\n]{0,64}") {
+/// The parser never panics on arbitrary input.
+#[test]
+fn parser_total() {
+    let mut rng = Rng(0xC3);
+    for _ in 0..500 {
+        let junk: String = (0..rng.below(65))
+            .map(|_| {
+                if rng.below(20) == 0 {
+                    '\n'
+                } else {
+                    (b' ' + rng.below(95) as u8) as char
+                }
+            })
+            .collect();
         let _ = parse(&junk);
     }
 }

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Offline smoke test: full release build, the complete test suite, and the
+# sqldb hot-path microbenchmarks (writes BENCH_sqldb.json to the repo root).
+# Must pass with no network access and no external crates.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== microbench =="
+cargo run --release -p bench --bin microbench
+
+echo "smoke: OK"

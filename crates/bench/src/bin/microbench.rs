@@ -1,5 +1,7 @@
 //! sqldb hot-path microbenchmarks: optimized pipeline vs the reference
-//! executor (snapshot + interpreted evaluation + nested-loop joins).
+//! executor (snapshot + interpreted evaluation + nested-loop joins), plus a
+//! sharded-aggregation benchmark comparing pushdown against frontend
+//! materialization on a simulated LAN cluster.
 //!
 //! Std-only by design — no external harness. Each benchmark reports the
 //! median wall-clock ns/op over `TRIALS` timed trials and writes
@@ -7,8 +9,14 @@
 //!
 //! Run with: `cargo run --release -p bench --bin microbench`
 
-use sqldb::{Engine, Value};
+use perfbase_core::experiment::{ExperimentDb, ExperimentDef, Meta, Variable, VarKind};
+use perfbase_core::query::spec::query_from_str;
+use perfbase_core::query::QueryRunner;
+use sqldb::cluster::{Cluster, LatencyModel};
+use sqldb::{DataType, Engine, Value};
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Rows in the benchmark `runs` table — large enough that scans dominate
@@ -100,6 +108,85 @@ fn bench_pair(e: &Engine, name: &'static str, sql: &str) -> BenchResult {
     BenchResult { name, optimized_ns, baseline_ns }
 }
 
+/// Result of the sharded-aggregation benchmark: a grouped AVG over a
+/// multi-run experiment sharded across a 4-node LAN cluster, once with
+/// aggregation pushdown and once with frontend materialization.
+struct ShardBench {
+    nodes: usize,
+    runs: i64,
+    pushed_ns: u64,
+    materialized_ns: u64,
+    rows_pushed: u64,
+    rows_materialized: u64,
+}
+
+impl ShardBench {
+    fn row_ratio(&self) -> f64 {
+        self.rows_materialized as f64 / self.rows_pushed.max(1) as f64
+    }
+}
+
+fn bench_sharded_aggregation() -> ShardBench {
+    const RUNS: i64 = 8;
+    const DATASETS: usize = 1000;
+    const NODES: usize = 4;
+
+    let mut def = ExperimentDef::new(Meta { name: "shard".into(), ..Meta::default() }, "bench");
+    def.add_variable(Variable::new("technique", VarKind::Parameter, DataType::Text).once())
+        .expect("technique");
+    def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int)).expect("chunk");
+    def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).expect("bw");
+    let db = ExperimentDb::create(Arc::new(Engine::new()), def).expect("create");
+
+    // bw is constant within each (technique, chunk) group so the merged
+    // AVG (Σsum/Σcount) and the single-pass mean agree bit-for-bit.
+    for run in 0..RUNS {
+        let technique = if run % 2 == 0 { "old" } else { "new" };
+        let once: HashMap<String, Value> =
+            [("technique".to_string(), Value::Text(technique.into()))].into();
+        let datasets: Vec<HashMap<String, Value>> = (0..DATASETS)
+            .map(|i| {
+                let chunk = 1i64 << (i % 4);
+                [
+                    ("chunk".to_string(), Value::Int(chunk)),
+                    ("bw".to_string(), Value::Float(chunk as f64 / 4.0 + (run % 2) as f64)),
+                ]
+                .into()
+            })
+            .collect();
+        db.add_run(&once, &datasets, 1000 + run).expect("add_run");
+    }
+    let cluster = Arc::new(Cluster::with_frontend(db.engine().clone(), NODES, LatencyModel::lan()));
+    db.attach_cluster(cluster).expect("attach");
+
+    let spec = r#"<query name="shard"><source id="s">
+         <parameter name="technique" carry="true"/>
+         <parameter name="chunk" carry="true"/>
+         <value name="bw"/>
+       </source>
+       <operator id="a" type="avg" input="s"/>
+       <output id="o" input="a" format="csv"/></query>"#;
+    let query = || query_from_str(spec).expect("spec");
+
+    let pushed = QueryRunner::new(&db).run(query()).expect("pushdown query");
+    let materialized =
+        QueryRunner::new(&db).pushdown(false).run(query()).expect("fallback query");
+    assert_eq!(
+        pushed.artifacts["o"], materialized.artifacts["o"],
+        "sharded pushdown and materialization disagree"
+    );
+    let rows_pushed = pushed.transfer.expect("transfer stats").rows;
+    let rows_materialized = materialized.transfer.expect("transfer stats").rows;
+
+    let pushed_ns = median_ns(|| {
+        QueryRunner::new(&db).run(query()).expect("pushdown query");
+    });
+    let materialized_ns = median_ns(|| {
+        QueryRunner::new(&db).pushdown(false).run(query()).expect("fallback query");
+    });
+    ShardBench { nodes: NODES, runs: RUNS, pushed_ns, materialized_ns, rows_pushed, rows_materialized }
+}
+
 fn main() {
     let e = build_engine();
 
@@ -133,29 +220,69 @@ fn main() {
          GROUP BY hosts.rack ORDER BY hosts.rack",
     );
 
+    let shard = bench_sharded_aggregation();
+    assert!(
+        shard.row_ratio() >= 10.0,
+        "pushdown should move >=10x fewer rows than materialization (got {:.1}x)",
+        shard.row_ratio()
+    );
+
     let results = [point, agg, filter, join];
     let mut json = String::from("{\n  \"rows\": ");
     let _ = write!(json, "{ROWS},\n  \"benchmarks\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    for r in results.iter() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"optimized_ns\": {}, \"baseline_ns\": {}, \"speedup\": {:.2}}}{}",
+            "    {{\"name\": \"{}\", \"optimized_ns\": {}, \"baseline_ns\": {}, \"speedup\": {:.2}}},",
             r.name,
             r.optimized_ns,
             r.baseline_ns,
             r.speedup(),
-            if i + 1 < results.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"sharded_aggregation\", \"optimized_ns\": {}, \"baseline_ns\": {}, \"speedup\": {:.2}}}",
+        shard.pushed_ns,
+        shard.materialized_ns,
+        shard.materialized_ns as f64 / shard.pushed_ns.max(1) as f64,
+    );
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"sharded_aggregation\": {{\"nodes\": {}, \"runs\": {}, \"latency\": \"lan\", \
+         \"rows_pushed\": {}, \"rows_materialized\": {}, \"row_ratio\": {:.1}}}",
+        shard.nodes,
+        shard.runs,
+        shard.rows_pushed,
+        shard.rows_materialized,
+        shard.row_ratio(),
+    );
+    json.push_str("}\n");
     std::fs::write("BENCH_sqldb.json", &json).expect("write BENCH_sqldb.json");
 
-    println!("{:<16} {:>14} {:>14} {:>9}", "benchmark", "optimized", "baseline", "speedup");
+    println!("{:<20} {:>14} {:>14} {:>9}", "benchmark", "optimized", "baseline", "speedup");
     for r in &results {
         println!(
-            "{:<16} {:>11} ns {:>11} ns {:>8.2}x",
+            "{:<20} {:>11} ns {:>11} ns {:>8.2}x",
             r.name, r.optimized_ns, r.baseline_ns, r.speedup()
         );
     }
-    println!("\nwrote BENCH_sqldb.json");
+    println!(
+        "{:<20} {:>11} ns {:>11} ns {:>8.2}x",
+        "sharded_aggregation",
+        shard.pushed_ns,
+        shard.materialized_ns,
+        shard.materialized_ns as f64 / shard.pushed_ns.max(1) as f64
+    );
+    println!(
+        "\nsharded aggregation ({} nodes, {} runs, lan latency): {} row(s) pushed vs {} \
+         materialized ({:.1}x fewer)",
+        shard.nodes,
+        shard.runs,
+        shard.rows_pushed,
+        shard.rows_materialized,
+        shard.row_ratio()
+    );
+    println!("wrote BENCH_sqldb.json");
 }

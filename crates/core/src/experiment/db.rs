@@ -12,19 +12,31 @@
 //!   run.
 //! * `pb_rundata_<id>(<multiple-occurrence variables>)` — "for each new run,
 //!   one table is created which contains the tabular data".
+//! * `pb_shards(run_id, node)` — present once a cluster has been attached:
+//!   the persisted shard map recording which node owns each run's data
+//!   table (see [`ExperimentDb::attach_cluster`]).
 
+use super::shard::Sharding;
 use super::{AccessLevel, ExperimentDef, Occurrence, Variable};
 use crate::error::{Error, Result};
 use crate::xmldef;
+use sqldb::cluster::{Cluster, ShardMap};
 use sqldb::sync::RwLock;
-use sqldb::{Column, DataType, Engine, Schema, Value};
+use sqldb::{Column, DataType, Engine, ResultSet, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// An experiment bound to a database engine.
+///
+/// All metadata (`pb_meta`, `pb_users`, `pb_imports`, `pb_runs`,
+/// `pb_shards`) always lives on `engine` — the *frontend*. Per-run data
+/// tables live on the frontend too until a cluster is attached via
+/// [`ExperimentDb::attach_cluster`], after which each `pb_rundata_<id>`
+/// table lives on the node its [`ShardMap`] assignment names.
 pub struct ExperimentDb {
     engine: Arc<Engine>,
     def: RwLock<ExperimentDef>,
+    shards: RwLock<Option<Arc<Sharding>>>,
 }
 
 /// One row of `pb_runs`, decoded.
@@ -53,7 +65,7 @@ impl ExperimentDb {
         )?;
         engine.create_table("pb_runs", runs_schema(&def))?;
         create_hot_path_indexes(&engine)?;
-        let db = ExperimentDb { engine, def: RwLock::new(def) };
+        let db = ExperimentDb { engine, def: RwLock::new(def), shards: RwLock::new(None) };
         db.persist_definition()?;
         Ok(db)
     }
@@ -70,7 +82,7 @@ impl ExperimentDb {
         // Databases restored from dumps made before indexes existed get
         // them here; IF NOT EXISTS makes this idempotent.
         create_hot_path_indexes(&engine)?;
-        Ok(ExperimentDb { engine, def: RwLock::new(def) })
+        Ok(ExperimentDb { engine, def: RwLock::new(def), shards: RwLock::new(None) })
     }
 
     /// The underlying engine.
@@ -81,6 +93,121 @@ impl ExperimentDb {
     /// A clone of the current definition.
     pub fn definition(&self) -> ExperimentDef {
         self.def.read().clone()
+    }
+
+    /// The current sharding context, if a cluster is attached.
+    pub fn sharding(&self) -> Option<Arc<Sharding>> {
+        self.shards.read().clone()
+    }
+
+    /// Attach a simulated cluster and shard the run data across it.
+    ///
+    /// The cluster's frontend node must be this experiment's own engine
+    /// (build it with [`Cluster::with_frontend`]). Placements recorded in
+    /// `pb_shards` from an earlier attachment are honoured — so existing
+    /// runs stay on their nodes when the cluster grows, and only runs whose
+    /// node no longer exists are re-hashed. Each `pb_rundata_<id>` table
+    /// currently on the frontend migrates to its owning node; this initial
+    /// placement is *not* charged to [`sqldb::cluster::TransferStats`]
+    /// (it models data already living there), and the stats are reset
+    /// afterwards so they reflect query traffic only.
+    pub fn attach_cluster(&self, cluster: Arc<Cluster>) -> Result<()> {
+        if !Arc::ptr_eq(&cluster.frontend().engine, &self.engine) {
+            return Err(Error::Query(
+                "cluster frontend (node 0) must be the experiment's own engine \
+                 (use Cluster::with_frontend)"
+                    .into(),
+            ));
+        }
+        let mut existing: Vec<(i64, usize)> = Vec::new();
+        if self.engine.has_table("pb_shards") {
+            let rs = self.engine.query("SELECT run_id, node FROM pb_shards ORDER BY run_id")?;
+            for r in rs.rows() {
+                if let (Some(id), Some(n)) = (r[0].as_i64(), r[1].as_i64()) {
+                    existing.push((id, n as usize));
+                }
+            }
+        }
+        let map = ShardMap::with_assignments(cluster.len(), existing);
+        for run_id in self.run_ids()? {
+            let owner = map.place(run_id);
+            let table = rundata_table(run_id);
+            if owner != 0 && self.engine.has_table(&table) {
+                let (schema, rows) = self.engine.read_snapshot(&table)?;
+                let dst = &cluster.node(owner).engine;
+                dst.drop_table(&table, true)?;
+                dst.create_table(&table, schema)?;
+                dst.insert_rows(&table, rows)?;
+                self.engine.drop_table(&table, false)?;
+            }
+        }
+        self.persist_shard_map(&map)?;
+        cluster.reset_stats();
+        *self.shards.write() = Some(Arc::new(Sharding::new(cluster, map)));
+        Ok(())
+    }
+
+    /// Detach the cluster, moving every remote `pb_rundata_<id>` table back
+    /// to the frontend so the database is self-contained again (e.g. before
+    /// saving it to a dump file). The persisted `pb_shards` map is kept, so
+    /// a later [`ExperimentDb::attach_cluster`] restores the same placement.
+    pub fn detach_cluster(&self) -> Result<()> {
+        let Some(sh) = self.shards.write().take() else {
+            return Ok(());
+        };
+        for (run_id, node) in sh.map().assignments() {
+            let table = rundata_table(run_id);
+            let src = &sh.cluster().node(node).engine;
+            if node != 0 && src.has_table(&table) {
+                let (schema, rows) = src.read_snapshot(&table)?;
+                self.engine.drop_table(&table, true)?;
+                self.engine.create_table(&table, schema)?;
+                self.engine.insert_rows(&table, rows)?;
+                src.drop_table(&table, false)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The engine holding `run_id`'s data table: the owning node's engine
+    /// when sharded, the experiment engine otherwise.
+    pub fn rundata_engine(&self, run_id: i64) -> Arc<Engine> {
+        match self.sharding() {
+            Some(sh) => sh.engine_of(run_id).clone(),
+            None => self.engine.clone(),
+        }
+    }
+
+    /// Run `sql` against `run_id`'s data table *where it lives* and return
+    /// the rows to the frontend. When the owner is a remote node this goes
+    /// through [`sqldb::cluster::Cluster::fetch`], charging the simulated
+    /// link for every returned row — the accounting behind both the
+    /// aggregation-pushdown win and the fallback materialization cost.
+    pub fn query_run_data(&self, run_id: i64, sql: &str) -> Result<ResultSet> {
+        match self.sharding() {
+            Some(sh) => {
+                let owner = sh.owner_of(run_id);
+                if owner == 0 {
+                    Ok(self.engine.query(sql)?)
+                } else {
+                    Ok(sh.cluster().fetch(owner, 0, sql)?)
+                }
+            }
+            None => Ok(self.engine.query(sql)?),
+        }
+    }
+
+    fn persist_shard_map(&self, map: &ShardMap) -> Result<()> {
+        self.engine.drop_table("pb_shards", true)?;
+        self.engine
+            .execute("CREATE TABLE pb_shards (run_id INTEGER NOT NULL, node INTEGER NOT NULL)")?;
+        let rows: Vec<Vec<Value>> = map
+            .assignments()
+            .into_iter()
+            .map(|(r, n)| vec![Value::Int(r), Value::Int(n as i64)])
+            .collect();
+        self.engine.insert_rows("pb_shards", rows)?;
+        Ok(())
     }
 
     /// Check user access (paper §4.2 user classes).
@@ -211,7 +338,6 @@ impl ExperimentDb {
         self.engine.insert_rows("pb_runs", vec![row])?;
 
         let data_table = rundata_table(run_id);
-        self.engine.create_table(&data_table, rundata_schema(&def))?;
         let multi: Vec<&Variable> = def.variables_with(Occurrence::Multiple).collect();
         let mut rows = Vec::with_capacity(datasets.len());
         for ds in datasets {
@@ -226,7 +352,29 @@ impl ExperimentDb {
             }
             rows.push(r);
         }
-        self.engine.insert_rows(&data_table, rows)?;
+        // Route the data table to the run's owning node; imported data
+        // arrives at the frontend, so shipping it to a remote owner is
+        // charged as a real transfer (header + payload).
+        match self.sharding() {
+            Some(sh) => {
+                let owner = sh.owner_of(run_id);
+                let target = &sh.cluster().node(owner).engine;
+                target.create_table(&data_table, rundata_schema(&def))?;
+                let n = rows.len();
+                target.insert_rows(&data_table, rows)?;
+                if owner != 0 {
+                    sh.cluster().charge_shipment(n);
+                }
+                self.engine.insert_rows(
+                    "pb_shards",
+                    vec![vec![Value::Int(run_id), Value::Int(owner as i64)]],
+                )?;
+            }
+            None => {
+                self.engine.create_table(&data_table, rundata_schema(&def))?;
+                self.engine.insert_rows(&data_table, rows)?;
+            }
+        }
         Ok(run_id)
     }
 
@@ -250,7 +398,7 @@ impl ExperimentDb {
         for (i, v) in def.variables_with(Occurrence::Once).enumerate() {
             once_values.push((v.name.clone(), row[2 + i].clone()));
         }
-        let datasets = self.engine.row_count(&rundata_table(run_id))?;
+        let datasets = self.rundata_engine(run_id).row_count(&rundata_table(run_id))?;
         Ok(RunSummary {
             run_id,
             created: row[1].as_i64().unwrap_or(0),
@@ -261,7 +409,7 @@ impl ExperimentDb {
 
     /// Column names and rows of a run's data-set table.
     pub fn run_datasets(&self, run_id: i64) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
-        let (schema, rows) = self.engine.read_snapshot(&rundata_table(run_id))?;
+        let (schema, rows) = self.rundata_engine(run_id).read_snapshot(&rundata_table(run_id))?;
         Ok((schema.names(), rows))
     }
 
@@ -273,7 +421,11 @@ impl ExperimentDb {
         if n == 0 {
             return Err(Error::Query(format!("no run with id {run_id}")));
         }
-        self.engine.drop_table(&rundata_table(run_id), true)?;
+        self.rundata_engine(run_id).drop_table(&rundata_table(run_id), true)?;
+        if let Some(sh) = self.sharding() {
+            sh.map().remove(run_id);
+            self.engine.execute(&format!("DELETE FROM pb_shards WHERE run_id = {run_id}"))?;
+        }
         self.engine
             .execute(&format!("DELETE FROM pb_imports WHERE run_id = {run_id}"))?;
         Ok(())

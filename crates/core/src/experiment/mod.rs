@@ -8,8 +8,10 @@
 //! vectors (*multiple occurrence*) whose element tuples form *data sets*.
 
 mod db;
+pub mod shard;
 
 pub use db::{ExperimentDb, RunSummary};
+pub use shard::Sharding;
 pub(crate) use db::rundata_table as rundata_table_name;
 
 use crate::error::{Error, Result};

@@ -14,15 +14,32 @@
 //!   a single element;
 //! * two or more input vectors → element-wise operation after aligning the
 //!   vectors on their common parameters.
+//!
+//! # Sharded execution (Fig. 3 at data scale)
+//!
+//! When the experiment database is attached to a cluster
+//! ([`ExperimentDb::attach_cluster`]), each run's data table lives on its
+//! owning node. The runner then rewrites eligible *source → aggregation*
+//! pairs into **aggregation pushdown**: every owning node computes partial
+//! aggregates (`count`/`sum`/`min`/`max`, with `avg` decomposed into
+//! `sum` + `count`) over its local shard, and only the reduced partials
+//! cross the simulated link before being merged on the frontend. Sources
+//! that cannot be pushed down (non-decomposable operators like `median`,
+//! multiple consumers, run-level values) **fall back** to materialising
+//! the remote shards on the frontend row by row. Both paths charge the
+//! cluster's [`TransferStats`], reported per query in
+//! [`QueryOutcome::transfer`], and both return exactly the rows an
+//! unsharded run returns.
 
 use super::spec::{
     CombinerSpec, ElementKind, OpKind, OutputSpec, QuerySpec, SourceSpec,
 };
 use super::{DataVector, QueryDag};
 use crate::error::{Error, Result};
-use crate::experiment::{ExperimentDb, Occurrence};
+use crate::experiment::{ExperimentDb, ExperimentDef, Occurrence};
 use crate::output;
-use sqldb::aggregate::AggKind;
+use sqldb::aggregate::{Accumulator, AggKind};
+use sqldb::cluster::TransferStats;
 use sqldb::{Engine, Value};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -52,6 +69,11 @@ pub struct QueryOutcome {
     pub artifacts: HashMap<String, String>,
     /// Per-element timings in execution order.
     pub timings: Vec<ElementTiming>,
+    /// Simulated interconnect traffic this query caused (messages, rows
+    /// moved, simulated latency) — `Some` only when executed against a
+    /// cluster, as the delta of the cluster's [`TransferStats`] across the
+    /// run.
+    pub transfer: Option<TransferStats>,
 }
 
 impl QueryOutcome {
@@ -68,21 +90,84 @@ impl QueryOutcome {
 }
 
 /// Sequential query runner over the experiment's own database engine.
+///
+/// When the experiment is sharded across a cluster, the runner pushes
+/// eligible aggregations down to the data-owning nodes (see the module
+/// docs); [`QueryRunner::pushdown`] can force the fallback path instead,
+/// which is useful for measuring what the pushdown saves.
 pub struct QueryRunner<'a> {
     db: &'a ExperimentDb,
+    pushdown: bool,
 }
 
 impl<'a> QueryRunner<'a> {
-    /// New runner.
+    /// New runner (aggregation pushdown enabled).
     pub fn new(db: &'a ExperimentDb) -> Self {
-        QueryRunner { db }
+        QueryRunner { db, pushdown: true }
     }
 
-    /// Execute `spec` and drop all temporary tables afterwards unless
-    /// `keep_temps` was requested.
+    /// Enable or disable aggregation pushdown on sharded databases. With
+    /// pushdown off, every remote shard is materialised on the frontend
+    /// (the fallback path) — results are identical, only the interconnect
+    /// traffic differs.
+    pub fn pushdown(mut self, enabled: bool) -> Self {
+        self.pushdown = enabled;
+        self
+    }
+
+    /// Which operator elements can fuse with their source input into a
+    /// sharded aggregation pushdown: `fused[op_idx] = Some(source_idx)`.
+    ///
+    /// The rewrite applies when the operator is a decomposable aggregate
+    /// (`count`/`sum`/`min`/`max`/`avg`), its only input is a source, the
+    /// source feeds nothing else, and the source's values are all
+    /// multiple-occurrence (run-level values never touch the data tables,
+    /// so there is nothing to push).
+    fn plan_pushdown(&self, dag: &QueryDag, def: &ExperimentDef) -> Vec<Option<usize>> {
+        let n = dag.spec.elements.len();
+        let mut fused: Vec<Option<usize>> = vec![None; n];
+        let sharded_over_multiple_nodes = self
+            .db
+            .sharding()
+            .map(|sh| sh.cluster().len() > 1)
+            .unwrap_or(false);
+        if !self.pushdown || !sharded_over_multiple_nodes {
+            return fused;
+        }
+        for j in 0..n {
+            let ElementKind::Operator(o) = &dag.spec.elements[j].kind else { continue };
+            let Some(agg) = o.op.aggregate() else { continue };
+            if !matches!(
+                agg,
+                AggKind::Count | AggKind::Sum | AggKind::Min | AggKind::Max | AggKind::Avg
+            ) {
+                continue;
+            }
+            let &[i] = &dag.input_idx[j][..] else { continue };
+            let ElementKind::Source(s) = &dag.spec.elements[i].kind else { continue };
+            if dag.consumers[i] != [j] {
+                continue;
+            }
+            let Ok(plan) = plan_source(def, s) else { continue };
+            if !plan.once_values.is_empty() || plan.multi_values.is_empty() {
+                continue;
+            }
+            fused[j] = Some(i);
+        }
+        fused
+    }
+
+    /// Execute `spec` and drop all temporary tables afterwards.
     pub fn run(&self, spec: QuerySpec) -> Result<QueryOutcome> {
         let dag = QueryDag::build(spec)?;
         let engine = self.db.engine().clone();
+        let def = self.db.definition();
+        let sharding = self.db.sharding();
+        let stats_before = sharding.as_ref().map(|sh| sh.cluster().stats());
+        let fused = self.plan_pushdown(&dag, &def);
+        let source_fused: Vec<bool> = (0..dag.spec.elements.len())
+            .map(|i| fused.iter().any(|f| *f == Some(i)))
+            .collect();
         let mut outcome = QueryOutcome::default();
         let mut vectors: Vec<Option<DataVector>> = vec![None; dag.spec.elements.len()];
         let mut from_source: Vec<bool> = vec![false; dag.spec.elements.len()];
@@ -93,17 +178,30 @@ impl<'a> QueryRunner<'a> {
             let table = temp_table_name(&dag.spec.name, &element.id);
             match &element.kind {
                 ElementKind::Source(s) => {
-                    let v = run_source(self.db, &engine, s, &table)?;
                     from_source[i] = true;
-                    vectors[i] = Some(v);
+                    if !source_fused[i] {
+                        let v = run_source(self.db, &engine, s, &table)?;
+                        vectors[i] = Some(v);
+                    }
+                    // Fused sources execute inside their consuming
+                    // aggregation operator, on the data-owning nodes.
                 }
                 ElementKind::Operator(o) => {
-                    let inputs: Vec<(&DataVector, bool)> = dag.input_idx[i]
-                        .iter()
-                        .map(|&j| (vectors[j].as_ref().expect("topo order"), from_source[j]))
-                        .collect();
-                    let v = run_operator(&engine, &engine, &o.op, &inputs, &table)?;
-                    vectors[i] = Some(v);
+                    if let Some(si) = fused[i] {
+                        let ElementKind::Source(s) = &dag.spec.elements[si].kind else {
+                            unreachable!("fusion plan only names sources")
+                        };
+                        let agg = o.op.aggregate().expect("fused operators aggregate");
+                        let v = run_pushdown_aggregate(self.db, agg, s, &engine, &table)?;
+                        vectors[i] = Some(v);
+                    } else {
+                        let inputs: Vec<(&DataVector, bool)> = dag.input_idx[i]
+                            .iter()
+                            .map(|&j| (vectors[j].as_ref().expect("topo order"), from_source[j]))
+                            .collect();
+                        let v = run_operator(&engine, &engine, &o.op, &inputs, &table)?;
+                        vectors[i] = Some(v);
+                    }
                 }
                 ElementKind::Combiner(c) => {
                     let l = vectors[dag.input_idx[i][0]].as_ref().expect("topo order");
@@ -141,6 +239,9 @@ impl<'a> QueryRunner<'a> {
             }
         }
         engine.drop_temp_tables();
+        if let (Some(sh), Some(before)) = (&sharding, &stats_before) {
+            outcome.transfer = Some(sh.cluster().stats().delta_since(before));
+        }
         Ok(outcome)
     }
 }
@@ -168,18 +269,44 @@ pub(crate) fn sql_literal(v: &Value) -> String {
     }
 }
 
-/// Execute a source element (paper §3.3.1): retrieve data tuples matching
-/// the parameter and run restrictions from the experiment database
-/// `db`, materialising the output vector into `table` on `out_engine`.
-pub(crate) fn run_source(
-    db: &ExperimentDb,
-    out_engine: &Engine,
-    spec: &SourceSpec,
-    table: &str,
-) -> Result<DataVector> {
-    let def = db.definition();
-    let exp_engine = db.engine();
+/// The once/multiple classification of everything a source element
+/// references: WHERE clauses split by occurrence, plus the carry and value
+/// columns split the same way. Shared by the plain source path
+/// ([`run_source`]) and the sharded aggregation pushdown.
+pub(crate) struct SourcePlan {
+    /// Restrictions on run-level (once-occurrence) columns, incl. run filters.
+    pub once_where: Vec<String>,
+    /// Restrictions on data-set (multiple-occurrence) columns.
+    pub multi_where: Vec<String>,
+    /// Carried parameters that are run-constant.
+    pub once_carry: Vec<String>,
+    /// Carried parameters that vary within a run.
+    pub multi_carry: Vec<String>,
+    /// Requested values that are run-constant.
+    pub once_values: Vec<String>,
+    /// Requested values living in the per-run data tables.
+    pub multi_values: Vec<String>,
+}
 
+impl SourcePlan {
+    /// `SELECT run_id, <once cols> FROM pb_runs [WHERE …] ORDER BY run_id`,
+    /// returning the selected column list alongside the SQL.
+    fn runs_query(&self) -> (Vec<String>, String) {
+        let mut run_cols = vec!["run_id".to_string()];
+        run_cols.extend(self.once_carry.iter().cloned());
+        run_cols.extend(self.once_values.iter().cloned());
+        let mut sql = format!("SELECT {} FROM pb_runs", run_cols.join(", "));
+        if !self.once_where.is_empty() {
+            sql.push_str(&format!(" WHERE {}", self.once_where.join(" AND ")));
+        }
+        sql.push_str(" ORDER BY run_id");
+        (run_cols, sql)
+    }
+}
+
+/// Classify a source spec against the experiment definition (see
+/// [`SourcePlan`]).
+pub(crate) fn plan_source(def: &ExperimentDef, spec: &SourceSpec) -> Result<SourcePlan> {
     // Sort every referenced variable into once/multiple occurrence.
     let occurrence_of = |name: &str| -> Result<Occurrence> {
         def.variable(name)
@@ -235,22 +362,48 @@ pub(crate) fn run_source(
             Occurrence::Multiple => multi_values.push(v.clone()),
         }
     }
+    Ok(SourcePlan { once_where, multi_where, once_carry, multi_carry, once_values, multi_values })
+}
+
+/// Column labels from the experiment definition (`synopsis [unit]`).
+fn source_labels(def: &ExperimentDef, cols: &[String]) -> HashMap<String, String> {
+    let mut labels = HashMap::new();
+    for c in cols {
+        if let Some(var) = def.variable(c) {
+            let unit = var.unit.to_string();
+            let base = if var.synopsis.is_empty() { var.name.clone() } else { var.synopsis.clone() };
+            labels
+                .insert(c.clone(), if unit.is_empty() { base } else { format!("{base} [{unit}]") });
+        }
+    }
+    labels
+}
+
+/// Execute a source element (paper §3.3.1): retrieve data tuples matching
+/// the parameter and run restrictions from the experiment database
+/// `db`, materialising the output vector into `table` on `out_engine`.
+///
+/// On a sharded experiment each run's data query executes on the run's
+/// owning node and the matching rows travel to the frontend (charged) —
+/// this is the fallback materialization path for everything the
+/// aggregation pushdown cannot handle.
+pub(crate) fn run_source(
+    db: &ExperimentDb,
+    out_engine: &Engine,
+    spec: &SourceSpec,
+    table: &str,
+) -> Result<DataVector> {
+    let def = db.definition();
+    let plan = plan_source(&def, spec)?;
 
     // 1. Select matching runs (shared read access on pb_runs).
-    let mut run_cols = vec!["run_id".to_string()];
-    run_cols.extend(once_carry.iter().cloned());
-    run_cols.extend(once_values.iter().cloned());
-    let mut sql = format!("SELECT {} FROM pb_runs", run_cols.join(", "));
-    if !once_where.is_empty() {
-        sql.push_str(&format!(" WHERE {}", once_where.join(" AND ")));
-    }
-    sql.push_str(" ORDER BY run_id");
-    let runs = exp_engine.query(&sql)?;
+    let (run_cols, sql) = plan.runs_query();
+    let runs = db.engine().query(&sql)?;
 
     // 2. Per run, select the matching data sets and attach the run-level
     //    columns.
-    let params: Vec<String> = once_carry.iter().chain(&multi_carry).cloned().collect();
-    let values: Vec<String> = once_values.iter().chain(&multi_values).cloned().collect();
+    let params: Vec<String> = plan.once_carry.iter().chain(&plan.multi_carry).cloned().collect();
+    let values: Vec<String> = plan.once_values.iter().chain(&plan.multi_values).cloned().collect();
     let out_cols: Vec<String> = params.iter().chain(&values).cloned().collect();
 
     let mut rows: Vec<Vec<Value>> = Vec::new();
@@ -263,7 +416,7 @@ pub(crate) fn run_source(
             .map(|(n, v)| (n.as_str(), v))
             .collect();
 
-        if multi_carry.is_empty() && multi_values.is_empty() {
+        if plan.multi_carry.is_empty() && plan.multi_values.is_empty() {
             // Purely run-level data: one tuple per run.
             let row: Vec<Value> =
                 out_cols.iter().map(|c| (*once_vals[c.as_str()]).clone()).collect();
@@ -272,13 +425,13 @@ pub(crate) fn run_source(
         }
 
         let data_table = crate::experiment::rundata_table_name(run_id);
-        let mut dcols: Vec<String> = multi_carry.clone();
-        dcols.extend(multi_values.iter().cloned());
+        let mut dcols: Vec<String> = plan.multi_carry.clone();
+        dcols.extend(plan.multi_values.iter().cloned());
         let mut dsql = format!("SELECT {} FROM {}", dcols.join(", "), data_table);
-        if !multi_where.is_empty() {
-            dsql.push_str(&format!(" WHERE {}", multi_where.join(" AND ")));
+        if !plan.multi_where.is_empty() {
+            dsql.push_str(&format!(" WHERE {}", plan.multi_where.join(" AND ")));
         }
-        let data = exp_engine.query(&dsql)?;
+        let data = db.query_run_data(run_id, &dsql)?;
         for drow in data.rows() {
             let dmap: HashMap<&str, &Value> =
                 dcols.iter().zip(drow.iter()).map(|(n, v)| (n.as_str(), v)).collect();
@@ -297,17 +450,185 @@ pub(crate) fn run_source(
     }
 
     // 3. Materialise the vector, with labels from the definition.
-    let mut labels = HashMap::new();
-    for c in out_cols.iter() {
-        if let Some(var) = def.variable(c) {
-            let unit = var.unit.to_string();
-            let base = if var.synopsis.is_empty() { var.name.clone() } else { var.synopsis.clone() };
-            labels
-                .insert(c.clone(), if unit.is_empty() { base } else { format!("{base} [{unit}]") });
-        }
-    }
+    let labels = source_labels(&def, &out_cols);
     materialize(out_engine, table, &out_cols, rows)?;
     Ok(DataVector { table: table.to_string(), params, values, labels })
+}
+
+/// Per-value partial-aggregate state while merging pushed-down results on
+/// the frontend (the AVG → SUM/COUNT decomposition lives here).
+enum Partial {
+    /// `count`: partial counts sum up as integers.
+    Count(i64),
+    /// `avg`: merged as Σsum / Σcount of the per-node partials.
+    Avg { sum: f64, cnt: i64 },
+    /// `sum`/`min`/`max`: partials re-fed into the engine's own
+    /// [`Accumulator`] (sum of sums, min of mins, max of maxes).
+    Acc(Accumulator),
+}
+
+impl Partial {
+    fn new(agg: AggKind) -> Partial {
+        match agg {
+            AggKind::Count => Partial::Count(0),
+            AggKind::Avg => Partial::Avg { sum: 0.0, cnt: 0 },
+            other => Partial::Acc(Accumulator::new(other)),
+        }
+    }
+
+    fn finish(self) -> Result<Value> {
+        Ok(match self {
+            Partial::Count(n) => Value::Int(n),
+            Partial::Avg { sum, cnt } => {
+                if cnt > 0 {
+                    Value::Float(sum / cnt as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            Partial::Acc(a) => a.finish().map_err(Error::Query)?,
+        })
+    }
+}
+
+/// Execute a fused *source → aggregation* pair with pushdown (module docs):
+/// each run's owning node computes partial aggregates over its local
+/// `pb_rundata_<id>` shard, only the partials cross the simulated link, and
+/// the frontend merges them into exactly the vector the unsharded
+/// `source + aggregate` pair would produce (same columns, labels and rows).
+fn run_pushdown_aggregate(
+    db: &ExperimentDb,
+    agg: AggKind,
+    spec: &SourceSpec,
+    out_engine: &Engine,
+    table: &str,
+) -> Result<DataVector> {
+    let def = db.definition();
+    let plan = plan_source(&def, spec)?;
+    debug_assert!(plan.once_values.is_empty() && !plan.multi_values.is_empty());
+
+    // 1. Matching runs from the frontend's run index.
+    let (run_cols, sql) = plan.runs_query();
+    let runs = db.engine().query(&sql)?;
+    let _ = run_cols; // run_id + once_carry (no once values by eligibility)
+
+    let params: Vec<String> = plan.once_carry.iter().chain(&plan.multi_carry).cloned().collect();
+    let values: Vec<String> = plan.multi_values.clone();
+    // Same mode selection as run_operator_single: parameters present →
+    // data-set aggregation (GROUP BY all parameters); none → reduce the
+    // whole vector into a single element.
+    let grouped = !params.is_empty();
+
+    // 2. Partial-aggregate SELECT list: group columns, a row counter (so
+    //    runs contributing nothing are skipped), then per value either the
+    //    aggregate itself or — for avg — its SUM/COUNT decomposition.
+    let mut sel: Vec<String> = plan.multi_carry.clone();
+    sel.push("count(*) AS pb_rows".to_string());
+    let pb_rows_idx = plan.multi_carry.len();
+    let mut value_cols: Vec<(usize, Option<usize>)> = Vec::with_capacity(values.len());
+    for v in &values {
+        match agg {
+            AggKind::Avg => {
+                value_cols.push((sel.len(), Some(sel.len() + 1)));
+                sel.push(format!("sum({v}) AS pb_sum_{v}"));
+                sel.push(format!("count({v}) AS pb_cnt_{v}"));
+            }
+            other => {
+                value_cols.push((sel.len(), None));
+                sel.push(format!("{}({v}) AS pb_agg_{v}", other.name()));
+            }
+        }
+    }
+
+    // 3. One partial query per run, executed where the shard lives; merge
+    //    partials on the frontend keyed by the full parameter tuple.
+    struct Group {
+        key_vals: Vec<Value>,
+        parts: Vec<Partial>,
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Group> = HashMap::new();
+    for run_row in runs.rows() {
+        let run_id = run_row[0].as_i64().expect("run_id is INTEGER");
+        let data_table = crate::experiment::rundata_table_name(run_id);
+        let mut psql = format!("SELECT {} FROM {}", sel.join(", "), data_table);
+        if !plan.multi_where.is_empty() {
+            psql.push_str(&format!(" WHERE {}", plan.multi_where.join(" AND ")));
+        }
+        if !plan.multi_carry.is_empty() {
+            psql.push_str(&format!(" GROUP BY {}", plan.multi_carry.join(", ")));
+        }
+        let partials = db.query_run_data(run_id, &psql)?;
+        for prow in partials.rows() {
+            if prow[pb_rows_idx].as_i64() == Some(0) {
+                // No data sets matched in this run (only possible without a
+                // GROUP BY): the unsharded source contributes no rows.
+                continue;
+            }
+            // Key and key values: once-carries from the run row, then the
+            // group columns of the partial row — the params order.
+            let mut key_vals: Vec<Value> = run_row[1..].to_vec();
+            key_vals.extend(prow[..plan.multi_carry.len()].iter().cloned());
+            let key =
+                key_vals.iter().map(canon_key).collect::<Vec<_>>().join("\u{1}");
+            let g = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                Group {
+                    key_vals,
+                    parts: values.iter().map(|_| Partial::new(agg)).collect(),
+                }
+            });
+            for (part, &(c0, c1)) in g.parts.iter_mut().zip(&value_cols) {
+                match part {
+                    Partial::Count(n) => *n += prow[c0].as_i64().unwrap_or(0),
+                    Partial::Avg { sum, cnt } => {
+                        if let Some(s) = prow[c0].as_f64() {
+                            *sum += s;
+                        }
+                        *cnt += prow[c1.expect("avg has a count column")].as_i64().unwrap_or(0);
+                    }
+                    Partial::Acc(a) => a.update(&prow[c0]),
+                }
+            }
+        }
+    }
+
+    let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(order.len());
+    for key in order {
+        let g = groups.remove(&key).expect("group recorded in order");
+        let mut row = g.key_vals;
+        for part in g.parts {
+            row.push(part.finish()?);
+        }
+        out_rows.push(row);
+    }
+    if !grouped && out_rows.is_empty() {
+        // Full reduction over an empty vector still yields one row, like
+        // `SELECT agg(c) FROM t` does: NULL, or 0 for count.
+        let empty: Result<Vec<Value>> =
+            values.iter().map(|_| Partial::new(agg).finish()).collect();
+        out_rows.push(empty?);
+    }
+
+    // 4. Materialise on the frontend with the labels the unsharded
+    //    source → aggregate pair would carry.
+    let out_cols: Vec<String> = if grouped {
+        params.iter().chain(&values).cloned().collect()
+    } else {
+        values.clone()
+    };
+    let mut labels = source_labels(&def, &out_cols);
+    for c in &values {
+        let base = labels.get(c).cloned().unwrap_or_else(|| c.clone());
+        labels.insert(c.clone(), format!("{}({base})", agg.name()));
+    }
+    materialize(out_engine, table, &out_cols, out_rows)?;
+    Ok(DataVector {
+        table: table.to_string(),
+        params: if grouped { params } else { Vec::new() },
+        values,
+        labels,
+    })
 }
 
 /// Create `table` on `engine` holding `rows` under `columns`.
@@ -1304,5 +1625,109 @@ pub(crate) mod tests {
         )
         .unwrap();
         assert!(QueryRunner::new(&db).run(q).is_err());
+    }
+
+    /// The seeded experiment, attached to an `n`-node latency-free cluster
+    /// so its run data is spread across the simulated nodes.
+    fn sharded_db(nodes: usize) -> ExperimentDb {
+        let db = seeded_db();
+        let cluster = Arc::new(sqldb::cluster::Cluster::with_frontend(
+            db.engine().clone(),
+            nodes,
+            sqldb::cluster::LatencyModel::none(),
+        ));
+        db.attach_cluster(cluster).unwrap();
+        db
+    }
+
+    const PUSHABLE_QUERY: &str = r#"<query name="q"><source id="s">
+         <parameter name="technique" carry="true"/>
+         <parameter name="chunk" carry="true"/>
+         <value name="bw"/>
+       </source>
+       <operator id="a" type="avg" input="s"/>
+       <output id="o" input="a" format="csv"/></query>"#;
+
+    #[test]
+    fn pushdown_matches_unsharded_results() {
+        let plain = seeded_db();
+        let want = QueryRunner::new(&plain).run(query_from_str(PUSHABLE_QUERY).unwrap()).unwrap();
+        for nodes in [1usize, 2, 4] {
+            let db = sharded_db(nodes);
+            let out = QueryRunner::new(&db).run(query_from_str(PUSHABLE_QUERY).unwrap()).unwrap();
+            assert_eq!(out.artifacts["o"], want.artifacts["o"], "{nodes} nodes");
+            let t = out.transfer.expect("sharded queries record transfer stats");
+            if nodes > 1 {
+                // Partials only: far fewer rows than the 12 source tuples.
+                assert!(t.rows < 12, "pushed {} rows over the link", t.rows);
+            }
+        }
+    }
+
+    #[test]
+    fn pushdown_off_falls_back_to_materialization_with_same_results() {
+        // Full reduction: each remote run ships one partial row under
+        // pushdown versus its three raw data rows under materialization.
+        let q = r#"<query name="q"><source id="s">
+             <value name="bw"/>
+           </source>
+           <operator id="a" type="avg" input="s"/>
+           <output id="o" input="a" format="csv"/></query>"#;
+        let db = sharded_db(4);
+        let pushed = QueryRunner::new(&db).run(query_from_str(q).unwrap()).unwrap();
+        let fetched =
+            QueryRunner::new(&db).pushdown(false).run(query_from_str(q).unwrap()).unwrap();
+        assert_eq!(pushed.artifacts["o"], fetched.artifacts["o"]);
+        let tp = pushed.transfer.unwrap();
+        let tf = fetched.transfer.unwrap();
+        assert!(
+            tp.rows < tf.rows,
+            "pushdown moved {} rows, fallback {}",
+            tp.rows,
+            tf.rows
+        );
+    }
+
+    #[test]
+    fn pushdown_reduce_all_over_empty_selection_yields_one_row() {
+        let q = r#"<query name="q"><source id="s">
+             <parameter name="chunk" op="gt" value="100000"/>
+             <value name="bw"/>
+           </source>
+           <operator id="c" type="count" input="s"/>
+           <output id="o" input="c" format="csv"/></query>"#;
+        let plain = seeded_db();
+        let want = QueryRunner::new(&plain).run(query_from_str(q).unwrap()).unwrap();
+        let db = sharded_db(3);
+        let out = QueryRunner::new(&db).run(query_from_str(q).unwrap()).unwrap();
+        assert_eq!(out.artifacts["o"], want.artifacts["o"]);
+        assert_eq!(out.artifacts["o"].lines().count(), 2); // header + count 0
+    }
+
+    #[test]
+    fn non_decomposable_aggregate_uses_fallback() {
+        let q = r#"<query name="q"><source id="s">
+             <parameter name="technique" value="old"/>
+             <parameter name="chunk" carry="true"/>
+             <value name="bw"/>
+           </source>
+           <operator id="m" type="median" input="s"/>
+           <output id="o" input="m" format="csv"/></query>"#;
+        let plain = seeded_db();
+        let want = QueryRunner::new(&plain).run(query_from_str(q).unwrap()).unwrap();
+        let db = sharded_db(4);
+        let out = QueryRunner::new(&db).run(query_from_str(q).unwrap()).unwrap();
+        assert_eq!(out.artifacts["o"], want.artifacts["o"]);
+    }
+
+    #[test]
+    fn detached_db_answers_queries_from_the_frontend_again() {
+        let db = sharded_db(4);
+        db.detach_cluster().unwrap();
+        let out = QueryRunner::new(&db).run(query_from_str(PUSHABLE_QUERY).unwrap()).unwrap();
+        assert!(out.transfer.is_none());
+        let plain = seeded_db();
+        let want = QueryRunner::new(&plain).run(query_from_str(PUSHABLE_QUERY).unwrap()).unwrap();
+        assert_eq!(out.artifacts["o"], want.artifacts["o"]);
     }
 }

@@ -15,6 +15,7 @@
 //! passes only the table name downstream. [`exec`] runs the graph
 //! sequentially; [`parallel`] distributes ready elements across threads and
 //! (optionally) across the nodes of a simulated database cluster (Fig. 3).
+#![warn(missing_docs)]
 
 pub mod dag;
 pub mod exec;

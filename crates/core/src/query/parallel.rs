@@ -128,6 +128,7 @@ impl<'a> ParallelQueryRunner<'a> {
     pub fn run(&self, spec: QuerySpec) -> Result<QueryOutcome> {
         let dag = QueryDag::build(spec)?;
         let n = dag.spec.elements.len();
+        let stats_before = self.cluster.map(|c| c.stats());
 
         // Where each element runs, and where its output must live: the node
         // of its first consumer (its own node when it has none).
@@ -233,6 +234,9 @@ impl<'a> ParallelQueryRunner<'a> {
             if let Some(v) = v {
                 outcome.vectors.insert(dag.spec.elements[i].id.clone(), v);
             }
+        }
+        if let (Some(c), Some(before)) = (self.cluster, &stats_before) {
+            outcome.transfer = Some(c.stats().delta_since(before));
         }
         Ok(outcome)
     }

@@ -8,7 +8,11 @@
 //! * `update --def exp.xml --db file --user U` — evolve the definition
 //! * `input --db file --desc input.xml [--user U] [--force] [--policy P]
 //!   [--fixed var=value] [--merge] files…` — import runs
-//! * `query --db file --spec query.xml [--user U] [--parallel] [--nodes N]`
+//! * `query --db file --spec query.xml [--user U] [--parallel] [--nodes N]
+//!   [--latency none|lan|fast] [--no-pushdown] [--timings]` — without
+//!   `--parallel`, `--nodes N` shards the run data across an N-node
+//!   simulated cluster and pushes aggregations to the data (transfer
+//!   statistics are printed after the outputs)
 //! * `info --db file` / `ls --db file [--param name=value] [--since/--until]`
 //! * `missing --db file param…` — sweep-hole detection
 //! * `delete --db file --run N --user U`
@@ -245,13 +249,26 @@ fn cmd_input(argv: Vec<String>) -> Result<String, String> {
     ))
 }
 
+/// Parse a `--latency` option value into a [`LatencyModel`].
+fn latency_model(a: &Args, default: LatencyModel) -> Result<LatencyModel, String> {
+    match a.get("latency") {
+        None => Ok(default),
+        Some("none") => Ok(LatencyModel::none()),
+        Some("lan") => Ok(LatencyModel::lan()),
+        Some("fast") => Ok(LatencyModel::fast_interconnect()),
+        Some(other) => Err(format!("bad --latency '{other}' (expected none, lan or fast)")),
+    }
+}
+
 fn cmd_query(argv: Vec<String>) -> Result<String, String> {
     let a = Args::parse(
         argv,
         &with(&[
             OptSpec { name: "spec", takes_value: true },
             OptSpec { name: "nodes", takes_value: true },
+            OptSpec { name: "latency", takes_value: true },
             OptSpec { name: "parallel", takes_value: false },
+            OptSpec { name: "no-pushdown", takes_value: false },
             OptSpec { name: "timings", takes_value: false },
         ]),
     )
@@ -260,12 +277,19 @@ fn cmd_query(argv: Vec<String>) -> Result<String, String> {
     db.check_access(&user_of(&a), AccessLevel::Query).map_err(err)?;
     let xml = std::fs::read_to_string(a.require("spec").map_err(err)?).map_err(err)?;
     let spec = query_from_str(&xml).map_err(err)?;
+    let nodes = a
+        .get("nodes")
+        .map(|n| n.parse::<usize>().map_err(|_| "bad --nodes".to_string()))
+        .transpose()?
+        .map(|n| n.max(1));
 
     let outcome = if a.flag("parallel") {
-        match a.get("nodes") {
+        // Element-level parallelism: DAG elements round-robin over worker
+        // nodes, the experiment data stays on the frontend.
+        match nodes {
             Some(n) => {
-                let n: usize = n.parse().map_err(|_| "bad --nodes".to_string())?;
-                let cluster = Cluster::new(n.max(1), LatencyModel::fast_interconnect());
+                let latency = latency_model(&a, LatencyModel::fast_interconnect())?;
+                let cluster = Cluster::new(n, latency);
                 ParallelQueryRunner::new(&db)
                     .on_cluster(&cluster, Placement::RoundRobin)
                     .run(spec)
@@ -273,6 +297,18 @@ fn cmd_query(argv: Vec<String>) -> Result<String, String> {
             }
             None => ParallelQueryRunner::new(&db).run(spec).map_err(err)?,
         }
+    } else if let Some(n) = nodes {
+        // Data-level distribution: shard the run data across the cluster
+        // and push decomposable aggregations to the owning nodes.
+        let latency = latency_model(&a, LatencyModel::lan())?;
+        let cluster = Arc::new(Cluster::with_frontend(db.engine().clone(), n, latency));
+        db.attach_cluster(cluster).map_err(err)?;
+        let outcome = QueryRunner::new(&db)
+            .pushdown(!a.flag("no-pushdown"))
+            .run(spec)
+            .map_err(err)?;
+        db.detach_cluster().map_err(err)?;
+        outcome
     } else {
         QueryRunner::new(&db).run(spec).map_err(err)?
     };
@@ -284,6 +320,12 @@ fn cmd_query(argv: Vec<String>) -> Result<String, String> {
         out.push_str(&format!("== output element '{id}' ==\n"));
         out.push_str(&outcome.artifacts[id]);
         out.push('\n');
+    }
+    if let Some(t) = &outcome.transfer {
+        out.push_str(&format!(
+            "== transfer ==\n{} message(s), {} row(s) moved, {:?} simulated latency\n",
+            t.messages, t.rows, t.simulated
+        ));
     }
     if a.flag("timings") {
         out.push_str("== element timings ==\n");

@@ -1,4 +1,4 @@
-//! Simulated database cluster (paper §4.3, Fig. 3).
+//! Simulated database cluster (paper §4.3, Fig. 3) with run-data sharding.
 //!
 //! The paper proposes distributing perfbase query elements across cluster
 //! nodes, each running an independent database server; an element's output
@@ -7,15 +7,27 @@
 //!
 //! We do not have a cluster, so this module simulates one: every [`Node`]
 //! owns an independent [`Engine`], and all cross-node data movement goes
-//! through [`Cluster::copy_table`] / [`Cluster::fetch`], which charge a
-//! configurable socket-latency cost (a real `thread::sleep`, so wall-clock
-//! benchmarks see it) and record transfer statistics. Same-node access is
-//! free, exactly like the paper's placement argument.
+//! through [`Cluster::copy_table`] / [`Cluster::fetch`] /
+//! [`Cluster::materialize`], which charge a configurable socket-latency
+//! cost (a real `thread::sleep`, so wall-clock benchmarks see it) and
+//! record transfer statistics. Same-node access is free, exactly like the
+//! paper's placement argument.
+//!
+//! Beyond element-level placement, the cluster supports **data-level
+//! sharding**: a [`ShardMap`] deterministically assigns each run id to an
+//! owning node, so the per-run `pb_rundata_<id>` tables can be distributed
+//! across the cluster and aggregations can execute where the data lives
+//! (Fig. 3 at data scale). The frontend node (index 0) always keeps the
+//! run index (`pb_runs`) and the shard map itself; [`Cluster::with_frontend`]
+//! builds a cluster whose node 0 *is* an existing experiment engine, so
+//! the same database can be queried sharded or unsharded.
+#![warn(missing_docs)]
 
 use crate::engine::{Engine, ResultSet};
 use crate::error::DbError;
 use crate::exec::infer_schema;
 use crate::sync::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -62,13 +74,114 @@ pub struct TransferStats {
     pub simulated: Duration,
 }
 
+impl TransferStats {
+    /// Traffic accrued since `earlier` (a snapshot taken from the same
+    /// cluster) — the per-query accounting used by
+    /// `QueryOutcome::transfer`.
+    pub fn delta_since(&self, earlier: &TransferStats) -> TransferStats {
+        TransferStats {
+            messages: self.messages.saturating_sub(earlier.messages),
+            rows: self.rows.saturating_sub(earlier.rows),
+            simulated: self.simulated.saturating_sub(earlier.simulated),
+        }
+    }
+}
+
+/// Deterministic placement of run ids onto cluster nodes.
+///
+/// New runs are placed by an FNV-1a hash of the run id modulo the node
+/// count; every placement decision is **recorded**, and recorded
+/// assignments always win over the hash. That makes the map *stable under
+/// node-count changes*: reattaching a grown cluster keeps every existing
+/// run where its data already lives (only ids whose recorded node no
+/// longer exists are re-hashed), so growing from 2 to 4 nodes never
+/// reshuffles old data.
+#[derive(Debug)]
+pub struct ShardMap {
+    nodes: usize,
+    assigned: Mutex<HashMap<i64, usize>>,
+}
+
+impl ShardMap {
+    /// An empty map over `nodes` nodes (`nodes >= 1`).
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes >= 1, "a shard map needs at least one node");
+        ShardMap { nodes, assigned: Mutex::new(HashMap::new()) }
+    }
+
+    /// A map over `nodes` nodes seeded with previously recorded
+    /// assignments (e.g. reloaded from the frontend's `pb_shards` table).
+    /// Assignments pointing at a node index `>= nodes` are dropped and
+    /// will be re-hashed on the next [`ShardMap::place`].
+    pub fn with_assignments(
+        nodes: usize,
+        existing: impl IntoIterator<Item = (i64, usize)>,
+    ) -> Self {
+        let map = ShardMap::new(nodes);
+        {
+            let mut a = map.assigned.lock();
+            for (run_id, node) in existing {
+                if node < nodes {
+                    a.insert(run_id, node);
+                }
+            }
+        }
+        map
+    }
+
+    /// Number of nodes this map distributes over.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The owning node for `run_id`, assigning (and recording) one via the
+    /// deterministic hash if the run was never placed before.
+    pub fn place(&self, run_id: i64) -> usize {
+        *self
+            .assigned
+            .lock()
+            .entry(run_id)
+            .or_insert_with(|| Self::hash_node(run_id, self.nodes))
+    }
+
+    /// The recorded owner of `run_id`, if it was ever placed.
+    pub fn node_of(&self, run_id: i64) -> Option<usize> {
+        self.assigned.lock().get(&run_id).copied()
+    }
+
+    /// Drop the recorded assignment for `run_id` (run deletion).
+    pub fn remove(&self, run_id: i64) {
+        self.assigned.lock().remove(&run_id);
+    }
+
+    /// All recorded `(run_id, node)` assignments, sorted by run id.
+    pub fn assignments(&self) -> Vec<(i64, usize)> {
+        let mut v: Vec<(i64, usize)> =
+            self.assigned.lock().iter().map(|(&r, &n)| (r, n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The pure hash placement (FNV-1a over the run id's bytes, modulo
+    /// `nodes`) — deterministic across processes and platforms.
+    pub fn hash_node(run_id: i64, nodes: usize) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in run_id.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % nodes as u64) as usize
+    }
+}
+
 /// One cluster node: an id plus its own database engine.
 #[derive(Debug)]
 pub struct Node {
     /// Node index within the cluster.
     pub id: usize,
-    /// The node-local database server.
-    pub engine: Engine,
+    /// The node-local database server. Shared (`Arc`) so node 0 can be an
+    /// existing experiment engine (see [`Cluster::with_frontend`]).
+    pub engine: Arc<Engine>,
 }
 
 /// A set of independent database nodes joined by a simulated interconnect.
@@ -80,15 +193,33 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Build a cluster of `n` nodes (`n >= 1`). Node 0 plays the role of the
-    /// frontend node holding the persistent experiment data.
+    /// Build a cluster of `n` fresh nodes (`n >= 1`). Node 0 plays the role
+    /// of the frontend node holding the persistent experiment data.
     pub fn new(n: usize, latency: LatencyModel) -> Self {
+        Self::build(n, latency, None)
+    }
+
+    /// Build a cluster whose frontend node (index 0) is `frontend` — an
+    /// existing engine already holding experiment data — plus `n - 1`
+    /// fresh backend nodes. This is the entry point for data sharding: the
+    /// experiment database stays where it is and `pb_rundata_<id>` tables
+    /// migrate to their owning nodes.
+    pub fn with_frontend(frontend: Arc<Engine>, n: usize, latency: LatencyModel) -> Self {
+        Self::build(n, latency, Some(frontend))
+    }
+
+    fn build(n: usize, latency: LatencyModel, frontend: Option<Arc<Engine>>) -> Self {
         assert!(n >= 1, "a cluster needs at least one node");
-        Cluster {
-            nodes: (0..n).map(|id| Arc::new(Node { id, engine: Engine::new() })).collect(),
-            latency,
-            stats: Mutex::new(TransferStats::default()),
-        }
+        let nodes = (0..n)
+            .map(|id| {
+                let engine = match (&frontend, id) {
+                    (Some(f), 0) => f.clone(),
+                    _ => Arc::new(Engine::new()),
+                };
+                Arc::new(Node { id, engine })
+            })
+            .collect();
+        Cluster { nodes, latency, stats: Mutex::new(TransferStats::default()) }
     }
 
     /// Number of nodes.
@@ -111,9 +242,20 @@ impl Cluster {
         &self.nodes[0]
     }
 
+    /// The interconnect cost model this cluster charges.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
     /// Transfer statistics so far.
     pub fn stats(&self) -> TransferStats {
         *self.stats.lock()
+    }
+
+    /// Reset transfer statistics to zero (e.g. after the uncharged initial
+    /// shard placement, so stats reflect query traffic only).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = TransferStats::default();
     }
 
     /// Publicly charge one cross-node message of `rows` rows — used by
@@ -121,6 +263,16 @@ impl Cluster {
     /// path (e.g. perfbase materialising an element's output vector on the
     /// consuming node).
     pub fn charge_transfer(&self, rows: usize) {
+        self.charge(rows);
+    }
+
+    /// Charge a full table shipment: one header/schema round-trip message
+    /// plus one payload message of `rows` rows. This is what
+    /// [`Cluster::copy_table`] and [`Cluster::materialize`] charge, and
+    /// what import-time routing of a new run's data to its owning node
+    /// costs.
+    pub fn charge_shipment(&self, rows: usize) {
+        self.charge(0); // header/schema round trip
         self.charge(rows);
     }
 
@@ -148,8 +300,9 @@ impl Cluster {
     }
 
     /// Copy a whole table from node `src` to node `dst` under `dst_name`
-    /// (replacing it if present), charging socket cost when crossing nodes.
-    /// Returns the number of rows moved.
+    /// (replacing it if present). Crossing nodes charges a header/schema
+    /// round trip plus the row payload (two messages — so even an empty
+    /// table is not free). Returns the number of rows moved.
     pub fn copy_table(
         &self,
         src: usize,
@@ -160,7 +313,7 @@ impl Cluster {
         let (schema, rows) = self.nodes[src].engine.read_snapshot(src_name)?;
         let n = rows.len();
         if src != dst {
-            self.charge(n);
+            self.charge_shipment(n);
         }
         let dst_engine = &self.nodes[dst].engine;
         dst_engine.drop_table(dst_name, true)?;
@@ -169,15 +322,21 @@ impl Cluster {
         Ok(n)
     }
 
-    /// Materialise a result set as a TEMP table on node `dst`. This is how a
-    /// query element stores its output vector "on the node on which the
-    /// query element(s) run which use this data for their input".
+    /// Materialise a result set (produced on node `src`) as a TEMP table on
+    /// node `dst`. This is how a query element stores its output vector "on
+    /// the node on which the query element(s) run which use this data for
+    /// their input". Crossing nodes charges a header/schema round trip plus
+    /// the row payload, like [`Cluster::copy_table`].
     pub fn materialize(
         &self,
+        src: usize,
         dst: usize,
         table: &str,
         rs: &ResultSet,
     ) -> Result<(), DbError> {
+        if src != dst {
+            self.charge_shipment(rs.len());
+        }
         let schema = infer_schema(rs.column_names(), rs.rows())?;
         let engine = &self.nodes[dst].engine;
         engine.drop_table(table, true)?;
@@ -201,6 +360,18 @@ mod tests {
     }
 
     #[test]
+    fn with_frontend_shares_engine() {
+        let e = Arc::new(Engine::new());
+        e.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        let c = Cluster::with_frontend(e.clone(), 3, LatencyModel::none());
+        assert_eq!(c.len(), 3);
+        assert!(Arc::ptr_eq(&c.frontend().engine, &e));
+        assert!(c.node(0).engine.has_table("t"));
+        assert!(!c.node(1).engine.has_table("t"));
+        assert!(!c.node(2).engine.has_table("t"));
+    }
+
+    #[test]
     fn copy_table_moves_rows_and_counts_stats() {
         let c = Cluster::new(2, LatencyModel::none());
         c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
@@ -209,8 +380,21 @@ mod tests {
         assert_eq!(n, 3);
         assert_eq!(c.node(1).engine.row_count("t_copy").unwrap(), 3);
         let s = c.stats();
-        assert_eq!(s.messages, 1);
+        // Header/schema round trip + row payload.
+        assert_eq!(s.messages, 2);
         assert_eq!(s.rows, 3);
+    }
+
+    #[test]
+    fn empty_table_copy_still_charges_header() {
+        let c = Cluster::new(2, LatencyModel::lan());
+        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        c.copy_table(0, "t", 1, "t_copy").unwrap();
+        let s = c.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.rows, 0);
+        // Two messages cost two per-message latencies even with no rows.
+        assert_eq!(s.simulated, LatencyModel::lan().per_message * 2);
     }
 
     #[test]
@@ -241,9 +425,16 @@ mod tests {
         c.node(0).engine.execute("CREATE TABLE t (x INTEGER, s TEXT)").unwrap();
         c.node(0).engine.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
         let rs = c.node(0).engine.query("SELECT x, s FROM t").unwrap();
-        c.materialize(1, "out", &rs).unwrap();
+        c.materialize(0, 1, "out", &rs).unwrap();
         let got = c.node(1).engine.query("SELECT x, s FROM out").unwrap();
         assert_eq!(got.rows()[0], vec![Value::Int(1), Value::Text("a".into())]);
+        // Off-node materialisation: header + payload messages, 1 row.
+        let s = c.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.rows, 1);
+        // Same-node materialisation is free.
+        c.materialize(1, 1, "out2", &rs).unwrap();
+        assert_eq!(c.stats().messages, 2);
         // materialize is temp: cleanup drops it
         c.node(1).engine.drop_temp_tables();
         assert!(!c.node(1).engine.has_table("out"));
@@ -255,5 +446,78 @@ mod tests {
         assert_eq!(m.cost(0), Duration::from_micros(100));
         assert_eq!(m.cost(1000), Duration::from_micros(1100));
         assert_eq!(LatencyModel::none().cost(1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_delta_and_reset() {
+        let c = Cluster::new(2, LatencyModel::none());
+        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        c.node(0).engine.execute("INSERT INTO t VALUES (1),(2)").unwrap();
+        c.copy_table(0, "t", 1, "a").unwrap();
+        let before = c.stats();
+        c.copy_table(0, "t", 1, "b").unwrap();
+        let d = c.stats().delta_since(&before);
+        assert_eq!(d.messages, 2);
+        assert_eq!(d.rows, 2);
+        c.reset_stats();
+        assert_eq!(c.stats(), TransferStats::default());
+    }
+
+    #[test]
+    fn shard_map_is_deterministic() {
+        let m1 = ShardMap::new(4);
+        let m2 = ShardMap::new(4);
+        for id in 0..64 {
+            assert_eq!(m1.place(id), m2.place(id));
+            assert_eq!(m1.place(id), ShardMap::hash_node(id, 4));
+            assert!(m1.place(id) < 4);
+        }
+        // All four nodes get some share of 64 sequential ids.
+        let mut used = [false; 4];
+        for id in 0..64 {
+            used[m1.place(id)] = true;
+        }
+        assert!(used.iter().all(|&u| u), "placement skews: {used:?}");
+    }
+
+    #[test]
+    fn shard_map_stable_when_cluster_grows() {
+        let small = ShardMap::new(2);
+        let placed: Vec<(i64, usize)> = (1..=16).map(|id| (id, small.place(id))).collect();
+        // Grow to 4 nodes, seeding the recorded assignments: every existing
+        // run keeps its node even though the hash over 4 nodes differs.
+        let grown = ShardMap::with_assignments(4, placed.clone());
+        for &(id, node) in &placed {
+            assert_eq!(grown.place(id), node, "run {id} moved on grow");
+        }
+        // A fresh run may use the whole grown cluster.
+        assert_eq!(grown.place(1000), ShardMap::hash_node(1000, 4));
+    }
+
+    #[test]
+    fn shard_map_rehashes_only_displaced_runs_on_shrink() {
+        let big = ShardMap::new(4);
+        let placed: Vec<(i64, usize)> = (1..=32).map(|id| (id, big.place(id))).collect();
+        let shrunk = ShardMap::with_assignments(2, placed.clone());
+        for &(id, node) in &placed {
+            if node < 2 {
+                assert_eq!(shrunk.place(id), node, "run {id} moved although its node survived");
+            } else {
+                assert_eq!(shrunk.place(id), ShardMap::hash_node(id, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_remove_and_assignments() {
+        let m = ShardMap::new(3);
+        m.place(1);
+        m.place(2);
+        assert_eq!(m.node_of(1), Some(ShardMap::hash_node(1, 3)));
+        m.remove(1);
+        assert_eq!(m.node_of(1), None);
+        let a = m.assignments();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].0, 2);
     }
 }

@@ -1,4 +1,5 @@
 //! The engine: catalog of tables plus the SQL entry points.
+#![warn(missing_docs)]
 
 use crate::error::DbError;
 use crate::exec;

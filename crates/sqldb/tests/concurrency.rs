@@ -120,7 +120,7 @@ fn cluster_nodes_used_from_many_threads() {
         h.join().unwrap();
     }
     let stats = cluster.stats();
-    assert_eq!(stats.messages, 16); // 8 copies + 8 remote fetches
+    assert_eq!(stats.messages, 24); // 8 copies (header + payload each) + 8 remote fetches
 }
 
 #[test]

@@ -99,13 +99,34 @@ fn full_cli_workflow() {
     assert!(out.contains("set style data histogram"));
     assert!(out.contains("source fraction:"), "{out}");
 
-    // parallel query gives the same artifact content
+    // parallel query gives the same artifact content (modulo the transfer
+    // statistics, which only cluster runs report)
+    let artifacts = |s: &str| s.split("== transfer ==").next().unwrap().to_string();
     let seq = cli(&["query", "--db", &dbfile, "--spec", &spec, "--user", "demo"]).unwrap();
     let par = cli(&[
         "query", "--db", &dbfile, "--spec", &spec, "--user", "demo", "--parallel", "--nodes", "3",
     ])
     .unwrap();
-    assert_eq!(seq, par);
+    assert!(par.contains("== transfer =="), "{par}");
+    assert_eq!(seq, artifacts(&par));
+
+    // sharded query (no --parallel): run data spread over 3 nodes,
+    // aggregations pushed down — identical artifacts again
+    let sharded = cli(&[
+        "query", "--db", &dbfile, "--spec", &spec, "--user", "demo", "--nodes", "3",
+        "--latency", "none",
+    ])
+    .unwrap();
+    assert!(sharded.contains("== transfer =="), "{sharded}");
+    assert_eq!(seq, artifacts(&sharded));
+
+    // ... and with pushdown disabled (pure fallback materialization)
+    let fallback = cli(&[
+        "query", "--db", &dbfile, "--spec", &spec, "--user", "demo", "--nodes", "3",
+        "--latency", "none", "--no-pushdown",
+    ])
+    .unwrap();
+    assert_eq!(seq, artifacts(&fallback));
 
     // missing: one axis has full coverage
     let out = cli(&["missing", "--db", &dbfile, "technique", "fs"]).unwrap();

@@ -1,0 +1,313 @@
+//! Sharded vs frontend-only execution equivalence: every query spec must
+//! return byte-identical artifacts whether the experiment's run data lives
+//! on the frontend alone or is sharded across a simulated cluster — with
+//! aggregation pushdown on or off.
+//!
+//! The campaign is the paper's b_eff_io experiment (Fig. 5) imported from
+//! deterministic simulated benchmark output, so the suite exercises the
+//! same data every Fig. 7/8 query runs over.
+
+use perfbase::core::experiment::ExperimentDb;
+use perfbase::core::import::Importer;
+use perfbase::core::input::input_description_from_str;
+use perfbase::core::query::spec::query_from_str;
+use perfbase::core::query::QueryRunner;
+use perfbase::core::xmldef;
+use perfbase::sqldb::cluster::{Cluster, LatencyModel};
+use perfbase::sqldb::Engine;
+use perfbase::workloads::beffio::{simulate, BeffIoConfig, Technique};
+use std::sync::Arc;
+
+const EXPERIMENT: &str = include_str!("../crates/bench/data/b_eff_io_experiment.xml");
+const INPUT: &str = include_str!("../crates/bench/data/b_eff_io_input.xml");
+const FIG7_QUERY: &str = include_str!("../crates/bench/data/b_eff_io_query.xml");
+
+/// Import `reps` repetitions per technique (2 × reps runs, 24 data rows
+/// each) into a fresh in-memory experiment database.
+fn campaign_db(reps: u32) -> ExperimentDb {
+    let def = xmldef::definition_from_str(EXPERIMENT).unwrap();
+    let db = ExperimentDb::create(Arc::new(Engine::new()), def).unwrap();
+    let desc = input_description_from_str(INPUT).unwrap();
+    let importer = Importer::new(&db).at_time(1_101_229_830);
+    for technique in [Technique::ListBased, Technique::ListLess] {
+        for rep in 1..=reps {
+            let run = simulate(BeffIoConfig {
+                technique,
+                run_index: rep,
+                seed: u64::from(rep) * 7 + technique.file_tag().len() as u64,
+                ..BeffIoConfig::default()
+            });
+            importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+        }
+    }
+    db
+}
+
+/// Attach a latency-free `nodes`-node cluster (node 0 = the db's own
+/// engine), spreading the run data across the simulated nodes.
+fn shard(db: &ExperimentDb, nodes: usize) {
+    let cluster = Arc::new(Cluster::with_frontend(
+        db.engine().clone(),
+        nodes,
+        LatencyModel::none(),
+    ));
+    db.attach_cluster(cluster).unwrap();
+}
+
+/// One spec per query shape the executor supports: pushable aggregations
+/// (count/sum/min/max and the AVG → SUM/COUNT rewrite), non-decomposable
+/// fallbacks (median/stddev), reduce chains, row-wise transforms,
+/// combiners, run filters, and raw source-to-output passthrough.
+fn equivalence_specs() -> Vec<(&'static str, String)> {
+    let simple = |name: &str, op: &str| {
+        format!(
+            r#"<query name="{name}"><source id="s">
+                 <parameter name="technique" carry="true"/>
+                 <parameter name="s_chunk" carry="true"/>
+                 <parameter name="mode" carry="true"/>
+                 <value name="b_separate"/>
+               </source>
+               <operator id="a" type="{op}" input="s"/>
+               <output id="o" input="a" format="csv"/></query>"#
+        )
+    };
+    vec![
+        ("avg_grouped", simple("avg_grouped", "avg")),
+        ("sum_grouped", simple("sum_grouped", "sum")),
+        ("min_grouped", simple("min_grouped", "min")),
+        ("max_grouped", simple("max_grouped", "max")),
+        ("count_grouped", simple("count_grouped", "count")),
+        ("median_fallback", simple("median_fallback", "median")),
+        ("stddev_fallback", simple("stddev_fallback", "stddev")),
+        (
+            "reduce_all",
+            r#"<query name="reduce_all"><source id="s">
+                 <parameter name="fs" value="ufs"/>
+                 <value name="b_separate"/>
+               </source>
+               <operator id="a" type="avg" input="s"/>
+               <output id="o" input="a" format="csv"/></query>"#
+                .to_string(),
+        ),
+        (
+            "reduce_chain",
+            r#"<query name="reduce_chain"><source id="s">
+                 <parameter name="s_chunk" carry="true"/>
+                 <value name="b_separate"/>
+               </source>
+               <operator id="m" type="max" input="s"/>
+               <operator id="g" type="max" input="m"/>
+               <output id="o" input="g" format="csv"/></query>"#
+                .to_string(),
+        ),
+        (
+            "scale_then_sum",
+            r#"<query name="scale_then_sum"><source id="s">
+                 <parameter name="mode" carry="true"/>
+                 <value name="b_separate"/>
+               </source>
+               <operator id="x" type="scale" input="s" arg="2.0"/>
+               <operator id="a" type="sum" input="x"/>
+               <output id="o" input="a" format="csv"/></query>"#
+                .to_string(),
+        ),
+        (
+            "run_id_filter",
+            r#"<query name="run_id_filter"><source id="s">
+                 <run ids="1,3"/>
+                 <parameter name="mode" carry="true"/>
+                 <value name="b_separate"/>
+               </source>
+               <operator id="a" type="avg" input="s"/>
+               <output id="o" input="a" format="csv"/></query>"#
+                .to_string(),
+        ),
+        (
+            "multi_value_avg",
+            r#"<query name="multi_value_avg"><source id="s">
+                 <parameter name="s_chunk" carry="true"/>
+                 <value name="b_scatter"/>
+                 <value name="b_separate"/>
+               </source>
+               <operator id="a" type="avg" input="s"/>
+               <output id="o" input="a" format="csv"/></query>"#
+                .to_string(),
+        ),
+        (
+            "in_filter_avg",
+            r#"<query name="in_filter_avg"><source id="s">
+                 <parameter name="mode" op="in" value="write,read"/>
+                 <parameter name="s_chunk" op="ge" value="1024" carry="true"/>
+                 <value name="b_separate"/>
+               </source>
+               <operator id="a" type="avg" input="s"/>
+               <output id="o" input="a" format="csv"/></query>"#
+                .to_string(),
+        ),
+        (
+            "source_to_output",
+            r#"<query name="source_to_output"><source id="s">
+                 <parameter name="technique" value="listless"/>
+                 <parameter name="s_chunk" carry="true"/>
+                 <parameter name="mode" carry="true"/>
+                 <value name="b_separate"/>
+               </source>
+               <output id="o" input="s" format="csv"/></query>"#
+                .to_string(),
+        ),
+        (
+            "combiner",
+            r#"<query name="combiner">
+               <source id="a">
+                 <parameter name="technique" value="listbased"/>
+                 <parameter name="s_chunk" carry="true"/>
+                 <value name="b_separate"/>
+               </source>
+               <source id="b">
+                 <parameter name="technique" value="listless"/>
+                 <parameter name="s_chunk" carry="true"/>
+                 <value name="b_separate"/>
+               </source>
+               <operator id="ma" type="avg" input="a"/>
+               <operator id="mb" type="avg" input="b"/>
+               <combiner id="c" input="ma,mb" suffixes="_old,_new"/>
+               <output id="o" input="c" format="csv"/></query>"#
+                .to_string(),
+        ),
+        ("fig7", FIG7_QUERY.to_string()),
+    ]
+}
+
+/// Run `spec` on `db` and return the artifacts of every output element,
+/// sorted by element id and concatenated.
+fn artifacts(db: &ExperimentDb, spec: &str, pushdown: bool) -> String {
+    let out = QueryRunner::new(db)
+        .pushdown(pushdown)
+        .run(query_from_str(spec).unwrap())
+        .unwrap();
+    let mut ids: Vec<&String> = out.artifacts.keys().collect();
+    ids.sort();
+    ids.iter().map(|id| format!("[{id}]\n{}\n", out.artifacts[id.as_str()])).collect()
+}
+
+#[test]
+fn every_spec_is_equivalent_sharded_and_not() {
+    let specs = equivalence_specs();
+    let plain = campaign_db(2);
+    let want: Vec<String> =
+        specs.iter().map(|(_, spec)| artifacts(&plain, spec, true)).collect();
+
+    for nodes in [1usize, 2, 4] {
+        let db = campaign_db(2);
+        shard(&db, nodes);
+        for ((name, spec), want) in specs.iter().zip(&want) {
+            let pushed = artifacts(&db, spec, true);
+            assert_eq!(&pushed, want, "{name} with pushdown at {nodes} node(s)");
+            let fetched = artifacts(&db, spec, false);
+            assert_eq!(&fetched, want, "{name} without pushdown at {nodes} node(s)");
+        }
+    }
+}
+
+#[test]
+fn pushdown_moves_at_least_10x_fewer_rows() {
+    // 8 runs × 24 data rows; the full-reduction AVG ships one partial row
+    // per remote run instead of its 24 raw rows.
+    let db = campaign_db(4);
+    shard(&db, 4);
+    let spec = r#"<query name="ratio"><source id="s">
+         <value name="b_separate"/>
+       </source>
+       <operator id="a" type="avg" input="s"/>
+       <output id="o" input="a" format="csv"/></query>"#;
+    let pushed = QueryRunner::new(&db).run(query_from_str(spec).unwrap()).unwrap();
+    let fetched =
+        QueryRunner::new(&db).pushdown(false).run(query_from_str(spec).unwrap()).unwrap();
+    assert_eq!(pushed.artifacts["o"], fetched.artifacts["o"]);
+    let tp = pushed.transfer.unwrap();
+    let tf = fetched.transfer.unwrap();
+    assert!(tp.rows > 0, "partials must cross the link");
+    assert!(
+        tf.rows >= 10 * tp.rows,
+        "expected >=10x fewer rows pushed: {} vs {}",
+        tp.rows,
+        tf.rows
+    );
+}
+
+#[test]
+fn lan_latency_is_charged_per_query() {
+    let db = campaign_db(2);
+    let cluster =
+        Arc::new(Cluster::with_frontend(db.engine().clone(), 4, LatencyModel::lan()));
+    db.attach_cluster(cluster).unwrap();
+    let spec = r#"<query name="lat"><source id="s">
+         <value name="b_separate"/>
+       </source>
+       <operator id="a" type="sum" input="s"/>
+       <output id="o" input="a" format="csv"/></query>"#;
+    let out = QueryRunner::new(&db).run(query_from_str(spec).unwrap()).unwrap();
+    let t = out.transfer.unwrap();
+    assert!(t.messages > 0);
+    assert!(!t.simulated.is_zero(), "lan latency model must accrue simulated time");
+}
+
+#[test]
+fn shard_map_is_stable_across_reattach_and_growth() {
+    let db = campaign_db(2);
+    shard(&db, 2);
+    let before = db.sharding().unwrap().map().assignments();
+    db.detach_cluster().unwrap();
+
+    // Re-attach with more nodes: existing runs must keep their placement
+    // (recorded in pb_shards), only unplaced runs may land on new nodes.
+    shard(&db, 4);
+    let after = db.sharding().unwrap().map().assignments();
+    for (run, node) in &before {
+        let kept = after.iter().find(|(r, _)| r == run).map(|(_, n)| *n);
+        assert_eq!(kept, Some(*node), "run {run} moved when the cluster grew");
+    }
+    db.detach_cluster().unwrap();
+}
+
+#[test]
+fn new_runs_land_on_their_owning_node() {
+    let db = campaign_db(1);
+    shard(&db, 4);
+    let sh = db.sharding().unwrap();
+    let cluster = sh.cluster().clone();
+    let before = cluster.stats();
+
+    // Import two more runs while sharded: their data tables must appear on
+    // the node the shard map assigns, with the shipment charged.
+    let desc = input_description_from_str(INPUT).unwrap();
+    let importer = Importer::new(&db).at_time(1_101_300_000);
+    for rep in 5..=6 {
+        let run = simulate(BeffIoConfig {
+            technique: Technique::ListLess,
+            run_index: rep,
+            seed: u64::from(rep) * 31,
+            ..BeffIoConfig::default()
+        });
+        importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+    }
+    let sh = db.sharding().unwrap();
+    for run_id in db.run_ids().unwrap() {
+        let owner = sh.map().node_of(run_id).expect("every run is placed");
+        let table = format!("pb_rundata_{run_id}");
+        for node in 0..4 {
+            assert_eq!(
+                cluster.node(node).engine.has_table(&table),
+                node == owner,
+                "run {run_id} table on node {node}, owner {owner}"
+            );
+        }
+    }
+    let delta = cluster.stats().delta_since(&before);
+    assert!(delta.rows > 0 || delta.messages > 0, "remote imports charge the link");
+    db.detach_cluster().unwrap();
+    // After detaching, everything is back on the frontend.
+    for run_id in db.run_ids().unwrap() {
+        assert!(db.engine().has_table(&format!("pb_rundata_{run_id}")));
+    }
+}

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Offline smoke test: full release build, the complete test suite, and the
-# sqldb hot-path microbenchmarks (writes BENCH_sqldb.json to the repo root).
+# Offline smoke test: full release build, the complete test suite (including
+# the sharded-vs-frontend equivalence suite), a warning-free documentation
+# build, and the sqldb microbenchmarks (writes BENCH_sqldb.json to the repo
+# root, including the sharded-aggregation transfer numbers).
 # Must pass with no network access and no external crates.
 set -eu
 
@@ -11,6 +13,12 @@ cargo build --release
 
 echo "== tests =="
 cargo test -q
+
+echo "== sharded equivalence =="
+cargo test -q -p perfbase --test sharded_equivalence
+
+echo "== docs (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 echo "== microbench =="
 cargo run --release -p bench --bin microbench

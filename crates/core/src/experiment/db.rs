@@ -22,8 +22,9 @@ use crate::error::{Error, Result};
 use crate::xmldef;
 use sqldb::cluster::{Cluster, ShardMap};
 use sqldb::sync::RwLock;
-use sqldb::{Column, DataType, Engine, ResultSet, Schema, Value};
+use sqldb::{Column, DataType, Engine, RecoveryReport, ResultSet, Schema, Value, WalOptions};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// An experiment bound to a database engine.
@@ -83,6 +84,45 @@ impl ExperimentDb {
         // them here; IF NOT EXISTS makes this idempotent.
         create_hot_path_indexes(&engine)?;
         Ok(ExperimentDb { engine, def: RwLock::new(def), shards: RwLock::new(None) })
+    }
+
+    /// Open an experiment durably from its dump file at `path`: the last
+    /// checkpoint dump is loaded, every valid frame of the sibling
+    /// write-ahead log (`<path>.wal`) is replayed (recovering work done
+    /// since the checkpoint, truncating any torn tail), and the log stays
+    /// attached so every further mutation — `perfbase input` imports above
+    /// all — is crash-safe.
+    pub fn open_durable(path: &Path, opts: WalOptions) -> Result<(ExperimentDb, RecoveryReport)> {
+        let (engine, report) = Engine::open_durable(path, &Self::wal_path(path), opts)?;
+        let db = ExperimentDb::open(Arc::new(engine))?;
+        Ok((db, report))
+    }
+
+    /// The sibling write-ahead log for an experiment dump at `path`
+    /// (`experiment.sql` → `experiment.sql.wal`).
+    pub fn wal_path(path: &Path) -> PathBuf {
+        let mut name = path.as_os_str().to_owned();
+        name.push(".wal");
+        PathBuf::from(name)
+    }
+
+    /// Checkpoint the experiment: atomically rewrite the dump at `path`
+    /// and compact the write-ahead log. Returns frames dropped from the
+    /// log (0 when no WAL is attached — then this is just an atomic save).
+    pub fn checkpoint(&self, path: &Path) -> Result<u64> {
+        Ok(self.engine.checkpoint(path)?)
+    }
+
+    /// Force pending WAL frames to stable storage — on the frontend and,
+    /// when a cluster is attached, on every node. Called by the importer
+    /// when an import completes, so a finished import survives a crash
+    /// even inside an open group-commit window.
+    pub fn durability_sync(&self) -> Result<()> {
+        self.engine.wal_sync()?;
+        if let Some(sh) = self.sharding() {
+            sh.cluster().sync_wals()?;
+        }
+        Ok(())
     }
 
     /// The underlying engine.
@@ -335,7 +375,6 @@ impl ExperimentDb {
                 .unwrap_or(Value::Null);
             row.push(val);
         }
-        self.engine.insert_rows("pb_runs", vec![row])?;
 
         let data_table = rundata_table(run_id);
         let multi: Vec<&Variable> = def.variables_with(Occurrence::Multiple).collect();
@@ -355,26 +394,38 @@ impl ExperimentDb {
         // Route the data table to the run's owning node; imported data
         // arrives at the frontend, so shipping it to a remote owner is
         // charged as a real transfer (header + payload).
+        //
+        // Write order is the crash-consistency contract: the data table
+        // (and shard routing) is stored first, and the `pb_runs` row — the
+        // statement that makes the run visible to every reader — goes in
+        // last. A crash replayed from the write-ahead log therefore never
+        // publishes a run whose data is missing; it leaves at most an
+        // invisible orphan under this id, which is cleared here before the
+        // id is reused.
         match self.sharding() {
             Some(sh) => {
                 let owner = sh.owner_of(run_id);
                 let target = &sh.cluster().node(owner).engine;
+                target.drop_table(&data_table, true)?;
                 target.create_table(&data_table, rundata_schema(&def))?;
                 let n = rows.len();
                 target.insert_rows(&data_table, rows)?;
                 if owner != 0 {
                     sh.cluster().charge_shipment(n);
                 }
+                self.engine.execute(&format!("DELETE FROM pb_shards WHERE run_id = {run_id}"))?;
                 self.engine.insert_rows(
                     "pb_shards",
                     vec![vec![Value::Int(run_id), Value::Int(owner as i64)]],
                 )?;
             }
             None => {
+                self.engine.drop_table(&data_table, true)?;
                 self.engine.create_table(&data_table, rundata_schema(&def))?;
                 self.engine.insert_rows(&data_table, rows)?;
             }
         }
+        self.engine.insert_rows("pb_runs", vec![row])?;
         Ok(run_id)
     }
 

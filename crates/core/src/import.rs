@@ -105,6 +105,9 @@ impl<'a> Importer<'a> {
                 None => report.runs_discarded += 1,
             }
         }
+        // Completed imports must survive a crash even mid group-commit
+        // window; a no-op when the experiment has no WAL attached.
+        self.db.durability_sync()?;
         Ok(report)
     }
 
@@ -173,6 +176,7 @@ impl<'a> Importer<'a> {
             }
             None => report.runs_discarded = 1,
         }
+        self.db.durability_sync()?;
         Ok(report)
     }
 
@@ -196,6 +200,7 @@ impl<'a> Importer<'a> {
             }
             None => report.runs_discarded = 1,
         }
+        self.db.durability_sync()?;
         Ok(report)
     }
 

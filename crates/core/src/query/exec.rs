@@ -134,7 +134,7 @@ impl<'a> QueryRunner<'a> {
         if !self.pushdown || !sharded_over_multiple_nodes {
             return fused;
         }
-        for j in 0..n {
+        for (j, slot) in fused.iter_mut().enumerate() {
             let ElementKind::Operator(o) = &dag.spec.elements[j].kind else { continue };
             let Some(agg) = o.op.aggregate() else { continue };
             if !matches!(
@@ -152,7 +152,7 @@ impl<'a> QueryRunner<'a> {
             if !plan.once_values.is_empty() || plan.multi_values.is_empty() {
                 continue;
             }
-            fused[j] = Some(i);
+            *slot = Some(i);
         }
         fused
     }
@@ -166,7 +166,7 @@ impl<'a> QueryRunner<'a> {
         let stats_before = sharding.as_ref().map(|sh| sh.cluster().stats());
         let fused = self.plan_pushdown(&dag, &def);
         let source_fused: Vec<bool> = (0..dag.spec.elements.len())
-            .map(|i| fused.iter().any(|f| *f == Some(i)))
+            .map(|i| fused.contains(&Some(i)))
             .collect();
         let mut outcome = QueryOutcome::default();
         let mut vectors: Vec<Option<DataVector>> = vec![None; dag.spec.elements.len()];

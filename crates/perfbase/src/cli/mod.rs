@@ -7,7 +7,12 @@
 //! * `setup --def exp.xml --db file` — create an experiment database
 //! * `update --def exp.xml --db file --user U` — evolve the definition
 //! * `input --db file --desc input.xml [--user U] [--force] [--policy P]
-//!   [--fixed var=value] [--merge] files…` — import runs
+//!   [--fixed var=value] [--merge] [--wal] [--sync always|group|off]
+//!   files…` — import runs; with `--wal` every statement is written to a
+//!   write-ahead log (`file.wal`) before it is applied, so a crash in the
+//!   middle of an import loses at most the unsynced tail
+//! * `checkpoint --db file` — replay any leftover write-ahead log into the
+//!   database, rewrite the SQL dump atomically and compact the log
 //! * `query --db file --spec query.xml [--user U] [--parallel] [--nodes N]
 //!   [--latency none|lan|fast] [--no-pushdown] [--timings]` — without
 //!   `--parallel`, `--nodes N` shards the run data across an N-node
@@ -35,7 +40,7 @@ use perfbase_core::query::{ParallelQueryRunner, Placement, QueryRunner};
 use perfbase_core::status::{self, RunCriteria};
 use perfbase_core::xmldef;
 use sqldb::cluster::{Cluster, LatencyModel};
-use sqldb::Engine;
+use sqldb::{Engine, IoFailpoint, RecoveryReport, SyncPolicy, WalOptions};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -48,6 +53,7 @@ pub fn run(argv: Vec<String>) -> Result<String, String> {
         "setup" => cmd_setup(rest),
         "update" => cmd_update(rest),
         "input" => cmd_input(rest),
+        "checkpoint" => cmd_checkpoint(rest),
         "query" => cmd_query(rest),
         "info" => cmd_info(rest),
         "ls" => cmd_ls(rest),
@@ -63,7 +69,7 @@ pub fn run(argv: Vec<String>) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: perfbase <setup|update|input|query|info|ls|show|missing|delete|check|dump|suspect> [options]\n\
+    "usage: perfbase <setup|update|input|checkpoint|query|info|ls|show|missing|delete|check|dump|suspect> [options]\n\
      run `perfbase help` for details"
         .to_string()
 }
@@ -79,6 +85,44 @@ fn open_db(path: &str) -> Result<ExperimentDb, String> {
 
 fn save_db(db: &ExperimentDb, path: &str) -> Result<(), String> {
     db.engine().save_to_file(Path::new(path)).map_err(err)
+}
+
+/// Build [`WalOptions`] from `--sync` and the fault-injection flag
+/// `--crash-after-frames` (used by the crash-recovery recipes to simulate
+/// a process kill mid-import).
+fn wal_options(a: &Args) -> Result<WalOptions, String> {
+    let sync = match a.get("sync").unwrap_or("group") {
+        "always" => SyncPolicy::Always,
+        "group" => SyncPolicy::group_default(),
+        "off" => SyncPolicy::Off,
+        other => return Err(format!("bad --sync '{other}' (expected always, group or off)")),
+    };
+    let failpoint = match a.get("crash-after-frames") {
+        Some(n) => {
+            let n: u64 =
+                n.parse().map_err(|_| format!("bad --crash-after-frames '{n}'"))?;
+            Arc::new(IoFailpoint::crash_after_frames(n))
+        }
+        None => Arc::new(IoFailpoint::none()),
+    };
+    Ok(WalOptions { sync, failpoint })
+}
+
+/// Open a database with its write-ahead log attached, replaying any frames
+/// a previous crash left behind.
+fn open_db_durable(path: &str, opts: WalOptions) -> Result<(ExperimentDb, RecoveryReport), String> {
+    ExperimentDb::open_durable(Path::new(path), opts).map_err(err)
+}
+
+/// One-line human summary of a recovery, or `None` if the log was clean.
+fn recovery_summary(report: &RecoveryReport) -> Option<String> {
+    if report.frames_replayed == 0 && report.torn_bytes == 0 && report.replay_errors == 0 {
+        return None;
+    }
+    Some(format!(
+        "recovered {} frame(s) from write-ahead log ({} torn byte(s) truncated, {} replay error(s))",
+        report.frames_replayed, report.torn_bytes, report.replay_errors
+    ))
 }
 
 const COMMON: &[OptSpec] = &[
@@ -158,11 +202,19 @@ fn cmd_input(argv: Vec<String>) -> Result<String, String> {
             OptSpec { name: "at", takes_value: true },
             OptSpec { name: "force", takes_value: false },
             OptSpec { name: "merge", takes_value: false },
+            OptSpec { name: "wal", takes_value: false },
+            OptSpec { name: "sync", takes_value: true },
+            OptSpec { name: "crash-after-frames", takes_value: true },
         ]),
     )
     .map_err(err)?;
     let db_path = a.require("db").map_err(err)?;
-    let db = open_db(db_path)?;
+    let (db, recovery) = if a.flag("wal") {
+        let (db, report) = open_db_durable(db_path, wal_options(&a)?)?;
+        (db, Some(report))
+    } else {
+        (open_db(db_path)?, None)
+    };
     db.check_access(&user_of(&a), AccessLevel::Input).map_err(err)?;
 
     let policy = match a.get("policy").unwrap_or("allow") {
@@ -240,13 +292,40 @@ fn cmd_input(argv: Vec<String>) -> Result<String, String> {
         importer.import_files(&desc, &pairs).map_err(err)?
     };
 
-    save_db(&db, db_path)?;
-    Ok(format!(
+    if db.engine().has_wal() {
+        // The log already holds every statement durably; fold it into the
+        // dump and compact so the next open starts from a clean checkpoint.
+        db.checkpoint(Path::new(db_path)).map_err(err)?;
+    } else {
+        save_db(&db, db_path)?;
+    }
+    let mut out = String::new();
+    if let Some(line) = recovery.as_ref().and_then(recovery_summary) {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!(
         "imported {} run(s), discarded {}, skipped {} duplicate file(s)",
         report.runs_created.len(),
         report.runs_discarded,
         report.duplicates_skipped
-    ))
+    ));
+    Ok(out)
+}
+
+fn cmd_checkpoint(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(argv, &with(&[OptSpec { name: "sync", takes_value: true }]))
+        .map_err(err)?;
+    let db_path = a.require("db").map_err(err)?;
+    let (db, report) = open_db_durable(db_path, wal_options(&a)?)?;
+    let frames = db.checkpoint(Path::new(db_path)).map_err(err)?;
+    let mut out = String::new();
+    if let Some(line) = recovery_summary(&report) {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!("checkpointed {db_path}: {frames} log frame(s) compacted"));
+    Ok(out)
 }
 
 /// Parse a `--latency` option value into a [`LatencyModel`].

@@ -8,9 +8,12 @@
 
 use crate::engine::Engine;
 use crate::error::DbError;
+use crate::schema::Schema;
 use crate::sql;
+use crate::table::Row;
 use crate::value::Value;
 use std::fmt::Write as _;
+use std::io::Write as _;
 
 impl Engine {
     /// Serialize every non-TEMP table as an SQL script.
@@ -23,29 +26,10 @@ impl Engine {
             }
             let (schema, rows) = self.read_snapshot(&name).expect("table listed");
             let indexes = self.table(&name).expect("table listed").read().index_columns();
-            let cols: Vec<String> = schema
-                .columns
-                .iter()
-                .map(|c| {
-                    format!(
-                        "{} {}{}",
-                        c.name,
-                        c.dtype.sql_name(),
-                        if c.nullable { "" } else { " NOT NULL" }
-                    )
-                })
-                .collect();
-            let _ = writeln!(out, "CREATE TABLE {name} ({});", cols.join(", "));
+            let _ = writeln!(out, "{};", render_create_table(&name, &schema, false));
             for chunk in rows.chunks(64) {
-                let tuples: Vec<String> = chunk
-                    .iter()
-                    .map(|row| {
-                        let vals: Vec<String> = row.iter().map(dump_literal).collect();
-                        format!("({})", vals.join(", "))
-                    })
-                    .collect();
-                if !tuples.is_empty() {
-                    let _ = writeln!(out, "INSERT INTO {name} VALUES {};", tuples.join(", "));
+                if !chunk.is_empty() {
+                    let _ = writeln!(out, "{};", render_insert(&name, chunk));
                 }
             }
             for (ix_name, column) in indexes {
@@ -72,9 +56,18 @@ impl Engine {
         Ok(e)
     }
 
-    /// Persist to a file.
+    /// Persist to a file, atomically: the dump is written to a sibling tmp
+    /// file, fsynced, then renamed into place — a crash mid-save leaves the
+    /// previous dump intact (the WAL checkpoint path depends on this).
     pub fn save_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.dump_sql())
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(self.dump_sql().as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
     }
 
     /// Load from a file written by [`Engine::save_to_file`].
@@ -85,9 +78,45 @@ impl Engine {
     }
 }
 
+/// Render a `CREATE TABLE` statement for a schema (no trailing `;`).
+/// Shared by the dump and the WAL, which logs programmatic DDL as SQL text.
+pub(crate) fn render_create_table(name: &str, schema: &Schema, if_not_exists: bool) -> String {
+    let cols: Vec<String> = schema
+        .columns
+        .iter()
+        .map(|c| {
+            format!(
+                "{} {}{}",
+                c.name,
+                c.dtype.sql_name(),
+                if c.nullable { "" } else { " NOT NULL" }
+            )
+        })
+        .collect();
+    format!(
+        "CREATE TABLE {}{name} ({})",
+        if if_not_exists { "IF NOT EXISTS " } else { "" },
+        cols.join(", ")
+    )
+}
+
+/// Render a multi-row `INSERT` statement (no trailing `;`).
+pub(crate) fn render_insert(name: &str, rows: &[Row]) -> String {
+    let tuples: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let vals: Vec<String> = row.iter().map(dump_literal).collect();
+            format!("({})", vals.join(", "))
+        })
+        .collect();
+    format!("INSERT INTO {name} VALUES {}", tuples.join(", "))
+}
+
 /// Literal form that parses back to the identical value (timestamps stay
-/// integers and are re-coerced by the column type on insert).
-fn dump_literal(v: &Value) -> String {
+/// integers and are re-coerced by the column type on insert). Text holding
+/// control characters is emitted as an `E'...'` escaped literal so every
+/// statement — dump line or WAL frame — stays on a single line.
+pub(crate) fn dump_literal(v: &Value) -> String {
     match v {
         Value::Null => "NULL".into(),
         Value::Int(i) => i.to_string(),
@@ -98,7 +127,27 @@ fn dump_literal(v: &Value) -> String {
                 "NULL".into()
             }
         }
-        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Text(s) => {
+            if s.contains(['\n', '\r', '\t', '\0']) {
+                let mut out = String::with_capacity(s.len() + 4);
+                out.push_str("E'");
+                for ch in s.chars() {
+                    match ch {
+                        '\\' => out.push_str("\\\\"),
+                        '\'' => out.push_str("''"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        '\0' => out.push_str("\\0"),
+                        other => out.push(other),
+                    }
+                }
+                out.push('\'');
+                out
+            } else {
+                format!("'{}'", s.replace('\'', "''"))
+            }
+        }
         Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.into(),
         Value::Timestamp(t) => t.to_string(),
     }
@@ -179,6 +228,39 @@ mod tests {
         let rs = e2.query("SELECT fs FROM runs WHERE id = 1").unwrap();
         assert_eq!(rs.rows()[0][0], Value::Text("ufs".into()));
         // Fixpoint: the restored engine dumps the index too.
+        assert_eq!(dump, e2.dump_sql());
+    }
+
+    #[test]
+    fn text_with_newlines_and_quotes_roundtrips_on_one_line() {
+        let e = Engine::new();
+        e.execute("CREATE TABLE notes (id INTEGER, body TEXT)").unwrap();
+        let nasty = [
+            "line one\nline two",
+            "quote ' then\nnewline",
+            "tab\there",
+            "cr\rlf\n mix",
+            "back\\slash and \\n literal",
+            "''\n''",
+            "trailing newline\n",
+        ];
+        for (i, s) in nasty.iter().enumerate() {
+            e.insert_rows("notes", vec![vec![Value::Int(i as i64), Value::Text(s.to_string())]])
+                .unwrap();
+        }
+        let dump = e.dump_sql();
+        // Every dumped statement occupies exactly one line: each line of the
+        // dump (minus the header comment) ends with ';' and parses alone.
+        for line in dump.lines().skip(1) {
+            assert!(line.ends_with(';'), "multi-line statement in dump: {line:?}");
+            sql::parse_statement(line).unwrap();
+        }
+        let e2 = Engine::from_sql_dump(&dump).unwrap();
+        let rs = e2.query("SELECT id, body FROM notes ORDER BY id").unwrap();
+        for (i, s) in nasty.iter().enumerate() {
+            assert_eq!(rs.rows()[i][1], Value::Text(s.to_string()), "row {i}");
+        }
+        // Fixpoint: the restored engine dumps identically.
         assert_eq!(dump, e2.dump_sql());
     }
 

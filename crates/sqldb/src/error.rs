@@ -17,6 +17,8 @@ pub enum DbError {
     Type(String),
     /// Anything else (planner/executor invariant violations).
     Execution(String),
+    /// Durability-layer I/O failure (WAL append/recovery, checkpoint).
+    Io(String),
 }
 
 impl fmt::Display for DbError {
@@ -28,6 +30,7 @@ impl fmt::Display for DbError {
             DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
             DbError::Type(m) => write!(f, "type error: {m}"),
             DbError::Execution(m) => write!(f, "execution error: {m}"),
+            DbError::Io(m) => write!(f, "I/O error: {m}"),
         }
     }
 }

@@ -430,10 +430,13 @@ fn names_resolve(e: &SqlExpr, schema: &Schema) -> bool {
     }
 }
 
-/// Candidate row positions for an index-assisted point lookup: the first
-/// `col = <const>` AND-conjunct whose column carries an index. Returns
-/// `None` when no index applies (full scan). Candidates are in row order;
-/// the caller still applies the full WHERE to them.
+/// Candidate row positions for an index-assisted point lookup. All
+/// `col = <const>` AND-conjuncts whose column carries an index compete;
+/// the most selective index wins — measured by distinct-key count, since
+/// more distinct keys means fewer rows behind each key. A conjunct whose
+/// literal can never match its column type short-circuits to an empty
+/// candidate set. Returns `None` when no index applies (full scan).
+/// Candidates are in row order; the caller still applies the full WHERE.
 fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Vec<usize>> {
     let w = where_clause?;
     if !names_resolve(w, &table.schema) {
@@ -441,6 +444,7 @@ fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Ve
     }
     let mut conjuncts = Vec::new();
     split_conjuncts(w, &mut conjuncts);
+    let mut best: Option<(usize, usize, ValueKey)> = None; // (distinct, col, key)
     for c in conjuncts {
         let SqlExpr::Binary("=", l, r) = c else { continue };
         let (name, lit) = match (&**l, &**r) {
@@ -449,15 +453,19 @@ fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Ve
             _ => continue,
         };
         let Some(ci) = table.schema.index_of(name) else { continue };
-        if !table.has_index_on(ci) {
-            continue;
+        let Some(distinct) = table.index_distinct_keys(ci) else { continue };
+        match probe_key(table.schema.columns[ci].dtype, lit) {
+            // A type-impossible conjunct falsifies the whole AND chain.
+            Probe::Never => return Some(Vec::new()),
+            Probe::Key(key) => {
+                if best.as_ref().is_none_or(|(d, _, _)| distinct > *d) {
+                    best = Some((distinct, ci, key));
+                }
+            }
         }
-        return match probe_key(table.schema.columns[ci].dtype, lit) {
-            Probe::Never => Some(Vec::new()),
-            Probe::Key(key) => table.index_lookup(ci, &key).map(<[usize]>::to_vec),
-        };
     }
-    None
+    let (_, ci, key) = best?;
+    table.index_lookup(ci, &key).map(<[usize]>::to_vec)
 }
 
 /// Group-key column indices, when every GROUP BY name resolves and the
@@ -1308,6 +1316,46 @@ mod tests {
         e.execute("UPDATE t SET id = 7 WHERE id = 3").unwrap();
         let rs = e.query("SELECT grp FROM t WHERE id = 7").unwrap();
         assert_eq!(rs.rows()[0][0], Value::Text("z".into()));
+    }
+
+    #[test]
+    fn most_selective_index_wins() {
+        use crate::sql::{self, Stmt};
+        // 1000 rows: `flag` has 2 distinct values (500 rows each), `id` has
+        // 1000 distinct values (1 row each). Both are indexed; the planner
+        // must probe `id`, not the first conjunct's `flag`.
+        let e = Engine::new();
+        e.execute("CREATE TABLE big (id INTEGER, flag INTEGER, v FLOAT)").unwrap();
+        let mut rows = Vec::new();
+        for i in 0..1000 {
+            rows.push(vec![Value::Int(i), Value::Int(i % 2), Value::Float(i as f64)]);
+        }
+        e.insert_rows("big", rows).unwrap();
+        e.execute("CREATE INDEX ix_flag ON big (flag)").unwrap();
+        e.execute("CREATE INDEX ix_id ON big (id)").unwrap();
+
+        let plan = |q: &str| -> Option<Vec<usize>> {
+            let Stmt::Select(sel) = sql::parse_statement(q).unwrap() else { unreachable!() };
+            let t = e.table("big").unwrap();
+            let guard = t.read();
+            plan_point_lookup(sel.where_clause.as_ref(), &guard)
+        };
+
+        // flag listed first, id second: still 1 candidate, not 500.
+        let c = plan("SELECT v FROM big WHERE flag = 1 AND id = 7").unwrap();
+        assert_eq!(c, vec![7], "planner must pick the id index (1000 distinct keys)");
+        // Either order.
+        let c = plan("SELECT v FROM big WHERE id = 8 AND flag = 0").unwrap();
+        assert_eq!(c, vec![8]);
+        // Single applicable index still works.
+        let c = plan("SELECT v FROM big WHERE flag = 1").unwrap();
+        assert_eq!(c.len(), 500);
+        // A type-impossible conjunct anywhere falsifies the AND chain.
+        let c = plan("SELECT v FROM big WHERE flag = 1 AND id = 'nope'").unwrap();
+        assert!(c.is_empty());
+        // And the query results agree with a full scan either way.
+        let rs = e.query("SELECT v FROM big WHERE flag = 1 AND id = 7").unwrap();
+        assert_eq!(rs.rows(), &[vec![Value::Float(7.0)]]);
     }
 
     #[test]

@@ -51,9 +51,11 @@ pub mod sql;
 pub mod sync;
 mod table;
 mod value;
+pub mod wal;
 
 pub use engine::{Engine, ResultSet};
 pub use error::DbError;
+pub use wal::{IoFailpoint, RecoveryReport, SyncPolicy, Wal, WalOptions};
 pub use schema::{Column, Schema};
 pub use table::Table;
 pub use value::{format_timestamp, parse_timestamp, DataType, Value, ValueKey};

@@ -92,6 +92,47 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, DbError> {
                 }
             }
             toks.push(Token::Str(s));
+        } else if (c == 'E' || c == 'e') && chars.get(i + 1) == Some(&'\'') {
+            // Escaped string literal (PostgreSQL style): E'line1\nline2'.
+            // The dump emits these for text containing control characters so
+            // that every dumped statement stays on a single line.
+            i += 2;
+            let mut s = String::new();
+            loop {
+                match chars.get(i) {
+                    None => return Err(DbError::Parse("unterminated string literal".into())),
+                    Some('\\') => {
+                        match chars.get(i + 1) {
+                            Some('n') => s.push('\n'),
+                            Some('r') => s.push('\r'),
+                            Some('t') => s.push('\t'),
+                            Some('\\') => s.push('\\'),
+                            Some('\'') => s.push('\''),
+                            Some('0') => s.push('\0'),
+                            other => {
+                                return Err(DbError::Parse(format!(
+                                    "unknown escape '\\{}' in E'...' literal",
+                                    other.map(|c| c.to_string()).unwrap_or_default()
+                                )))
+                            }
+                        }
+                        i += 2;
+                    }
+                    Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some('\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&x) => {
+                        s.push(x);
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Token::Str(s));
         } else if c.is_alphabetic() || c == '_' {
             let start = i;
             while i < chars.len()
@@ -185,5 +226,19 @@ mod tests {
     fn errors() {
         assert!(tokenize("'unterminated").is_err());
         assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn escaped_string_literals() {
+        let t = tokenize(r"E'a\nb\tc\\d''e'").unwrap();
+        assert_eq!(t, vec![Token::Str("a\nb\tc\\d'e".into())]);
+        // Lowercase prefix and backslash-quote escape both work.
+        let t = tokenize(r"e'x\'y'").unwrap();
+        assert_eq!(t, vec![Token::Str("x'y".into())]);
+        // A word starting with E that is not followed by a quote stays a word.
+        let t = tokenize("Elapsed").unwrap();
+        assert_eq!(t, vec![Token::Word("Elapsed".into())]);
+        assert!(tokenize(r"E'bad \q escape'").is_err());
+        assert!(tokenize("E'unterminated").is_err());
     }
 }

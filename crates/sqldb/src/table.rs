@@ -100,6 +100,13 @@ impl Table {
         Some(ix.map.get(key).map(Vec::as_slice).unwrap_or(&[]))
     }
 
+    /// Number of distinct keys in the index over `column`, or `None` when
+    /// the column carries no index. The planner uses this as a selectivity
+    /// proxy: more distinct keys → fewer rows per key → cheaper probe.
+    pub fn index_distinct_keys(&self, column: usize) -> Option<usize> {
+        self.indexes.iter().find(|ix| ix.column == column).map(|ix| ix.map.len())
+    }
+
     /// `(index name, column name)` for every index, in creation order. Used
     /// by the SQL dumper to round-trip indexes.
     pub fn index_columns(&self) -> Vec<(String, String)> {

@@ -1,0 +1,808 @@
+//! Write-ahead log: append-only, checksummed statement log with group
+//! commit, crash recovery, and deterministic fault injection.
+//!
+//! The SQL-dump persistence of [`crate::Engine`] writes the whole catalog
+//! at once — a crash mid-import loses every statement since the last dump.
+//! The WAL closes that hole: every mutating statement is framed as
+//!
+//! ```text
+//! [ len: u32 LE | seq: u64 LE | crc32: u32 LE | payload (len bytes) ]
+//! ```
+//!
+//! and appended to the log *before* the engine applies it. The CRC covers
+//! the sequence number and the payload, so a frame that was torn by a
+//! crash, bit-flipped, or mis-positioned never validates. On open,
+//! recovery scans the log from the last checkpoint, replays every valid
+//! frame, and physically truncates the first torn or corrupt tail frame —
+//! a half-written statement is dropped entirely, never half-applied.
+//!
+//! Durability cost is tunable per [`SyncPolicy`]: `Always` fsyncs every
+//! frame, `Group` batches fsyncs inside a group-commit window (the
+//! default), `Off` leaves flushing to the OS. A *checkpoint* writes the
+//! ordinary SQL dump (atomically, via tmp + rename) and then compacts the
+//! log back to its 16-byte header; sequence numbers keep counting across
+//! checkpoints so a stale pre-checkpoint log segment can never be mistaken
+//! for a fresh one.
+//!
+//! The [`IoFailpoint`] hook makes crashes deterministic for tests: a torn
+//! write at byte N, a clean crash after k frames, or a short read during
+//! recovery. The crash-consistency suite (`tests/wal_crash.rs` and the
+//! workspace-level `crash_recovery.rs`) kills imports at randomized points
+//! through these failpoints and asserts that the reopened database equals
+//! a reference statement prefix.
+#![warn(missing_docs)]
+
+use crate::error::DbError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Magic bytes opening every WAL file.
+const MAGIC: &[u8; 4] = b"PBWL";
+/// On-disk format version.
+const VERSION: u32 = 1;
+/// Header: magic (4) + version (4) + start_seq (8).
+const HEADER_LEN: u64 = 16;
+/// Frame header: len (4) + seq (8) + crc (4).
+const FRAME_HEADER_LEN: usize = 16;
+/// Upper bound on a single frame payload — recovery treats anything larger
+/// as a corrupt length field rather than attempting the allocation.
+const MAX_PAYLOAD: u32 = 256 * 1024 * 1024;
+
+/// When the log forces its buffered frames to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every appended frame — maximum durability, slowest.
+    Always,
+    /// Group commit: frames are written immediately but fsync is issued at
+    /// most once per window, amortizing the sync cost over every statement
+    /// that arrived inside it.
+    Group(Duration),
+    /// Never fsync explicitly; the OS flushes when it pleases.
+    Off,
+}
+
+impl SyncPolicy {
+    /// The default group-commit window (5 ms).
+    pub fn group_default() -> Self {
+        SyncPolicy::Group(Duration::from_millis(5))
+    }
+}
+
+impl Default for SyncPolicy {
+    fn default() -> Self {
+        SyncPolicy::group_default()
+    }
+}
+
+/// Options controlling a [`Wal`]'s durability and fault behavior.
+#[derive(Debug, Clone, Default)]
+pub struct WalOptions {
+    /// fsync policy.
+    pub sync: SyncPolicy,
+    /// Fault-injection hook; [`IoFailpoint::none`] in production.
+    pub failpoint: Arc<IoFailpoint>,
+}
+
+impl WalOptions {
+    /// Options with the given sync policy and no fault injection.
+    pub fn with_sync(sync: SyncPolicy) -> Self {
+        WalOptions { sync, failpoint: Arc::new(IoFailpoint::none()) }
+    }
+}
+
+/// Deterministic I/O fault injection for crash-consistency tests.
+///
+/// A failpoint wraps the log file's reads and writes. Once *tripped* the
+/// WAL behaves like a killed process: every further append fails with
+/// [`DbError::Io`], and whatever bytes reached the file stay exactly as
+/// they were — including a torn, partially-written tail frame.
+#[derive(Debug)]
+pub struct IoFailpoint {
+    /// Bytes still allowed to reach the file; `u64::MAX` = unlimited.
+    write_budget: AtomicU64,
+    /// Complete frames still allowed; `u64::MAX` = unlimited.
+    frame_budget: AtomicU64,
+    /// Bytes recovery is allowed to read back; `u64::MAX` = unlimited
+    /// (models a short read of a truncated or still-dirty file).
+    read_budget: AtomicU64,
+    /// Tripped: the simulated process is dead.
+    crashed: AtomicBool,
+}
+
+impl Default for IoFailpoint {
+    /// Defaults to a failpoint that never fires (unlimited budgets).
+    fn default() -> Self {
+        IoFailpoint::none()
+    }
+}
+
+impl IoFailpoint {
+    /// A failpoint that never fires.
+    pub fn none() -> Self {
+        IoFailpoint {
+            write_budget: AtomicU64::new(u64::MAX),
+            frame_budget: AtomicU64::new(u64::MAX),
+            read_budget: AtomicU64::new(u64::MAX),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// Crash with a torn write: the append that would push the total bytes
+    /// written past `bytes` is cut short mid-frame, then the failpoint
+    /// trips.
+    pub fn torn_write_after(bytes: u64) -> Self {
+        let fp = IoFailpoint::none();
+        fp.write_budget.store(bytes, Ordering::SeqCst);
+        fp
+    }
+
+    /// Crash cleanly after `frames` complete frames have been appended.
+    pub fn crash_after_frames(frames: u64) -> Self {
+        let fp = IoFailpoint::none();
+        fp.frame_budget.store(frames, Ordering::SeqCst);
+        if frames == 0 {
+            fp.crashed.store(true, Ordering::SeqCst);
+        }
+        fp
+    }
+
+    /// Make recovery see only the first `bytes` bytes of the log (a short
+    /// read); everything past it looks like a torn tail.
+    pub fn short_read_after(bytes: u64) -> Self {
+        let fp = IoFailpoint::none();
+        fp.read_budget.store(bytes, Ordering::SeqCst);
+        fp
+    }
+
+    /// Has the simulated crash happened?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Clear the crash state and all budgets (the "process restart" before
+    /// reopening the log in a test).
+    pub fn reset(&self) {
+        self.write_budget.store(u64::MAX, Ordering::SeqCst);
+        self.frame_budget.store(u64::MAX, Ordering::SeqCst);
+        self.read_budget.store(u64::MAX, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    fn check_alive(&self) -> Result<(), DbError> {
+        if self.is_crashed() {
+            return Err(DbError::Io("simulated crash: write-ahead log is gone".into()));
+        }
+        Ok(())
+    }
+
+    /// How many of `want` bytes the next write may really deliver; trips
+    /// the crash flag when the budget is exceeded.
+    fn admit_write(&self, want: u64) -> u64 {
+        let budget = self.write_budget.load(Ordering::SeqCst);
+        if budget == u64::MAX {
+            return want;
+        }
+        let allowed = want.min(budget);
+        self.write_budget.store(budget - allowed, Ordering::SeqCst);
+        if allowed < want {
+            self.crashed.store(true, Ordering::SeqCst);
+        }
+        allowed
+    }
+
+    /// Account one complete frame; trips the crash flag when the frame
+    /// budget is used up.
+    fn admit_frame(&self) {
+        let budget = self.frame_budget.load(Ordering::SeqCst);
+        if budget == u64::MAX {
+            return;
+        }
+        let left = budget.saturating_sub(1);
+        self.frame_budget.store(left, Ordering::SeqCst);
+        if left == 0 {
+            self.crashed.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Clamp a recovery read to the read budget.
+    fn clamp_read(&self, len: u64) -> u64 {
+        let budget = self.read_budget.load(Ordering::SeqCst);
+        if budget == u64::MAX {
+            len
+        } else {
+            len.min(budget)
+        }
+    }
+}
+
+/// What recovery found when the log was opened.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid frames replayed from the log.
+    pub frames_replayed: u64,
+    /// Bytes of torn/corrupt tail physically truncated.
+    pub torn_bytes: u64,
+    /// Replayed statements that failed to execute (they failed identically
+    /// in the original run — replay reproduces the engine state exactly).
+    pub replay_errors: u64,
+    /// First sequence number of the current log segment (advances at every
+    /// checkpoint compaction).
+    pub start_seq: u64,
+    /// Sequence number the next appended frame will carry.
+    pub next_seq: u64,
+}
+
+/// The write-ahead log: an open, append-positioned log file.
+///
+/// Appends under [`SyncPolicy::Group`] and [`SyncPolicy::Off`] accumulate
+/// in an in-process buffer and reach the file in one write at sync time —
+/// that write batching is what keeps group commit within the issue's 1.5x
+/// import-overhead budget. The buffer plays the role of the OS page cache
+/// in the fault model: a simulated crash ([`IoFailpoint`]) flushes it to
+/// the file first (data handed to a live OS survives process death), while
+/// only `sync()` makes it durable against the simulated machine.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    opts: WalOptions,
+    /// Frames appended but not yet written to the file.
+    buf: Vec<u8>,
+    /// Sequence number of the next frame.
+    next_seq: u64,
+    /// First seq of this segment (post-checkpoint).
+    start_seq: u64,
+    /// Frames appended since the last fsync.
+    unsynced: u64,
+    /// When the current group-commit window opened.
+    window_open: Option<Instant>,
+    /// Total frames currently in the log segment.
+    frames: u64,
+}
+
+impl Wal {
+    /// Create a fresh, empty log at `path` (truncating any existing file),
+    /// starting at sequence `start_seq`.
+    pub fn create(path: &Path, opts: WalOptions, start_seq: u64) -> Result<Wal, DbError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err(path, "create", &e))?;
+        write_header(&mut file, path, start_seq)?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            opts,
+            buf: Vec::new(),
+            next_seq: start_seq,
+            start_seq,
+            unsynced: 0,
+            window_open: None,
+            frames: 0,
+        })
+    }
+
+    /// Open (or create) the log at `path`, scan and validate every frame,
+    /// truncate any torn tail, and return the log positioned for appending
+    /// plus the decoded statements in order. The caller replays the
+    /// statements into its engine *before* attaching the log, so the
+    /// replay itself is not re-logged.
+    pub fn open_recover(
+        path: &Path,
+        opts: WalOptions,
+    ) -> Result<(Wal, Vec<String>, RecoveryReport), DbError> {
+        if !path.exists() {
+            let wal = Wal::create(path, opts, 1)?;
+            let report = RecoveryReport { start_seq: 1, next_seq: 1, ..RecoveryReport::default() };
+            return Ok((wal, Vec::new(), report));
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, "open", &e))?;
+        let file_len = file.metadata().map_err(|e| io_err(path, "stat", &e))?.len();
+        let readable = opts.failpoint.clamp_read(file_len);
+
+        let mut bytes = vec![0u8; readable as usize];
+        file.read_exact(&mut bytes).map_err(|e| io_err(path, "read", &e))?;
+
+        // Header: malformed/foreign files are refused rather than silently
+        // truncated to nothing — a wrong path should be loud.
+        if bytes.len() < HEADER_LEN as usize {
+            // A torn header can only come from a crash during create();
+            // rebuild an empty segment.
+            let wal = Wal::create(path, opts, 1)?;
+            let report = RecoveryReport {
+                torn_bytes: readable,
+                start_seq: 1,
+                next_seq: 1,
+                ..RecoveryReport::default()
+            };
+            return Ok((wal, Vec::new(), report));
+        }
+        if &bytes[0..4] != MAGIC {
+            return Err(DbError::Io(format!(
+                "{} is not a perfbase WAL (bad magic)",
+                path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(DbError::Io(format!(
+                "{}: unsupported WAL version {version}",
+                path.display()
+            )));
+        }
+        let start_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+
+        // Scan frames until the tail stops validating.
+        let mut statements = Vec::new();
+        let mut pos = HEADER_LEN as usize;
+        let mut seq = start_seq;
+        while let Some((payload, next)) = read_frame(&bytes, pos, seq) {
+            statements.push(payload);
+            pos = next;
+            seq += 1;
+        }
+        let valid_len = pos as u64;
+        let torn = file_len.saturating_sub(valid_len);
+        if torn > 0 {
+            file.set_len(valid_len).map_err(|e| io_err(path, "truncate", &e))?;
+            file.sync_all().map_err(|e| io_err(path, "sync", &e))?;
+        }
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err(path, "seek", &e))?;
+
+        let frames = statements.len() as u64;
+        let report = RecoveryReport {
+            frames_replayed: frames,
+            torn_bytes: torn,
+            replay_errors: 0,
+            start_seq,
+            next_seq: seq,
+        };
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            opts,
+            buf: Vec::new(),
+            next_seq: seq,
+            start_seq,
+            unsynced: 0,
+            window_open: None,
+            frames,
+        };
+        Ok((wal, statements, report))
+    }
+
+    /// Append one statement as a frame; returns its sequence number. The
+    /// frame is logged (buffered, written and synced as the policy
+    /// dictates) before this returns — the caller applies the statement to
+    /// the engine only afterwards.
+    pub fn append(&mut self, stmt: &str) -> Result<u64, DbError> {
+        let fp = self.opts.failpoint.clone();
+        fp.check_alive()?;
+        let payload = stmt.as_bytes();
+        if payload.len() as u64 > MAX_PAYLOAD as u64 {
+            return Err(DbError::Io(format!("statement of {} bytes exceeds WAL frame limit", payload.len())));
+        }
+        let seq = self.next_seq;
+        // Build the frame in place at the tail of the pending buffer — no
+        // per-append allocation.
+        let frame_len = FRAME_HEADER_LEN + payload.len();
+        let start = self.buf.len();
+        self.buf.reserve(frame_len);
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&seq.to_le_bytes());
+        self.buf.extend_from_slice(&frame_crc(seq, payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+
+        let allowed = fp.admit_write(frame_len as u64) as usize;
+        if allowed < frame_len {
+            self.buf.truncate(start + allowed);
+            // Torn write: everything handed over before the crash —
+            // including the partial frame — made it to the file, so flush
+            // it there, then die.
+            self.flush_buffer()?;
+            let _ = self.file.sync_data();
+            return Err(DbError::Io(format!(
+                "simulated crash: torn write after {allowed} of {frame_len} frame bytes"
+            )));
+        }
+        self.next_seq += 1;
+        self.frames += 1;
+        self.unsynced += 1;
+        self.maybe_sync()?;
+        fp.admit_frame();
+        if fp.is_crashed() {
+            // Clean crash on the frame budget: the completed frames reach
+            // the file (they survive a process death), just not stable
+            // storage.
+            self.flush_buffer()?;
+        }
+        Ok(seq)
+    }
+
+    /// Write buffered frames to the log file (no fsync).
+    fn flush_buffer(&mut self) -> Result<(), DbError> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf).map_err(|e| io_err(&self.path, "append", &e))?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Apply the sync policy after an append.
+    fn maybe_sync(&mut self) -> Result<(), DbError> {
+        match self.opts.sync {
+            SyncPolicy::Always => self.sync(),
+            SyncPolicy::Off => Ok(()),
+            SyncPolicy::Group(window) => {
+                let now = Instant::now();
+                match self.window_open {
+                    None => {
+                        // First frame of a new window rides on the previous
+                        // sync; open the window.
+                        self.window_open = Some(now);
+                        Ok(())
+                    }
+                    Some(opened) if now.duration_since(opened) >= window => self.sync(),
+                    Some(_) => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Force every written frame to stable storage (closes the current
+    /// group-commit window).
+    pub fn sync(&mut self) -> Result<(), DbError> {
+        if self.unsynced > 0 {
+            self.flush_buffer()?;
+            self.file.sync_data().map_err(|e| io_err(&self.path, "fsync", &e))?;
+            self.unsynced = 0;
+        }
+        self.window_open = None;
+        Ok(())
+    }
+
+    /// Compact the log after a successful checkpoint: drop every frame
+    /// (they are all reflected in the checkpoint dump) and restart the
+    /// segment at the next sequence number. Returns frames dropped.
+    pub fn compact(&mut self) -> Result<u64, DbError> {
+        self.sync()?;
+        self.buf.clear();
+        let dropped = self.frames;
+        self.start_seq = self.next_seq;
+        self.file.set_len(0).map_err(|e| io_err(&self.path, "truncate", &e))?;
+        self.file.seek(SeekFrom::Start(0)).map_err(|e| io_err(&self.path, "seek", &e))?;
+        write_header(&mut self.file, &self.path, self.start_seq)?;
+        self.frames = 0;
+        self.unsynced = 0;
+        self.window_open = None;
+        Ok(dropped)
+    }
+
+    /// Sequence number the next frame will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Frames currently in the log segment.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The fault-injection hook this log writes through.
+    pub fn failpoint(&self) -> &Arc<IoFailpoint> {
+        &self.opts.failpoint
+    }
+}
+
+impl Drop for Wal {
+    /// A clean process exit hands pending frames to the OS (like page-cache
+    /// writeback); only a simulated crash can lose the unsynced buffer.
+    fn drop(&mut self) {
+        if !self.opts.failpoint.is_crashed() {
+            let _ = self.flush_buffer();
+        }
+    }
+}
+
+/// Validate and decode the frame at `pos`; `None` on any torn/corrupt/
+/// out-of-sequence frame (recovery truncates there).
+fn read_frame(bytes: &[u8], pos: usize, expect_seq: u64) -> Option<(String, usize)> {
+    let header_end = pos.checked_add(FRAME_HEADER_LEN)?;
+    if header_end > bytes.len() {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().ok()?);
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let seq = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().ok()?);
+    let crc = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().ok()?);
+    let end = header_end.checked_add(len as usize)?;
+    if end > bytes.len() {
+        return None;
+    }
+    if seq != expect_seq {
+        return None;
+    }
+    let payload = &bytes[header_end..end];
+    if frame_crc(seq, payload) != crc {
+        return None;
+    }
+    let text = String::from_utf8(payload.to_vec()).ok()?;
+    Some((text, end))
+}
+
+fn write_header(file: &mut File, path: &Path, start_seq: u64) -> Result<(), DbError> {
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&start_seq.to_le_bytes());
+    file.write_all(&header).map_err(|e| io_err(path, "write header", &e))?;
+    file.sync_data().map_err(|e| io_err(path, "sync header", &e))?;
+    Ok(())
+}
+
+fn io_err(path: &Path, op: &str, e: &std::io::Error) -> DbError {
+    DbError::Io(format!("{op} {}: {e}", path.display()))
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over the frame's sequence
+/// number followed by its payload.
+pub fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
+    let mut crc = crc32_update(0xFFFF_FFFF, &seq.to_le_bytes());
+    crc = crc32_update(crc, payload);
+    !crc
+}
+
+/// IEEE CRC-32 lookup table (reflected polynomial), built at compile time.
+/// Byte-at-a-time lookups keep the per-frame checksum off the append hot
+/// path — the bit-at-a-time loop showed up in the `wal_append` microbench.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("perfbase_wal_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC32("123456789") == 0xCBF43926 for the IEEE polynomial.
+        let crc = !crc32_update(0xFFFF_FFFF, b"123456789");
+        assert_eq!(crc, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_and_recover_roundtrip() {
+        let path = tmp("roundtrip.wal");
+        let mut wal = Wal::create(&path, WalOptions::with_sync(SyncPolicy::Off), 1).unwrap();
+        for i in 0..10 {
+            let seq = wal.append(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+            assert_eq!(seq, 1 + i);
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let (wal, stmts, report) =
+            Wal::open_recover(&path, WalOptions::default()).unwrap();
+        assert_eq!(stmts.len(), 10);
+        assert_eq!(stmts[3], "INSERT INTO t VALUES (3)");
+        assert_eq!(report.frames_replayed, 10);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(report.next_seq, 11);
+        assert_eq!(wal.next_seq(), 11);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = tmp("torn.wal");
+        let mut wal = Wal::create(&path, WalOptions::with_sync(SyncPolicy::Off), 1).unwrap();
+        wal.append("CREATE TABLE t (a INTEGER)").unwrap();
+        wal.append("INSERT INTO t VALUES (1)").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Chop 5 bytes off the last frame.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        let (wal, stmts, report) = Wal::open_recover(&path, WalOptions::default()).unwrap();
+        assert_eq!(stmts, vec!["CREATE TABLE t (a INTEGER)".to_string()]);
+        assert_eq!(report.frames_replayed, 1);
+        assert!(report.torn_bytes > 0);
+        // The file was physically truncated to the last valid frame.
+        let truncated = std::fs::metadata(&path).unwrap().len();
+        assert!(truncated < len - 5 || truncated == len - 5 - report.torn_bytes + (len - 5 - truncated));
+        // Appending after recovery continues the sequence.
+        assert_eq!(wal.next_seq(), 2);
+    }
+
+    #[test]
+    fn corrupt_crc_cuts_log_there() {
+        let path = tmp("crc.wal");
+        let mut wal = Wal::create(&path, WalOptions::with_sync(SyncPolicy::Off), 1).unwrap();
+        wal.append("A1").unwrap();
+        wal.append("B2").unwrap();
+        wal.append("C3").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Flip one payload byte of the second frame. Frames are 16+2 bytes.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_payload = HEADER_LEN as usize + 18 + 16;
+        bytes[second_payload] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, stmts, report) = Wal::open_recover(&path, WalOptions::default()).unwrap();
+        assert_eq!(stmts, vec!["A1".to_string()]);
+        // Frames 2 and 3 are gone — corruption truncates the tail.
+        assert_eq!(report.frames_replayed, 1);
+        assert!(report.torn_bytes >= 18 * 2);
+    }
+
+    #[test]
+    fn torn_write_failpoint_trips_and_recovers_prefix() {
+        let path = tmp("failpoint.wal");
+        let fp = Arc::new(IoFailpoint::torn_write_after(50));
+        let opts = WalOptions { sync: SyncPolicy::Off, failpoint: fp.clone() };
+        let mut wal = Wal::create(&path, opts, 1).unwrap();
+        let mut ok = 0;
+        let mut died = false;
+        for i in 0..100 {
+            match wal.append(&format!("stmt {i}")) {
+                Ok(_) => ok += 1,
+                Err(e) => {
+                    assert!(e.to_string().contains("simulated crash"), "{e}");
+                    died = true;
+                    break;
+                }
+            }
+        }
+        assert!(died, "failpoint never fired");
+        assert!(fp.is_crashed());
+        // Further appends also fail.
+        assert!(wal.append("after death").is_err());
+        drop(wal);
+        fp.reset();
+        let (_, stmts, report) = Wal::open_recover(&path, WalOptions::default()).unwrap();
+        assert_eq!(stmts.len(), ok);
+        assert!(report.torn_bytes > 0, "the torn frame should be on disk");
+    }
+
+    #[test]
+    fn crash_after_frames_is_clean() {
+        let path = tmp("frames.wal");
+        let fp = Arc::new(IoFailpoint::crash_after_frames(3));
+        let opts = WalOptions { sync: SyncPolicy::Off, failpoint: fp.clone() };
+        let mut wal = Wal::create(&path, opts, 1).unwrap();
+        for i in 0..3 {
+            wal.append(&format!("s{i}")).unwrap();
+        }
+        assert!(wal.append("s3").is_err());
+        drop(wal);
+        fp.reset();
+        let (_, stmts, report) = Wal::open_recover(&path, WalOptions::default()).unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(report.torn_bytes, 0, "clean crash leaves no torn tail");
+    }
+
+    #[test]
+    fn short_read_failpoint_truncates_recovery() {
+        let path = tmp("shortread.wal");
+        let mut wal = Wal::create(&path, WalOptions::with_sync(SyncPolicy::Off), 1).unwrap();
+        for i in 0..5 {
+            wal.append(&format!("statement number {i}")).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let full = std::fs::metadata(&path).unwrap().len();
+        let fp = Arc::new(IoFailpoint::short_read_after(full - 10));
+        let opts = WalOptions { sync: SyncPolicy::Off, failpoint: fp };
+        let (_, stmts, _) = Wal::open_recover(&path, opts).unwrap();
+        assert_eq!(stmts.len(), 4, "short read must drop exactly the last frame");
+    }
+
+    #[test]
+    fn compaction_resets_segment_and_keeps_seq_monotonic() {
+        let path = tmp("compact.wal");
+        let mut wal = Wal::create(&path, WalOptions::with_sync(SyncPolicy::Off), 1).unwrap();
+        for i in 0..4 {
+            wal.append(&format!("s{i}")).unwrap();
+        }
+        let dropped = wal.compact().unwrap();
+        assert_eq!(dropped, 4);
+        assert_eq!(wal.frames(), 0);
+        let seq = wal.append("after checkpoint").unwrap();
+        assert_eq!(seq, 5, "sequence numbers keep counting across checkpoints");
+        drop(wal);
+        let (_, stmts, report) = Wal::open_recover(&path, WalOptions::default()).unwrap();
+        assert_eq!(stmts, vec!["after checkpoint".to_string()]);
+        assert_eq!(report.start_seq, 5);
+        assert_eq!(report.next_seq, 6);
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let path = tmp("foreign.wal");
+        std::fs::write(&path, b"-- perfbase embedded database dump\nCREATE TABLE x;").unwrap();
+        let err = Wal::open_recover(&path, WalOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn group_commit_window_batches_syncs() {
+        let path = tmp("group.wal");
+        let opts = WalOptions::with_sync(SyncPolicy::Group(Duration::from_secs(3600)));
+        let mut wal = Wal::create(&path, opts, 1).unwrap();
+        // A huge window: none of these appends should block on fsync.
+        for i in 0..100 {
+            wal.append(&format!("s{i}")).unwrap();
+        }
+        assert!(wal.unsynced > 0, "frames are pending inside the window");
+        wal.sync().unwrap();
+        assert_eq!(wal.unsynced, 0);
+    }
+
+    #[test]
+    fn sync_always_leaves_nothing_pending() {
+        let path = tmp("always.wal");
+        let mut wal = Wal::create(&path, WalOptions::with_sync(SyncPolicy::Always), 1).unwrap();
+        wal.append("s").unwrap();
+        assert_eq!(wal.unsynced, 0);
+    }
+
+    #[test]
+    fn empty_or_missing_file_starts_fresh() {
+        let path = tmp("fresh.wal");
+        std::fs::remove_file(&path).ok();
+        let (wal, stmts, report) = Wal::open_recover(&path, WalOptions::default()).unwrap();
+        assert!(stmts.is_empty());
+        assert_eq!(report.next_seq, 1);
+        assert_eq!(wal.frames(), 0);
+        drop(wal);
+        // A torn header (crash during create) also rebuilds cleanly.
+        std::fs::write(&path, b"PBW").unwrap();
+        let (_, stmts, report) = Wal::open_recover(&path, WalOptions::default()).unwrap();
+        assert!(stmts.is_empty());
+        assert_eq!(report.torn_bytes, 3);
+    }
+}

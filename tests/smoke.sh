@@ -1,8 +1,10 @@
 #!/bin/sh
-# Offline smoke test: full release build, the complete test suite (including
-# the sharded-vs-frontend equivalence suite), a warning-free documentation
+# Offline smoke test: full release build, a warning-free clippy pass, the
+# complete test suite (including the sharded-vs-frontend equivalence suite
+# and the WAL crash-consistency suites), a warning-free documentation
 # build, and the sqldb microbenchmarks (writes BENCH_sqldb.json to the repo
-# root, including the sharded-aggregation transfer numbers).
+# root, including the sharded-aggregation transfer numbers and the
+# wal_append/recovery_replay durability costs).
 # Must pass with no network access and no external crates.
 set -eu
 
@@ -11,11 +13,18 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release
 
+echo "== clippy (deny warnings) =="
+cargo clippy -q -- -D warnings
+
 echo "== tests =="
 cargo test -q
 
 echo "== sharded equivalence =="
 cargo test -q -p perfbase --test sharded_equivalence
+
+echo "== crash consistency (WAL kill points + kill-during-import) =="
+cargo test -q -p sqldb --test wal_crash
+cargo test -q -p perfbase --test crash_recovery
 
 echo "== docs (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet

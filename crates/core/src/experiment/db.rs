@@ -113,14 +113,22 @@ impl ExperimentDb {
         Ok(self.engine.checkpoint(path)?)
     }
 
-    /// Force pending WAL frames to stable storage — on the frontend and,
-    /// when a cluster is attached, on every node. Called by the importer
+    /// Force pending WAL frames to stable storage — on every cluster node
+    /// when one is attached, and on the frontend. Called by the importer
     /// when an import completes, so a finished import survives a crash
     /// even inside an open group-commit window.
+    ///
+    /// Order matters: the backend nodes holding the runs' data tables are
+    /// synced *before* the frontend log that holds the publishing
+    /// `pb_runs` inserts ([`sqldb::cluster::Cluster::sync_wals`] walks
+    /// nodes in reverse, frontend last). Syncing the frontend first would
+    /// let a crash between the two syncs durably publish a run whose data
+    /// frames never reached stable storage, breaking the "data first,
+    /// `pb_runs` last" contract [`ExperimentDb::add_run`] establishes.
     pub fn durability_sync(&self) -> Result<()> {
-        self.engine.wal_sync()?;
-        if let Some(sh) = self.sharding() {
-            sh.cluster().sync_wals()?;
+        match self.sharding() {
+            Some(sh) => sh.cluster().sync_wals()?,
+            None => self.engine.wal_sync()?,
         }
         Ok(())
     }

@@ -116,13 +116,24 @@ fn open_db_durable(path: &str, opts: WalOptions) -> Result<(ExperimentDb, Recove
 
 /// One-line human summary of a recovery, or `None` if the log was clean.
 fn recovery_summary(report: &RecoveryReport) -> Option<String> {
-    if report.frames_replayed == 0 && report.torn_bytes == 0 && report.replay_errors == 0 {
+    if report.frames_replayed == 0
+        && report.frames_skipped == 0
+        && report.torn_bytes == 0
+        && report.replay_errors == 0
+    {
         return None;
     }
-    Some(format!(
+    let mut out = format!(
         "recovered {} frame(s) from write-ahead log ({} torn byte(s) truncated, {} replay error(s))",
         report.frames_replayed, report.torn_bytes, report.replay_errors
-    ))
+    );
+    if report.frames_skipped > 0 {
+        out.push_str(&format!(
+            "; {} already-checkpointed frame(s) skipped",
+            report.frames_skipped
+        ));
+    }
+    Some(out)
 }
 
 const COMMON: &[OptSpec] = &[

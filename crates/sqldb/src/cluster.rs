@@ -312,14 +312,20 @@ impl Cluster {
                 continue;
             }
             let dump_path = self.node_dump_path(dir, node.id);
+            let mut ckpt_seq = 0;
             if dump_path.exists() && node.engine.table_names().is_empty() {
                 let script = std::fs::read_to_string(&dump_path)
                     .map_err(|e| DbError::Io(format!("read {}: {e}", dump_path.display())))?;
+                // The dump's recorded checkpoint sequence tells recovery
+                // which log frames it already reflects (a crash between
+                // the dump rename and the compaction leaves them in the
+                // log too — they must not be double-applied).
+                ckpt_seq = crate::dump::read_checkpoint_seq(&script).unwrap_or(0);
                 node.engine.execute_script(&script)?;
             }
             let (wal, statements, mut report) =
                 Wal::open_recover(&self.node_wal_path(dir, node.id), opts.clone())?;
-            report.replay_errors = node.engine.replay_unlogged(&statements);
+            node.engine.recover_replay(&statements, ckpt_seq, &mut report);
             node.engine.attach_wal(wal);
             reports.push(Some(report));
         }
@@ -338,9 +344,16 @@ impl Cluster {
         Ok(dropped)
     }
 
-    /// Force every node's pending WAL frames to stable storage.
+    /// Force every node's pending WAL frames to stable storage — backend
+    /// nodes first, the frontend (node 0) last. The frontend's log carries
+    /// the publishing `pb_runs` insert, which must never become durable
+    /// before the data frames it references on the backends; syncing in
+    /// this order preserves the "data first, `pb_runs` last" write-order
+    /// contract across the independent per-node logs. (Group-commit
+    /// windows on independent logs cannot guarantee cross-log ordering in
+    /// between syncs — this barrier is where the ordering is enforced.)
     pub fn sync_wals(&self) -> Result<(), DbError> {
-        for node in &self.nodes {
+        for node in self.nodes.iter().rev() {
             node.engine.wal_sync()?;
         }
         Ok(())

@@ -60,11 +60,30 @@ impl Engine {
     /// file, fsynced, then renamed into place — a crash mid-save leaves the
     /// previous dump intact (the WAL checkpoint path depends on this).
     pub fn save_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.save_to_file_with_seq(path, None)
+    }
+
+    /// [`Engine::save_to_file`], optionally stamping the WAL checkpoint
+    /// sequence into the dump header. A dump written with `Some(seq)`
+    /// declares "every log frame with a sequence number below `seq` is
+    /// already reflected here" — recovery uses it to skip those frames
+    /// when a crash lands between the dump rename and the log compaction,
+    /// which would otherwise double-apply every one of them.
+    pub(crate) fn save_to_file_with_seq(
+        &self,
+        path: &std::path::Path,
+        ckpt_seq: Option<u64>,
+    ) -> std::io::Result<()> {
         let mut tmp_name = path.as_os_str().to_owned();
         tmp_name.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp_name);
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(self.dump_sql().as_bytes())?;
+        let mut script = self.dump_sql();
+        if let Some(seq) = ckpt_seq {
+            let header_end = script.find('\n').map_or(script.len(), |i| i + 1);
+            script.insert_str(header_end, &format!("{CKPT_SEQ_MARKER}{seq}\n"));
+        }
+        f.write_all(script.as_bytes())?;
         f.sync_all()?;
         drop(f);
         std::fs::rename(&tmp, path)
@@ -76,6 +95,22 @@ impl Engine {
             .map_err(|e| DbError::Execution(format!("cannot read {}: {e}", path.display())))?;
         Engine::from_sql_dump(&script)
     }
+}
+
+/// Header comment a checkpoint stamps into the dump: the sequence number
+/// the WAL's *next* frame will carry at checkpoint time. Frames below it
+/// are reflected in the dump and must not be replayed on recovery.
+pub(crate) const CKPT_SEQ_MARKER: &str = "-- wal-checkpoint-seq: ";
+
+/// The checkpoint sequence recorded in a dump script, if any. Only the
+/// leading comment lines are scanned — the marker can never be confused
+/// with data.
+pub(crate) fn read_checkpoint_seq(script: &str) -> Option<u64> {
+    script
+        .lines()
+        .take_while(|l| l.starts_with("--"))
+        .find_map(|l| l.strip_prefix(CKPT_SEQ_MARKER))
+        .and_then(|s| s.trim().parse().ok())
 }
 
 /// Render a `CREATE TABLE` statement for a schema (no trailing `;`).

@@ -77,8 +77,10 @@ pub struct Engine {
     temps: Mutex<HashSet<String>>,
     /// Optional write-ahead log. When attached, every mutating statement on
     /// a non-TEMP table is appended here *before* it is applied; the log
-    /// mutex is held across the apply so log order equals apply order
-    /// (lock order is always wal → tables, so this cannot deadlock).
+    /// mutex is held across the no-op checks, the append AND the apply, so
+    /// the log/skip decision cannot race a concurrent writer and log order
+    /// equals apply order (lock order is always wal → tables/temps, so
+    /// this cannot deadlock).
     wal: Mutex<Option<Wal>>,
 }
 
@@ -101,13 +103,18 @@ impl Engine {
         temp: bool,
         if_not_exists: bool,
     ) -> Result<(), DbError> {
-        if temp || !self.has_wal() {
-            return self.create_table_unlogged(name, schema, temp, if_not_exists);
+        let mut wal = self.wal.lock();
+        match wal.as_mut() {
+            Some(w) if !temp => {
+                w.append(&dump::render_create_table(name, &schema, if_not_exists))?;
+                self.create_table_unlogged(name, schema, temp, if_not_exists)
+            }
+            Some(_) => self.create_table_unlogged(name, schema, temp, if_not_exists),
+            None => {
+                drop(wal);
+                self.create_table_unlogged(name, schema, temp, if_not_exists)
+            }
         }
-        let text = dump::render_create_table(name, &schema, if_not_exists);
-        self.logged(Some(&text), || {
-            self.create_table_unlogged(name, schema, temp, if_not_exists)
-        })
     }
 
     fn create_table_unlogged(
@@ -132,16 +139,22 @@ impl Engine {
     }
 
     /// Drop a table. Dropping a TEMP or nonexistent table is never logged:
-    /// neither has any durable effect.
+    /// neither has any durable effect. The no-op check runs under the log
+    /// mutex, so a table created concurrently cannot slip in between the
+    /// skip decision and the apply.
     pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<(), DbError> {
-        if self.is_temp(name) || !self.has_table(name) || !self.has_wal() {
+        let mut wal = self.wal.lock();
+        let Some(w) = wal.as_mut() else {
+            drop(wal);
             return self.drop_table_unlogged(name, if_exists);
+        };
+        if !self.is_temp(name) && self.has_table(name) {
+            w.append(&format!(
+                "DROP TABLE {}{name}",
+                if if_exists { "IF EXISTS " } else { "" }
+            ))?;
         }
-        let text = format!(
-            "DROP TABLE {}{name}",
-            if if_exists { "IF EXISTS " } else { "" }
-        );
-        self.logged(Some(&text), || self.drop_table_unlogged(name, if_exists))
+        self.drop_table_unlogged(name, if_exists)
     }
 
     fn drop_table_unlogged(&self, name: &str, if_exists: bool) -> Result<(), DbError> {
@@ -169,11 +182,15 @@ impl Engine {
 
     /// Insert rows programmatically.
     pub fn insert_rows(&self, name: &str, rows: Vec<Row>) -> Result<usize, DbError> {
-        if rows.is_empty() || self.is_temp(name) || !self.has_wal() {
+        let mut wal = self.wal.lock();
+        let Some(w) = wal.as_mut() else {
+            drop(wal);
             return self.insert_rows_unlogged(name, rows);
+        };
+        if !rows.is_empty() && !self.is_temp(name) {
+            w.append(&dump::render_insert(name, &rows))?;
         }
-        let text = dump::render_insert(name, &rows);
-        self.logged(Some(&text), || self.insert_rows_unlogged(name, rows))
+        self.insert_rows_unlogged(name, rows)
     }
 
     fn insert_rows_unlogged(&self, name: &str, rows: Vec<Row>) -> Result<usize, DbError> {
@@ -225,50 +242,35 @@ impl Engine {
 
     /// Execute a non-SELECT statement; returns the number of affected rows
     /// (0 for DDL). With a WAL attached, mutating statements on non-TEMP
-    /// tables are logged (raw SQL text) before they are applied.
+    /// tables are logged (raw SQL text) before they are applied. The
+    /// log-or-skip predicates are evaluated — and the statement applied —
+    /// while holding the log mutex, so the decision cannot be invalidated
+    /// by a concurrent writer (a DROP observed as a no-op could otherwise
+    /// go unlogged yet succeed against a table created in between, and
+    /// recovery would diverge). A failed apply is harmless: the logged
+    /// statement fails identically on recovery.
     pub fn execute(&self, sql_text: &str) -> Result<usize, DbError> {
         let stmt = sql::parse_statement(sql_text)?;
-        let durable = self.has_wal()
-            && match &stmt {
-                Stmt::Select(_) => false,
-                Stmt::CreateTable { temp, .. } => !*temp,
-                Stmt::DropTable { name, .. } => !self.is_temp(name) && self.has_table(name),
-                Stmt::Insert { table, .. }
-                | Stmt::Update { table, .. }
-                | Stmt::Delete { table, .. } => !self.is_temp(table),
-                Stmt::CreateIndex { table, column, .. } => {
-                    !self.is_temp(table) && !self.index_creation_is_noop(table, column)
-                }
-            };
-        if durable {
-            self.logged(Some(sql_text), || self.run_parsed(stmt))
-        } else {
-            self.run_parsed(stmt)
-        }
-    }
-
-    /// Append `text` to the WAL (if one is attached), then run `apply` while
-    /// still holding the log mutex — the frame is durable-ordered before the
-    /// catalog changes, and no concurrent writer can interleave between the
-    /// two. Replay determinism makes a failed `apply` harmless: the logged
-    /// statement fails identically on recovery.
-    fn logged<T>(
-        &self,
-        text: Option<&str>,
-        apply: impl FnOnce() -> Result<T, DbError>,
-    ) -> Result<T, DbError> {
-        let Some(text) = text else { return apply() };
         let mut wal = self.wal.lock();
-        match wal.as_mut() {
-            Some(w) => {
-                w.append(text)?;
-                apply()
+        let Some(w) = wal.as_mut() else {
+            drop(wal);
+            return self.run_parsed(stmt);
+        };
+        let durable = match &stmt {
+            Stmt::Select(_) => false,
+            Stmt::CreateTable { temp, .. } => !*temp,
+            Stmt::DropTable { name, .. } => !self.is_temp(name) && self.has_table(name),
+            Stmt::Insert { table, .. }
+            | Stmt::Update { table, .. }
+            | Stmt::Delete { table, .. } => !self.is_temp(table),
+            Stmt::CreateIndex { table, column, .. } => {
+                !self.is_temp(table) && !self.index_creation_is_noop(table, column)
             }
-            None => {
-                drop(wal);
-                apply()
-            }
+        };
+        if durable {
+            w.append(sql_text)?;
         }
+        self.run_parsed(stmt)
     }
 
     /// Execute an already-parsed non-SELECT statement. Never logs to the
@@ -311,13 +313,17 @@ impl Engine {
     /// Create a secondary hash index over `table.column`. A second index on
     /// an already-indexed column is a no-op.
     pub fn create_index(&self, name: &str, table: &str, column: &str) -> Result<(), DbError> {
-        if self.is_temp(table) || !self.has_wal() || self.index_creation_is_noop(table, column) {
+        let mut wal = self.wal.lock();
+        let Some(w) = wal.as_mut() else {
+            drop(wal);
             return self.create_index_unlogged(name, table, column);
+        };
+        if !self.is_temp(table) && !self.index_creation_is_noop(table, column) {
+            // Logged with IF NOT EXISTS so a recovery replay over a
+            // checkpoint that already materialized the index stays a no-op.
+            w.append(&format!("CREATE INDEX IF NOT EXISTS {name} ON {table} ({column})"))?;
         }
-        // Logged with IF NOT EXISTS so a recovery replay over a checkpoint
-        // that already materialized the index stays a no-op.
-        let text = format!("CREATE INDEX IF NOT EXISTS {name} ON {table} ({column})");
-        self.logged(Some(&text), || self.create_index_unlogged(name, table, column))
+        self.create_index_unlogged(name, table, column)
     }
 
     fn create_index_unlogged(&self, name: &str, table: &str, column: &str) -> Result<(), DbError> {
@@ -400,13 +406,30 @@ impl Engine {
     /// compact the log (every logged frame is now reflected in the dump).
     /// The log mutex is held throughout, so no statement can slip between
     /// the dump and the compaction. Returns the number of frames dropped.
+    ///
+    /// The dump is stamped with the log's next sequence number, which is
+    /// what makes the rename→compact window crash-safe: if the process
+    /// dies after the new dump is in place but before the log is
+    /// compacted, both files hold every frame — recovery reads the stamp
+    /// and skips the frames the dump already reflects instead of
+    /// double-applying them.
     pub fn checkpoint(&self, dump_path: &Path) -> Result<u64, DbError> {
         let mut wal = self.wal.lock();
-        self.save_to_file(dump_path)
-            .map_err(|e| DbError::Io(format!("checkpoint {}: {e}", dump_path.display())))?;
         match wal.as_mut() {
-            Some(w) => w.compact(),
-            None => Ok(0),
+            Some(w) => {
+                // Every frame the stamp covers must be durable before the
+                // dump claiming to supersede them is published.
+                w.sync()?;
+                let ckpt_seq = w.next_seq();
+                self.save_to_file_with_seq(dump_path, Some(ckpt_seq))
+                    .map_err(|e| DbError::Io(format!("checkpoint {}: {e}", dump_path.display())))?;
+                w.compact()
+            }
+            None => {
+                self.save_to_file(dump_path)
+                    .map_err(|e| DbError::Io(format!("checkpoint {}: {e}", dump_path.display())))?;
+                Ok(0)
+            }
         }
     }
 
@@ -422,24 +445,48 @@ impl Engine {
         errors
     }
 
+    /// Replay recovered WAL statements on top of a checkpoint dump that
+    /// recorded checkpoint sequence `ckpt_seq`: frames below it are
+    /// already reflected in the dump and are skipped, the rest replay
+    /// unlogged. Updates `report` with the skip/replay/error split.
+    pub(crate) fn recover_replay(
+        &self,
+        statements: &[String],
+        ckpt_seq: u64,
+        report: &mut RecoveryReport,
+    ) {
+        let skip = ckpt_seq
+            .saturating_sub(report.start_seq)
+            .min(statements.len() as u64) as usize;
+        report.frames_skipped = skip as u64;
+        report.frames_replayed = (statements.len() - skip) as u64;
+        report.replay_errors = self.replay_unlogged(&statements[skip..]);
+    }
+
     /// Open a database durably: load the last checkpoint dump from
     /// `dump_path` (if present), replay every valid WAL frame from
     /// `wal_path` (creating the log when missing, truncating any torn
-    /// tail), and attach the log for further writes. Statements that fail
-    /// on replay are counted, not fatal — they failed identically in the
+    /// tail), and attach the log for further writes. Frames the dump's
+    /// recorded checkpoint sequence already covers are skipped, not
+    /// replayed — see [`Engine::checkpoint`]. Statements that fail on
+    /// replay are counted, not fatal — they failed identically in the
     /// original run, so the recovered state still matches.
     pub fn open_durable(
         dump_path: &Path,
         wal_path: &Path,
         opts: WalOptions,
     ) -> Result<(Engine, RecoveryReport), DbError> {
-        let engine = if dump_path.exists() {
-            Engine::load_from_file(dump_path)?
+        let (engine, ckpt_seq) = if dump_path.exists() {
+            let script = std::fs::read_to_string(dump_path).map_err(|e| {
+                DbError::Execution(format!("cannot read {}: {e}", dump_path.display()))
+            })?;
+            let seq = dump::read_checkpoint_seq(&script).unwrap_or(0);
+            (Engine::from_sql_dump(&script)?, seq)
         } else {
-            Engine::new()
+            (Engine::new(), 0)
         };
         let (wal, statements, mut report) = Wal::open_recover(wal_path, opts)?;
-        report.replay_errors = engine.replay_unlogged(&statements);
+        engine.recover_replay(&statements, ckpt_seq, &mut report);
         engine.attach_wal(wal);
         Ok((engine, report))
     }

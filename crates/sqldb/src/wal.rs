@@ -109,6 +109,9 @@ pub struct IoFailpoint {
     /// Bytes recovery is allowed to read back; `u64::MAX` = unlimited
     /// (models a short read of a truncated or still-dirty file).
     read_budget: AtomicU64,
+    /// Die inside checkpoint, after the dump rename but before the log is
+    /// compacted — the window where dump and log both hold every frame.
+    compact_crash: AtomicBool,
     /// Tripped: the simulated process is dead.
     crashed: AtomicBool,
 }
@@ -127,6 +130,7 @@ impl IoFailpoint {
             write_budget: AtomicU64::new(u64::MAX),
             frame_budget: AtomicU64::new(u64::MAX),
             read_budget: AtomicU64::new(u64::MAX),
+            compact_crash: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
         }
     }
@@ -158,6 +162,15 @@ impl IoFailpoint {
         fp
     }
 
+    /// Crash inside the next checkpoint, after the new dump has been
+    /// renamed into place but before the log is compacted — the recovery
+    /// path must then *not* replay frames the dump already reflects.
+    pub fn crash_before_compact() -> Self {
+        let fp = IoFailpoint::none();
+        fp.compact_crash.store(true, Ordering::SeqCst);
+        fp
+    }
+
     /// Has the simulated crash happened?
     pub fn is_crashed(&self) -> bool {
         self.crashed.load(Ordering::SeqCst)
@@ -169,6 +182,7 @@ impl IoFailpoint {
         self.write_budget.store(u64::MAX, Ordering::SeqCst);
         self.frame_budget.store(u64::MAX, Ordering::SeqCst);
         self.read_budget.store(u64::MAX, Ordering::SeqCst);
+        self.compact_crash.store(false, Ordering::SeqCst);
         self.crashed.store(false, Ordering::SeqCst);
     }
 
@@ -208,6 +222,18 @@ impl IoFailpoint {
         }
     }
 
+    /// Trip the crash flag if a kill was armed between the checkpoint's
+    /// dump rename and the log compaction.
+    fn admit_compact(&self) -> Result<(), DbError> {
+        if self.compact_crash.swap(false, Ordering::SeqCst) {
+            self.crashed.store(true, Ordering::SeqCst);
+            return Err(DbError::Io(
+                "simulated crash: killed after checkpoint dump, before log compaction".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Clamp a recovery read to the read budget.
     fn clamp_read(&self, len: u64) -> u64 {
         let budget = self.read_budget.load(Ordering::SeqCst);
@@ -224,6 +250,11 @@ impl IoFailpoint {
 pub struct RecoveryReport {
     /// Valid frames replayed from the log.
     pub frames_replayed: u64,
+    /// Valid frames *not* replayed because the checkpoint dump already
+    /// reflected them — their sequence number is below the checkpoint
+    /// sequence recorded in the dump (a crash between the dump rename and
+    /// the log compaction leaves such frames behind).
+    pub frames_skipped: u64,
     /// Bytes of torn/corrupt tail physically truncated.
     pub torn_bytes: u64,
     /// Replayed statements that failed to execute (they failed identically
@@ -238,19 +269,19 @@ pub struct RecoveryReport {
 
 /// The write-ahead log: an open, append-positioned log file.
 ///
-/// Appends under [`SyncPolicy::Group`] and [`SyncPolicy::Off`] accumulate
-/// in an in-process buffer and reach the file in one write at sync time —
-/// that write batching is what keeps group commit within the issue's 1.5x
-/// import-overhead budget. The buffer plays the role of the OS page cache
-/// in the fault model: a simulated crash ([`IoFailpoint`]) flushes it to
-/// the file first (data handed to a live OS survives process death), while
-/// only `sync()` makes it durable against the simulated machine.
+/// Every append writes its frame to the file immediately; only the
+/// *fsync* is deferred by the [`SyncPolicy`]. A plain process kill
+/// therefore loses nothing the append call returned for (the OS page
+/// cache still holds it); only a machine crash — or the simulated
+/// [`IoFailpoint`] crash, which models one — can lose the tail written
+/// since the last fsync.
 #[derive(Debug)]
 pub struct Wal {
     file: File,
     path: PathBuf,
     opts: WalOptions,
-    /// Frames appended but not yet written to the file.
+    /// Scratch buffer the next frame is encoded into (reused across
+    /// appends so the hot path never allocates).
     buf: Vec<u8>,
     /// Sequence number of the next frame.
     next_seq: u64,
@@ -363,6 +394,7 @@ impl Wal {
         let frames = statements.len() as u64;
         let report = RecoveryReport {
             frames_replayed: frames,
+            frames_skipped: 0,
             torn_bytes: torn,
             replay_errors: 0,
             start_seq,
@@ -383,7 +415,7 @@ impl Wal {
     }
 
     /// Append one statement as a frame; returns its sequence number. The
-    /// frame is logged (buffered, written and synced as the policy
+    /// frame is written to the log file (and synced as the policy
     /// dictates) before this returns — the caller applies the statement to
     /// the engine only afterwards.
     pub fn append(&mut self, stmt: &str) -> Result<u64, DbError> {
@@ -394,10 +426,12 @@ impl Wal {
             return Err(DbError::Io(format!("statement of {} bytes exceeds WAL frame limit", payload.len())));
         }
         let seq = self.next_seq;
-        // Build the frame in place at the tail of the pending buffer — no
-        // per-append allocation.
+        // Encode the frame into the reused scratch buffer — no per-append
+        // allocation — then hand it to the file in one write. Frames reach
+        // the file on every append; only the fsync is deferred, so a
+        // process kill loses at most the not-yet-synced tail.
         let frame_len = FRAME_HEADER_LEN + payload.len();
-        let start = self.buf.len();
+        self.buf.clear();
         self.buf.reserve(frame_len);
         self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&seq.to_le_bytes());
@@ -405,12 +439,12 @@ impl Wal {
         self.buf.extend_from_slice(payload);
 
         let allowed = fp.admit_write(frame_len as u64) as usize;
+        self.file
+            .write_all(&self.buf[..allowed])
+            .map_err(|e| io_err(&self.path, "append", &e))?;
         if allowed < frame_len {
-            self.buf.truncate(start + allowed);
-            // Torn write: everything handed over before the crash —
-            // including the partial frame — made it to the file, so flush
-            // it there, then die.
-            self.flush_buffer()?;
+            // Torn write: the partial frame made it to the file, then the
+            // simulated process dies.
             let _ = self.file.sync_data();
             return Err(DbError::Io(format!(
                 "simulated crash: torn write after {allowed} of {frame_len} frame bytes"
@@ -421,22 +455,7 @@ impl Wal {
         self.unsynced += 1;
         self.maybe_sync()?;
         fp.admit_frame();
-        if fp.is_crashed() {
-            // Clean crash on the frame budget: the completed frames reach
-            // the file (they survive a process death), just not stable
-            // storage.
-            self.flush_buffer()?;
-        }
         Ok(seq)
-    }
-
-    /// Write buffered frames to the log file (no fsync).
-    fn flush_buffer(&mut self) -> Result<(), DbError> {
-        if !self.buf.is_empty() {
-            self.file.write_all(&self.buf).map_err(|e| io_err(&self.path, "append", &e))?;
-            self.buf.clear();
-        }
-        Ok(())
     }
 
     /// Apply the sync policy after an append.
@@ -464,7 +483,6 @@ impl Wal {
     /// group-commit window).
     pub fn sync(&mut self) -> Result<(), DbError> {
         if self.unsynced > 0 {
-            self.flush_buffer()?;
             self.file.sync_data().map_err(|e| io_err(&self.path, "fsync", &e))?;
             self.unsynced = 0;
         }
@@ -475,9 +493,17 @@ impl Wal {
     /// Compact the log after a successful checkpoint: drop every frame
     /// (they are all reflected in the checkpoint dump) and restart the
     /// segment at the next sequence number. Returns frames dropped.
+    ///
+    /// Carries the [`IoFailpoint::crash_before_compact`] kill point: the
+    /// checkpoint dump is already renamed into place when this runs, so a
+    /// crash here leaves dump *and* log both holding every frame —
+    /// recovery must skip the already-checkpointed frames (it knows them
+    /// by the checkpoint sequence recorded in the dump header).
     pub fn compact(&mut self) -> Result<u64, DbError> {
+        let fp = self.opts.failpoint.clone();
+        fp.check_alive()?;
+        fp.admit_compact()?;
         self.sync()?;
-        self.buf.clear();
         let dropped = self.frames;
         self.start_seq = self.next_seq;
         self.file.set_len(0).map_err(|e| io_err(&self.path, "truncate", &e))?;
@@ -511,11 +537,13 @@ impl Wal {
 }
 
 impl Drop for Wal {
-    /// A clean process exit hands pending frames to the OS (like page-cache
-    /// writeback); only a simulated crash can lose the unsynced buffer.
+    /// Best-effort fsync of the written-but-unsynced tail on a clean drop
+    /// — frames are already in the file (appends write immediately), this
+    /// just closes an idle group-commit window. A simulated crash skips
+    /// it: a dead process cannot fsync.
     fn drop(&mut self) {
         if !self.opts.failpoint.is_crashed() {
-            let _ = self.flush_buffer();
+            let _ = self.sync();
         }
     }
 }

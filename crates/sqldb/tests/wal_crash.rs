@@ -8,12 +8,16 @@
 //! statements, ever.
 //!
 //! The suite drives well over 50 distinct kill points (the ISSUE 3
-//! acceptance floor) across three fault families:
+//! acceptance floor) across four fault families:
 //!
 //! * clean crash after k frames ([`IoFailpoint::crash_after_frames`]),
 //! * torn write at byte N ([`IoFailpoint::torn_write_after`]),
 //! * byte-level truncation of a complete log (simulating a kernel that
-//!   flushed only part of the tail page).
+//!   flushed only part of the tail page),
+//! * a kill inside checkpoint, after the dump rename but before the log
+//!   compaction ([`IoFailpoint::crash_before_compact`]) — the window where
+//!   dump and log both hold every frame and a naive recovery would apply
+//!   each statement twice.
 
 use sqldb::cluster::{Cluster, LatencyModel};
 use sqldb::{Engine, IoFailpoint, SyncPolicy, Wal, WalOptions};
@@ -186,6 +190,87 @@ fn fifty_plus_randomized_kill_points_recover_a_consistent_prefix() {
     }
 
     assert!(kill_points >= 50, "only {kill_points} kill points exercised");
+}
+
+/// The checkpoint kill point: `Engine::checkpoint` renames the new dump
+/// into place and only then compacts the log. A crash in between leaves
+/// dump AND log both holding every frame — recovery must skip the frames
+/// the dump's recorded checkpoint sequence already covers instead of
+/// double-applying them (every INSERT would otherwise be duplicated).
+#[test]
+fn kill_between_checkpoint_dump_and_compaction_never_double_applies() {
+    let dir = TempDir::new("ckptkill");
+    let full_log = workload();
+
+    for (i, k) in [1usize, 3, 7, 12, 20, full_log.len()].into_iter().enumerate() {
+        let dump = dir.path(&format!("ckpt_{i}.sql"));
+        let wal_path = dir.path(&format!("ckpt_{i}.wal"));
+        let fp = Arc::new(IoFailpoint::crash_before_compact());
+        let opts = WalOptions { sync: SyncPolicy::Always, failpoint: fp.clone() };
+        let (eng, _) = Engine::open_durable(&dump, &wal_path, opts).unwrap();
+        for s in &full_log[..k] {
+            eng.execute(s).unwrap();
+        }
+        let err = eng.checkpoint(&dump).unwrap_err();
+        assert!(err.to_string().contains("simulated crash"), "{err}");
+        assert!(fp.is_crashed(), "checkpoint kill point must trip the failpoint");
+        drop(eng);
+
+        // Restart: the dump reflects all k statements and the log still
+        // holds all k frames — each statement must be applied exactly once.
+        let (eng2, report) =
+            Engine::open_durable(&dump, &wal_path, WalOptions::with_sync(SyncPolicy::Always))
+                .unwrap();
+        assert_eq!(report.frames_skipped, k as u64, "every logged frame is already in the dump");
+        assert_eq!(report.frames_replayed, 0, "nothing left to replay");
+        assert_eq!(report.replay_errors, 0, "skipped frames must not even be attempted");
+        let reference = Engine::new();
+        for s in &full_log[..k] {
+            reference.execute(s).unwrap();
+        }
+        assert_eq!(eng2.dump_sql(), reference.dump_sql(), "checkpoint kill point k={k}");
+    }
+}
+
+/// After a checkpoint kill, the database keeps working: the stale log
+/// segment is skipped on open, new writes append behind it, and the next
+/// clean checkpoint folds everything and compacts the log for real.
+#[test]
+fn recovery_after_checkpoint_kill_continues_the_log() {
+    let dir = TempDir::new("ckptresume");
+    let full_log = workload();
+    let dump = dir.path("db.sql");
+    let wal_path = dir.path("db.wal");
+    let half = full_log.len() / 2;
+
+    let fp = Arc::new(IoFailpoint::crash_before_compact());
+    let opts = WalOptions { sync: SyncPolicy::Always, failpoint: fp };
+    let (eng, _) = Engine::open_durable(&dump, &wal_path, opts).unwrap();
+    for s in &full_log[..half] {
+        eng.execute(s).unwrap();
+    }
+    assert!(eng.checkpoint(&dump).is_err(), "armed kill point must fire");
+    drop(eng);
+
+    // Restart, finish the workload, checkpoint cleanly this time.
+    let (eng2, report) =
+        Engine::open_durable(&dump, &wal_path, WalOptions::with_sync(SyncPolicy::Always)).unwrap();
+    assert_eq!(report.frames_skipped, half as u64);
+    for s in &full_log[half..] {
+        eng2.execute(s).unwrap();
+    }
+    eng2.checkpoint(&dump).unwrap();
+    drop(eng2);
+
+    let (eng3, report) =
+        Engine::open_durable(&dump, &wal_path, WalOptions::with_sync(SyncPolicy::Always)).unwrap();
+    assert_eq!(report.frames_skipped, 0, "clean checkpoint compacted the log");
+    assert_eq!(report.frames_replayed, 0);
+    let reference = Engine::new();
+    for s in &full_log {
+        reference.execute(s).unwrap();
+    }
+    assert_eq!(eng3.dump_sql(), reference.dump_sql());
 }
 
 #[test]

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release -p bench --bin microbench`
 
-use perfbase_core::experiment::{ExperimentDb, ExperimentDef, Meta, Variable, VarKind};
+use perfbase_core::experiment::{ExperimentDb, ExperimentDef, Meta, VarKind, Variable};
 use perfbase_core::query::spec::query_from_str;
 use perfbase_core::query::QueryRunner;
 use sqldb::cluster::{Cluster, LatencyModel};
@@ -44,26 +44,29 @@ impl Rng {
     }
 }
 
-fn build_engine() -> Engine {
+fn build_engine_sized(rows: usize) -> Engine {
     let e = Engine::new();
-    e.execute(
-        "CREATE TABLE runs (run_index INTEGER NOT NULL, fs TEXT, nodes INTEGER, bw FLOAT)",
-    )
-    .expect("create");
+    e.execute("CREATE TABLE runs (run_index INTEGER NOT NULL, fs TEXT, nodes INTEGER, bw FLOAT)")
+        .expect("create");
     let mut rng = Rng(42);
     let fs_names = ["ufs", "nfs", "pvfs", "unknown"];
-    let mut rows = Vec::with_capacity(ROWS);
-    for i in 0..ROWS {
-        rows.push(vec![
+    let mut data = Vec::with_capacity(rows);
+    for i in 0..rows {
+        data.push(vec![
             Value::Int(i as i64),
             Value::Text(fs_names[rng.below(4) as usize].to_string()),
             Value::Int(1 << rng.below(6)),
             Value::Float(rng.below(1_000_000) as f64 / 1000.0),
         ]);
     }
-    e.insert_rows("runs", rows).expect("insert");
-    e.execute("CREATE INDEX ix_runs_run_index ON runs (run_index)").expect("index");
+    e.insert_rows("runs", data).expect("insert");
+    e.execute("CREATE INDEX ix_runs_run_index ON runs (run_index)")
+        .expect("index");
     e
+}
+
+fn build_engine() -> Engine {
+    build_engine_sized(ROWS)
 }
 
 /// Median ns per operation for `TRIALS` runs of `f` (each doing `REPS` ops).
@@ -105,7 +108,140 @@ fn bench_pair(e: &Engine, name: &'static str, sql: &str) -> BenchResult {
     let baseline_ns = median_ns(|| {
         e.query_reference(sql).expect("reference query");
     });
-    BenchResult { name, optimized_ns, baseline_ns }
+    BenchResult {
+        name,
+        optimized_ns,
+        baseline_ns,
+    }
+}
+
+/// Range scan served by the ordered index vs the compiled full scan: the
+/// same selective range predicate on two engines holding identical 100k-row
+/// tables, one with an ordered index on `run_index`, one with only the hash
+/// index (which cannot serve ranges, so the planner falls back to the
+/// compiled scan). Acceptance bar (ISSUE 4): >= 3x at 100k rows.
+fn bench_range_select() -> BenchResult {
+    const RANGE_ROWS: usize = 100_000;
+    let ordered = build_engine_sized(RANGE_ROWS);
+    // Upgrades the hash index on run_index to the ordered variant in place.
+    ordered
+        .execute("CREATE ORDERED INDEX ix_range ON runs (run_index)")
+        .expect("ordered index");
+    let hash_only = build_engine_sized(RANGE_ROWS);
+    let lo = RANGE_ROWS / 2;
+    let hi = lo + RANGE_ROWS / 200; // 0.5% of the table
+    let sql =
+        format!("SELECT run_index, fs, bw FROM runs WHERE run_index >= {lo} AND run_index < {hi}");
+    let a = ordered.query(&sql).expect("ordered query");
+    let b = hash_only.query(&sql).expect("scan query");
+    assert_eq!(a, b, "ordered-index range and compiled scan disagree");
+    let optimized_ns = median_ns(|| {
+        ordered.query(&sql).expect("ordered query");
+    });
+    let baseline_ns = median_ns(|| {
+        hash_only.query(&sql).expect("scan query");
+    });
+    BenchResult {
+        name: "range_select",
+        optimized_ns,
+        baseline_ns,
+    }
+}
+
+/// Incremental index maintenance vs rebuild-everything: the same batch of
+/// point DELETEs and UPDATEs against a table carrying an ordered and a hash
+/// index, once relying on the incremental `delete_where` / `update_where`
+/// maintenance and once forcing a full `rebuild_indexes` after every
+/// statement (the pre-ISSUE-4 behavior). Reported ns are per statement.
+/// Acceptance bar (ISSUE 4): >= 5x.
+fn bench_mutation_batch() -> BenchResult {
+    use sqldb::{Column, Schema, Table, ValueKey};
+    const MROWS: usize = 20_000;
+    const OPS: usize = 40;
+
+    let mut base = Table::new(
+        Schema::new(vec![
+            Column::new("run_index", DataType::Int),
+            Column::new("fs", DataType::Text),
+            Column::new("bw", DataType::Float),
+        ])
+        .expect("schema"),
+    );
+    base.create_index("ix_run", "run_index", true)
+        .expect("ordered index");
+    base.create_index("ix_fs", "fs", false).expect("hash index");
+    let mut rng = Rng(9);
+    let rows: Vec<Vec<Value>> = (0..MROWS)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Text(format!("fs{}", rng.below(4))),
+                Value::Float(rng.below(1_000_000) as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    base.insert_all(rows).expect("insert");
+
+    // Each op touches one key: half point deletes, half point updates that
+    // move the row to a new key in both indexes.
+    let apply_ops = |t: &mut Table, rebuild_each: bool| {
+        for i in 0..OPS {
+            let target = Value::Int(((i * 379 + 17) % MROWS) as i64);
+            if i % 2 == 0 {
+                t.delete_where(|r| r[0] == target);
+            } else {
+                t.update_where(|r| {
+                    if r[0] == target {
+                        r[1] = Value::Text("fs9".into());
+                        r[2] = Value::Float(0.0);
+                        true
+                    } else {
+                        false
+                    }
+                });
+            }
+            if rebuild_each {
+                t.rebuild_indexes();
+            }
+        }
+    };
+
+    // Equivalence check once, untimed: both strategies end in the same
+    // state, indexes included.
+    let (mut inc, mut reb) = (base.clone(), base.clone());
+    apply_ops(&mut inc, false);
+    apply_ops(&mut reb, true);
+    assert_eq!(inc.rows(), reb.rows(), "mutation strategies diverge");
+    for probe in [0i64, 17, 396, 1000] {
+        let key = ValueKey::of(&Value::Int(probe));
+        assert_eq!(
+            inc.index_lookup(0, &key),
+            reb.index_lookup(0, &key),
+            "index diverges"
+        );
+    }
+
+    // Clone outside the clock; time only the mutation batch.
+    let timed = |rebuild_each: bool| -> u64 {
+        let mut samples = Vec::with_capacity(TRIALS);
+        for trial in 0..=TRIALS {
+            let mut t = base.clone();
+            let t0 = Instant::now();
+            apply_ops(&mut t, rebuild_each);
+            if trial > 0 {
+                samples.push(t0.elapsed().as_nanos() as u64 / OPS as u64);
+            }
+        }
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+    let optimized_ns = timed(false);
+    let baseline_ns = timed(true);
+    BenchResult {
+        name: "mutation_batch",
+        optimized_ns,
+        baseline_ns,
+    }
 }
 
 /// Result of the sharded-aggregation benchmark: a grouped AVG over a
@@ -131,11 +267,19 @@ fn bench_sharded_aggregation() -> ShardBench {
     const DATASETS: usize = 1000;
     const NODES: usize = 4;
 
-    let mut def = ExperimentDef::new(Meta { name: "shard".into(), ..Meta::default() }, "bench");
+    let mut def = ExperimentDef::new(
+        Meta {
+            name: "shard".into(),
+            ..Meta::default()
+        },
+        "bench",
+    );
     def.add_variable(Variable::new("technique", VarKind::Parameter, DataType::Text).once())
         .expect("technique");
-    def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int)).expect("chunk");
-    def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).expect("bw");
+    def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int))
+        .expect("chunk");
+    def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float))
+        .expect("bw");
     let db = ExperimentDb::create(Arc::new(Engine::new()), def).expect("create");
 
     // bw is constant within each (technique, chunk) group so the merged
@@ -149,14 +293,21 @@ fn bench_sharded_aggregation() -> ShardBench {
                 let chunk = 1i64 << (i % 4);
                 [
                     ("chunk".to_string(), Value::Int(chunk)),
-                    ("bw".to_string(), Value::Float(chunk as f64 / 4.0 + (run % 2) as f64)),
+                    (
+                        "bw".to_string(),
+                        Value::Float(chunk as f64 / 4.0 + (run % 2) as f64),
+                    ),
                 ]
                 .into()
             })
             .collect();
         db.add_run(&once, &datasets, 1000 + run).expect("add_run");
     }
-    let cluster = Arc::new(Cluster::with_frontend(db.engine().clone(), NODES, LatencyModel::lan()));
+    let cluster = Arc::new(Cluster::with_frontend(
+        db.engine().clone(),
+        NODES,
+        LatencyModel::lan(),
+    ));
     db.attach_cluster(cluster).expect("attach");
 
     let spec = r#"<query name="shard"><source id="s">
@@ -169,8 +320,10 @@ fn bench_sharded_aggregation() -> ShardBench {
     let query = || query_from_str(spec).expect("spec");
 
     let pushed = QueryRunner::new(&db).run(query()).expect("pushdown query");
-    let materialized =
-        QueryRunner::new(&db).pushdown(false).run(query()).expect("fallback query");
+    let materialized = QueryRunner::new(&db)
+        .pushdown(false)
+        .run(query())
+        .expect("fallback query");
     assert_eq!(
         pushed.artifacts["o"], materialized.artifacts["o"],
         "sharded pushdown and materialization disagree"
@@ -182,9 +335,19 @@ fn bench_sharded_aggregation() -> ShardBench {
         QueryRunner::new(&db).run(query()).expect("pushdown query");
     });
     let materialized_ns = median_ns(|| {
-        QueryRunner::new(&db).pushdown(false).run(query()).expect("fallback query");
+        QueryRunner::new(&db)
+            .pushdown(false)
+            .run(query())
+            .expect("fallback query");
     });
-    ShardBench { nodes: NODES, runs: RUNS, pushed_ns, materialized_ns, rows_pushed, rows_materialized }
+    ShardBench {
+        nodes: NODES,
+        runs: RUNS,
+        pushed_ns,
+        materialized_ns,
+        rows_pushed,
+        rows_materialized,
+    }
 }
 
 /// Write-ahead-log cost: the same import-like INSERT workload timed with no
@@ -297,8 +460,8 @@ fn bench_wal() -> WalBench {
     let mut samples = Vec::with_capacity(TRIALS);
     for trial in 0..=TRIALS {
         let t0 = Instant::now();
-        let (_, report) = Engine::open_durable(&dump, &master, WalOptions::default())
-            .expect("open_durable");
+        let (_, report) =
+            Engine::open_durable(&dump, &master, WalOptions::default()).expect("open_durable");
         let ns = t0.elapsed().as_nanos() as u64 / report.frames_replayed.max(1);
         assert_eq!(report.frames_replayed as usize, STMTS + 1);
         if trial > 0 {
@@ -309,7 +472,13 @@ fn bench_wal() -> WalBench {
     let replay_ns = samples[samples.len() / 2];
 
     std::fs::remove_dir_all(&dir).ok();
-    WalBench { statements: STMTS, no_wal_ns, group_ns, always_ns, replay_ns }
+    WalBench {
+        statements: STMTS,
+        no_wal_ns,
+        group_ns,
+        always_ns,
+        replay_ns,
+    }
 }
 
 fn main() {
@@ -333,7 +502,8 @@ fn main() {
 
     // Join benchmark: hash join vs nested loop (informational). The joined
     // side is large enough that the nested loop's O(n*m) comparisons bite.
-    e.execute("CREATE TABLE hosts (node_id INTEGER, rack TEXT)").expect("create hosts");
+    e.execute("CREATE TABLE hosts (node_id INTEGER, rack TEXT)")
+        .expect("create hosts");
     let host_rows: Vec<Vec<Value>> = (0..2000)
         .map(|i| vec![Value::Int(i), Value::Text(format!("rack{}", i % 8))])
         .collect();
@@ -343,6 +513,19 @@ fn main() {
         "hash_join",
         "SELECT hosts.rack, count(*) FROM runs JOIN hosts ON runs.nodes = hosts.node_id \
          GROUP BY hosts.rack ORDER BY hosts.rack",
+    );
+
+    let range = bench_range_select();
+    assert!(
+        range.speedup() >= 3.0,
+        "ordered-index range scan must be >=3x over the compiled scan at 100k rows (got {:.2}x)",
+        range.speedup()
+    );
+    let mutation = bench_mutation_batch();
+    assert!(
+        mutation.speedup() >= 5.0,
+        "incremental index maintenance must be >=5x over rebuild-per-statement (got {:.2}x)",
+        mutation.speedup()
     );
 
     let shard = bench_sharded_aggregation();
@@ -359,7 +542,7 @@ fn main() {
         wal.group_overhead()
     );
 
-    let results = [point, agg, filter, join];
+    let results = [point, agg, filter, join, range, mutation];
     let mut json = String::from("{\n  \"rows\": ");
     let _ = write!(json, "{ROWS},\n  \"benchmarks\": [\n");
     for r in results.iter() {
@@ -405,11 +588,17 @@ fn main() {
     json.push_str("}\n");
     std::fs::write("BENCH_sqldb.json", &json).expect("write BENCH_sqldb.json");
 
-    println!("{:<20} {:>14} {:>14} {:>9}", "benchmark", "optimized", "baseline", "speedup");
+    println!(
+        "{:<20} {:>14} {:>14} {:>9}",
+        "benchmark", "optimized", "baseline", "speedup"
+    );
     for r in &results {
         println!(
             "{:<20} {:>11} ns {:>11} ns {:>8.2}x",
-            r.name, r.optimized_ns, r.baseline_ns, r.speedup()
+            r.name,
+            r.optimized_ns,
+            r.baseline_ns,
+            r.speedup()
         );
     }
     println!(

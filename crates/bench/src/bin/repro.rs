@@ -36,11 +36,12 @@ fn main() {
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted =
-            ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "c1", "c2", "shard"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        wanted = [
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "c1", "c2", "shard",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
@@ -76,8 +77,13 @@ fn fig1() {
     // a) single file → single run
     let db = empty_experiment();
     let run = simulate(BeffIoConfig::default());
-    let r = Importer::new(&db).import_file(&desc, &run.filename(), &run.render()).unwrap();
-    println!("a) 1 file, 1 description            → {} run(s)   [paper: 1]", r.runs_created.len());
+    let r = Importer::new(&db)
+        .import_file(&desc, &run.filename(), &run.render())
+        .unwrap();
+    println!(
+        "a) 1 file, 1 description            → {} run(s)   [paper: 1]",
+        r.runs_created.len()
+    );
 
     // b) run separators → multiple runs from one file
     let db = empty_experiment();
@@ -87,27 +93,51 @@ fn fig1() {
     ));
     let combined = format!(
         "{}{}{}",
-        simulate(BeffIoConfig { seed: 1, ..BeffIoConfig::default() }).render(),
-        simulate(BeffIoConfig { seed: 2, ..BeffIoConfig::default() }).render(),
-        simulate(BeffIoConfig { seed: 3, ..BeffIoConfig::default() }).render()
+        simulate(BeffIoConfig {
+            seed: 1,
+            ..BeffIoConfig::default()
+        })
+        .render(),
+        simulate(BeffIoConfig {
+            seed: 2,
+            ..BeffIoConfig::default()
+        })
+        .render(),
+        simulate(BeffIoConfig {
+            seed: 3,
+            ..BeffIoConfig::default()
+        })
+        .render()
     );
     let r = Importer::new(&db)
         .import_file(&sep_desc, &run.filename(), &combined)
         .unwrap();
-    println!("b) 1 file with separators           → {} run(s)   [paper: n]", r.runs_created.len());
+    println!(
+        "b) 1 file with separators           → {} run(s)   [paper: n]",
+        r.runs_created.len()
+    );
 
     // c) many files, one description → many runs
     let db = empty_experiment();
     let files: Vec<(String, String)> = (1..=4u64)
         .map(|s| {
-            let run = simulate(BeffIoConfig { seed: s, run_index: s as u32, ..BeffIoConfig::default() });
+            let run = simulate(BeffIoConfig {
+                seed: s,
+                run_index: s as u32,
+                ..BeffIoConfig::default()
+            });
             (format!("{}_{s}", run.filename()), run.render())
         })
         .collect();
-    let pairs: Vec<(&str, &str)> =
-        files.iter().map(|(n, c)| (n.as_str(), c.as_str())).collect();
+    let pairs: Vec<(&str, &str)> = files
+        .iter()
+        .map(|(n, c)| (n.as_str(), c.as_str()))
+        .collect();
     let r = Importer::new(&db).import_files(&desc, &pairs).unwrap();
-    println!("c) 4 files, 1 description           → {} run(s)   [paper: one per file]", r.runs_created.len());
+    println!(
+        "c) 4 files, 1 description           → {} run(s)   [paper: one per file]",
+        r.runs_created.len()
+    );
 
     // d) many files, one description each → one merged run
     let db = empty_experiment();
@@ -140,7 +170,10 @@ fn fig1() {
     .unwrap();
     let text = run.render();
     let r = Importer::new(&db)
-        .import_merged(&[(&env_desc, "env.out", text.as_str()), (&data_desc, "data.out", text.as_str())])
+        .import_merged(&[
+            (&env_desc, "env.out", text.as_str()),
+            (&data_desc, "data.out", text.as_str()),
+        ])
         .unwrap();
     let datasets = db.run_summary(r.runs_created[0]).unwrap().datasets;
     println!(
@@ -195,10 +228,15 @@ fn fig3() {
     // counts) and schedule those measurements onto N nodes under the
     // Fig. 3 placement with the socket-cost model. This sidesteps the host
     // CPU count: the reproduction machine may be a single core.
-    let profiled = QueryRunner::new(&db).run(query_from_str(&spec).unwrap()).unwrap();
+    let profiled = QueryRunner::new(&db)
+        .run(query_from_str(&spec).unwrap())
+        .unwrap();
     let dag = perfbase_core::query::QueryDag::build(query_from_str(&spec).unwrap()).unwrap();
     let serial: std::time::Duration = profiled.timings.iter().map(|t| t.wall).sum();
-    println!("profiled serial element work: {serial:?} over {} elements", profiled.timings.len());
+    println!(
+        "profiled serial element work: {serial:?} over {} elements",
+        profiled.timings.len()
+    );
     println!(
         "\n{:<8} {:>18} {:>9} {:>18} {:>9}",
         "nodes", "fast interconnect", "speedup", "gigabit LAN", "speedup"
@@ -229,7 +267,9 @@ fn fig3() {
     // --- Live execution on this host ---------------------------------------
     println!(
         "\nlive wall-clock on this host ({} core(s); thread speedup needs more than one):",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 
     let time = |label: &str, f: &dyn Fn() -> perfbase_core::query::QueryOutcome| {
@@ -248,12 +288,19 @@ fn fig3() {
     };
 
     let seq = time("sequential", &|| {
-        QueryRunner::new(&db).run(query_from_str(&spec).unwrap()).unwrap()
+        QueryRunner::new(&db)
+            .run(query_from_str(&spec).unwrap())
+            .unwrap()
     });
     let par = time("thread-parallel (1 node)", &|| {
-        ParallelQueryRunner::new(&db).run(query_from_str(&spec).unwrap()).unwrap()
+        ParallelQueryRunner::new(&db)
+            .run(query_from_str(&spec).unwrap())
+            .unwrap()
     });
-    println!("  speedup vs sequential: {:.2}x", seq.as_secs_f64() / par.as_secs_f64());
+    println!(
+        "  speedup vs sequential: {:.2}x",
+        seq.as_secs_f64() / par.as_secs_f64()
+    );
 
     for nodes in [2usize, 4, 8] {
         let cluster = Cluster::new(nodes, LatencyModel::fast_interconnect());
@@ -307,7 +354,14 @@ fn fig5() {
         &perfbase_core::xmldef::definition_to_string(&def),
     )
     .unwrap();
-    println!("round-trip: {}", if round == def { "identical" } else { "MISMATCH" });
+    println!(
+        "round-trip: {}",
+        if round == def {
+            "identical"
+        } else {
+            "MISMATCH"
+        }
+    );
 }
 
 /// Fig. 6 — input description.
@@ -321,9 +375,15 @@ fn fig6() {
     // Prove it extracts: one simulated file, all variables found.
     let db = empty_experiment();
     let run = simulate(BeffIoConfig::default());
-    let r = Importer::new(&db).import_file(&desc, &run.filename(), &run.render()).unwrap();
+    let r = Importer::new(&db)
+        .import_file(&desc, &run.filename(), &run.render())
+        .unwrap();
     let s = db.run_summary(r.runs_created[0]).unwrap();
-    println!("extraction check: {} once-values, {} data sets", s.once_values.len(), s.datasets);
+    println!(
+        "extraction check: {} once-values, {} data sets",
+        s.once_values.len(),
+        s.datasets
+    );
 }
 
 /// Fig. 7 — query specification.
@@ -377,14 +437,19 @@ fn fig8(out_dir: &std::path::Path) {
 fn c1() {
     banner("C1 — fraction of query time spent in source elements (§4.3)");
     let db = imported_campaign(&campaign_files(4));
-    println!("{:<18} {:>10} {:>16}", "operator depth", "elements", "source fraction");
+    println!(
+        "{:<18} {:>10} {:>16}",
+        "operator depth", "elements", "source fraction"
+    );
     let mut fractions = Vec::new();
     for depth in [1usize, 2, 4, 8, 16, 32] {
         let spec = chain_query_xml(depth);
         // Median of several runs: the measurement is timing-based.
         let mut samples: Vec<f64> = (0..5)
             .map(|_| {
-                let out = QueryRunner::new(&db).run(query_from_str(&spec).unwrap()).unwrap();
+                let out = QueryRunner::new(&db)
+                    .run(query_from_str(&spec).unwrap())
+                    .unwrap();
                 out.source_time_fraction()
             })
             .collect();
@@ -411,7 +476,10 @@ fn c1() {
 /// (paper §4.2).
 fn c2() {
     banner("C2 — in-database aggregation vs frontend row processing (§4.2)");
-    println!("{:>10} {:>14} {:>14} {:>9}", "rows", "in-DB GROUP BY", "frontend loop", "speedup");
+    println!(
+        "{:>10} {:>14} {:>14} {:>9}",
+        "rows", "in-DB GROUP BY", "frontend loop", "speedup"
+    );
     for n in [10_000usize, 100_000, 1_000_000] {
         let db = Engine::new();
         db.execute("CREATE TABLE m (grp INTEGER, v FLOAT)").unwrap();
@@ -426,7 +494,9 @@ fn c2() {
         db.insert_rows("m", rows).unwrap();
 
         let t = Instant::now();
-        let rs = db.query("SELECT grp, avg(v), stddev(v) FROM m GROUP BY grp").unwrap();
+        let rs = db
+            .query("SELECT grp, avg(v), stddev(v) FROM m GROUP BY grp")
+            .unwrap();
         let t_db = t.elapsed();
         assert_eq!(rs.len(), 64);
 
@@ -444,8 +514,7 @@ fn c2() {
                 })
                 .update(&row[1]);
         }
-        let frontend: Vec<sqldb::Value> =
-            acc.values().map(|a| a.finish().unwrap()).collect();
+        let frontend: Vec<sqldb::Value> = acc.values().map(|a| a.finish().unwrap()).collect();
         let t_script = t.elapsed();
         assert_eq!(frontend.len(), 64);
 
@@ -490,8 +559,9 @@ fn shard() {
             LatencyModel::lan(),
         ));
         db.attach_cluster(cluster).expect("attach cluster");
-        let pushed =
-            QueryRunner::new(&db).run(query_from_str(spec).unwrap()).expect("pushdown query");
+        let pushed = QueryRunner::new(&db)
+            .run(query_from_str(spec).unwrap())
+            .expect("pushdown query");
         let fetched = QueryRunner::new(&db)
             .pushdown(false)
             .run(query_from_str(spec).unwrap())
@@ -501,7 +571,10 @@ fn shard() {
             "pushdown and materialization must agree"
         );
         match &reference {
-            Some(r) => assert_eq!(r, &pushed.artifacts["o"], "results differ across node counts"),
+            Some(r) => assert_eq!(
+                r, &pushed.artifacts["o"],
+                "results differ across node counts"
+            ),
             None => reference = Some(pushed.artifacts["o"].clone()),
         }
         let tp = pushed.transfer.expect("transfer stats");

@@ -138,7 +138,9 @@ pub fn chain_query_xml(depth: usize) -> String {
             prev = k - 1
         ));
     }
-    elements.push_str(&format!(r#"<output id="o" input="op{depth}" format="csv"/>"#));
+    elements.push_str(&format!(
+        r#"<output id="o" input="op{depth}" format="csv"/>"#
+    ));
     format!("<query name=\"chain\">{elements}</query>")
 }
 

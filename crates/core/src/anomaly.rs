@@ -40,7 +40,11 @@ pub struct AnomalyConfig {
 
 impl Default for AnomalyConfig {
     fn default() -> Self {
-        AnomalyConfig { threshold: 3.0, max_rel_stddev: 0.25, min_samples: 3 }
+        AnomalyConfig {
+            threshold: 3.0,
+            max_rel_stddev: 0.25,
+            min_samples: 3,
+        }
     }
 }
 
@@ -106,8 +110,11 @@ impl AnomalyReport {
         if !self.deviations.is_empty() {
             out.push_str(&format!("{} deviating value(s):\n", self.deviations.len()));
             for d in &self.deviations {
-                let combo: Vec<String> =
-                    d.combination.iter().map(|(p, v)| format!("{p}={v}")).collect();
+                let combo: Vec<String> = d
+                    .combination
+                    .iter()
+                    .map(|(p, v)| format!("{p}={v}"))
+                    .collect();
                 out.push_str(&format!(
                     "  [{}] value {:.4} is {:+.1}σ from median {:.4} (robust σ = {:.4})\n",
                     combo.join(", "),
@@ -124,8 +131,11 @@ impl AnomalyReport {
                 self.unstable.len()
             ));
             for u in &self.unstable {
-                let combo: Vec<String> =
-                    u.combination.iter().map(|(p, v)| format!("{p}={v}")).collect();
+                let combo: Vec<String> = u
+                    .combination
+                    .iter()
+                    .map(|(p, v)| format!("{p}={v}"))
+                    .collect();
                 out.push_str(&format!(
                     "  [{}] rel. stddev {:.1}% over {} samples (mean {:.4})\n",
                     combo.join(", "),
@@ -165,9 +175,10 @@ pub fn screen_vector(
     vector: &DataVector,
     config: &AnomalyConfig,
 ) -> Result<AnomalyReport> {
-    let (cols, rows) = engine.read_snapshot(&vector.table).map_err(Error::from).map(
-        |(schema, rows)| (schema.names(), rows),
-    )?;
+    let (cols, rows) = engine
+        .read_snapshot(&vector.table)
+        .map_err(Error::from)
+        .map(|(schema, rows)| (schema.names(), rows))?;
     let pidx: Vec<usize> = vector
         .params
         .iter()
@@ -186,8 +197,14 @@ pub fn screen_vector(
     // Bucket samples per combination.
     let mut buckets: HashMap<String, Bucket> = HashMap::new();
     for row in &rows {
-        let Some(x) = row[vcol].as_f64() else { continue };
-        let key: String = pidx.iter().map(|&i| format!("{}", row[i])).collect::<Vec<_>>().join("\u{1}");
+        let Some(x) = row[vcol].as_f64() else {
+            continue;
+        };
+        let key: String = pidx
+            .iter()
+            .map(|&i| format!("{}", row[i]))
+            .collect::<Vec<_>>()
+            .join("\u{1}");
         let entry = buckets.entry(key).or_insert_with(|| {
             (
                 vector
@@ -270,18 +287,26 @@ fn median(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{ExperimentDef, Meta, Variable, VarKind};
+    use crate::experiment::{ExperimentDef, Meta, VarKind, Variable};
     use crate::query::spec::{Filter, FilterOp, RunFilter};
     use sqldb::{DataType, Engine};
     use std::collections::HashMap as Map;
     use std::sync::Arc;
 
     fn db_with(values: &[(&str, i64, f64)]) -> ExperimentDb {
-        let mut def = ExperimentDef::new(Meta { name: "a".into(), ..Meta::default() }, "u");
+        let mut def = ExperimentDef::new(
+            Meta {
+                name: "a".into(),
+                ..Meta::default()
+            },
+            "u",
+        );
         def.add_variable(Variable::new("fs", VarKind::Parameter, DataType::Text).once())
             .unwrap();
-        def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int)).unwrap();
-        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int))
+            .unwrap();
+        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float))
+            .unwrap();
         let db = ExperimentDb::create(Arc::new(Engine::new()), def).unwrap();
         for (fs, chunk, bw) in values {
             let once: Map<String, Value> = [("fs".to_string(), Value::Text(fs.to_string()))].into();
@@ -322,8 +347,9 @@ mod tests {
     #[test]
     fn outlier_flagged_with_sigma() {
         // Eleven tight samples, one wild one.
-        let mut vals: Vec<(&str, i64, f64)> =
-            (0..11).map(|i| ("ufs", 1024i64, 100.0 + (i % 3) as f64 * 0.5)).collect();
+        let mut vals: Vec<(&str, i64, f64)> = (0..11)
+            .map(|i| ("ufs", 1024i64, 100.0 + (i % 3) as f64 * 0.5))
+            .collect();
         vals.push(("ufs", 1024, 250.0));
         let db = db_with(&vals);
         let report = screen_experiment(&db, &source(), &AnomalyConfig::default()).unwrap();
@@ -372,8 +398,9 @@ mod tests {
 
     #[test]
     fn filters_apply_before_screening() {
-        let mut vals: Vec<(&str, i64, f64)> =
-            (0..4).map(|i| ("ufs", 1024i64, 100.0 + i as f64 * 0.2)).collect();
+        let mut vals: Vec<(&str, i64, f64)> = (0..4)
+            .map(|i| ("ufs", 1024i64, 100.0 + i as f64 * 0.2))
+            .collect();
         vals.extend((0..4).map(|i| ("nfs", 1024i64, if i == 3 { 400.0 } else { 10.0 })));
         let db = db_with(&vals);
         let mut src = source();
@@ -384,7 +411,10 @@ mod tests {
         });
         src.carry = vec!["chunk".into()];
         let report = screen_experiment(&db, &src, &AnomalyConfig::default()).unwrap();
-        assert!(report.is_clean(), "nfs outlier must be filtered out: {report:?}");
+        assert!(
+            report.is_clean(),
+            "nfs outlier must be filtered out: {report:?}"
+        );
     }
 
     #[test]
@@ -395,7 +425,11 @@ mod tests {
             ("ufs", 1024, 90.0),
             ("ufs", 1024, 105.0),
         ]);
-        let strict = AnomalyConfig { threshold: 1.0, max_rel_stddev: 0.01, min_samples: 2 };
+        let strict = AnomalyConfig {
+            threshold: 1.0,
+            max_rel_stddev: 0.01,
+            min_samples: 2,
+        };
         let report = screen_experiment(&db, &source(), &strict).unwrap();
         assert!(!report.deviations.is_empty());
         assert!(!report.unstable.is_empty());

@@ -66,7 +66,11 @@ impl ExperimentDb {
         )?;
         engine.create_table("pb_runs", runs_schema(&def))?;
         create_hot_path_indexes(&engine)?;
-        let db = ExperimentDb { engine, def: RwLock::new(def), shards: RwLock::new(None) };
+        let db = ExperimentDb {
+            engine,
+            def: RwLock::new(def),
+            shards: RwLock::new(None),
+        };
         db.persist_definition()?;
         Ok(db)
     }
@@ -83,7 +87,11 @@ impl ExperimentDb {
         // Databases restored from dumps made before indexes existed get
         // them here; IF NOT EXISTS makes this idempotent.
         create_hot_path_indexes(&engine)?;
-        Ok(ExperimentDb { engine, def: RwLock::new(def), shards: RwLock::new(None) })
+        Ok(ExperimentDb {
+            engine,
+            def: RwLock::new(def),
+            shards: RwLock::new(None),
+        })
     }
 
     /// Open an experiment durably from its dump file at `path`: the last
@@ -169,7 +177,9 @@ impl ExperimentDb {
         }
         let mut existing: Vec<(i64, usize)> = Vec::new();
         if self.engine.has_table("pb_shards") {
-            let rs = self.engine.query("SELECT run_id, node FROM pb_shards ORDER BY run_id")?;
+            let rs = self
+                .engine
+                .query("SELECT run_id, node FROM pb_shards ORDER BY run_id")?;
             for r in rs.rows() {
                 if let (Some(id), Some(n)) = (r[0].as_i64(), r[1].as_i64()) {
                     existing.push((id, n as usize));
@@ -308,9 +318,18 @@ impl ExperimentDb {
         self.engine.insert_rows(
             "pb_meta",
             vec![
-                vec![Value::Text("name".into()), Value::Text(def.meta.name.clone())],
-                vec![Value::Text("project".into()), Value::Text(def.meta.project.clone())],
-                vec![Value::Text("synopsis".into()), Value::Text(def.meta.synopsis.clone())],
+                vec![
+                    Value::Text("name".into()),
+                    Value::Text(def.meta.name.clone()),
+                ],
+                vec![
+                    Value::Text("project".into()),
+                    Value::Text(def.meta.project.clone()),
+                ],
+                vec![
+                    Value::Text("synopsis".into()),
+                    Value::Text(def.meta.synopsis.clone()),
+                ],
                 vec![Value::Text("definition".into()), Value::Text(xml)],
             ],
         )?;
@@ -421,7 +440,8 @@ impl ExperimentDb {
                 if owner != 0 {
                     sh.cluster().charge_shipment(n);
                 }
-                self.engine.execute(&format!("DELETE FROM pb_shards WHERE run_id = {run_id}"))?;
+                self.engine
+                    .execute(&format!("DELETE FROM pb_shards WHERE run_id = {run_id}"))?;
                 self.engine.insert_rows(
                     "pb_shards",
                     vec![vec![Value::Int(run_id), Value::Int(owner as i64)]],
@@ -429,7 +449,8 @@ impl ExperimentDb {
             }
             None => {
                 self.engine.drop_table(&data_table, true)?;
-                self.engine.create_table(&data_table, rundata_schema(&def))?;
+                self.engine
+                    .create_table(&data_table, rundata_schema(&def))?;
                 self.engine.insert_rows(&data_table, rows)?;
             }
         }
@@ -439,7 +460,9 @@ impl ExperimentDb {
 
     /// All run ids, ascending.
     pub fn run_ids(&self) -> Result<Vec<i64>> {
-        let rs = self.engine.query("SELECT run_id FROM pb_runs ORDER BY run_id")?;
+        let rs = self
+            .engine
+            .query("SELECT run_id FROM pb_runs ORDER BY run_id")?;
         Ok(rs.rows().iter().filter_map(|r| r[0].as_i64()).collect())
     }
 
@@ -457,7 +480,9 @@ impl ExperimentDb {
         for (i, v) in def.variables_with(Occurrence::Once).enumerate() {
             once_values.push((v.name.clone(), row[2 + i].clone()));
         }
-        let datasets = self.rundata_engine(run_id).row_count(&rundata_table(run_id))?;
+        let datasets = self
+            .rundata_engine(run_id)
+            .row_count(&rundata_table(run_id))?;
         Ok(RunSummary {
             run_id,
             created: row[1].as_i64().unwrap_or(0),
@@ -468,7 +493,9 @@ impl ExperimentDb {
 
     /// Column names and rows of a run's data-set table.
     pub fn run_datasets(&self, run_id: i64) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
-        let (schema, rows) = self.rundata_engine(run_id).read_snapshot(&rundata_table(run_id))?;
+        let (schema, rows) = self
+            .rundata_engine(run_id)
+            .read_snapshot(&rundata_table(run_id))?;
         Ok((schema.names(), rows))
     }
 
@@ -480,10 +507,12 @@ impl ExperimentDb {
         if n == 0 {
             return Err(Error::Query(format!("no run with id {run_id}")));
         }
-        self.rundata_engine(run_id).drop_table(&rundata_table(run_id), true)?;
+        self.rundata_engine(run_id)
+            .drop_table(&rundata_table(run_id), true)?;
         if let Some(sh) = self.sharding() {
             sh.map().remove(run_id);
-            self.engine.execute(&format!("DELETE FROM pb_shards WHERE run_id = {run_id}"))?;
+            self.engine
+                .execute(&format!("DELETE FROM pb_shards WHERE run_id = {run_id}"))?;
         }
         self.engine
             .execute(&format!("DELETE FROM pb_imports WHERE run_id = {run_id}"))?;
@@ -492,9 +521,9 @@ impl ExperimentDb {
 
     /// Has a file with this content hash been imported before?
     pub fn is_imported(&self, hash: &str) -> Result<bool> {
-        let rs = self
-            .engine
-            .query(&format!("SELECT count(*) FROM pb_imports WHERE hash = '{hash}'"))?;
+        let rs = self.engine.query(&format!(
+            "SELECT count(*) FROM pb_imports WHERE hash = '{hash}'"
+        ))?;
         Ok(rs.rows()[0][0].as_i64().unwrap_or(0) > 0)
     }
 
@@ -574,7 +603,10 @@ mod tests {
 
     fn test_def() -> ExperimentDef {
         let mut def = ExperimentDef::new(
-            Meta { name: "b_eff_io".into(), ..Meta::default() },
+            Meta {
+                name: "b_eff_io".into(),
+                ..Meta::default()
+            },
             "joachim",
         );
         def.add_variable(
@@ -586,8 +618,10 @@ mod tests {
         .unwrap();
         def.add_variable(Variable::new("t_spec", VarKind::Parameter, DataType::Int).once())
             .unwrap();
-        def.add_variable(Variable::new("s_chunk", VarKind::Parameter, DataType::Int)).unwrap();
-        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        def.add_variable(Variable::new("s_chunk", VarKind::Parameter, DataType::Int))
+            .unwrap();
+        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float))
+            .unwrap();
         def
     }
 
@@ -703,9 +737,7 @@ mod tests {
         let db = make_db();
         one_run(&db);
         db.update_definition(|def| {
-            def.add_variable(
-                Variable::new("nodes", VarKind::Parameter, DataType::Int).once(),
-            )
+            def.add_variable(Variable::new("nodes", VarKind::Parameter, DataType::Int).once())
         })
         .unwrap();
         let s = db.run_summary(1).unwrap();
@@ -722,7 +754,8 @@ mod tests {
     fn evolution_removes_column() {
         let db = make_db();
         one_run(&db);
-        db.update_definition(|def| def.remove_variable("t_spec").map(|_| ())).unwrap();
+        db.update_definition(|def| def.remove_variable("t_spec").map(|_| ()))
+            .unwrap();
         let s = db.run_summary(1).unwrap();
         assert!(!s.once_values.iter().any(|(n, _)| n == "t_spec"));
     }
@@ -730,10 +763,12 @@ mod tests {
     #[test]
     fn reserved_variable_names_rejected() {
         let mut def = test_def();
-        def.variables.push(Variable::new("select", VarKind::Parameter, DataType::Int));
+        def.variables
+            .push(Variable::new("select", VarKind::Parameter, DataType::Int));
         assert!(ExperimentDb::create(Arc::new(Engine::new()), def).is_err());
         let mut def = test_def();
-        def.variables.push(Variable::new("run_id", VarKind::Parameter, DataType::Int));
+        def.variables
+            .push(Variable::new("run_id", VarKind::Parameter, DataType::Int));
         assert!(ExperimentDb::create(Arc::new(Engine::new()), def).is_err());
     }
 }

@@ -10,9 +10,9 @@
 mod db;
 pub mod shard;
 
+pub(crate) use db::rundata_table as rundata_table_name;
 pub use db::{ExperimentDb, RunSummary};
 pub use shard::Sharding;
-pub(crate) use db::rundata_table as rundata_table_name;
 
 use crate::error::{Error, Result};
 use crate::units::Unit;
@@ -168,13 +168,7 @@ fn leading_number_token(raw: &str) -> String {
     let cleaned: String = raw.chars().filter(|c| *c != ',').collect();
     let mut end = 0;
     for (i, c) in cleaned.char_indices() {
-        if c.is_ascii_digit()
-            || c == '.'
-            || c == '-'
-            || c == '+'
-            || c == 'e'
-            || c == 'E'
-        {
+        if c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
             end = i + c.len_utf8();
         } else {
             break;
@@ -309,7 +303,10 @@ impl ExperimentDef {
             )));
         }
         if self.variable(&v.name).is_some() {
-            return Err(Error::Definition(format!("variable '{}' already exists", v.name)));
+            return Err(Error::Definition(format!(
+                "variable '{}' already exists",
+                v.name
+            )));
         }
         if let Some(d) = &v.default {
             if !d.is_null() && d.clone().coerce(v.datatype).is_err() {
@@ -331,7 +328,10 @@ impl ExperimentDef {
                 *slot = v;
                 Ok(())
             }
-            None => Err(Error::Definition(format!("variable '{}' does not exist", v.name))),
+            None => Err(Error::Definition(format!(
+                "variable '{}' does not exist",
+                v.name
+            ))),
         }
     }
 
@@ -339,7 +339,9 @@ impl ExperimentDef {
     pub fn remove_variable(&mut self, name: &str) -> Result<Variable> {
         match self.variables.iter().position(|v| v.name == name) {
             Some(i) => Ok(self.variables.remove(i)),
-            None => Err(Error::Definition(format!("variable '{name}' does not exist"))),
+            None => Err(Error::Definition(format!(
+                "variable '{name}' does not exist"
+            ))),
         }
     }
 
@@ -358,13 +360,20 @@ impl ExperimentDef {
             .iter()
             .filter(|(_, l)| *l == AccessLevel::Admin)
             .count();
-        if admins == 1 && self.users.iter().any(|(u, l)| u == user && *l == AccessLevel::Admin) {
+        if admins == 1
+            && self
+                .users
+                .iter()
+                .any(|(u, l)| u == user && *l == AccessLevel::Admin)
+        {
             return Err(Error::Access("cannot revoke the last admin".to_string()));
         }
         let before = self.users.len();
         self.users.retain(|(u, _)| u != user);
         if self.users.len() == before {
-            return Err(Error::Definition(format!("user '{user}' has no access to revoke")));
+            return Err(Error::Definition(format!(
+                "user '{user}' has no access to revoke"
+            )));
         }
         Ok(())
     }

@@ -57,7 +57,12 @@ pub struct Importer<'a> {
 impl<'a> Importer<'a> {
     /// New importer with the default policy.
     pub fn new(db: &'a ExperimentDb) -> Self {
-        Importer { db, policy: MissingPolicy::default(), force_duplicates: false, now: 0 }
+        Importer {
+            db,
+            policy: MissingPolicy::default(),
+            force_duplicates: false,
+            now: 0,
+        }
     }
 
     /// Set the missing-content policy.
@@ -91,7 +96,10 @@ impl<'a> Importer<'a> {
 
         let hash = content_hash(content);
         if self.db.is_imported(&hash)? && !self.force_duplicates {
-            return Ok(ImportReport { duplicates_skipped: 1, ..ImportReport::default() });
+            return Ok(ImportReport {
+                duplicates_skipped: 1,
+                ..ImportReport::default()
+            });
         }
 
         let runs = extract_runs(desc, &def, filename, content)?;
@@ -141,7 +149,10 @@ impl<'a> Importer<'a> {
             desc.validate(&def)?;
             let hash = content_hash(content);
             if self.db.is_imported(&hash)? && !self.force_duplicates {
-                return Ok(ImportReport { duplicates_skipped: 1, ..ImportReport::default() });
+                return Ok(ImportReport {
+                    duplicates_skipped: 1,
+                    ..ImportReport::default()
+                });
             }
             hashes.push((hash, filename.to_string()));
 
@@ -188,7 +199,10 @@ impl<'a> Importer<'a> {
         let def = self.db.definition();
         let hash = content_hash_bytes(bytes);
         if self.db.is_imported(&hash)? && !self.force_duplicates {
-            return Ok(ImportReport { duplicates_skipped: 1, ..ImportReport::default() });
+            return Ok(ImportReport {
+                duplicates_skipped: 1,
+                ..ImportReport::default()
+            });
         }
         let trace = crate::input::trace::parse_trace(bytes)?;
         let run = crate::input::trace::trace_to_run(&def, &trace)?;
@@ -248,19 +262,27 @@ pub fn content_hash_bytes(content: &[u8]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{ExperimentDef, Meta, Variable, VarKind};
+    use crate::experiment::{ExperimentDef, Meta, VarKind, Variable};
     use crate::input::{Location, Pattern, TabularColumn, TabularSpec};
     use sqldb::{DataType, Engine};
     use std::sync::Arc;
 
     fn def() -> ExperimentDef {
-        let mut d = ExperimentDef::new(Meta { name: "x".into(), ..Meta::default() }, "u");
+        let mut d = ExperimentDef::new(
+            Meta {
+                name: "x".into(),
+                ..Meta::default()
+            },
+            "u",
+        );
         d.add_variable(Variable::new("nodes", VarKind::Parameter, DataType::Int).once())
             .unwrap();
         d.add_variable(Variable::new("host", VarKind::Parameter, DataType::Text).once())
             .unwrap();
-        d.add_variable(Variable::new("sz", VarKind::Parameter, DataType::Int)).unwrap();
-        d.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        d.add_variable(Variable::new("sz", VarKind::Parameter, DataType::Int))
+            .unwrap();
+        d.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float))
+            .unwrap();
         d
     }
 
@@ -288,8 +310,14 @@ mod tests {
                 end: None,
                 skip_mismatch: false,
                 columns: vec![
-                    TabularColumn { index: 1, variable: "sz".into() },
-                    TabularColumn { index: 2, variable: "bw".into() },
+                    TabularColumn {
+                        index: 1,
+                        variable: "sz".into(),
+                    },
+                    TabularColumn {
+                        index: 2,
+                        variable: "bw".into(),
+                    },
                 ],
             }))
     }
@@ -305,7 +333,9 @@ host = grisu0
     #[test]
     fn mapping_a_one_file_one_run() {
         let db = db();
-        let rep = Importer::new(&db).import_file(&desc(), "out1.txt", FILE).unwrap();
+        let rep = Importer::new(&db)
+            .import_file(&desc(), "out1.txt", FILE)
+            .unwrap();
         assert_eq!(rep.runs_created, vec![1]);
         assert_eq!(db.run_summary(1).unwrap().datasets, 2);
     }
@@ -315,7 +345,9 @@ host = grisu0
         let db = db();
         let two = format!("{FILE}{FILE}");
         let d = desc().with_run_separator(Pattern::Literal("nodes =".into()));
-        let rep = Importer::new(&db).import_file(&d, "out2.txt", &two).unwrap();
+        let rep = Importer::new(&db)
+            .import_file(&d, "out2.txt", &two)
+            .unwrap();
         assert_eq!(rep.runs_created, vec![1, 2]);
     }
 
@@ -355,8 +387,14 @@ host = grisu0
             end: None,
             skip_mismatch: false,
             columns: vec![
-                TabularColumn { index: 1, variable: "sz".into() },
-                TabularColumn { index: 2, variable: "bw".into() },
+                TabularColumn {
+                    index: 1,
+                    variable: "sz".into(),
+                },
+                TabularColumn {
+                    index: 2,
+                    variable: "bw".into(),
+                },
             ],
         }));
         let meta_file = "nodes = 8\nhost = grisu2\n";
@@ -411,10 +449,15 @@ host = grisu0
     fn policy_allow_missing_stores_null() {
         let db = db();
         let partial = "nodes = 4\n-- table --\n1 2.0\n"; // no host
-        let rep = Importer::new(&db).import_file(&desc(), "p.txt", partial).unwrap();
+        let rep = Importer::new(&db)
+            .import_file(&desc(), "p.txt", partial)
+            .unwrap();
         assert_eq!(rep.runs_created.len(), 1);
         let s = db.run_summary(rep.runs_created[0]).unwrap();
-        assert_eq!(s.once_values.iter().find(|(n, _)| n == "host").unwrap().1, Value::Null);
+        assert_eq!(
+            s.once_values.iter().find(|(n, _)| n == "host").unwrap().1,
+            Value::Null
+        );
     }
 
     #[test]
@@ -444,7 +487,10 @@ host = grisu0
     #[test]
     fn import_timestamp_recorded() {
         let db = db();
-        let rep = Importer::new(&db).at_time(1_234_567).import_file(&desc(), "f", FILE).unwrap();
+        let rep = Importer::new(&db)
+            .at_time(1_234_567)
+            .import_file(&desc(), "f", FILE)
+            .unwrap();
         let s = db.run_summary(rep.runs_created[0]).unwrap();
         assert_eq!(s.created, 1_234_567);
     }

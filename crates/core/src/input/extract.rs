@@ -102,12 +102,21 @@ fn extract_one(
 
     for loc in &desc.locations {
         match loc {
-            Location::Named { variable, pattern, direction, occurrence } => {
+            Location::Named {
+                variable,
+                pattern,
+                direction,
+                occurrence,
+            } => {
                 if let Some(raw) = named_content(text, pattern, *direction, *occurrence) {
                     store_once(def, &mut run, variable, &raw)?;
                 }
             }
-            Location::Fixed { variable, row, column } => {
+            Location::Fixed {
+                variable,
+                row,
+                column,
+            } => {
                 let raw = lines
                     .get(row.saturating_sub(1))
                     .and_then(|l| l.split_whitespace().nth(column.saturating_sub(1)));
@@ -120,14 +129,21 @@ fn extract_one(
             }
             Location::Filename { variable, pattern } => {
                 if let Some(m) = pattern.find(filename) {
-                    let raw = if m.len() > 1 { m.get(1).unwrap_or(m.as_str()) } else { m.as_str() };
+                    let raw = if m.len() > 1 {
+                        m.get(1).unwrap_or(m.as_str())
+                    } else {
+                        m.as_str()
+                    };
                     store_once(def, &mut run, variable, raw)?;
                 }
             }
             Location::FixedValue { variable, content } => {
                 store_once(def, &mut run, variable, content)?;
             }
-            Location::Derived { variable, expression } => {
+            Location::Derived {
+                variable,
+                expression,
+            } => {
                 derived.push((variable, expression));
             }
         }
@@ -271,7 +287,8 @@ fn apply_derived(
         .ok_or_else(|| Error::Extraction(format!("unknown derived variable '{variable}'")))?;
     let deps = expression.variables();
     let per_dataset = deps.iter().any(|d| {
-        def.variable(d).is_some_and(|v| v.occurrence == Occurrence::Multiple)
+        def.variable(d)
+            .is_some_and(|v| v.occurrence == Occurrence::Multiple)
     });
 
     let base_ctx = |once: &HashMap<String, Value>| {
@@ -307,7 +324,9 @@ fn apply_derived(
     } else {
         let ctx = base_ctx(&run.once);
         let x = expression.eval(&ctx)?;
-        let value = Value::Float(x).coerce(var.datatype).map_err(Error::Extraction)?;
+        let value = Value::Float(x)
+            .coerce(var.datatype)
+            .map_err(Error::Extraction)?;
         run.once.insert(variable.to_string(), value);
     }
     Ok(())
@@ -316,7 +335,7 @@ fn apply_derived(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{Meta, Variable, VarKind};
+    use crate::experiment::{Meta, VarKind, Variable};
     use crate::input::TabularColumn;
     use rematch::Regex;
     use sqldb::DataType;
@@ -324,7 +343,8 @@ mod tests {
     fn def() -> ExperimentDef {
         let mut d = ExperimentDef::new(Meta::default(), "u");
         let add_once = |d: &mut ExperimentDef, n: &str, t: DataType| {
-            d.add_variable(Variable::new(n, VarKind::Parameter, t).once()).unwrap()
+            d.add_variable(Variable::new(n, VarKind::Parameter, t).once())
+                .unwrap()
         };
         add_once(&mut d, "t_spec", DataType::Int);
         add_once(&mut d, "mem", DataType::Int);
@@ -332,12 +352,24 @@ mod tests {
         add_once(&mut d, "hostname", DataType::Text);
         add_once(&mut d, "date_run", DataType::Timestamp);
         add_once(&mut d, "b_eff", DataType::Float);
-        d.add_variable(Variable::new("n_proc", VarKind::Parameter, DataType::Int)).unwrap();
-        d.add_variable(Variable::new("s_chunk", VarKind::Parameter, DataType::Int)).unwrap();
-        d.add_variable(Variable::new("mode", VarKind::Parameter, DataType::Text)).unwrap();
-        d.add_variable(Variable::new("b_scatter", VarKind::ResultValue, DataType::Float))
+        d.add_variable(Variable::new("n_proc", VarKind::Parameter, DataType::Int))
             .unwrap();
-        d.add_variable(Variable::new("mb_total", VarKind::ResultValue, DataType::Float)).unwrap();
+        d.add_variable(Variable::new("s_chunk", VarKind::Parameter, DataType::Int))
+            .unwrap();
+        d.add_variable(Variable::new("mode", VarKind::Parameter, DataType::Text))
+            .unwrap();
+        d.add_variable(Variable::new(
+            "b_scatter",
+            VarKind::ResultValue,
+            DataType::Float,
+        ))
+        .unwrap();
+        d.add_variable(Variable::new(
+            "mb_total",
+            VarKind::ResultValue,
+            DataType::Float,
+        ))
+        .unwrap();
         d
     }
 
@@ -379,9 +411,7 @@ b_eff_io of these measurements = 214.516 MB/s on 4 processes
             })
             .with_location(Location::Named {
                 variable: "date_run".into(),
-                pattern: Pattern::Regexp(
-                    Regex::new(r"Date of measurement: (.+)").unwrap(),
-                ),
+                pattern: Pattern::Regexp(Regex::new(r"Date of measurement: (.+)").unwrap()),
                 direction: Direction::After,
                 occurrence: 1,
             })
@@ -401,23 +431,43 @@ b_eff_io of these measurements = 214.516 MB/s on 4 processes
                 end: Some(Pattern::Literal("This table".into())),
                 skip_mismatch: true,
                 columns: vec![
-                    TabularColumn { index: 1, variable: "n_proc".into() },
-                    TabularColumn { index: 4, variable: "s_chunk".into() },
-                    TabularColumn { index: 5, variable: "mode".into() },
-                    TabularColumn { index: 6, variable: "b_scatter".into() },
+                    TabularColumn {
+                        index: 1,
+                        variable: "n_proc".into(),
+                    },
+                    TabularColumn {
+                        index: 4,
+                        variable: "s_chunk".into(),
+                    },
+                    TabularColumn {
+                        index: 5,
+                        variable: "mode".into(),
+                    },
+                    TabularColumn {
+                        index: 6,
+                        variable: "b_scatter".into(),
+                    },
                 ],
             }))
     }
 
     #[test]
     fn full_extraction() {
-        let runs =
-            extract_runs(&desc(), &def(), "bio_T10_N4_listbased_ufs_grisu_run1", SAMPLE).unwrap();
+        let runs = extract_runs(
+            &desc(),
+            &def(),
+            "bio_T10_N4_listbased_ufs_grisu_run1",
+            SAMPLE,
+        )
+        .unwrap();
         assert_eq!(runs.len(), 1);
         let r = &runs[0];
         assert_eq!(r.once["mem"], Value::Int(256));
         assert_eq!(r.once["t_spec"], Value::Int(10));
-        assert_eq!(r.once["hostname"], Value::Text("grisu0.ccrl-nece.de".into()));
+        assert_eq!(
+            r.once["hostname"],
+            Value::Text("grisu0.ccrl-nece.de".into())
+        );
         assert_eq!(r.once["fs"], Value::Text("ufs".into()));
         assert_eq!(r.once["b_eff"], Value::Float(214.516));
         assert_eq!(
@@ -449,7 +499,10 @@ b_eff_io of these measurements = 214.516 MB/s on 4 processes
             column: 3,
         });
         let runs = extract_runs(&d, &def(), "f", SAMPLE).unwrap();
-        assert_eq!(runs[0].once["hostname"], Value::Text("grisu0.ccrl-nece.de".into()));
+        assert_eq!(
+            runs[0].once["hostname"],
+            Value::Text("grisu0.ccrl-nece.de".into())
+        );
     }
 
     #[test]
@@ -502,11 +555,10 @@ b_eff_io of these measurements = 214.516 MB/s on 4 processes
 
     #[test]
     fn derived_per_run_and_per_dataset() {
-        let d = desc()
-            .with_location(Location::Derived {
-                variable: "mb_total".into(),
-                expression: exprcalc::Expr::parse("s_chunk * n_proc / 1024").unwrap(),
-            });
+        let d = desc().with_location(Location::Derived {
+            variable: "mb_total".into(),
+            expression: exprcalc::Expr::parse("s_chunk * n_proc / 1024").unwrap(),
+        });
         let runs = extract_runs(&d, &def(), "x_ufs_grisu", SAMPLE).unwrap();
         let ds = &runs[0].datasets[1]; // 1024-byte chunk, 4 PEs
         assert_eq!(ds["mb_total"], Value::Float(4.0));
@@ -515,7 +567,10 @@ b_eff_io of these measurements = 214.516 MB/s on 4 processes
     #[test]
     fn derived_once_from_once() {
         let d = InputDescription::new()
-            .with_location(Location::FixedValue { variable: "mem".into(), content: "256".into() })
+            .with_location(Location::FixedValue {
+                variable: "mem".into(),
+                content: "256".into(),
+            })
             .with_location(Location::Derived {
                 variable: "t_spec".into(),
                 expression: exprcalc::Expr::parse("mem / 64").unwrap(),
@@ -539,8 +594,14 @@ done
             end: None,
             skip_mismatch: false,
             columns: vec![
-                TabularColumn { index: 1, variable: "s_chunk".into() },
-                TabularColumn { index: 2, variable: "b_scatter".into() },
+                TabularColumn {
+                    index: 1,
+                    variable: "s_chunk".into(),
+                },
+                TabularColumn {
+                    index: 2,
+                    variable: "b_scatter".into(),
+                },
             ],
         }));
         let runs = extract_runs(&d, &def(), "f", text).unwrap();

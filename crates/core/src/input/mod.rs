@@ -205,7 +205,11 @@ impl InputDescription {
     /// command line").
     pub fn set_fixed_value(&mut self, variable: &str, content: &str) {
         for loc in &mut self.locations {
-            if let Location::FixedValue { variable: v, content: c } = loc {
+            if let Location::FixedValue {
+                variable: v,
+                content: c,
+            } = loc
+            {
                 if v == variable {
                     *c = content.to_string();
                     return;
@@ -233,9 +237,13 @@ impl InputDescription {
         use crate::experiment::Occurrence;
         for loc in &self.locations {
             let (vars, want_multiple) = match loc {
-                Location::Tabular(t) => {
-                    (t.columns.iter().map(|c| c.variable.as_str()).collect::<Vec<_>>(), true)
-                }
+                Location::Tabular(t) => (
+                    t.columns
+                        .iter()
+                        .map(|c| c.variable.as_str())
+                        .collect::<Vec<_>>(),
+                    true,
+                ),
                 other => (other.variables(), false),
             };
             for name in vars {
@@ -290,40 +298,58 @@ mod tests {
     #[test]
     fn covered_variables_deduped() {
         let d = InputDescription::new()
-            .with_location(Location::FixedValue { variable: "a".into(), content: "1".into() })
-            .with_location(Location::FixedValue { variable: "a".into(), content: "2".into() })
+            .with_location(Location::FixedValue {
+                variable: "a".into(),
+                content: "1".into(),
+            })
+            .with_location(Location::FixedValue {
+                variable: "a".into(),
+                content: "2".into(),
+            })
             .with_location(Location::Tabular(TabularSpec {
                 start: Pattern::Literal("x".into()),
                 offset: 0,
                 end: None,
                 skip_mismatch: false,
-                columns: vec![TabularColumn { index: 1, variable: "b".into() }],
+                columns: vec![TabularColumn {
+                    index: 1,
+                    variable: "b".into(),
+                }],
             }));
         assert_eq!(d.covered_variables(), vec!["a", "b"]);
     }
 
     #[test]
     fn validation_against_definition() {
-        use crate::experiment::{ExperimentDef, Meta, Variable, VarKind};
+        use crate::experiment::{ExperimentDef, Meta, VarKind, Variable};
         use sqldb::DataType;
         let mut def = ExperimentDef::new(Meta::default(), "u");
         def.add_variable(Variable::new("t_spec", VarKind::Parameter, DataType::Int).once())
             .unwrap();
-        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float))
+            .unwrap();
 
         let good = InputDescription::new()
-            .with_location(Location::FixedValue { variable: "t_spec".into(), content: "1".into() })
+            .with_location(Location::FixedValue {
+                variable: "t_spec".into(),
+                content: "1".into(),
+            })
             .with_location(Location::Tabular(TabularSpec {
                 start: Pattern::Literal("x".into()),
                 offset: 0,
                 end: None,
                 skip_mismatch: false,
-                columns: vec![TabularColumn { index: 1, variable: "bw".into() }],
+                columns: vec![TabularColumn {
+                    index: 1,
+                    variable: "bw".into(),
+                }],
             }));
         good.validate(&def).unwrap();
 
-        let unknown = InputDescription::new()
-            .with_location(Location::FixedValue { variable: "zzz".into(), content: "1".into() });
+        let unknown = InputDescription::new().with_location(Location::FixedValue {
+            variable: "zzz".into(),
+            content: "1".into(),
+        });
         assert!(unknown.validate(&def).is_err());
 
         // once-variable in a tabular column is an occurrence mismatch
@@ -332,7 +358,10 @@ mod tests {
             offset: 0,
             end: None,
             skip_mismatch: false,
-            columns: vec![TabularColumn { index: 1, variable: "t_spec".into() }],
+            columns: vec![TabularColumn {
+                index: 1,
+                variable: "t_spec".into(),
+            }],
         }));
         assert!(mismatch.validate(&def).is_err());
     }

@@ -165,8 +165,7 @@ pub fn parse_trace(bytes: &[u8]) -> Result<Trace> {
     }
     let mut fields = Vec::with_capacity(nfields);
     for _ in 0..nfields {
-        let namelen =
-            u16::from_le_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
+        let namelen = u16::from_le_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
         let name = std::str::from_utf8(take(&mut at, namelen)?)
             .map_err(|_| bad("field name is not UTF-8"))?
             .to_string();
@@ -189,8 +188,7 @@ pub fn parse_trace(bytes: &[u8]) -> Result<Trace> {
                 }
                 TraceType::Text => {
                     let len =
-                        u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes"))
-                            as usize;
+                        u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
                     let s = std::str::from_utf8(take(&mut at, len)?)
                         .map_err(|_| bad("text value is not UTF-8"))?
                         .to_string();
@@ -213,7 +211,10 @@ pub fn trace_to_run(def: &ExperimentDef, trace: &Trace) -> Result<ExtractedRun> 
     let mut multi_idx: Vec<(usize, String, DataType)> = Vec::new();
     for (i, f) in trace.fields.iter().enumerate() {
         let var = def.variable(&f.name).ok_or_else(|| {
-            Error::Extraction(format!("trace field '{}' is not an experiment variable", f.name))
+            Error::Extraction(format!(
+                "trace field '{}' is not an experiment variable",
+                f.name
+            ))
         })?;
         match var.occurrence {
             Occurrence::Once => {
@@ -256,20 +257,30 @@ pub fn trace_to_run(def: &ExperimentDef, trace: &Trace) -> Result<ExtractedRun> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{ExperimentDef, Meta, Variable, VarKind};
+    use crate::experiment::{ExperimentDef, Meta, VarKind, Variable};
 
     fn fields() -> Vec<TraceField> {
         vec![
-            TraceField { name: "host".into(), ty: TraceType::Text },
-            TraceField { name: "chunk".into(), ty: TraceType::Int },
-            TraceField { name: "bw".into(), ty: TraceType::Float },
+            TraceField {
+                name: "host".into(),
+                ty: TraceType::Text,
+            },
+            TraceField {
+                name: "chunk".into(),
+                ty: TraceType::Int,
+            },
+            TraceField {
+                name: "bw".into(),
+                ty: TraceType::Float,
+            },
         ]
     }
 
     fn sample_trace() -> Vec<u8> {
         let mut w = TraceWriter::new(fields());
         for (c, b) in [(1024i64, 59.0f64), (2048, 61.5), (4096, 66.25)] {
-            w.record(&[Value::Text("grisu0".into()), Value::Int(c), Value::Float(b)]).unwrap();
+            w.record(&[Value::Text("grisu0".into()), Value::Int(c), Value::Float(b)])
+                .unwrap();
         }
         w.finish()
     }
@@ -280,11 +291,14 @@ mod tests {
         let t = parse_trace(&bytes).unwrap();
         assert_eq!(t.fields, fields());
         assert_eq!(t.records.len(), 3);
-        assert_eq!(t.records[1], vec![
-            Value::Text("grisu0".into()),
-            Value::Int(2048),
-            Value::Float(61.5)
-        ]);
+        assert_eq!(
+            t.records[1],
+            vec![
+                Value::Text("grisu0".into()),
+                Value::Int(2048),
+                Value::Float(61.5)
+            ]
+        );
     }
 
     #[test]
@@ -306,7 +320,11 @@ mod tests {
         let mut w = TraceWriter::new(fields());
         assert!(w.record(&[Value::Int(1)]).is_err()); // arity
         assert!(w
-            .record(&[Value::Text("h".into()), Value::Text("x".into()), Value::Float(1.0)])
+            .record(&[
+                Value::Text("h".into()),
+                Value::Text("x".into()),
+                Value::Float(1.0)
+            ])
             .is_err()); // type
     }
 
@@ -314,8 +332,10 @@ mod tests {
         let mut d = ExperimentDef::new(Meta::default(), "u");
         d.add_variable(Variable::new("host", VarKind::Parameter, DataType::Text).once())
             .unwrap();
-        d.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int)).unwrap();
-        d.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        d.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int))
+            .unwrap();
+        d.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float))
+            .unwrap();
         d
     }
 
@@ -331,8 +351,10 @@ mod tests {
     #[test]
     fn varying_run_constant_rejected() {
         let mut w = TraceWriter::new(fields());
-        w.record(&[Value::Text("h1".into()), Value::Int(1), Value::Float(1.0)]).unwrap();
-        w.record(&[Value::Text("h2".into()), Value::Int(2), Value::Float(2.0)]).unwrap();
+        w.record(&[Value::Text("h1".into()), Value::Int(1), Value::Float(1.0)])
+            .unwrap();
+        w.record(&[Value::Text("h2".into()), Value::Int(2), Value::Float(2.0)])
+            .unwrap();
         let t = parse_trace(&w.finish()).unwrap();
         let err = trace_to_run(&def(), &t).unwrap_err();
         assert!(err.to_string().contains("varies"));
@@ -340,7 +362,10 @@ mod tests {
 
     #[test]
     fn unknown_field_rejected() {
-        let mut w = TraceWriter::new(vec![TraceField { name: "zzz".into(), ty: TraceType::Int }]);
+        let mut w = TraceWriter::new(vec![TraceField {
+            name: "zzz".into(),
+            ty: TraceType::Int,
+        }]);
         w.record(&[Value::Int(1)]).unwrap();
         let t = parse_trace(&w.finish()).unwrap();
         assert!(trace_to_run(&def(), &t).is_err());

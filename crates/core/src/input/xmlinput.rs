@@ -1,8 +1,6 @@
 //! XML form of the input description (paper §3.2, Fig. 6).
 
-use super::{
-    Direction, InputDescription, Location, Pattern, TabularColumn, TabularSpec,
-};
+use super::{Direction, InputDescription, Location, Pattern, TabularColumn, TabularSpec};
 use crate::error::{Error, Result};
 use rematch::Regex;
 use xmlite::dtd::{AttrDecl, Dtd, Model};
@@ -10,7 +8,11 @@ use xmlite::{Document, Element};
 
 /// DTD-lite schema for input descriptions.
 pub fn input_schema() -> Dtd {
-    let attr = |name: &str| AttrDecl { name: name.into(), required: false, default: None };
+    let attr = |name: &str| AttrDecl {
+        name: name.into(),
+        required: false,
+        default: None,
+    };
     Dtd::new()
         .declare(
             "input",
@@ -37,7 +39,10 @@ pub fn input_schema() -> Dtd {
                 "occurrence".into(),
             ]),
         )
-        .declare("fixed", Model::Children(vec!["variable".into(), "row".into(), "column".into()]))
+        .declare(
+            "fixed",
+            Model::Children(vec!["variable".into(), "row".into(), "column".into()]),
+        )
         .declare(
             "tabular",
             Model::Children(vec!["start".into(), "end".into(), "column".into()]),
@@ -53,14 +58,24 @@ pub fn input_schema() -> Dtd {
         .declare("column", Model::Children(vec!["variable".into()]))
         .attribute(
             "column",
-            AttrDecl { name: "index".into(), required: true, default: None },
+            AttrDecl {
+                name: "index".into(),
+                required: true,
+                default: None,
+            },
         )
-        .declare("filename", Model::Children(vec!["variable".into(), "regexp".into()]))
+        .declare(
+            "filename",
+            Model::Children(vec!["variable".into(), "regexp".into()]),
+        )
         .declare(
             "fixed_value",
             Model::Children(vec!["variable".into(), "content".into()]),
         )
-        .declare("derived", Model::Children(vec!["variable".into(), "expression".into()]))
+        .declare(
+            "derived",
+            Model::Children(vec!["variable".into(), "expression".into()]),
+        )
         .declare("variable", Model::Text)
         .declare("match", Model::Text)
         .declare("regexp", Model::Text)
@@ -110,16 +125,14 @@ pub fn input_description_from_str(xml: &str) -> Result<InputDescription> {
                     None | Some("after") => Direction::After,
                     Some("before") => Direction::Before,
                     Some(other) => {
-                        return Err(Error::ControlFile(format!(
-                            "invalid direction '{other}'"
-                        )))
+                        return Err(Error::ControlFile(format!("invalid direction '{other}'")))
                     }
                 };
                 let occurrence = match el.child_text("occurrence") {
                     None => 1,
-                    Some(o) => o.parse().map_err(|_| {
-                        Error::ControlFile(format!("invalid occurrence '{o}'"))
-                    })?,
+                    Some(o) => o
+                        .parse()
+                        .map_err(|_| Error::ControlFile(format!("invalid occurrence '{o}'")))?,
                 };
                 desc.locations.push(Location::Named {
                     variable: required_variable(el)?,
@@ -144,9 +157,9 @@ pub fn input_description_from_str(xml: &str) -> Result<InputDescription> {
                 let start = pattern_from_attrs(start_el)?;
                 let offset = match start_el.attr("offset") {
                     None => 0,
-                    Some(o) => o.parse().map_err(|_| {
-                        Error::ControlFile(format!("invalid offset '{o}'"))
-                    })?,
+                    Some(o) => o
+                        .parse()
+                        .map_err(|_| Error::ControlFile(format!("invalid offset '{o}'")))?,
                 };
                 let end = match el.child("end") {
                     Some(e) => Some(pattern_from_attrs(e)?),
@@ -160,13 +173,23 @@ pub fn input_description_from_str(xml: &str) -> Result<InputDescription> {
                         .ok_or_else(|| Error::ControlFile("<column> needs index".into()))?
                         .parse()
                         .map_err(|_| Error::ControlFile("invalid column index".into()))?;
-                    columns.push(TabularColumn { index, variable: required_variable(c)? });
+                    columns.push(TabularColumn {
+                        index,
+                        variable: required_variable(c)?,
+                    });
                 }
                 if columns.is_empty() {
-                    return Err(Error::ControlFile("<tabular> needs at least one <column>".into()));
+                    return Err(Error::ControlFile(
+                        "<tabular> needs at least one <column>".into(),
+                    ));
                 }
-                desc.locations
-                    .push(Location::Tabular(TabularSpec { start, offset, end, skip_mismatch, columns }));
+                desc.locations.push(Location::Tabular(TabularSpec {
+                    start,
+                    offset,
+                    end,
+                    skip_mismatch,
+                    columns,
+                }));
             }
             "filename" => {
                 let r = el
@@ -232,7 +255,12 @@ pub fn input_description_to_string(desc: &InputDescription) -> String {
     }
     for loc in &desc.locations {
         let el = match loc {
-            Location::Named { variable, pattern, direction, occurrence } => {
+            Location::Named {
+                variable,
+                pattern,
+                direction,
+                occurrence,
+            } => {
                 let mut e = Element::new("named").with_text_child("variable", variable);
                 e = match pattern {
                     Pattern::Literal(m) => e.with_text_child("match", m),
@@ -246,7 +274,11 @@ pub fn input_description_to_string(desc: &InputDescription) -> String {
                 }
                 e
             }
-            Location::Fixed { variable, row, column } => Element::new("fixed")
+            Location::Fixed {
+                variable,
+                row,
+                column,
+            } => Element::new("fixed")
                 .with_text_child("variable", variable)
                 .with_text_child("row", &row.to_string())
                 .with_text_child("column", &column.to_string()),
@@ -278,7 +310,10 @@ pub fn input_description_to_string(desc: &InputDescription) -> String {
             Location::FixedValue { variable, content } => Element::new("fixed_value")
                 .with_text_child("variable", variable)
                 .with_text_child("content", content),
-            Location::Derived { variable, expression } => Element::new("derived")
+            Location::Derived {
+                variable,
+                expression,
+            } => Element::new("derived")
                 .with_text_child("variable", variable)
                 .with_text_child("expression", expression.source()),
         };
@@ -374,16 +409,17 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(input_description_from_str("<query/>").is_err());
-        assert!(input_description_from_str("<input><named><variable>x</variable></named></input>")
-            .is_err());
+        assert!(
+            input_description_from_str("<input><named><variable>x</variable></named></input>")
+                .is_err()
+        );
         assert!(input_description_from_str(
             "<input><tabular><start match=\"x\"/></tabular></input>"
         )
         .is_err());
-        assert!(input_description_from_str(
-            "<input><named><match>x</match></named></input>"
-        )
-        .is_err());
+        assert!(
+            input_description_from_str("<input><named><match>x</match></named></input>").is_err()
+        );
         assert!(input_description_from_str("<input><bogus/></input>").is_err());
     }
 
@@ -394,7 +430,11 @@ mod tests {
         )
         .unwrap();
         match &d.locations[0] {
-            Location::Named { direction, occurrence, .. } => {
+            Location::Named {
+                direction,
+                occurrence,
+                ..
+            } => {
                 assert_eq!(*direction, Direction::After);
                 assert_eq!(*occurrence, 1);
             }

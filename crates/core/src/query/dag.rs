@@ -75,7 +75,10 @@ impl QueryDag {
             }
             for inp in &e.inputs {
                 let j = *index.get(inp.as_str()).ok_or_else(|| {
-                    Error::Query(format!("element '{}' references unknown input '{inp}'", e.id))
+                    Error::Query(format!(
+                        "element '{}' references unknown input '{inp}'",
+                        e.id
+                    ))
                 })?;
                 if matches!(spec.elements[j].kind, ElementKind::Output(_)) {
                     return Err(Error::Query(format!(
@@ -96,8 +99,12 @@ impl QueryDag {
 
         // Kahn's algorithm; leftover nodes indicate a cycle.
         let mut indeg: Vec<usize> = input_idx.iter().map(Vec::len).collect();
-        let mut ready: Vec<usize> =
-            indeg.iter().enumerate().filter(|(_, d)| **d == 0).map(|(i, _)| i).collect();
+        let mut ready: Vec<usize> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == 0)
+            .map(|(i, _)| i)
+            .collect();
         let mut topo_order = Vec::with_capacity(spec.elements.len());
         while let Some(i) = ready.pop() {
             topo_order.push(i);
@@ -112,7 +119,12 @@ impl QueryDag {
             return Err(Error::Query("query graph contains a cycle".into()));
         }
 
-        Ok(QueryDag { spec, topo_order, input_idx, consumers })
+        Ok(QueryDag {
+            spec,
+            topo_order,
+            input_idx,
+            consumers,
+        })
     }
 
     /// Execution *waves*: groups of elements whose inputs are all satisfied

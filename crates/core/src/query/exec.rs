@@ -31,9 +31,7 @@
 //! [`QueryOutcome::transfer`], and both return exactly the rows an
 //! unsharded run returns.
 
-use super::spec::{
-    CombinerSpec, ElementKind, OpKind, OutputSpec, QuerySpec, SourceSpec,
-};
+use super::spec::{CombinerSpec, ElementKind, OpKind, OutputSpec, QuerySpec, SourceSpec};
 use super::{DataVector, QueryDag};
 use crate::error::{Error, Result};
 use crate::experiment::{ExperimentDb, ExperimentDef, Occurrence};
@@ -83,8 +81,12 @@ impl QueryOutcome {
         if total.is_zero() {
             return 0.0;
         }
-        let sources: Duration =
-            self.timings.iter().filter(|t| t.kind == "source").map(|t| t.wall).sum();
+        let sources: Duration = self
+            .timings
+            .iter()
+            .filter(|t| t.kind == "source")
+            .map(|t| t.wall)
+            .sum();
         sources.as_secs_f64() / total.as_secs_f64()
     }
 }
@@ -135,20 +137,30 @@ impl<'a> QueryRunner<'a> {
             return fused;
         }
         for (j, slot) in fused.iter_mut().enumerate() {
-            let ElementKind::Operator(o) = &dag.spec.elements[j].kind else { continue };
-            let Some(agg) = o.op.aggregate() else { continue };
+            let ElementKind::Operator(o) = &dag.spec.elements[j].kind else {
+                continue;
+            };
+            let Some(agg) = o.op.aggregate() else {
+                continue;
+            };
             if !matches!(
                 agg,
                 AggKind::Count | AggKind::Sum | AggKind::Min | AggKind::Max | AggKind::Avg
             ) {
                 continue;
             }
-            let &[i] = &dag.input_idx[j][..] else { continue };
-            let ElementKind::Source(s) = &dag.spec.elements[i].kind else { continue };
+            let &[i] = &dag.input_idx[j][..] else {
+                continue;
+            };
+            let ElementKind::Source(s) = &dag.spec.elements[i].kind else {
+                continue;
+            };
             if dag.consumers[i] != [j] {
                 continue;
             }
-            let Ok(plan) = plan_source(def, s) else { continue };
+            let Ok(plan) = plan_source(def, s) else {
+                continue;
+            };
             if !plan.once_values.is_empty() || plan.multi_values.is_empty() {
                 continue;
             }
@@ -362,7 +374,14 @@ pub(crate) fn plan_source(def: &ExperimentDef, spec: &SourceSpec) -> Result<Sour
             Occurrence::Multiple => multi_values.push(v.clone()),
         }
     }
-    Ok(SourcePlan { once_where, multi_where, once_carry, multi_carry, once_values, multi_values })
+    Ok(SourcePlan {
+        once_where,
+        multi_where,
+        once_carry,
+        multi_carry,
+        once_values,
+        multi_values,
+    })
 }
 
 /// Column labels from the experiment definition (`synopsis [unit]`).
@@ -371,9 +390,19 @@ fn source_labels(def: &ExperimentDef, cols: &[String]) -> HashMap<String, String
     for c in cols {
         if let Some(var) = def.variable(c) {
             let unit = var.unit.to_string();
-            let base = if var.synopsis.is_empty() { var.name.clone() } else { var.synopsis.clone() };
-            labels
-                .insert(c.clone(), if unit.is_empty() { base } else { format!("{base} [{unit}]") });
+            let base = if var.synopsis.is_empty() {
+                var.name.clone()
+            } else {
+                var.synopsis.clone()
+            };
+            labels.insert(
+                c.clone(),
+                if unit.is_empty() {
+                    base
+                } else {
+                    format!("{base} [{unit}]")
+                },
+            );
         }
     }
     labels
@@ -402,8 +431,18 @@ pub(crate) fn run_source(
 
     // 2. Per run, select the matching data sets and attach the run-level
     //    columns.
-    let params: Vec<String> = plan.once_carry.iter().chain(&plan.multi_carry).cloned().collect();
-    let values: Vec<String> = plan.once_values.iter().chain(&plan.multi_values).cloned().collect();
+    let params: Vec<String> = plan
+        .once_carry
+        .iter()
+        .chain(&plan.multi_carry)
+        .cloned()
+        .collect();
+    let values: Vec<String> = plan
+        .once_values
+        .iter()
+        .chain(&plan.multi_values)
+        .cloned()
+        .collect();
     let out_cols: Vec<String> = params.iter().chain(&values).cloned().collect();
 
     let mut rows: Vec<Vec<Value>> = Vec::new();
@@ -418,8 +457,10 @@ pub(crate) fn run_source(
 
         if plan.multi_carry.is_empty() && plan.multi_values.is_empty() {
             // Purely run-level data: one tuple per run.
-            let row: Vec<Value> =
-                out_cols.iter().map(|c| (*once_vals[c.as_str()]).clone()).collect();
+            let row: Vec<Value> = out_cols
+                .iter()
+                .map(|c| (*once_vals[c.as_str()]).clone())
+                .collect();
             rows.push(row);
             continue;
         }
@@ -433,8 +474,11 @@ pub(crate) fn run_source(
         }
         let data = db.query_run_data(run_id, &dsql)?;
         for drow in data.rows() {
-            let dmap: HashMap<&str, &Value> =
-                dcols.iter().zip(drow.iter()).map(|(n, v)| (n.as_str(), v)).collect();
+            let dmap: HashMap<&str, &Value> = dcols
+                .iter()
+                .zip(drow.iter())
+                .map(|(n, v)| (n.as_str(), v))
+                .collect();
             let row: Vec<Value> = out_cols
                 .iter()
                 .map(|c| {
@@ -452,7 +496,12 @@ pub(crate) fn run_source(
     // 3. Materialise the vector, with labels from the definition.
     let labels = source_labels(&def, &out_cols);
     materialize(out_engine, table, &out_cols, rows)?;
-    Ok(DataVector { table: table.to_string(), params, values, labels })
+    Ok(DataVector {
+        table: table.to_string(),
+        params,
+        values,
+        labels,
+    })
 }
 
 /// Per-value partial-aggregate state while merging pushed-down results on
@@ -512,7 +561,12 @@ fn run_pushdown_aggregate(
     let runs = db.engine().query(&sql)?;
     let _ = run_cols; // run_id + once_carry (no once values by eligibility)
 
-    let params: Vec<String> = plan.once_carry.iter().chain(&plan.multi_carry).cloned().collect();
+    let params: Vec<String> = plan
+        .once_carry
+        .iter()
+        .chain(&plan.multi_carry)
+        .cloned()
+        .collect();
     let values: Vec<String> = plan.multi_values.clone();
     // Same mode selection as run_operator_single: parameters present →
     // data-set aggregation (GROUP BY all parameters); none → reduce the
@@ -569,8 +623,11 @@ fn run_pushdown_aggregate(
             // group columns of the partial row — the params order.
             let mut key_vals: Vec<Value> = run_row[1..].to_vec();
             key_vals.extend(prow[..plan.multi_carry.len()].iter().cloned());
-            let key =
-                key_vals.iter().map(canon_key).collect::<Vec<_>>().join("\u{1}");
+            let key = key_vals
+                .iter()
+                .map(canon_key)
+                .collect::<Vec<_>>()
+                .join("\u{1}");
             let g = groups.entry(key.clone()).or_insert_with(|| {
                 order.push(key);
                 Group {
@@ -585,7 +642,9 @@ fn run_pushdown_aggregate(
                         if let Some(s) = prow[c0].as_f64() {
                             *sum += s;
                         }
-                        *cnt += prow[c1.expect("avg has a count column")].as_i64().unwrap_or(0);
+                        *cnt += prow[c1.expect("avg has a count column")]
+                            .as_i64()
+                            .unwrap_or(0);
                     }
                     Partial::Acc(a) => a.update(&prow[c0]),
                 }
@@ -605,8 +664,7 @@ fn run_pushdown_aggregate(
     if !grouped && out_rows.is_empty() {
         // Full reduction over an empty vector still yields one row, like
         // `SELECT agg(c) FROM t` does: NULL, or 0 for count.
-        let empty: Result<Vec<Value>> =
-            values.iter().map(|_| Partial::new(agg).finish()).collect();
+        let empty: Result<Vec<Value>> = values.iter().map(|_| Partial::new(agg).finish()).collect();
         out_rows.push(empty?);
     }
 
@@ -654,7 +712,10 @@ pub(crate) fn materialize(
 }
 
 /// Read a vector's rows from wherever its temp table lives.
-pub(crate) fn read_vector(engine: &Engine, v: &DataVector) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+pub(crate) fn read_vector(
+    engine: &Engine,
+    v: &DataVector,
+) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
     let (schema, rows) = engine.read_snapshot(&v.table)?;
     Ok((schema.names(), rows))
 }
@@ -670,7 +731,9 @@ pub(crate) fn run_operator(
 ) -> Result<DataVector> {
     match inputs {
         [] => Err(Error::Query("operator without inputs".into())),
-        [(v, from_source)] => run_operator_single(in_engine, out_engine, op, v, *from_source, table),
+        [(v, from_source)] => {
+            run_operator_single(in_engine, out_engine, op, v, *from_source, table)
+        }
         multiple => run_operator_elementwise(in_engine, out_engine, op, multiple, table),
     }
 }
@@ -754,7 +817,12 @@ fn run_operator_single(
     if let OpKind::Eval(expr) = op {
         labels.insert("eval".into(), expr.source().to_string());
     }
-    Ok(DataVector { table: table.to_string(), params: v.params.clone(), values: out_values, labels })
+    Ok(DataVector {
+        table: table.to_string(),
+        params: v.params.clone(),
+        values: out_values,
+        labels,
+    })
 }
 
 /// Data-set aggregation via the database (GROUP BY all parameters) — the
@@ -766,8 +834,11 @@ fn aggregate_datasets(
     v: &DataVector,
     table: &str,
 ) -> Result<DataVector> {
-    let aggs: Vec<String> =
-        v.values.iter().map(|c| format!("{}({c}) AS {c}", agg.name())).collect();
+    let aggs: Vec<String> = v
+        .values
+        .iter()
+        .map(|c| format!("{}({c}) AS {c}", agg.name()))
+        .collect();
     let sql = format!(
         "SELECT {}, {} FROM {} GROUP BY {}",
         v.params.join(", "),
@@ -799,8 +870,11 @@ fn reduce_all(
     v: &DataVector,
     table: &str,
 ) -> Result<DataVector> {
-    let aggs: Vec<String> =
-        v.values.iter().map(|c| format!("{}({c}) AS {c}", agg.name())).collect();
+    let aggs: Vec<String> = v
+        .values
+        .iter()
+        .map(|c| format!("{}({c}) AS {c}", agg.name()))
+        .collect();
     let sql = format!("SELECT {} FROM {}", aggs.join(", "), v.table);
     let rs = in_engine.query(&sql)?;
     let cols: Vec<String> = rs.column_names().to_vec();
@@ -855,8 +929,9 @@ fn run_operator_elementwise(
 
     // Alignment key: parameters common to every NON-broadcast input (the
     // broadcast inputs join every key by definition).
-    let aligned: Vec<usize> =
-        (0..inputs.len()).filter(|&k| broadcast[k].is_none()).collect();
+    let aligned: Vec<usize> = (0..inputs.len())
+        .filter(|&k| broadcast[k].is_none())
+        .collect();
     let common: Vec<String> = match aligned.first() {
         None => Vec::new(), // all inputs broadcast: one global tuple
         Some(&k0) => inputs[k0]
@@ -899,7 +974,11 @@ fn run_operator_elementwise(
             .collect();
         let mut map = HashMap::new();
         for row in rows {
-            let key = pidx.iter().map(|&i| canon_key(&row[i])).collect::<Vec<_>>().join("\u{1}");
+            let key = pidx
+                .iter()
+                .map(|&i| canon_key(&row[i]))
+                .collect::<Vec<_>>()
+                .join("\u{1}");
             let pvals: Vec<Value> = pidx.iter().map(|&i| row[i].clone()).collect();
             let vvals: Vec<Value> = vidx.iter().map(|&i| row[i].clone()).collect();
             // Duplicate keys: last one wins (operators normally follow an
@@ -977,7 +1056,11 @@ fn run_operator_elementwise(
     for p in &common {
         labels.insert(p.clone(), first.label(p));
     }
-    let lname = first.values.first().map(|c| first.label(c)).unwrap_or_default();
+    let lname = first
+        .values
+        .first()
+        .map(|c| first.label(c))
+        .unwrap_or_default();
     let rname = inputs
         .get(1)
         .and_then(|(v, _)| v.values.first().map(|c| v.label(c)))
@@ -1026,7 +1109,11 @@ fn apply_elementwise(op: &OpKind, xs: &[f64], named: &exprcalc::Context) -> Resu
             let mut v: Vec<f64> = xs.to_vec();
             v.sort_by(f64::total_cmp);
             let n = v.len();
-            Ok(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
+            Ok(if n % 2 == 1 {
+                v[n / 2]
+            } else {
+                (v[n / 2 - 1] + v[n / 2]) / 2.0
+            })
         }
         OpKind::Scale(f) => Ok(xs[0] * f),
         OpKind::Offset(b) => Ok(xs[0] + b),
@@ -1057,24 +1144,38 @@ pub(crate) fn run_combiner(
     right: &DataVector,
     table: &str,
 ) -> Result<DataVector> {
-    let common: Vec<String> =
-        left.params.iter().filter(|p| right.params.contains(p)).cloned().collect();
+    let common: Vec<String> = left
+        .params
+        .iter()
+        .filter(|p| right.params.contains(p))
+        .cloned()
+        .collect();
 
     let (lcols, lrows) = read_vector(in_engine, left)?;
     let (rcols, rrows) = read_vector(in_engine, right)?;
 
     let idx = |cols: &[String], name: &str| cols.iter().position(|c| c == name);
-    let lkey: Vec<usize> = common.iter().map(|p| idx(&lcols, p).expect("common")).collect();
-    let rkey: Vec<usize> = common.iter().map(|p| idx(&rcols, p).expect("common")).collect();
+    let lkey: Vec<usize> = common
+        .iter()
+        .map(|p| idx(&lcols, p).expect("common"))
+        .collect();
+    let rkey: Vec<usize> = common
+        .iter()
+        .map(|p| idx(&rcols, p).expect("common"))
+        .collect();
 
     // Rename colliding value columns.
     let rename = |name: &str, from_left: bool| -> String {
-        let collides = left.values.contains(&name.to_string())
-            && right.values.contains(&name.to_string());
+        let collides =
+            left.values.contains(&name.to_string()) && right.values.contains(&name.to_string());
         if collides {
             format!(
                 "{name}{}",
-                if from_left { &spec.suffix_left } else { &spec.suffix_right }
+                if from_left {
+                    &spec.suffix_left
+                } else {
+                    &spec.suffix_right
+                }
             )
         } else {
             name.to_string()
@@ -1084,10 +1185,18 @@ pub(crate) fn run_combiner(
     // Output layout: common params, left-only params, right-only params,
     // left values, right values.
     let mut out_params = common.clone();
-    let lonly: Vec<String> =
-        left.params.iter().filter(|p| !common.contains(p)).cloned().collect();
-    let ronly: Vec<String> =
-        right.params.iter().filter(|p| !common.contains(p)).cloned().collect();
+    let lonly: Vec<String> = left
+        .params
+        .iter()
+        .filter(|p| !common.contains(p))
+        .cloned()
+        .collect();
+    let ronly: Vec<String> = right
+        .params
+        .iter()
+        .filter(|p| !common.contains(p))
+        .cloned()
+        .collect();
     out_params.extend(lonly.iter().cloned());
     out_params.extend(ronly.iter().cloned());
     let lvals_out: Vec<String> = left.values.iter().map(|v| rename(v, true)).collect();
@@ -1099,14 +1208,24 @@ pub(crate) fn run_combiner(
     // Hash-join right side by common key.
     let mut rmap: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
     for row in &rrows {
-        let key = rkey.iter().map(|&i| canon_key(&row[i])).collect::<Vec<_>>().join("\u{1}");
+        let key = rkey
+            .iter()
+            .map(|&i| canon_key(&row[i]))
+            .collect::<Vec<_>>()
+            .join("\u{1}");
         rmap.entry(key).or_default().push(row);
     }
 
     let mut out_rows = Vec::new();
     for lrow in &lrows {
-        let key = lkey.iter().map(|&i| canon_key(&lrow[i])).collect::<Vec<_>>().join("\u{1}");
-        let Some(matches) = rmap.get(&key) else { continue };
+        let key = lkey
+            .iter()
+            .map(|&i| canon_key(&lrow[i]))
+            .collect::<Vec<_>>()
+            .join("\u{1}");
+        let Some(matches) = rmap.get(&key) else {
+            continue;
+        };
         for rrow in matches {
             let mut row: Vec<Value> = Vec::with_capacity(out_cols.len());
             for p in &common {
@@ -1153,7 +1272,12 @@ pub(crate) fn run_combiner(
     }
     let mut out_values = lvals_out;
     out_values.extend(rvals_out);
-    Ok(DataVector { table: table.to_string(), params: out_params, values: out_values, labels })
+    Ok(DataVector {
+        table: table.to_string(),
+        params: out_params,
+        values: out_values,
+        labels,
+    })
 }
 
 /// Execute an output element: render every input vector in the requested
@@ -1189,7 +1313,7 @@ pub(crate) fn run_output(
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use crate::experiment::{ExperimentDef, Meta, Variable, VarKind};
+    use crate::experiment::{ExperimentDef, Meta, VarKind, Variable};
     use crate::query::spec::query_from_str;
     use sqldb::DataType;
     use std::sync::Arc;
@@ -1197,13 +1321,19 @@ pub(crate) mod tests {
     /// Small experiment: technique × chunk, bandwidth values, 2 runs per
     /// configuration with controlled numbers.
     pub(crate) fn seeded_db() -> ExperimentDb {
-        let mut def = ExperimentDef::new(Meta { name: "t".into(), ..Meta::default() }, "u");
-        def.add_variable(
-            Variable::new("technique", VarKind::Parameter, DataType::Text).once(),
-        )
-        .unwrap();
-        def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int)).unwrap();
-        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        let mut def = ExperimentDef::new(
+            Meta {
+                name: "t".into(),
+                ..Meta::default()
+            },
+            "u",
+        );
+        def.add_variable(Variable::new("technique", VarKind::Parameter, DataType::Text).once())
+            .unwrap();
+        def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int))
+            .unwrap();
+        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float))
+            .unwrap();
         let db = ExperimentDb::create(Arc::new(Engine::new()), def).unwrap();
 
         // old: bw = chunk/100 + rep   new: bw = chunk/50 + rep (better)
@@ -1324,7 +1454,12 @@ pub(crate) mod tests {
         let (cols, rows) = {
             let csv = &out.artifacts["o"];
             let mut lines = csv.lines();
-            let cols: Vec<String> = lines.next().unwrap().split(',').map(str::to_string).collect();
+            let cols: Vec<String> = lines
+                .next()
+                .unwrap()
+                .split(',')
+                .map(str::to_string)
+                .collect();
             let rows: Vec<Vec<String>> = lines
                 .map(|l| l.split(',').map(str::to_string).collect())
                 .collect();
@@ -1611,7 +1746,10 @@ pub(crate) mod tests {
         .unwrap();
         let out = QueryRunner::new(&db).run(q).unwrap();
         // chunk 100: values 1.0 and 2.0 over the two reps → median 1.5.
-        let line = out.artifacts["o"].lines().find(|l| l.starts_with("100,")).unwrap();
+        let line = out.artifacts["o"]
+            .lines()
+            .find(|l| l.starts_with("100,"))
+            .unwrap();
         let m: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
         assert!((m - 1.5).abs() < 1e-9);
     }
@@ -1651,10 +1789,14 @@ pub(crate) mod tests {
     #[test]
     fn pushdown_matches_unsharded_results() {
         let plain = seeded_db();
-        let want = QueryRunner::new(&plain).run(query_from_str(PUSHABLE_QUERY).unwrap()).unwrap();
+        let want = QueryRunner::new(&plain)
+            .run(query_from_str(PUSHABLE_QUERY).unwrap())
+            .unwrap();
         for nodes in [1usize, 2, 4] {
             let db = sharded_db(nodes);
-            let out = QueryRunner::new(&db).run(query_from_str(PUSHABLE_QUERY).unwrap()).unwrap();
+            let out = QueryRunner::new(&db)
+                .run(query_from_str(PUSHABLE_QUERY).unwrap())
+                .unwrap();
             assert_eq!(out.artifacts["o"], want.artifacts["o"], "{nodes} nodes");
             let t = out.transfer.expect("sharded queries record transfer stats");
             if nodes > 1 {
@@ -1674,9 +1816,13 @@ pub(crate) mod tests {
            <operator id="a" type="avg" input="s"/>
            <output id="o" input="a" format="csv"/></query>"#;
         let db = sharded_db(4);
-        let pushed = QueryRunner::new(&db).run(query_from_str(q).unwrap()).unwrap();
-        let fetched =
-            QueryRunner::new(&db).pushdown(false).run(query_from_str(q).unwrap()).unwrap();
+        let pushed = QueryRunner::new(&db)
+            .run(query_from_str(q).unwrap())
+            .unwrap();
+        let fetched = QueryRunner::new(&db)
+            .pushdown(false)
+            .run(query_from_str(q).unwrap())
+            .unwrap();
         assert_eq!(pushed.artifacts["o"], fetched.artifacts["o"]);
         let tp = pushed.transfer.unwrap();
         let tf = fetched.transfer.unwrap();
@@ -1697,9 +1843,13 @@ pub(crate) mod tests {
            <operator id="c" type="count" input="s"/>
            <output id="o" input="c" format="csv"/></query>"#;
         let plain = seeded_db();
-        let want = QueryRunner::new(&plain).run(query_from_str(q).unwrap()).unwrap();
+        let want = QueryRunner::new(&plain)
+            .run(query_from_str(q).unwrap())
+            .unwrap();
         let db = sharded_db(3);
-        let out = QueryRunner::new(&db).run(query_from_str(q).unwrap()).unwrap();
+        let out = QueryRunner::new(&db)
+            .run(query_from_str(q).unwrap())
+            .unwrap();
         assert_eq!(out.artifacts["o"], want.artifacts["o"]);
         assert_eq!(out.artifacts["o"].lines().count(), 2); // header + count 0
     }
@@ -1714,9 +1864,13 @@ pub(crate) mod tests {
            <operator id="m" type="median" input="s"/>
            <output id="o" input="m" format="csv"/></query>"#;
         let plain = seeded_db();
-        let want = QueryRunner::new(&plain).run(query_from_str(q).unwrap()).unwrap();
+        let want = QueryRunner::new(&plain)
+            .run(query_from_str(q).unwrap())
+            .unwrap();
         let db = sharded_db(4);
-        let out = QueryRunner::new(&db).run(query_from_str(q).unwrap()).unwrap();
+        let out = QueryRunner::new(&db)
+            .run(query_from_str(q).unwrap())
+            .unwrap();
         assert_eq!(out.artifacts["o"], want.artifacts["o"]);
     }
 
@@ -1724,10 +1878,14 @@ pub(crate) mod tests {
     fn detached_db_answers_queries_from_the_frontend_again() {
         let db = sharded_db(4);
         db.detach_cluster().unwrap();
-        let out = QueryRunner::new(&db).run(query_from_str(PUSHABLE_QUERY).unwrap()).unwrap();
+        let out = QueryRunner::new(&db)
+            .run(query_from_str(PUSHABLE_QUERY).unwrap())
+            .unwrap();
         assert!(out.transfer.is_none());
         let plain = seeded_db();
-        let want = QueryRunner::new(&plain).run(query_from_str(PUSHABLE_QUERY).unwrap()).unwrap();
+        let want = QueryRunner::new(&plain)
+            .run(query_from_str(PUSHABLE_QUERY).unwrap())
+            .unwrap();
         assert_eq!(out.artifacts["o"], want.artifacts["o"]);
     }
 }

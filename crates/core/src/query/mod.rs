@@ -49,6 +49,9 @@ pub struct DataVector {
 impl DataVector {
     /// Label for a column (falls back to the bare name).
     pub fn label(&self, column: &str) -> String {
-        self.labels.get(column).cloned().unwrap_or_else(|| column.to_string())
+        self.labels
+            .get(column)
+            .cloned()
+            .unwrap_or_else(|| column.to_string())
     }
 }

@@ -61,11 +61,19 @@ pub fn simulated_makespan(
     let nodes = nodes.max(1);
     let duration_of = |i: usize| -> Duration {
         let id = &dag.spec.elements[i].id;
-        timings.iter().find(|t| &t.id == id).map(|t| t.wall).unwrap_or(Duration::ZERO)
+        timings
+            .iter()
+            .find(|t| &t.id == id)
+            .map(|t| t.wall)
+            .unwrap_or(Duration::ZERO)
     };
     let rows_of = |i: usize| -> usize {
         let id = &dag.spec.elements[i].id;
-        timings.iter().find(|t| &t.id == id).map(|t| t.rows).unwrap_or(0)
+        timings
+            .iter()
+            .find(|t| &t.id == id)
+            .map(|t| t.rows)
+            .unwrap_or(0)
     };
     let node_of = |i: usize| i % nodes;
 
@@ -97,7 +105,11 @@ pub struct ParallelQueryRunner<'a> {
 impl<'a> ParallelQueryRunner<'a> {
     /// Thread-parallel execution on the experiment's own engine.
     pub fn new(db: &'a ExperimentDb) -> Self {
-        ParallelQueryRunner { db, cluster: None, placement: Placement::Frontend }
+        ParallelQueryRunner {
+            db,
+            cluster: None,
+            placement: Placement::Frontend,
+        }
     }
 
     /// Distribute execution across a simulated cluster.
@@ -134,7 +146,12 @@ impl<'a> ParallelQueryRunner<'a> {
         // of its first consumer (its own node when it has none).
         let exec_node: Vec<usize> = (0..n).map(|i| self.node_of(i)).collect();
         let out_node: Vec<usize> = (0..n)
-            .map(|i| dag.consumers[i].first().map(|&c| exec_node[c]).unwrap_or(exec_node[i]))
+            .map(|i| {
+                dag.consumers[i]
+                    .first()
+                    .map(|&c| exec_node[c])
+                    .unwrap_or(exec_node[i])
+            })
             .collect();
 
         let vectors: Mutex<Vec<Option<DataVector>>> = Mutex::new(vec![None; n]);
@@ -174,9 +191,7 @@ impl<'a> ParallelQueryRunner<'a> {
                                 let rows = vectors.lock()[i]
                                     .as_ref()
                                     .map(|v| {
-                                        self.engine_of(out_node[i])
-                                            .row_count(&v.table)
-                                            .unwrap_or(0)
+                                        self.engine_of(out_node[i]).row_count(&v.table).unwrap_or(0)
                                     })
                                     .unwrap_or(0);
                                 outcome.lock().timings.push(ElementTiming {
@@ -262,8 +277,7 @@ impl<'a> ParallelQueryRunner<'a> {
         let charge = |rows_table: &str| {
             if exec_node != out_node {
                 if let Some(c) = self.cluster {
-                    let rows =
-                        self.engine_of(out_node).row_count(rows_table).unwrap_or(0);
+                    let rows = self.engine_of(out_node).row_count(rows_table).unwrap_or(0);
                     c.charge_transfer(rows);
                 }
             }
@@ -316,7 +330,10 @@ impl<'a> ParallelQueryRunner<'a> {
                 if let Some(path) = &o.filename {
                     std::fs::write(path, &artifact)?;
                 }
-                outcome.lock().artifacts.insert(element.id.clone(), artifact);
+                outcome
+                    .lock()
+                    .artifacts
+                    .insert(element.id.clone(), artifact);
             }
         }
         Ok(())
@@ -351,8 +368,12 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let db = seeded_db();
-        let seq = QueryRunner::new(&db).run(query_from_str(FIG7ISH).unwrap()).unwrap();
-        let par = ParallelQueryRunner::new(&db).run(query_from_str(FIG7ISH).unwrap()).unwrap();
+        let seq = QueryRunner::new(&db)
+            .run(query_from_str(FIG7ISH).unwrap())
+            .unwrap();
+        let par = ParallelQueryRunner::new(&db)
+            .run(query_from_str(FIG7ISH).unwrap())
+            .unwrap();
         assert_eq!(seq.artifacts["o"], par.artifacts["o"]);
     }
 
@@ -360,7 +381,9 @@ mod tests {
     fn cluster_distribution_matches_sequential() {
         let db = seeded_db();
         let cluster = Cluster::new(4, LatencyModel::none());
-        let seq = QueryRunner::new(&db).run(query_from_str(FIG7ISH).unwrap()).unwrap();
+        let seq = QueryRunner::new(&db)
+            .run(query_from_str(FIG7ISH).unwrap())
+            .unwrap();
         let par = ParallelQueryRunner::new(&db)
             .on_cluster(&cluster, Placement::RoundRobin)
             .run(query_from_str(FIG7ISH).unwrap())
@@ -388,14 +411,18 @@ mod tests {
     #[test]
     fn timings_recorded_per_element() {
         let db = seeded_db();
-        let out = ParallelQueryRunner::new(&db).run(query_from_str(FIG7ISH).unwrap()).unwrap();
+        let out = ParallelQueryRunner::new(&db)
+            .run(query_from_str(FIG7ISH).unwrap())
+            .unwrap();
         assert_eq!(out.timings.len(), 6);
     }
 
     #[test]
     fn makespan_shrinks_with_nodes_and_respects_latency() {
         let db = seeded_db();
-        let out = QueryRunner::new(&db).run(query_from_str(FIG7ISH).unwrap()).unwrap();
+        let out = QueryRunner::new(&db)
+            .run(query_from_str(FIG7ISH).unwrap())
+            .unwrap();
         let dag = crate::query::QueryDag::build(query_from_str(FIG7ISH).unwrap()).unwrap();
         let m1 = simulated_makespan(&dag, &out.timings, 1, LatencyModel::none());
         let m2 = simulated_makespan(&dag, &out.timings, 2, LatencyModel::none());
@@ -414,6 +441,8 @@ mod tests {
         let db = seeded_db();
         let bad = r#"<query name="p"><source id="s"><value name="zzz"/></source>
           <output id="o" input="s"/></query>"#;
-        assert!(ParallelQueryRunner::new(&db).run(query_from_str(bad).unwrap()).is_err());
+        assert!(ParallelQueryRunner::new(&db)
+            .run(query_from_str(bad).unwrap())
+            .is_err());
     }
 }

@@ -212,7 +212,9 @@ impl OpKind {
             "percentof" => Ok(OpKind::PercentOf),
             "above" => Ok(OpKind::Above),
             "below" => Ok(OpKind::Below),
-            other => Err(Error::ControlFile(format!("unknown operator type '{other}'"))),
+            other => Err(Error::ControlFile(format!(
+                "unknown operator type '{other}'"
+            ))),
         }
     }
 
@@ -285,7 +287,10 @@ pub struct CombinerSpec {
 
 impl Default for CombinerSpec {
     fn default() -> Self {
-        CombinerSpec { suffix_left: "_1".into(), suffix_right: "_2".into() }
+        CombinerSpec {
+            suffix_left: "_1".into(),
+            suffix_right: "_2".into(),
+        }
     }
 }
 
@@ -322,7 +327,9 @@ impl OutputFormat {
             "xml" => Ok(OutputFormat::Xml),
             "svg" => Ok(OutputFormat::Svg),
             "grace" | "agr" | "xmgrace" => Ok(OutputFormat::Grace),
-            other => Err(Error::ControlFile(format!("unknown output format '{other}'"))),
+            other => Err(Error::ControlFile(format!(
+                "unknown output format '{other}'"
+            ))),
         }
     }
 }
@@ -386,8 +393,16 @@ impl Default for OutputSpec {
 
 /// DTD-lite schema for query specifications.
 pub fn query_schema() -> Dtd {
-    let opt = |name: &str| AttrDecl { name: name.into(), required: false, default: None };
-    let req = |name: &str| AttrDecl { name: name.into(), required: true, default: None };
+    let opt = |name: &str| AttrDecl {
+        name: name.into(),
+        required: false,
+        default: None,
+    };
+    let req = |name: &str| AttrDecl {
+        name: name.into(),
+        required: true,
+        default: None,
+    };
     Dtd::new()
         .declare(
             "query",
@@ -472,7 +487,9 @@ pub fn query_from_xml(root: &Element) -> Result<QuerySpec> {
             "source" => ElementKind::Source(source_from_xml(el)?),
             "operator" => {
                 let ty = el.attr("type").expect("schema requires type");
-                ElementKind::Operator(OperatorSpec { op: OpKind::parse(ty, el.attr("arg"))? })
+                ElementKind::Operator(OperatorSpec {
+                    op: OpKind::parse(ty, el.attr("arg"))?,
+                })
             }
             "combiner" => {
                 let mut spec = CombinerSpec::default();
@@ -500,7 +517,9 @@ pub fn query_from_xml(root: &Element) -> Result<QuerySpec> {
                 ElementKind::Output(spec)
             }
             other => {
-                return Err(Error::ControlFile(format!("unknown query element <{other}>")))
+                return Err(Error::ControlFile(format!(
+                    "unknown query element <{other}>"
+                )))
             }
         };
         elements.push(ElementSpec { id, inputs, kind });
@@ -520,7 +539,11 @@ fn source_from_xml(el: &Element) -> Result<SourceSpec> {
         }
         if let Some(v) = p.attr("value") {
             let op = FilterOp::parse(p.attr("op").unwrap_or("eq"))?;
-            filters.push(Filter { parameter: name, op, value: v.to_string() });
+            filters.push(Filter {
+                parameter: name,
+                op,
+                value: v.to_string(),
+            });
         }
     }
     let mut run_filter = RunFilter::default();
@@ -540,9 +563,16 @@ fn source_from_xml(el: &Element) -> Result<SourceSpec> {
         .map(|v| v.attr("name").expect("schema requires name").to_string())
         .collect();
     if values.is_empty() {
-        return Err(Error::ControlFile("<source> needs at least one <value>".into()));
+        return Err(Error::ControlFile(
+            "<source> needs at least one <value>".into(),
+        ));
     }
-    Ok(SourceSpec { filters, run_filter, carry, values })
+    Ok(SourceSpec {
+        filters,
+        run_filter,
+        carry,
+        values,
+    })
 }
 
 /// Serialize a query spec back to XML text (round-trip support).
@@ -558,7 +588,9 @@ pub fn query_to_string(spec: &QuerySpec) -> String {
                         continue;
                     }
                     x = x.with_child(
-                        Element::new("parameter").with_attr("name", c).with_attr("carry", "true"),
+                        Element::new("parameter")
+                            .with_attr("name", c)
+                            .with_attr("carry", "true"),
                     );
                 }
                 for f in &s.filters {
@@ -719,7 +751,9 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match &q.elements[2].kind {
-            ElementKind::Operator(OperatorSpec { op: OpKind::Eval(e) }) => {
+            ElementKind::Operator(OperatorSpec {
+                op: OpKind::Eval(e),
+            }) => {
                 assert_eq!(e.source(), "v * 2 + 1");
             }
             other => panic!("{other:?}"),
@@ -762,14 +796,14 @@ mod tests {
     fn rejects_malformed() {
         assert!(query_from_str("<experiment/>").is_err());
         assert!(query_from_str("<query><source id=\"s\"/></query>").is_err()); // no value
-        assert!(query_from_str(
-            "<query><operator id=\"o\" type=\"bogus\" input=\"s\"/></query>"
-        )
-        .is_err());
+        assert!(
+            query_from_str("<query><operator id=\"o\" type=\"bogus\" input=\"s\"/></query>")
+                .is_err()
+        );
         assert!(query_from_str("<query><output input=\"s\"/></query>").is_err()); // no id
-        assert!(query_from_str(
-            "<query><operator id=\"o\" type=\"scale\" input=\"s\"/></query>"
-        )
-        .is_err()); // scale without arg
+        assert!(
+            query_from_str("<query><operator id=\"o\" type=\"scale\" input=\"s\"/></query>")
+                .is_err()
+        ); // scale without arg
     }
 }

@@ -32,7 +32,10 @@ pub fn list_runs(db: &ExperimentDb, criteria: &RunCriteria) -> Result<Vec<RunSum
                 "'{name}' is a data-set variable; list criteria use run-constant parameters"
             )));
         }
-        clauses.push(format!("{name} = {}", sql_literal(&var.parse_content(raw)?)));
+        clauses.push(format!(
+            "{name} = {}",
+            sql_literal(&var.parse_content(raw)?)
+        ));
     }
     if let Some(s) = criteria.since {
         clauses.push(format!("created >= {s}"));
@@ -216,12 +219,21 @@ mod tests {
     use std::sync::Arc;
 
     fn db() -> ExperimentDb {
-        let mut def = ExperimentDef::new(Meta { name: "sweep".into(), ..Meta::default() }, "u");
-        def.add_variable(Variable::new("fs", VarKind::Parameter, DataType::Text).once()).unwrap();
+        let mut def = ExperimentDef::new(
+            Meta {
+                name: "sweep".into(),
+                ..Meta::default()
+            },
+            "u",
+        );
+        def.add_variable(Variable::new("fs", VarKind::Parameter, DataType::Text).once())
+            .unwrap();
         def.add_variable(Variable::new("nodes", VarKind::Parameter, DataType::Int).once())
             .unwrap();
-        def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int)).unwrap();
-        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+        def.add_variable(Variable::new("chunk", VarKind::Parameter, DataType::Int))
+            .unwrap();
+        def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float))
+            .unwrap();
         let db = ExperimentDb::create(Arc::new(Engine::new()), def).unwrap();
         // Sweep fs × nodes, but leave (nfs, 8) unmeasured.
         for (fs, nodes, t) in [("ufs", 4, 10), ("ufs", 8, 20), ("nfs", 4, 30)] {
@@ -262,7 +274,11 @@ mod tests {
     #[test]
     fn list_by_time_window() {
         let db = db();
-        let c = RunCriteria { since: Some(15), until: Some(25), ..RunCriteria::default() };
+        let c = RunCriteria {
+            since: Some(15),
+            until: Some(25),
+            ..RunCriteria::default()
+        };
         let runs = list_runs(&db, &c).unwrap();
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].run_id, 2);
@@ -307,7 +323,9 @@ mod tests {
         ]
         .into();
         db.add_run(&once, &[], 40).unwrap();
-        assert!(missing_sweep_points(&db, &["fs", "nodes"]).unwrap().is_empty());
+        assert!(missing_sweep_points(&db, &["fs", "nodes"])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

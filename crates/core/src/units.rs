@@ -105,17 +105,27 @@ pub struct ScaledUnit {
 impl ScaledUnit {
     /// Unscaled base unit.
     pub fn base(name: &str) -> Self {
-        ScaledUnit { base: name.to_string(), scaling: Scaling::One }
+        ScaledUnit {
+            base: name.to_string(),
+            scaling: Scaling::One,
+        }
     }
 
     /// Scaled base unit.
     pub fn scaled(name: &str, scaling: Scaling) -> Self {
-        ScaledUnit { base: name.to_string(), scaling }
+        ScaledUnit {
+            base: name.to_string(),
+            scaling,
+        }
     }
 
     fn render(&self) -> String {
         // Conventional symbol for byte is `B`.
-        let base = if self.base == "byte" { "B" } else { self.base.as_str() };
+        let base = if self.base == "byte" {
+            "B"
+        } else {
+            self.base.as_str()
+        };
         format!("{}{}", self.scaling.symbol(), base)
     }
 }
@@ -155,8 +165,14 @@ impl Unit {
             (Unit::Dimensionless, Unit::Dimensionless) => true,
             (Unit::Simple(a), Unit::Simple(b)) => a.base == b.base,
             (
-                Unit::Fraction { dividend: ad, divisor: av },
-                Unit::Fraction { dividend: bd, divisor: bv },
+                Unit::Fraction {
+                    dividend: ad,
+                    divisor: av,
+                },
+                Unit::Fraction {
+                    dividend: bd,
+                    divisor: bv,
+                },
             ) => ad.base == bd.base && av.base == bv.base,
             _ => false,
         }
@@ -196,12 +212,14 @@ impl Unit {
     /// ```
     pub fn from_xml(el: &Element) -> Result<Unit> {
         if let Some(frac) = el.child("fraction") {
-            let dividend = scaled_from_xml(frac.child("dividend").ok_or_else(|| {
-                Error::ControlFile("fraction without <dividend>".to_string())
-            })?)?;
-            let divisor = scaled_from_xml(frac.child("divisor").ok_or_else(|| {
-                Error::ControlFile("fraction without <divisor>".to_string())
-            })?)?;
+            let dividend =
+                scaled_from_xml(frac.child("dividend").ok_or_else(|| {
+                    Error::ControlFile("fraction without <dividend>".to_string())
+                })?)?;
+            let divisor =
+                scaled_from_xml(frac.child("divisor").ok_or_else(|| {
+                    Error::ControlFile("fraction without <divisor>".to_string())
+                })?)?;
             return Ok(Unit::Fraction { dividend, divisor });
         }
         if el.child("base_unit").is_some() {
@@ -277,7 +295,10 @@ mod tests {
     use super::*;
 
     fn mb_per_s() -> Unit {
-        Unit::fraction(ScaledUnit::scaled("byte", Scaling::Mega), ScaledUnit::base("s"))
+        Unit::fraction(
+            ScaledUnit::scaled("byte", Scaling::Mega),
+            ScaledUnit::base("s"),
+        )
     }
 
     #[test]
@@ -292,12 +313,17 @@ mod tests {
 
     #[test]
     fn conversion_between_prefixes() {
-        let kb_s = Unit::fraction(ScaledUnit::scaled("byte", Scaling::Kilo), ScaledUnit::base("s"));
+        let kb_s = Unit::fraction(
+            ScaledUnit::scaled("byte", Scaling::Kilo),
+            ScaledUnit::base("s"),
+        );
         assert_eq!(mb_per_s().conversion_factor(&kb_s).unwrap(), 1000.0);
         assert_eq!(mb_per_s().convert(2.0, &kb_s).unwrap(), 2000.0);
         // decimal vs binary megabytes (the footnote in Fig. 4!)
-        let mib_s =
-            Unit::fraction(ScaledUnit::scaled("byte", Scaling::Mebi), ScaledUnit::base("s"));
+        let mib_s = Unit::fraction(
+            ScaledUnit::scaled("byte", Scaling::Mebi),
+            ScaledUnit::base("s"),
+        );
         let f = mb_per_s().conversion_factor(&mib_s).unwrap();
         assert!((f - 1e6 / (1024.0 * 1024.0)).abs() < 1e-12);
     }
@@ -345,7 +371,9 @@ mod tests {
     #[test]
     fn dimensionless_conversion_is_identity() {
         assert_eq!(
-            Unit::Dimensionless.conversion_factor(&Unit::Dimensionless).unwrap(),
+            Unit::Dimensionless
+                .conversion_factor(&Unit::Dimensionless)
+                .unwrap(),
             1.0
         );
     }

@@ -6,9 +6,7 @@
 //! is validated against.
 
 use crate::error::{Error, Result};
-use crate::experiment::{
-    AccessLevel, ExperimentDef, Meta, Occurrence, Person, Variable, VarKind,
-};
+use crate::experiment::{AccessLevel, ExperimentDef, Meta, Occurrence, Person, VarKind, Variable};
 use crate::units::Unit;
 use sqldb::DataType;
 use xmlite::dtd::{AttrDecl, Dtd, Model};
@@ -46,30 +44,64 @@ pub fn definition_schema() -> Dtd {
                 "description".into(),
             ]),
         )
-        .declare("performed_by", Model::Children(vec!["name".into(), "organization".into()]))
+        .declare(
+            "performed_by",
+            Model::Children(vec!["name".into(), "organization".into()]),
+        )
         .declare("organization", Model::Text)
         .declare("project", Model::Text)
         .declare("synopsis", Model::Text)
         .declare("description", Model::Text)
         .declare("user", Model::Text)
-        .attribute("user", AttrDecl { name: "access".into(), required: true, default: None })
+        .attribute(
+            "user",
+            AttrDecl {
+                name: "access".into(),
+                required: true,
+                default: None,
+            },
+        )
         .declare("parameter", Model::Children(var_children.clone()))
         .attribute(
             "parameter",
-            AttrDecl { name: "occurence".into(), required: false, default: Some("multiple".into()) },
+            AttrDecl {
+                name: "occurence".into(),
+                required: false,
+                default: Some("multiple".into()),
+            },
         )
         .declare("result", Model::Children(var_children))
         .attribute(
             "result",
-            AttrDecl { name: "occurence".into(), required: false, default: Some("multiple".into()) },
+            AttrDecl {
+                name: "occurence".into(),
+                required: false,
+                default: Some("multiple".into()),
+            },
         )
         .declare("datatype", Model::Text)
         .declare("valid", Model::Text)
         .declare("default", Model::Text)
-        .declare("unit", Model::Children(vec!["base_unit".into(), "scaling".into(), "fraction".into()]))
-        .declare("fraction", Model::Children(vec!["dividend".into(), "divisor".into()]))
-        .declare("dividend", Model::Children(vec!["base_unit".into(), "scaling".into()]))
-        .declare("divisor", Model::Children(vec!["base_unit".into(), "scaling".into()]))
+        .declare(
+            "unit",
+            Model::Children(vec![
+                "base_unit".into(),
+                "scaling".into(),
+                "fraction".into(),
+            ]),
+        )
+        .declare(
+            "fraction",
+            Model::Children(vec!["dividend".into(), "divisor".into()]),
+        )
+        .declare(
+            "dividend",
+            Model::Children(vec!["base_unit".into(), "scaling".into()]),
+        )
+        .declare(
+            "divisor",
+            Model::Children(vec!["base_unit".into(), "scaling".into()]),
+        )
         .declare("base_unit", Model::Text)
         .declare("scaling", Model::Text)
 }
@@ -124,7 +156,11 @@ pub fn definition_from_xml(root: &Element) -> Result<ExperimentDef> {
         users.push((meta.performed_by.name.clone(), AccessLevel::Admin));
     }
 
-    let mut def = ExperimentDef { meta, variables: Vec::new(), users };
+    let mut def = ExperimentDef {
+        meta,
+        variables: Vec::new(),
+        users,
+    };
     for el in root.elements() {
         let kind = match el.name.as_str() {
             "parameter" => VarKind::Parameter,
@@ -140,7 +176,9 @@ fn variable_from_xml(el: &Element, kind: VarKind) -> Result<Variable> {
     let name = el
         .child_text("name")
         .ok_or_else(|| Error::ControlFile("variable without <name>".into()))?;
-    let dt_text = el.child_text("datatype").unwrap_or_else(|| "string".to_string());
+    let dt_text = el
+        .child_text("datatype")
+        .unwrap_or_else(|| "string".to_string());
     let datatype = datatype_from_name(&dt_text)
         .ok_or_else(|| Error::ControlFile(format!("unknown datatype '{dt_text}'")))?;
     let occurrence = match el.attr("occurence").unwrap_or("multiple") {
@@ -168,9 +206,10 @@ fn variable_from_xml(el: &Element, kind: VarKind) -> Result<Variable> {
         default: None,
     };
     if let Some(d) = el.child_text("default") {
-        var.default = Some(var.parse_content(&d).map_err(|e| {
-            Error::ControlFile(format!("bad <default> for '{}': {e}", var.name))
-        })?);
+        var.default =
+            Some(var.parse_content(&d).map_err(|e| {
+                Error::ControlFile(format!("bad <default> for '{}': {e}", var.name))
+            })?);
     }
     Ok(var)
 }
@@ -212,8 +251,11 @@ pub fn definition_to_xml(def: &ExperimentDef) -> Element {
         .with_text_child("description", &def.meta.description);
     root = root.with_child(info);
     for (user, level) in &def.users {
-        root = root
-            .with_child(Element::new("user").with_attr("access", level.name()).with_text(user));
+        root = root.with_child(
+            Element::new("user")
+                .with_attr("access", level.name())
+                .with_text(user),
+        );
     }
     for v in &def.variables {
         root = root.with_child(variable_to_xml(v));
@@ -230,7 +272,9 @@ fn variable_to_xml(v: &Variable) -> Element {
         Occurrence::Once => "once",
         Occurrence::Multiple => "multiple",
     };
-    let mut el = Element::new(tag).with_attr("occurence", occ).with_text_child("name", &v.name);
+    let mut el = Element::new(tag)
+        .with_attr("occurence", occ)
+        .with_text_child("name", &v.name);
     if !v.synopsis.is_empty() {
         el = el.with_text_child("synopsis", &v.synopsis);
     }
@@ -262,7 +306,7 @@ fn normalize_ws(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::units::{Scaling, ScaledUnit};
+    use crate::units::{ScaledUnit, Scaling};
     use sqldb::Value;
 
     /// The Fig. 5 excerpt, verbatim in structure.
@@ -343,12 +387,16 @@ mod tests {
         assert_eq!(b.kind, VarKind::ResultValue);
         assert_eq!(
             b.unit,
-            Unit::fraction(ScaledUnit::scaled("byte", Scaling::Mega), ScaledUnit::base("s"))
+            Unit::fraction(
+                ScaledUnit::scaled("byte", Scaling::Mega),
+                ScaledUnit::base("s")
+            )
         );
         assert_eq!(b.unit.to_string(), "MB/s");
 
         // Author becomes admin when no explicit user list is given.
-        def.check_access("Joachim Worringen", AccessLevel::Admin).unwrap();
+        def.check_access("Joachim Worringen", AccessLevel::Admin)
+            .unwrap();
     }
 
     #[test]
@@ -401,7 +449,13 @@ mod tests {
         assert_eq!(datatype_from_name("String"), Some(DataType::Text));
         assert_eq!(datatype_from_name("date"), Some(DataType::Timestamp));
         assert_eq!(datatype_from_name("complex"), None);
-        for t in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool, DataType::Timestamp] {
+        for t in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bool,
+            DataType::Timestamp,
+        ] {
             assert_eq!(datatype_from_name(datatype_name(t)), Some(t));
         }
     }

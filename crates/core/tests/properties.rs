@@ -3,7 +3,7 @@
 //! engine's statistics must match independently computed oracles. Driven by
 //! a seeded splitmix64 generator (reproducible, offline).
 
-use perfbase_core::experiment::{ExperimentDb, ExperimentDef, Meta, Variable, VarKind};
+use perfbase_core::experiment::{ExperimentDb, ExperimentDef, Meta, VarKind, Variable};
 use perfbase_core::import::Importer;
 use perfbase_core::input::{
     input_description_from_str, InputDescription, Location, Pattern, TabularColumn, TabularSpec,
@@ -35,15 +35,26 @@ impl Rng {
 
     fn lower_word(&mut self, min: usize, max: usize) -> String {
         let len = min + self.below((max - min) as u64 + 1) as usize;
-        (0..len).map(|_| (b'a' + self.below(26) as u8) as char).collect()
+        (0..len)
+            .map(|_| (b'a' + self.below(26) as u8) as char)
+            .collect()
     }
 }
 
 fn definition() -> ExperimentDef {
-    let mut def = ExperimentDef::new(Meta { name: "prop".into(), ..Meta::default() }, "u");
-    def.add_variable(Variable::new("tag", VarKind::Parameter, DataType::Text).once()).unwrap();
-    def.add_variable(Variable::new("idx", VarKind::Parameter, DataType::Int)).unwrap();
-    def.add_variable(Variable::new("val", VarKind::ResultValue, DataType::Float)).unwrap();
+    let mut def = ExperimentDef::new(
+        Meta {
+            name: "prop".into(),
+            ..Meta::default()
+        },
+        "u",
+    );
+    def.add_variable(Variable::new("tag", VarKind::Parameter, DataType::Text).once())
+        .unwrap();
+    def.add_variable(Variable::new("idx", VarKind::Parameter, DataType::Int))
+        .unwrap();
+    def.add_variable(Variable::new("val", VarKind::ResultValue, DataType::Float))
+        .unwrap();
     def
 }
 
@@ -61,8 +72,14 @@ fn tabular_desc() -> InputDescription {
             end: None,
             skip_mismatch: false,
             columns: vec![
-                TabularColumn { index: 1, variable: "idx".into() },
-                TabularColumn { index: 2, variable: "val".into() },
+                TabularColumn {
+                    index: 1,
+                    variable: "idx".into(),
+                },
+                TabularColumn {
+                    index: 2,
+                    variable: "val".into(),
+                },
             ],
         }))
 }
@@ -75,19 +92,25 @@ fn tabular_extraction_roundtrip() {
     for _ in 0..25 {
         let tag = rng.lower_word(1, 8);
         let n = 1 + rng.below(39) as usize;
-        let data: Vec<(i64, f64)> =
-            (0..n).map(|_| (rng.below(10_000) as i64, rng.float(-1e6, 1e6))).collect();
+        let data: Vec<(i64, f64)> = (0..n)
+            .map(|_| (rng.below(10_000) as i64, rng.float(-1e6, 1e6)))
+            .collect();
         let mut text = format!("tag: {tag}\n--data--\n");
         for (i, v) in &data {
             text.push_str(&format!("{i} {v:?}\n"));
         }
         let db = ExperimentDb::create(Arc::new(Engine::new()), definition()).unwrap();
-        let report = Importer::new(&db).import_file(&tabular_desc(), "f.out", &text).unwrap();
+        let report = Importer::new(&db)
+            .import_file(&tabular_desc(), "f.out", &text)
+            .unwrap();
         assert_eq!(report.runs_created.len(), 1);
 
         let s = db.run_summary(report.runs_created[0]).unwrap();
         assert_eq!(
-            s.once_values.iter().find(|(n, _)| n == "tag").map(|(_, v)| v.clone()),
+            s.once_values
+                .iter()
+                .find(|(n, _)| n == "tag")
+                .map(|(_, v)| v.clone()),
             Some(Value::Text(tag))
         );
         let (cols, rows) = db.run_datasets(report.runs_created[0]).unwrap();
@@ -113,7 +136,9 @@ fn query_statistics_match_oracle() {
         for v in &values {
             text.push_str(&format!("7 {v:?}\n"));
         }
-        Importer::new(&db).import_file(&tabular_desc(), "f.out", &text).unwrap();
+        Importer::new(&db)
+            .import_file(&tabular_desc(), "f.out", &text)
+            .unwrap();
 
         let q = query_from_str(
             r#"<query name="q">
@@ -132,7 +157,11 @@ fn query_statistics_match_oracle() {
         let out = QueryRunner::new(&db).run(q).unwrap();
         let csv = &out.artifacts["o"];
         let line = csv.lines().nth(1).expect("one data row");
-        let fields: Vec<f64> = line.split(',').skip(1).map(|x| x.parse().unwrap()).collect();
+        let fields: Vec<f64> = line
+            .split(',')
+            .skip(1)
+            .map(|x| x.parse().unwrap())
+            .collect();
         let (avg, min, max, count) = (fields[0], fields[1], fields[2], fields[3]);
 
         // The CSV renderer prints 6 decimal places, so compare within that.
@@ -154,12 +183,15 @@ fn source_filter_partition() {
     let mut rng = Rng(0x03);
     for _ in 0..10 {
         let n = 1 + rng.below(11) as usize;
-        let tags: Vec<&str> =
-            (0..n).map(|_| if rng.below(2) == 0 { "red" } else { "blue" }).collect();
+        let tags: Vec<&str> = (0..n)
+            .map(|_| if rng.below(2) == 0 { "red" } else { "blue" })
+            .collect();
         let db = ExperimentDb::create(Arc::new(Engine::new()), definition()).unwrap();
         for (k, tag) in tags.iter().enumerate() {
             let text = format!("tag: {tag}\n--data--\n{k} 1.0\n");
-            Importer::new(&db).import_file(&tabular_desc(), &format!("f{k}"), &text).unwrap();
+            Importer::new(&db)
+                .import_file(&tabular_desc(), &format!("f{k}"), &text)
+                .unwrap();
         }
         let count_for = |tag: &str| -> usize {
             let q = query_from_str(&format!(
@@ -190,8 +222,9 @@ fn description_serialization_preserves_extraction() {
     let mut rng = Rng(0x04);
     for _ in 0..25 {
         let n = 1 + rng.below(9) as usize;
-        let data: Vec<(i64, f64)> =
-            (0..n).map(|_| (rng.below(100) as i64, rng.float(-10.0, 10.0))).collect();
+        let data: Vec<(i64, f64)> = (0..n)
+            .map(|_| (rng.below(100) as i64, rng.float(-10.0, 10.0)))
+            .collect();
         let desc = tabular_desc();
         let xml = perfbase_core::input::input_description_to_string(&desc);
         let desc2 = input_description_from_str(&xml).unwrap();

@@ -71,9 +71,9 @@ fn boolval(b: bool) -> f64 {
 pub fn eval(ast: &Ast, ctx: &Context) -> Result<f64, EvalError> {
     match ast {
         Ast::Num(v) => Ok(*v),
-        Ast::Var(name) => {
-            ctx.get(name).ok_or_else(|| err(format!("unknown variable '{name}'")))
-        }
+        Ast::Var(name) => ctx
+            .get(name)
+            .ok_or_else(|| err(format!("unknown variable '{name}'"))),
         Ast::Unary(op, x) => {
             let v = eval(x, ctx)?;
             Ok(match op {
@@ -141,7 +141,10 @@ fn arity(name: &str, args: &[f64], n: usize) -> Result<(), EvalError> {
     if args.len() == n {
         Ok(())
     } else {
-        Err(err(format!("function '{name}' expects {n} argument(s), got {}", args.len())))
+        Err(err(format!(
+            "function '{name}' expects {n} argument(s), got {}",
+            args.len()
+        )))
     }
 }
 

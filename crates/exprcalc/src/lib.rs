@@ -115,7 +115,10 @@ impl Expr {
     /// Parse `source` into an expression.
     pub fn parse(source: &str) -> Result<Expr, ParseError> {
         let ast = parse::parse(source)?;
-        Ok(Expr { source: source.to_string(), ast })
+        Ok(Expr {
+            source: source.to_string(),
+            ast,
+        })
     }
 
     /// The original source text.
@@ -219,7 +222,10 @@ mod tests {
     fn variables_listed() {
         let e = Expr::parse("a + sqrt(b * a) - min(c, 2)").unwrap();
         let vars: Vec<String> = e.variables().into_iter().collect();
-        assert_eq!(vars, vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(
+            vars,
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
     }
 
     #[test]

@@ -39,7 +39,8 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
         let start = i;
         if c.is_whitespace() {
             i += 1;
-        } else if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        } else if c.is_ascii_digit()
+            || (c == '.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
             || (c == '.' && bytes.get(i + 1).is_none())
         {
             let mut s = String::new();
@@ -75,9 +76,10 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 }
                 i += 1;
             }
-            let v: f64 = s
-                .parse()
-                .map_err(|_| ParseError { message: format!("bad number '{s}'"), position: start })?;
+            let v: f64 = s.parse().map_err(|_| ParseError {
+                message: format!("bad number '{s}'"),
+                position: start,
+            })?;
             toks.push((Tok::Num(v), start));
         } else if c.is_alphabetic() || c == '_' {
             let mut s = String::new();
@@ -88,7 +90,9 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             toks.push((Tok::Ident(s), start));
         } else {
             let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
-            let op2 = ["<=", ">=", "==", "!=", "&&", "||"].iter().find(|o| **o == two);
+            let op2 = ["<=", ">=", "==", "!=", "&&", "||"]
+                .iter()
+                .find(|o| **o == two);
             if let Some(op) = op2 {
                 toks.push((Tok::Op(op), start));
                 i += 2;
@@ -124,7 +128,11 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
 /// Parse `src` into an [`Ast`].
 pub fn parse(src: &str) -> Result<Ast, ParseError> {
     let toks = tokenize(src)?;
-    let mut p = P { toks, pos: 0, src_len: src.len() };
+    let mut p = P {
+        toks,
+        pos: 0,
+        src_len: src.len(),
+    };
     let ast = p.or_expr()?;
     if p.pos < p.toks.len() {
         return Err(p.err("unexpected trailing tokens"));
@@ -141,7 +149,10 @@ struct P {
 impl P {
     fn err(&self, msg: &str) -> ParseError {
         let position = self.toks.get(self.pos).map(|t| t.1).unwrap_or(self.src_len);
-        ParseError { message: msg.to_string(), position }
+        ParseError {
+            message: msg.to_string(),
+            position,
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {

@@ -26,7 +26,9 @@ impl Rng {
 
     fn lower_word(&mut self, min: usize, max: usize) -> String {
         let len = min + self.below((max - min) as u64 + 1) as usize;
-        (0..len).map(|_| (b'a' + self.below(26) as u8) as char).collect()
+        (0..len)
+            .map(|_| (b'a' + self.below(26) as u8) as char)
+            .collect()
     }
 }
 
@@ -84,8 +86,14 @@ fn min_max_bounds() {
         let a = rng.float(-100.0, 100.0);
         let b = rng.float(-100.0, 100.0);
         let c = rng.float(-100.0, 100.0);
-        let lo = Expr::parse("min(a, b, c)").unwrap().eval(&ctx(a, b, c)).unwrap();
-        let hi = Expr::parse("max(a, b, c)").unwrap().eval(&ctx(a, b, c)).unwrap();
+        let lo = Expr::parse("min(a, b, c)")
+            .unwrap()
+            .eval(&ctx(a, b, c))
+            .unwrap();
+        let hi = Expr::parse("max(a, b, c)")
+            .unwrap()
+            .eval(&ctx(a, b, c))
+            .unwrap();
         for x in [a, b, c] {
             assert!(lo <= x && x <= hi);
         }
@@ -101,7 +109,10 @@ fn comparisons_boolean() {
         let b = rng.float(-10.0, 10.0);
         let lt = Expr::parse("a < b").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
         assert_eq!(lt, f64::from(a < b));
-        let ge = Expr::parse("a >= b").unwrap().eval(&ctx(a, b, 0.0)).unwrap();
+        let ge = Expr::parse("a >= b")
+            .unwrap()
+            .eval(&ctx(a, b, 0.0))
+            .unwrap();
         assert_eq!(ge, f64::from(a >= b));
     }
 }
@@ -140,7 +151,9 @@ fn parser_total() {
     let mut rng = Rng(0xE5);
     for _ in 0..500 {
         let len = rng.below(33) as usize;
-        let src: String = (0..len).map(|_| (b' ' + rng.below(95) as u8) as char).collect();
+        let src: String = (0..len)
+            .map(|_| (b' ' + rng.below(95) as u8) as char)
+            .collect();
         match Expr::parse(&src) {
             Ok(e) => {
                 let _ = e.eval(&Context::new());

@@ -52,8 +52,7 @@ impl Args {
                     Some((n, v)) => (n.to_string(), Some(v.to_string())),
                     None => (body.to_string(), None),
                 };
-                let s = spec(&name)
-                    .ok_or_else(|| ArgsError(format!("unknown option --{name}")))?;
+                let s = spec(&name).ok_or_else(|| ArgsError(format!("unknown option --{name}")))?;
                 if s.takes_value {
                     let value = match inline {
                         Some(v) => v,
@@ -77,7 +76,10 @@ impl Args {
 
     /// Last occurrence of an option's value.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.options.get(name).and_then(|v| v.last()).map(String::as_str)
+        self.options
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
     }
 
     /// All occurrences of an option.
@@ -87,7 +89,8 @@ impl Args {
 
     /// Required option, with a helpful error.
     pub fn require(&self, name: &str) -> Result<&str, ArgsError> {
-        self.get(name).ok_or_else(|| ArgsError(format!("missing required option --{name}")))
+        self.get(name)
+            .ok_or_else(|| ArgsError(format!("missing required option --{name}")))
     }
 
     /// Is a boolean flag present?
@@ -106,9 +109,18 @@ mod tests {
     use super::*;
 
     const SPEC: &[OptSpec] = &[
-        OptSpec { name: "db", takes_value: true },
-        OptSpec { name: "fixed", takes_value: true },
-        OptSpec { name: "force", takes_value: false },
+        OptSpec {
+            name: "db",
+            takes_value: true,
+        },
+        OptSpec {
+            name: "fixed",
+            takes_value: true,
+        },
+        OptSpec {
+            name: "force",
+            takes_value: false,
+        },
     ];
 
     fn parse(args: &[&str]) -> Result<Args, ArgsError> {

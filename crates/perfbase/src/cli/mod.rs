@@ -95,12 +95,17 @@ fn wal_options(a: &Args) -> Result<WalOptions, String> {
         "always" => SyncPolicy::Always,
         "group" => SyncPolicy::group_default(),
         "off" => SyncPolicy::Off,
-        other => return Err(format!("bad --sync '{other}' (expected always, group or off)")),
+        other => {
+            return Err(format!(
+                "bad --sync '{other}' (expected always, group or off)"
+            ))
+        }
     };
     let failpoint = match a.get("crash-after-frames") {
         Some(n) => {
-            let n: u64 =
-                n.parse().map_err(|_| format!("bad --crash-after-frames '{n}'"))?;
+            let n: u64 = n
+                .parse()
+                .map_err(|_| format!("bad --crash-after-frames '{n}'"))?;
             Arc::new(IoFailpoint::crash_after_frames(n))
         }
         None => Arc::new(IoFailpoint::none()),
@@ -137,8 +142,14 @@ fn recovery_summary(report: &RecoveryReport) -> Option<String> {
 }
 
 const COMMON: &[OptSpec] = &[
-    OptSpec { name: "db", takes_value: true },
-    OptSpec { name: "user", takes_value: true },
+    OptSpec {
+        name: "db",
+        takes_value: true,
+    },
+    OptSpec {
+        name: "user",
+        takes_value: true,
+    },
 ];
 
 fn with(extra: &[OptSpec]) -> Vec<OptSpec> {
@@ -146,12 +157,20 @@ fn with(extra: &[OptSpec]) -> Vec<OptSpec> {
 }
 
 fn user_of(a: &Args) -> String {
-    a.get("user").map(str::to_string).unwrap_or_else(|| "anonymous".to_string())
+    a.get("user")
+        .map(str::to_string)
+        .unwrap_or_else(|| "anonymous".to_string())
 }
 
 fn cmd_setup(argv: Vec<String>) -> Result<String, String> {
-    let a = Args::parse(argv, &with(&[OptSpec { name: "def", takes_value: true }]))
-        .map_err(err)?;
+    let a = Args::parse(
+        argv,
+        &with(&[OptSpec {
+            name: "def",
+            takes_value: true,
+        }]),
+    )
+    .map_err(err)?;
     let def_path = a.require("def").map_err(err)?;
     let db_path = a.require("db").map_err(err)?;
     let xml = std::fs::read_to_string(def_path).map_err(err)?;
@@ -163,17 +182,26 @@ fn cmd_setup(argv: Vec<String>) -> Result<String, String> {
     let vars = def.variables.len();
     let db = ExperimentDb::create(Arc::new(Engine::new()), def).map_err(err)?;
     save_db(&db, db_path)?;
-    Ok(format!("created experiment '{name}' with {vars} variables in {db_path}"))
+    Ok(format!(
+        "created experiment '{name}' with {vars} variables in {db_path}"
+    ))
 }
 
 fn cmd_update(argv: Vec<String>) -> Result<String, String> {
-    let a = Args::parse(argv, &with(&[OptSpec { name: "def", takes_value: true }]))
-        .map_err(err)?;
+    let a = Args::parse(
+        argv,
+        &with(&[OptSpec {
+            name: "def",
+            takes_value: true,
+        }]),
+    )
+    .map_err(err)?;
     let db_path = a.require("db").map_err(err)?;
     let xml = std::fs::read_to_string(a.require("def").map_err(err)?).map_err(err)?;
     let new_def = xmldef::definition_from_str(&xml).map_err(err)?;
     let db = open_db(db_path)?;
-    db.check_access(&user_of(&a), AccessLevel::Admin).map_err(err)?;
+    db.check_access(&user_of(&a), AccessLevel::Admin)
+        .map_err(err)?;
     let mut added = 0;
     let mut removed = 0;
     db.update_definition(|def| {
@@ -200,22 +228,51 @@ fn cmd_update(argv: Vec<String>) -> Result<String, String> {
     })
     .map_err(err)?;
     save_db(&db, db_path)?;
-    Ok(format!("updated definition: {added} variable(s) added, {removed} removed"))
+    Ok(format!(
+        "updated definition: {added} variable(s) added, {removed} removed"
+    ))
 }
 
 fn cmd_input(argv: Vec<String>) -> Result<String, String> {
     let a = Args::parse(
         argv,
         &with(&[
-            OptSpec { name: "desc", takes_value: true },
-            OptSpec { name: "policy", takes_value: true },
-            OptSpec { name: "fixed", takes_value: true },
-            OptSpec { name: "at", takes_value: true },
-            OptSpec { name: "force", takes_value: false },
-            OptSpec { name: "merge", takes_value: false },
-            OptSpec { name: "wal", takes_value: false },
-            OptSpec { name: "sync", takes_value: true },
-            OptSpec { name: "crash-after-frames", takes_value: true },
+            OptSpec {
+                name: "desc",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "policy",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "fixed",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "at",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "force",
+                takes_value: false,
+            },
+            OptSpec {
+                name: "merge",
+                takes_value: false,
+            },
+            OptSpec {
+                name: "wal",
+                takes_value: false,
+            },
+            OptSpec {
+                name: "sync",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "crash-after-frames",
+                takes_value: true,
+            },
         ]),
     )
     .map_err(err)?;
@@ -226,7 +283,8 @@ fn cmd_input(argv: Vec<String>) -> Result<String, String> {
     } else {
         (open_db(db_path)?, None)
     };
-    db.check_access(&user_of(&a), AccessLevel::Input).map_err(err)?;
+    db.check_access(&user_of(&a), AccessLevel::Input)
+        .map_err(err)?;
 
     let policy = match a.get("policy").unwrap_or("allow") {
         "allow" => MissingPolicy::AllowMissing,
@@ -241,8 +299,10 @@ fn cmd_input(argv: Vec<String>) -> Result<String, String> {
             .map(|d| d.as_secs() as i64)
             .unwrap_or(0),
     };
-    let importer =
-        Importer::new(&db).with_policy(policy).force_duplicates(a.flag("force")).at_time(now);
+    let importer = Importer::new(&db)
+        .with_policy(policy)
+        .force_duplicates(a.flag("force"))
+        .at_time(now);
 
     let descs = a.get_all("desc");
     if descs.is_empty() {
@@ -274,11 +334,12 @@ fn cmd_input(argv: Vec<String>) -> Result<String, String> {
                 files.len()
             ));
         }
-        let parsed: Result<Vec<_>, String> =
-            descs.iter().map(|d| load_desc(d)).collect();
+        let parsed: Result<Vec<_>, String> = descs.iter().map(|d| load_desc(d)).collect();
         let parsed = parsed?;
-        let contents: Result<Vec<String>, String> =
-            files.iter().map(|f| std::fs::read_to_string(f).map_err(err)).collect();
+        let contents: Result<Vec<String>, String> = files
+            .iter()
+            .map(|f| std::fs::read_to_string(f).map_err(err))
+            .collect();
         let contents = contents?;
         let sources: Vec<(&perfbase_core::input::InputDescription, &str, &str)> = parsed
             .iter()
@@ -292,8 +353,10 @@ fn cmd_input(argv: Vec<String>) -> Result<String, String> {
             return Err("exactly one --desc expected without --merge".to_string());
         }
         let desc = load_desc(&descs[0])?;
-        let contents: Result<Vec<String>, String> =
-            files.iter().map(|f| std::fs::read_to_string(f).map_err(err)).collect();
+        let contents: Result<Vec<String>, String> = files
+            .iter()
+            .map(|f| std::fs::read_to_string(f).map_err(err))
+            .collect();
         let contents = contents?;
         let pairs: Vec<(&str, &str)> = files
             .iter()
@@ -325,8 +388,14 @@ fn cmd_input(argv: Vec<String>) -> Result<String, String> {
 }
 
 fn cmd_checkpoint(argv: Vec<String>) -> Result<String, String> {
-    let a = Args::parse(argv, &with(&[OptSpec { name: "sync", takes_value: true }]))
-        .map_err(err)?;
+    let a = Args::parse(
+        argv,
+        &with(&[OptSpec {
+            name: "sync",
+            takes_value: true,
+        }]),
+    )
+    .map_err(err)?;
     let db_path = a.require("db").map_err(err)?;
     let (db, report) = open_db_durable(db_path, wal_options(&a)?)?;
     let frames = db.checkpoint(Path::new(db_path)).map_err(err)?;
@@ -335,7 +404,9 @@ fn cmd_checkpoint(argv: Vec<String>) -> Result<String, String> {
         out.push_str(&line);
         out.push('\n');
     }
-    out.push_str(&format!("checkpointed {db_path}: {frames} log frame(s) compacted"));
+    out.push_str(&format!(
+        "checkpointed {db_path}: {frames} log frame(s) compacted"
+    ));
     Ok(out)
 }
 
@@ -346,7 +417,9 @@ fn latency_model(a: &Args, default: LatencyModel) -> Result<LatencyModel, String
         Some("none") => Ok(LatencyModel::none()),
         Some("lan") => Ok(LatencyModel::lan()),
         Some("fast") => Ok(LatencyModel::fast_interconnect()),
-        Some(other) => Err(format!("bad --latency '{other}' (expected none, lan or fast)")),
+        Some(other) => Err(format!(
+            "bad --latency '{other}' (expected none, lan or fast)"
+        )),
     }
 }
 
@@ -354,17 +427,36 @@ fn cmd_query(argv: Vec<String>) -> Result<String, String> {
     let a = Args::parse(
         argv,
         &with(&[
-            OptSpec { name: "spec", takes_value: true },
-            OptSpec { name: "nodes", takes_value: true },
-            OptSpec { name: "latency", takes_value: true },
-            OptSpec { name: "parallel", takes_value: false },
-            OptSpec { name: "no-pushdown", takes_value: false },
-            OptSpec { name: "timings", takes_value: false },
+            OptSpec {
+                name: "spec",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "nodes",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "latency",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "parallel",
+                takes_value: false,
+            },
+            OptSpec {
+                name: "no-pushdown",
+                takes_value: false,
+            },
+            OptSpec {
+                name: "timings",
+                takes_value: false,
+            },
         ]),
     )
     .map_err(err)?;
     let db = open_db(a.require("db").map_err(err)?)?;
-    db.check_access(&user_of(&a), AccessLevel::Query).map_err(err)?;
+    db.check_access(&user_of(&a), AccessLevel::Query)
+        .map_err(err)?;
     let xml = std::fs::read_to_string(a.require("spec").map_err(err)?).map_err(err)?;
     let spec = query_from_str(&xml).map_err(err)?;
     let nodes = a
@@ -440,9 +532,18 @@ fn cmd_ls(argv: Vec<String>) -> Result<String, String> {
     let a = Args::parse(
         argv,
         &with(&[
-            OptSpec { name: "param", takes_value: true },
-            OptSpec { name: "since", takes_value: true },
-            OptSpec { name: "until", takes_value: true },
+            OptSpec {
+                name: "param",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "since",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "until",
+                takes_value: true,
+            },
         ]),
     )
     .map_err(err)?;
@@ -452,7 +553,9 @@ fn cmd_ls(argv: Vec<String>) -> Result<String, String> {
         let (name, value) = p
             .split_once('=')
             .ok_or_else(|| format!("--param expects name=value, got '{p}'"))?;
-        criteria.parameter_equals.push((name.to_string(), value.to_string()));
+        criteria
+            .parameter_equals
+            .push((name.to_string(), value.to_string()));
     }
     if let Some(s) = a.get("since") {
         criteria.since = sqldb::parse_timestamp(s);
@@ -492,19 +595,29 @@ fn cmd_missing(argv: Vec<String>) -> Result<String, String> {
     }
     let mut out = format!("{} missing combination(s):\n", holes.len());
     for h in holes {
-        let combo: Vec<String> =
-            h.combination.iter().map(|(p, v)| format!("{p}={v}")).collect();
+        let combo: Vec<String> = h
+            .combination
+            .iter()
+            .map(|(p, v)| format!("{p}={v}"))
+            .collect();
         out.push_str(&format!("  {}\n", combo.join(" ")));
     }
     Ok(out)
 }
 
 fn cmd_delete(argv: Vec<String>) -> Result<String, String> {
-    let a = Args::parse(argv, &with(&[OptSpec { name: "run", takes_value: true }]))
-        .map_err(err)?;
+    let a = Args::parse(
+        argv,
+        &with(&[OptSpec {
+            name: "run",
+            takes_value: true,
+        }]),
+    )
+    .map_err(err)?;
     let db_path = a.require("db").map_err(err)?;
     let db = open_db(db_path)?;
-    db.check_access(&user_of(&a), AccessLevel::Admin).map_err(err)?;
+    db.check_access(&user_of(&a), AccessLevel::Admin)
+        .map_err(err)?;
     let run: i64 = a
         .require("run")
         .map_err(err)?
@@ -516,7 +629,14 @@ fn cmd_delete(argv: Vec<String>) -> Result<String, String> {
 }
 
 fn cmd_check(argv: Vec<String>) -> Result<String, String> {
-    let a = Args::parse(argv, &[OptSpec { name: "kind", takes_value: true }]).map_err(err)?;
+    let a = Args::parse(
+        argv,
+        &[OptSpec {
+            name: "kind",
+            takes_value: true,
+        }],
+    )
+    .map_err(err)?;
     let kind = a.require("kind").map_err(err)?;
     let file = a
         .positionals()
@@ -534,12 +654,19 @@ fn cmd_check(argv: Vec<String>) -> Result<String, String> {
         }
         "input" => {
             let desc = input_description_from_str(&xml).map_err(err)?;
-            Ok(format!("OK: input description with {} locations", desc.locations.len()))
+            Ok(format!(
+                "OK: input description with {} locations",
+                desc.locations.len()
+            ))
         }
         "query" => {
             let spec = query_from_str(&xml).map_err(err)?;
             perfbase_core::query::QueryDag::build(spec.clone()).map_err(err)?;
-            Ok(format!("OK: query '{}' with {} elements", spec.name, spec.elements.len()))
+            Ok(format!(
+                "OK: query '{}' with {} elements",
+                spec.name,
+                spec.elements.len()
+            ))
         }
         other => Err(format!("unknown kind '{other}' (experiment|input|query)")),
     }
@@ -554,10 +681,17 @@ fn cmd_dump(argv: Vec<String>) -> Result<String, String> {
 /// `perfbase show` — §3.4: "see the actual content of variables for a
 /// run": the run constants plus the full data-set table.
 fn cmd_show(argv: Vec<String>) -> Result<String, String> {
-    let a = Args::parse(argv, &with(&[OptSpec { name: "run", takes_value: true }]))
-        .map_err(err)?;
+    let a = Args::parse(
+        argv,
+        &with(&[OptSpec {
+            name: "run",
+            takes_value: true,
+        }]),
+    )
+    .map_err(err)?;
     let db = open_db(a.require("db").map_err(err)?)?;
-    db.check_access(&user_of(&a), AccessLevel::Query).map_err(err)?;
+    db.check_access(&user_of(&a), AccessLevel::Query)
+        .map_err(err)?;
     let run: i64 = a
         .require("run")
         .map_err(err)?
@@ -576,8 +710,10 @@ fn cmd_show(argv: Vec<String>) -> Result<String, String> {
     out.push_str(&format!("{} data set(s)\n", rows.len()));
     if !rows.is_empty() {
         let mut widths: Vec<usize> = cols.iter().map(String::len).collect();
-        let cells: Vec<Vec<String>> =
-            rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
+        let cells: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
         for row in &cells {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());
@@ -607,17 +743,36 @@ fn cmd_suspect(argv: Vec<String>) -> Result<String, String> {
     let a = Args::parse(
         argv,
         &with(&[
-            OptSpec { name: "value", takes_value: true },
-            OptSpec { name: "group", takes_value: true },
-            OptSpec { name: "param", takes_value: true },
-            OptSpec { name: "threshold", takes_value: true },
-            OptSpec { name: "max-rel-stddev", takes_value: true },
-            OptSpec { name: "min-samples", takes_value: true },
+            OptSpec {
+                name: "value",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "group",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "param",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "threshold",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "max-rel-stddev",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "min-samples",
+                takes_value: true,
+            },
         ]),
     )
     .map_err(err)?;
     let db = open_db(a.require("db").map_err(err)?)?;
-    db.check_access(&user_of(&a), AccessLevel::Query).map_err(err)?;
+    db.check_access(&user_of(&a), AccessLevel::Query)
+        .map_err(err)?;
 
     let value = a.require("value").map_err(err)?.to_string();
     let carry: Vec<String> = a
@@ -649,8 +804,12 @@ fn cmd_suspect(argv: Vec<String>) -> Result<String, String> {
         config.min_samples = t.parse().map_err(|_| "bad --min-samples".to_string())?;
     }
 
-    let source =
-        SourceSpec { filters, run_filter: RunFilter::default(), carry, values: vec![value] };
+    let source = SourceSpec {
+        filters,
+        run_filter: RunFilter::default(),
+        carry,
+        values: vec![value],
+    };
     let report = screen_experiment(&db, &source, &config).map_err(err)?;
     Ok(report.render())
 }

@@ -99,12 +99,18 @@ mod tests {
     fn capture_group_counting() {
         // (a)(?:b(c)) has 2 capturing groups.
         let ast = Ast::Concat(vec![
-            Ast::Group { index: Some(1), node: Box::new(Ast::Literal('a')) },
+            Ast::Group {
+                index: Some(1),
+                node: Box::new(Ast::Literal('a')),
+            },
             Ast::Group {
                 index: None,
                 node: Box::new(Ast::Concat(vec![
                     Ast::Literal('b'),
-                    Ast::Group { index: Some(2), node: Box::new(Ast::Literal('c')) },
+                    Ast::Group {
+                        index: Some(2),
+                        node: Box::new(Ast::Literal('c')),
+                    },
                 ])),
             },
         ]);

@@ -54,7 +54,11 @@ pub fn compile(ast: &Ast, case_insensitive: bool) -> Program {
     c.node(ast);
     c.push(Inst::Save(1));
     c.push(Inst::MatchEnd);
-    Program { insts: c.insts, num_slots: 2 * (groups + 1), case_insensitive }
+    Program {
+        insts: c.insts,
+        num_slots: 2 * (groups + 1),
+        case_insensitive,
+    }
 }
 
 struct Compiler {
@@ -81,7 +85,10 @@ impl Compiler {
                 self.push(Inst::Any);
             }
             Ast::Class { negated, items } => {
-                self.push(Inst::Class { negated: *negated, items: items.clone() });
+                self.push(Inst::Class {
+                    negated: *negated,
+                    items: items.clone(),
+                });
             }
             Ast::Concat(parts) => {
                 for p in parts {
@@ -89,7 +96,12 @@ impl Compiler {
                 }
             }
             Ast::Alternate(branches) => self.alternate(branches),
-            Ast::Repeat { node, min, max, greedy } => self.repeat(node, *min, *max, *greedy),
+            Ast::Repeat {
+                node,
+                min,
+                max,
+                greedy,
+            } => self.repeat(node, *min, *max, *greedy),
             Ast::Group { index, node } => {
                 if let Some(i) = index {
                     let i = *i as usize;
@@ -165,8 +177,11 @@ impl Compiler {
         self.node(node);
         self.push(Inst::Jmp(split));
         let after = self.here();
-        self.insts[split] =
-            if greedy { Inst::Split(body, after) } else { Inst::Split(after, body) };
+        self.insts[split] = if greedy {
+            Inst::Split(body, after)
+        } else {
+            Inst::Split(after, body)
+        };
     }
 
     /// `e?` — optional fragment.
@@ -175,8 +190,11 @@ impl Compiler {
         let body = self.here();
         self.node(node);
         let after = self.here();
-        self.insts[split] =
-            if greedy { Inst::Split(body, after) } else { Inst::Split(after, body) };
+        self.insts[split] = if greedy {
+            Inst::Split(body, after)
+        } else {
+            Inst::Split(after, body)
+        };
     }
 }
 
@@ -202,7 +220,11 @@ mod tests {
     #[test]
     fn star_has_split_loop() {
         let p = prog("a*");
-        let splits = p.insts.iter().filter(|i| matches!(i, Inst::Split(..))).count();
+        let splits = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Split(..)))
+            .count();
         let jmps = p.insts.iter().filter(|i| matches!(i, Inst::Jmp(_))).count();
         assert_eq!(splits, 1);
         assert_eq!(jmps, 1);
@@ -212,9 +234,17 @@ mod tests {
     fn counted_expansion() {
         // a{2,4} = a a a? a?
         let p = prog("a{2,4}");
-        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        let chars = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Char('a')))
+            .count();
         assert_eq!(chars, 4);
-        let splits = p.insts.iter().filter(|i| matches!(i, Inst::Split(..))).count();
+        let splits = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Split(..)))
+            .count();
         assert_eq!(splits, 2);
     }
 
@@ -222,7 +252,11 @@ mod tests {
     fn capture_slots_counted() {
         let p = prog("(a)(b(c))");
         assert_eq!(p.num_slots, 8); // groups 0..=3
-        let saves = p.insts.iter().filter(|i| matches!(i, Inst::Save(_))).count();
+        let saves = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Save(_)))
+            .count();
         assert_eq!(saves, 8);
     }
 

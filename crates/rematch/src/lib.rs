@@ -65,7 +65,10 @@ impl std::error::Error for Error {}
 
 impl From<ParseError> for Error {
     fn from(e: ParseError) -> Self {
-        Error { message: e.message, position: e.position }
+        Error {
+            message: e.message,
+            position: e.position,
+        }
     }
 }
 
@@ -125,7 +128,10 @@ pub struct RegexBuilder {
 impl RegexBuilder {
     /// Start building a regex from `pattern`.
     pub fn new(pattern: &str) -> Self {
-        RegexBuilder { pattern: pattern.to_string(), case_insensitive: false }
+        RegexBuilder {
+            pattern: pattern.to_string(),
+            case_insensitive: false,
+        }
     }
 
     /// Match ASCII letters case-insensitively.
@@ -138,7 +144,10 @@ impl RegexBuilder {
     pub fn build(self) -> Result<Regex, Error> {
         let ast = parser::parse(&self.pattern)?;
         let program = compile::compile(&ast, self.case_insensitive);
-        Ok(Regex { pattern: self.pattern, program })
+        Ok(Regex {
+            pattern: self.pattern,
+            program,
+        })
     }
 }
 
@@ -181,7 +190,12 @@ impl Regex {
 
     /// Iterate over all non-overlapping matches in `text`.
     pub fn find_iter<'r, 't>(&'r self, text: &'t str) -> FindIter<'r, 't> {
-        FindIter { re: self, text, pos: 0, done: false }
+        FindIter {
+            re: self,
+            text,
+            pos: 0,
+            done: false,
+        }
     }
 
     /// Replace the first match with `replacement` (no group expansion).
@@ -401,9 +415,15 @@ mod tests {
 
     #[test]
     fn case_insensitive() {
-        let re = RegexBuilder::new("MB/s").case_insensitive(true).build().unwrap();
+        let re = RegexBuilder::new("MB/s")
+            .case_insensitive(true)
+            .build()
+            .unwrap();
         assert!(re.is_match("12 mb/S"));
-        let re = RegexBuilder::new("[a-d]+").case_insensitive(true).build().unwrap();
+        let re = RegexBuilder::new("[a-d]+")
+            .case_insensitive(true)
+            .build()
+            .unwrap();
         assert_eq!(re.find("xxABCDxx").unwrap().as_str(), "ABCD");
     }
 

@@ -20,7 +20,12 @@ struct Parser<'p> {
 
 /// Parse `pattern` into an AST.
 pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
-    let mut p = Parser { chars: pattern.chars().collect(), pos: 0, next_group: 1, pattern };
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        next_group: 1,
+        pattern,
+    };
     let ast = p.alternate()?;
     if p.pos < p.chars.len() {
         return Err(p.err("unexpected character (unbalanced ')'?)"));
@@ -30,7 +35,10 @@ pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
 
 impl<'p> Parser<'p> {
     fn err(&self, msg: &str) -> ParseError {
-        ParseError { message: msg.to_string(), position: self.pos.min(self.pattern.len()) }
+        ParseError {
+            message: msg.to_string(),
+            position: self.pos.min(self.pattern.len()),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -58,7 +66,11 @@ impl<'p> Parser<'p> {
         while self.eat('|') {
             branches.push(self.concat()?);
         }
-        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alternate(branches) })
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alternate(branches)
+        })
     }
 
     /// concat := repeat*
@@ -118,7 +130,12 @@ impl<'p> Parser<'p> {
             return Err(self.err("repetition operator applied to an anchor"));
         }
         let greedy = !self.eat('?');
-        Ok(Ast::Repeat { node: Box::new(atom), min, max, greedy })
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
     }
 
     /// Try to parse `{m}`, `{m,}` or `{m,n}`; restore caller on failure.
@@ -150,7 +167,11 @@ impl<'p> Parser<'p> {
         if self.pos == start {
             return None;
         }
-        self.chars[start..self.pos].iter().collect::<String>().parse().ok()
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .ok()
     }
 
     /// atom := group | class | escape | anchor | literal
@@ -202,7 +223,10 @@ impl<'p> Parser<'p> {
         if !self.eat(')') {
             return Err(self.err("missing ')'"));
         }
-        Ok(Ast::Group { index, node: Box::new(inner) })
+        Ok(Ast::Group {
+            index,
+            node: Box::new(inner),
+        })
     }
 
     fn class(&mut self) -> Result<Ast, ParseError> {
@@ -278,12 +302,30 @@ impl<'p> Parser<'p> {
             't' => Ast::Literal('\t'),
             'r' => Ast::Literal('\r'),
             '0' => Ast::Literal('\0'),
-            'd' => Ast::Class { negated: false, items: digit_items() },
-            'D' => Ast::Class { negated: true, items: digit_items() },
-            'w' => Ast::Class { negated: false, items: word_items() },
-            'W' => Ast::Class { negated: true, items: word_items() },
-            's' => Ast::Class { negated: false, items: space_items() },
-            'S' => Ast::Class { negated: true, items: space_items() },
+            'd' => Ast::Class {
+                negated: false,
+                items: digit_items(),
+            },
+            'D' => Ast::Class {
+                negated: true,
+                items: digit_items(),
+            },
+            'w' => Ast::Class {
+                negated: false,
+                items: word_items(),
+            },
+            'W' => Ast::Class {
+                negated: true,
+                items: word_items(),
+            },
+            's' => Ast::Class {
+                negated: false,
+                items: space_items(),
+            },
+            'S' => Ast::Class {
+                negated: true,
+                items: space_items(),
+            },
             'b' => Ast::WordBoundary(true),
             'B' => Ast::WordBoundary(false),
             other => Ast::Literal(other),
@@ -349,15 +391,26 @@ mod tests {
     #[test]
     fn counted_forms() {
         match parse("a{3}").unwrap() {
-            Ast::Repeat { min: 3, max: Some(3), .. } => {}
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
         match parse("a{2,}").unwrap() {
-            Ast::Repeat { min: 2, max: None, .. } => {}
+            Ast::Repeat {
+                min: 2, max: None, ..
+            } => {}
             other => panic!("{other:?}"),
         }
         match parse("a{2,5}?").unwrap() {
-            Ast::Repeat { min: 2, max: Some(5), greedy: false, .. } => {}
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                greedy: false,
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -375,7 +428,10 @@ mod tests {
     #[test]
     fn class_leading_bracket_literal() {
         match parse("[]a]").unwrap() {
-            Ast::Class { negated: false, items } => {
+            Ast::Class {
+                negated: false,
+                items,
+            } => {
                 assert!(items.contains(&ClassItem::Char(']')));
                 assert!(items.contains(&ClassItem::Char('a')));
             }

@@ -20,7 +20,10 @@ struct ThreadList {
 
 impl ThreadList {
     fn new(n: usize) -> Self {
-        ThreadList { dense: Vec::with_capacity(16), seen: vec![false; n] }
+        ThreadList {
+            dense: Vec::with_capacity(16),
+            seen: vec![false; n],
+        }
     }
 
     fn clear(&mut self) {
@@ -140,7 +143,12 @@ pub fn search(prog: &Program, text: &str, start: usize) -> Option<Slots> {
 
     loop {
         let next_char = text[at..].chars().next();
-        let pos = Pos { at, len: bytes_len, prev, next: next_char };
+        let pos = Pos {
+            at,
+            len: bytes_len,
+            prev,
+            next: next_char,
+        };
 
         if matched.is_none() {
             // New potential match start — lowest priority.

@@ -20,12 +20,16 @@ impl Rng {
 
     fn string(&mut self, alphabet: &[u8], min: usize, max: usize) -> String {
         let len = min + self.below((max - min) as u64 + 1) as usize;
-        (0..len).map(|_| alphabet[self.below(alphabet.len() as u64) as usize] as char).collect()
+        (0..len)
+            .map(|_| alphabet[self.below(alphabet.len() as u64) as usize] as char)
+            .collect()
     }
 
     fn printable(&mut self, min: usize, max: usize) -> String {
         let len = min + self.below((max - min) as u64 + 1) as usize;
-        (0..len).map(|_| (b' ' + self.below(95) as u8) as char).collect()
+        (0..len)
+            .map(|_| (b' ' + self.below(95) as u8) as char)
+            .collect()
     }
 }
 
@@ -118,8 +122,9 @@ fn split_roundtrip() {
     let re = Regex::new(",").unwrap();
     for _ in 0..200 {
         let n = 1 + rng.below(5) as usize;
-        let parts: Vec<String> =
-            (0..n).map(|_| rng.string(b"abcdefghijklmnopqrstuvwxyz", 0, 5)).collect();
+        let parts: Vec<String> = (0..n)
+            .map(|_| rng.string(b"abcdefghijklmnopqrstuvwxyz", 0, 5))
+            .collect();
         let joined = parts.join(",");
         let split = re.split(&joined);
         let rejoined = split.join(",");
@@ -133,9 +138,15 @@ fn split_roundtrip() {
 fn case_insensitive_invariance() {
     let mut rng = Rng(0x66);
     for _ in 0..200 {
-        let word =
-            rng.string(b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ", 1, 10);
-        let re = RegexBuilder::new(&escape(&word)).case_insensitive(true).build().unwrap();
+        let word = rng.string(
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ",
+            1,
+            10,
+        );
+        let re = RegexBuilder::new(&escape(&word))
+            .case_insensitive(true)
+            .build()
+            .unwrap();
         assert!(re.is_match(&word.to_uppercase()));
         assert!(re.is_match(&word.to_lowercase()));
     }

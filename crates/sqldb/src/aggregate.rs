@@ -199,7 +199,10 @@ impl Accumulator {
     /// error message.
     pub fn finish(&self) -> Result<Value, String> {
         if self.non_numeric {
-            return Err(format!("aggregate {}() applied to non-numeric value", self.kind.name()));
+            return Err(format!(
+                "aggregate {}() applied to non-numeric value",
+                self.kind.name()
+            ));
         }
         if self.count == 0 {
             return Ok(match self.kind {
@@ -337,7 +340,12 @@ mod tests {
         assert_eq!(agg(AggKind::Median, &odd), Value::Float(3.0));
         let even = floats(&[4.0, 1.0, 3.0, 2.0]);
         assert_eq!(agg(AggKind::Median, &even), Value::Float(2.5));
-        let with_null = vec![Value::Float(1.0), Value::Null, Value::Float(9.0), Value::Float(5.0)];
+        let with_null = vec![
+            Value::Float(1.0),
+            Value::Null,
+            Value::Float(9.0),
+            Value::Float(5.0),
+        ];
         assert_eq!(agg(AggKind::Median, &with_null), Value::Float(5.0));
         assert_eq!(agg(AggKind::Median, &[]), Value::Null);
         // Robust against the outlier that would drag avg.
@@ -374,7 +382,10 @@ mod tests {
                 let merged = left.finish().unwrap();
                 match (&sequential, &merged) {
                     (Value::Float(a), Value::Float(b)) => {
-                        assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{kind:?}: {a} vs {b}")
+                        assert!(
+                            (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                            "{kind:?}: {a} vs {b}"
+                        )
                     }
                     (a, b) => assert_eq!(a, b, "{kind:?} split {split}"),
                 }

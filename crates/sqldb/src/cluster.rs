@@ -45,18 +45,27 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// No simulated latency (unit tests).
     pub fn none() -> Self {
-        LatencyModel { per_message: Duration::ZERO, per_row: Duration::ZERO }
+        LatencyModel {
+            per_message: Duration::ZERO,
+            per_row: Duration::ZERO,
+        }
     }
 
     /// A gigabit-Ethernet-like LAN: ~100 µs per message, ~1 µs per row.
     pub fn lan() -> Self {
-        LatencyModel { per_message: Duration::from_micros(100), per_row: Duration::from_micros(1) }
+        LatencyModel {
+            per_message: Duration::from_micros(100),
+            per_row: Duration::from_micros(1),
+        }
     }
 
     /// A high-speed interconnect (the paper's preferred option): ~10 µs per
     /// message, ~100 ns per row.
     pub fn fast_interconnect() -> Self {
-        LatencyModel { per_message: Duration::from_micros(10), per_row: Duration::from_nanos(100) }
+        LatencyModel {
+            per_message: Duration::from_micros(10),
+            per_row: Duration::from_nanos(100),
+        }
     }
 
     /// Total cost of moving `rows` rows in one message.
@@ -108,7 +117,10 @@ impl ShardMap {
     /// An empty map over `nodes` nodes (`nodes >= 1`).
     pub fn new(nodes: usize) -> Self {
         assert!(nodes >= 1, "a shard map needs at least one node");
-        ShardMap { nodes, assigned: Mutex::new(HashMap::new()) }
+        ShardMap {
+            nodes,
+            assigned: Mutex::new(HashMap::new()),
+        }
     }
 
     /// A map over `nodes` nodes seeded with previously recorded
@@ -158,8 +170,7 @@ impl ShardMap {
 
     /// All recorded `(run_id, node)` assignments, sorted by run id.
     pub fn assignments(&self) -> Vec<(i64, usize)> {
-        let mut v: Vec<(i64, usize)> =
-            self.assigned.lock().iter().map(|(&r, &n)| (r, n)).collect();
+        let mut v: Vec<(i64, usize)> = self.assigned.lock().iter().map(|(&r, &n)| (r, n)).collect();
         v.sort_unstable();
         v
     }
@@ -221,7 +232,11 @@ impl Cluster {
                 Arc::new(Node { id, engine })
             })
             .collect();
-        Cluster { nodes, latency, stats: Mutex::new(TransferStats::default()) }
+        Cluster {
+            nodes,
+            latency,
+            stats: Mutex::new(TransferStats::default()),
+        }
     }
 
     /// Number of nodes.
@@ -325,7 +340,8 @@ impl Cluster {
             }
             let (wal, statements, mut report) =
                 Wal::open_recover(&self.node_wal_path(dir, node.id), opts.clone())?;
-            node.engine.recover_replay(&statements, ckpt_seq, &mut report);
+            node.engine
+                .recover_replay(&statements, ckpt_seq, &mut report);
             node.engine.attach_wal(wal);
             reports.push(Some(report));
         }
@@ -434,7 +450,10 @@ mod tests {
     #[test]
     fn nodes_are_independent() {
         let c = Cluster::new(2, LatencyModel::none());
-        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        c.node(0)
+            .engine
+            .execute("CREATE TABLE t (x INTEGER)")
+            .unwrap();
         assert!(c.node(0).engine.has_table("t"));
         assert!(!c.node(1).engine.has_table("t"));
     }
@@ -454,8 +473,14 @@ mod tests {
     #[test]
     fn copy_table_moves_rows_and_counts_stats() {
         let c = Cluster::new(2, LatencyModel::none());
-        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
-        c.node(0).engine.execute("INSERT INTO t VALUES (1),(2),(3)").unwrap();
+        c.node(0)
+            .engine
+            .execute("CREATE TABLE t (x INTEGER)")
+            .unwrap();
+        c.node(0)
+            .engine
+            .execute("INSERT INTO t VALUES (1),(2),(3)")
+            .unwrap();
         let n = c.copy_table(0, "t", 1, "t_copy").unwrap();
         assert_eq!(n, 3);
         assert_eq!(c.node(1).engine.row_count("t_copy").unwrap(), 3);
@@ -468,7 +493,10 @@ mod tests {
     #[test]
     fn empty_table_copy_still_charges_header() {
         let c = Cluster::new(2, LatencyModel::lan());
-        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        c.node(0)
+            .engine
+            .execute("CREATE TABLE t (x INTEGER)")
+            .unwrap();
         c.copy_table(0, "t", 1, "t_copy").unwrap();
         let s = c.stats();
         assert_eq!(s.messages, 2);
@@ -480,8 +508,14 @@ mod tests {
     #[test]
     fn same_node_copy_is_free() {
         let c = Cluster::new(1, LatencyModel::lan());
-        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
-        c.node(0).engine.execute("INSERT INTO t VALUES (1)").unwrap();
+        c.node(0)
+            .engine
+            .execute("CREATE TABLE t (x INTEGER)")
+            .unwrap();
+        c.node(0)
+            .engine
+            .execute("INSERT INTO t VALUES (1)")
+            .unwrap();
         c.copy_table(0, "t", 0, "t2").unwrap();
         assert_eq!(c.stats().messages, 0);
     }
@@ -489,8 +523,14 @@ mod tests {
     #[test]
     fn fetch_remote_charges() {
         let c = Cluster::new(2, LatencyModel::none());
-        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
-        c.node(0).engine.execute("INSERT INTO t VALUES (1),(2)").unwrap();
+        c.node(0)
+            .engine
+            .execute("CREATE TABLE t (x INTEGER)")
+            .unwrap();
+        c.node(0)
+            .engine
+            .execute("INSERT INTO t VALUES (1),(2)")
+            .unwrap();
         let rs = c.fetch(0, 1, "SELECT x FROM t").unwrap();
         assert_eq!(rs.len(), 2);
         assert_eq!(c.stats().messages, 1);
@@ -502,8 +542,14 @@ mod tests {
     #[test]
     fn materialize_result_set() {
         let c = Cluster::new(2, LatencyModel::none());
-        c.node(0).engine.execute("CREATE TABLE t (x INTEGER, s TEXT)").unwrap();
-        c.node(0).engine.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
+        c.node(0)
+            .engine
+            .execute("CREATE TABLE t (x INTEGER, s TEXT)")
+            .unwrap();
+        c.node(0)
+            .engine
+            .execute("INSERT INTO t VALUES (1, 'a')")
+            .unwrap();
         let rs = c.node(0).engine.query("SELECT x, s FROM t").unwrap();
         c.materialize(0, 1, "out", &rs).unwrap();
         let got = c.node(1).engine.query("SELECT x, s FROM out").unwrap();
@@ -531,8 +577,14 @@ mod tests {
     #[test]
     fn stats_delta_and_reset() {
         let c = Cluster::new(2, LatencyModel::none());
-        c.node(0).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
-        c.node(0).engine.execute("INSERT INTO t VALUES (1),(2)").unwrap();
+        c.node(0)
+            .engine
+            .execute("CREATE TABLE t (x INTEGER)")
+            .unwrap();
+        c.node(0)
+            .engine
+            .execute("INSERT INTO t VALUES (1),(2)")
+            .unwrap();
         c.copy_table(0, "t", 1, "a").unwrap();
         let before = c.stats();
         c.copy_table(0, "t", 1, "b").unwrap();
@@ -554,8 +606,14 @@ mod tests {
         let reports = c.attach_wal_dir(&dir, &opts).unwrap();
         assert!(reports.iter().all(|r| r.is_some()));
         for (i, node) in [0usize, 1, 2].into_iter().enumerate() {
-            c.node(node).engine.execute("CREATE TABLE t (x INTEGER)").unwrap();
-            c.node(node).engine.execute(&format!("INSERT INTO t VALUES ({i}), ({})", i * 10)).unwrap();
+            c.node(node)
+                .engine
+                .execute("CREATE TABLE t (x INTEGER)")
+                .unwrap();
+            c.node(node)
+                .engine
+                .execute(&format!("INSERT INTO t VALUES ({i}), ({})", i * 10))
+                .unwrap();
         }
         // TEMP traffic (copy_table) must not pollute any node's log.
         c.copy_table(0, "t", 1, "t_copy").unwrap();
@@ -569,9 +627,16 @@ mod tests {
             assert_eq!(r.as_ref().unwrap().frames_replayed, 2, "node {i}");
         }
         for node in 0..3 {
-            let rs = c2.node(node).engine.query("SELECT count(*) FROM t").unwrap();
+            let rs = c2
+                .node(node)
+                .engine
+                .query("SELECT count(*) FROM t")
+                .unwrap();
             assert_eq!(rs.rows()[0][0], Value::Int(2), "node {node}");
-            assert!(!c2.node(node).engine.has_table("t_copy"), "temp copy must not recover");
+            assert!(
+                !c2.node(node).engine.has_table("t_copy"),
+                "temp copy must not recover"
+            );
         }
 
         // Checkpoint compacts every log; a third restart loads the dumps.
@@ -581,7 +646,11 @@ mod tests {
         let c3 = Cluster::new(3, LatencyModel::none());
         let reports = c3.attach_wal_dir(&dir, &opts).unwrap();
         for r in &reports {
-            assert_eq!(r.as_ref().unwrap().frames_replayed, 0, "post-checkpoint log is empty");
+            assert_eq!(
+                r.as_ref().unwrap().frames_replayed,
+                0,
+                "post-checkpoint log is empty"
+            );
         }
         for node in 0..3 {
             assert_eq!(c3.node(node).engine.row_count("t").unwrap(), 2);
@@ -645,7 +714,11 @@ mod tests {
         let shrunk = ShardMap::with_assignments(2, placed.clone());
         for &(id, node) in &placed {
             if node < 2 {
-                assert_eq!(shrunk.place(id), node, "run {id} moved although its node survived");
+                assert_eq!(
+                    shrunk.place(id),
+                    node,
+                    "run {id} moved although its node survived"
+                );
             } else {
                 assert_eq!(shrunk.place(id), ShardMap::hash_node(id, 2));
             }

@@ -10,13 +10,13 @@
 //! Semantics are identical to the interpreter by construction: the
 //! value-level operator logic ([`crate::expr::binary_values`],
 //! [`crate::expr::scalar_fn`], [`crate::expr::truthy`],
-//! [`crate::expr::like_match`]) is shared, and lazily-detected errors stay
+//! the LIKE matcher) is shared, and lazily-detected errors stay
 //! lazy — an unknown column or function inside a short-circuited `AND`/`OR`
 //! branch errors only if that branch is actually evaluated, just like the
 //! interpreter.
 
 use crate::error::DbError;
-use crate::expr::{binary_values, like_match, scalar_fn, truthy};
+use crate::expr::{binary_values, scalar_fn, truthy, LikePattern};
 use crate::schema::Schema;
 use crate::sql::{SqlExpr, UnOp};
 use crate::value::Value;
@@ -72,8 +72,8 @@ pub(crate) enum CompiledExpr {
     Like {
         /// Tested expression.
         expr: Box<CompiledExpr>,
-        /// Pattern literal.
-        pattern: String,
+        /// Pattern literal, tokenized once at compile time.
+        pattern: LikePattern,
         /// NOT LIKE.
         negated: bool,
     },
@@ -96,15 +96,21 @@ pub(crate) fn compile(expr: &SqlExpr, schema: &Schema) -> CompiledExpr {
         SqlExpr::Binary("OR", l, r) => {
             CompiledExpr::Or(Box::new(compile(l, schema)), Box::new(compile(r, schema)))
         }
-        SqlExpr::Binary(op, l, r) => {
-            CompiledExpr::Binary(op, Box::new(compile(l, schema)), Box::new(compile(r, schema)))
-        }
+        SqlExpr::Binary(op, l, r) => CompiledExpr::Binary(
+            op,
+            Box::new(compile(l, schema)),
+            Box::new(compile(r, schema)),
+        ),
         SqlExpr::Func { name, args, .. } => CompiledExpr::Func {
             name: name.clone(),
             args: args.iter().map(|a| compile(a, schema)).collect(),
             is_aggregate: crate::aggregate::AggKind::from_name(name).is_some(),
         },
-        SqlExpr::InList { expr, list, negated } => CompiledExpr::InList {
+        SqlExpr::InList {
+            expr,
+            list,
+            negated,
+        } => CompiledExpr::InList {
             expr: Box::new(compile(expr, schema)),
             list: list.iter().map(|e| compile(e, schema)).collect(),
             negated: *negated,
@@ -113,9 +119,13 @@ pub(crate) fn compile(expr: &SqlExpr, schema: &Schema) -> CompiledExpr {
             expr: Box::new(compile(expr, schema)),
             negated: *negated,
         },
-        SqlExpr::Like { expr, pattern, negated } => CompiledExpr::Like {
+        SqlExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => CompiledExpr::Like {
             expr: Box::new(compile(expr, schema)),
-            pattern: pattern.clone(),
+            pattern: LikePattern::parse(pattern),
             negated: *negated,
         },
     }
@@ -152,17 +162,24 @@ impl CompiledExpr {
                 let rv = r.eval(row)?;
                 binary_values(op, lv, rv)
             }
-            CompiledExpr::Func { name, args, is_aggregate } => {
+            CompiledExpr::Func {
+                name,
+                args,
+                is_aggregate,
+            } => {
                 if *is_aggregate {
                     return Err(DbError::Execution(format!(
                         "aggregate function {name}() is not allowed in this context"
                     )));
                 }
-                let vals: Result<Vec<Value>, DbError> =
-                    args.iter().map(|a| a.eval(row)).collect();
+                let vals: Result<Vec<Value>, DbError> = args.iter().map(|a| a.eval(row)).collect();
                 scalar_fn(name, &vals?)
             }
-            CompiledExpr::InList { expr, list, negated } => {
+            CompiledExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = expr.eval(row)?;
                 if v.is_null() {
                     return Ok(Value::Bool(false));
@@ -180,12 +197,16 @@ impl CompiledExpr {
             CompiledExpr::IsNull { expr, negated } => {
                 Ok(Value::Bool(expr.eval(row)?.is_null() != *negated))
             }
-            CompiledExpr::Like { expr, pattern, negated } => {
+            CompiledExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = expr.eval(row)?;
                 let matched = match &v {
-                    Value::Text(s) => like_match(s, pattern),
+                    Value::Text(s) => pattern.matches(s),
                     Value::Null => false,
-                    other => like_match(&other.to_string(), pattern),
+                    other => pattern.matches(&other.to_string()),
                 };
                 Ok(Value::Bool(matched != *negated))
             }
@@ -224,7 +245,12 @@ mod tests {
     }
 
     fn row() -> Vec<Value> {
-        vec![Value::Int(4), Value::Float(2.5), Value::Text("ufs".into()), Value::Null]
+        vec![
+            Value::Int(4),
+            Value::Float(2.5),
+            Value::Text("ufs".into()),
+            Value::Null,
+        ]
     }
 
     /// Compiled and interpreted evaluation agree (values and errors) on a
@@ -267,7 +293,13 @@ mod tests {
         ] {
             let e = where_expr(src);
             let compiled = compile(&e, &schema).eval(&r);
-            let interpreted = interp(&e, &RowCtx { schema: &schema, row: &r });
+            let interpreted = interp(
+                &e,
+                &RowCtx {
+                    schema: &schema,
+                    row: &r,
+                },
+            );
             match (&compiled, &interpreted) {
                 (Ok(c), Ok(i)) => assert_eq!(c, i, "{src}"),
                 (Err(c), Err(i)) => assert_eq!(c, i, "{src}"),
@@ -287,7 +319,10 @@ mod tests {
         let e = where_expr("a = 4 OR zzz = 1");
         assert_eq!(compile(&e, &schema).eval(&r).unwrap(), Value::Bool(true));
         let e = where_expr("a = 4 AND zzz = 1");
-        assert!(matches!(compile(&e, &schema).eval(&r), Err(DbError::NoSuchColumn(_))));
+        assert!(matches!(
+            compile(&e, &schema).eval(&r),
+            Err(DbError::NoSuchColumn(_))
+        ));
     }
 
     /// Qualified-name fallbacks resolve like `Schema::index_of`.

@@ -25,15 +25,20 @@ impl Engine {
                 continue;
             }
             let (schema, rows) = self.read_snapshot(&name).expect("table listed");
-            let indexes = self.table(&name).expect("table listed").read().index_columns();
+            let indexes = self
+                .table(&name)
+                .expect("table listed")
+                .read()
+                .index_columns();
             let _ = writeln!(out, "{};", render_create_table(&name, &schema, false));
             for chunk in rows.chunks(64) {
                 if !chunk.is_empty() {
                     let _ = writeln!(out, "{};", render_insert(&name, chunk));
                 }
             }
-            for (ix_name, column) in indexes {
-                let _ = writeln!(out, "CREATE INDEX {ix_name} ON {name} ({column});");
+            for (ix_name, column, ordered) in indexes {
+                let kind = if ordered { "ORDERED " } else { "" };
+                let _ = writeln!(out, "CREATE {kind}INDEX {ix_name} ON {name} ({column});");
             }
         }
         out
@@ -267,9 +272,27 @@ mod tests {
     }
 
     #[test]
+    fn ordered_indexes_roundtrip() {
+        let e = sample();
+        e.execute("CREATE ORDERED INDEX ix_runs_bw ON runs (bw)")
+            .unwrap();
+        e.execute("CREATE INDEX ix_runs_id ON runs (id)").unwrap();
+        let dump = e.dump_sql();
+        assert!(dump.contains("CREATE ORDERED INDEX ix_runs_bw ON runs (bw);"));
+        assert!(dump.contains("CREATE INDEX ix_runs_id ON runs (id);"));
+        let e2 = Engine::from_sql_dump(&dump).unwrap();
+        // The ordered flag survives the round trip (and dumps identically).
+        let cols = e2.table("runs").unwrap().read().index_columns();
+        assert!(cols.contains(&("ix_runs_bw".to_string(), "bw".to_string(), true)));
+        assert!(cols.contains(&("ix_runs_id".to_string(), "id".to_string(), false)));
+        assert_eq!(dump, e2.dump_sql());
+    }
+
+    #[test]
     fn text_with_newlines_and_quotes_roundtrips_on_one_line() {
         let e = Engine::new();
-        e.execute("CREATE TABLE notes (id INTEGER, body TEXT)").unwrap();
+        e.execute("CREATE TABLE notes (id INTEGER, body TEXT)")
+            .unwrap();
         let nasty = [
             "line one\nline two",
             "quote ' then\nnewline",
@@ -280,14 +303,20 @@ mod tests {
             "trailing newline\n",
         ];
         for (i, s) in nasty.iter().enumerate() {
-            e.insert_rows("notes", vec![vec![Value::Int(i as i64), Value::Text(s.to_string())]])
-                .unwrap();
+            e.insert_rows(
+                "notes",
+                vec![vec![Value::Int(i as i64), Value::Text(s.to_string())]],
+            )
+            .unwrap();
         }
         let dump = e.dump_sql();
         // Every dumped statement occupies exactly one line: each line of the
         // dump (minus the header comment) ends with ';' and parses alone.
         for line in dump.lines().skip(1) {
-            assert!(line.ends_with(';'), "multi-line statement in dump: {line:?}");
+            assert!(
+                line.ends_with(';'),
+                "multi-line statement in dump: {line:?}"
+            );
             sql::parse_statement(line).unwrap();
         }
         let e2 = Engine::from_sql_dump(&dump).unwrap();

@@ -7,9 +7,9 @@ use crate::exec;
 use crate::expr::{self, RowCtx};
 use crate::schema::{Column, Schema};
 use crate::sql::{self, Stmt};
+use crate::sync::{Mutex, RwLock};
 use crate::table::{Row, Table};
 use crate::value::Value;
-use crate::sync::{Mutex, RwLock};
 use crate::wal::{RecoveryReport, Wal, WalOptions};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
@@ -263,9 +263,12 @@ impl Engine {
             Stmt::Insert { table, .. }
             | Stmt::Update { table, .. }
             | Stmt::Delete { table, .. } => !self.is_temp(table),
-            Stmt::CreateIndex { table, column, .. } => {
-                !self.is_temp(table) && !self.index_creation_is_noop(table, column)
-            }
+            Stmt::CreateIndex {
+                table,
+                column,
+                ordered,
+                ..
+            } => !self.is_temp(table) && !self.index_creation_is_noop(table, column, *ordered),
         };
         if durable {
             w.append(sql_text)?;
@@ -278,11 +281,20 @@ impl Engine {
     /// recovered frames must not be re-logged).
     pub(crate) fn run_parsed(&self, stmt: Stmt) -> Result<usize, DbError> {
         match stmt {
-            Stmt::CreateTable { name, temp, if_not_exists, columns } => {
+            Stmt::CreateTable {
+                name,
+                temp,
+                if_not_exists,
+                columns,
+            } => {
                 let schema = Schema::new(
                     columns
                         .into_iter()
-                        .map(|c| Column { name: c.name, dtype: c.dtype, nullable: c.nullable })
+                        .map(|c| Column {
+                            name: c.name,
+                            dtype: c.dtype,
+                            nullable: c.nullable,
+                        })
                         .collect(),
                 )?;
                 self.create_table_unlogged(&name, schema, temp, if_not_exists)?;
@@ -292,18 +304,31 @@ impl Engine {
                 self.drop_table_unlogged(&name, if_exists)?;
                 Ok(0)
             }
-            Stmt::Insert { table, columns, rows } => self.run_insert(&table, columns, rows),
-            Stmt::Update { table, sets, where_clause } => {
-                self.run_update(&table, sets, where_clause)
-            }
-            Stmt::Delete { table, where_clause } => self.run_delete(&table, where_clause),
-            Stmt::CreateIndex { name, table, column, if_not_exists } => {
-                match self.create_index_unlogged(&name, &table, &column) {
-                    Ok(()) => Ok(0),
-                    Err(DbError::Execution(_)) if if_not_exists => Ok(0),
-                    Err(e) => Err(e),
-                }
-            }
+            Stmt::Insert {
+                table,
+                columns,
+                rows,
+            } => self.run_insert(&table, columns, rows),
+            Stmt::Update {
+                table,
+                sets,
+                where_clause,
+            } => self.run_update(&table, sets, where_clause),
+            Stmt::Delete {
+                table,
+                where_clause,
+            } => self.run_delete(&table, where_clause),
+            Stmt::CreateIndex {
+                name,
+                table,
+                column,
+                if_not_exists,
+                ordered,
+            } => match self.create_index_unlogged(&name, &table, &column, ordered) {
+                Ok(()) => Ok(0),
+                Err(DbError::Execution(_)) if if_not_exists => Ok(0),
+                Err(e) => Err(e),
+            },
             Stmt::Select(_) => Err(DbError::Execution(
                 "use query() for SELECT statements".into(),
             )),
@@ -313,34 +338,66 @@ impl Engine {
     /// Create a secondary hash index over `table.column`. A second index on
     /// an already-indexed column is a no-op.
     pub fn create_index(&self, name: &str, table: &str, column: &str) -> Result<(), DbError> {
+        self.create_index_opts(name, table, column, false)
+    }
+
+    /// Create a secondary index over `table.column`; `ordered` selects the
+    /// sorted variant that additionally serves `IN` and range probes. An
+    /// ordered request over an existing hash index upgrades it in place.
+    pub fn create_index_opts(
+        &self,
+        name: &str,
+        table: &str,
+        column: &str,
+        ordered: bool,
+    ) -> Result<(), DbError> {
         let mut wal = self.wal.lock();
         let Some(w) = wal.as_mut() else {
             drop(wal);
-            return self.create_index_unlogged(name, table, column);
+            return self.create_index_unlogged(name, table, column, ordered);
         };
-        if !self.is_temp(table) && !self.index_creation_is_noop(table, column) {
+        if !self.is_temp(table) && !self.index_creation_is_noop(table, column, ordered) {
             // Logged with IF NOT EXISTS so a recovery replay over a
             // checkpoint that already materialized the index stays a no-op.
-            w.append(&format!("CREATE INDEX IF NOT EXISTS {name} ON {table} ({column})"))?;
+            w.append(&format!(
+                "CREATE {}INDEX IF NOT EXISTS {name} ON {table} ({column})",
+                if ordered { "ORDERED " } else { "" }
+            ))?;
         }
-        self.create_index_unlogged(name, table, column)
+        self.create_index_unlogged(name, table, column, ordered)
     }
 
-    fn create_index_unlogged(&self, name: &str, table: &str, column: &str) -> Result<(), DbError> {
+    fn create_index_unlogged(
+        &self,
+        name: &str,
+        table: &str,
+        column: &str,
+        ordered: bool,
+    ) -> Result<(), DbError> {
         let t = self.table(table)?;
         let mut guard = t.write();
-        guard.create_index(name, column)
+        guard.create_index(name, column, ordered)
     }
 
-    /// Would `CREATE INDEX … ON table (column)` change nothing? True when
-    /// the column is already covered by an index — such statements are
-    /// skipped by the write-ahead log, so re-ensuring indexes on every open
-    /// (as the experiment layer does) never dirties a compacted log.
-    fn index_creation_is_noop(&self, table: &str, column: &str) -> bool {
-        let Ok(t) = self.table(table) else { return false };
+    /// Would `CREATE [ORDERED] INDEX … ON table (column)` change nothing?
+    /// True when the column is already covered by an index of sufficient
+    /// capability (an ordered request over a hash index is *not* a no-op —
+    /// it upgrades the index). Such statements are skipped by the
+    /// write-ahead log, so re-ensuring indexes on every open (as the
+    /// experiment layer does) never dirties a compacted log.
+    fn index_creation_is_noop(&self, table: &str, column: &str, ordered: bool) -> bool {
+        let Ok(t) = self.table(table) else {
+            return false;
+        };
         let guard = t.read();
         match guard.schema.index_of(column) {
-            Some(ci) => guard.has_index_on(ci),
+            Some(ci) => {
+                if ordered {
+                    guard.has_ordered_index_on(ci)
+                } else {
+                    guard.has_index_on(ci)
+                }
+            }
             None => false,
         }
     }
@@ -349,7 +406,9 @@ impl Engine {
     pub fn query(&self, sql_text: &str) -> Result<ResultSet, DbError> {
         match sql::parse_statement(sql_text)? {
             Stmt::Select(sel) => exec::run_select(self, &sel),
-            _ => Err(DbError::Execution("query() only accepts SELECT statements".into())),
+            _ => Err(DbError::Execution(
+                "query() only accepts SELECT statements".into(),
+            )),
         }
     }
 
@@ -360,7 +419,9 @@ impl Engine {
     pub fn query_reference(&self, sql_text: &str) -> Result<ResultSet, DbError> {
         match sql::parse_statement(sql_text)? {
             Stmt::Select(sel) => exec::run_select_reference(self, &sel),
-            _ => Err(DbError::Execution("query() only accepts SELECT statements".into())),
+            _ => Err(DbError::Execution(
+                "query() only accepts SELECT statements".into(),
+            )),
         }
     }
 
@@ -438,7 +499,10 @@ impl Engine {
     pub(crate) fn replay_unlogged(&self, statements: &[String]) -> u64 {
         let mut errors = 0;
         for text in statements {
-            if sql::parse_statement(text).and_then(|s| self.run_parsed(s)).is_err() {
+            if sql::parse_statement(text)
+                .and_then(|s| self.run_parsed(s))
+                .is_err()
+            {
                 errors += 1;
             }
         }
@@ -502,12 +566,20 @@ impl Engine {
         let schema = guard.schema.clone();
         let empty_schema = Schema::default();
         let empty_row: Vec<Value> = Vec::new();
-        let const_ctx = RowCtx { schema: &empty_schema, row: &empty_row };
+        let const_ctx = RowCtx {
+            schema: &empty_schema,
+            row: &empty_row,
+        };
 
-        let mut n = 0;
+        // Materialize every row before applying any: a multi-row INSERT is
+        // atomic, so a bad row mid-batch leaves no partial state (and the
+        // statement diverges from nothing on WAL replay).
+        let mut full_rows = Vec::with_capacity(rows.len());
         for row_exprs in rows {
-            let values: Result<Vec<Value>, DbError> =
-                row_exprs.iter().map(|e| expr::eval(e, &const_ctx)).collect();
+            let values: Result<Vec<Value>, DbError> = row_exprs
+                .iter()
+                .map(|e| expr::eval(e, &const_ctx))
+                .collect();
             let values = values?;
             let full_row = match &columns {
                 None => values,
@@ -529,10 +601,9 @@ impl Engine {
                     full
                 }
             };
-            guard.insert(full_row)?;
-            n += 1;
+            full_rows.push(full_row);
         }
-        Ok(n)
+        guard.insert_all(full_rows)
     }
 
     fn run_update(
@@ -547,7 +618,9 @@ impl Engine {
         // Resolve target columns up front.
         let mut targets = Vec::with_capacity(sets.len());
         for (name, e) in &sets {
-            let i = schema.index_of(name).ok_or_else(|| DbError::NoSuchColumn(name.clone()))?;
+            let i = schema
+                .index_of(name)
+                .ok_or_else(|| DbError::NoSuchColumn(name.clone()))?;
             targets.push((i, e));
         }
         let mut err: Option<DbError> = None;
@@ -555,7 +628,10 @@ impl Engine {
             if err.is_some() {
                 return false;
             }
-            let ctx = RowCtx { schema: &schema, row };
+            let ctx = RowCtx {
+                schema: &schema,
+                row,
+            };
             let hit = match &where_clause {
                 None => true,
                 Some(w) => match expr::eval(w, &ctx) {
@@ -572,7 +648,13 @@ impl Engine {
             // Evaluate all RHS against the pre-update row, then assign.
             let mut new_vals = Vec::with_capacity(targets.len());
             for (i, e) in &targets {
-                match expr::eval(e, &RowCtx { schema: &schema, row }) {
+                match expr::eval(
+                    e,
+                    &RowCtx {
+                        schema: &schema,
+                        row,
+                    },
+                ) {
                     Ok(v) => match v.coerce(schema.columns[*i].dtype) {
                         Ok(cv) => new_vals.push((*i, cv)),
                         Err(m) => {
@@ -612,7 +694,13 @@ impl Engine {
             }
             match &where_clause {
                 None => true,
-                Some(w) => match expr::eval(w, &RowCtx { schema: &schema, row }) {
+                Some(w) => match expr::eval(
+                    w,
+                    &RowCtx {
+                        schema: &schema,
+                        row,
+                    },
+                ) {
                     Ok(v) => expr::truthy(&v),
                     Err(e) => {
                         err = Some(e);
@@ -642,7 +730,8 @@ mod tests {
         ])
         .unwrap();
         db.create_table("t", schema).unwrap();
-        db.insert_rows("t", vec![vec![Value::Int(1), Value::Float(2.0)]]).unwrap();
+        db.insert_rows("t", vec![vec![Value::Int(1), Value::Float(2.0)]])
+            .unwrap();
         let (schema, rows) = db.read_snapshot("t").unwrap();
         assert_eq!(schema.arity(), 2);
         assert_eq!(rows.len(), 1);
@@ -653,8 +742,12 @@ mod tests {
     fn duplicate_table_rejected() {
         let db = Engine::new();
         db.execute("CREATE TABLE t (a INTEGER)").unwrap();
-        assert!(matches!(db.execute("CREATE TABLE t (a INTEGER)"), Err(DbError::TableExists(_))));
-        db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)").unwrap();
+        assert!(matches!(
+            db.execute("CREATE TABLE t (a INTEGER)"),
+            Err(DbError::TableExists(_))
+        ));
+        db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+            .unwrap();
     }
 
     #[test]
@@ -670,10 +763,14 @@ mod tests {
     #[test]
     fn insert_with_column_list_fills_nulls() {
         let db = Engine::new();
-        db.execute("CREATE TABLE t (a INTEGER, b TEXT, c FLOAT)").unwrap();
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT, c FLOAT)")
+            .unwrap();
         db.execute("INSERT INTO t (c, a) VALUES (1.5, 7)").unwrap();
         let rs = db.query("SELECT a, b, c FROM t").unwrap();
-        assert_eq!(rs.rows()[0], vec![Value::Int(7), Value::Null, Value::Float(1.5)]);
+        assert_eq!(
+            rs.rows()[0],
+            vec![Value::Int(7), Value::Null, Value::Float(1.5)]
+        );
     }
 
     #[test]
@@ -708,7 +805,8 @@ mod tests {
     fn resultset_accessors() {
         let db = Engine::new();
         db.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
         let rs = db.query("SELECT a, b FROM t ORDER BY a").unwrap();
         assert_eq!(rs.get(1, "b"), Some(&Value::Text("y".into())));
         assert_eq!(rs.column("a").unwrap(), vec![Value::Int(1), Value::Int(2)]);
@@ -731,14 +829,16 @@ mod tests {
         assert_eq!(report.frames_replayed, 0);
         // SQL-text path.
         db.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+            .unwrap();
         db.execute("UPDATE t SET b = 'q' WHERE a = 2").unwrap();
         db.execute("DELETE FROM t WHERE a = 3").unwrap();
         db.execute("CREATE INDEX ix_t_a ON t (a)").unwrap();
         // Programmatic path.
         let schema = Schema::new(vec![Column::not_null("id", crate::DataType::Int)]).unwrap();
         db.create_table("p", schema).unwrap();
-        db.insert_rows("p", vec![vec![Value::Int(9)], vec![Value::Int(10)]]).unwrap();
+        db.insert_rows("p", vec![vec![Value::Int(9)], vec![Value::Int(10)]])
+            .unwrap();
         db.create_index("ix_p_id", "p", "id").unwrap();
         db.drop_table("p", false).unwrap();
         // TEMP tables are never logged.
@@ -754,10 +854,19 @@ mod tests {
             Engine::open_durable(&dump, &wal, WalOptions::with_sync(SyncPolicy::Off)).unwrap();
         assert_eq!(report.frames_replayed, frames);
         assert_eq!(report.replay_errors, 0);
-        assert_eq!(db2.query("SELECT a, b FROM t ORDER BY a").unwrap(), expected);
+        assert_eq!(
+            db2.query("SELECT a, b FROM t ORDER BY a").unwrap(),
+            expected
+        );
         assert!(!db2.has_table("p"), "dropped table must stay dropped");
         assert!(!db2.has_table("scratch"), "temp tables are not durable");
-        assert!(db2.table("t").unwrap().read().index_columns().iter().any(|(n, _)| n == "ix_t_a"));
+        assert!(db2
+            .table("t")
+            .unwrap()
+            .read()
+            .index_columns()
+            .iter()
+            .any(|(n, _, _)| n == "ix_t_a"));
     }
 
     #[test]
@@ -784,7 +893,10 @@ mod tests {
 
         let (db2, report) =
             Engine::open_durable(&dump, &wal, WalOptions::with_sync(SyncPolicy::Off)).unwrap();
-        assert_eq!(report.frames_replayed, 1, "only the post-checkpoint tail replays");
+        assert_eq!(
+            report.frames_replayed, 1,
+            "only the post-checkpoint tail replays"
+        );
         let rs = db2.query("SELECT count(*) FROM t").unwrap();
         assert_eq!(rs.rows()[0][0], Value::Int(3));
     }
@@ -812,7 +924,10 @@ mod tests {
 
         let (db2, report) =
             Engine::open_durable(&dump, &wal, WalOptions::with_sync(SyncPolicy::Off)).unwrap();
-        assert_eq!(report.replay_errors, 1, "the failed INSERT fails again on replay");
+        assert_eq!(
+            report.replay_errors, 1,
+            "the failed INSERT fails again on replay"
+        );
         assert_eq!(db2.query("SELECT a FROM t ORDER BY a").unwrap(), expected);
     }
 

@@ -10,9 +10,11 @@
 //!   `RwLock` read guard; only matching, projected rows are materialised.
 //!   This extends the paper's §4.2 in-database operator advantage from
 //!   aggregation to plain filter/project/order queries.
-//! * **Secondary-index point lookups** — a `col = <const>` conjunct in the
-//!   WHERE clause probes the table's hash index (when one exists) and the
-//!   residual filter runs only over the candidate rows.
+//! * **Secondary-index lookups** — a `col = <const>` or `col IN (...)`
+//!   conjunct in the WHERE clause probes the table's secondary index (when
+//!   one exists); range conjuncts (`<`, `<=`, `>`, `>=`, BETWEEN-shaped
+//!   pairs) scan the *ordered* index variant. The residual filter runs
+//!   only over the candidate rows.
 //! * **Hash equi-joins** — `JOIN ... ON a.x = b.y` builds the hash table on
 //!   the smaller input, keyed by [`ValueKey`]; output order is identical to
 //!   the naive accumulated-major nested loop.
@@ -36,6 +38,7 @@ use crate::sql::{JoinClause, SelectItem, SelectStmt, SqlExpr};
 use crate::table::{Row, Table};
 use crate::value::{DataType, Value, ValueKey};
 use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
 
 /// Row count above which single-table scans run as parallel segments.
 /// Float aggregates (sum/avg/stddev) may then differ from the sequential
@@ -73,7 +76,13 @@ pub fn run_select_reference(engine: &Engine, sel: &SelectStmt) -> Result<ResultS
     if let Some(w) = &sel.where_clause {
         let mut kept = Vec::with_capacity(rows.len());
         for r in rows {
-            let v = eval(w, &RowCtx { schema: &schema, row: &r })?;
+            let v = eval(
+                w,
+                &RowCtx {
+                    schema: &schema,
+                    row: &r,
+                },
+            )?;
             if truthy(&v) {
                 kept.push(r);
             }
@@ -87,7 +96,10 @@ pub fn run_select_reference(engine: &Engine, sel: &SelectStmt) -> Result<ResultS
         let columns = output_names(sel, &schema);
         let mut out = Vec::with_capacity(rows.len());
         for r in &rows {
-            let ctx = RowCtx { schema: &schema, row: r };
+            let ctx = RowCtx {
+                schema: &schema,
+                row: r,
+            };
             let mut projected = Vec::with_capacity(columns.len());
             for item in &sel.items {
                 match item {
@@ -115,7 +127,11 @@ fn is_aggregation(sel: &SelectStmt) -> bool {
 
 /// Single-table SELECT: stream under the read guard, optionally through a
 /// secondary-index point lookup, with compiled expressions throughout.
-fn single_table_select(engine: &Engine, base: &str, sel: &SelectStmt) -> Result<ResultSet, DbError> {
+fn single_table_select(
+    engine: &Engine,
+    base: &str,
+    sel: &SelectStmt,
+) -> Result<ResultSet, DbError> {
     let handle = engine.table(base)?;
     let guard = handle.read();
     let table: &Table = &guard;
@@ -172,7 +188,11 @@ fn single_table_select(engine: &Engine, base: &str, sel: &SelectStmt) -> Result<
 
 /// General pipeline over an already-materialised relation (joined input or
 /// table-less SELECT), with compiled filter and projection.
-fn general_select(sel: &SelectStmt, schema: Schema, mut rows: Vec<Row>) -> Result<ResultSet, DbError> {
+fn general_select(
+    sel: &SelectStmt,
+    schema: Schema,
+    mut rows: Vec<Row>,
+) -> Result<ResultSet, DbError> {
     if let Some(w) = &sel.where_clause {
         let f = compile(w, &schema);
         let mut kept = Vec::with_capacity(rows.len());
@@ -274,7 +294,9 @@ fn scan_threads(n: usize) -> usize {
     if n < PARALLEL_THRESHOLD {
         return 1;
     }
-    std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(1)
 }
 
 /// Filter + project a full table scan, in parallel segments above the
@@ -295,7 +317,10 @@ fn project_scan(
             .chunks(chunk)
             .map(|seg| scope.spawn(move || project_segment(seg, filter, items)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
     });
     let mut out = Vec::new();
     for p in partials {
@@ -341,7 +366,10 @@ fn fast_agg_scan(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
     });
     let mut iter = partials.into_iter();
     let mut agg = iter.next().expect("at least one segment")?;
@@ -351,12 +379,24 @@ fn fast_agg_scan(
     agg.finish()
 }
 
-/// Index probe outcome for a `col = <const>` conjunct.
+/// Index probe outcome for a `col <op> <const>` conjunct.
 enum Probe {
     /// Probe the index with this key.
     Key(ValueKey),
     /// The comparison can never be true (NULL or cross-type mismatch).
     Never,
+}
+
+/// One index-servable access condition extracted from the WHERE clause.
+enum IndexCond {
+    /// `col = lit` — single key probe (hash or ordered index).
+    Eq(ValueKey),
+    /// `col IN (lits)` — one probe per distinct key, positions unioned
+    /// (hash or ordered index).
+    In(Vec<ValueKey>),
+    /// Merged range conjuncts (`<`, `<=`, `>`, `>=`, BETWEEN-shaped pairs)
+    /// over one column — ordered index only.
+    Range(Bound<ValueKey>, Bound<ValueKey>),
 }
 
 /// Translate an equality literal into the key class stored for a column of
@@ -372,6 +412,7 @@ fn probe_key(dtype: DataType, lit: &Value) -> Probe {
         DataType::Int | DataType::Float | DataType::Timestamp => match lit.as_f64() {
             Some(f) => {
                 let f = if f == 0.0 { 0.0 } else { f };
+                let f = if f.is_nan() { f64::NAN } else { f }; // canonical NaN
                 Probe::Key(ValueKey::Num(f.to_bits()))
             }
             None => Probe::Never,
@@ -430,13 +471,88 @@ fn names_resolve(e: &SqlExpr, schema: &Schema) -> bool {
     }
 }
 
-/// Candidate row positions for an index-assisted point lookup. All
-/// `col = <const>` AND-conjuncts whose column carries an index compete;
-/// the most selective index wins — measured by distinct-key count, since
-/// more distinct keys means fewer rows behind each key. A conjunct whose
-/// literal can never match its column type short-circuits to an empty
-/// candidate set. Returns `None` when no index applies (full scan).
-/// Candidates are in row order; the caller still applies the full WHERE.
+/// Borrowing view of an owned bound (`Bound::as_ref` is not yet stable).
+fn bound_ref(b: &Bound<ValueKey>) -> Bound<&ValueKey> {
+    match b {
+        Bound::Included(k) => Bound::Included(k),
+        Bound::Excluded(k) => Bound::Excluded(k),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// The tighter of two lower bounds (greater key wins; on a tie, Excluded).
+fn tighter_lower(a: Bound<ValueKey>, b: Bound<ValueKey>) -> Bound<ValueKey> {
+    let (ka, ea) = match &a {
+        Bound::Unbounded => return b,
+        Bound::Included(k) => (k, false),
+        Bound::Excluded(k) => (k, true),
+    };
+    let (kb, _) = match &b {
+        Bound::Unbounded => return a,
+        Bound::Included(k) => (k, false),
+        Bound::Excluded(k) => (k, true),
+    };
+    match ka.cmp(kb) {
+        std::cmp::Ordering::Greater => a,
+        std::cmp::Ordering::Less => b,
+        std::cmp::Ordering::Equal => {
+            if ea {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// The tighter of two upper bounds (smaller key wins; on a tie, Excluded).
+fn tighter_upper(a: Bound<ValueKey>, b: Bound<ValueKey>) -> Bound<ValueKey> {
+    let (ka, ea) = match &a {
+        Bound::Unbounded => return b,
+        Bound::Included(k) => (k, false),
+        Bound::Excluded(k) => (k, true),
+    };
+    let (kb, _) = match &b {
+        Bound::Unbounded => return a,
+        Bound::Included(k) => (k, false),
+        Bound::Excluded(k) => (k, true),
+    };
+    match ka.cmp(kb) {
+        std::cmp::Ordering::Less => a,
+        std::cmp::Ordering::Greater => b,
+        std::cmp::Ordering::Equal => {
+            if ea {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// Candidate row positions for an index-assisted lookup. Competing
+/// AND-conjuncts are ranked by estimated candidate count and the cheapest
+/// access path wins:
+///
+/// * `col = lit` (any index) — estimate `rows / distinct_keys`, the
+///   original distinct-key selectivity proxy.
+/// * `col IN (lits)` (any index; probe per element, union the positions,
+///   dedup) — estimate `k · rows / distinct_keys`.
+/// * range conjuncts `<`, `<=`, `>`, `>=` — including BETWEEN-shaped pairs,
+///   which merge into one `(lower, upper)` window per column — served by an
+///   *ordered* index only; flat estimate `rows / 3`.
+///
+/// Literal translation mirrors the evaluator: an equality or IN element
+/// whose literal can never match the column type is dropped (an empty
+/// remaining probe set falsifies the whole AND chain); a range bound
+/// against NULL falsifies the chain (every comparison with NULL is false),
+/// while a cross-type range bound merely skips that conjunct — under
+/// `type_rank` ordering it is constant-true or constant-false for the
+/// whole column, which the residual filter handles.
+///
+/// Returns `None` when no index applies (full scan). Candidates come back
+/// in row order and are always a superset of the matching rows; the caller
+/// still applies the full WHERE over them.
 fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Vec<usize>> {
     let w = where_clause?;
     if !names_resolve(w, &table.schema) {
@@ -444,28 +560,148 @@ fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Ve
     }
     let mut conjuncts = Vec::new();
     split_conjuncts(w, &mut conjuncts);
-    let mut best: Option<(usize, usize, ValueKey)> = None; // (distinct, col, key)
-    for c in conjuncts {
-        let SqlExpr::Binary("=", l, r) = c else { continue };
-        let (name, lit) = match (&**l, &**r) {
-            (SqlExpr::Col(n), SqlExpr::Lit(v)) => (n, v),
-            (SqlExpr::Lit(v), SqlExpr::Col(n)) => (n, v),
-            _ => continue,
+    let nrows = table.len() as f64;
+
+    let mut best: Option<(f64, usize, IndexCond)> = None; // (est, col, cond)
+    let consider =
+        |est: f64, ci: usize, cond: IndexCond, best: &mut Option<(f64, usize, IndexCond)>| {
+            if best.as_ref().is_none_or(|(e, _, _)| est < *e) {
+                *best = Some((est, ci, cond));
+            }
         };
-        let Some(ci) = table.schema.index_of(name) else { continue };
-        let Some(distinct) = table.index_distinct_keys(ci) else { continue };
-        match probe_key(table.schema.columns[ci].dtype, lit) {
-            // A type-impossible conjunct falsifies the whole AND chain.
-            Probe::Never => return Some(Vec::new()),
-            Probe::Key(key) => {
-                if best.as_ref().is_none_or(|(d, _, _)| distinct > *d) {
-                    best = Some((distinct, ci, key));
+    // Range windows accumulate per column across conjuncts, then compete
+    // as one merged condition each.
+    let mut ranges: Vec<(usize, Bound<ValueKey>, Bound<ValueKey>)> = Vec::new();
+
+    for c in conjuncts {
+        match c {
+            SqlExpr::Binary(op, l, r) if matches!(*op, "=" | "<" | "<=" | ">" | ">=") => {
+                // Normalize to `col <op> lit`, flipping the operator when
+                // the literal is on the left.
+                let (name, lit, op) = match (&**l, &**r) {
+                    (SqlExpr::Col(n), SqlExpr::Lit(v)) => (n, v, *op),
+                    (SqlExpr::Lit(v), SqlExpr::Col(n)) => (
+                        n,
+                        v,
+                        match *op {
+                            "<" => ">",
+                            "<=" => ">=",
+                            ">" => "<",
+                            ">=" => "<=",
+                            other => other,
+                        },
+                    ),
+                    _ => continue,
+                };
+                let Some(ci) = table.schema.index_of(name) else {
+                    continue;
+                };
+                let Some(distinct) = table.index_distinct_keys(ci) else {
+                    continue;
+                };
+                let probe = probe_key(table.schema.columns[ci].dtype, lit);
+                if op == "=" {
+                    match probe {
+                        // A type-impossible equality falsifies the AND chain.
+                        Probe::Never => return Some(Vec::new()),
+                        Probe::Key(key) => consider(
+                            nrows / distinct.max(1) as f64,
+                            ci,
+                            IndexCond::Eq(key),
+                            &mut best,
+                        ),
+                    }
+                    continue;
+                }
+                // Range conjunct: ordered indexes only.
+                if !table.has_ordered_index_on(ci) {
+                    continue;
+                }
+                let key = match probe {
+                    Probe::Key(key) => key,
+                    Probe::Never => {
+                        if lit.is_null() {
+                            // Any comparison against NULL is false.
+                            return Some(Vec::new());
+                        }
+                        // Cross-type bound: constant over the whole column
+                        // under type_rank ordering — leave it to the
+                        // residual filter.
+                        continue;
+                    }
+                };
+                let (lo, hi) = match op {
+                    "<" => (Bound::Unbounded, Bound::Excluded(key)),
+                    "<=" => (Bound::Unbounded, Bound::Included(key)),
+                    ">" => (Bound::Excluded(key), Bound::Unbounded),
+                    _ => (Bound::Included(key), Bound::Unbounded),
+                };
+                match ranges.iter_mut().find(|(c, _, _)| *c == ci) {
+                    Some((_, cur_lo, cur_hi)) => {
+                        *cur_lo = tighter_lower(std::mem::replace(cur_lo, Bound::Unbounded), lo);
+                        *cur_hi = tighter_upper(std::mem::replace(cur_hi, Bound::Unbounded), hi);
+                    }
+                    None => ranges.push((ci, lo, hi)),
                 }
             }
+            SqlExpr::InList {
+                expr,
+                list,
+                negated: false,
+            } => {
+                let SqlExpr::Col(name) = &**expr else {
+                    continue;
+                };
+                let Some(ci) = table.schema.index_of(name) else {
+                    continue;
+                };
+                let Some(distinct) = table.index_distinct_keys(ci) else {
+                    continue;
+                };
+                if !list.iter().all(|e| matches!(e, SqlExpr::Lit(_))) {
+                    continue;
+                }
+                let dtype = table.schema.columns[ci].dtype;
+                let mut keys: Vec<ValueKey> = Vec::with_capacity(list.len());
+                for e in list {
+                    let SqlExpr::Lit(lit) = e else { unreachable!() };
+                    // Elements that can never match are dropped (NULL
+                    // elements make `IN` yield NULL, never true).
+                    if let Probe::Key(key) = probe_key(dtype, lit) {
+                        if !keys.contains(&key) {
+                            keys.push(key);
+                        }
+                    }
+                }
+                if keys.is_empty() {
+                    // No element can ever match: the IN is constant-false.
+                    return Some(Vec::new());
+                }
+                let est = keys.len() as f64 * nrows / distinct.max(1) as f64;
+                consider(est, ci, IndexCond::In(keys), &mut best);
+            }
+            _ => continue,
         }
     }
-    let (_, ci, key) = best?;
-    table.index_lookup(ci, &key).map(<[usize]>::to_vec)
+
+    for (ci, lo, hi) in ranges {
+        consider(nrows / 3.0, ci, IndexCond::Range(lo, hi), &mut best);
+    }
+
+    let (_, ci, cond) = best?;
+    match cond {
+        IndexCond::Eq(key) => table.index_lookup(ci, &key).map(<[usize]>::to_vec),
+        IndexCond::In(keys) => {
+            let mut out = Vec::new();
+            for key in &keys {
+                out.extend_from_slice(table.index_lookup(ci, key)?);
+            }
+            out.sort_unstable();
+            out.dedup();
+            Some(out)
+        }
+        IndexCond::Range(lo, hi) => table.range_lookup(ci, bound_ref(&lo), bound_ref(&hi)),
+    }
 }
 
 /// Group-key column indices, when every GROUP BY name resolves and the
@@ -530,9 +766,9 @@ fn resolve_output_column(columns: &[String], name: &str) -> Option<usize> {
     if let Some(i) = columns.iter().position(|c| c == name) {
         return Some(i);
     }
-    columns
-        .iter()
-        .position(|c| c.rsplit('.').next() == Some(name) || name.rsplit('.').next() == Some(c.as_str()))
+    columns.iter().position(|c| {
+        c.rsplit('.').next() == Some(name) || name.rsplit('.').next() == Some(c.as_str())
+    })
 }
 
 /// Which accumulated/joined columns implement a join clause.
@@ -799,7 +1035,8 @@ impl FastAgg {
                 Some(&gi) => gi,
                 None => {
                     let gi = self.keys.len();
-                    self.keys.push(self.key_idx.iter().map(|&i| row[i].clone()).collect());
+                    self.keys
+                        .push(self.key_idx.iter().map(|&i| row[i].clone()).collect());
                     self.key_bytes.push(key.clone());
                     self.group_of.insert(key, gi);
                     let fresh = self.fresh_accs();
@@ -896,7 +1133,11 @@ fn aggregate_project(
     let key_idx: Result<Vec<usize>, DbError> = sel
         .group_by
         .iter()
-        .map(|g| schema.index_of(g).ok_or_else(|| DbError::NoSuchColumn(g.clone())))
+        .map(|g| {
+            schema
+                .index_of(g)
+                .ok_or_else(|| DbError::NoSuchColumn(g.clone()))
+        })
         .collect();
     let key_idx = key_idx?;
 
@@ -912,8 +1153,11 @@ fn aggregate_project(
         groups.push(rows.iter().collect());
     } else {
         for r in rows {
-            let key: String =
-                key_idx.iter().map(|i| encode_value(&r[*i])).collect::<Vec<_>>().join("\u{1}");
+            let key: String = key_idx
+                .iter()
+                .map(|i| encode_value(&r[*i]))
+                .collect::<Vec<_>>()
+                .join("\u{1}");
             let gi = *group_of.entry(key).or_insert_with(|| {
                 groups.push(Vec::new());
                 groups.len() - 1
@@ -965,9 +1209,15 @@ fn substitute_aggregates(
                 }
                 SqlExpr::Lit(acc.finish().map_err(DbError::Type)?)
             } else {
-                let new_args: Result<Vec<SqlExpr>, DbError> =
-                    args.iter().map(|a| substitute_aggregates(a, schema, group)).collect();
-                SqlExpr::Func { name: name.clone(), args: new_args?, star: *star }
+                let new_args: Result<Vec<SqlExpr>, DbError> = args
+                    .iter()
+                    .map(|a| substitute_aggregates(a, schema, group))
+                    .collect();
+                SqlExpr::Func {
+                    name: name.clone(),
+                    args: new_args?,
+                    star: *star,
+                }
             }
         }
         SqlExpr::Unary(op, x) => {
@@ -978,7 +1228,11 @@ fn substitute_aggregates(
             Box::new(substitute_aggregates(l, schema, group)?),
             Box::new(substitute_aggregates(r, schema, group)?),
         ),
-        SqlExpr::InList { expr, list, negated } => SqlExpr::InList {
+        SqlExpr::InList {
+            expr,
+            list,
+            negated,
+        } => SqlExpr::InList {
             expr: Box::new(substitute_aggregates(expr, schema, group)?),
             list: list
                 .iter()
@@ -990,7 +1244,11 @@ fn substitute_aggregates(
             expr: Box::new(substitute_aggregates(expr, schema, group)?),
             negated: *negated,
         },
-        SqlExpr::Like { expr, pattern, negated } => SqlExpr::Like {
+        SqlExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => SqlExpr::Like {
             expr: Box::new(substitute_aggregates(expr, schema, group)?),
             pattern: pattern.clone(),
             negated: *negated,
@@ -1024,6 +1282,7 @@ pub(crate) fn encode_value(v: &Value) -> String {
         other => {
             let f = other.as_f64().unwrap_or(f64::NAN);
             let f = if f == 0.0 { 0.0 } else { f }; // normalize -0.0
+            let f = if f.is_nan() { f64::NAN } else { f }; // canonical NaN
             format!("n:{}", f.to_bits())
         }
     }
@@ -1046,6 +1305,7 @@ fn encode_value_bytes(v: &Value, out: &mut Vec<u8>) {
         other => {
             let f = other.as_f64().unwrap_or(f64::NAN);
             let f = if f == 0.0 { 0.0 } else { f }; // normalize -0.0
+            let f = if f.is_nan() { f64::NAN } else { f }; // canonical NaN
             out.push(1);
             out.extend_from_slice(&f.to_bits().to_le_bytes());
         }
@@ -1073,7 +1333,8 @@ mod tests {
 
     fn db() -> Engine {
         let e = Engine::new();
-        e.execute("CREATE TABLE t (id INTEGER, grp TEXT, v FLOAT)").unwrap();
+        e.execute("CREATE TABLE t (id INTEGER, grp TEXT, v FLOAT)")
+            .unwrap();
         e.execute(
             "INSERT INTO t VALUES (1,'a',10.0),(2,'a',20.0),(3,'b',30.0),(4,'b',50.0),(5,'c',NULL)",
         )
@@ -1085,12 +1346,17 @@ mod tests {
     fn star_projection() {
         let rs = db().query("SELECT * FROM t WHERE id = 3").unwrap();
         assert_eq!(rs.column_names(), &["id", "grp", "v"]);
-        assert_eq!(rs.rows()[0], vec![Value::Int(3), Value::Text("b".into()), Value::Float(30.0)]);
+        assert_eq!(
+            rs.rows()[0],
+            vec![Value::Int(3), Value::Text("b".into()), Value::Float(30.0)]
+        );
     }
 
     #[test]
     fn expression_projection_with_alias() {
-        let rs = db().query("SELECT v * 2 AS dbl, id FROM t WHERE id = 1").unwrap();
+        let rs = db()
+            .query("SELECT v * 2 AS dbl, id FROM t WHERE id = 1")
+            .unwrap();
         assert_eq!(rs.column_names(), &["dbl", "id"]);
         assert_eq!(rs.rows()[0][0], Value::Float(20.0));
     }
@@ -1101,8 +1367,14 @@ mod tests {
             .query("SELECT grp, avg(v) + 1 AS a1 FROM t GROUP BY grp ORDER BY grp")
             .unwrap();
         assert_eq!(rs.len(), 3);
-        assert_eq!(rs.rows()[0], vec![Value::Text("a".into()), Value::Float(16.0)]);
-        assert_eq!(rs.rows()[1], vec![Value::Text("b".into()), Value::Float(41.0)]);
+        assert_eq!(
+            rs.rows()[0],
+            vec![Value::Text("a".into()), Value::Float(16.0)]
+        );
+        assert_eq!(
+            rs.rows()[1],
+            vec![Value::Text("b".into()), Value::Float(41.0)]
+        );
         // group 'c' has only a NULL value -> avg NULL -> NULL + 1 = NULL
         assert_eq!(rs.rows()[2], vec![Value::Text("c".into()), Value::Null]);
     }
@@ -1123,7 +1395,9 @@ mod tests {
 
     #[test]
     fn distinct_dedupes() {
-        let rs = db().query("SELECT DISTINCT grp FROM t ORDER BY grp").unwrap();
+        let rs = db()
+            .query("SELECT DISTINCT grp FROM t ORDER BY grp")
+            .unwrap();
         assert_eq!(rs.len(), 3);
     }
 
@@ -1138,14 +1412,18 @@ mod tests {
 
     #[test]
     fn order_by_desc_and_limit() {
-        let rs = db().query("SELECT id FROM t ORDER BY id DESC LIMIT 2").unwrap();
+        let rs = db()
+            .query("SELECT id FROM t ORDER BY id DESC LIMIT 2")
+            .unwrap();
         assert_eq!(rs.rows()[0][0], Value::Int(5));
         assert_eq!(rs.rows()[1][0], Value::Int(4));
     }
 
     #[test]
     fn order_by_position() {
-        let rs = db().query("SELECT grp, v FROM t WHERE v IS NOT NULL ORDER BY 2 DESC LIMIT 1").unwrap();
+        let rs = db()
+            .query("SELECT grp, v FROM t WHERE v IS NOT NULL ORDER BY 2 DESC LIMIT 1")
+            .unwrap();
         assert_eq!(rs.rows()[0][1], Value::Float(50.0));
     }
 
@@ -1184,18 +1462,28 @@ mod tests {
     #[test]
     fn join_one_to_many() {
         let e = Engine::new();
-        e.execute("CREATE TABLE runs (id INTEGER, host TEXT)").unwrap();
-        e.execute("CREATE TABLE vals (run INTEGER, v FLOAT)").unwrap();
-        e.execute("INSERT INTO runs VALUES (1,'h1'),(2,'h2')").unwrap();
-        e.execute("INSERT INTO vals VALUES (1,1.0),(1,2.0),(2,3.0)").unwrap();
+        e.execute("CREATE TABLE runs (id INTEGER, host TEXT)")
+            .unwrap();
+        e.execute("CREATE TABLE vals (run INTEGER, v FLOAT)")
+            .unwrap();
+        e.execute("INSERT INTO runs VALUES (1,'h1'),(2,'h2')")
+            .unwrap();
+        e.execute("INSERT INTO vals VALUES (1,1.0),(1,2.0),(2,3.0)")
+            .unwrap();
         let rs = e
             .query(
                 "SELECT runs.host, sum(vals.v) FROM vals JOIN runs ON vals.run = runs.id \
                  GROUP BY runs.host ORDER BY runs.host",
             )
             .unwrap();
-        assert_eq!(rs.rows()[0], vec![Value::Text("h1".into()), Value::Float(3.0)]);
-        assert_eq!(rs.rows()[1], vec![Value::Text("h2".into()), Value::Float(3.0)]);
+        assert_eq!(
+            rs.rows()[0],
+            vec![Value::Text("h1".into()), Value::Float(3.0)]
+        );
+        assert_eq!(
+            rs.rows()[1],
+            vec![Value::Text("h2".into()), Value::Float(3.0)]
+        );
     }
 
     #[test]
@@ -1206,11 +1494,11 @@ mod tests {
         e.execute("CREATE TABLE small (k INTEGER)").unwrap();
         e.execute("CREATE TABLE big (k INTEGER, tag TEXT)").unwrap();
         e.execute("INSERT INTO small VALUES (2), (1)").unwrap();
-        e.execute(
-            "INSERT INTO big VALUES (1,'x1'),(2,'y1'),(1,'x2'),(3,'z'),(2,'y2'),(9,'w')",
-        )
-        .unwrap();
-        let rs = e.query("SELECT small.k, big.tag FROM small JOIN big ON small.k = big.k").unwrap();
+        e.execute("INSERT INTO big VALUES (1,'x1'),(2,'y1'),(1,'x2'),(3,'z'),(2,'y2'),(9,'w')")
+            .unwrap();
+        let rs = e
+            .query("SELECT small.k, big.tag FROM small JOIN big ON small.k = big.k")
+            .unwrap();
         let got: Vec<(i64, String)> = rs
             .rows()
             .iter()
@@ -1235,8 +1523,11 @@ mod tests {
     fn grouping_treats_int_float_equal() {
         let e = Engine::new();
         e.execute("CREATE TABLE m (k FLOAT, v INTEGER)").unwrap();
-        e.execute("INSERT INTO m VALUES (1.0, 10), (1, 20), (2, 5)").unwrap();
-        let rs = e.query("SELECT k, count(*) FROM m GROUP BY k ORDER BY k").unwrap();
+        e.execute("INSERT INTO m VALUES (1.0, 10), (1, 20), (2, 5)")
+            .unwrap();
+        let rs = e
+            .query("SELECT k, count(*) FROM m GROUP BY k ORDER BY k")
+            .unwrap();
         assert_eq!(rs.len(), 2);
         assert_eq!(rs.rows()[0][1], Value::Int(2));
     }
@@ -1297,10 +1588,14 @@ mod tests {
     #[test]
     fn index_lookup_on_aggregation() {
         let idx = indexed_db();
-        let rs = idx.query("SELECT count(*), max(v) FROM t WHERE id = 3").unwrap();
+        let rs = idx
+            .query("SELECT count(*), max(v) FROM t WHERE id = 3")
+            .unwrap();
         assert_eq!(rs.rows()[0], vec![Value::Int(1), Value::Float(30.0)]);
         // No match still yields the global group.
-        let rs = idx.query("SELECT count(*), max(v) FROM t WHERE id = 42").unwrap();
+        let rs = idx
+            .query("SELECT count(*), max(v) FROM t WHERE id = 42")
+            .unwrap();
         assert_eq!(rs.rows()[0], vec![Value::Int(0), Value::Null]);
     }
 
@@ -1325,17 +1620,24 @@ mod tests {
         // 1000 distinct values (1 row each). Both are indexed; the planner
         // must probe `id`, not the first conjunct's `flag`.
         let e = Engine::new();
-        e.execute("CREATE TABLE big (id INTEGER, flag INTEGER, v FLOAT)").unwrap();
+        e.execute("CREATE TABLE big (id INTEGER, flag INTEGER, v FLOAT)")
+            .unwrap();
         let mut rows = Vec::new();
         for i in 0..1000 {
-            rows.push(vec![Value::Int(i), Value::Int(i % 2), Value::Float(i as f64)]);
+            rows.push(vec![
+                Value::Int(i),
+                Value::Int(i % 2),
+                Value::Float(i as f64),
+            ]);
         }
         e.insert_rows("big", rows).unwrap();
         e.execute("CREATE INDEX ix_flag ON big (flag)").unwrap();
         e.execute("CREATE INDEX ix_id ON big (id)").unwrap();
 
         let plan = |q: &str| -> Option<Vec<usize>> {
-            let Stmt::Select(sel) = sql::parse_statement(q).unwrap() else { unreachable!() };
+            let Stmt::Select(sel) = sql::parse_statement(q).unwrap() else {
+                unreachable!()
+            };
             let t = e.table("big").unwrap();
             let guard = t.read();
             plan_point_lookup(sel.where_clause.as_ref(), &guard)
@@ -1343,7 +1645,11 @@ mod tests {
 
         // flag listed first, id second: still 1 candidate, not 500.
         let c = plan("SELECT v FROM big WHERE flag = 1 AND id = 7").unwrap();
-        assert_eq!(c, vec![7], "planner must pick the id index (1000 distinct keys)");
+        assert_eq!(
+            c,
+            vec![7],
+            "planner must pick the id index (1000 distinct keys)"
+        );
         // Either order.
         let c = plan("SELECT v FROM big WHERE id = 8 AND flag = 0").unwrap();
         assert_eq!(c, vec![8]);
@@ -1354,8 +1660,144 @@ mod tests {
         let c = plan("SELECT v FROM big WHERE flag = 1 AND id = 'nope'").unwrap();
         assert!(c.is_empty());
         // And the query results agree with a full scan either way.
-        let rs = e.query("SELECT v FROM big WHERE flag = 1 AND id = 7").unwrap();
+        let rs = e
+            .query("SELECT v FROM big WHERE flag = 1 AND id = 7")
+            .unwrap();
         assert_eq!(rs.rows(), &[vec![Value::Float(7.0)]]);
+    }
+
+    fn plan_on(e: &Engine, table: &str, q: &str) -> Option<Vec<usize>> {
+        use crate::sql::{self, Stmt};
+        let Stmt::Select(sel) = sql::parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let t = e.table(table).unwrap();
+        let guard = t.read();
+        plan_point_lookup(sel.where_clause.as_ref(), &guard)
+    }
+
+    fn range_db() -> Engine {
+        let e = Engine::new();
+        e.execute("CREATE TABLE r (id INTEGER, v FLOAT, tag TEXT)")
+            .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            rows.push(vec![
+                Value::Int(i),
+                Value::Float(i as f64 / 2.0),
+                Value::Text(format!("t{}", i % 10)),
+            ]);
+        }
+        e.insert_rows("r", rows).unwrap();
+        e.execute("CREATE ORDERED INDEX ix_id ON r (id)").unwrap();
+        e
+    }
+
+    #[test]
+    fn in_list_probes_index() {
+        let e = range_db();
+        let c = plan_on(&e, "r", "SELECT * FROM r WHERE id IN (3, 1, 99, 1, 200)").unwrap();
+        assert_eq!(
+            c,
+            vec![1, 3, 99],
+            "positions unioned, deduped, in row order"
+        );
+        // Unmatchable and NULL elements are dropped from the probe set.
+        let c = plan_on(&e, "r", "SELECT * FROM r WHERE id IN (5, 'x', NULL)").unwrap();
+        assert_eq!(c, vec![5]);
+        // An all-impossible IN falsifies the AND chain.
+        let c = plan_on(&e, "r", "SELECT * FROM r WHERE id IN ('x', NULL)").unwrap();
+        assert!(c.is_empty());
+        // NOT IN and non-literal elements take the scan path.
+        assert!(plan_on(&e, "r", "SELECT * FROM r WHERE id NOT IN (1, 2)").is_none());
+        assert!(plan_on(&e, "r", "SELECT * FROM r WHERE id IN (1, v)").is_none());
+        // Results agree with the scan either way.
+        let rs = e
+            .query("SELECT id FROM r WHERE id IN (3, 1, 99, 200) ORDER BY id")
+            .unwrap();
+        let reference = e
+            .query_reference("SELECT id FROM r WHERE id IN (3, 1, 99, 200) ORDER BY id")
+            .unwrap();
+        assert_eq!(rs, reference);
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn range_conjuncts_use_ordered_index() {
+        let e = range_db();
+        // Single-sided ranges.
+        assert_eq!(
+            plan_on(&e, "r", "SELECT * FROM r WHERE id < 3").unwrap(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            plan_on(&e, "r", "SELECT * FROM r WHERE id <= 2").unwrap(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            plan_on(&e, "r", "SELECT * FROM r WHERE id > 97").unwrap(),
+            vec![98, 99]
+        );
+        assert_eq!(
+            plan_on(&e, "r", "SELECT * FROM r WHERE id >= 98").unwrap(),
+            vec![98, 99]
+        );
+        // Literal-on-the-left flips the operator.
+        assert_eq!(
+            plan_on(&e, "r", "SELECT * FROM r WHERE 97 < id").unwrap(),
+            vec![98, 99]
+        );
+        // BETWEEN-shaped pair merges into one window.
+        assert_eq!(
+            plan_on(&e, "r", "SELECT * FROM r WHERE id >= 10 AND id < 13").unwrap(),
+            vec![10, 11, 12]
+        );
+        // Conflicting bounds collapse to empty without panicking.
+        assert_eq!(
+            plan_on(&e, "r", "SELECT * FROM r WHERE id > 50 AND id < 10").unwrap(),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            plan_on(&e, "r", "SELECT * FROM r WHERE id > 10 AND id < 10").unwrap(),
+            Vec::<usize>::new()
+        );
+        // A NULL bound falsifies the chain; a cross-type bound is left to
+        // the residual filter (constant over the column).
+        assert_eq!(
+            plan_on(&e, "r", "SELECT * FROM r WHERE id < NULL").unwrap(),
+            Vec::<usize>::new()
+        );
+        assert!(plan_on(&e, "r", "SELECT * FROM r WHERE id < 'x'").is_none());
+        // Fractional bounds work on integer columns (key space is f64).
+        assert_eq!(
+            plan_on(&e, "r", "SELECT * FROM r WHERE id < 2.5").unwrap(),
+            vec![0, 1, 2]
+        );
+        // A hash index never serves ranges.
+        let h = Engine::new();
+        h.execute("CREATE TABLE r (id INTEGER)").unwrap();
+        h.execute("INSERT INTO r VALUES (1), (2)").unwrap();
+        h.execute("CREATE INDEX ix ON r (id)").unwrap();
+        assert!(plan_on(&h, "r", "SELECT * FROM r WHERE id < 2").is_none());
+    }
+
+    #[test]
+    fn planner_prefers_cheapest_access_path() {
+        let e = range_db();
+        // Eq (1 row) beats the range (est rows/3) and the IN (3 rows).
+        let c = plan_on(
+            &e,
+            "r",
+            "SELECT * FROM r WHERE id IN (1,2,3) AND id = 2 AND id < 50",
+        )
+        .unwrap();
+        assert_eq!(c, vec![2]);
+        // IN with fewer estimated rows beats the range.
+        let c = plan_on(&e, "r", "SELECT * FROM r WHERE id IN (1, 2) AND id < 50").unwrap();
+        assert_eq!(c, vec![1, 2]);
+        // Range query agrees with the reference end to end.
+        let q = "SELECT id, v FROM r WHERE id >= 10 AND id < 20 AND v > 5.4 ORDER BY id";
+        assert_eq!(e.query(q).unwrap(), e.query_reference(q).unwrap());
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub fn eval(expr: &SqlExpr, ctx: &RowCtx<'_>) -> Result<Value, DbError> {
             let vals: Result<Vec<Value>, DbError> = args.iter().map(|a| eval(a, ctx)).collect();
             scalar_fn(name, &vals?)
         }
-        SqlExpr::InList { expr, list, negated } => {
+        SqlExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, ctx)?;
             if v.is_null() {
                 return Ok(Value::Bool(false));
@@ -79,7 +83,11 @@ pub fn eval(expr: &SqlExpr, ctx: &RowCtx<'_>) -> Result<Value, DbError> {
             let v = eval(expr, ctx)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
-        SqlExpr::Like { expr, pattern, negated } => {
+        SqlExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(expr, ctx)?;
             let matched = match &v {
                 Value::Text(s) => like_match(s, pattern),
@@ -121,7 +129,9 @@ fn binary(op: &str, l: &SqlExpr, r: &SqlExpr, ctx: &RowCtx<'_>) -> Result<Value,
 pub(crate) fn binary_values(op: &str, lv: Value, rv: Value) -> Result<Value, DbError> {
     match op {
         "=" => Ok(Value::Bool(lv.sql_eq(&rv))),
-        "<>" => Ok(Value::Bool(!lv.is_null() && !rv.is_null() && !lv.sql_eq(&rv))),
+        "<>" => Ok(Value::Bool(
+            !lv.is_null() && !rv.is_null() && !lv.sql_eq(&rv),
+        )),
         "<" | "<=" | ">" | ">=" => {
             if lv.is_null() || rv.is_null() {
                 return Ok(Value::Bool(false));
@@ -216,15 +226,23 @@ pub(crate) fn scalar_fn(name: &str, args: &[Value]) -> Result<Value, DbError> {
             .ok_or_else(|| DbError::Type(format!("{name}() expects a numeric argument")))
     };
     match name {
-        "abs" => Ok(one_num(args)?.map(|x| Value::Float(x.abs())).unwrap_or(Value::Null)),
+        "abs" => Ok(one_num(args)?
+            .map(|x| Value::Float(x.abs()))
+            .unwrap_or(Value::Null)),
         "sqrt" => match one_num(args)? {
             None => Ok(Value::Null),
             Some(x) if x < 0.0 => Err(DbError::Execution("sqrt of negative value".into())),
             Some(x) => Ok(Value::Float(x.sqrt())),
         },
-        "floor" => Ok(one_num(args)?.map(|x| Value::Float(x.floor())).unwrap_or(Value::Null)),
-        "ceil" => Ok(one_num(args)?.map(|x| Value::Float(x.ceil())).unwrap_or(Value::Null)),
-        "round" => Ok(one_num(args)?.map(|x| Value::Float(x.round())).unwrap_or(Value::Null)),
+        "floor" => Ok(one_num(args)?
+            .map(|x| Value::Float(x.floor()))
+            .unwrap_or(Value::Null)),
+        "ceil" => Ok(one_num(args)?
+            .map(|x| Value::Float(x.ceil()))
+            .unwrap_or(Value::Null)),
+        "round" => Ok(one_num(args)?
+            .map(|x| Value::Float(x.round()))
+            .unwrap_or(Value::Null)),
         "upper" | "lower" => {
             if args.len() != 1 {
                 return Err(DbError::Type(format!("{name}() expects one argument")));
@@ -250,30 +268,105 @@ pub(crate) fn scalar_fn(name: &str, args: &[Value]) -> Result<Value, DbError> {
                 v => Ok(Value::Int(v.to_string().chars().count() as i64)),
             }
         }
-        "coalesce" => Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null)),
+        "coalesce" => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
         other => Err(DbError::Execution(format!("unknown function '{other}'"))),
     }
 }
 
-/// SQL LIKE with `%` (any run) and `_` (any single char).
-pub fn like_match(s: &str, pattern: &str) -> bool {
-    fn rec(s: &[char], p: &[char]) -> bool {
-        match p.first() {
-            None => s.is_empty(),
-            Some('%') => {
-                // Match zero or more characters.
-                if rec(s, &p[1..]) {
-                    return true;
+/// One element of a parsed LIKE pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LikeTok {
+    /// `%` — any run of characters (consecutive `%` collapse to one).
+    Percent,
+    /// `_` — exactly one character.
+    Any,
+    /// A literal character (possibly produced by an escape).
+    Lit(char),
+}
+
+/// A parsed LIKE pattern: `%` matches any run, `_` any single character,
+/// and a backslash escapes the next character (`\%`, `\_`, `\\`) so
+/// filenames containing `%` or `_` stay filterable. Parsed once per
+/// statement by the compiled evaluator; matching uses the two-pointer
+/// greedy wildcard algorithm — worst case O(|s|·|pattern|), never the
+/// exponential backtracking of the naive recursion.
+#[derive(Debug, Clone)]
+pub(crate) struct LikePattern {
+    toks: Vec<LikeTok>,
+}
+
+impl LikePattern {
+    /// Parse `pattern` (infallible: a trailing lone `\` is a literal).
+    pub(crate) fn parse(pattern: &str) -> LikePattern {
+        let mut toks = Vec::new();
+        let mut chars = pattern.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '%' => {
+                    if toks.last() != Some(&LikeTok::Percent) {
+                        toks.push(LikeTok::Percent);
+                    }
                 }
-                (1..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+                '_' => toks.push(LikeTok::Any),
+                '\\' => toks.push(LikeTok::Lit(chars.next().unwrap_or('\\'))),
+                c => toks.push(LikeTok::Lit(c)),
             }
-            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
-            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
         }
+        LikePattern { toks }
     }
-    let sc: Vec<char> = s.chars().collect();
-    let pc: Vec<char> = pattern.chars().collect();
-    rec(&sc, &pc)
+
+    /// Does `s` match the pattern?
+    pub(crate) fn matches(&self, s: &str) -> bool {
+        let sc: Vec<char> = s.chars().collect();
+        // Greedy two-pointer scan: on a mismatch, fall back to the most
+        // recent `%` and let it absorb one more character. Each fallback
+        // only ever moves the `%` anchor forward, so the scan is bounded
+        // by |s|·|toks| instead of exploring every split recursively.
+        let (mut si, mut pi) = (0usize, 0usize);
+        let mut anchor: Option<(usize, usize)> = None; // (% token, chars absorbed)
+        while si < sc.len() {
+            if pi < self.toks.len() {
+                match self.toks[pi] {
+                    LikeTok::Percent => {
+                        anchor = Some((pi, si));
+                        pi += 1;
+                        continue;
+                    }
+                    LikeTok::Any => {
+                        si += 1;
+                        pi += 1;
+                        continue;
+                    }
+                    LikeTok::Lit(c) if sc[si] == c => {
+                        si += 1;
+                        pi += 1;
+                        continue;
+                    }
+                    LikeTok::Lit(_) => {}
+                }
+            }
+            match anchor {
+                Some((api, asi)) => {
+                    anchor = Some((api, asi + 1));
+                    si = asi + 1;
+                    pi = api + 1;
+                }
+                None => return false,
+            }
+        }
+        // Only trailing `%` may remain unconsumed.
+        self.toks[pi..].iter().all(|t| *t == LikeTok::Percent)
+    }
+}
+
+/// SQL LIKE with `%` (any run), `_` (any single char) and `\` escapes.
+/// One-shot convenience wrapper; hot paths precompile via [`LikePattern`].
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    LikePattern::parse(pattern).matches(s)
 }
 
 #[cfg(test)]
@@ -301,11 +394,23 @@ mod tests {
             other => panic!("{other:?}"),
         };
         let schema = ctx_schema();
-        eval(&e, &RowCtx { schema: &schema, row }).unwrap()
+        eval(
+            &e,
+            &RowCtx {
+                schema: &schema,
+                row,
+            },
+        )
+        .unwrap()
     }
 
     fn row() -> Vec<Value> {
-        vec![Value::Int(4), Value::Float(2.5), Value::Text("ufs".into()), Value::Null]
+        vec![
+            Value::Int(4),
+            Value::Float(2.5),
+            Value::Text("ufs".into()),
+            Value::Null,
+        ]
     }
 
     #[test]
@@ -369,6 +474,51 @@ mod tests {
         assert!(!like_match("abc", "a%d"));
         assert!(like_match("a%b", "a%b")); // '%' in text matches via wildcard
         assert!(like_match("bio_T10_N4", "bio%N_"));
+        // Runs of '%' collapse; '%' also matches across the whole string.
+        assert!(like_match("abc", "%%"));
+        assert!(like_match("abc", "a%%c"));
+        assert!(!like_match("abc", "%%d"));
+        // Greedy fallback must not overshoot: last 'a' before the suffix.
+        assert!(like_match("aXaYaZ", "%a_"));
+        assert!(!like_match("aXaYaZb", "%a_"));
+    }
+
+    #[test]
+    fn like_escapes_match_literal_wildcards() {
+        // `\%` and `\_` match the literal character, not the wildcard.
+        assert!(like_match("100%", "100\\%"));
+        assert!(!like_match("100x", "100\\%"));
+        assert!(like_match("a_b", "a\\_b"));
+        assert!(!like_match("axb", "a\\_b"));
+        // `\\` matches a literal backslash.
+        assert!(like_match("a\\b", "a\\\\b"));
+        // Escaped literal of an ordinary char is just that char.
+        assert!(like_match("abc", "a\\bc"));
+        // A trailing lone backslash matches a literal backslash.
+        assert!(like_match("a\\", "a\\"));
+        // Escapes compose with real wildcards.
+        assert!(like_match("rate_50%_new", "rate\\_%\\%\\_new"));
+        assert!(!like_match("rate-50%-new", "rate\\_%\\%\\_new"));
+    }
+
+    /// The old recursive matcher exploded exponentially on stacked `%a`
+    /// groups over a non-matching string. The two-pointer rewrite is
+    /// O(|s|·|pattern|); this input must finish orders of magnitude under
+    /// the 100ms acceptance bound (the old code took minutes).
+    #[test]
+    fn like_pathological_pattern_is_fast() {
+        let s = "a".repeat(2000);
+        let pattern = format!("{}b", "%a".repeat(30));
+        let start = std::time::Instant::now();
+        assert!(!like_match(&s, &pattern));
+        // Matching variant of the same shape, same budget.
+        let s_match = format!("{}b", "a".repeat(2000));
+        assert!(like_match(&s_match, &pattern));
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(100),
+            "pathological LIKE took {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]
@@ -377,7 +527,13 @@ mod tests {
         let e = SqlExpr::Col("zzz".into());
         let r = row();
         assert!(matches!(
-            eval(&e, &RowCtx { schema: &schema, row: &r }),
+            eval(
+                &e,
+                &RowCtx {
+                    schema: &schema,
+                    row: &r
+                }
+            ),
             Err(DbError::NoSuchColumn(_))
         ));
     }
@@ -385,9 +541,20 @@ mod tests {
     #[test]
     fn aggregate_rejected_in_row_context() {
         let schema = ctx_schema();
-        let e = SqlExpr::Func { name: "avg".into(), args: vec![SqlExpr::Col("a".into())], star: false };
+        let e = SqlExpr::Func {
+            name: "avg".into(),
+            args: vec![SqlExpr::Col("a".into())],
+            star: false,
+        };
         let r = row();
-        assert!(eval(&e, &RowCtx { schema: &schema, row: &r }).is_err());
+        assert!(eval(
+            &e,
+            &RowCtx {
+                schema: &schema,
+                row: &r
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -399,6 +566,13 @@ mod tests {
             other => panic!("{other:?}"),
         };
         let r = row();
-        assert!(eval(&w, &RowCtx { schema: &schema, row: &r }).is_err());
+        assert!(eval(
+            &w,
+            &RowCtx {
+                schema: &schema,
+                row: &r
+            }
+        )
+        .is_err());
     }
 }

@@ -18,13 +18,14 @@
 //!   because that beats row-at-a-time processing in the frontend language —
 //!   the claim benchmarked by the `microbench` binary in the bench crate.
 //! * Point lookups on run/hash columns dominate the import and query paths —
-//!   so tables support **secondary hash indexes** (`CREATE INDEX`), SELECTs
-//!   compile their expressions once per statement, and equi-joins hash the
-//!   smaller side (see DESIGN.md "Query execution pipeline").
+//!   so tables support **secondary hash indexes** (`CREATE INDEX`) and
+//!   **ordered indexes** (`CREATE ORDERED INDEX`) that additionally serve
+//!   `IN (...)` lists and range conjuncts, SELECTs compile their
+//!   expressions once per statement, and equi-joins hash the smaller side
+//!   (see DESIGN.md "Query execution pipeline").
 //!
-//! Not implemented (not needed by perfbase): transactions, B-tree/range
-//! indexes, NULL-aware three-valued logic (NULL comparisons are false),
-//! and subqueries.
+//! Not implemented (not needed by perfbase): transactions, NULL-aware
+//! three-valued logic (NULL comparisons are false), and subqueries.
 //!
 //! # Example
 //!
@@ -55,10 +56,10 @@ pub mod wal;
 
 pub use engine::{Engine, ResultSet};
 pub use error::DbError;
-pub use wal::{IoFailpoint, RecoveryReport, SyncPolicy, Wal, WalOptions};
 pub use schema::{Column, Schema};
 pub use table::Table;
 pub use value::{format_timestamp, parse_timestamp, DataType, Value, ValueKey};
+pub use wal::{IoFailpoint, RecoveryReport, SyncPolicy, Wal, WalOptions};
 
 #[cfg(test)]
 mod tests {
@@ -66,10 +67,8 @@ mod tests {
 
     fn sample_db() -> Engine {
         let db = Engine::new();
-        db.execute(
-            "CREATE TABLE bw (run INTEGER, fs TEXT, chunk INTEGER, mode TEXT, mbps FLOAT)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE bw (run INTEGER, fs TEXT, chunk INTEGER, mode TEXT, mbps FLOAT)")
+            .unwrap();
         db.execute(
             "INSERT INTO bw VALUES \
              (1, 'ufs', 1024, 'write', 59.0), \
@@ -103,19 +102,29 @@ mod tests {
         assert_eq!(rs.len(), 2);
         assert_eq!(
             rs.rows()[0],
-            vec![Value::Text("nfs".into()), Value::Float(120.9), Value::Int(3)]
+            vec![
+                Value::Text("nfs".into()),
+                Value::Float(120.9),
+                Value::Int(3)
+            ]
         );
         assert_eq!(
             rs.rows()[1],
-            vec![Value::Text("ufs".into()), Value::Float(516.5), Value::Int(3)]
+            vec![
+                Value::Text("ufs".into()),
+                Value::Float(516.5),
+                Value::Int(3)
+            ]
         );
     }
 
     #[test]
     fn end_to_end_join() {
         let db = sample_db();
-        db.execute("CREATE TABLE meta (run INTEGER, host TEXT)").unwrap();
-        db.execute("INSERT INTO meta VALUES (1, 'grisu0'), (2, 'grisu1')").unwrap();
+        db.execute("CREATE TABLE meta (run INTEGER, host TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO meta VALUES (1, 'grisu0'), (2, 'grisu1')")
+            .unwrap();
         let rs = db
             .query(
                 "SELECT meta.host, bw.mbps FROM bw JOIN meta ON bw.run = meta.run \
@@ -129,7 +138,9 @@ mod tests {
     #[test]
     fn end_to_end_update_delete() {
         let db = sample_db();
-        let n = db.execute("UPDATE bw SET mbps = 0.0 WHERE fs = 'nfs'").unwrap();
+        let n = db
+            .execute("UPDATE bw SET mbps = 0.0 WHERE fs = 'nfs'")
+            .unwrap();
         assert_eq!(n, 3);
         let n = db.execute("DELETE FROM bw WHERE mbps = 0.0").unwrap();
         assert_eq!(n, 3);

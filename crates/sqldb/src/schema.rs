@@ -18,12 +18,20 @@ pub struct Column {
 impl Column {
     /// Nullable column shorthand.
     pub fn new(name: &str, dtype: DataType) -> Self {
-        Column { name: name.to_string(), dtype, nullable: true }
+        Column {
+            name: name.to_string(),
+            dtype,
+            nullable: true,
+        }
     }
 
     /// NOT NULL column shorthand.
     pub fn not_null(name: &str, dtype: DataType) -> Self {
-        Column { name: name.to_string(), dtype, nullable: false }
+        Column {
+            name: name.to_string(),
+            dtype,
+            nullable: false,
+        }
     }
 }
 
@@ -62,7 +70,9 @@ impl Schema {
         if let Some(i) = self.columns.iter().position(|c| c.name == bare) {
             return Some(i);
         }
-        self.columns.iter().position(|c| c.name.rsplit('.').next() == Some(bare))
+        self.columns
+            .iter()
+            .position(|c| c.name.rsplit('.').next() == Some(bare))
     }
 
     /// Column by name.

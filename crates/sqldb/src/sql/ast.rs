@@ -51,8 +51,10 @@ pub enum Stmt {
         /// Row filter.
         where_clause: Option<SqlExpr>,
     },
-    /// `CREATE INDEX [IF NOT EXISTS] name ON table (column)` — a secondary
-    /// hash index for `WHERE column = <const>` point lookups.
+    /// `CREATE [ORDERED] INDEX [IF NOT EXISTS] name ON table (column)` — a
+    /// secondary index for `WHERE column = <const>` point lookups; the
+    /// ORDERED variant additionally serves `IN (...)` probes cheaply and
+    /// range conjuncts (`<`, `<=`, `>`, `>=`, BETWEEN-shaped pairs).
     CreateIndex {
         /// Index name.
         name: String,
@@ -62,6 +64,8 @@ pub enum Stmt {
         column: String,
         /// Swallow the "already exists" error.
         if_not_exists: bool,
+        /// Sorted (range-capable) index variant.
+        ordered: bool,
     },
 }
 
@@ -229,15 +233,32 @@ impl fmt::Display for SqlExpr {
                     write!(f, "{name}({})", parts.join(", "))
                 }
             }
-            SqlExpr::InList { expr, list, negated } => {
+            SqlExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let parts: Vec<String> = list.iter().map(|a| a.to_string()).collect();
-                write!(f, "{expr} {}IN ({})", if *negated { "NOT " } else { "" }, parts.join(", "))
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    parts.join(", ")
+                )
             }
             SqlExpr::IsNull { expr, negated } => {
                 write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
             }
-            SqlExpr::Like { expr, pattern, negated } => {
-                write!(f, "{expr} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+            SqlExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}LIKE '{pattern}'",
+                    if *negated { "NOT " } else { "" }
+                )
             }
         }
     }
@@ -255,11 +276,7 @@ mod tests {
             star: false,
         };
         assert_eq!(e.to_string(), "avg(bw)");
-        let b = SqlExpr::Binary(
-            "*",
-            Box::new(e),
-            Box::new(SqlExpr::Lit(Value::Int(2))),
-        );
+        let b = SqlExpr::Binary("*", Box::new(e), Box::new(SqlExpr::Lit(Value::Int(2))));
         assert_eq!(b.to_string(), "(avg(bw) * 2)");
     }
 

@@ -161,9 +161,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, DbError> {
                     '*' => "*",
                     '/' => "/",
                     '%' => "%",
-                    other => {
-                        return Err(DbError::Parse(format!("unexpected character '{other}'")))
-                    }
+                    other => return Err(DbError::Parse(format!("unexpected character '{other}'"))),
                 };
                 toks.push(Token::Sym(s));
                 i += 1;

@@ -8,8 +8,6 @@ mod ast;
 mod lexer;
 mod parser;
 
-pub use ast::{
-    ColumnDef, JoinClause, OrderKey, SelectItem, SelectStmt, SqlExpr, Stmt, UnOp,
-};
+pub use ast::{ColumnDef, JoinClause, OrderKey, SelectItem, SelectStmt, SqlExpr, Stmt, UnOp};
 pub use lexer::{tokenize, Token};
 pub use parser::{is_reserved, parse_script, parse_statement};

@@ -99,7 +99,10 @@ impl P {
     fn statement(&mut self) -> Result<Stmt, DbError> {
         if self.eat_kw("CREATE") {
             if self.eat_kw("INDEX") {
-                self.create_index()
+                self.create_index(false)
+            } else if self.eat_kw("ORDERED") {
+                self.expect_kw("INDEX")?;
+                self.create_index(true)
             } else {
                 self.create_table()
             }
@@ -147,16 +150,25 @@ impl P {
             } else if self.eat_kw("NULL") {
                 // explicit nullable
             }
-            columns.push(ColumnDef { name: col, dtype, nullable });
+            columns.push(ColumnDef {
+                name: col,
+                dtype,
+                nullable,
+            });
             if !self.eat_sym(",") {
                 break;
             }
         }
         self.expect_sym(")")?;
-        Ok(Stmt::CreateTable { name, temp, if_not_exists, columns })
+        Ok(Stmt::CreateTable {
+            name,
+            temp,
+            if_not_exists,
+            columns,
+        })
     }
 
-    fn create_index(&mut self) -> Result<Stmt, DbError> {
+    fn create_index(&mut self, ordered: bool) -> Result<Stmt, DbError> {
         let if_not_exists = if self.eat_kw("IF") {
             self.expect_kw("NOT")?;
             self.expect_kw("EXISTS")?;
@@ -170,7 +182,13 @@ impl P {
         self.expect_sym("(")?;
         let column = self.ident()?;
         self.expect_sym(")")?;
-        Ok(Stmt::CreateIndex { name, table, column, if_not_exists })
+        Ok(Stmt::CreateIndex {
+            name,
+            table,
+            column,
+            if_not_exists,
+            ordered,
+        })
     }
 
     fn drop_table(&mut self) -> Result<Stmt, DbError> {
@@ -218,7 +236,11 @@ impl P {
                 break;
             }
         }
-        Ok(Stmt::Insert { table, columns, rows })
+        Ok(Stmt::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn update(&mut self) -> Result<Stmt, DbError> {
@@ -234,15 +256,30 @@ impl P {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Stmt::Update { table, sets, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update {
+            table,
+            sets,
+            where_clause,
+        })
     }
 
     fn delete(&mut self) -> Result<Stmt, DbError> {
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Stmt::Delete { table, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Delete {
+            table,
+            where_clause,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStmt, DbError> {
@@ -284,11 +321,19 @@ impl P {
                 let left_col = self.ident()?;
                 self.expect_sym("=")?;
                 let right_col = self.ident()?;
-                joins.push(JoinClause { table, left_col, right_col });
+                joins.push(JoinClause {
+                    table,
+                    left_col,
+                    right_col,
+                });
             }
         }
 
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
@@ -327,7 +372,11 @@ impl P {
                     self.eat_kw("ASC");
                     false
                 };
-                order_by.push(OrderKey { column, position, desc });
+                order_by.push(OrderKey {
+                    column,
+                    position,
+                    desc,
+                });
                 if !self.eat_sym(",") {
                     break;
                 }
@@ -347,7 +396,16 @@ impl P {
             None
         };
 
-        Ok(SelectStmt { distinct, items, from, joins, where_clause, group_by, order_by, limit })
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     // Expression grammar: or > and > not > cmp > add > mul > unary > primary
@@ -388,7 +446,10 @@ impl P {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(SqlExpr::IsNull { expr: Box::new(lhs), negated });
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
         }
         // [NOT] IN / [NOT] LIKE
         let negated = self.eat_kw("NOT");
@@ -402,7 +463,11 @@ impl P {
                 }
             }
             self.expect_sym(")")?;
-            return Ok(SqlExpr::InList { expr: Box::new(lhs), list, negated });
+            return Ok(SqlExpr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("LIKE") {
             let pattern = match self.peek() {
@@ -410,15 +475,25 @@ impl P {
                 _ => return Err(self.err("LIKE expects a string literal")),
             };
             self.pos += 1;
-            return Ok(SqlExpr::Like { expr: Box::new(lhs), pattern, negated });
+            return Ok(SqlExpr::Like {
+                expr: Box::new(lhs),
+                pattern,
+                negated,
+            });
         }
         if negated {
             return Err(self.err("expected IN or LIKE after NOT"));
         }
 
-        for (sym, op) in
-            [("=", "="), ("<>", "<>"), ("!=", "<>"), ("<=", "<="), (">=", ">="), ("<", "<"), (">", ">")]
-        {
+        for (sym, op) in [
+            ("=", "="),
+            ("<>", "<>"),
+            ("!=", "<>"),
+            ("<=", "<="),
+            (">=", ">="),
+            ("<", "<"),
+            (">", ">"),
+        ] {
             if self.eat_sym(sym) {
                 let rhs = self.add_expr()?;
                 return Ok(SqlExpr::Binary(op, Box::new(lhs), Box::new(rhs)));
@@ -526,7 +601,11 @@ impl P {
                         }
                         self.expect_sym(")")?;
                     }
-                    Ok(SqlExpr::Func { name, args, star: false })
+                    Ok(SqlExpr::Func {
+                        name,
+                        args,
+                        star: false,
+                    })
                 } else {
                     Ok(SqlExpr::Col(w))
                 }
@@ -551,10 +630,42 @@ impl SqlExpr {
 /// (perfbase variable names become column names) can refuse collisions.
 pub fn is_reserved(w: &str) -> bool {
     const KW: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AND", "OR", "NOT", "IN",
-        "IS", "NULL", "LIKE", "AS", "JOIN", "INNER", "ON", "CREATE", "DROP", "TABLE", "INSERT",
-        "INTO", "VALUES", "UPDATE", "SET", "DELETE", "DISTINCT", "TEMP", "TEMPORARY", "IF",
-        "EXISTS", "ASC", "DESC", "TRUE", "FALSE",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "ORDER",
+        "LIMIT",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "LIKE",
+        "AS",
+        "JOIN",
+        "INNER",
+        "ON",
+        "CREATE",
+        "DROP",
+        "TABLE",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "UPDATE",
+        "SET",
+        "DELETE",
+        "DISTINCT",
+        "TEMP",
+        "TEMPORARY",
+        "IF",
+        "EXISTS",
+        "ASC",
+        "DESC",
+        "TRUE",
+        "FALSE",
     ];
     KW.iter().any(|k| w.eq_ignore_ascii_case(k))
 }
@@ -570,7 +681,12 @@ mod tests {
         )
         .unwrap();
         match s {
-            Stmt::CreateTable { name, temp, if_not_exists, columns } => {
+            Stmt::CreateTable {
+                name,
+                temp,
+                if_not_exists,
+                columns,
+            } => {
                 assert_eq!(name, "t");
                 assert!(temp);
                 assert!(if_not_exists);
@@ -586,11 +702,18 @@ mod tests {
     fn create_index_forms() {
         let s = parse_statement("CREATE INDEX IF NOT EXISTS ix_run ON pb_runs (run_id)").unwrap();
         match s {
-            Stmt::CreateIndex { name, table, column, if_not_exists } => {
+            Stmt::CreateIndex {
+                name,
+                table,
+                column,
+                if_not_exists,
+                ordered,
+            } => {
                 assert_eq!(name, "ix_run");
                 assert_eq!(table, "pb_runs");
                 assert_eq!(column, "run_id");
                 assert!(if_not_exists);
+                assert!(!ordered);
             }
             other => panic!("{other:?}"),
         }
@@ -599,10 +722,39 @@ mod tests {
     }
 
     #[test]
+    fn create_ordered_index_forms() {
+        let s = parse_statement("CREATE ORDERED INDEX IF NOT EXISTS ix_bw ON runs (bw)").unwrap();
+        match s {
+            Stmt::CreateIndex {
+                name,
+                table,
+                column,
+                if_not_exists,
+                ordered,
+            } => {
+                assert_eq!(name, "ix_bw");
+                assert_eq!(table, "runs");
+                assert_eq!(column, "bw");
+                assert!(if_not_exists);
+                assert!(ordered);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("CREATE ORDERED TABLE t (a INTEGER)").is_err());
+        // ORDERED is not reserved: it stays usable as an identifier.
+        parse_statement("SELECT ordered FROM t WHERE ordered = 1").unwrap();
+        parse_statement("CREATE TABLE ordered (a INTEGER)").unwrap();
+    }
+
+    #[test]
     fn insert_multi_row() {
         let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match s {
-            Stmt::Insert { table, columns, rows } => {
+            Stmt::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(columns.unwrap(), vec!["a", "b"]);
                 assert_eq!(rows.len(), 2);
@@ -641,7 +793,10 @@ mod tests {
         let s = parse_statement("SELECT count(*) FROM t").unwrap();
         match s {
             Stmt::Select(sel) => match &sel.items[0] {
-                SelectItem::Expr { expr: SqlExpr::Func { name, star, .. }, .. } => {
+                SelectItem::Expr {
+                    expr: SqlExpr::Func { name, star, .. },
+                    ..
+                } => {
                     assert_eq!(name, "count");
                     assert!(*star);
                 }

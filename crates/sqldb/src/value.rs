@@ -155,16 +155,21 @@ impl Value {
             DataType::Timestamp => match &self {
                 Value::Timestamp(_) => Ok(self),
                 Value::Int(i) => Ok(Value::Timestamp(*i)),
-                Value::Text(s) => {
-                    parse_timestamp(s).map(Value::Timestamp).ok_or(()).or_else(|_| err(&self))
-                }
+                Value::Text(s) => parse_timestamp(s)
+                    .map(Value::Timestamp)
+                    .ok_or(())
+                    .or_else(|_| err(&self)),
                 _ => err(&self),
             },
         }
     }
 
-    /// Total ordering used by ORDER BY and GROUP BY: NULL sorts first,
-    /// numbers compare numerically across Int/Float, text lexicographically.
+    /// Total ordering used by ORDER BY, GROUP BY and the ordered index:
+    /// NULL sorts first, numbers compare numerically across Int/Float, text
+    /// lexicographically. NaN compares equal to itself and greater than
+    /// every other number (IEEE-total-order style, NaN last) — the fallback
+    /// must not collapse to `Equal`, which would make the comparator
+    /// non-transitive (NaN==1, NaN==2, 1<2) and corrupt sorts.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         use Value::*;
         match (self, other) {
@@ -174,7 +179,12 @@ impl Value {
             (Text(a), Text(b)) => a.cmp(b),
             (Bool(a), Bool(b)) => a.cmp(b),
             (a, b) => match (a.as_f64(), b.as_f64()) {
-                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                (Some(x), Some(y)) => match x.partial_cmp(&y) {
+                    Some(o) => o,
+                    // partial_cmp is None iff at least one side is NaN:
+                    // the NaN side sorts last, two NaNs are equal.
+                    None => x.is_nan().cmp(&y.is_nan()),
+                },
                 // Heterogeneous non-numeric: order by type discriminant.
                 _ => type_rank(a).cmp(&type_rank(b)),
             },
@@ -223,6 +233,9 @@ impl ValueKey {
             other => {
                 let f = other.as_f64().unwrap_or(f64::NAN);
                 let f = if f == 0.0 { 0.0 } else { f }; // normalize -0.0
+                                                        // Collapse every NaN payload onto the canonical quiet NaN so
+                                                        // all NaNs land in one equivalence class (and one index key).
+                let f = if f.is_nan() { f64::NAN } else { f };
                 ValueKey::Num(f.to_bits())
             }
         }
@@ -231,6 +244,50 @@ impl ValueKey {
     /// Is this the NULL key?
     pub fn is_null(&self) -> bool {
         matches!(self, ValueKey::Null)
+    }
+}
+
+/// Map an f64 bit pattern (as stored in [`ValueKey::Num`]) to a u64 whose
+/// unsigned order equals the engine's numeric order: negatives ascend,
+/// positives ascend above them, NaN sorts above everything — exactly
+/// matching [`Value::total_cmp`]'s NaN-last rule so ordered-index range
+/// scans and the filter evaluator agree on every comparison.
+fn num_order_key(bits: u64) -> u64 {
+    let f = f64::from_bits(bits);
+    if f.is_nan() {
+        u64::MAX
+    } else if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Total order over keys, used by the ordered (BTreeMap) index variant.
+/// Within one typed column only a single class ever occurs (plus Null), so
+/// the cross-class ordering just needs to be *some* stable total order;
+/// Null sorts first to mirror [`Value::total_cmp`].
+impl Ord for ValueKey {
+    fn cmp(&self, other: &ValueKey) -> Ordering {
+        use ValueKey::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Num(a), Num(b)) => num_order_key(*a).cmp(&num_order_key(*b)),
+            (Num(_), _) => Ordering::Less,
+            (_, Num(_)) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Bool(_), _) => Ordering::Less,
+            (_, Bool(_)) => Ordering::Greater,
+            (Text(a), Text(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl PartialOrd for ValueKey {
+    fn partial_cmp(&self, other: &ValueKey) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -329,7 +386,10 @@ pub fn parse_timestamp(s: &str) -> Option<i64> {
             Some(x) => x.parse().ok()?,
             None => 0,
         };
-        if tp.next().is_some() || !(0..24).contains(&h) || !(0..60).contains(&mi) || !(0..60).contains(&se)
+        if tp.next().is_some()
+            || !(0..24).contains(&h)
+            || !(0..60).contains(&mi)
+            || !(0..60).contains(&se)
         {
             return None;
         }
@@ -357,8 +417,13 @@ mod tests {
 
     #[test]
     fn type_names_roundtrip() {
-        for t in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool, DataType::Timestamp]
-        {
+        for t in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bool,
+            DataType::Timestamp,
+        ] {
             assert_eq!(DataType::from_sql_name(t.sql_name()), Some(t));
         }
         assert_eq!(DataType::from_sql_name("varchar"), Some(DataType::Text));
@@ -367,8 +432,14 @@ mod tests {
 
     #[test]
     fn coercions() {
-        assert_eq!(Value::Int(3).coerce(DataType::Float).unwrap(), Value::Float(3.0));
-        assert_eq!(Value::Float(3.0).coerce(DataType::Int).unwrap(), Value::Int(3));
+        assert_eq!(
+            Value::Int(3).coerce(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            Value::Float(3.0).coerce(DataType::Int).unwrap(),
+            Value::Int(3)
+        );
         assert!(Value::Float(3.5).coerce(DataType::Int).is_err());
         assert_eq!(
             Value::Text(" 42 ".into()).coerce(DataType::Int).unwrap(),
@@ -378,7 +449,10 @@ mod tests {
             Value::Text("yes".into()).coerce(DataType::Bool).unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(Value::Int(7).coerce(DataType::Text).unwrap(), Value::Text("7".into()));
+        assert_eq!(
+            Value::Int(7).coerce(DataType::Text).unwrap(),
+            Value::Text("7".into())
+        );
         assert!(Value::Text("abc".into()).coerce(DataType::Float).is_err());
         assert_eq!(Value::Null.coerce(DataType::Int).unwrap(), Value::Null);
     }
@@ -389,7 +463,66 @@ mod tests {
         assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Less);
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Equal);
         assert_eq!(Value::Int(3).total_cmp(&Value::Float(2.5)), Greater);
-        assert_eq!(Value::Text("a".into()).total_cmp(&Value::Text("b".into())), Less);
+        assert_eq!(
+            Value::Text("a".into()).total_cmp(&Value::Text("b".into())),
+            Less
+        );
+    }
+
+    #[test]
+    fn nan_ordering_is_transitive_and_deterministic() {
+        use std::cmp::Ordering::*;
+        let nan = Value::Float(f64::NAN);
+        // NaN sorts last: greater than every number, equal to itself.
+        assert_eq!(nan.total_cmp(&Value::Int(1)), Greater);
+        assert_eq!(Value::Int(1).total_cmp(&nan), Less);
+        assert_eq!(nan.total_cmp(&Value::Float(f64::INFINITY)), Greater);
+        assert_eq!(nan.total_cmp(&Value::Float(f64::NAN)), Equal);
+        // The comparator is a strict weak order over a NaN-containing set:
+        // sorting must not panic and must be stable across input orders.
+        let mut a = vec![
+            Value::Float(2.0),
+            Value::Float(f64::NAN),
+            Value::Int(1),
+            Value::Null,
+            Value::Float(-1.5),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        a.sort_by(|x, y| x.total_cmp(y));
+        b.sort_by(|x, y| x.total_cmp(y));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.total_cmp(y), Equal);
+        }
+        assert!(a[0].is_null());
+        assert!(matches!(a[4], Value::Float(f) if f.is_nan()));
+    }
+
+    #[test]
+    fn value_key_total_order_matches_numeric_order() {
+        let keys: Vec<ValueKey> = [
+            f64::NEG_INFINITY,
+            -3.5,
+            -0.0,
+            0.0,
+            1.0,
+            2.5,
+            f64::INFINITY,
+            f64::NAN,
+        ]
+        .iter()
+        .map(|f| ValueKey::of(&Value::Float(*f)))
+        .collect();
+        for w in keys.windows(2) {
+            assert!(w[0] <= w[1], "{:?} > {:?}", w[0], w[1]);
+        }
+        // -0.0 and 0.0 collapse; every NaN payload collapses.
+        assert_eq!(keys[2].cmp(&keys[3]), Ordering::Equal);
+        assert_eq!(
+            ValueKey::of(&Value::Float(f64::NAN)),
+            ValueKey::of(&Value::Float(-f64::NAN))
+        );
+        assert!(ValueKey::Null < ValueKey::of(&Value::Int(i64::MIN)));
     }
 
     #[test]
@@ -418,23 +551,49 @@ mod tests {
     fn timestamp_epoch_is_zero() {
         assert_eq!(parse_timestamp("1970-01-01"), Some(0));
         assert_eq!(parse_timestamp("1970-01-02"), Some(86_400));
-        assert_eq!(parse_timestamp("2004-11-23T18:30:30"), parse_timestamp("2004-11-23 18:30:30"));
+        assert_eq!(
+            parse_timestamp("2004-11-23T18:30:30"),
+            parse_timestamp("2004-11-23 18:30:30")
+        );
     }
 
     #[test]
     fn timestamp_rejects_malformed() {
-        for bad in ["", "2004", "2004-13-01", "2004-00-10", "2004-01-32", "2004-1-1 25:00", "x-y-z"] {
+        for bad in [
+            "",
+            "2004",
+            "2004-13-01",
+            "2004-00-10",
+            "2004-01-32",
+            "2004-1-1 25:00",
+            "x-y-z",
+        ] {
             assert_eq!(parse_timestamp(bad), None, "{bad}");
         }
     }
 
     #[test]
     fn value_key_equivalence_classes() {
-        assert_eq!(ValueKey::of(&Value::Int(1)), ValueKey::of(&Value::Float(1.0)));
-        assert_eq!(ValueKey::of(&Value::Float(0.0)), ValueKey::of(&Value::Float(-0.0)));
-        assert_eq!(ValueKey::of(&Value::Timestamp(5)), ValueKey::of(&Value::Int(5)));
-        assert_ne!(ValueKey::of(&Value::Int(1)), ValueKey::of(&Value::Text("1".into())));
-        assert_ne!(ValueKey::of(&Value::Bool(true)), ValueKey::of(&Value::Int(1)));
+        assert_eq!(
+            ValueKey::of(&Value::Int(1)),
+            ValueKey::of(&Value::Float(1.0))
+        );
+        assert_eq!(
+            ValueKey::of(&Value::Float(0.0)),
+            ValueKey::of(&Value::Float(-0.0))
+        );
+        assert_eq!(
+            ValueKey::of(&Value::Timestamp(5)),
+            ValueKey::of(&Value::Int(5))
+        );
+        assert_ne!(
+            ValueKey::of(&Value::Int(1)),
+            ValueKey::of(&Value::Text("1".into()))
+        );
+        assert_ne!(
+            ValueKey::of(&Value::Bool(true)),
+            ValueKey::of(&Value::Int(1))
+        );
         assert!(ValueKey::of(&Value::Null).is_null());
         use std::collections::HashSet;
         let mut set = HashSet::new();

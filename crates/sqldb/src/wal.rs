@@ -90,7 +90,10 @@ pub struct WalOptions {
 impl WalOptions {
     /// Options with the given sync policy and no fault injection.
     pub fn with_sync(sync: SyncPolicy) -> Self {
-        WalOptions { sync, failpoint: Arc::new(IoFailpoint::none()) }
+        WalOptions {
+            sync,
+            failpoint: Arc::new(IoFailpoint::none()),
+        }
     }
 }
 
@@ -188,7 +191,9 @@ impl IoFailpoint {
 
     fn check_alive(&self) -> Result<(), DbError> {
         if self.is_crashed() {
-            return Err(DbError::Io("simulated crash: write-ahead log is gone".into()));
+            return Err(DbError::Io(
+                "simulated crash: write-ahead log is gone".into(),
+            ));
         }
         Ok(())
     }
@@ -331,7 +336,11 @@ impl Wal {
     ) -> Result<(Wal, Vec<String>, RecoveryReport), DbError> {
         if !path.exists() {
             let wal = Wal::create(path, opts, 1)?;
-            let report = RecoveryReport { start_seq: 1, next_seq: 1, ..RecoveryReport::default() };
+            let report = RecoveryReport {
+                start_seq: 1,
+                next_seq: 1,
+                ..RecoveryReport::default()
+            };
             return Ok((wal, Vec::new(), report));
         }
         let mut file = OpenOptions::new()
@@ -343,7 +352,8 @@ impl Wal {
         let readable = opts.failpoint.clamp_read(file_len);
 
         let mut bytes = vec![0u8; readable as usize];
-        file.read_exact(&mut bytes).map_err(|e| io_err(path, "read", &e))?;
+        file.read_exact(&mut bytes)
+            .map_err(|e| io_err(path, "read", &e))?;
 
         // Header: malformed/foreign files are refused rather than silently
         // truncated to nothing — a wrong path should be loud.
@@ -386,10 +396,12 @@ impl Wal {
         let valid_len = pos as u64;
         let torn = file_len.saturating_sub(valid_len);
         if torn > 0 {
-            file.set_len(valid_len).map_err(|e| io_err(path, "truncate", &e))?;
+            file.set_len(valid_len)
+                .map_err(|e| io_err(path, "truncate", &e))?;
             file.sync_all().map_err(|e| io_err(path, "sync", &e))?;
         }
-        file.seek(SeekFrom::End(0)).map_err(|e| io_err(path, "seek", &e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err(path, "seek", &e))?;
 
         let frames = statements.len() as u64;
         let report = RecoveryReport {
@@ -423,7 +435,10 @@ impl Wal {
         fp.check_alive()?;
         let payload = stmt.as_bytes();
         if payload.len() as u64 > MAX_PAYLOAD as u64 {
-            return Err(DbError::Io(format!("statement of {} bytes exceeds WAL frame limit", payload.len())));
+            return Err(DbError::Io(format!(
+                "statement of {} bytes exceeds WAL frame limit",
+                payload.len()
+            )));
         }
         let seq = self.next_seq;
         // Encode the frame into the reused scratch buffer — no per-append
@@ -433,9 +448,11 @@ impl Wal {
         let frame_len = FRAME_HEADER_LEN + payload.len();
         self.buf.clear();
         self.buf.reserve(frame_len);
-        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&seq.to_le_bytes());
-        self.buf.extend_from_slice(&frame_crc(seq, payload).to_le_bytes());
+        self.buf
+            .extend_from_slice(&frame_crc(seq, payload).to_le_bytes());
         self.buf.extend_from_slice(payload);
 
         let allowed = fp.admit_write(frame_len as u64) as usize;
@@ -483,7 +500,9 @@ impl Wal {
     /// group-commit window).
     pub fn sync(&mut self) -> Result<(), DbError> {
         if self.unsynced > 0 {
-            self.file.sync_data().map_err(|e| io_err(&self.path, "fsync", &e))?;
+            self.file
+                .sync_data()
+                .map_err(|e| io_err(&self.path, "fsync", &e))?;
             self.unsynced = 0;
         }
         self.window_open = None;
@@ -506,8 +525,12 @@ impl Wal {
         self.sync()?;
         let dropped = self.frames;
         self.start_seq = self.next_seq;
-        self.file.set_len(0).map_err(|e| io_err(&self.path, "truncate", &e))?;
-        self.file.seek(SeekFrom::Start(0)).map_err(|e| io_err(&self.path, "seek", &e))?;
+        self.file
+            .set_len(0)
+            .map_err(|e| io_err(&self.path, "truncate", &e))?;
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| io_err(&self.path, "seek", &e))?;
         write_header(&mut self.file, &self.path, self.start_seq)?;
         self.frames = 0;
         self.unsynced = 0;
@@ -581,8 +604,10 @@ fn write_header(file: &mut File, path: &Path, start_seq: u64) -> Result<(), DbEr
     header.extend_from_slice(MAGIC);
     header.extend_from_slice(&VERSION.to_le_bytes());
     header.extend_from_slice(&start_seq.to_le_bytes());
-    file.write_all(&header).map_err(|e| io_err(path, "write header", &e))?;
-    file.sync_data().map_err(|e| io_err(path, "sync header", &e))?;
+    file.write_all(&header)
+        .map_err(|e| io_err(path, "write header", &e))?;
+    file.sync_data()
+        .map_err(|e| io_err(path, "sync header", &e))?;
     Ok(())
 }
 
@@ -652,8 +677,7 @@ mod tests {
         }
         wal.sync().unwrap();
         drop(wal);
-        let (wal, stmts, report) =
-            Wal::open_recover(&path, WalOptions::default()).unwrap();
+        let (wal, stmts, report) = Wal::open_recover(&path, WalOptions::default()).unwrap();
         assert_eq!(stmts.len(), 10);
         assert_eq!(stmts[3], "INSERT INTO t VALUES (3)");
         assert_eq!(report.frames_replayed, 10);
@@ -681,7 +705,9 @@ mod tests {
         assert!(report.torn_bytes > 0);
         // The file was physically truncated to the last valid frame.
         let truncated = std::fs::metadata(&path).unwrap().len();
-        assert!(truncated < len - 5 || truncated == len - 5 - report.torn_bytes + (len - 5 - truncated));
+        assert!(
+            truncated < len - 5 || truncated == len - 5 - report.torn_bytes + (len - 5 - truncated)
+        );
         // Appending after recovery continues the sequence.
         assert_eq!(wal.next_seq(), 2);
     }
@@ -711,7 +737,10 @@ mod tests {
     fn torn_write_failpoint_trips_and_recovers_prefix() {
         let path = tmp("failpoint.wal");
         let fp = Arc::new(IoFailpoint::torn_write_after(50));
-        let opts = WalOptions { sync: SyncPolicy::Off, failpoint: fp.clone() };
+        let opts = WalOptions {
+            sync: SyncPolicy::Off,
+            failpoint: fp.clone(),
+        };
         let mut wal = Wal::create(&path, opts, 1).unwrap();
         let mut ok = 0;
         let mut died = false;
@@ -740,7 +769,10 @@ mod tests {
     fn crash_after_frames_is_clean() {
         let path = tmp("frames.wal");
         let fp = Arc::new(IoFailpoint::crash_after_frames(3));
-        let opts = WalOptions { sync: SyncPolicy::Off, failpoint: fp.clone() };
+        let opts = WalOptions {
+            sync: SyncPolicy::Off,
+            failpoint: fp.clone(),
+        };
         let mut wal = Wal::create(&path, opts, 1).unwrap();
         for i in 0..3 {
             wal.append(&format!("s{i}")).unwrap();
@@ -764,9 +796,16 @@ mod tests {
         drop(wal);
         let full = std::fs::metadata(&path).unwrap().len();
         let fp = Arc::new(IoFailpoint::short_read_after(full - 10));
-        let opts = WalOptions { sync: SyncPolicy::Off, failpoint: fp };
+        let opts = WalOptions {
+            sync: SyncPolicy::Off,
+            failpoint: fp,
+        };
         let (_, stmts, _) = Wal::open_recover(&path, opts).unwrap();
-        assert_eq!(stmts.len(), 4, "short read must drop exactly the last frame");
+        assert_eq!(
+            stmts.len(),
+            4,
+            "short read must drop exactly the last frame"
+        );
     }
 
     #[test]
@@ -791,7 +830,11 @@ mod tests {
     #[test]
     fn foreign_file_is_refused() {
         let path = tmp("foreign.wal");
-        std::fs::write(&path, b"-- perfbase embedded database dump\nCREATE TABLE x;").unwrap();
+        std::fs::write(
+            &path,
+            b"-- perfbase embedded database dump\nCREATE TABLE x;",
+        )
+        .unwrap();
         let err = Wal::open_recover(&path, WalOptions::default()).unwrap_err();
         assert!(err.to_string().contains("bad magic"), "{err}");
     }

@@ -44,12 +44,16 @@ impl Rng {
 
     /// Random string of `len` chars drawn from `alphabet`.
     pub fn string_from(&mut self, alphabet: &[u8], len: usize) -> String {
-        (0..len).map(|_| alphabet[self.below(alphabet.len() as u64) as usize] as char).collect()
+        (0..len)
+            .map(|_| alphabet[self.below(alphabet.len() as u64) as usize] as char)
+            .collect()
     }
 
     /// Printable-ASCII string with length in `[0, max_len]`.
     pub fn printable(&mut self, max_len: usize) -> String {
         let len = self.below(max_len as u64 + 1) as usize;
-        (0..len).map(|_| (b' ' + self.below(95) as u8) as char).collect()
+        (0..len)
+            .map(|_| (b' ' + self.below(95) as u8) as char)
+            .collect()
     }
 }

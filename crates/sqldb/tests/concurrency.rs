@@ -11,8 +11,9 @@ use std::thread;
 fn concurrent_readers_see_consistent_counts() {
     let db = Arc::new(Engine::new());
     db.execute("CREATE TABLE t (a INTEGER, b FLOAT)").unwrap();
-    let rows: Vec<Vec<Value>> =
-        (0..5_000).map(|i| vec![Value::Int(i % 50), Value::Float(i as f64)]).collect();
+    let rows: Vec<Vec<Value>> = (0..5_000)
+        .map(|i| vec![Value::Int(i % 50), Value::Float(i as f64)])
+        .collect();
     db.insert_rows("t", rows).unwrap();
 
     let handles: Vec<_> = (0..8)
@@ -21,7 +22,10 @@ fn concurrent_readers_see_consistent_counts() {
             thread::spawn(move || {
                 for _ in 0..20 {
                     let rs = db
-                        .query(&format!("SELECT count(*), sum(b) FROM t WHERE a = {}", k % 50))
+                        .query(&format!(
+                            "SELECT count(*), sum(b) FROM t WHERE a = {}",
+                            k % 50
+                        ))
                         .unwrap();
                     assert_eq!(rs.rows()[0][0], Value::Int(100));
                 }
@@ -41,9 +45,11 @@ fn writers_on_distinct_temp_tables_do_not_interfere() {
             let db = db.clone();
             thread::spawn(move || {
                 let table = format!("pb_tmp_stress_{k}");
-                db.execute(&format!("CREATE TEMP TABLE {table} (x INTEGER)")).unwrap();
+                db.execute(&format!("CREATE TEMP TABLE {table} (x INTEGER)"))
+                    .unwrap();
                 for i in 0..200 {
-                    db.execute(&format!("INSERT INTO {table} VALUES ({i})")).unwrap();
+                    db.execute(&format!("INSERT INTO {table} VALUES ({i})"))
+                        .unwrap();
                 }
                 let rs = db.query(&format!("SELECT count(*) FROM {table}")).unwrap();
                 assert_eq!(rs.rows()[0][0], Value::Int(200));
@@ -61,14 +67,16 @@ fn writers_on_distinct_temp_tables_do_not_interfere() {
 #[test]
 fn readers_concurrent_with_a_writer_never_see_torn_rows() {
     let db = Arc::new(Engine::new());
-    db.execute("CREATE TABLE log (pair_lo INTEGER, pair_hi INTEGER)").unwrap();
+    db.execute("CREATE TABLE log (pair_lo INTEGER, pair_hi INTEGER)")
+        .unwrap();
 
     let writer = {
         let db = db.clone();
         thread::spawn(move || {
             for i in 0..400i64 {
                 // Invariant: pair_hi == pair_lo + 1 in every committed row.
-                db.execute(&format!("INSERT INTO log VALUES ({i}, {})", i + 1)).unwrap();
+                db.execute(&format!("INSERT INTO log VALUES ({i}, {})", i + 1))
+                    .unwrap();
             }
         })
     };
@@ -95,7 +103,11 @@ fn readers_concurrent_with_a_writer_never_see_torn_rows() {
 #[test]
 fn cluster_nodes_used_from_many_threads() {
     let cluster = Arc::new(Cluster::new(4, LatencyModel::none()));
-    cluster.node(0).engine.execute("CREATE TABLE src (x INTEGER)").unwrap();
+    cluster
+        .node(0)
+        .engine
+        .execute("CREATE TABLE src (x INTEGER)")
+        .unwrap();
     cluster
         .node(0)
         .engine

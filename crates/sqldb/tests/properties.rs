@@ -3,14 +3,18 @@
 
 mod common;
 
+use std::ops::Bound;
+
 use common::Rng;
-use sqldb::{Engine, Value};
+use sqldb::{Column, DataType, Engine, Schema, Table, Value, ValueKey};
 
 fn load(values: &[(i64, f64, bool)]) -> Engine {
     let db = Engine::new();
-    db.execute("CREATE TABLE t (k INTEGER, v FLOAT, flag BOOLEAN)").unwrap();
+    db.execute("CREATE TABLE t (k INTEGER, v FLOAT, flag BOOLEAN)")
+        .unwrap();
     for (k, v, b) in values {
-        db.execute(&format!("INSERT INTO t VALUES ({k}, {v:?}, {b})")).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({k}, {v:?}, {b})"))
+            .unwrap();
     }
     db
 }
@@ -23,7 +27,9 @@ fn random_rows(
     max: usize,
 ) -> Vec<(i64, f64, bool)> {
     let n = min + rng.below((max - min) as u64 + 1) as usize;
-    (0..n).map(|_| (rng.int(0, max_k), rng.float(-span, span), rng.bool())).collect()
+    (0..n)
+        .map(|_| (rng.int(0, max_k), rng.float(-span, span), rng.bool()))
+        .collect()
 }
 
 /// count / sum / min / max via SQL equal the straightforward fold.
@@ -33,7 +39,9 @@ fn aggregates_match_oracle() {
     for _ in 0..100 {
         let vals = random_rows(&mut rng, 5, 100.0, 1, 49);
         let db = load(&vals);
-        let rs = db.query("SELECT count(*), sum(v), min(v), max(v), avg(v) FROM t").unwrap();
+        let rs = db
+            .query("SELECT count(*), sum(v), min(v), max(v), avg(v) FROM t")
+            .unwrap();
         let row = &rs.rows()[0];
         assert_eq!(&row[0], &Value::Int(vals.len() as i64));
         let sum: f64 = vals.iter().map(|x| x.1).sum();
@@ -56,7 +64,9 @@ fn group_by_partitions() {
     for _ in 0..100 {
         let vals = random_rows(&mut rng, 4, 10.0, 1, 59);
         let db = load(&vals);
-        let rs = db.query("SELECT k, count(*) FROM t GROUP BY k ORDER BY k").unwrap();
+        let rs = db
+            .query("SELECT k, count(*) FROM t GROUP BY k ORDER BY k")
+            .unwrap();
         let mut total = 0i64;
         for row in rs.rows() {
             let k = row[0].as_i64().unwrap();
@@ -78,7 +88,9 @@ fn where_filter_matches() {
         let threshold = rng.int(-10, 10);
         let db = load(&vals);
         let rs = db
-            .query(&format!("SELECT count(*) FROM t WHERE k >= {threshold} AND flag = TRUE"))
+            .query(&format!(
+                "SELECT count(*) FROM t WHERE k >= {threshold} AND flag = TRUE"
+            ))
             .unwrap();
         let expect = vals.iter().filter(|x| x.0 >= threshold && x.2).count() as i64;
         assert_eq!(&rs.rows()[0][0], &Value::Int(expect));
@@ -94,7 +106,9 @@ fn order_limit_distinct() {
         let vals = random_rows(&mut rng, 6, 10.0, 0, 39);
         let limit = rng.below(20) as usize;
         let db = load(&vals);
-        let rs = db.query(&format!("SELECT v FROM t ORDER BY v LIMIT {limit}")).unwrap();
+        let rs = db
+            .query(&format!("SELECT v FROM t ORDER BY v LIMIT {limit}"))
+            .unwrap();
         assert!(rs.len() <= limit);
         let col: Vec<f64> = rs.rows().iter().map(|r| r[0].as_f64().unwrap()).collect();
         assert!(col.windows(2).all(|w| w[0] <= w[1]));
@@ -116,7 +130,9 @@ fn delete_matches_oracle() {
         let vals = random_rows(&mut rng, 5, 10.0, 0, 39);
         let cut = rng.int(0, 5);
         let db = load(&vals);
-        let removed = db.execute(&format!("DELETE FROM t WHERE k = {cut}")).unwrap();
+        let removed = db
+            .execute(&format!("DELETE FROM t WHERE k = {cut}"))
+            .unwrap();
         let expect_removed = vals.iter().filter(|x| x.0 == cut).count();
         assert_eq!(removed, expect_removed);
         assert_eq!(db.row_count("t").unwrap(), vals.len() - expect_removed);
@@ -133,9 +149,279 @@ fn text_roundtrip() {
         let db = Engine::new();
         db.execute("CREATE TABLE s (x TEXT)").unwrap();
         let quoted = s.replace('\'', "''");
-        db.execute(&format!("INSERT INTO s VALUES ('{quoted}')")).unwrap();
+        db.execute(&format!("INSERT INTO s VALUES ('{quoted}')"))
+            .unwrap();
         let rs = db.query("SELECT x FROM s").unwrap();
         assert_eq!(&rs.rows()[0][0], &Value::Text(s));
+    }
+}
+
+/// Is `key` inside the `[lo, hi]` window under [`ValueKey`]'s total order?
+/// Oracle for `Table::range_lookup`.
+fn in_window(key: &ValueKey, lo: &Bound<ValueKey>, hi: &Bound<ValueKey>) -> bool {
+    use std::cmp::Ordering;
+    let lo_ok = match lo {
+        Bound::Unbounded => true,
+        Bound::Included(b) => key.cmp(b) != Ordering::Less,
+        Bound::Excluded(b) => key.cmp(b) == Ordering::Greater,
+    };
+    let hi_ok = match hi {
+        Bound::Unbounded => true,
+        Bound::Included(b) => key.cmp(b) != Ordering::Greater,
+        Bound::Excluded(b) => key.cmp(b) == Ordering::Less,
+    };
+    lo_ok && hi_ok
+}
+
+/// Row positions whose `column` key equals / falls inside the probe, by
+/// brute-force scan over all rows. NULL keys never match (not indexed).
+fn scan_eq(t: &Table, column: usize, key: &ValueKey) -> Vec<usize> {
+    t.rows()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| {
+            let k = ValueKey::of(&r[column]);
+            !k.is_null() && k == *key
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn scan_range(t: &Table, column: usize, lo: &Bound<ValueKey>, hi: &Bound<ValueKey>) -> Vec<usize> {
+    t.rows()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| {
+            let k = ValueKey::of(&r[column]);
+            !k.is_null() && in_window(&k, lo, hi)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Incremental index maintenance under interleaved random insert / delete /
+/// update batches: after every mutation, each point probe and range probe
+/// must return positions identical to a full scan of the row store.
+///
+/// Columns: `k` ordered int index (duplicate-heavy), `v` ordered float index
+/// (occasional NaN / NULL), `s` hash index (small alphabet).
+#[test]
+fn index_maintenance_matches_full_scan() {
+    let mut rng = Rng::new(0x1DE7);
+    for _case in 0..15 {
+        let mut t = Table::new(
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Float),
+                Column::new("s", DataType::Text),
+            ])
+            .unwrap(),
+        );
+        t.create_index("ix_k", "k", true).unwrap();
+        // Start `v` as a hash index and upgrade mid-run below.
+        t.create_index("ix_v", "v", false).unwrap();
+        t.create_index("ix_s", "s", false).unwrap();
+
+        fn mk_row(rng: &mut Rng) -> Vec<Value> {
+            let k = Value::Int(rng.int(0, 12));
+            let v = match rng.below(12) {
+                0 => Value::Null,
+                1 => Value::Float(f64::NAN),
+                2 => Value::Float(-0.0),
+                _ => Value::Float(rng.float(-50.0, 50.0)),
+            };
+            let s = if rng.below(10) == 0 {
+                Value::Null
+            } else {
+                let len = 1 + rng.below(2) as usize;
+                Value::Text(rng.string_from(b"abc", len))
+            };
+            vec![k, v, s]
+        }
+
+        for step in 0..40 {
+            if step == 20 {
+                // Upgrade the hash index on `v` to ordered, in place.
+                t.create_index("ix_v_again", "v", true).unwrap();
+                assert!(t.has_ordered_index_on(1));
+            }
+            match rng.below(4) {
+                // Insert a batch (insert_all: the atomic path).
+                0 | 1 => {
+                    let batch: Vec<Vec<Value>> =
+                        (0..1 + rng.below(8)).map(|_| mk_row(&mut rng)).collect();
+                    let n = batch.len();
+                    assert_eq!(t.insert_all(batch).unwrap(), n);
+                }
+                // Delete rows matching a random predicate.
+                2 => {
+                    let cut = rng.int(0, 12);
+                    let by_k = rng.bool();
+                    let thr = rng.float(-50.0, 50.0);
+                    t.delete_where(|r| {
+                        if by_k {
+                            r[0] == Value::Int(cut)
+                        } else {
+                            matches!(r[1], Value::Float(f) if f < thr)
+                        }
+                    });
+                }
+                // Update: rewrite indexed columns of matching rows.
+                _ => {
+                    let target = rng.int(0, 12);
+                    let newk = rng.int(0, 12);
+                    let newv = if rng.below(8) == 0 {
+                        f64::NAN
+                    } else {
+                        rng.float(-50.0, 50.0)
+                    };
+                    t.update_where(|r| {
+                        if r[0] == Value::Int(target) {
+                            r[0] = Value::Int(newk);
+                            r[1] = Value::Float(newv);
+                            r[2] = Value::Text("z".into());
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                }
+            }
+
+            // Point probes: every live key, plus probes that should miss.
+            for col in [0usize, 1, 2] {
+                let mut keys: Vec<ValueKey> = t
+                    .rows()
+                    .iter()
+                    .map(|r| ValueKey::of(&r[col]))
+                    .filter(|k| !k.is_null())
+                    .collect();
+                keys.sort();
+                keys.dedup();
+                for key in &keys {
+                    assert_eq!(
+                        t.index_lookup(col, key).unwrap(),
+                        scan_eq(&t, col, key).as_slice(),
+                        "col {col} key {key:?} after step {step}",
+                    );
+                }
+                assert_eq!(
+                    t.index_lookup(col, &ValueKey::of(&Value::Null)).unwrap(),
+                    &[] as &[usize]
+                );
+            }
+            assert_eq!(
+                t.index_lookup(0, &ValueKey::of(&Value::Int(999))).unwrap(),
+                &[] as &[usize]
+            );
+
+            // Range probes on the ordered int index (and the float index
+            // once upgraded), random bound kinds, inverted bounds included.
+            for _ in 0..6 {
+                let (col, a, b) = if rng.bool() || step < 20 {
+                    let a = ValueKey::of(&Value::Int(rng.int(-2, 14)));
+                    let b = ValueKey::of(&Value::Int(rng.int(-2, 14)));
+                    (0usize, a, b)
+                } else {
+                    let a = ValueKey::of(&Value::Float(rng.float(-60.0, 60.0)));
+                    let b = ValueKey::of(&Value::Float(if rng.below(8) == 0 {
+                        f64::NAN
+                    } else {
+                        rng.float(-60.0, 60.0)
+                    }));
+                    (1usize, a, b)
+                };
+                let mk = |rng: &mut Rng, k: ValueKey| match rng.below(3) {
+                    0 => Bound::Included(k),
+                    1 => Bound::Excluded(k),
+                    _ => Bound::Unbounded,
+                };
+                let lo = mk(&mut rng, a);
+                let hi = mk(&mut rng, b);
+                let got = t
+                    .range_lookup(col, as_bound_ref(&lo), as_bound_ref(&hi))
+                    .expect("ordered index present");
+                assert_eq!(
+                    got,
+                    scan_range(&t, col, &lo, &hi),
+                    "range {lo:?}..{hi:?} step {step}"
+                );
+            }
+        }
+    }
+}
+
+fn as_bound_ref(b: &Bound<ValueKey>) -> Bound<&ValueKey> {
+    match b {
+        Bound::Included(k) => Bound::Included(k),
+        Bound::Excluded(k) => Bound::Excluded(k),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// The SQL planner's index paths (`=`, `IN`, ranges over an ordered index)
+/// return the same result sets as the same queries against an unindexed
+/// copy of the data.
+#[test]
+fn planned_queries_match_unindexed_copy() {
+    let mut rng = Rng::new(0x9A7E);
+    for _case in 0..10 {
+        let indexed = Engine::new();
+        let plain = Engine::new();
+        for db in [&indexed, &plain] {
+            db.execute("CREATE TABLE t (k INTEGER, v FLOAT, s TEXT)")
+                .unwrap();
+        }
+        indexed
+            .execute("CREATE ORDERED INDEX ix_k ON t (k)")
+            .unwrap();
+        indexed.execute("CREATE INDEX ix_s ON t (s)").unwrap();
+        for _ in 0..rng.below(120) + 20 {
+            let k = rng.int(0, 25);
+            let v = rng.float(-10.0, 10.0);
+            let s = rng.string_from(b"abcd", 1);
+            let stmt = format!("INSERT INTO t VALUES ({k}, {v:?}, '{s}')");
+            indexed.execute(&stmt).unwrap();
+            plain.execute(&stmt).unwrap();
+        }
+        let a = rng.int(0, 25);
+        let b = rng.int(0, 25);
+        let queries = [
+            format!("SELECT k, v, s FROM t WHERE k = {a} ORDER BY v, s"),
+            format!("SELECT k, s FROM t WHERE k IN ({a}, {b}, 99) ORDER BY k, s"),
+            format!(
+                "SELECT k FROM t WHERE k >= {} AND k < {} ORDER BY k",
+                a.min(b),
+                a.max(b)
+            ),
+            format!(
+                "SELECT k FROM t WHERE k >= {} AND k <= {} ORDER BY k",
+                a.min(b),
+                a.max(b)
+            ),
+            format!("SELECT count(*) FROM t WHERE k > {a} AND s IN ('a', 'b')"),
+            format!(
+                "SELECT k FROM t WHERE k > {} AND k < {} ORDER BY k",
+                a.max(b),
+                a.min(b)
+            ),
+        ];
+        for q in &queries {
+            let want = plain.query(q).unwrap();
+            let got = indexed.query(q).unwrap();
+            assert_eq!(got.rows(), want.rows(), "{q}");
+        }
+        // Mutate through SQL, then re-check a probe query.
+        for db in [&indexed, &plain] {
+            db.execute(&format!("DELETE FROM t WHERE k = {a}")).unwrap();
+            db.execute(&format!("UPDATE t SET k = {b} WHERE v < 0.0"))
+                .unwrap();
+        }
+        let q = format!("SELECT k, v, s FROM t WHERE k IN ({a}, {b}) ORDER BY k, v, s");
+        assert_eq!(
+            indexed.query(&q).unwrap().rows(),
+            plain.query(&q).unwrap().rows()
+        );
     }
 }
 

@@ -28,7 +28,8 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> TempDir {
-        let p = std::env::temp_dir().join(format!("perfbase_walcrash_{tag}_{}", std::process::id()));
+        let p =
+            std::env::temp_dir().join(format!("perfbase_walcrash_{tag}_{}", std::process::id()));
         std::fs::remove_dir_all(&p).ok();
         std::fs::create_dir_all(&p).unwrap();
         TempDir(p)
@@ -74,14 +75,23 @@ fn workload() -> Vec<String> {
         "CREATE TABLE notes (run INTEGER, body TEXT)".to_string(),
     ];
     for i in 0..24i64 {
-        stmts.push(format!("INSERT INTO runs VALUES ({i}, 'fs{}', {}.5)", i % 3, 100 + i));
+        stmts.push(format!(
+            "INSERT INTO runs VALUES ({i}, 'fs{}', {}.5)",
+            i % 3,
+            100 + i
+        ));
         if i % 5 == 0 {
             // Embedded newline, tab and quote: exercises E'…' literals on
             // the replay path.
-            stmts.push(format!("INSERT INTO notes VALUES ({i}, E'line1\\nit''s\\ttabbed')"));
+            stmts.push(format!(
+                "INSERT INTO notes VALUES ({i}, E'line1\\nit''s\\ttabbed')"
+            ));
         }
         if i % 7 == 3 {
-            stmts.push(format!("UPDATE runs SET bw = bw + 1.0 WHERE id = {}", i / 2));
+            stmts.push(format!(
+                "UPDATE runs SET bw = bw + 1.0 WHERE id = {}",
+                i / 2
+            ));
         }
         if i % 9 == 4 {
             stmts.push(format!("DELETE FROM notes WHERE run = {}", i - 4));
@@ -130,7 +140,10 @@ fn recover_and_check(wal_path: &Path, full_log: &[String]) -> usize {
 /// Apply the workload through an engine whose WAL is armed with `fp`,
 /// stopping at the first simulated-crash error (as a dying process would).
 fn run_until_crash(wal_path: &Path, fp: Arc<IoFailpoint>, full_log: &[String]) {
-    let opts = WalOptions { sync: SyncPolicy::Always, failpoint: fp };
+    let opts = WalOptions {
+        sync: SyncPolicy::Always,
+        failpoint: fp,
+    };
     let wal = Wal::create(wal_path, opts, 1).unwrap();
     let eng = Engine::new();
     eng.attach_wal(wal);
@@ -155,9 +168,16 @@ fn fifty_plus_randomized_kill_points_recover_a_consistent_prefix() {
     // the k statements that made it to the log.
     for k in (0..full_log.len() as u64).step_by(2) {
         let wal_path = dir.path(&format!("frames_{k}.wal"));
-        run_until_crash(&wal_path, Arc::new(IoFailpoint::crash_after_frames(k)), &full_log);
+        run_until_crash(
+            &wal_path,
+            Arc::new(IoFailpoint::crash_after_frames(k)),
+            &full_log,
+        );
         let n = recover_and_check(&wal_path, &full_log);
-        assert_eq!(n as u64, k, "with sync=always, every appended frame survives");
+        assert_eq!(
+            n as u64, k,
+            "with sync=always, every appended frame survives"
+        );
         kill_points += 1;
     }
 
@@ -173,7 +193,11 @@ fn fifty_plus_randomized_kill_points_recover_a_consistent_prefix() {
     for i in 0..20 {
         let budget = 17 + rng.below(len - 17);
         let wal_path = dir.path(&format!("torn_{i}.wal"));
-        run_until_crash(&wal_path, Arc::new(IoFailpoint::torn_write_after(budget)), &full_log);
+        run_until_crash(
+            &wal_path,
+            Arc::new(IoFailpoint::torn_write_after(budget)),
+            &full_log,
+        );
         recover_and_check(&wal_path, &full_log);
         kill_points += 1;
     }
@@ -189,7 +213,10 @@ fn fifty_plus_randomized_kill_points_recover_a_consistent_prefix() {
         kill_points += 1;
     }
 
-    assert!(kill_points >= 50, "only {kill_points} kill points exercised");
+    assert!(
+        kill_points >= 50,
+        "only {kill_points} kill points exercised"
+    );
 }
 
 /// The checkpoint kill point: `Engine::checkpoint` renames the new dump
@@ -202,18 +229,27 @@ fn kill_between_checkpoint_dump_and_compaction_never_double_applies() {
     let dir = TempDir::new("ckptkill");
     let full_log = workload();
 
-    for (i, k) in [1usize, 3, 7, 12, 20, full_log.len()].into_iter().enumerate() {
+    for (i, k) in [1usize, 3, 7, 12, 20, full_log.len()]
+        .into_iter()
+        .enumerate()
+    {
         let dump = dir.path(&format!("ckpt_{i}.sql"));
         let wal_path = dir.path(&format!("ckpt_{i}.wal"));
         let fp = Arc::new(IoFailpoint::crash_before_compact());
-        let opts = WalOptions { sync: SyncPolicy::Always, failpoint: fp.clone() };
+        let opts = WalOptions {
+            sync: SyncPolicy::Always,
+            failpoint: fp.clone(),
+        };
         let (eng, _) = Engine::open_durable(&dump, &wal_path, opts).unwrap();
         for s in &full_log[..k] {
             eng.execute(s).unwrap();
         }
         let err = eng.checkpoint(&dump).unwrap_err();
         assert!(err.to_string().contains("simulated crash"), "{err}");
-        assert!(fp.is_crashed(), "checkpoint kill point must trip the failpoint");
+        assert!(
+            fp.is_crashed(),
+            "checkpoint kill point must trip the failpoint"
+        );
         drop(eng);
 
         // Restart: the dump reflects all k statements and the log still
@@ -221,14 +257,24 @@ fn kill_between_checkpoint_dump_and_compaction_never_double_applies() {
         let (eng2, report) =
             Engine::open_durable(&dump, &wal_path, WalOptions::with_sync(SyncPolicy::Always))
                 .unwrap();
-        assert_eq!(report.frames_skipped, k as u64, "every logged frame is already in the dump");
+        assert_eq!(
+            report.frames_skipped, k as u64,
+            "every logged frame is already in the dump"
+        );
         assert_eq!(report.frames_replayed, 0, "nothing left to replay");
-        assert_eq!(report.replay_errors, 0, "skipped frames must not even be attempted");
+        assert_eq!(
+            report.replay_errors, 0,
+            "skipped frames must not even be attempted"
+        );
         let reference = Engine::new();
         for s in &full_log[..k] {
             reference.execute(s).unwrap();
         }
-        assert_eq!(eng2.dump_sql(), reference.dump_sql(), "checkpoint kill point k={k}");
+        assert_eq!(
+            eng2.dump_sql(),
+            reference.dump_sql(),
+            "checkpoint kill point k={k}"
+        );
     }
 }
 
@@ -244,7 +290,10 @@ fn recovery_after_checkpoint_kill_continues_the_log() {
     let half = full_log.len() / 2;
 
     let fp = Arc::new(IoFailpoint::crash_before_compact());
-    let opts = WalOptions { sync: SyncPolicy::Always, failpoint: fp };
+    let opts = WalOptions {
+        sync: SyncPolicy::Always,
+        failpoint: fp,
+    };
     let (eng, _) = Engine::open_durable(&dump, &wal_path, opts).unwrap();
     for s in &full_log[..half] {
         eng.execute(s).unwrap();
@@ -264,7 +313,10 @@ fn recovery_after_checkpoint_kill_continues_the_log() {
 
     let (eng3, report) =
         Engine::open_durable(&dump, &wal_path, WalOptions::with_sync(SyncPolicy::Always)).unwrap();
-    assert_eq!(report.frames_skipped, 0, "clean checkpoint compacted the log");
+    assert_eq!(
+        report.frames_skipped, 0,
+        "clean checkpoint compacted the log"
+    );
     assert_eq!(report.frames_replayed, 0);
     let reference = Engine::new();
     for s in &full_log {
@@ -312,7 +364,8 @@ fn cluster_recovery_at_1_2_4_nodes() {
             let eng = &c.node(i).engine;
             eng.execute("CREATE TABLE t (x INTEGER, s TEXT)").unwrap();
             for r in 0..=i as i64 {
-                eng.execute(&format!("INSERT INTO t VALUES ({r}, 'node{i}')")).unwrap();
+                eng.execute(&format!("INSERT INTO t VALUES ({r}, 'node{i}')"))
+                    .unwrap();
             }
         }
         drop(c);
@@ -322,7 +375,10 @@ fn cluster_recovery_at_1_2_4_nodes() {
         let victim = nodes - 1;
         let victim_wal = dir.path(&format!("node{victim}.wal"));
         let wal_len = std::fs::metadata(&victim_wal).unwrap().len();
-        let f = std::fs::OpenOptions::new().write(true).open(&victim_wal).unwrap();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&victim_wal)
+            .unwrap();
         f.set_len(wal_len - 3).unwrap();
         drop(f);
 
@@ -330,7 +386,11 @@ fn cluster_recovery_at_1_2_4_nodes() {
         let reports = c2.attach_wal_dir(&dir.0, &opts).unwrap();
         for (i, r) in reports.iter().enumerate() {
             let r = r.as_ref().unwrap();
-            let expect = if i == victim { i as u64 + 1 } else { i as u64 + 2 };
+            let expect = if i == victim {
+                i as u64 + 1
+            } else {
+                i as u64 + 2
+            };
             assert_eq!(r.frames_replayed, expect, "node {i} of {nodes}");
             if i == victim {
                 assert!(r.torn_bytes > 0, "victim must report the torn tail");
@@ -339,7 +399,11 @@ fn cluster_recovery_at_1_2_4_nodes() {
         for i in 0..nodes {
             let expect = if i == victim { i as i64 } else { i as i64 + 1 };
             let rs = c2.node(i).engine.query("SELECT count(*) FROM t").unwrap();
-            assert_eq!(format!("{}", rs.rows()[0][0]), format!("{expect}"), "node {i} of {nodes}");
+            assert_eq!(
+                format!("{}", rs.rows()[0][0]),
+                format!("{expect}"),
+                "node {i} of {nodes}"
+            );
         }
     }
 }

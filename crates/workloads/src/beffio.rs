@@ -20,8 +20,9 @@ use crate::noise::Noise;
 
 /// The benchmark's chunk-size ladder (bytes). Odd `+8` sizes are the
 /// non-contiguous patterns.
-pub const CHUNK_SIZES: [u64; 8] =
-    [32, 1024, 1032, 32_768, 32_776, 1_048_576, 1_048_584, 2_097_152];
+pub const CHUNK_SIZES: [u64; 8] = [
+    32, 1024, 1032, 32_768, 32_776, 1_048_576, 1_048_584, 2_097_152,
+];
 
 /// The five access types of `b_eff_io`.
 pub const ACCESS_TYPES: [&str; 5] = ["scatter", "shared", "separate", "segmened", "seg-coll"];
@@ -183,11 +184,11 @@ pub fn model_bandwidth(
     // Peak bandwidth per access type (scatter is CPU-bound and flat;
     // separate/segmented scale best), roughly shaped after Fig. 4.
     let peak = match access_idx {
-        0 => 70.0,  // scatter
-        1 => 85.0,  // shared
-        2 => 95.0,  // separate
-        3 => 92.0,  // segmented
-        4 => 88.0,  // seg-coll
+        0 => 70.0, // scatter
+        1 => 85.0, // shared
+        2 => 95.0, // separate
+        3 => 92.0, // segmented
+        4 => 88.0, // seg-coll
         _ => 80.0,
     };
     // Scatter keeps a useful floor at tiny chunks; shared collapses there.
@@ -241,17 +242,16 @@ pub fn simulate(config: BeffIoConfig) -> BeffIoRun {
         for (pos, &chunk) in CHUNK_SIZES.iter().enumerate() {
             let mut bandwidth = [0.0; 5];
             for (a, slot) in bandwidth.iter_mut().enumerate() {
-                let base = model_bandwidth(
-                    config.n_procs,
-                    config.fs,
-                    config.technique,
-                    a,
-                    mode,
-                    chunk,
-                );
+                let base =
+                    model_bandwidth(config.n_procs, config.fs, config.technique, a, mode, chunk);
                 *slot = (base * noise.lognormal_factor(sigma)).max(0.001);
             }
-            rows.push(PatternRow { mode, pos: pos + 1, chunk, bandwidth });
+            rows.push(PatternRow {
+                mode,
+                pos: pos + 1,
+                chunk,
+                bandwidth,
+            });
         }
     }
 
@@ -273,7 +273,12 @@ pub fn simulate(config: BeffIoConfig) -> BeffIoRun {
     // b_eff_io headline: geometric-ish blend dominated by read bandwidth.
     let b_eff_io = (weighted_avg[0] + weighted_avg[1] + weighted_avg[2]) / 3.0;
 
-    BeffIoRun { config, rows, weighted_avg, b_eff_io }
+    BeffIoRun {
+        config,
+        rows,
+        weighted_avg,
+        b_eff_io,
+    }
 }
 
 impl BeffIoRun {
@@ -318,12 +323,8 @@ impl BeffIoRun {
             "Summary of file I/O bandwidth accumulated on {} processes with {} MByte/PE\n",
             c.n_procs, c.mem_mb
         ));
-        out.push_str(
-            "number pos chunk-   access type=0  type=1   type=2   type=3   type=4\n",
-        );
-        out.push_str(
-            "of PEs     size (l)  methode scatter shared   separate segmened seg-coll\n",
-        );
+        out.push_str("number pos chunk-   access type=0  type=1   type=2   type=3   type=4\n");
+        out.push_str("of PEs     size (l)  methode scatter shared   separate segmened seg-coll\n");
         out.push_str("           [bytes]  methode [MB/s]  [MB/s]   [MB/s]   [MB/s]   [MB/s]\n");
 
         for mode in MODES {
@@ -386,7 +387,10 @@ mod tests {
         let a = simulate(BeffIoConfig::default());
         let b = simulate(BeffIoConfig::default());
         assert_eq!(a.render(), b.render());
-        let c = simulate(BeffIoConfig { seed: 2, ..BeffIoConfig::default() });
+        let c = simulate(BeffIoConfig {
+            seed: 2,
+            ..BeffIoConfig::default()
+        });
         assert_ne!(a.render(), c.render());
     }
 
@@ -394,7 +398,10 @@ mod tests {
     fn row_count_covers_modes_and_ladder() {
         let run = simulate(BeffIoConfig::default());
         assert_eq!(run.rows.len(), 3 * 8);
-        assert!(run.rows.iter().all(|r| r.bandwidth.iter().all(|b| *b > 0.0)));
+        assert!(run
+            .rows
+            .iter()
+            .all(|r| r.bandwidth.iter().all(|b| *b > 0.0)));
     }
 
     #[test]
@@ -498,7 +505,14 @@ mod tests {
     #[test]
     fn pvfs_scales_with_processes() {
         let p4 = model_bandwidth(4, FsType::Pvfs, Technique::ListBased, 2, "write", 1_048_576);
-        let p16 = model_bandwidth(16, FsType::Pvfs, Technique::ListBased, 2, "write", 1_048_576);
+        let p16 = model_bandwidth(
+            16,
+            FsType::Pvfs,
+            Technique::ListBased,
+            2,
+            "write",
+            1_048_576,
+        );
         assert!(p16 > 2.0 * p4);
         let u4 = model_bandwidth(4, FsType::Ufs, Technique::ListBased, 2, "write", 1_048_576);
         let u16 = model_bandwidth(16, FsType::Ufs, Technique::ListBased, 2, "write", 1_048_576);

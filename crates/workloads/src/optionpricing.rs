@@ -147,7 +147,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -191,7 +192,10 @@ pub fn render_run(p: &OptionParams, paths: usize, seed: u64) -> String {
     out.push_str(&format!("paths = {paths}\n"));
     out.push_str("convergence table (steps price)\n");
     for s in [16usize, 32, 64, 128, 256] {
-        let ps = OptionParams { steps: s, ..p.clone() };
+        let ps = OptionParams {
+            steps: s,
+            ..p.clone()
+        };
         out.push_str(&format!("{:6} {:.6}\n", s, binomial_price(&ps)));
     }
     out.push_str(&format!("tree price = {tree:.6}\n"));
@@ -206,7 +210,10 @@ mod tests {
 
     #[test]
     fn tree_converges_to_black_scholes() {
-        let p = OptionParams { steps: 2048, ..OptionParams::default() };
+        let p = OptionParams {
+            steps: 2048,
+            ..OptionParams::default()
+        };
         let tree = binomial_price(&p);
         let bs = black_scholes(&p);
         assert!((tree - bs).abs() < 0.01, "tree {tree} vs bs {bs}");
@@ -214,8 +221,14 @@ mod tests {
 
     #[test]
     fn put_call_parity() {
-        let call = OptionParams { kind: OptionKind::Call, ..OptionParams::default() };
-        let put = OptionParams { kind: OptionKind::Put, ..OptionParams::default() };
+        let call = OptionParams {
+            kind: OptionKind::Call,
+            ..OptionParams::default()
+        };
+        let put = OptionParams {
+            kind: OptionKind::Put,
+            ..OptionParams::default()
+        };
         let c = black_scholes(&call);
         let pv = black_scholes(&put);
         // C - P = S - K·e^{-rT}
@@ -231,14 +244,23 @@ mod tests {
             rate: 0.1,
             ..OptionParams::default()
         };
-        let am = OptionParams { style: ExerciseStyle::American, ..eu.clone() };
+        let am = OptionParams {
+            style: ExerciseStyle::American,
+            ..eu.clone()
+        };
         assert!(binomial_price(&am) > binomial_price(&eu) + 1e-3);
     }
 
     #[test]
     fn american_call_equals_european_without_dividends() {
-        let eu = OptionParams { style: ExerciseStyle::European, ..OptionParams::default() };
-        let am = OptionParams { style: ExerciseStyle::American, ..OptionParams::default() };
+        let eu = OptionParams {
+            style: ExerciseStyle::European,
+            ..OptionParams::default()
+        };
+        let am = OptionParams {
+            style: ExerciseStyle::American,
+            ..OptionParams::default()
+        };
         assert!((binomial_price(&am) - binomial_price(&eu)).abs() < 1e-9);
     }
 
@@ -261,7 +283,11 @@ mod tests {
 
     #[test]
     fn deep_itm_call_close_to_intrinsic_plus_carry() {
-        let p = OptionParams { spot: 200.0, strike: 100.0, ..OptionParams::default() };
+        let p = OptionParams {
+            spot: 200.0,
+            strike: 100.0,
+            ..OptionParams::default()
+        };
         let bs = black_scholes(&p);
         let lower = p.spot - p.strike * (-p.rate * p.maturity).exp();
         assert!(bs >= lower - 1e-9);

@@ -37,13 +37,21 @@ pub struct Bug {
 
 impl Bug {
     fn affects(&self, revision: u32, test_index: usize) -> bool {
-        revision >= self.introduced && revision < self.fixed && test_index.is_multiple_of(self.modulus)
+        revision >= self.introduced
+            && revision < self.fixed
+            && test_index.is_multiple_of(self.modulus)
     }
 }
 
 impl Default for SuiteConfig {
     fn default() -> Self {
-        SuiteConfig { revision: 1, tests: 50, flakiness: 0.01, bugs: Vec::new(), seed: 1 }
+        SuiteConfig {
+            revision: 1,
+            tests: 50,
+            flakiness: 0.01,
+            bugs: Vec::new(),
+            seed: 1,
+        }
     }
 }
 
@@ -70,7 +78,10 @@ impl SuiteRun {
     /// Render the ASCII log.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("test suite run, revision {}\n", self.config.revision));
+        out.push_str(&format!(
+            "test suite run, revision {}\n",
+            self.config.revision
+        ));
         out.push_str(&format!("tests: {}\n", self.results.len()));
         for (name, ok, t) in &self.results {
             out.push_str(&format!(
@@ -106,13 +117,20 @@ mod tests {
 
     #[test]
     fn clean_revision_mostly_passes() {
-        let run = run_suite(SuiteConfig { flakiness: 0.0, ..SuiteConfig::default() });
+        let run = run_suite(SuiteConfig {
+            flakiness: 0.0,
+            ..SuiteConfig::default()
+        });
         assert_eq!(run.errors(), 0);
     }
 
     #[test]
     fn planted_bug_breaks_expected_tests() {
-        let bug = Bug { introduced: 5, fixed: 8, modulus: 10 };
+        let bug = Bug {
+            introduced: 5,
+            fixed: 8,
+            modulus: 10,
+        };
         let cfg = |rev| SuiteConfig {
             revision: rev,
             flakiness: 0.0,
@@ -143,7 +161,11 @@ mod tests {
 
     #[test]
     fn log_format() {
-        let run = run_suite(SuiteConfig { tests: 3, flakiness: 0.0, ..SuiteConfig::default() });
+        let run = run_suite(SuiteConfig {
+            tests: 3,
+            flakiness: 0.0,
+            ..SuiteConfig::default()
+        });
         let log = run.render();
         assert!(log.starts_with("test suite run, revision 1"));
         assert!(log.contains("PASS test_000"));
@@ -156,7 +178,10 @@ mod tests {
         let a = run_suite(SuiteConfig::default());
         let b = run_suite(SuiteConfig::default());
         assert_eq!(a.render(), b.render());
-        let c = run_suite(SuiteConfig { revision: 2, ..SuiteConfig::default() });
+        let c = run_suite(SuiteConfig {
+            revision: 2,
+            ..SuiteConfig::default()
+        });
         assert_ne!(a.render(), c.render());
     }
 }

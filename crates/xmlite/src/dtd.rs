@@ -86,7 +86,10 @@ impl Dtd {
     pub fn declare(mut self, name: &str, model: Model) -> Self {
         self.elements
             .entry(name.to_string())
-            .or_insert(ElementDecl { model: Model::Any, attrs: Vec::new() })
+            .or_insert(ElementDecl {
+                model: Model::Any,
+                attrs: Vec::new(),
+            })
             .model = model;
         self
     }
@@ -95,7 +98,10 @@ impl Dtd {
     pub fn attribute(mut self, element: &str, attr: AttrDecl) -> Self {
         self.elements
             .entry(element.to_string())
-            .or_insert(ElementDecl { model: Model::Any, attrs: Vec::new() })
+            .or_insert(ElementDecl {
+                model: Model::Any,
+                attrs: Vec::new(),
+            })
             .attrs
             .push(attr);
         self
@@ -269,7 +275,10 @@ impl Dtd {
 
 fn parse_element_decl(body: &str) -> Result<(String, Model), String> {
     let mut parts = body.splitn(2, char::is_whitespace);
-    let name = parts.next().filter(|s| !s.is_empty()).ok_or("ELEMENT without a name")?;
+    let name = parts
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or("ELEMENT without a name")?;
     let spec = parts.next().map(str::trim).unwrap_or("ANY");
     let model = match spec {
         "EMPTY" => Model::Empty,
@@ -321,7 +330,11 @@ fn parse_attlist_decl(body: &str) -> Result<(String, Vec<AttrDecl>), String> {
             v if v.starts_with('"') || v.starts_with('\'') => (false, Some(unquote(v)), 3),
             _ => return Err(format!("malformed ATTLIST for '{element}'")),
         };
-        attrs.push(AttrDecl { name, required, default });
+        attrs.push(AttrDecl {
+            name,
+            required,
+            default,
+        });
         i += used;
     }
     Ok((element, attrs))
@@ -379,13 +392,23 @@ mod tests {
 
     fn schema() -> Dtd {
         Dtd::new()
-            .declare("experiment", Model::Children(vec!["name".into(), "parameter".into()]))
+            .declare(
+                "experiment",
+                Model::Children(vec!["name".into(), "parameter".into()]),
+            )
             .declare("name", Model::Text)
-            .declare("parameter", Model::Children(vec!["name".into(), "datatype".into()]))
+            .declare(
+                "parameter",
+                Model::Children(vec!["name".into(), "datatype".into()]),
+            )
             .declare("datatype", Model::Text)
             .attribute(
                 "parameter",
-                AttrDecl { name: "occurence".into(), required: false, default: Some("multiple".into()) },
+                AttrDecl {
+                    name: "occurence".into(),
+                    required: false,
+                    default: Some("multiple".into()),
+                },
             )
     }
 
@@ -416,7 +439,11 @@ mod tests {
     fn required_attribute_enforced() {
         let dtd = Dtd::new().declare("q", Model::Any).attribute(
             "q",
-            AttrDecl { name: "id".into(), required: true, default: None },
+            AttrDecl {
+                name: "id".into(),
+                required: true,
+                default: None,
+            },
         );
         let doc = parse("<q/>").unwrap();
         let errs = dtd.validate(&doc.root).unwrap_err();
@@ -430,7 +457,9 @@ mod tests {
     fn undeclared_attribute_rejected() {
         let doc = parse("<experiment zzz=\"1\"><name>x</name></experiment>").unwrap();
         let errs = schema().validate(&doc.root).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("undeclared attribute 'zzz'")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("undeclared attribute 'zzz'")));
     }
 
     #[test]
@@ -439,7 +468,10 @@ mod tests {
             parse("<experiment><name>x</name><parameter><name>T</name></parameter></experiment>")
                 .unwrap();
         schema().apply_defaults(&mut doc.root);
-        assert_eq!(doc.root.child("parameter").unwrap().attr("occurence"), Some("multiple"));
+        assert_eq!(
+            doc.root.child("parameter").unwrap().attr("occurence"),
+            Some("multiple")
+        );
     }
 
     #[test]
@@ -468,7 +500,10 @@ mod tests {
     #[test]
     fn parse_mixed_model() {
         let dtd = Dtd::parse("<!ELEMENT d (#PCDATA|em)*>").unwrap();
-        assert_eq!(dtd.element("d").unwrap().model, Model::Mixed(vec!["em".into()]));
+        assert_eq!(
+            dtd.element("d").unwrap().model,
+            Model::Mixed(vec!["em".into()])
+        );
     }
 
     #[test]

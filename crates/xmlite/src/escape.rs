@@ -49,7 +49,9 @@ pub fn unescape(s: &str) -> String {
                     "quot" => Some('"'),
                     "apos" => Some('\''),
                     _ if ent.starts_with("#x") || ent.starts_with("#X") => {
-                        u32::from_str_radix(&ent[2..], 16).ok().and_then(char::from_u32)
+                        u32::from_str_radix(&ent[2..], 16)
+                            .ok()
+                            .and_then(char::from_u32)
                     }
                     _ if ent.starts_with('#') => {
                         ent[1..].parse::<u32>().ok().and_then(char::from_u32)

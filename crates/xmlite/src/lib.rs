@@ -83,6 +83,10 @@ mod tests {
         let doc = parse(src).unwrap();
         assert_eq!(doc.root.text(), "1 < 2 && 3 > 2");
         // Comments survive in the DOM but do not contribute text.
-        assert!(doc.root.children.iter().any(|n| matches!(n, Node::Comment(_))));
+        assert!(doc
+            .root
+            .children
+            .iter()
+            .any(|n| matches!(n, Node::Comment(_))));
     }
 }

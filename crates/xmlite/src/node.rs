@@ -34,7 +34,11 @@ pub struct Element {
 impl Element {
     /// Create an empty element named `name`.
     pub fn new(name: &str) -> Self {
-        Element { name: name.to_string(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.to_string(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder: add or replace an attribute.
@@ -62,7 +66,10 @@ impl Element {
 
     /// Look up an attribute value.
     pub fn attr(&self, key: &str) -> Option<&str> {
-        self.attributes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Set (or replace) an attribute.
@@ -141,10 +148,14 @@ mod tests {
             .with_attr("id", "7")
             .with_text_child("host", "grisu0")
             .with_child(
-                Element::new("metric").with_attr("name", "bw").with_text("214.5"),
+                Element::new("metric")
+                    .with_attr("name", "bw")
+                    .with_text("214.5"),
             )
             .with_child(
-                Element::new("metric").with_attr("name", "lat").with_text("4.2"),
+                Element::new("metric")
+                    .with_attr("name", "lat")
+                    .with_text("4.2"),
             )
     }
 

@@ -18,7 +18,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "XML error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -26,7 +30,10 @@ impl std::error::Error for ParseError {}
 
 /// Parse an XML document from `src`.
 pub fn parse(src: &str) -> Result<Document, ParseError> {
-    let mut p = P { chars: src.chars().collect(), pos: 0 };
+    let mut p = P {
+        chars: src.chars().collect(),
+        pos: 0,
+    };
     p.skip_misc()?;
     let dtd = p.maybe_doctype()?;
     p.skip_misc()?;
@@ -55,7 +62,11 @@ impl P {
                 col += 1;
             }
         }
-        ParseError { message: msg.to_string(), line, column: col }
+        ParseError {
+            message: msg.to_string(),
+            line,
+            column: col,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -69,7 +80,9 @@ impl P {
     }
 
     fn starts_with(&self, s: &str) -> bool {
-        s.chars().enumerate().all(|(i, c)| self.chars.get(self.pos + i) == Some(&c))
+        s.chars()
+            .enumerate()
+            .all(|(i, c)| self.chars.get(self.pos + i) == Some(&c))
     }
 
     fn eat_str(&mut self, s: &str) -> bool {

@@ -92,7 +92,9 @@ mod tests {
     #[test]
     fn escaping_applied_on_write() {
         let doc = Document::from_root(
-            crate::Element::new("x").with_attr("a", "1<2").with_text("3>2 & true"),
+            crate::Element::new("x")
+                .with_attr("a", "1<2")
+                .with_text("3>2 & true"),
         );
         let s = to_string(&doc);
         assert!(s.contains("a=\"1&lt;2\""));

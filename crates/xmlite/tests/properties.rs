@@ -20,7 +20,9 @@ impl Rng {
 
     fn string(&mut self, alphabet: &[u8], min: usize, max: usize) -> String {
         let len = min + self.below((max - min) as u64 + 1) as usize;
-        (0..len).map(|_| alphabet[self.below(alphabet.len() as u64) as usize] as char).collect()
+        (0..len)
+            .map(|_| alphabet[self.below(alphabet.len() as u64) as usize] as char)
+            .collect()
     }
 }
 
@@ -31,7 +33,11 @@ const TEXT_CHARS: &[u8] =
     b" !#$%'()*+,-./0123456789:;=?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[]^_abcdefghijklmnopqrstuvwxyz{|}~";
 
 fn name(rng: &mut Rng) -> String {
-    format!("{}{}", rng.string(NAME_FIRST, 1, 1), rng.string(NAME_REST, 0, 8))
+    format!(
+        "{}{}",
+        rng.string(NAME_FIRST, 1, 1),
+        rng.string(NAME_REST, 0, 8)
+    )
 }
 
 /// Random element tree of bounded depth and width.
@@ -84,10 +90,12 @@ fn pretty_roundtrip() {
 fn hostile_content_roundtrip() {
     let mut rng = Rng(0xC2);
     for _ in 0..300 {
-        let attr: String =
-            (0..rng.below(21)).map(|_| (b' ' + rng.below(95) as u8) as char).collect();
-        let text: String =
-            (0..1 + rng.below(20)).map(|_| (b' ' + rng.below(95) as u8) as char).collect();
+        let attr: String = (0..rng.below(21))
+            .map(|_| (b' ' + rng.below(95) as u8) as char)
+            .collect();
+        let text: String = (0..1 + rng.below(20))
+            .map(|_| (b' ' + rng.below(95) as u8) as char)
+            .collect();
         let root = Element::new("x").with_attr("a", &attr).with_text(&text);
         let expect_text = text.trim().to_string();
         let doc = Document::from_root(root);

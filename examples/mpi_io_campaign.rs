@@ -51,7 +51,10 @@ fn main() {
             assert_eq!(report.runs_created.len(), 1);
         }
     }
-    println!("imported {files} b_eff_io output files ({} runs)", db.run_ids().unwrap().len());
+    println!(
+        "imported {files} b_eff_io output files ({} runs)",
+        db.run_ids().unwrap().len()
+    );
 
     // --- statistical solidity check -----------------------------------------
     // "we then made sure that we gathered a sufficient amount of data by
@@ -72,7 +75,9 @@ fn main() {
         </query>"#,
     )
     .unwrap();
-    let outcome = QueryRunner::new(&db).run(stats).expect("solidity query runs");
+    let outcome = QueryRunner::new(&db)
+        .run(stats)
+        .expect("solidity query runs");
     println!("\n{}", outcome.artifacts["table"]);
 
     // --- the Fig. 7 query → Fig. 8 chart ------------------------------------
@@ -90,8 +95,6 @@ fn main() {
         .filter(|l| l.contains("read"))
         .filter_map(|l| l.split('|').next_back()?.trim().parse::<f64>().ok())
         .fold(f64::INFINITY, f64::min);
-    println!(
-        "worst read-mode relative difference: {worst:.1}% (the Fig. 8 performance bug)"
-    );
+    println!("worst read-mode relative difference: {worst:.1}% (the Fig. 8 performance bug)");
     assert!(worst < -40.0, "the planted bug must dominate the chart");
 }

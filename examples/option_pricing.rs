@@ -72,10 +72,16 @@ fn main() {
                 if strike == 110.0 && vol == 0.25 && paths == 10_000 {
                     continue; // the hole the status query will find
                 }
-                let p = OptionParams { strike, volatility: vol, ..OptionParams::default() };
+                let p = OptionParams {
+                    strike,
+                    volatility: vol,
+                    ..OptionParams::default()
+                };
                 let out = render_run(&p, paths, n as u64 + 1);
                 let name = format!("opt_k{strike}_v{vol}_p{paths}.out");
-                importer.import_file(&desc, &name, &out).expect("import succeeds");
+                importer
+                    .import_file(&desc, &name, &out)
+                    .expect("import succeeds");
                 n += 1;
             }
         }
@@ -128,8 +134,11 @@ fn main() {
     let holes = status::missing_sweep_points(&db, &["strike", "volatility", "paths"]).unwrap();
     println!("missing sweep combinations: {}", holes.len());
     for h in &holes {
-        let combo: Vec<String> =
-            h.combination.iter().map(|(p, v)| format!("{p}={v}")).collect();
+        let combo: Vec<String> = h
+            .combination
+            .iter()
+            .map(|(p, v)| format!("{p}={v}"))
+            .collect();
         println!("  {}", combo.join(", "));
     }
     assert_eq!(holes.len(), 1, "exactly the one left-out combination");

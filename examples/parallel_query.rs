@@ -68,7 +68,9 @@ fn main() {
                 seed,
                 ..BeffIoConfig::default()
             });
-            importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+            importer
+                .import_file(&desc, &run.filename(), &run.render())
+                .unwrap();
             seed += 1;
         }
     }
@@ -78,7 +80,9 @@ fn main() {
 
     // --- sequential ----------------------------------------------------------
     let t = Instant::now();
-    let seq = QueryRunner::new(&db).run(query_from_str(&spec).unwrap()).unwrap();
+    let seq = QueryRunner::new(&db)
+        .run(query_from_str(&spec).unwrap())
+        .unwrap();
     let t_seq = t.elapsed();
     println!(
         "sequential:      {t_seq:>10.3?}  (source fraction {:.1}%)",
@@ -90,7 +94,9 @@ fn main() {
     // (the paper's cluster had many nodes); the makespan model schedules
     // the *measured* element timings onto N nodes under the Fig. 3
     // placement and socket-cost model.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("(this host has {cores} core(s); predicted cluster scaling from profile:)");
     let dag = perfbase::core::query::QueryDag::build(query_from_str(&spec).unwrap()).unwrap();
     let serial: std::time::Duration = seq.timings.iter().map(|t| t.wall).sum();
@@ -109,7 +115,9 @@ fn main() {
 
     // --- thread-parallel ------------------------------------------------------
     let t = Instant::now();
-    let par = ParallelQueryRunner::new(&db).run(query_from_str(&spec).unwrap()).unwrap();
+    let par = ParallelQueryRunner::new(&db)
+        .run(query_from_str(&spec).unwrap())
+        .unwrap();
     let t_par = t.elapsed();
     println!("thread-parallel: {t_par:>10.3?}");
     assert_eq!(seq.artifacts["o"], par.artifacts["o"], "results must agree");
@@ -128,7 +136,10 @@ fn main() {
             "cluster n={nodes}:     {elapsed:>10.3?}  ({} messages, {} rows, {:?} socket time)",
             stats.messages, stats.rows, stats.simulated
         );
-        assert_eq!(seq.artifacts["o"], dist.artifacts["o"], "results must agree");
+        assert_eq!(
+            seq.artifacts["o"], dist.artifacts["o"],
+            "results must agree"
+        );
     }
 
     println!("\nbest observed bandwidth series:\n{}", seq.artifacts["o"]);

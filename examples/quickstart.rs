@@ -68,7 +68,9 @@ toy benchmark v1\nrunning on 2 nodes\nsize latency\n8 4.25\n64 5.02\n512 7.95\n4
 
     let importer = Importer::new(&db).at_time(1_120_000_000);
     for (name, content) in [("run1.out", run1), ("run2.out", run2)] {
-        let report = importer.import_file(&desc, name, content).expect("import succeeds");
+        let report = importer
+            .import_file(&desc, name, content)
+            .expect("import succeeds");
         println!("imported {name}: run ids {:?}", report.runs_created);
     }
 

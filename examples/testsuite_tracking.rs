@@ -51,7 +51,11 @@ fn main() {
     .unwrap();
 
     // Twelve nightly runs; a bug is introduced in r5 and fixed in r8.
-    let bug = Bug { introduced: 5, fixed: 8, modulus: 10 };
+    let bug = Bug {
+        introduced: 5,
+        fixed: 8,
+        modulus: 10,
+    };
     for rev in 1..=12u32 {
         let run = run_suite(SuiteConfig {
             revision: rev,

@@ -40,7 +40,10 @@ fn setup_campaign(dir: &TempDir) -> String {
         "exp.xml",
         include_str!("../crates/bench/data/b_eff_io_experiment.xml"),
     );
-    let input = dir.write("input.xml", include_str!("../crates/bench/data/b_eff_io_input.xml"));
+    let input = dir.write(
+        "input.xml",
+        include_str!("../crates/bench/data/b_eff_io_input.xml"),
+    );
     let dbfile = dir.path("exp.pbdb");
 
     let out = cli(&["setup", "--def", &def, "--db", &dbfile, "--user", "demo"]).unwrap();
@@ -92,9 +95,21 @@ fn full_cli_workflow() {
     assert!(out.contains("technique=listless"));
 
     // query (Fig. 7)
-    let spec = dir.write("q.xml", include_str!("../crates/bench/data/b_eff_io_query.xml"));
-    let out =
-        cli(&["query", "--db", &dbfile, "--spec", &spec, "--user", "demo", "--timings"]).unwrap();
+    let spec = dir.write(
+        "q.xml",
+        include_str!("../crates/bench/data/b_eff_io_query.xml"),
+    );
+    let out = cli(&[
+        "query",
+        "--db",
+        &dbfile,
+        "--spec",
+        &spec,
+        "--user",
+        "demo",
+        "--timings",
+    ])
+    .unwrap();
     assert!(out.contains("== output element 'plot' =="));
     assert!(out.contains("set style data histogram"));
     assert!(out.contains("source fraction:"), "{out}");
@@ -104,7 +119,16 @@ fn full_cli_workflow() {
     let artifacts = |s: &str| s.split("== transfer ==").next().unwrap().to_string();
     let seq = cli(&["query", "--db", &dbfile, "--spec", &spec, "--user", "demo"]).unwrap();
     let par = cli(&[
-        "query", "--db", &dbfile, "--spec", &spec, "--user", "demo", "--parallel", "--nodes", "3",
+        "query",
+        "--db",
+        &dbfile,
+        "--spec",
+        &spec,
+        "--user",
+        "demo",
+        "--parallel",
+        "--nodes",
+        "3",
     ])
     .unwrap();
     assert!(par.contains("== transfer =="), "{par}");
@@ -113,8 +137,17 @@ fn full_cli_workflow() {
     // sharded query (no --parallel): run data spread over 3 nodes,
     // aggregations pushed down — identical artifacts again
     let sharded = cli(&[
-        "query", "--db", &dbfile, "--spec", &spec, "--user", "demo", "--nodes", "3",
-        "--latency", "none",
+        "query",
+        "--db",
+        &dbfile,
+        "--spec",
+        &spec,
+        "--user",
+        "demo",
+        "--nodes",
+        "3",
+        "--latency",
+        "none",
     ])
     .unwrap();
     assert!(sharded.contains("== transfer =="), "{sharded}");
@@ -122,8 +155,18 @@ fn full_cli_workflow() {
 
     // ... and with pushdown disabled (pure fallback materialization)
     let fallback = cli(&[
-        "query", "--db", &dbfile, "--spec", &spec, "--user", "demo", "--nodes", "3",
-        "--latency", "none", "--no-pushdown",
+        "query",
+        "--db",
+        &dbfile,
+        "--spec",
+        &spec,
+        "--user",
+        "demo",
+        "--nodes",
+        "3",
+        "--latency",
+        "none",
+        "--no-pushdown",
     ])
     .unwrap();
     assert_eq!(seq, artifacts(&fallback));
@@ -151,22 +194,53 @@ fn duplicate_import_blocked_until_forced() {
     // This content hash was imported during setup (same config/seed as
     // listbased rep 1? No — different seed, so first import succeeds).
     let out = cli(&[
-        "input", "--db", &dbfile, "--desc", &input, "--user", "demo", "--fixed",
-        "technique=listbased", "--fixed", "fs=ufs", &f,
+        "input",
+        "--db",
+        &dbfile,
+        "--desc",
+        &input,
+        "--user",
+        "demo",
+        "--fixed",
+        "technique=listbased",
+        "--fixed",
+        "fs=ufs",
+        &f,
     ])
     .unwrap();
     assert!(out.contains("imported 1 run(s)"), "{out}");
     // Re-import: duplicate.
     let out = cli(&[
-        "input", "--db", &dbfile, "--desc", &input, "--user", "demo", "--fixed",
-        "technique=listbased", "--fixed", "fs=ufs", &f,
+        "input",
+        "--db",
+        &dbfile,
+        "--desc",
+        &input,
+        "--user",
+        "demo",
+        "--fixed",
+        "technique=listbased",
+        "--fixed",
+        "fs=ufs",
+        &f,
     ])
     .unwrap();
     assert!(out.contains("skipped 1 duplicate"), "{out}");
     // Forced: goes through.
     let out = cli(&[
-        "input", "--db", &dbfile, "--desc", &input, "--user", "demo", "--force", "--fixed",
-        "technique=listbased", "--fixed", "fs=ufs", &f,
+        "input",
+        "--db",
+        &dbfile,
+        "--desc",
+        &input,
+        "--user",
+        "demo",
+        "--force",
+        "--fixed",
+        "technique=listbased",
+        "--fixed",
+        "fs=ufs",
+        &f,
     ])
     .unwrap();
     assert!(out.contains("imported 1 run(s)"), "{out}");
@@ -178,8 +252,10 @@ fn access_control_on_input() {
     let dbfile = setup_campaign(&dir);
     let input = dir.path("input.xml");
     let f = dir.path("bio_T10_N4_listbased_ufs_grisu_run1"); // exists from setup
-    let err = cli(&["input", "--db", &dbfile, "--desc", &input, "--user", "eve", &f])
-        .unwrap_err();
+    let err = cli(&[
+        "input", "--db", &dbfile, "--desc", &input, "--user", "eve", &f,
+    ])
+    .unwrap_err();
     assert!(err.contains("not authorised"), "{err}");
 }
 
@@ -191,13 +267,22 @@ fn check_command_validates_control_files() {
         include_str!("../crates/bench/data/b_eff_io_experiment.xml"),
     );
     let out = cli(&["check", "--kind", "experiment", &def]).unwrap();
-    assert!(out.contains("OK: experiment 'b_eff_io' with 16 variables"), "{out}");
+    assert!(
+        out.contains("OK: experiment 'b_eff_io' with 16 variables"),
+        "{out}"
+    );
 
-    let q = dir.write("q.xml", include_str!("../crates/bench/data/b_eff_io_query.xml"));
+    let q = dir.write(
+        "q.xml",
+        include_str!("../crates/bench/data/b_eff_io_query.xml"),
+    );
     let out = cli(&["check", "--kind", "query", &q]).unwrap();
     assert!(out.contains("OK: query"), "{out}");
 
-    let bad = dir.write("bad.xml", "<query><operator id=\"o\" type=\"max\" input=\"ghost\"/></query>");
+    let bad = dir.write(
+        "bad.xml",
+        "<query><operator id=\"o\" type=\"max\" input=\"ghost\"/></query>",
+    );
     let err = cli(&["check", "--kind", "query", &bad]).unwrap_err();
     assert!(err.contains("unknown input"), "{err}");
 }
@@ -218,8 +303,7 @@ fn update_command_evolves_definition() {
     let dir = TempDir::new("update");
     let dbfile = setup_campaign(&dir);
     // New definition: add a parameter.
-    let mut xml: String =
-        include_str!("../crates/bench/data/b_eff_io_experiment.xml").to_string();
+    let mut xml: String = include_str!("../crates/bench/data/b_eff_io_experiment.xml").to_string();
     xml = xml.replace(
         "</experiment>",
         "<parameter occurence=\"once\"><name>os_release</name><datatype>string</datatype></parameter></experiment>",
@@ -238,7 +322,10 @@ fn show_displays_run_content() {
     let dir = TempDir::new("show");
     let dbfile = setup_campaign(&dir);
     let out = cli(&["show", "--db", &dbfile, "--run", "1", "--user", "demo"]).unwrap();
-    assert!(out.starts_with("run 1 (imported 2004-11-23 18:30:30)"), "{out}");
+    assert!(
+        out.starts_with("run 1 (imported 2004-11-23 18:30:30)"),
+        "{out}"
+    );
     assert!(out.contains("technique"));
     assert!(out.contains("24 data set(s)"));
     assert!(out.contains("b_scatter"));
@@ -253,20 +340,47 @@ fn suspect_screens_for_anomalies() {
     let dbfile = setup_campaign(&dir);
     // Clean campaign data (low ufs noise): no 3σ deviations expected.
     let out = cli(&[
-        "suspect", "--db", &dbfile, "--user", "demo", "--value", "b_separate", "--group",
-        "technique,mode,s_chunk", "--min-samples", "2",
+        "suspect",
+        "--db",
+        &dbfile,
+        "--user",
+        "demo",
+        "--value",
+        "b_separate",
+        "--group",
+        "technique,mode,s_chunk",
+        "--min-samples",
+        "2",
     ])
     .unwrap();
-    assert!(out.contains("no anomalies") || out.contains("unstable"), "{out}");
+    assert!(
+        out.contains("no anomalies") || out.contains("unstable"),
+        "{out}"
+    );
 
     // Tighten the thresholds until everything is suspicious.
     let out = cli(&[
-        "suspect", "--db", &dbfile, "--user", "demo", "--value", "b_separate", "--group",
-        "technique,mode,s_chunk", "--min-samples", "2", "--threshold", "0.5",
-        "--max-rel-stddev", "0.0001",
+        "suspect",
+        "--db",
+        &dbfile,
+        "--user",
+        "demo",
+        "--value",
+        "b_separate",
+        "--group",
+        "technique,mode,s_chunk",
+        "--min-samples",
+        "2",
+        "--threshold",
+        "0.5",
+        "--max-rel-stddev",
+        "0.0001",
     ])
     .unwrap();
-    assert!(out.contains("deviating value(s)") || out.contains("unstable"), "{out}");
+    assert!(
+        out.contains("deviating value(s)") || out.contains("unstable"),
+        "{out}"
+    );
 
     // Unknown value column is a clean error.
     let err = cli(&[
@@ -279,11 +393,15 @@ fn suspect_screens_for_anomalies() {
 #[test]
 fn helpful_errors() {
     assert!(cli(&[]).is_err());
-    assert!(cli(&["frobnicate"]).unwrap_err().contains("unknown command"));
-    assert!(cli(&["setup"]).unwrap_err().contains("--def"));
-    assert!(cli(&["query", "--db", "/nonexistent/x.pbdb", "--spec", "y"])
+    assert!(cli(&["frobnicate"])
         .unwrap_err()
-        .contains("cannot read"));
+        .contains("unknown command"));
+    assert!(cli(&["setup"]).unwrap_err().contains("--def"));
+    assert!(
+        cli(&["query", "--db", "/nonexistent/x.pbdb", "--spec", "y"])
+            .unwrap_err()
+            .contains("cannot read")
+    );
     let help = cli(&["help"]).unwrap();
     assert!(help.contains("usage:"));
 }

@@ -52,8 +52,10 @@ fn setup_campaign(dir: &TempDir, tag: &str) -> (String, String) {
         &format!("exp_{tag}.xml"),
         include_str!("../crates/bench/data/b_eff_io_experiment.xml"),
     );
-    let input =
-        dir.write(&format!("input_{tag}.xml"), include_str!("../crates/bench/data/b_eff_io_input.xml"));
+    let input = dir.write(
+        &format!("input_{tag}.xml"),
+        include_str!("../crates/bench/data/b_eff_io_input.xml"),
+    );
     let dbfile = dir.path(&format!("exp_{tag}.pbdb"));
     let out = cli(&["setup", "--def", &def, "--db", &dbfile, "--user", "demo"]).unwrap();
     assert!(out.contains("created experiment 'b_eff_io'"), "{out}");
@@ -95,7 +97,10 @@ fn import(db: &str, input: &str, files: &[String], extra: &[&str]) -> Result<Str
 /// The `runs:` count printed by `perfbase info`.
 fn run_count(db: &str) -> usize {
     let out = cli(&["info", "--db", db]).unwrap();
-    let line = out.lines().find(|l| l.starts_with("runs:")).unwrap_or_else(|| panic!("{out}"));
+    let line = out
+        .lines()
+        .find(|l| l.starts_with("runs:"))
+        .unwrap_or_else(|| panic!("{out}"));
     line.split_whitespace().nth(1).unwrap().parse().unwrap()
 }
 
@@ -118,7 +123,11 @@ fn wal_import_matches_plain_import() {
     // A successful --wal import checkpoints: the log is compacted back to
     // its 16-byte header and the dump alone carries the data.
     let wal_file = format!("{db_wal}.wal");
-    assert_eq!(std::fs::metadata(&wal_file).unwrap().len(), 16, "log not compacted");
+    assert_eq!(
+        std::fs::metadata(&wal_file).unwrap().len(),
+        16,
+        "log not compacted"
+    );
 
     assert_eq!(run_count(&db_wal), 4);
     assert_eq!(run_count(&db_plain), 4);

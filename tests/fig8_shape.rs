@@ -41,10 +41,14 @@ fn fig8_rows_from_artifact() -> Vec<(i64, String, f64)> {
                 seed: u64::from(rep) * 31 + technique.file_tag().len() as u64,
                 ..BeffIoConfig::default()
             });
-            importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+            importer
+                .import_file(&desc, &run.filename(), &run.render())
+                .unwrap();
         }
     }
-    let out = QueryRunner::new(&db).run(query_from_str(QUERY).unwrap()).unwrap();
+    let out = QueryRunner::new(&db)
+        .run(query_from_str(QUERY).unwrap())
+        .unwrap();
     let gp = &out.artifacts["plot"];
 
     // Rows inside the $data << EOD ... EOD block look like:  "1032/read" -59.9
@@ -128,10 +132,17 @@ fn fig8_chart_is_presentable_unedited() {
     let desc = input_description_from_str(INPUT).unwrap();
     let importer = Importer::new(&db);
     for technique in [Technique::ListBased, Technique::ListLess] {
-        let run = simulate(BeffIoConfig { technique, ..BeffIoConfig::default() });
-        importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+        let run = simulate(BeffIoConfig {
+            technique,
+            ..BeffIoConfig::default()
+        });
+        importer
+            .import_file(&desc, &run.filename(), &run.render())
+            .unwrap();
     }
-    let out = QueryRunner::new(&db).run(query_from_str(QUERY).unwrap()).unwrap();
+    let out = QueryRunner::new(&db)
+        .run(query_from_str(QUERY).unwrap())
+        .unwrap();
     let gp = &out.artifacts["plot"];
     assert!(gp.contains(
         "set title \"Relative difference of performance of two algorithms for non-contiguous I/O\""

@@ -1,18 +1,28 @@
 //! Fig. 1 reproduction (experiment F1): the four possible mappings of
 //! input files to runs, asserted end to end through the import pipeline.
 
-use perfbase::core::experiment::{ExperimentDb, ExperimentDef, Meta, Variable, VarKind};
+use perfbase::core::experiment::{ExperimentDb, ExperimentDef, Meta, VarKind, Variable};
 use perfbase::core::import::Importer;
 use perfbase::core::input::input_description_from_str;
 use perfbase::sqldb::{DataType, Engine, Value};
 use std::sync::Arc;
 
 fn definition() -> ExperimentDef {
-    let mut def = ExperimentDef::new(Meta { name: "fig1".into(), ..Meta::default() }, "t");
-    def.add_variable(Variable::new("host", VarKind::Parameter, DataType::Text).once()).unwrap();
-    def.add_variable(Variable::new("cfg", VarKind::Parameter, DataType::Int).once()).unwrap();
-    def.add_variable(Variable::new("sz", VarKind::Parameter, DataType::Int)).unwrap();
-    def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float)).unwrap();
+    let mut def = ExperimentDef::new(
+        Meta {
+            name: "fig1".into(),
+            ..Meta::default()
+        },
+        "t",
+    );
+    def.add_variable(Variable::new("host", VarKind::Parameter, DataType::Text).once())
+        .unwrap();
+    def.add_variable(Variable::new("cfg", VarKind::Parameter, DataType::Int).once())
+        .unwrap();
+    def.add_variable(Variable::new("sz", VarKind::Parameter, DataType::Int))
+        .unwrap();
+    def.add_variable(Variable::new("bw", VarKind::ResultValue, DataType::Float))
+        .unwrap();
     def
 }
 
@@ -54,7 +64,9 @@ fn mapping_a_single_file_single_run() {
     let db = db();
     let desc = input_description_from_str(DESC).unwrap();
     let content = file("h1", 1, &[(64, 10.0), (128, 20.0)]);
-    let report = Importer::new(&db).import_file(&desc, "a.out", &content).unwrap();
+    let report = Importer::new(&db)
+        .import_file(&desc, "a.out", &content)
+        .unwrap();
     assert_eq!(report.runs_created, vec![1]);
     let s = db.run_summary(1).unwrap();
     assert_eq!(s.datasets, 2);
@@ -70,7 +82,9 @@ fn mapping_b_separators_multiple_runs_from_one_file() {
         file("h2", 2, &[(64, 11.0), (128, 21.0)]),
         file("h3", 3, &[(64, 12.0)])
     );
-    let report = Importer::new(&db).import_file(&desc, "b.out", &content).unwrap();
+    let report = Importer::new(&db)
+        .import_file(&desc, "b.out", &content)
+        .unwrap();
     assert_eq!(report.runs_created, vec![1, 2, 3]);
     let hosts: Vec<Value> = (1..=3)
         .map(|id| {
@@ -140,7 +154,9 @@ fn mapping_d_many_files_merged_into_one_run() {
     assert_eq!(report.runs_created, vec![1]);
     let s = db.run_summary(1).unwrap();
     assert_eq!(s.datasets, 3);
-    assert!(s.once_values.contains(&("host".to_string(), Value::Text("h9".into()))));
+    assert!(s
+        .once_values
+        .contains(&("host".to_string(), Value::Text("h9".into()))));
     assert!(s.once_values.contains(&("cfg".to_string(), Value::Int(7))));
 }
 

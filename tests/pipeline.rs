@@ -30,7 +30,9 @@ fn campaign_db(reps: u32) -> ExperimentDb {
                 seed: u64::from(rep) * 7 + technique.file_tag().len() as u64,
                 ..BeffIoConfig::default()
             });
-            let report = importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+            let report = importer
+                .import_file(&desc, &run.filename(), &run.render())
+                .unwrap();
             assert_eq!(report.runs_created.len(), 1, "one run per output file");
         }
     }
@@ -45,7 +47,11 @@ fn import_extracts_all_variables() {
     // 24 data rows per b_eff_io file (3 modes × 8 chunk sizes).
     assert_eq!(s.datasets, 24);
     let get = |name: &str| {
-        s.once_values.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone()).unwrap()
+        s.once_values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .unwrap()
     };
     assert_eq!(get("fs"), Value::Text("ufs".into()));
     assert_eq!(get("technique"), Value::Text("listbased".into()));
@@ -99,14 +105,21 @@ fn statistical_query_reports_plausible_stddev() {
     let out = QueryRunner::new(&db).run(q).unwrap();
     let csv = &out.artifacts["o"];
     let mut lines = csv.lines();
-    assert_eq!(lines.next().unwrap(), "s_chunk,b_separate_avg,b_separate_sd");
+    assert_eq!(
+        lines.next().unwrap(),
+        "s_chunk,b_separate_avg,b_separate_sd"
+    );
     let mut n = 0;
     for line in lines {
         let f: Vec<f64> = line.split(',').map(|x| x.parse().unwrap()).collect();
         let (avg, sd) = (f[1], f[2]);
         assert!(avg > 0.0);
         // ufs noise is ~6 %: stddev must be positive but far below the mean.
-        assert!(sd > 0.0 && sd < 0.5 * avg, "chunk {}: avg {avg}, sd {sd}", f[0]);
+        assert!(
+            sd > 0.0 && sd < 0.5 * avg,
+            "chunk {}: avg {avg}, sd {sd}",
+            f[0]
+        );
         n += 1;
     }
     assert_eq!(n, 8);
@@ -125,9 +138,13 @@ fn duplicate_file_rejected_across_sessions() {
     let desc = input_description_from_str(INPUT).unwrap();
     let run = simulate(BeffIoConfig::default()); // same as seed 1? (seed differs)
     let importer = Importer::new(&db);
-    let r1 = importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+    let r1 = importer
+        .import_file(&desc, &run.filename(), &run.render())
+        .unwrap();
     assert_eq!(r1.runs_created.len(), 1);
-    let r2 = importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+    let r2 = importer
+        .import_file(&desc, &run.filename(), &run.render())
+        .unwrap();
     assert_eq!(r2.duplicates_skipped, 1);
 }
 
@@ -145,8 +162,12 @@ fn persistence_roundtrip_through_sql_dump() {
       <operator id="m" type="avg" input="s"/>
       <output id="o" input="m" format="csv"/>
     </query>"#;
-    let a = QueryRunner::new(&db).run(query_from_str(q).unwrap()).unwrap();
-    let b = QueryRunner::new(&db2).run(query_from_str(q).unwrap()).unwrap();
+    let a = QueryRunner::new(&db)
+        .run(query_from_str(q).unwrap())
+        .unwrap();
+    let b = QueryRunner::new(&db2)
+        .run(query_from_str(q).unwrap())
+        .unwrap();
     assert_eq!(a.artifacts["o"], b.artifacts["o"]);
 }
 
@@ -171,8 +192,12 @@ fn parallel_and_sequential_agree_end_to_end() {
       <operator id="rel" type="above" input="max_new,max_old"/>
       <output id="o" input="rel" format="csv"/>
     </query>"#;
-    let seq = QueryRunner::new(&db).run(query_from_str(q).unwrap()).unwrap();
-    let par = ParallelQueryRunner::new(&db).run(query_from_str(q).unwrap()).unwrap();
+    let seq = QueryRunner::new(&db)
+        .run(query_from_str(q).unwrap())
+        .unwrap();
+    let par = ParallelQueryRunner::new(&db)
+        .run(query_from_str(q).unwrap())
+        .unwrap();
     assert_eq!(seq.artifacts["o"], par.artifacts["o"]);
 }
 
@@ -181,16 +206,23 @@ fn evolution_mid_campaign() {
     let db = campaign_db(1);
     // A new parameter appears after data was gathered (paper §3.1).
     db.update_definition(|def| {
-        use perfbase::core::experiment::{Variable, VarKind};
+        use perfbase::core::experiment::{VarKind, Variable};
         def.add_variable(
-            Variable::new("os_release", VarKind::Parameter, perfbase::sqldb::DataType::Text)
-                .once(),
+            Variable::new(
+                "os_release",
+                VarKind::Parameter,
+                perfbase::sqldb::DataType::Text,
+            )
+            .once(),
         )
     })
     .unwrap();
     // Old runs show NULL for the new parameter; new imports can fill it.
     let s = db.run_summary(1).unwrap();
-    assert!(s.once_values.iter().any(|(n, v)| n == "os_release" && v.is_null()));
+    assert!(s
+        .once_values
+        .iter()
+        .any(|(n, v)| n == "os_release" && v.is_null()));
 
     let mut once = HashMap::new();
     once.insert("os_release".to_string(), Value::Text("2.6.6".into()));
@@ -223,11 +255,26 @@ fn binary_trace_import_joins_the_pipeline() {
     let db = campaign_db(1);
     // An instrumented MPI-IO run emits a binary trace instead of ASCII.
     let mut w = TraceWriter::new(vec![
-        TraceField { name: "technique".into(), ty: TraceType::Text },
-        TraceField { name: "fs".into(), ty: TraceType::Text },
-        TraceField { name: "s_chunk".into(), ty: TraceType::Int },
-        TraceField { name: "mode".into(), ty: TraceType::Text },
-        TraceField { name: "b_separate".into(), ty: TraceType::Float },
+        TraceField {
+            name: "technique".into(),
+            ty: TraceType::Text,
+        },
+        TraceField {
+            name: "fs".into(),
+            ty: TraceType::Text,
+        },
+        TraceField {
+            name: "s_chunk".into(),
+            ty: TraceType::Int,
+        },
+        TraceField {
+            name: "mode".into(),
+            ty: TraceType::Text,
+        },
+        TraceField {
+            name: "b_separate".into(),
+            ty: TraceType::Float,
+        },
     ]);
     for (chunk, bw) in [(1024i64, 59.0f64), (32768, 80.0), (1048576, 85.0)] {
         w.record(&[
@@ -245,7 +292,9 @@ fn binary_trace_import_joins_the_pipeline() {
     assert_eq!(report.runs_created.len(), 1);
     let s = db.run_summary(report.runs_created[0]).unwrap();
     assert_eq!(s.datasets, 3);
-    assert!(s.once_values.contains(&("fs".to_string(), Value::Text("pvfs".into()))));
+    assert!(s
+        .once_values
+        .contains(&("fs".to_string(), Value::Text("pvfs".into()))));
     // Dedup applies to traces too.
     let again = importer.import_trace("run_copy.pbtr", &bytes).unwrap();
     assert_eq!(again.duplicates_skipped, 1);
@@ -315,11 +364,15 @@ fn sweep_hole_detection_on_campaign() {
         run_index: 9,
         ..BeffIoConfig::default()
     });
-    Importer::new(&db).import_file(&desc, &run.filename(), &run.render()).unwrap();
+    Importer::new(&db)
+        .import_file(&desc, &run.filename(), &run.render())
+        .unwrap();
     let holes = status::missing_sweep_points(&db, &["technique", "fs"]).unwrap();
     assert_eq!(holes.len(), 1);
     assert!(holes[0]
         .combination
         .contains(&("technique".to_string(), Value::Text("listless".into()))));
-    assert!(holes[0].combination.contains(&("fs".to_string(), Value::Text("nfs".into()))));
+    assert!(holes[0]
+        .combination
+        .contains(&("fs".to_string(), Value::Text("nfs".into()))));
 }

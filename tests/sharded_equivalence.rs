@@ -37,7 +37,9 @@ fn campaign_db(reps: u32) -> ExperimentDb {
                 seed: u64::from(rep) * 7 + technique.file_tag().len() as u64,
                 ..BeffIoConfig::default()
             });
-            importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+            importer
+                .import_file(&desc, &run.filename(), &run.render())
+                .unwrap();
         }
     }
     db
@@ -187,15 +189,19 @@ fn artifacts(db: &ExperimentDb, spec: &str, pushdown: bool) -> String {
         .unwrap();
     let mut ids: Vec<&String> = out.artifacts.keys().collect();
     ids.sort();
-    ids.iter().map(|id| format!("[{id}]\n{}\n", out.artifacts[id.as_str()])).collect()
+    ids.iter()
+        .map(|id| format!("[{id}]\n{}\n", out.artifacts[id.as_str()]))
+        .collect()
 }
 
 #[test]
 fn every_spec_is_equivalent_sharded_and_not() {
     let specs = equivalence_specs();
     let plain = campaign_db(2);
-    let want: Vec<String> =
-        specs.iter().map(|(_, spec)| artifacts(&plain, spec, true)).collect();
+    let want: Vec<String> = specs
+        .iter()
+        .map(|(_, spec)| artifacts(&plain, spec, true))
+        .collect();
 
     for nodes in [1usize, 2, 4] {
         let db = campaign_db(2);
@@ -220,9 +226,13 @@ fn pushdown_moves_at_least_10x_fewer_rows() {
        </source>
        <operator id="a" type="avg" input="s"/>
        <output id="o" input="a" format="csv"/></query>"#;
-    let pushed = QueryRunner::new(&db).run(query_from_str(spec).unwrap()).unwrap();
-    let fetched =
-        QueryRunner::new(&db).pushdown(false).run(query_from_str(spec).unwrap()).unwrap();
+    let pushed = QueryRunner::new(&db)
+        .run(query_from_str(spec).unwrap())
+        .unwrap();
+    let fetched = QueryRunner::new(&db)
+        .pushdown(false)
+        .run(query_from_str(spec).unwrap())
+        .unwrap();
     assert_eq!(pushed.artifacts["o"], fetched.artifacts["o"]);
     let tp = pushed.transfer.unwrap();
     let tf = fetched.transfer.unwrap();
@@ -238,18 +248,26 @@ fn pushdown_moves_at_least_10x_fewer_rows() {
 #[test]
 fn lan_latency_is_charged_per_query() {
     let db = campaign_db(2);
-    let cluster =
-        Arc::new(Cluster::with_frontend(db.engine().clone(), 4, LatencyModel::lan()));
+    let cluster = Arc::new(Cluster::with_frontend(
+        db.engine().clone(),
+        4,
+        LatencyModel::lan(),
+    ));
     db.attach_cluster(cluster).unwrap();
     let spec = r#"<query name="lat"><source id="s">
          <value name="b_separate"/>
        </source>
        <operator id="a" type="sum" input="s"/>
        <output id="o" input="a" format="csv"/></query>"#;
-    let out = QueryRunner::new(&db).run(query_from_str(spec).unwrap()).unwrap();
+    let out = QueryRunner::new(&db)
+        .run(query_from_str(spec).unwrap())
+        .unwrap();
     let t = out.transfer.unwrap();
     assert!(t.messages > 0);
-    assert!(!t.simulated.is_zero(), "lan latency model must accrue simulated time");
+    assert!(
+        !t.simulated.is_zero(),
+        "lan latency model must accrue simulated time"
+    );
 }
 
 #[test]
@@ -289,7 +307,9 @@ fn new_runs_land_on_their_owning_node() {
             seed: u64::from(rep) * 31,
             ..BeffIoConfig::default()
         });
-        importer.import_file(&desc, &run.filename(), &run.render()).unwrap();
+        importer
+            .import_file(&desc, &run.filename(), &run.render())
+            .unwrap();
     }
     let sh = db.sharding().unwrap();
     for run_id in db.run_ids().unwrap() {
@@ -304,7 +324,10 @@ fn new_runs_land_on_their_owning_node() {
         }
     }
     let delta = cluster.stats().delta_since(&before);
-    assert!(delta.rows > 0 || delta.messages > 0, "remote imports charge the link");
+    assert!(
+        delta.rows > 0 || delta.messages > 0,
+        "remote imports charge the link"
+    );
     db.detach_cluster().unwrap();
     // After detaching, everything is back on the frontend.
     for run_id in db.run_ids().unwrap() {

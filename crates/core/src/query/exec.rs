@@ -172,6 +172,14 @@ impl<'a> QueryRunner<'a> {
     /// Execute `spec` and drop all temporary tables afterwards.
     pub fn run(&self, spec: QuerySpec) -> Result<QueryOutcome> {
         let dag = QueryDag::build(spec)?;
+        let mut dag_span = obs::span("dag");
+        dag_span.annotate(|| {
+            format!(
+                "query={} elements={}",
+                dag.spec.name,
+                dag.spec.elements.len()
+            )
+        });
         let engine = self.db.engine().clone();
         let def = self.db.definition();
         let sharding = self.db.sharding();
@@ -186,6 +194,8 @@ impl<'a> QueryRunner<'a> {
 
         for &i in &dag.topo_order {
             let element = &dag.spec.elements[i];
+            obs::incr(obs::Counter::DagElements);
+            let mut el_span = obs::span("element");
             let started = Instant::now();
             let table = temp_table_name(&dag.spec.name, &element.id);
             match &element.kind {
@@ -200,6 +210,7 @@ impl<'a> QueryRunner<'a> {
                 }
                 ElementKind::Operator(o) => {
                     if let Some(si) = fused[i] {
+                        obs::incr(obs::Counter::DagPushdownFused);
                         let ElementKind::Source(s) = &dag.spec.elements[si].kind else {
                             unreachable!("fusion plan only names sources")
                         };
@@ -237,6 +248,20 @@ impl<'a> QueryRunner<'a> {
                 .as_ref()
                 .map(|v| engine.row_count(&v.table).unwrap_or(0))
                 .unwrap_or(0);
+            el_span.annotate(|| {
+                let decision = match &element.kind {
+                    ElementKind::Source(_) if source_fused[i] => " fused-into-consumer",
+                    ElementKind::Operator(_) if fused[i].is_some() => " pushdown=fused",
+                    _ => "",
+                };
+                format!(
+                    "id={} kind={}{} rows={rows}",
+                    element.id,
+                    element.kind.name(),
+                    decision
+                )
+            });
+            obs::record_duration(obs::Hist::ElementNs, started.elapsed());
             outcome.timings.push(ElementTiming {
                 id: element.id.clone(),
                 kind: element.kind.name(),
@@ -471,6 +496,11 @@ pub(crate) fn run_source(
         let mut dsql = format!("SELECT {} FROM {}", dcols.join(", "), data_table);
         if !plan.multi_where.is_empty() {
             dsql.push_str(&format!(" WHERE {}", plan.multi_where.join(" AND ")));
+        }
+        // One shard fragment materialised on the frontend per run — the
+        // fallback path the aggregation pushdown avoids.
+        if db.sharding().is_some() {
+            obs::incr(obs::Counter::DagShardsMaterialized);
         }
         let data = db.query_run_data(run_id, &dsql)?;
         for drow in data.rows() {

@@ -1,0 +1,121 @@
+//! Human-readable rendering of the telemetry state — the backend of
+//! `perfbase stats`.
+
+use crate::{class_snapshot, counters_snapshot, hist_snapshot};
+use std::fmt::Write as _;
+
+/// Format nanoseconds with a human unit (`482ns`, `12.5us`, `3.1ms`,
+/// `2.4s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Render every non-zero counter, histogram, and statement class as an
+/// aligned text report.
+pub fn render_stats() -> String {
+    let mut out = String::new();
+
+    out.push_str("== counters ==\n");
+    let mut any = false;
+    for (name, value) in counters_snapshot() {
+        if value > 0 {
+            let _ = writeln!(out, "{name:<32} {value:>12}");
+            any = true;
+        }
+    }
+    if !any {
+        out.push_str("(no activity recorded)\n");
+    }
+
+    let live: Vec<_> = hist_snapshot()
+        .into_iter()
+        .filter(|h| h.count > 0)
+        .collect();
+    if !live.is_empty() {
+        out.push_str("\n== histograms ==\n");
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>12} {:>12} {:>12}",
+            "histogram", "count", "mean", "p50<=", "p99<="
+        );
+        for h in live {
+            let time_valued = h.name.ends_with("_ns");
+            let fmt = |v: u64| {
+                if time_valued {
+                    fmt_ns(v)
+                } else {
+                    v.to_string()
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>10} {:>12} {:>12} {:>12}",
+                h.name,
+                h.count,
+                fmt(h.mean() as u64),
+                fmt(h.quantile(0.5)),
+                fmt(h.quantile(0.99)),
+            );
+        }
+    }
+
+    let classes: Vec<_> = class_snapshot()
+        .into_iter()
+        .filter(|c| c.statements > 0 || c.wal_appends > 0 || c.wal_fsyncs > 0)
+        .collect();
+    if !classes.is_empty() {
+        out.push_str("\n== statement classes ==\n");
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12} {:>12} {:>10} {:>14}",
+            "class", "stmts", "exec avg", "wal appends", "fsyncs", "fsync avg"
+        );
+        for c in classes {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10} {:>12} {:>12} {:>10} {:>14}",
+                c.class,
+                c.statements,
+                fmt_ns(c.exec_avg_ns() as u64),
+                c.wal_appends,
+                c.wal_fsyncs,
+                fmt_ns(c.fsync_avg_ns() as u64),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(482), "482ns");
+        assert_eq!(fmt_ns(12_500), "12.5us");
+        assert_eq!(fmt_ns(3_100_000), "3.1ms");
+        assert_eq!(fmt_ns(2_400_000_000), "2.40s");
+    }
+
+    #[test]
+    fn report_renders_activity() {
+        let _g = crate::test_guard();
+        crate::set_stats_enabled(true);
+        crate::incr(crate::Counter::StmtParsed);
+        crate::record(crate::Hist::ParseNs, 1_000);
+        crate::record_statement(crate::StmtClass::Select, 5_000);
+        let r = render_stats();
+        assert!(r.contains("sql.statements_parsed"), "{r}");
+        assert!(r.contains("sql.parse_ns"), "{r}");
+        assert!(r.contains("select"), "{r}");
+    }
+}

@@ -25,11 +25,23 @@
 //! * `check --kind experiment|input|query file` — validate a control file
 //! * `dump --db file` — print the SQL dump
 //! * `suspect --db file --value V --group p1,p2` — anomaly screening (§6)
+//! * `stats [--reset] [--export-experiment --out dir]` — print the
+//!   process-wide engine telemetry; with `--export-experiment`, write the
+//!   metrics as a perfbase experiment (definition + input description +
+//!   run file) so they can be imported and queried through perfbase itself
+//!
+//! `query` additionally accepts `--trace file`, writing the span tree of
+//! the query's execution (DAG elements, SQL statements, cluster traffic)
+//! to `file`. Because telemetry is per-process, `input` and `query` also
+//! accept `--stats-export dir`, running the `--export-experiment` export
+//! after the work completes — the way to capture a real workload's
+//! metrics from the command line.
 //!
 //! Every command returns its textual output, making the frontend fully
 //! testable without process spawning.
 
 pub mod args;
+mod stats;
 
 use args::{Args, OptSpec};
 use perfbase_core::experiment::{AccessLevel, ExperimentDb};
@@ -63,13 +75,14 @@ pub fn run(argv: Vec<String>) -> Result<String, String> {
         "dump" => cmd_dump(rest),
         "show" => cmd_show(rest),
         "suspect" => cmd_suspect(rest),
+        "stats" => stats::cmd_stats(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage: perfbase <setup|update|input|checkpoint|query|info|ls|show|missing|delete|check|dump|suspect> [options]\n\
+    "usage: perfbase <setup|update|input|checkpoint|query|info|ls|show|missing|delete|check|dump|suspect|stats> [options]\n\
      run `perfbase help` for details"
         .to_string()
 }
@@ -273,6 +286,10 @@ fn cmd_input(argv: Vec<String>) -> Result<String, String> {
                 name: "crash-after-frames",
                 takes_value: true,
             },
+            OptSpec {
+                name: "stats-export",
+                takes_value: true,
+            },
         ]),
     )
     .map_err(err)?;
@@ -384,6 +401,10 @@ fn cmd_input(argv: Vec<String>) -> Result<String, String> {
         report.runs_discarded,
         report.duplicates_skipped
     ));
+    if let Some(dir) = a.get("stats-export") {
+        out.push('\n');
+        out.push_str(&stats::export_experiment(Path::new(dir), &user_of(&a))?);
+    }
     Ok(out)
 }
 
@@ -451,6 +472,14 @@ fn cmd_query(argv: Vec<String>) -> Result<String, String> {
                 name: "timings",
                 takes_value: false,
             },
+            OptSpec {
+                name: "trace",
+                takes_value: true,
+            },
+            OptSpec {
+                name: "stats-export",
+                takes_value: true,
+            },
         ]),
     )
     .map_err(err)?;
@@ -465,34 +494,18 @@ fn cmd_query(argv: Vec<String>) -> Result<String, String> {
         .transpose()?
         .map(|n| n.max(1));
 
-    let outcome = if a.flag("parallel") {
-        // Element-level parallelism: DAG elements round-robin over worker
-        // nodes, the experiment data stays on the frontend.
-        match nodes {
-            Some(n) => {
-                let latency = latency_model(&a, LatencyModel::fast_interconnect())?;
-                let cluster = Cluster::new(n, latency);
-                ParallelQueryRunner::new(&db)
-                    .on_cluster(&cluster, Placement::RoundRobin)
-                    .run(spec)
-                    .map_err(err)?
-            }
-            None => ParallelQueryRunner::new(&db).run(spec).map_err(err)?,
-        }
-    } else if let Some(n) = nodes {
-        // Data-level distribution: shard the run data across the cluster
-        // and push decomposable aggregations to the owning nodes.
-        let latency = latency_model(&a, LatencyModel::lan())?;
-        let cluster = Arc::new(Cluster::with_frontend(db.engine().clone(), n, latency));
-        db.attach_cluster(cluster).map_err(err)?;
-        let outcome = QueryRunner::new(&db)
-            .pushdown(!a.flag("no-pushdown"))
-            .run(spec)
-            .map_err(err)?;
-        db.detach_cluster().map_err(err)?;
-        outcome
+    let run_query = || -> Result<_, String> { run_query_outcome(&a, &db, spec, nodes) };
+    let outcome = if let Some(path) = a.get("trace") {
+        // Collect the span tree for this query only: attach the sink,
+        // run, detach before any error propagates.
+        let collector = obs::TraceCollector::new();
+        obs::set_sink(Some(collector.clone()));
+        let result = run_query();
+        obs::set_sink(None);
+        std::fs::write(path, collector.render()).map_err(err)?;
+        result?
     } else {
-        QueryRunner::new(&db).run(spec).map_err(err)?
+        run_query()?
     };
 
     let mut ids: Vec<&String> = outcome.artifacts.keys().collect();
@@ -519,7 +532,49 @@ fn cmd_query(argv: Vec<String>) -> Result<String, String> {
             outcome.source_time_fraction() * 100.0
         ));
     }
+    if let Some(dir) = a.get("stats-export") {
+        out.push_str(&stats::export_experiment(Path::new(dir), &user_of(&a))?);
+    }
     Ok(out)
+}
+
+/// Execute a parsed query spec with the execution strategy selected by the
+/// `query` command's flags.
+fn run_query_outcome(
+    a: &Args,
+    db: &ExperimentDb,
+    spec: perfbase_core::query::spec::QuerySpec,
+    nodes: Option<usize>,
+) -> Result<perfbase_core::query::QueryOutcome, String> {
+    if a.flag("parallel") {
+        // Element-level parallelism: DAG elements round-robin over worker
+        // nodes, the experiment data stays on the frontend.
+        match nodes {
+            Some(n) => {
+                let latency = latency_model(a, LatencyModel::fast_interconnect())?;
+                let cluster = Cluster::new(n, latency);
+                ParallelQueryRunner::new(db)
+                    .on_cluster(&cluster, Placement::RoundRobin)
+                    .run(spec)
+                    .map_err(err)
+            }
+            None => ParallelQueryRunner::new(db).run(spec).map_err(err),
+        }
+    } else if let Some(n) = nodes {
+        // Data-level distribution: shard the run data across the cluster
+        // and push decomposable aggregations to the owning nodes.
+        let latency = latency_model(a, LatencyModel::lan())?;
+        let cluster = Arc::new(Cluster::with_frontend(db.engine().clone(), n, latency));
+        db.attach_cluster(cluster).map_err(err)?;
+        let outcome = QueryRunner::new(db)
+            .pushdown(!a.flag("no-pushdown"))
+            .run(spec)
+            .map_err(err)?;
+        db.detach_cluster().map_err(err)?;
+        Ok(outcome)
+    } else {
+        QueryRunner::new(db).run(spec).map_err(err)
+    }
 }
 
 fn cmd_info(argv: Vec<String>) -> Result<String, String> {

@@ -48,6 +48,7 @@
 //! ```
 
 pub use exprcalc;
+pub use obs;
 pub use perfbase_core as core;
 pub use rematch;
 pub use sqldb;

@@ -289,11 +289,15 @@ impl Cluster {
     /// what import-time routing of a new run's data to its owning node
     /// costs.
     pub fn charge_shipment(&self, rows: usize) {
+        obs::incr(obs::Counter::ClusterShipments);
+        obs::record(obs::Hist::ShipmentRows, rows as u64);
         self.charge(0); // header/schema round trip
         self.charge(rows);
     }
 
     fn charge(&self, rows: usize) {
+        obs::incr(obs::Counter::ClusterMessages);
+        obs::add(obs::Counter::ClusterRowsShipped, rows as u64);
         let cost = self.latency.cost(rows);
         {
             let mut s = self.stats.lock();
@@ -388,7 +392,9 @@ impl Cluster {
     /// Run a query on node `src` and return the result *here* (i.e. to the
     /// caller's node `dst`), charging socket cost when `src != dst`.
     pub fn fetch(&self, src: usize, dst: usize, sql: &str) -> Result<ResultSet, DbError> {
+        let mut span = obs::span("cluster.fetch");
         let rs = self.nodes[src].engine.query(sql)?;
+        span.annotate(|| format!("src={src} dst={dst} rows={}", rs.len()));
         if src != dst {
             self.charge(rs.len());
         }
@@ -408,6 +414,8 @@ impl Cluster {
     ) -> Result<usize, DbError> {
         let (schema, rows) = self.nodes[src].engine.read_snapshot(src_name)?;
         let n = rows.len();
+        let mut span = obs::span("cluster.copy_table");
+        span.annotate(|| format!("src={src} dst={dst} rows={n}"));
         if src != dst {
             self.charge_shipment(n);
         }
@@ -430,6 +438,8 @@ impl Cluster {
         table: &str,
         rs: &ResultSet,
     ) -> Result<(), DbError> {
+        let mut span = obs::span("cluster.materialize");
+        span.annotate(|| format!("src={src} dst={dst} rows={}", rs.len()));
         if src != dst {
             self.charge_shipment(rs.len());
         }

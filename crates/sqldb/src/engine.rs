@@ -14,6 +14,45 @@ use crate::wal::{RecoveryReport, Wal, WalOptions};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Telemetry class of a parsed statement.
+fn stmt_class(stmt: &Stmt) -> obs::StmtClass {
+    match stmt {
+        Stmt::Select(_) => obs::StmtClass::Select,
+        Stmt::Explain { .. } => obs::StmtClass::Explain,
+        Stmt::Insert { .. } => obs::StmtClass::Insert,
+        Stmt::Update { .. } => obs::StmtClass::Update,
+        Stmt::Delete { .. } => obs::StmtClass::Delete,
+        Stmt::CreateTable { .. } | Stmt::DropTable { .. } | Stmt::CreateIndex { .. } => {
+            obs::StmtClass::Ddl
+        }
+    }
+}
+
+/// RAII guard classifying one programmatic (non-SQL-text) mutation: scopes
+/// WAL attribution to `class` for its lifetime and records one statement
+/// with its wall time on drop. The SQL-text entry points (`execute`,
+/// `query`) do this inline instead, after parsing tells them the class.
+struct ClassifiedStmt {
+    class: obs::StmtClass,
+    started: Instant,
+    _scope: obs::ClassScope,
+}
+
+impl Drop for ClassifiedStmt {
+    fn drop(&mut self) {
+        obs::record_statement(self.class, self.started.elapsed().as_nanos() as u64);
+    }
+}
+
+fn classified(class: obs::StmtClass) -> ClassifiedStmt {
+    ClassifiedStmt {
+        class,
+        started: Instant::now(),
+        _scope: obs::class_scope(class),
+    }
+}
 
 /// Result of a SELECT: column names plus rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +142,7 @@ impl Engine {
         temp: bool,
         if_not_exists: bool,
     ) -> Result<(), DbError> {
+        let _stmt = classified(obs::StmtClass::Ddl);
         let mut wal = self.wal.lock();
         match wal.as_mut() {
             Some(w) if !temp => {
@@ -143,6 +183,7 @@ impl Engine {
     /// mutex, so a table created concurrently cannot slip in between the
     /// skip decision and the apply.
     pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<(), DbError> {
+        let _stmt = classified(obs::StmtClass::Ddl);
         let mut wal = self.wal.lock();
         let Some(w) = wal.as_mut() else {
             drop(wal);
@@ -182,6 +223,7 @@ impl Engine {
 
     /// Insert rows programmatically.
     pub fn insert_rows(&self, name: &str, rows: Vec<Row>) -> Result<usize, DbError> {
+        let _stmt = classified(obs::StmtClass::Insert);
         let mut wal = self.wal.lock();
         let Some(w) = wal.as_mut() else {
             drop(wal);
@@ -250,14 +292,32 @@ impl Engine {
     /// recovery would diverge). A failed apply is harmless: the logged
     /// statement fails identically on recovery.
     pub fn execute(&self, sql_text: &str) -> Result<usize, DbError> {
+        let parse_started = Instant::now();
         let stmt = sql::parse_statement(sql_text)?;
+        obs::incr(obs::Counter::StmtParsed);
+        obs::record_duration(obs::Hist::ParseNs, parse_started.elapsed());
+        let class = stmt_class(&stmt);
+        let _class_scope = obs::class_scope(class);
+        let mut span = obs::span("statement");
+        span.annotate(|| format!("class={}", class.name()));
+        let exec_started = Instant::now();
+        let result = self.execute_parsed_logged(sql_text, stmt);
+        obs::record_statement(class, exec_started.elapsed().as_nanos() as u64);
+        obs::record_duration(obs::Hist::ExecNs, exec_started.elapsed());
+        obs::incr(obs::Counter::StmtExecuted);
+        result
+    }
+
+    /// The WAL-gated half of [`Engine::execute`]: log the statement if it
+    /// must be durable, then apply it.
+    fn execute_parsed_logged(&self, sql_text: &str, stmt: Stmt) -> Result<usize, DbError> {
         let mut wal = self.wal.lock();
         let Some(w) = wal.as_mut() else {
             drop(wal);
             return self.run_parsed(stmt);
         };
         let durable = match &stmt {
-            Stmt::Select(_) => false,
+            Stmt::Select(_) | Stmt::Explain { .. } => false,
             Stmt::CreateTable { temp, .. } => !*temp,
             Stmt::DropTable { name, .. } => !self.is_temp(name) && self.has_table(name),
             Stmt::Insert { table, .. }
@@ -329,7 +389,7 @@ impl Engine {
                 Err(DbError::Execution(_)) if if_not_exists => Ok(0),
                 Err(e) => Err(e),
             },
-            Stmt::Select(_) => Err(DbError::Execution(
+            Stmt::Select(_) | Stmt::Explain { .. } => Err(DbError::Execution(
                 "use query() for SELECT statements".into(),
             )),
         }
@@ -351,6 +411,7 @@ impl Engine {
         column: &str,
         ordered: bool,
     ) -> Result<(), DbError> {
+        let _stmt = classified(obs::StmtClass::Ddl);
         let mut wal = self.wal.lock();
         let Some(w) = wal.as_mut() else {
             drop(wal);
@@ -402,14 +463,40 @@ impl Engine {
         }
     }
 
-    /// Run a SELECT and return its rows.
+    /// Run a SELECT (or `EXPLAIN [ANALYZE] SELECT`) and return its rows.
     pub fn query(&self, sql_text: &str) -> Result<ResultSet, DbError> {
-        match sql::parse_statement(sql_text)? {
-            Stmt::Select(sel) => exec::run_select(self, &sel),
-            _ => Err(DbError::Execution(
-                "query() only accepts SELECT statements".into(),
-            )),
-        }
+        let parse_started = Instant::now();
+        let stmt = sql::parse_statement(sql_text)?;
+        obs::incr(obs::Counter::StmtParsed);
+        obs::record_duration(obs::Hist::ParseNs, parse_started.elapsed());
+        let class = stmt_class(&stmt);
+        let (sel, analyze) = match stmt {
+            Stmt::Select(sel) => (sel, None),
+            Stmt::Explain { analyze, select } => (select, Some(analyze)),
+            _ => {
+                return Err(DbError::Execution(
+                    "query() only accepts SELECT statements".into(),
+                ))
+            }
+        };
+        let _class_scope = obs::class_scope(class);
+        let mut span = obs::span("query");
+        span.annotate(|| {
+            format!(
+                "class={} from={}",
+                class.name(),
+                sel.from.as_deref().unwrap_or("-")
+            )
+        });
+        obs::incr(obs::Counter::QueriesRun);
+        let exec_started = Instant::now();
+        let result = match analyze {
+            None => exec::run_select(self, &sel),
+            Some(analyze) => exec::run_explain(self, &sel, analyze),
+        };
+        obs::record_statement(class, exec_started.elapsed().as_nanos() as u64);
+        obs::record_duration(obs::Hist::ExecNs, exec_started.elapsed());
+        result
     }
 
     /// Run a SELECT through the unoptimized reference executor: full table

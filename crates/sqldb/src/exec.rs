@@ -18,11 +18,11 @@
 //! * **Hash equi-joins** — `JOIN ... ON a.x = b.y` builds the hash table on
 //!   the smaller input, keyed by [`ValueKey`]; output order is identical to
 //!   the naive accumulated-major nested loop.
-//! * **Parallel segmented scans** — above [`PARALLEL_THRESHOLD`] rows, a
-//!   scan splits into per-thread segments (`std::thread::scope`) whose
-//!   partial results concatenate (plain scans) or merge (aggregations, via
-//!   [`Accumulator::merge`]) in segment order, preserving sequential output
-//!   order.
+//! * **Parallel segmented scans** — above a calibrated row threshold (see
+//!   [`scan_tuning`]), a scan splits into per-thread segments
+//!   (`std::thread::scope`) whose partial results concatenate (plain
+//!   scans) or merge (aggregations, via [`Accumulator::merge`]) in segment
+//!   order, preserving sequential output order.
 //!
 //! [`run_select_reference`] keeps the unoptimized pipeline — snapshot +
 //! interpreted evaluation + nested-loop joins — as the oracle for the
@@ -39,11 +39,99 @@ use crate::table::{Row, Table};
 use crate::value::{DataType, Value, ValueKey};
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
+use std::sync::OnceLock;
+use std::time::Instant;
 
-/// Row count above which single-table scans run as parallel segments.
-/// Float aggregates (sum/avg/stddev) may then differ from the sequential
-/// result in the last ulp because the summation order changes.
-const PARALLEL_THRESHOLD: usize = 8192;
+/// Tuning values for the parallel segmented scan, fixed once per process.
+///
+/// Float aggregates (sum/avg/stddev) may differ from the sequential
+/// result in the last ulp above the threshold because the summation order
+/// changes.
+struct ScanTuning {
+    /// Row count above which single-table scans run as parallel segments.
+    threshold: usize,
+    /// Upper bound on scan worker threads.
+    max_threads: usize,
+}
+
+/// The process-wide scan tuning: environment overrides
+/// (`PERFBASE_PARALLEL_THRESHOLD`, `PERFBASE_SCAN_THREADS`) when set,
+/// otherwise a one-shot calibration replacing the historical fixed
+/// threshold of 8192 rows and 8-thread cap. The measured per-row cost and
+/// the derived values are published as `scan.*` gauges.
+fn scan_tuning() -> &'static ScanTuning {
+    static TUNING: OnceLock<ScanTuning> = OnceLock::new();
+    TUNING.get_or_init(|| {
+        let env_usize = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&v| v > 0)
+        };
+        let threshold = env_usize("PERFBASE_PARALLEL_THRESHOLD").unwrap_or_else(|| {
+            let per_row_ns = measure_per_row_cost_ns();
+            let spawn_ns = measure_spawn_cost_ns();
+            obs::set(obs::Counter::ScanPerRowNanos, per_row_ns);
+            derive_threshold(spawn_ns, per_row_ns)
+        });
+        let max_threads = env_usize("PERFBASE_SCAN_THREADS").unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        obs::set(obs::Counter::ParallelThresholdRows, threshold as u64);
+        obs::set(obs::Counter::ScanThreadCap, max_threads as u64);
+        ScanTuning {
+            threshold,
+            max_threads,
+        }
+    })
+}
+
+/// Threshold from measured costs: parallelism pays off once the scan work
+/// dwarfs the price of standing up the workers; the 4x factor buys
+/// headroom for partial-result merging, and the clamp keeps a noisy
+/// measurement from producing a degenerate threshold.
+fn derive_threshold(spawn_ns: u64, per_row_ns: u64) -> usize {
+    ((4 * spawn_ns) / per_row_ns.max(1)).clamp(1024, 65_536) as usize
+}
+
+/// Median per-row cost of a filter-shaped pass (compare + branch +
+/// accumulate) over an in-cache segment, in nanoseconds. Deliberately a
+/// lower bound: real predicates cost more per row, which only lowers the
+/// true break-even point below the derived threshold.
+fn measure_per_row_cost_ns() -> u64 {
+    const ROWS: u64 = 64 * 1024;
+    let data: Vec<u64> = (0..ROWS).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let mut samples = [0u64; 5];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for &v in &data {
+            if v % 7 != 0 {
+                acc = acc.wrapping_add(v);
+            }
+        }
+        std::hint::black_box(acc);
+        *s = (t0.elapsed().as_nanos() as u64 / ROWS).max(1);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Median cost of spawning and joining one worker thread, in nanoseconds.
+fn measure_spawn_cost_ns() -> u64 {
+    let mut samples = [0u64; 5];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        std::thread::spawn(|| std::hint::black_box(0u64))
+            .join()
+            .expect("calibration thread");
+        *s = t0.elapsed().as_nanos() as u64;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
 
 /// Execute a SELECT against the engine (optimized pipeline).
 pub fn run_select(engine: &Engine, sel: &SelectStmt) -> Result<ResultSet, DbError> {
@@ -139,7 +227,9 @@ fn single_table_select(
 
     let filter = sel.where_clause.as_ref().map(|w| compile(w, schema));
     let filter = filter.as_ref();
-    let candidates = plan_point_lookup(sel.where_clause.as_ref(), table);
+    let t_plan = Instant::now();
+    let candidates = plan_access(sel.where_clause.as_ref(), table).candidates;
+    obs::record_duration(obs::Hist::PlanNs, t_plan.elapsed());
 
     if is_aggregation(sel) {
         if let Some(key_idx) = resolve_group_keys(sel, schema) {
@@ -286,17 +376,22 @@ fn project_ids(
         }
         out.push(project_row(r, items)?);
     }
+    obs::add(obs::Counter::ResidualChecks, ids.len() as u64);
+    obs::add(obs::Counter::ResidualDrops, (ids.len() - out.len()) as u64);
     Ok(out)
 }
 
 /// How many scan segments to use for `n` rows.
 fn scan_threads(n: usize) -> usize {
-    if n < PARALLEL_THRESHOLD {
+    let tuning = scan_tuning();
+    if n < tuning.threshold {
         return 1;
     }
-    std::thread::available_parallelism()
-        .map(|p| p.get().min(8))
-        .unwrap_or(1)
+    // Cap segments so each stays at least half a threshold's worth of rows:
+    // right at the threshold two workers split the scan, and the full
+    // thread budget only engages once the input is large enough to feed it.
+    let useful = n.div_ceil((tuning.threshold / 2).max(1));
+    tuning.max_threads.min(useful).max(1)
 }
 
 /// Filter + project a full table scan, in parallel segments above the
@@ -307,10 +402,13 @@ fn project_scan(
     filter: Option<&CompiledExpr>,
     items: &[CompiledItem],
 ) -> Result<Vec<Row>, DbError> {
+    obs::add(obs::Counter::ScanRowsVisited, rows.len() as u64);
     let threads = scan_threads(rows.len());
     if threads <= 1 {
+        obs::incr(obs::Counter::SerialScans);
         return project_segment(rows, filter, items);
     }
+    obs::incr(obs::Counter::ParallelScans);
     let chunk = rows.len().div_ceil(threads);
     let partials: Vec<Result<Vec<Row>, DbError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = rows
@@ -338,8 +436,10 @@ fn fast_agg_scan(
     plan: Vec<FastItem>,
     key_idx: Vec<usize>,
 ) -> Result<Vec<Row>, DbError> {
+    obs::add(obs::Counter::ScanRowsVisited, rows.len() as u64);
     let threads = scan_threads(rows.len());
     if threads <= 1 {
+        obs::incr(obs::Counter::SerialScans);
         let mut agg = FastAgg::new(plan, key_idx);
         for row in rows {
             if passes(filter, row)? {
@@ -348,6 +448,7 @@ fn fast_agg_scan(
         }
         return agg.finish();
     }
+    obs::incr(obs::Counter::ParallelScans);
     let chunk = rows.len().div_ceil(threads);
     let partials: Vec<Result<FastAgg, DbError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = rows
@@ -550,17 +651,18 @@ fn tighter_upper(a: Bound<ValueKey>, b: Bound<ValueKey>) -> Bound<ValueKey> {
 /// `type_rank` ordering it is constant-true or constant-false for the
 /// whole column, which the residual filter handles.
 ///
-/// Returns `None` when no index applies (full scan). Candidates come back
-/// in row order and are always a superset of the matching rows; the caller
-/// still applies the full WHERE over them.
-fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Vec<usize>> {
-    let w = where_clause?;
+/// Candidates come back in row order and are always a superset of the
+/// matching rows; the caller still applies the full WHERE over them.
+fn plan_access(where_clause: Option<&SqlExpr>, table: &Table) -> AccessPlan {
+    let nrows = table.len() as f64;
+    let Some(w) = where_clause else {
+        return counted(AccessPlan::full_scan(nrows));
+    };
     if !names_resolve(w, &table.schema) {
-        return None;
+        return counted(AccessPlan::full_scan(nrows));
     }
     let mut conjuncts = Vec::new();
     split_conjuncts(w, &mut conjuncts);
-    let nrows = table.len() as f64;
 
     let mut best: Option<(f64, usize, IndexCond)> = None; // (est, col, cond)
     let consider =
@@ -603,7 +705,7 @@ fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Ve
                 if op == "=" {
                     match probe {
                         // A type-impossible equality falsifies the AND chain.
-                        Probe::Never => return Some(Vec::new()),
+                        Probe::Never => return counted(AccessPlan::never()),
                         Probe::Key(key) => consider(
                             nrows / distinct.max(1) as f64,
                             ci,
@@ -622,7 +724,7 @@ fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Ve
                     Probe::Never => {
                         if lit.is_null() {
                             // Any comparison against NULL is false.
-                            return Some(Vec::new());
+                            return counted(AccessPlan::never());
                         }
                         // Cross-type bound: constant over the whole column
                         // under type_rank ordering — leave it to the
@@ -675,7 +777,7 @@ fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Ve
                 }
                 if keys.is_empty() {
                     // No element can ever match: the IN is constant-false.
-                    return Some(Vec::new());
+                    return counted(AccessPlan::never());
                 }
                 let est = keys.len() as f64 * nrows / distinct.max(1) as f64;
                 consider(est, ci, IndexCond::In(keys), &mut best);
@@ -688,20 +790,238 @@ fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Ve
         consider(nrows / 3.0, ci, IndexCond::Range(lo, hi), &mut best);
     }
 
-    let (_, ci, cond) = best?;
-    match cond {
-        IndexCond::Eq(key) => table.index_lookup(ci, &key).map(<[usize]>::to_vec),
-        IndexCond::In(keys) => {
-            let mut out = Vec::new();
-            for key in &keys {
-                out.extend_from_slice(table.index_lookup(ci, key)?);
-            }
-            out.sort_unstable();
-            out.dedup();
-            Some(out)
+    let Some((est, ci, cond)) = best else {
+        return counted(AccessPlan::full_scan(nrows));
+    };
+    let kind = match &cond {
+        IndexCond::Eq(_) => AccessPathKind::PointLookup,
+        IndexCond::In(_) => AccessPathKind::InList,
+        IndexCond::Range(..) => AccessPathKind::RangeWindow,
+    };
+    let candidates = match cond {
+        IndexCond::Eq(key) => {
+            obs::incr(obs::Counter::IndexProbes);
+            table.index_lookup(ci, &key).map(<[usize]>::to_vec)
         }
-        IndexCond::Range(lo, hi) => table.range_lookup(ci, bound_ref(&lo), bound_ref(&hi)),
+        IndexCond::In(keys) => {
+            obs::add(obs::Counter::IndexProbes, keys.len() as u64);
+            let mut out = Some(Vec::new());
+            for key in &keys {
+                out = match (out, table.index_lookup(ci, key)) {
+                    (Some(mut acc), Some(ids)) => {
+                        acc.extend_from_slice(ids);
+                        Some(acc)
+                    }
+                    _ => None,
+                };
+            }
+            out.map(|mut acc| {
+                acc.sort_unstable();
+                acc.dedup();
+                acc
+            })
+        }
+        IndexCond::Range(lo, hi) => {
+            obs::incr(obs::Counter::IndexProbes);
+            table.range_lookup(ci, bound_ref(&lo), bound_ref(&hi))
+        }
+    };
+    counted(match candidates {
+        Some(c) => AccessPlan {
+            kind,
+            column: Some(table.schema.columns[ci].name.clone()),
+            est_rows: est,
+            candidates: Some(c),
+        },
+        // The index disappeared between estimation and probing (should not
+        // happen under the read guard) — degrade to a scan.
+        None => AccessPlan::full_scan(nrows),
+    })
+}
+
+/// Which access path the planner chose for a single-table SELECT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AccessPathKind {
+    /// `col = lit` index probe.
+    PointLookup,
+    /// `col IN (...)` multi-probe, positions unioned.
+    InList,
+    /// Merged range window over an ordered index.
+    RangeWindow,
+    /// No usable index condition — visit every row.
+    FullScan,
+    /// The WHERE clause is provably constant-false; no row can match.
+    Never,
+}
+
+impl AccessPathKind {
+    /// Stable name used in EXPLAIN output.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            AccessPathKind::PointLookup => "point-lookup",
+            AccessPathKind::InList => "in-list",
+            AccessPathKind::RangeWindow => "range-window",
+            AccessPathKind::FullScan => "full-scan",
+            AccessPathKind::Never => "never",
+        }
     }
+}
+
+/// The planner's access decision for one single-table SELECT: the chosen
+/// path, the index column driving it (when any), the optimizer's candidate
+/// row estimate, and the candidate positions themselves (`None` = visit
+/// every row).
+pub(crate) struct AccessPlan {
+    /// Chosen access path.
+    pub(crate) kind: AccessPathKind,
+    /// Index column serving the probe, for index-backed paths.
+    pub(crate) column: Option<String>,
+    /// Estimated candidate rows (the ranking key among competing paths).
+    pub(crate) est_rows: f64,
+    /// Candidate row positions; `None` means scan all rows.
+    pub(crate) candidates: Option<Vec<usize>>,
+}
+
+impl AccessPlan {
+    fn full_scan(nrows: f64) -> Self {
+        AccessPlan {
+            kind: AccessPathKind::FullScan,
+            column: None,
+            est_rows: nrows,
+            candidates: None,
+        }
+    }
+
+    fn never() -> Self {
+        AccessPlan {
+            kind: AccessPathKind::Never,
+            column: None,
+            est_rows: 0.0,
+            candidates: Some(Vec::new()),
+        }
+    }
+}
+
+/// Record the planner's decision in the `plan.*` counters and pass the
+/// plan through.
+fn counted(plan: AccessPlan) -> AccessPlan {
+    obs::incr(match plan.kind {
+        AccessPathKind::PointLookup => obs::Counter::PlanPointLookup,
+        AccessPathKind::InList => obs::Counter::PlanInList,
+        AccessPathKind::RangeWindow => obs::Counter::PlanRangeWindow,
+        AccessPathKind::FullScan => obs::Counter::PlanFullScan,
+        AccessPathKind::Never => obs::Counter::PlanFalsified,
+    });
+    if let Some(c) = &plan.candidates {
+        obs::add(obs::Counter::IndexCandidateRows, c.len() as u64);
+    }
+    plan
+}
+
+/// Candidate row positions for an index-assisted lookup, or `None` when no
+/// index applies. Thin view over [`plan_access`] kept for the equivalence
+/// tests.
+#[cfg(test)]
+fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Vec<usize>> {
+    plan_access(where_clause, table).candidates
+}
+
+/// Render `EXPLAIN [ANALYZE]` for a SELECT as a one-column result set
+/// (column `plan`), one plan step per row, listed top-down from the last
+/// operation applied to the access path at the bottom. ANALYZE also runs
+/// the query, annotating the scan with the actual candidate row count and
+/// appending a trailing `Rows returned` line.
+pub fn run_explain(engine: &Engine, sel: &SelectStmt, analyze: bool) -> Result<ResultSet, DbError> {
+    let mut lines: Vec<String> = Vec::new();
+    if let Some(n) = sel.limit {
+        lines.push(format!("Limit: {n}"));
+    }
+    if !sel.order_by.is_empty() {
+        let keys: Vec<String> = sel
+            .order_by
+            .iter()
+            .map(|k| {
+                let name = match k.position {
+                    Some(p) => p.to_string(),
+                    None => k.column.clone(),
+                };
+                if k.desc {
+                    format!("{name} DESC")
+                } else {
+                    name
+                }
+            })
+            .collect();
+        lines.push(format!("Sort: {}", keys.join(", ")));
+    }
+    if sel.distinct {
+        lines.push("Distinct".to_string());
+    }
+    let items: Vec<String> = sel
+        .items
+        .iter()
+        .map(|it| match it {
+            SelectItem::Star => "*".to_string(),
+            SelectItem::Expr {
+                expr,
+                alias: Some(a),
+            } => format!("{expr} AS {a}"),
+            SelectItem::Expr { expr, alias: None } => expr.to_string(),
+        })
+        .collect();
+    if is_aggregation(sel) {
+        let mut line = format!("Aggregate: {}", items.join(", "));
+        if !sel.group_by.is_empty() {
+            line.push_str(&format!(" group by {}", sel.group_by.join(", ")));
+        }
+        lines.push(line);
+    } else {
+        lines.push(format!("Project: {}", items.join(", ")));
+    }
+    if let Some(w) = &sel.where_clause {
+        lines.push(format!("Filter: {w}"));
+    }
+    // Joins apply left-to-right, so in top-down order the last one comes
+    // first.
+    for j in sel.joins.iter().rev() {
+        lines.push(format!(
+            "Join {} ON {} = {}",
+            j.table, j.left_col, j.right_col
+        ));
+    }
+    match &sel.from {
+        None => lines.push("Values: 1 row".to_string()),
+        Some(base) => {
+            let handle = engine.table(base)?;
+            let guard = handle.read();
+            let table: &Table = &guard;
+            let nrows = table.len();
+            let plan = if sel.joins.is_empty() {
+                plan_access(sel.where_clause.as_ref(), table)
+            } else {
+                // Joined queries materialise the base table; the index
+                // planner only serves single-table SELECTs.
+                AccessPlan::full_scan(nrows as f64)
+            };
+            drop(guard);
+            let mut scan = format!("Scan {base} access={}", plan.kind.name());
+            if let Some(col) = &plan.column {
+                scan.push_str(&format!(" column={col}"));
+            }
+            scan.push_str(&format!(" est_rows={:.1}", plan.est_rows));
+            if analyze {
+                let actual = plan.candidates.as_ref().map_or(nrows, Vec::len);
+                scan.push_str(&format!(" actual_rows={actual}"));
+            }
+            lines.push(scan);
+        }
+    }
+    if analyze {
+        let rs = run_select(engine, sel)?;
+        lines.push(format!("Rows returned: {}", rs.len()));
+    }
+    let rows: Vec<Row> = lines.into_iter().map(|l| vec![Value::Text(l)]).collect();
+    Ok(ResultSet::new(vec!["plan".to_string()], rows))
 }
 
 /// Group-key column indices, when every GROUP BY name resolves and the
@@ -1542,6 +1862,47 @@ mod tests {
         let s = infer_schema(&cols, &rows).unwrap();
         assert_eq!(s.columns[0].dtype, DataType::Int);
         assert_eq!(s.columns[1].dtype, DataType::Text);
+    }
+
+    #[test]
+    fn derive_threshold_clamps_and_scales() {
+        // Cheap rows / expensive spawn → high threshold, clamped at 64k.
+        assert_eq!(derive_threshold(1_000_000, 1), 65_536);
+        // Expensive rows → low threshold, clamped at 1024.
+        assert_eq!(derive_threshold(100, 1_000), 1024);
+        // In between: 4 * 20_000 / 5 = 16_000.
+        assert_eq!(derive_threshold(20_000, 5), 16_000);
+        // A zero per-row measurement must not divide by zero.
+        assert_eq!(derive_threshold(10_000, 0), 40_000);
+    }
+
+    #[test]
+    fn explain_reports_access_path() {
+        let e = db();
+        e.execute("CREATE INDEX ix_id ON t (id)").unwrap();
+        let rs = e.query("EXPLAIN SELECT * FROM t WHERE id = 3").unwrap();
+        assert_eq!(rs.column_names(), &["plan"]);
+        let text: Vec<String> = rs
+            .rows()
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            text,
+            vec![
+                "Project: *".to_string(),
+                "Filter: (id = 3)".to_string(),
+                "Scan t access=point-lookup column=id est_rows=1.0".to_string(),
+            ]
+        );
+
+        let rs = e
+            .query("EXPLAIN ANALYZE SELECT * FROM t WHERE id = 3")
+            .unwrap();
+        let last = rs.rows().last().unwrap()[0].as_str().unwrap().to_string();
+        assert_eq!(last, "Rows returned: 1");
+        let scan = rs.rows()[rs.len() - 2][0].as_str().unwrap().to_string();
+        assert!(scan.ends_with("actual_rows=1"), "{scan}");
     }
 
     #[test]

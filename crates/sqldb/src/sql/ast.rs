@@ -35,6 +35,15 @@ pub enum Stmt {
     },
     /// A SELECT query.
     Select(SelectStmt),
+    /// `EXPLAIN [ANALYZE] <select>` — render the access plan the
+    /// optimizer would choose (and, with ANALYZE, execute the query and
+    /// report actual row counts).
+    Explain {
+        /// Execute the query and report actuals.
+        analyze: bool,
+        /// The explained SELECT.
+        select: SelectStmt,
+    },
     /// `UPDATE name SET col = expr, ... [WHERE ...]`
     Update {
         /// Target table.

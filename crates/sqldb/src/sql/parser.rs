@@ -112,12 +112,18 @@ impl P {
             self.insert()
         } else if self.peek_kw("SELECT") {
             Ok(Stmt::Select(self.select()?))
+        } else if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
+            Ok(Stmt::Explain {
+                analyze,
+                select: self.select()?,
+            })
         } else if self.eat_kw("UPDATE") {
             self.update()
         } else if self.eat_kw("DELETE") {
             self.delete()
         } else {
-            Err(self.err("expected CREATE, DROP, INSERT, SELECT, UPDATE or DELETE"))
+            Err(self.err("expected CREATE, DROP, INSERT, SELECT, UPDATE, DELETE or EXPLAIN"))
         }
     }
 
@@ -744,6 +750,25 @@ mod tests {
         // ORDERED is not reserved: it stays usable as an identifier.
         parse_statement("SELECT ordered FROM t WHERE ordered = 1").unwrap();
         parse_statement("CREATE TABLE ordered (a INTEGER)").unwrap();
+    }
+
+    #[test]
+    fn explain_forms() {
+        let s = parse_statement("EXPLAIN SELECT * FROM runs WHERE run_id = 3").unwrap();
+        match s {
+            Stmt::Explain { analyze, select } => {
+                assert!(!analyze);
+                assert_eq!(select.from.as_deref(), Some("runs"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse_statement("EXPLAIN ANALYZE SELECT count(*) FROM runs").unwrap();
+        assert!(matches!(s, Stmt::Explain { analyze: true, .. }));
+        // Only SELECTs can be explained.
+        assert!(parse_statement("EXPLAIN INSERT INTO t VALUES (1)").is_err());
+        // EXPLAIN/ANALYZE are not reserved: both stay usable as identifiers.
+        parse_statement("SELECT explain, analyze FROM t WHERE explain = 1").unwrap();
+        parse_statement("CREATE TABLE explain (analyze INTEGER)").unwrap();
     }
 
     #[test]

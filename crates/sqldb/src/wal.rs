@@ -431,6 +431,7 @@ impl Wal {
     /// dictates) before this returns — the caller applies the statement to
     /// the engine only afterwards.
     pub fn append(&mut self, stmt: &str) -> Result<u64, DbError> {
+        let t_append = Instant::now();
         let fp = self.opts.failpoint.clone();
         fp.check_alive()?;
         let payload = stmt.as_bytes();
@@ -472,6 +473,9 @@ impl Wal {
         self.unsynced += 1;
         self.maybe_sync()?;
         fp.admit_frame();
+        // Timed inclusive of any policy-driven inline fsync, so the append
+        // histogram reflects the latency a statement actually paid.
+        obs::wal_append(frame_len as u64, t_append.elapsed().as_nanos() as u64);
         Ok(seq)
     }
 
@@ -500,9 +504,12 @@ impl Wal {
     /// group-commit window).
     pub fn sync(&mut self) -> Result<(), DbError> {
         if self.unsynced > 0 {
+            let batch = self.unsynced;
+            let t_sync = Instant::now();
             self.file
                 .sync_data()
                 .map_err(|e| io_err(&self.path, "fsync", &e))?;
+            obs::wal_fsync(batch, t_sync.elapsed().as_nanos() as u64);
             self.unsynced = 0;
         }
         self.window_open = None;

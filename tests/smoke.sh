@@ -26,6 +26,59 @@ echo "== crash consistency (WAL kill points + kill-during-import) =="
 cargo test -q -p sqldb --test wal_crash
 cargo test -q -p perfbase --test crash_recovery
 
+echo "== explain plans (golden files) + telemetry round trip =="
+cargo test -q -p perfbase --test explain_golden
+cargo test -q -p perfbase --test telemetry_export
+cargo test -q -p perfbase --test transfer_stats
+
+echo "== query trace round trip =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/exp.xml" <<'EOF'
+<?xml version="1.0"?>
+<experiment>
+  <name>smoke</name>
+  <user access="admin">smoke</user>
+  <parameter occurence="once"><name>n</name><datatype>integer</datatype></parameter>
+  <parameter><name>step</name><datatype>integer</datatype></parameter>
+  <result><name>elapsed</name><datatype>float</datatype></result>
+</experiment>
+EOF
+cat > "$SMOKE_DIR/input.xml" <<'EOF'
+<?xml version="1.0"?>
+<input>
+  <named><variable>n</variable><match>n =</match></named>
+  <tabular>
+    <start match="step elapsed"/>
+    <column index="1"><variable>step</variable></column>
+    <column index="2"><variable>elapsed</variable></column>
+  </tabular>
+</input>
+EOF
+printf 'n = 4\n\nstep elapsed\n1 1.25\n2 1.5\n' > "$SMOKE_DIR/run1.out"
+printf 'n = 8\n\nstep elapsed\n1 2.5\n2 2.75\n' > "$SMOKE_DIR/run2.out"
+cat > "$SMOKE_DIR/q.xml" <<'EOF'
+<?xml version="1.0"?>
+<query name="smoke_q">
+  <source id="s"><parameter name="n" carry="true"/><value name="elapsed"/></source>
+  <operator id="a" type="avg" input="s"/>
+  <output id="o" input="a" format="ascii" title="elapsed by n"/>
+</query>
+EOF
+PB=./target/release/perfbase
+"$PB" setup --def "$SMOKE_DIR/exp.xml" --db "$SMOKE_DIR/exp.pbdb" --user smoke >/dev/null
+"$PB" input --db "$SMOKE_DIR/exp.pbdb" --desc "$SMOKE_DIR/input.xml" --user smoke \
+    "$SMOKE_DIR/run1.out" "$SMOKE_DIR/run2.out" >/dev/null
+"$PB" query --db "$SMOKE_DIR/exp.pbdb" --spec "$SMOKE_DIR/q.xml" --user smoke \
+    --trace "$SMOKE_DIR/q.trace" --stats-export "$SMOKE_DIR/telem" >/dev/null
+test -s "$SMOKE_DIR/q.trace" || { echo "empty query trace"; exit 1; }
+grep -q "dag" "$SMOKE_DIR/q.trace" || { echo "trace missing dag span"; exit 1; }
+# The in-process export must attribute the query's SELECT traffic.
+awk '$1 == "select" && $2 > 0 { found = 1 } END { exit !found }' \
+    "$SMOKE_DIR/telem/telemetry_run.txt" \
+    || { echo "stats export missing select activity"; exit 1; }
+"$PB" stats >/dev/null
+
 echo "== docs (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 

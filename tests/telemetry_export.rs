@@ -1,0 +1,229 @@
+//! Acceptance test for the self-hosted metrics export: run a real workload
+//! (with WAL durability), export the engine's own telemetry with
+//! `perfbase stats --export-experiment`, import the export through the
+//! normal `setup`/`input` pipeline, and answer a question about the engine
+//! (mean WAL fsync latency per statement class) through the regular query
+//! DAG.
+
+use perfbase::cli::run;
+use perfbase::workloads::beffio::{simulate, BeffIoConfig, Technique};
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("perfbase_telem_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write(&self, name: &str, content: &str) -> String {
+        let p = self.path(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn cli(args: &[&str]) -> Result<String, String> {
+    run(args.iter().map(|s| s.to_string()).collect())
+}
+
+/// Import a 4-run b_eff_io campaign with write-ahead logging enabled, so
+/// the telemetry has real insert-class WAL appends and fsyncs to report.
+fn generate_workload(dir: &TempDir) -> String {
+    let def = dir.write(
+        "exp.xml",
+        include_str!("../crates/bench/data/b_eff_io_experiment.xml"),
+    );
+    let input = dir.write(
+        "input.xml",
+        include_str!("../crates/bench/data/b_eff_io_input.xml"),
+    );
+    let dbfile = dir.path("exp.pbdb");
+    cli(&["setup", "--def", &def, "--db", &dbfile, "--user", "demo"]).unwrap();
+
+    let mut files = Vec::new();
+    for technique in [Technique::ListBased, Technique::ListLess] {
+        for rep in 1..=2u32 {
+            let r = simulate(BeffIoConfig {
+                technique,
+                run_index: rep,
+                seed: u64::from(rep),
+                ..BeffIoConfig::default()
+            });
+            files.push(dir.write(&r.filename(), &r.render()));
+        }
+    }
+    let mut argv = vec![
+        "input".to_string(),
+        "--db".into(),
+        dbfile.clone(),
+        "--desc".into(),
+        input,
+        "--user".into(),
+        "demo".into(),
+        "--wal".into(),
+        "--sync".into(),
+        "always".into(),
+        // Exercise the in-process export flag on a work command too.
+        "--stats-export".into(),
+        dir.path("cli_export"),
+    ];
+    argv.extend(files);
+    let out = run(argv).unwrap();
+    assert!(out.contains("imported 4 run(s)"), "{out}");
+    assert!(out.contains("telemetry_run.txt"), "{out}");
+    dbfile
+}
+
+#[test]
+fn telemetry_export_round_trip() {
+    let dir = TempDir::new("roundtrip");
+
+    // Metrics are process-wide; start from a clean slate so the exported
+    // numbers are attributable to the workload below.
+    perfbase::obs::reset();
+    let dbfile = generate_workload(&dir);
+    // A couple of select-class statements, so more than one class shows up.
+    cli(&["info", "--db", &dbfile]).unwrap();
+    cli(&["ls", "--db", &dbfile]).unwrap();
+
+    // The human-readable report knows about the activity.
+    let report = cli(&["stats"]).unwrap();
+    assert!(report.contains("insert"), "{report}");
+    assert!(report.contains("wal.appends"), "{report}");
+
+    // `input --stats-export` already wrote an export capturing the
+    // import's own insert-class activity.
+    let cli_export = std::fs::read_to_string(dir.path("cli_export/telemetry_run.txt")).unwrap();
+    let cli_insert = cli_export
+        .lines()
+        .find(|l| l.starts_with("insert "))
+        .unwrap_or_else(|| panic!("no insert row in {cli_export}"));
+    assert!(
+        cli_insert
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse::<u64>()
+            .unwrap()
+            > 0,
+        "statements: {cli_insert}"
+    );
+
+    // Export the metrics as a perfbase experiment...
+    let out_dir = dir.path("export");
+    let out = cli(&[
+        "stats",
+        "--export-experiment",
+        "--out",
+        &out_dir,
+        "--user",
+        "demo",
+    ])
+    .unwrap();
+    assert!(out.contains("telemetry_experiment.xml"), "{out}");
+    assert!(out.contains("telemetry_run.txt"), "{out}");
+
+    // ...whose run file carries real WAL activity for the insert class.
+    let run_file = std::fs::read_to_string(dir.path("export/telemetry_run.txt")).unwrap();
+    let insert_row = run_file
+        .lines()
+        .find(|l| l.starts_with("insert "))
+        .unwrap_or_else(|| panic!("no insert row in {run_file}"));
+    let fields: Vec<&str> = insert_row.split_whitespace().collect();
+    assert_eq!(fields.len(), 6, "{insert_row}");
+    assert!(
+        fields[1].parse::<u64>().unwrap() > 0,
+        "statements: {insert_row}"
+    );
+    assert!(
+        fields[4].parse::<u64>().unwrap() > 0,
+        "wal_fsyncs: {insert_row}"
+    );
+    assert!(
+        fields[5].parse::<f64>().unwrap() > 0.0,
+        "fsync_avg_us: {insert_row}"
+    );
+
+    // Import the export through the ordinary pipeline.
+    let tdb = dir.path("telemetry.pbdb");
+    let out = cli(&[
+        "setup",
+        "--def",
+        &dir.path("export/telemetry_experiment.xml"),
+        "--db",
+        &tdb,
+        "--user",
+        "demo",
+    ])
+    .unwrap();
+    assert!(
+        out.contains("created experiment 'perfbase_telemetry'"),
+        "{out}"
+    );
+    let out = cli(&[
+        "input",
+        "--db",
+        &tdb,
+        "--desc",
+        &dir.path("export/telemetry_input.xml"),
+        "--user",
+        "demo",
+        &dir.path("export/telemetry_run.txt"),
+    ])
+    .unwrap();
+    assert!(out.contains("imported 1 run(s)"), "{out}");
+
+    // Answer "mean WAL fsync latency per statement class" through the DAG.
+    let spec = dir.write(
+        "q.xml",
+        r#"<?xml version="1.0"?>
+<query name="fsync_latency_by_class">
+  <source id="s">
+    <parameter name="stmt_class" carry="true"/>
+    <value name="fsync_avg_us"/>
+  </source>
+  <operator id="avg" type="avg" input="s"/>
+  <output id="table" input="avg" format="ascii"
+          title="mean WAL fsync latency per statement class"/>
+</query>
+"#,
+    );
+    let out = cli(&["query", "--db", &tdb, "--spec", &spec, "--user", "demo"]).unwrap();
+    assert!(
+        out.contains("mean WAL fsync latency per statement class"),
+        "{out}"
+    );
+    assert!(out.contains("insert"), "{out}");
+    assert!(out.contains("select"), "{out}");
+
+    // The insert class's reported latency survives the round trip: the
+    // value in the DAG output row must match the exported run file.
+    let table = out
+        .lines()
+        .find(|l| l.split_whitespace().next() == Some("insert"))
+        .unwrap_or_else(|| panic!("no insert row in query output: {out}"));
+    let reported: f64 = table
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|e| panic!("unparseable latency in {table:?}: {e}"));
+    let exported: f64 = fields[5].parse().unwrap();
+    assert!(
+        (reported - exported).abs() < 0.01,
+        "round trip drift: exported {exported}, queried {reported}"
+    );
+}

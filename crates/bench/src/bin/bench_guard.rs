@@ -1,0 +1,151 @@
+//! CI bench-regression guard.
+//!
+//! Compares a freshly generated `BENCH_sqldb.json` (written by the
+//! `microbench` bin) against the committed per-benchmark speedup floors in
+//! `BENCH_floors.json` and exits non-zero when any benchmark regressed
+//! below its floor — or disappeared from the results entirely, so a bench
+//! can't dodge its floor by being renamed or dropped.
+//!
+//! Floors are deliberately set below locally measured speedups (CI runners
+//! are noisy, shared machines); they catch order-of-magnitude regressions
+//! such as the planner silently abandoning the vectorized columnar path,
+//! not single-digit jitter.
+//!
+//! Usage: `bench_guard [RESULTS.json [FLOORS.json]]`, defaulting to
+//! `BENCH_sqldb.json` and `BENCH_floors.json` in the current directory.
+
+use std::collections::HashMap;
+use std::process::exit;
+
+/// Extract `"key": "string"` from a single JSON line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extract `"key": number` from a single JSON line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+/// Measured speedups: every line of the benchmarks array carries both a
+/// `name` and a `speedup` field (the writer in `microbench` emits one
+/// benchmark per line).
+fn parse_results(json: &str) -> HashMap<String, f64> {
+    json.lines()
+        .filter_map(|l| Some((field_str(l, "name")?.to_string(), field_num(l, "speedup")?)))
+        .collect()
+}
+
+/// Floors file: a flat `{"benchmark": floor, ...}` object, one entry per
+/// line.
+fn parse_floors(json: &str) -> Vec<(String, f64)> {
+    json.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            let name = l.strip_prefix('"')?;
+            let name = &name[..name.find('"')?];
+            Some((name.to_string(), field_num(l, name)?))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let results_path = args.next().unwrap_or_else(|| "BENCH_sqldb.json".into());
+    let floors_path = args.next().unwrap_or_else(|| "BENCH_floors.json".into());
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench_guard: cannot read {p}: {e}");
+            exit(2);
+        })
+    };
+    let measured = parse_results(&read(&results_path));
+    let floors = parse_floors(&read(&floors_path));
+    if floors.is_empty() {
+        eprintln!("bench_guard: no floors parsed from {floors_path}");
+        exit(2);
+    }
+
+    println!(
+        "{:<22} {:>10} {:>10}  verdict",
+        "benchmark", "speedup", "floor"
+    );
+    let mut failures = 0;
+    for (name, floor) in &floors {
+        match measured.get(name) {
+            None => {
+                println!("{name:<22} {:>10} {floor:>10.2}  MISSING", "-");
+                failures += 1;
+            }
+            Some(s) if s < floor => {
+                println!("{name:<22} {s:>10.2} {floor:>10.2}  REGRESSED");
+                failures += 1;
+            }
+            Some(s) => println!("{name:<22} {s:>10.2} {floor:>10.2}  ok"),
+        }
+    }
+    for name in measured.keys() {
+        if !floors.iter().any(|(f, _)| f == name) {
+            println!(
+                "{name:<22} {:>10.2} {:>10}  (no floor)",
+                measured[name], "-"
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_guard: {failures} benchmark(s) below their committed floor");
+        exit(1);
+    }
+    println!("bench_guard: all {} floors hold", floors.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RESULTS: &str = r#"{
+  "rows": 20000,
+  "benchmarks": [
+    {"name": "point_select", "optimized_ns": 2000, "baseline_ns": 2000000, "speedup": 1000.00},
+    {"name": "filtered_agg", "optimized_ns": 1600000, "baseline_ns": 22000000, "speedup": 13.75}
+  ]
+}"#;
+
+    #[test]
+    fn parses_results_lines() {
+        let m = parse_results(RESULTS);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["point_select"], 1000.0);
+        assert_eq!(m["filtered_agg"], 13.75);
+    }
+
+    #[test]
+    fn parses_floors_object() {
+        let f = parse_floors("{\n  \"point_select\": 100.0,\n  \"filtered_agg\": 10.0\n}\n");
+        assert_eq!(
+            f,
+            vec![
+                ("point_select".to_string(), 100.0),
+                ("filtered_agg".to_string(), 10.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn field_helpers_reject_missing_keys() {
+        assert_eq!(field_str("{\"a\": \"b\"}", "name"), None);
+        assert_eq!(field_num("{\"a\": \"b\"}", "speedup"), None);
+        assert_eq!(field_num("\"speedup\": 12.5,", "speedup"), Some(12.5));
+    }
+}

@@ -192,9 +192,11 @@ impl ExperimentDb {
             let table = rundata_table(run_id);
             if owner != 0 && self.engine.has_table(&table) {
                 let (schema, rows) = self.engine.read_snapshot(&table)?;
+                // Preserve the source table's storage layout on the shard.
+                let columnar = self.engine.table(&table)?.read().is_columnar();
                 let dst = &cluster.node(owner).engine;
                 dst.drop_table(&table, true)?;
-                dst.create_table(&table, schema)?;
+                dst.create_table_layout(&table, schema, false, false, columnar)?;
                 dst.insert_rows(&table, rows)?;
                 self.engine.drop_table(&table, false)?;
             }
@@ -218,8 +220,11 @@ impl ExperimentDb {
             let src = &sh.cluster().node(node).engine;
             if node != 0 && src.has_table(&table) {
                 let (schema, rows) = src.read_snapshot(&table)?;
+                // Preserve the shard's storage layout on the frontend.
+                let columnar = src.table(&table)?.read().is_columnar();
                 self.engine.drop_table(&table, true)?;
-                self.engine.create_table(&table, schema)?;
+                self.engine
+                    .create_table_layout(&table, schema, false, false, columnar)?;
                 self.engine.insert_rows(&table, rows)?;
                 src.drop_table(&table, false)?;
             }
@@ -434,7 +439,9 @@ impl ExperimentDb {
                 let owner = sh.owner_of(run_id);
                 let target = &sh.cluster().node(owner).engine;
                 target.drop_table(&data_table, true)?;
-                target.create_table(&data_table, rundata_schema(&def))?;
+                // Run-data tables are append-mostly and query-heavy: store
+                // them columnar so the vectorized path serves analysis.
+                target.create_table_columnar(&data_table, rundata_schema(&def))?;
                 let n = rows.len();
                 target.insert_rows(&data_table, rows)?;
                 if owner != 0 {
@@ -450,7 +457,7 @@ impl ExperimentDb {
             None => {
                 self.engine.drop_table(&data_table, true)?;
                 self.engine
-                    .create_table(&data_table, rundata_schema(&def))?;
+                    .create_table_columnar(&data_table, rundata_schema(&def))?;
                 self.engine.insert_rows(&data_table, rows)?;
             }
         }

@@ -59,6 +59,10 @@ counters! {
     ParallelScans => "scan.parallel",
     /// Full scans executed on one thread.
     SerialScans => "scan.serial",
+    /// Single-table SELECTs answered by the vectorized columnar path.
+    VectorizedScans => "scan.vectorized",
+    /// Columnar SELECTs whose WHERE clause didn't vectorize (row fallback).
+    VectorizedFallbacks => "scan.vectorized_fallback",
     /// Calibrated minimum row count for going parallel (gauge).
     ParallelThresholdRows => "scan.parallel_threshold_rows",
     /// Calibrated scan-thread cap (gauge).
@@ -83,6 +87,17 @@ counters! {
     DagPushdownFused => "dag.pushdown_fused",
     /// Remote shards materialised on the frontend (pushdown fallback).
     DagShardsMaterialized => "dag.shards_materialized",
+    /// Estimated heap bytes of all tables under the row layout (gauge,
+    /// refreshed by `Engine::refresh_memory_gauges`).
+    MemRowBytes => "mem.row_bytes",
+    /// Estimated heap bytes of all tables under the columnar layout (gauge).
+    MemColumnarBytes => "mem.columnar_bytes",
+    /// Dictionary bytes across all columnar TEXT columns (gauge).
+    MemDictBytes => "mem.dict_bytes",
+    /// Dictionary entries across all columnar TEXT columns (gauge).
+    MemDictEntries => "mem.dict_entries",
+    /// Tables currently stored in the columnar layout (gauge).
+    MemColumnarTables => "mem.columnar_tables",
 }
 
 const N: usize = Counter::ALL.len();

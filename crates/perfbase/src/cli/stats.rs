@@ -15,7 +15,7 @@
 //! which runs the same export after the command's work, in-process.
 
 use super::args::{Args, OptSpec};
-use super::{err, user_of, with};
+use super::{err, open_db, user_of, with};
 use perfbase_core::experiment::{ExperimentDef, Meta, Person, VarKind, Variable};
 use perfbase_core::xmldef;
 use sqldb::DataType;
@@ -47,12 +47,50 @@ pub(super) fn cmd_stats(argv: Vec<String>) -> Result<String, String> {
         return export_experiment(dir, &user_of(&a));
     }
 
-    let out = obs::render_stats();
+    // With --db, load the database and report per-table memory (row vs
+    // columnar layout bytes, dictionary size); this also refreshes the
+    // `mem.*` gauges, so they appear in the counter listing below.
+    let mem = match a.get("db") {
+        Some(path) => {
+            let db = open_db(path)?;
+            Some(memory_section(&db.engine().refresh_memory_gauges()))
+        }
+        None => None,
+    };
+
+    let mut out = obs::render_stats();
+    if let Some(mem) = mem {
+        out.push_str(&mem);
+    }
     if a.flag("reset") {
         obs::reset();
         return Ok(format!("{out}\n(metrics reset)\n"));
     }
     Ok(out)
+}
+
+/// Render the per-table memory report. Row tables show the estimated cost
+/// of a columnar copy and vice versa, so the layout trade-off is visible
+/// either way.
+fn memory_section(report: &[(String, sqldb::TableMemory)]) -> String {
+    let mut out = String::from("\nTable memory:\n");
+    out.push_str(&format!(
+        "  {:<24} {:>8}  {:<8} {:>12} {:>15} {:>10} {:>10}\n",
+        "table", "rows", "layout", "row_bytes", "columnar_bytes", "dict_ents", "dict_bytes"
+    ));
+    for (name, m) in report {
+        out.push_str(&format!(
+            "  {:<24} {:>8}  {:<8} {:>12} {:>15} {:>10} {:>10}\n",
+            name,
+            m.rows,
+            if m.columnar { "columnar" } else { "row" },
+            m.row_layout_bytes,
+            m.columnar_layout_bytes,
+            m.dict_entries,
+            m.dict_bytes,
+        ));
+    }
+    out
 }
 
 /// The experiment definition describing the exported telemetry: one run of

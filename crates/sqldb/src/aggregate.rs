@@ -115,7 +115,9 @@ impl Accumulator {
             return;
         }
         self.count += 1;
-        if self.first.is_none() {
+        // Only `first()` ever reads this; skipping the check for the other
+        // kinds keeps a branch and a potential clone off the hot loop.
+        if self.kind == AggKind::First && self.first.is_none() {
             self.first = Some(v.clone());
         }
         match self.kind {

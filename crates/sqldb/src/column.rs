@@ -1,0 +1,611 @@
+//! Columnar table storage: per-column typed vectors, dictionary-encoded
+//! strings and null bitmaps.
+//!
+//! A [`ColumnStore`] holds the same logical rows as the row layout in
+//! [`crate::table`], decomposed into one typed vector per schema column:
+//!
+//! * `INTEGER`/`TIMESTAMP` → `Vec<i64>`, `FLOAT` → `Vec<f64>`,
+//!   `BOOLEAN` → `Vec<bool>`;
+//! * `TEXT` → dictionary encoding: a `Vec<u32>` of codes into an
+//!   insertion-ordered string dictionary (low-cardinality run metadata like
+//!   filesystem names collapses to a handful of entries);
+//! * NULLs → a bitmap per column (bit set = NULL); the data slot of a NULL
+//!   cell holds the type's default and must never be interpreted.
+//!
+//! Invariants relied on by the vectorized execution path in `exec`:
+//!
+//! * **Variant purity** — every non-NULL cell of a column is exactly the
+//!   declared type's [`Value`] variant. [`Value::coerce`] enforces this on
+//!   every insert/update path, so typed vectors need no per-cell tags.
+//! * **Dictionary codes are dense and stable** — `codes[i] < dict.len()`
+//!   always; entries are append-only, so deletes may leave unreferenced
+//!   (dead) entries behind but never invalidate a stored code.
+//! * **Positions are row numbers** — position `p` in every column vector and
+//!   bitmap refers to the same logical row, identical to the row index in
+//!   the row layout.
+
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// One bit per row; a set bit marks the cell NULL.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NullBitmap {
+    words: Vec<u64>,
+    len: usize,
+    nulls: usize,
+}
+
+impl NullBitmap {
+    fn push(&mut self, is_null: bool) {
+        let (w, b) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if is_null {
+            self.words[w] |= 1 << b;
+            self.nulls += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Is row `i` NULL?
+    #[inline]
+    pub(crate) fn is_null(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of NULL rows.
+    pub(crate) fn null_count(&self) -> usize {
+        self.nulls
+    }
+
+    fn set(&mut self, i: usize, null: bool) {
+        let was = self.is_null(i);
+        if was == null {
+            return;
+        }
+        self.words[i / 64] ^= 1 << (i % 64);
+        if null {
+            self.nulls += 1;
+        } else {
+            self.nulls -= 1;
+        }
+    }
+
+    /// Keep only rows whose `keep` flag is true, preserving order.
+    fn retain(&mut self, keep: &[bool]) {
+        let mut out = NullBitmap::default();
+        for (i, k) in keep.iter().enumerate() {
+            if *k {
+                out.push(self.is_null(i));
+            }
+        }
+        *self = out;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+/// Dictionary-encoded TEXT column: `codes[i]` indexes into `dict`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DictColumn {
+    pub(crate) codes: Vec<u32>,
+    pub(crate) nulls: NullBitmap,
+    dict: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl DictColumn {
+    /// All dictionary entries in code order (may include dead entries after
+    /// deletes).
+    pub(crate) fn dict(&self) -> &[String] {
+        &self.dict
+    }
+
+    /// Code of `s` if it has ever been stored in this column.
+    pub(crate) fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(c) = self.lookup.get(s) {
+            return *c;
+        }
+        let c = u32::try_from(self.dict.len()).expect("dictionary overflow");
+        self.dict.push(s.to_string());
+        self.lookup.insert(s.to_string(), c);
+        c
+    }
+
+    fn push(&mut self, v: &Value) {
+        match v {
+            Value::Null => {
+                self.codes.push(0);
+                self.nulls.push(true);
+            }
+            Value::Text(s) => {
+                let c = self.intern(s);
+                self.codes.push(c);
+                self.nulls.push(false);
+            }
+            other => panic!("columnar TEXT column got non-text value {other:?}"),
+        }
+    }
+}
+
+/// One typed column vector plus its null bitmap.
+#[derive(Debug, Clone)]
+pub(crate) enum ColumnVec {
+    Int { data: Vec<i64>, nulls: NullBitmap },
+    Float { data: Vec<f64>, nulls: NullBitmap },
+    Bool { data: Vec<bool>, nulls: NullBitmap },
+    Timestamp { data: Vec<i64>, nulls: NullBitmap },
+    Text(DictColumn),
+}
+
+impl ColumnVec {
+    fn new(dtype: DataType) -> ColumnVec {
+        match dtype {
+            DataType::Int => ColumnVec::Int {
+                data: Vec::new(),
+                nulls: NullBitmap::default(),
+            },
+            DataType::Float => ColumnVec::Float {
+                data: Vec::new(),
+                nulls: NullBitmap::default(),
+            },
+            DataType::Bool => ColumnVec::Bool {
+                data: Vec::new(),
+                nulls: NullBitmap::default(),
+            },
+            DataType::Timestamp => ColumnVec::Timestamp {
+                data: Vec::new(),
+                nulls: NullBitmap::default(),
+            },
+            DataType::Text => ColumnVec::Text(DictColumn::default()),
+        }
+    }
+
+    /// Null bitmap of this column.
+    pub(crate) fn nulls(&self) -> &NullBitmap {
+        match self {
+            ColumnVec::Int { nulls, .. }
+            | ColumnVec::Float { nulls, .. }
+            | ColumnVec::Bool { nulls, .. }
+            | ColumnVec::Timestamp { nulls, .. } => nulls,
+            ColumnVec::Text(d) => &d.nulls,
+        }
+    }
+
+    /// Numeric image of row `i` under the engine's `as_f64` coercion.
+    /// Caller must have checked `!is_null(i)`; meaningless for TEXT.
+    #[inline]
+    pub(crate) fn f64_at(&self, i: usize) -> f64 {
+        match self {
+            ColumnVec::Int { data, .. } | ColumnVec::Timestamp { data, .. } => data[i] as f64,
+            ColumnVec::Float { data, .. } => data[i],
+            ColumnVec::Bool { data, .. } => f64::from(data[i]),
+            ColumnVec::Text(_) => f64::NAN,
+        }
+    }
+
+    fn push(&mut self, v: &Value) {
+        match self {
+            ColumnVec::Int { data, nulls } => match v {
+                Value::Null => {
+                    data.push(0);
+                    nulls.push(true);
+                }
+                Value::Int(i) => {
+                    data.push(*i);
+                    nulls.push(false);
+                }
+                other => panic!("columnar INTEGER column got {other:?}"),
+            },
+            ColumnVec::Float { data, nulls } => match v {
+                Value::Null => {
+                    data.push(0.0);
+                    nulls.push(true);
+                }
+                Value::Float(f) => {
+                    data.push(*f);
+                    nulls.push(false);
+                }
+                other => panic!("columnar FLOAT column got {other:?}"),
+            },
+            ColumnVec::Bool { data, nulls } => match v {
+                Value::Null => {
+                    data.push(false);
+                    nulls.push(true);
+                }
+                Value::Bool(b) => {
+                    data.push(*b);
+                    nulls.push(false);
+                }
+                other => panic!("columnar BOOLEAN column got {other:?}"),
+            },
+            ColumnVec::Timestamp { data, nulls } => match v {
+                Value::Null => {
+                    data.push(0);
+                    nulls.push(true);
+                }
+                Value::Timestamp(t) => {
+                    data.push(*t);
+                    nulls.push(false);
+                }
+                other => panic!("columnar TIMESTAMP column got {other:?}"),
+            },
+            ColumnVec::Text(d) => d.push(v),
+        }
+    }
+
+    /// Reconstruct the [`Value`] of row `i` — exactly the variant that was
+    /// stored (coercion already ran on the way in), so materialized rows are
+    /// byte-identical to what the row layout would hold.
+    pub(crate) fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Int { data, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Int(data[i])
+                }
+            }
+            ColumnVec::Float { data, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Float(data[i])
+                }
+            }
+            ColumnVec::Bool { data, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Bool(data[i])
+                }
+            }
+            ColumnVec::Timestamp { data, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Timestamp(data[i])
+                }
+            }
+            ColumnVec::Text(d) => {
+                if d.nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Text(d.dict[d.codes[i] as usize].clone())
+                }
+            }
+        }
+    }
+
+    /// Overwrite row `i` with `v`, coercing to the column type (the engine
+    /// coerces on every update path; direct callers get the same treatment).
+    fn set(&mut self, i: usize, v: &Value, dtype: DataType) {
+        let cv = v
+            .clone()
+            .coerce(dtype)
+            .unwrap_or_else(|e| panic!("columnar update: {e}"));
+        match self {
+            ColumnVec::Int { data, nulls } | ColumnVec::Timestamp { data, nulls } => match cv {
+                Value::Null => nulls.set(i, true),
+                Value::Int(x) | Value::Timestamp(x) => {
+                    data[i] = x;
+                    nulls.set(i, false);
+                }
+                _ => unreachable!(),
+            },
+            ColumnVec::Float { data, nulls } => match cv {
+                Value::Null => nulls.set(i, true),
+                Value::Float(x) => {
+                    data[i] = x;
+                    nulls.set(i, false);
+                }
+                _ => unreachable!(),
+            },
+            ColumnVec::Bool { data, nulls } => match cv {
+                Value::Null => nulls.set(i, true),
+                Value::Bool(x) => {
+                    data[i] = x;
+                    nulls.set(i, false);
+                }
+                _ => unreachable!(),
+            },
+            ColumnVec::Text(d) => match cv {
+                Value::Null => d.nulls.set(i, true),
+                Value::Text(s) => {
+                    d.codes[i] = d.intern(&s);
+                    d.nulls.set(i, false);
+                }
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    fn retain(&mut self, keep: &[bool]) {
+        let mut i = 0;
+        let mut pred = move |_: &_| {
+            let k = keep[i];
+            i += 1;
+            k
+        };
+        match self {
+            ColumnVec::Int { data, nulls } | ColumnVec::Timestamp { data, nulls } => {
+                data.retain(|v| pred(&(*v as f64)));
+                nulls.retain(keep);
+            }
+            ColumnVec::Float { data, nulls } => {
+                data.retain(|v| pred(v));
+                nulls.retain(keep);
+            }
+            ColumnVec::Bool { data, nulls } => {
+                data.retain(|v| pred(&f64::from(*v)));
+                nulls.retain(keep);
+            }
+            ColumnVec::Text(d) => {
+                d.codes.retain(|c| pred(&(*c as f64)));
+                d.nulls.retain(keep);
+            }
+        }
+    }
+
+    fn data_bytes(&self) -> usize {
+        match self {
+            ColumnVec::Int { data, nulls } | ColumnVec::Timestamp { data, nulls } => {
+                data.capacity() * 8 + nulls.heap_bytes()
+            }
+            ColumnVec::Float { data, nulls } => data.capacity() * 8 + nulls.heap_bytes(),
+            ColumnVec::Bool { data, nulls } => data.capacity() + nulls.heap_bytes(),
+            ColumnVec::Text(d) => d.codes.capacity() * 4 + d.nulls.heap_bytes(),
+        }
+    }
+}
+
+/// Memory accounting for one columnar table (see [`ColumnStore::memory`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColumnarMemory {
+    /// Bytes in typed vectors, code vectors and null bitmaps.
+    pub data_bytes: usize,
+    /// Bytes in dictionary strings and their lookup maps.
+    pub dict_bytes: usize,
+    /// Total dictionary entries across all TEXT columns.
+    pub dict_entries: usize,
+    /// Heap bytes of the text payload as a row layout would store it (one
+    /// `String` allocation per non-NULL cell) — the input to the
+    /// row-vs-columnar gauge.
+    pub row_text_bytes: usize,
+}
+
+/// Columnar backing store of one table. See the module docs for layout and
+/// invariants.
+#[derive(Debug, Clone)]
+pub struct ColumnStore {
+    cols: Vec<ColumnVec>,
+    len: usize,
+}
+
+impl ColumnStore {
+    pub(crate) fn new(schema: &Schema) -> ColumnStore {
+        ColumnStore {
+            cols: schema
+                .columns
+                .iter()
+                .map(|c| ColumnVec::new(c.dtype))
+                .collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The typed vector of column `i`.
+    pub(crate) fn col(&self, i: usize) -> &ColumnVec {
+        &self.cols[i]
+    }
+
+    /// Append one already-validated (coerced) row.
+    pub(crate) fn push_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (c, v) in self.cols.iter_mut().zip(row) {
+            c.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Value of cell (`pos`, `col`).
+    pub(crate) fn value(&self, pos: usize, col: usize) -> Value {
+        self.cols[col].value(pos)
+    }
+
+    /// Materialize one full row.
+    pub(crate) fn materialize_row(&self, pos: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.value(pos)).collect()
+    }
+
+    /// Materialize every row in position order.
+    pub(crate) fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len).map(|p| self.materialize_row(p)).collect()
+    }
+
+    /// Write a full row back at `pos` (update path).
+    pub(crate) fn set_row(&mut self, pos: usize, row: &[Value], schema: &Schema) {
+        for ((c, v), def) in self.cols.iter_mut().zip(row).zip(&schema.columns) {
+            c.set(pos, v, def.dtype);
+        }
+    }
+
+    /// Drop rows whose `keep` flag is false, preserving order. Dictionary
+    /// entries are never collected; stored codes stay valid.
+    pub(crate) fn retain(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.len);
+        for c in &mut self.cols {
+            c.retain(keep);
+        }
+        self.len = keep.iter().filter(|k| **k).count();
+    }
+
+    /// Memory accounting over every column.
+    pub fn memory(&self) -> ColumnarMemory {
+        let mut m = ColumnarMemory::default();
+        for c in &self.cols {
+            m.data_bytes += c.data_bytes();
+            if let ColumnVec::Text(d) = c {
+                m.dict_entries += d.dict.len();
+                for s in &d.dict {
+                    // String header + payload, once in the dict vec and once
+                    // as a lookup key.
+                    m.dict_bytes += 2 * (24 + s.capacity());
+                }
+                m.dict_bytes += d.lookup.capacity() * (24 + 4);
+                for (i, code) in d.codes.iter().enumerate() {
+                    if !d.nulls.is_null(i) {
+                        m.row_text_bytes += d.dict[*code as usize].len();
+                    }
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("fs", DataType::Text),
+            Column::new("bw", DataType::Float),
+            Column::new("ok", DataType::Bool),
+            Column::new("at", DataType::Timestamp),
+        ])
+        .unwrap()
+    }
+
+    fn row(i: i64, fs: Option<&str>, bw: Option<f64>) -> Vec<Value> {
+        vec![
+            Value::Int(i),
+            fs.map_or(Value::Null, |s| Value::Text(s.into())),
+            bw.map_or(Value::Null, Value::Float),
+            Value::Bool(i % 2 == 0),
+            Value::Timestamp(1000 + i),
+        ]
+    }
+
+    #[test]
+    fn roundtrips_rows_byte_identically() {
+        let s = schema();
+        let mut st = ColumnStore::new(&s);
+        let rows = vec![
+            row(1, Some("ufs"), Some(1.5)),
+            row(2, None, None),
+            row(3, Some("nfs"), Some(-0.0)),
+            row(4, Some("ufs"), Some(f64::NAN)),
+        ];
+        for r in &rows {
+            st.push_row(r);
+        }
+        assert_eq!(st.len(), 4);
+        let back = st.to_rows();
+        for (a, b) in rows.iter().zip(&back) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                // Bit-exact on floats (PartialEq equates NaNs but not -0.0/0.0
+                // signs; check bits directly).
+                match (x, y) {
+                    (Value::Float(f), Value::Float(g)) => {
+                        assert_eq!(f.to_bits(), g.to_bits());
+                    }
+                    _ => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_interns_and_reuses_codes() {
+        let s = schema();
+        let mut st = ColumnStore::new(&s);
+        for i in 0..100 {
+            st.push_row(&row(i, Some(if i % 2 == 0 { "ufs" } else { "nfs" }), None));
+        }
+        let ColumnVec::Text(d) = st.col(1) else {
+            panic!("not a dict column");
+        };
+        assert_eq!(d.dict(), ["ufs".to_string(), "nfs".to_string()]);
+        assert_eq!(d.code_of("ufs"), Some(0));
+        assert_eq!(d.code_of("nfs"), Some(1));
+        assert_eq!(d.code_of("pvfs"), None);
+        assert_eq!(d.nulls.null_count(), 0);
+    }
+
+    #[test]
+    fn retain_keeps_order_and_null_bits() {
+        let s = schema();
+        let mut st = ColumnStore::new(&s);
+        for i in 0..10 {
+            st.push_row(&row(
+                i,
+                if i % 3 == 0 { None } else { Some("x") },
+                Some(i as f64),
+            ));
+        }
+        let keep: Vec<bool> = (0..10).map(|i| i % 2 == 1).collect();
+        st.retain(&keep);
+        assert_eq!(st.len(), 5);
+        let back = st.to_rows();
+        let ids: Vec<i64> = back.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![1, 3, 5, 7, 9]);
+        assert_eq!(back[1][1], Value::Null); // row id=3: 3 % 3 == 0
+        assert_eq!(back[0][1], Value::Text("x".into()));
+    }
+
+    #[test]
+    fn set_row_updates_cells_and_interns_new_text() {
+        let s = schema();
+        let mut st = ColumnStore::new(&s);
+        st.push_row(&row(1, Some("ufs"), Some(1.0)));
+        st.push_row(&row(2, Some("nfs"), Some(2.0)));
+        let mut r = st.materialize_row(0);
+        r[1] = Value::Text("pvfs".into());
+        r[2] = Value::Null;
+        st.set_row(0, &r, &s);
+        assert_eq!(st.value(0, 1), Value::Text("pvfs".into()));
+        assert_eq!(st.value(0, 2), Value::Null);
+        assert_eq!(st.value(1, 1), Value::Text("nfs".into()));
+        let ColumnVec::Text(d) = st.col(1) else {
+            panic!()
+        };
+        assert_eq!(d.dict().len(), 3);
+    }
+
+    #[test]
+    fn memory_accounts_dictionary() {
+        let s = schema();
+        let mut st = ColumnStore::new(&s);
+        for i in 0..50 {
+            st.push_row(&row(i, Some("ufs"), Some(0.0)));
+        }
+        let m = st.memory();
+        assert!(m.data_bytes > 0);
+        assert_eq!(m.dict_entries, 1);
+        assert!(m.dict_bytes > 0);
+        assert_eq!(m.row_text_bytes, 50 * 3);
+    }
+}

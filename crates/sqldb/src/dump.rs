@@ -25,12 +25,15 @@ impl Engine {
                 continue;
             }
             let (schema, rows) = self.read_snapshot(&name).expect("table listed");
-            let indexes = self
-                .table(&name)
-                .expect("table listed")
-                .read()
-                .index_columns();
-            let _ = writeln!(out, "{};", render_create_table(&name, &schema, false));
+            let handle = self.table(&name).expect("table listed");
+            let guard = handle.read();
+            let (indexes, columnar) = (guard.index_columns(), guard.is_columnar());
+            drop(guard);
+            let _ = writeln!(
+                out,
+                "{};",
+                render_create_table(&name, &schema, false, columnar)
+            );
             for chunk in rows.chunks(64) {
                 if !chunk.is_empty() {
                     let _ = writeln!(out, "{};", render_insert(&name, chunk));
@@ -119,8 +122,15 @@ pub(crate) fn read_checkpoint_seq(script: &str) -> Option<u64> {
 }
 
 /// Render a `CREATE TABLE` statement for a schema (no trailing `;`).
-/// Shared by the dump and the WAL, which logs programmatic DDL as SQL text.
-pub(crate) fn render_create_table(name: &str, schema: &Schema, if_not_exists: bool) -> String {
+/// Shared by the dump and the WAL, which logs programmatic DDL as SQL text;
+/// `columnar` appends `USING COLUMNAR` so the storage layout round-trips
+/// through dumps, checkpoints, WAL replay and cluster replication alike.
+pub(crate) fn render_create_table(
+    name: &str,
+    schema: &Schema,
+    if_not_exists: bool,
+    columnar: bool,
+) -> String {
     let cols: Vec<String> = schema
         .columns
         .iter()
@@ -134,9 +144,10 @@ pub(crate) fn render_create_table(name: &str, schema: &Schema, if_not_exists: bo
         })
         .collect();
     format!(
-        "CREATE TABLE {}{name} ({})",
+        "CREATE TABLE {}{name} ({}){}",
         if if_not_exists { "IF NOT EXISTS " } else { "" },
-        cols.join(", ")
+        cols.join(", "),
+        if columnar { " USING COLUMNAR" } else { "" }
     )
 }
 
@@ -325,6 +336,28 @@ mod tests {
             assert_eq!(rs.rows()[i][1], Value::Text(s.to_string()), "row {i}");
         }
         // Fixpoint: the restored engine dumps identically.
+        assert_eq!(dump, e2.dump_sql());
+    }
+
+    #[test]
+    fn columnar_layout_roundtrips_through_dump() {
+        let e = Engine::new();
+        e.execute("CREATE TABLE cdata (id INTEGER NOT NULL, fs TEXT, bw FLOAT) USING COLUMNAR")
+            .unwrap();
+        e.execute("INSERT INTO cdata VALUES (1, 'ufs', 1.5), (2, NULL, NULL), (3, 'nfs', -0.25)")
+            .unwrap();
+        e.execute("CREATE INDEX ix_c ON cdata (id)").unwrap();
+        let dump = e.dump_sql();
+        assert!(
+            dump.contains("USING COLUMNAR;"),
+            "layout missing from dump: {dump}"
+        );
+        let e2 = Engine::from_sql_dump(&dump).unwrap();
+        assert!(e2.table("cdata").unwrap().read().is_columnar());
+        let a = e.query("SELECT * FROM cdata ORDER BY id").unwrap();
+        let b = e2.query("SELECT * FROM cdata ORDER BY id").unwrap();
+        assert_eq!(a, b);
+        // Fixpoint: the restored engine dumps byte-identically.
         assert_eq!(dump, e2.dump_sql());
     }
 

@@ -8,7 +8,7 @@ use crate::expr::{self, RowCtx};
 use crate::schema::{Column, Schema};
 use crate::sql::{self, Stmt};
 use crate::sync::{Mutex, RwLock};
-use crate::table::{Row, Table};
+use crate::table::{Row, Table, TableMemory};
 use crate::value::Value;
 use crate::wal::{RecoveryReport, Wal, WalOptions};
 use std::collections::{HashMap, HashSet};
@@ -134,6 +134,14 @@ impl Engine {
         self.create_table_opts(name, schema, false, false)
     }
 
+    /// Create a *columnar* table programmatically — the layout flag used by
+    /// the `core` import path for append-mostly run-data tables. Equivalent
+    /// to `CREATE TABLE name (...) USING COLUMNAR` (and logged to the WAL
+    /// as exactly that, so recovery and replication preserve the layout).
+    pub fn create_table_columnar(&self, name: &str, schema: Schema) -> Result<(), DbError> {
+        self.create_table_layout(name, schema, false, false, true)
+    }
+
     /// Create a table with TEMP / IF NOT EXISTS options.
     pub fn create_table_opts(
         &self,
@@ -142,17 +150,34 @@ impl Engine {
         temp: bool,
         if_not_exists: bool,
     ) -> Result<(), DbError> {
+        self.create_table_layout(name, schema, temp, if_not_exists, false)
+    }
+
+    /// Full-option create: TEMP / IF NOT EXISTS / columnar layout.
+    pub fn create_table_layout(
+        &self,
+        name: &str,
+        schema: Schema,
+        temp: bool,
+        if_not_exists: bool,
+        columnar: bool,
+    ) -> Result<(), DbError> {
         let _stmt = classified(obs::StmtClass::Ddl);
         let mut wal = self.wal.lock();
         match wal.as_mut() {
             Some(w) if !temp => {
-                w.append(&dump::render_create_table(name, &schema, if_not_exists))?;
-                self.create_table_unlogged(name, schema, temp, if_not_exists)
+                w.append(&dump::render_create_table(
+                    name,
+                    &schema,
+                    if_not_exists,
+                    columnar,
+                ))?;
+                self.create_table_unlogged(name, schema, temp, if_not_exists, columnar)
             }
-            Some(_) => self.create_table_unlogged(name, schema, temp, if_not_exists),
+            Some(_) => self.create_table_unlogged(name, schema, temp, if_not_exists, columnar),
             None => {
                 drop(wal);
-                self.create_table_unlogged(name, schema, temp, if_not_exists)
+                self.create_table_unlogged(name, schema, temp, if_not_exists, columnar)
             }
         }
     }
@@ -163,6 +188,7 @@ impl Engine {
         schema: Schema,
         temp: bool,
         if_not_exists: bool,
+        columnar: bool,
     ) -> Result<(), DbError> {
         let mut tables = self.tables.write();
         if tables.contains_key(name) {
@@ -171,7 +197,12 @@ impl Engine {
             }
             return Err(DbError::TableExists(name.to_string()));
         }
-        tables.insert(name.to_string(), Arc::new(RwLock::new(Table::new(schema))));
+        let table = if columnar {
+            Table::new_columnar(schema)
+        } else {
+            Table::new(schema)
+        };
+        tables.insert(name.to_string(), Arc::new(RwLock::new(table)));
         if temp {
             self.temps.lock().insert(name.to_string());
         }
@@ -272,6 +303,53 @@ impl Engine {
         v
     }
 
+    /// Per-table memory accounting, sorted by table name. Each entry
+    /// carries both the actual layout cost and the estimated cost of the
+    /// other layout (see [`TableMemory`]).
+    pub fn memory_report(&self) -> Vec<(String, TableMemory)> {
+        let handles: Vec<(String, Arc<RwLock<Table>>)> = {
+            let tables = self.tables.read();
+            let mut v: Vec<_> = tables
+                .iter()
+                .map(|(n, t)| (n.clone(), Arc::clone(t)))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        handles
+            .into_iter()
+            .map(|(name, h)| {
+                let m = h.read().memory_footprint();
+                (name, m)
+            })
+            .collect()
+    }
+
+    /// Recompute the `mem.*` gauges from the current catalog: total row
+    /// and columnar layout bytes, dictionary size and the number of
+    /// columnar tables. Returns the report used.
+    pub fn refresh_memory_gauges(&self) -> Vec<(String, TableMemory)> {
+        let report = self.memory_report();
+        let mut row_bytes = 0u64;
+        let mut col_bytes = 0u64;
+        let mut dict_bytes = 0u64;
+        let mut dict_entries = 0u64;
+        let mut columnar_tables = 0u64;
+        for (_, m) in &report {
+            row_bytes += m.row_layout_bytes as u64;
+            col_bytes += m.columnar_layout_bytes as u64;
+            dict_bytes += m.dict_bytes as u64;
+            dict_entries += m.dict_entries as u64;
+            columnar_tables += u64::from(m.columnar);
+        }
+        obs::set(obs::Counter::MemRowBytes, row_bytes);
+        obs::set(obs::Counter::MemColumnarBytes, col_bytes);
+        obs::set(obs::Counter::MemDictBytes, dict_bytes);
+        obs::set(obs::Counter::MemDictEntries, dict_entries);
+        obs::set(obs::Counter::MemColumnarTables, columnar_tables);
+        report
+    }
+
     /// Drop every TEMP table — perfbase does this at the end of a query.
     pub fn drop_temp_tables(&self) {
         let names = self.temp_table_names();
@@ -346,6 +424,7 @@ impl Engine {
                 temp,
                 if_not_exists,
                 columns,
+                columnar,
             } => {
                 let schema = Schema::new(
                     columns
@@ -357,7 +436,7 @@ impl Engine {
                         })
                         .collect(),
                 )?;
-                self.create_table_unlogged(&name, schema, temp, if_not_exists)?;
+                self.create_table_unlogged(&name, schema, temp, if_not_exists, columnar)?;
                 Ok(0)
             }
             Stmt::DropTable { name, if_exists } => {

@@ -29,10 +29,11 @@
 //! equivalence tests and the baseline for the `microbench` binary.
 
 use crate::aggregate::{Accumulator, AggKind};
+use crate::column::{ColumnStore, ColumnVec, DictColumn};
 use crate::compile::{compile, CompiledExpr};
 use crate::engine::{Engine, ResultSet};
 use crate::error::DbError;
-use crate::expr::{eval, truthy, RowCtx};
+use crate::expr::{binary_values, eval, truthy, LikePattern, RowCtx};
 use crate::schema::{Column, Schema};
 use crate::sql::{JoinClause, SelectItem, SelectStmt, SqlExpr};
 use crate::table::{Row, Table};
@@ -230,6 +231,18 @@ fn single_table_select(
     let t_plan = Instant::now();
     let candidates = plan_access(sel.where_clause.as_ref(), table).candidates;
     obs::record_duration(obs::Hist::PlanNs, t_plan.elapsed());
+
+    // Columnar tables first try the vectorized operator path; an
+    // unvectorizable WHERE clause falls through to the row path below
+    // (served by the table's materialized-row cache).
+    if let Some(store) = table.column_store() {
+        if let Some((columns, out_rows)) =
+            columnar_select(store, schema, sel, candidates.as_deref())?
+        {
+            drop(guard);
+            return finalize(sel, columns, out_rows);
+        }
+    }
 
     if is_aggregation(sel) {
         if let Some(key_idx) = resolve_group_keys(sel, schema) {
@@ -478,6 +491,689 @@ fn fast_agg_scan(
         agg.merge(p?);
     }
     agg.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized execution over columnar tables
+// ---------------------------------------------------------------------------
+//
+// Columnar tables (`crate::column`) get a column-at-a-time operator path:
+// the WHERE clause is lowered into [`VecAtom`]s that evaluate one column
+// vector at a time into a selection vector of row positions; dictionary
+// predicates compare u32 codes against a precomputed per-entry truth table
+// instead of strings. Aggregation then runs batched over the selected
+// positions ([`vectorized_fast_agg`]), grouping single TEXT keys directly
+// by dictionary code.
+//
+// The path is deliberately sequential: it reuses [`Accumulator`] in row
+// order, so results are byte-identical to the row path (same Welford
+// update order, same first-seen group order, same tie-breaking) — the
+// property the equivalence corpus asserts.
+
+/// Engine-exact comparison of two f64 images — the numeric arm of
+/// `Value::total_cmp` (NaN sorts last, two NaNs are equal).
+#[inline]
+fn num_cmp(x: f64, y: f64) -> std::cmp::Ordering {
+    match x.partial_cmp(&y) {
+        Some(o) => o,
+        None => x.is_nan().cmp(&y.is_nan()),
+    }
+}
+
+/// Normalized f64 bits with [`ValueKey`]'s equivalence classes
+/// (`-0.0` → `0.0`, canonical NaN).
+#[inline]
+fn norm_bits(f: f64) -> u64 {
+    let f = if f == 0.0 { 0.0 } else { f };
+    let f = if f.is_nan() { f64::NAN } else { f };
+    f.to_bits()
+}
+
+/// Comparison operator of a vectorizable conjunct.
+#[derive(Debug, Clone, Copy)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn of(op: &str) -> Option<CmpOp> {
+        Some(match op {
+            "=" => CmpOp::Eq,
+            "<>" => CmpOp::Ne,
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    #[inline]
+    fn holds(self, ord: std::cmp::Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+/// One vectorized WHERE conjunct. Every variant replicates the row
+/// evaluator's semantics exactly; in particular, comparisons with a NULL
+/// cell are false for every operator.
+#[derive(Debug)]
+enum VecAtom {
+    /// `col <op> lit` where both sides compare through their f64 image.
+    NumCmp { col: usize, op: CmpOp, rhs: f64 },
+    /// Payload-independent comparison (NULL literal, or a cross-type
+    /// compare decided by type rank): NULL cells are false, every non-NULL
+    /// cell yields `result`.
+    ConstCmp { col: usize, result: bool },
+    /// Per-dictionary-code truth table over a TEXT column — comparisons,
+    /// IN lists and LIKE all precompute one bool per distinct string and
+    /// evaluate on u32 codes. `null_pass` is the NULL-cell result
+    /// (true for NOT LIKE).
+    DictPass {
+        col: usize,
+        pass: Vec<bool>,
+        null_pass: bool,
+    },
+    /// `col [NOT] IN (lits)` over a non-TEXT column: membership in a
+    /// normalized f64-bits set (elements that can never equal a numeric
+    /// cell are dropped at compile time).
+    NumIn {
+        col: usize,
+        set: HashSet<u64>,
+        negated: bool,
+    },
+    /// `col IS [NOT] NULL`.
+    IsNull { col: usize, negated: bool },
+}
+
+impl VecAtom {
+    /// Does row `pos` pass this conjunct?
+    #[inline]
+    fn test(&self, store: &ColumnStore, pos: usize) -> bool {
+        match self {
+            VecAtom::NumCmp { col, op, rhs } => {
+                let c = store.col(*col);
+                !c.nulls().is_null(pos) && op.holds(num_cmp(c.f64_at(pos), *rhs))
+            }
+            VecAtom::ConstCmp { col, result } => *result && !store.col(*col).nulls().is_null(pos),
+            VecAtom::DictPass {
+                col,
+                pass,
+                null_pass,
+            } => {
+                let ColumnVec::Text(d) = store.col(*col) else {
+                    unreachable!("DictPass compiled for a non-TEXT column");
+                };
+                if d.nulls.is_null(pos) {
+                    *null_pass
+                } else {
+                    pass[d.codes[pos] as usize]
+                }
+            }
+            VecAtom::NumIn { col, set, negated } => {
+                let c = store.col(*col);
+                !c.nulls().is_null(pos) && (set.contains(&norm_bits(c.f64_at(pos))) != *negated)
+            }
+            VecAtom::IsNull { col, negated } => store.col(*col).nulls().is_null(pos) != *negated,
+        }
+    }
+
+    /// Column-at-a-time pass over the full table: append every passing
+    /// position to `out`. The hot shapes (numeric compare, dictionary
+    /// truth table) run with the column-type match hoisted out of the row
+    /// loop; the rest fall back to per-row [`VecAtom::test`].
+    fn fill(&self, store: &ColumnStore, out: &mut Vec<usize>) {
+        // `IS NULL` over a column with no NULLs selects nothing.
+        if let VecAtom::IsNull {
+            col,
+            negated: false,
+        } = self
+        {
+            if store.col(*col).nulls().null_count() == 0 {
+                return;
+            }
+        }
+        out.reserve(store.len());
+        match self {
+            VecAtom::NumCmp { col, op, rhs } => match store.col(*col) {
+                ColumnVec::Int { data, nulls } => {
+                    for (pos, &x) in data.iter().enumerate() {
+                        if !nulls.is_null(pos) && op.holds(num_cmp(x as f64, *rhs)) {
+                            out.push(pos);
+                        }
+                    }
+                }
+                ColumnVec::Float { data, nulls } => {
+                    for (pos, &x) in data.iter().enumerate() {
+                        if !nulls.is_null(pos) && op.holds(num_cmp(x, *rhs)) {
+                            out.push(pos);
+                        }
+                    }
+                }
+                _ => self.fill_generic(store, out),
+            },
+            VecAtom::DictPass {
+                col,
+                pass,
+                null_pass,
+            } => {
+                let ColumnVec::Text(d) = store.col(*col) else {
+                    unreachable!("DictPass compiled for a non-TEXT column");
+                };
+                for (pos, &c) in d.codes.iter().enumerate() {
+                    let ok = if d.nulls.is_null(pos) {
+                        *null_pass
+                    } else {
+                        pass[c as usize]
+                    };
+                    if ok {
+                        out.push(pos);
+                    }
+                }
+            }
+            _ => self.fill_generic(store, out),
+        }
+    }
+
+    fn fill_generic(&self, store: &ColumnStore, out: &mut Vec<usize>) {
+        for pos in 0..store.len() {
+            if self.test(store, pos) {
+                out.push(pos);
+            }
+        }
+    }
+}
+
+/// A non-NULL representative of `dtype`, for compile-time evaluation of
+/// payload-independent (type-rank) comparisons.
+fn representative(dtype: DataType) -> Value {
+    match dtype {
+        DataType::Int => Value::Int(0),
+        DataType::Float => Value::Float(0.0),
+        DataType::Bool => Value::Bool(false),
+        DataType::Timestamp => Value::Timestamp(0),
+        DataType::Text => Value::Text(String::new()),
+    }
+}
+
+/// Lower a WHERE clause into vectorized conjuncts. `None` means some
+/// conjunct doesn't vectorize and the caller must take the row path; when
+/// `Some`, the atoms cover the entire clause (no residual filter).
+fn compile_vec_filter(
+    where_clause: Option<&SqlExpr>,
+    schema: &Schema,
+    store: &ColumnStore,
+) -> Option<Vec<VecAtom>> {
+    let Some(w) = where_clause else {
+        return Some(Vec::new());
+    };
+    let mut conjuncts = Vec::new();
+    split_conjuncts(w, &mut conjuncts);
+    conjuncts
+        .iter()
+        .map(|c| compile_vec_atom(c, schema, store))
+        .collect()
+}
+
+fn compile_vec_atom(e: &SqlExpr, schema: &Schema, store: &ColumnStore) -> Option<VecAtom> {
+    match e {
+        SqlExpr::Binary(op, l, r) if CmpOp::of(op).is_some() => {
+            // Normalize to `col <op> lit`, flipping when the literal is on
+            // the left (same as the access planner).
+            let (name, lit, op) = match (&**l, &**r) {
+                (SqlExpr::Col(n), SqlExpr::Lit(v)) => (n, v, *op),
+                (SqlExpr::Lit(v), SqlExpr::Col(n)) => (
+                    n,
+                    v,
+                    match *op {
+                        "<" => ">",
+                        "<=" => ">=",
+                        ">" => "<",
+                        ">=" => "<=",
+                        other => other,
+                    },
+                ),
+                _ => return None,
+            };
+            let ci = schema.index_of(name)?;
+            if let ColumnVec::Text(d) = store.col(ci) {
+                // Equality against a string probes the dictionary lookup
+                // directly; other shapes compute a truth table per entry
+                // through the scalar evaluator — exact for every literal
+                // type.
+                let pass = if let ("=", Value::Text(s)) = (op, lit) {
+                    let mut pass = vec![false; d.dict().len()];
+                    if let Some(c) = d.code_of(s) {
+                        pass[c as usize] = true;
+                    }
+                    pass
+                } else {
+                    d.dict()
+                        .iter()
+                        .map(|s| {
+                            binary_values(op, Value::Text(s.clone()), lit.clone())
+                                .ok()
+                                .map(|v| truthy(&v))
+                        })
+                        .collect::<Option<Vec<bool>>>()?
+                };
+                return Some(VecAtom::DictPass {
+                    col: ci,
+                    pass,
+                    null_pass: false,
+                });
+            }
+            if lit.is_null() {
+                // Every comparison against NULL is false.
+                return Some(VecAtom::ConstCmp {
+                    col: ci,
+                    result: false,
+                });
+            }
+            match lit.as_f64() {
+                // Non-TEXT cells all carry an f64 image, so the engine
+                // compares them numerically (`total_cmp`).
+                Some(f) => Some(VecAtom::NumCmp {
+                    col: ci,
+                    op: CmpOp::of(op)?,
+                    rhs: f,
+                }),
+                // Non-numeric literal (TEXT) vs a numeric column: type-rank
+                // ordering makes the result constant over non-NULL cells.
+                None => {
+                    let rep = representative(schema.columns[ci].dtype);
+                    let v = binary_values(op, rep, lit.clone()).ok()?;
+                    Some(VecAtom::ConstCmp {
+                        col: ci,
+                        result: truthy(&v),
+                    })
+                }
+            }
+        }
+        SqlExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let SqlExpr::Col(name) = &**expr else {
+                return None;
+            };
+            let ci = schema.index_of(name)?;
+            let lits = list
+                .iter()
+                .map(|e| match e {
+                    SqlExpr::Lit(v) => Some(v),
+                    _ => None,
+                })
+                .collect::<Option<Vec<&Value>>>()?;
+            if let ColumnVec::Text(d) = store.col(ci) {
+                let pass = d
+                    .dict()
+                    .iter()
+                    .map(|s| {
+                        let cell = Value::Text(s.clone());
+                        lits.iter().any(|l| cell.sql_eq(l)) != *negated
+                    })
+                    .collect();
+                return Some(VecAtom::DictPass {
+                    col: ci,
+                    pass,
+                    null_pass: false,
+                });
+            }
+            let mut set = HashSet::with_capacity(lits.len());
+            for l in &lits {
+                if !l.is_null() {
+                    if let Some(f) = l.as_f64() {
+                        set.insert(norm_bits(f));
+                    }
+                }
+            }
+            Some(VecAtom::NumIn {
+                col: ci,
+                set,
+                negated: *negated,
+            })
+        }
+        SqlExpr::IsNull { expr, negated } => {
+            let SqlExpr::Col(name) = &**expr else {
+                return None;
+            };
+            Some(VecAtom::IsNull {
+                col: schema.index_of(name)?,
+                negated: *negated,
+            })
+        }
+        SqlExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let SqlExpr::Col(name) = &**expr else {
+                return None;
+            };
+            let ci = schema.index_of(name)?;
+            let ColumnVec::Text(d) = store.col(ci) else {
+                return None;
+            };
+            let pat = LikePattern::parse(pattern);
+            let pass = d
+                .dict()
+                .iter()
+                .map(|s| pat.matches(s) != *negated)
+                .collect();
+            // LIKE on NULL evaluates the match as false, so NOT LIKE passes.
+            Some(VecAtom::DictPass {
+                col: ci,
+                pass,
+                null_pass: *negated,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Evaluate the atom conjunction into a selection vector of row positions
+/// (ascending). The first atom fills column-at-a-time; each later atom
+/// narrows the survivors. Index candidates, when present, are narrowed
+/// directly — the atoms cover the full WHERE clause, so this matches the
+/// row path's residual filtering.
+fn vectorized_selection(
+    store: &ColumnStore,
+    atoms: &[VecAtom],
+    candidates: Option<&[usize]>,
+) -> Vec<usize> {
+    match candidates {
+        Some(ids) => {
+            let out: Vec<usize> = ids
+                .iter()
+                .copied()
+                .filter(|&p| atoms.iter().all(|a| a.test(store, p)))
+                .collect();
+            obs::add(obs::Counter::ResidualChecks, ids.len() as u64);
+            obs::add(obs::Counter::ResidualDrops, (ids.len() - out.len()) as u64);
+            out
+        }
+        None => {
+            obs::add(obs::Counter::ScanRowsVisited, store.len() as u64);
+            match atoms.split_first() {
+                None => (0..store.len()).collect(),
+                Some((first, rest)) => {
+                    let mut sv = Vec::new();
+                    first.fill(store, &mut sv);
+                    for a in rest {
+                        sv.retain(|&p| a.test(store, p));
+                    }
+                    sv
+                }
+            }
+        }
+    }
+}
+
+/// Batched fast-path aggregation over selected positions. Single TEXT
+/// group keys resolve groups by dictionary code (no hashing, no string
+/// clones on the hot path); other key shapes reuse [`FastAgg`]'s
+/// byte-encoded grouping fed straight from the typed vectors.
+fn vectorized_fast_agg(
+    store: &ColumnStore,
+    sv: &[usize],
+    plan: Vec<FastItem>,
+    key_idx: Vec<usize>,
+) -> Result<Vec<Row>, DbError> {
+    if let [ki] = key_idx[..] {
+        if let ColumnVec::Text(d) = store.col(ki) {
+            return dict_grouped_agg(store, sv, &plan, d);
+        }
+    }
+    let mut agg = FastAgg::new(plan, key_idx);
+    for &p in sv {
+        agg.update_at(store, p);
+    }
+    agg.finish()
+}
+
+/// GROUP BY over dictionary codes: group identity is the u32 code (plus
+/// one NULL slot), resolved through a direct code → group table. Group
+/// order is first-seen row order and accumulator updates run in row
+/// order — identical to [`FastAgg`].
+fn dict_grouped_agg(
+    store: &ColumnStore,
+    sv: &[usize],
+    plan: &[FastItem],
+    d: &DictColumn,
+) -> Result<Vec<Row>, DbError> {
+    const NONE: u32 = u32::MAX;
+    let mut code_group = vec![NONE; d.dict().len()];
+    let mut null_group = NONE;
+    let mut keys: Vec<Value> = Vec::new();
+    // Pass 1: resolve every selected row to a dense group index once, so
+    // the aggregation passes below touch one column at a time.
+    let mut gidx: Vec<u32> = Vec::with_capacity(sv.len());
+    for &p in sv {
+        let gi = if d.nulls.is_null(p) {
+            if null_group == NONE {
+                null_group = keys.len() as u32;
+                keys.push(Value::Null);
+            }
+            null_group
+        } else {
+            let c = d.codes[p] as usize;
+            if code_group[c] == NONE {
+                code_group[c] = keys.len() as u32;
+                keys.push(Value::Text(d.dict()[c].clone()));
+            }
+            code_group[c]
+        };
+        gidx.push(gi);
+    }
+    // Pass 2, per aggregate item: the column-type match is hoisted out of
+    // the row loop, and each (group, item) accumulator still sees its
+    // values in row order — identical results to the row-at-a-time path.
+    let mut acc_cols: Vec<Vec<Accumulator>> = Vec::new();
+    for it in plan {
+        let FastItem::Agg(kind, col) = it else {
+            continue;
+        };
+        let mut accs: Vec<Accumulator> = keys.iter().map(|_| Accumulator::new(*kind)).collect();
+        let mut feed = |vals: &mut dyn Iterator<Item = Value>| {
+            for (v, &g) in vals.zip(&gidx) {
+                accs[g as usize].update(&v);
+            }
+        };
+        match col {
+            None => feed(&mut sv.iter().map(|_| Value::Int(1))),
+            Some(i) => match store.col(*i) {
+                ColumnVec::Int { data, nulls } => feed(&mut sv.iter().map(|&p| {
+                    if nulls.is_null(p) {
+                        Value::Null
+                    } else {
+                        Value::Int(data[p])
+                    }
+                })),
+                ColumnVec::Float { data, nulls } => feed(&mut sv.iter().map(|&p| {
+                    if nulls.is_null(p) {
+                        Value::Null
+                    } else {
+                        Value::Float(data[p])
+                    }
+                })),
+                ColumnVec::Bool { data, nulls } => feed(&mut sv.iter().map(|&p| {
+                    if nulls.is_null(p) {
+                        Value::Null
+                    } else {
+                        Value::Bool(data[p])
+                    }
+                })),
+                ColumnVec::Timestamp { data, nulls } => feed(&mut sv.iter().map(|&p| {
+                    if nulls.is_null(p) {
+                        Value::Null
+                    } else {
+                        Value::Timestamp(data[p])
+                    }
+                })),
+                ColumnVec::Text(_) => feed(&mut sv.iter().map(|&p| store.value(p, *i))),
+            },
+        }
+        acc_cols.push(accs);
+    }
+    let mut out = Vec::with_capacity(keys.len());
+    for (g, key) in keys.iter().enumerate() {
+        let mut row = Vec::with_capacity(plan.len());
+        let mut a = 0;
+        for it in plan {
+            match it {
+                // The single group key, wherever the projection places it.
+                FastItem::Key(_) => row.push(key.clone()),
+                FastItem::Agg(..) => {
+                    row.push(acc_cols[a][g].finish().map_err(DbError::Type)?);
+                    a += 1;
+                }
+            }
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// One projection slot of a pure-column projection.
+enum ProjCol {
+    /// `*` — every schema column.
+    All,
+    /// A single column by index.
+    One(usize),
+}
+
+/// When every projection item is `*` or a plain resolvable column, the
+/// output can be built straight from the typed vectors.
+fn pure_column_projection(sel: &SelectStmt, schema: &Schema) -> Option<Vec<ProjCol>> {
+    sel.items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Star => Some(ProjCol::All),
+            SelectItem::Expr {
+                expr: SqlExpr::Col(name),
+                ..
+            } => schema.index_of(name).map(ProjCol::One),
+            SelectItem::Expr { .. } => None,
+        })
+        .collect()
+}
+
+/// How much of a single-table SELECT runs vectorized on a columnar table.
+/// Shared by the executor and `EXPLAIN`, so the report is truthful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VecStrategy {
+    /// Selection and aggregation/projection all run column-at-a-time.
+    Full,
+    /// Selection is vectorized; aggregation or projection falls back to
+    /// row-at-a-time evaluation over the selected positions.
+    Partial,
+    /// The WHERE clause doesn't vectorize — the whole query takes the
+    /// row path (over the materialized-row cache).
+    None,
+}
+
+impl VecStrategy {
+    fn name(self) -> &'static str {
+        match self {
+            VecStrategy::Full => "full",
+            VecStrategy::Partial => "partial",
+            VecStrategy::None => "none",
+        }
+    }
+}
+
+/// Decide the vectorization strategy from the same facts the executor
+/// uses.
+fn vectorize_strategy(schema: &Schema, store: &ColumnStore, sel: &SelectStmt) -> VecStrategy {
+    if compile_vec_filter(sel.where_clause.as_ref(), schema, store).is_none() {
+        return VecStrategy::None;
+    }
+    let full = if is_aggregation(sel) {
+        resolve_group_keys(sel, schema)
+            .is_some_and(|key_idx| plan_fast(sel, schema, &key_idx).is_some())
+    } else {
+        pure_column_projection(sel, schema).is_some()
+    };
+    if full {
+        VecStrategy::Full
+    } else {
+        VecStrategy::Partial
+    }
+}
+
+/// Output column names paired with the produced rows.
+type NamedRows = (Vec<String>, Vec<Row>);
+
+/// Execute a single-table SELECT through the vectorized path. `None`
+/// means the WHERE clause doesn't vectorize and the caller should use the
+/// row path; `Some` carries `(columns, rows)` ready for [`finalize`].
+fn columnar_select(
+    store: &ColumnStore,
+    schema: &Schema,
+    sel: &SelectStmt,
+    candidates: Option<&[usize]>,
+) -> Result<Option<NamedRows>, DbError> {
+    let Some(atoms) = compile_vec_filter(sel.where_clause.as_ref(), schema, store) else {
+        obs::incr(obs::Counter::VectorizedFallbacks);
+        return Ok(None);
+    };
+    obs::incr(obs::Counter::VectorizedScans);
+    let sv = vectorized_selection(store, &atoms, candidates);
+
+    if is_aggregation(sel) {
+        if let Some(key_idx) = resolve_group_keys(sel, schema) {
+            if let Some(plan) = plan_fast(sel, schema, &key_idx) {
+                let out = vectorized_fast_agg(store, &sv, plan, key_idx)?;
+                return Ok(Some((output_names(sel, schema), out)));
+            }
+        }
+        // General aggregation: materialize only the selected rows, then
+        // run the expression path over them (same as the row engine).
+        let rows: Vec<Row> = sv.iter().map(|&p| store.materialize_row(p)).collect();
+        return Ok(Some(aggregate_project(sel, schema, &rows)?));
+    }
+
+    let columns = output_names(sel, schema);
+    let mut out = Vec::with_capacity(sv.len());
+    match pure_column_projection(sel, schema) {
+        Some(proj) => {
+            for &p in &sv {
+                let mut row = Vec::with_capacity(columns.len());
+                for pc in &proj {
+                    match pc {
+                        ProjCol::All => row.extend((0..schema.arity()).map(|c| store.value(p, c))),
+                        ProjCol::One(c) => row.push(store.value(p, *c)),
+                    }
+                }
+                out.push(row);
+            }
+        }
+        None => {
+            // Expression projection: evaluate compiled items per selected
+            // materialized row (errors surface for selected rows only,
+            // exactly like the row path).
+            let items = compile_items(sel, schema);
+            for &p in &sv {
+                let row = store.materialize_row(p);
+                out.push(project_row(&row, &items)?);
+            }
+        }
+    }
+    Ok(Some((columns, out)))
 }
 
 /// Index probe outcome for a `col <op> <const>` conjunct.
@@ -1003,10 +1699,27 @@ pub fn run_explain(engine: &Engine, sel: &SelectStmt, analyze: bool) -> Result<R
                 // planner only serves single-table SELECTs.
                 AccessPlan::full_scan(nrows as f64)
             };
+            // Columnar tables report their layout and how much of the
+            // query the vectorized path covers — decided by the same
+            // strategy function the executor uses.
+            let layout_note = table.column_store().map(|store| {
+                if sel.joins.is_empty() {
+                    format!(
+                        " layout=columnar vectorized={}",
+                        vectorize_strategy(&table.schema, store, sel).name()
+                    )
+                } else {
+                    // Joined queries always materialise rows.
+                    " layout=columnar".to_string()
+                }
+            });
             drop(guard);
             let mut scan = format!("Scan {base} access={}", plan.kind.name());
             if let Some(col) = &plan.column {
                 scan.push_str(&format!(" column={col}"));
+            }
+            if let Some(note) = layout_note {
+                scan.push_str(&note);
             }
             scan.push_str(&format!(" est_rows={:.1}", plan.est_rows));
             if analyze {
@@ -1380,6 +2093,45 @@ impl FastAgg {
         }
     }
 
+    /// [`FastAgg::update`] fed from a column store: key bytes and
+    /// aggregate inputs come straight from the typed vectors, with no full
+    /// row materialization.
+    fn update_at(&mut self, store: &ColumnStore, pos: usize) {
+        let gi = if self.key_idx.is_empty() {
+            0
+        } else {
+            let mut key = Vec::with_capacity(self.key_idx.len() * 9);
+            for &i in &self.key_idx {
+                encode_value_bytes(&store.value(pos, i), &mut key);
+            }
+            match self.group_of.get(&key) {
+                Some(&gi) => gi,
+                None => {
+                    let gi = self.keys.len();
+                    self.keys
+                        .push(self.key_idx.iter().map(|&i| store.value(pos, i)).collect());
+                    self.key_bytes.push(key.clone());
+                    self.group_of.insert(key, gi);
+                    let fresh = self.fresh_accs();
+                    self.accs.push(fresh);
+                    gi
+                }
+            }
+        };
+        let group_accs = &mut self.accs[gi];
+        let mut a = 0;
+        for it in &self.plan {
+            if let FastItem::Agg(_, col) = it {
+                let v = match col {
+                    Some(i) => store.value(pos, *i),
+                    None => Value::Int(1),
+                };
+                group_accs[a].update(&v);
+                a += 1;
+            }
+        }
+    }
+
     /// Fold a later segment's partial state into this one. New groups
     /// append in the other segment's first-seen order, so merging partials
     /// in segment order reproduces the sequential group order.
@@ -1448,7 +2200,7 @@ fn aggregate_project(
     sel: &SelectStmt,
     schema: &Schema,
     rows: &[Row],
-) -> Result<(Vec<String>, Vec<Row>), DbError> {
+) -> Result<NamedRows, DbError> {
     // Group rows by the GROUP BY key.
     let key_idx: Result<Vec<usize>, DbError> = sel
         .group_by
@@ -2171,5 +2923,149 @@ mod tests {
             e.query("SELECT * FROM t WHERE zzz = 1 AND id = 99"),
             Err(DbError::NoSuchColumn(_))
         ));
+    }
+
+    /// Row-layout and columnar twins over the same data, for byte-identical
+    /// result checks across the vectorized path.
+    fn twin_dbs() -> (Engine, Engine) {
+        let row = Engine::new();
+        let col = Engine::new();
+        let cols = "(id INTEGER, fs TEXT, bw FLOAT, ok BOOLEAN, at TIMESTAMP)";
+        row.execute(&format!("CREATE TABLE runs {cols}")).unwrap();
+        col.execute(&format!("CREATE TABLE runs {cols} USING COLUMNAR"))
+            .unwrap();
+        let mut vals = Vec::new();
+        for i in 0..200i64 {
+            let fs = match i % 4 {
+                0 => "'ufs'".to_string(),
+                1 => "'nfs'".to_string(),
+                2 => "'pvfs'".to_string(),
+                _ => "NULL".to_string(),
+            };
+            let bw = if i % 7 == 0 {
+                "NULL".to_string()
+            } else {
+                format!("{}.25", i * 3)
+            };
+            let ok = if i % 2 == 0 { "TRUE" } else { "FALSE" };
+            vals.push(format!(
+                "({i}, {fs}, {bw}, {ok}, '2026-01-01 00:00:{:02}')",
+                i % 60
+            ));
+        }
+        let stmt = format!("INSERT INTO runs VALUES {}", vals.join(", "));
+        row.execute(&stmt).unwrap();
+        col.execute(&stmt).unwrap();
+        (row, col)
+    }
+
+    const VEC_CORPUS: &[&str] = &[
+        "SELECT * FROM runs WHERE fs = 'ufs'",
+        "SELECT id, bw FROM runs WHERE bw > 100.0 AND bw <= 400.0",
+        "SELECT id FROM runs WHERE fs <> 'nfs' AND ok = TRUE",
+        "SELECT id FROM runs WHERE fs < 'pvfs'",
+        "SELECT id FROM runs WHERE fs LIKE 'u%'",
+        "SELECT id FROM runs WHERE fs NOT LIKE '%fs'",
+        "SELECT id FROM runs WHERE fs IN ('ufs', 'pvfs', 'zfs')",
+        "SELECT id FROM runs WHERE id IN (3, 5, 8, 999)",
+        "SELECT id FROM runs WHERE id NOT IN (3, 5, 8)",
+        "SELECT id FROM runs WHERE bw IS NULL",
+        "SELECT id FROM runs WHERE fs IS NOT NULL AND bw IS NOT NULL",
+        "SELECT id FROM runs WHERE bw = NULL",
+        "SELECT id FROM runs WHERE id = 'nope'",
+        "SELECT id FROM runs WHERE fs > 5",
+        "SELECT count(*) FROM runs WHERE fs = 'ufs'",
+        "SELECT fs, count(*), sum(bw), avg(bw), min(bw), max(bw) FROM runs GROUP BY fs",
+        "SELECT fs, avg(bw) FROM runs WHERE bw > 50.0 GROUP BY fs",
+        "SELECT ok, count(*) FROM runs GROUP BY ok",
+        "SELECT fs, ok, count(*) FROM runs GROUP BY fs, ok",
+        "SELECT min(at), max(at) FROM runs WHERE fs = 'nfs'",
+        "SELECT avg(bw) * 2 FROM runs WHERE fs = 'ufs'",
+        "SELECT id * 2, bw FROM runs WHERE fs = 'pvfs'",
+        "SELECT id FROM runs WHERE fs = 'ufs' OR fs = 'nfs'",
+        "SELECT id FROM runs WHERE NOT (fs = 'ufs')",
+        "SELECT DISTINCT fs FROM runs WHERE bw IS NOT NULL ORDER BY fs",
+        "SELECT fs, avg(bw) FROM runs GROUP BY fs ORDER BY 2 DESC LIMIT 2",
+    ];
+
+    #[test]
+    fn vectorized_path_matches_row_results() {
+        let (row, col) = twin_dbs();
+        for q in VEC_CORPUS {
+            let a = row.query(q).unwrap();
+            let b = col.query(q).unwrap();
+            assert_eq!(a.column_names(), b.column_names(), "columns differ: {q}");
+            assert_eq!(a.rows(), b.rows(), "rows differ: {q}");
+        }
+    }
+
+    #[test]
+    fn vectorized_path_respects_indexes() {
+        let (row, col) = twin_dbs();
+        for e in [&row, &col] {
+            e.execute("CREATE INDEX ix_fs ON runs (fs)").unwrap();
+            e.execute("CREATE ORDERED INDEX ox_id ON runs (id)")
+                .unwrap();
+        }
+        for q in [
+            "SELECT id, bw FROM runs WHERE fs = 'ufs' AND bw > 60.0",
+            "SELECT fs, count(*) FROM runs WHERE id >= 20 AND id < 40 GROUP BY fs",
+            "SELECT id FROM runs WHERE id IN (1, 2, 3) AND ok = FALSE",
+        ] {
+            let a = row.query(q).unwrap();
+            let b = col.query(q).unwrap();
+            assert_eq!(a.rows(), b.rows(), "rows differ: {q}");
+        }
+    }
+
+    #[test]
+    fn explain_reports_columnar_layout_and_strategy() {
+        let (_, col) = twin_dbs();
+        let text = |q: &str| {
+            col.query(q)
+                .unwrap()
+                .rows()
+                .iter()
+                .map(|r| r[0].to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        // Fast aggregation over a dictionary group key: fully vectorized.
+        let t = text("EXPLAIN SELECT fs, avg(bw) FROM runs WHERE bw > 10.0 GROUP BY fs");
+        assert!(t.contains("layout=columnar vectorized=full"), "{t}");
+        // OR doesn't vectorize: the row path serves the query.
+        let t = text("EXPLAIN SELECT id FROM runs WHERE fs = 'ufs' OR fs = 'nfs'");
+        assert!(t.contains("layout=columnar vectorized=none"), "{t}");
+        // Expression projection: selection vectorizes, projection doesn't.
+        let t = text("EXPLAIN SELECT id + 1 FROM runs WHERE fs = 'ufs'");
+        assert!(t.contains("layout=columnar vectorized=partial"), "{t}");
+        // ANALYZE still ends the scan line with the actual row count.
+        let t = text("EXPLAIN ANALYZE SELECT id FROM runs WHERE fs = 'ufs'");
+        let scan = t
+            .lines()
+            .find(|l| l.starts_with("Scan"))
+            .expect("scan line");
+        assert!(scan.contains(" vectorized=full "), "{scan}");
+        assert!(scan.contains(" actual_rows=200"), "{scan}");
+        // Row tables are unannotated.
+        let (row, _) = twin_dbs();
+        let t = row
+            .query("EXPLAIN SELECT id FROM runs WHERE fs = 'ufs'")
+            .unwrap()
+            .rows()
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!t.contains("layout="), "{t}");
+    }
+
+    #[test]
+    fn dictionary_group_order_is_first_seen() {
+        let (row, col) = twin_dbs();
+        // No ORDER BY: group order must be first-seen row order on both
+        // layouts (dictionary-code grouping included).
+        let q = "SELECT fs, count(*) FROM runs GROUP BY fs";
+        assert_eq!(row.query(q).unwrap().rows(), col.query(q).unwrap().rows());
     }
 }

@@ -41,6 +41,7 @@
 
 pub mod aggregate;
 pub mod cluster;
+mod column;
 mod compile;
 mod dump;
 mod engine;
@@ -54,10 +55,11 @@ mod table;
 mod value;
 pub mod wal;
 
+pub use column::{ColumnStore, ColumnarMemory};
 pub use engine::{Engine, ResultSet};
 pub use error::DbError;
 pub use schema::{Column, Schema};
-pub use table::Table;
+pub use table::{Table, TableMemory};
 pub use value::{format_timestamp, parse_timestamp, DataType, Value, ValueKey};
 pub use wal::{IoFailpoint, RecoveryReport, SyncPolicy, Wal, WalOptions};
 

@@ -6,7 +6,7 @@ use std::fmt;
 /// A complete statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
-    /// `CREATE [TEMP] TABLE [IF NOT EXISTS] name (cols)`
+    /// `CREATE [TEMP] TABLE [IF NOT EXISTS] name (cols) [USING COLUMNAR]`
     CreateTable {
         /// Table name.
         name: String,
@@ -16,6 +16,9 @@ pub enum Stmt {
         if_not_exists: bool,
         /// Column definitions.
         columns: Vec<ColumnDef>,
+        /// `USING COLUMNAR`: store the table in the columnar layout
+        /// (typed vectors + dictionary-encoded text, see `crate::column`).
+        columnar: bool,
     },
     /// `DROP TABLE [IF EXISTS] name`
     DropTable {

@@ -166,11 +166,18 @@ impl P {
             }
         }
         self.expect_sym(")")?;
+        let columnar = if self.eat_kw("USING") {
+            self.expect_kw("COLUMNAR")?;
+            true
+        } else {
+            false
+        };
         Ok(Stmt::CreateTable {
             name,
             temp,
             if_not_exists,
             columns,
+            columnar,
         })
     }
 
@@ -692,6 +699,7 @@ mod tests {
                 temp,
                 if_not_exists,
                 columns,
+                columnar,
             } => {
                 assert_eq!(name, "t");
                 assert!(temp);
@@ -699,9 +707,29 @@ mod tests {
                 assert_eq!(columns.len(), 3);
                 assert!(!columns[0].nullable);
                 assert!(columns[1].nullable);
+                assert!(!columnar);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn create_table_using_columnar() {
+        let s = parse_statement("CREATE TABLE t (a INTEGER, fs TEXT) USING COLUMNAR").unwrap();
+        match s {
+            Stmt::CreateTable { name, columnar, .. } => {
+                assert_eq!(name, "t");
+                assert!(columnar);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Case-insensitive, and an incomplete USING clause is an error.
+        assert!(matches!(
+            parse_statement("create table t (a integer) using columnar"),
+            Ok(Stmt::CreateTable { columnar: true, .. })
+        ));
+        assert!(parse_statement("CREATE TABLE t (a INTEGER) USING").is_err());
+        assert!(parse_statement("CREATE TABLE t (a INTEGER) USING ROWSTORE").is_err());
     }
 
     #[test]

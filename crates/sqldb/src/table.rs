@@ -1,10 +1,21 @@
-//! In-memory row storage with optional secondary indexes (hash or ordered).
+//! In-memory table storage — row layout or columnar layout — with optional
+//! secondary indexes (hash or ordered).
+//!
+//! Both layouts sit behind one [`Table`] interface. The row layout stores
+//! `Vec<Row>`; the columnar layout stores a [`ColumnStore`] (typed vectors,
+//! dictionary-encoded strings, null bitmaps — see [`crate::column`]) plus a
+//! lazily materialized row cache so that [`Table::rows`] keeps working
+//! unchanged for every existing caller. Mutations invalidate the cache; the
+//! vectorized execution path in `exec` bypasses it entirely via
+//! [`Table::column_store`].
 
+use crate::column::{ColumnStore, ColumnarMemory};
 use crate::error::DbError;
 use crate::schema::Schema;
-use crate::value::{Value, ValueKey};
-use std::collections::{BTreeMap, HashMap};
+use crate::value::{DataType, Value, ValueKey};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Bound;
+use std::sync::OnceLock;
 
 /// A row is a vector of values, one per schema column.
 pub type Row = Vec<Value>;
@@ -23,11 +34,13 @@ enum IndexStore {
 }
 
 impl IndexStore {
-    fn build(ordered: bool, column: usize, rows: &[Row]) -> Self {
+    /// Build from per-row keys in position order — layout-agnostic (the row
+    /// layout feeds row slices, the columnar layout feeds reconstructed
+    /// cell values).
+    fn build(ordered: bool, keys: impl Iterator<Item = ValueKey>) -> Self {
         if ordered {
             let mut map: BTreeMap<ValueKey, Vec<usize>> = BTreeMap::new();
-            for (i, r) in rows.iter().enumerate() {
-                let key = ValueKey::of(&r[column]);
+            for (i, key) in keys.enumerate() {
                 if !key.is_null() {
                     map.entry(key).or_default().push(i);
                 }
@@ -35,8 +48,7 @@ impl IndexStore {
             IndexStore::Ordered(map)
         } else {
             let mut map: HashMap<ValueKey, Vec<usize>> = HashMap::new();
-            for (i, r) in rows.iter().enumerate() {
-                let key = ValueKey::of(&r[column]);
+            for (i, key) in keys.enumerate() {
                 if !key.is_null() {
                     map.entry(key).or_default().push(i);
                 }
@@ -139,7 +151,27 @@ impl Index {
     }
 }
 
-/// An in-memory table: a schema plus row storage plus secondary indexes.
+/// Per-table memory accounting (see [`Table::memory_footprint`]). For a row
+/// table the columnar numbers are what a columnar copy *would* cost (and
+/// vice versa), so `perfbase stats` can show the layout trade-off either way.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TableMemory {
+    /// Row count.
+    pub rows: usize,
+    /// True when the table is stored columnar.
+    pub columnar: bool,
+    /// Estimated bytes in the row layout (actual for row tables).
+    pub row_layout_bytes: usize,
+    /// Estimated bytes in the columnar layout (actual for columnar tables).
+    pub columnar_layout_bytes: usize,
+    /// Bytes held by string dictionaries.
+    pub dict_bytes: usize,
+    /// Total dictionary entries across TEXT columns.
+    pub dict_entries: usize,
+}
+
+/// An in-memory table: a schema plus row or columnar storage plus secondary
+/// indexes.
 ///
 /// Tables are stored behind `RwLock`s in the [`crate::Engine`] catalog; the
 /// table itself is a plain data structure.
@@ -148,32 +180,74 @@ pub struct Table {
     /// Column definitions.
     pub schema: Schema,
     rows: Vec<Row>,
+    /// Columnar backing store; `Some` makes `rows` unused.
+    columnar: Option<ColumnStore>,
+    /// Lazily materialized rows of a columnar table, so [`Table::rows`]
+    /// stays source-compatible. Invalidated by every mutation.
+    row_cache: OnceLock<Vec<Row>>,
     indexes: Vec<Index>,
 }
 
 impl Table {
-    /// Empty table with the given schema.
+    /// Empty row-layout table with the given schema.
     pub fn new(schema: Schema) -> Self {
         Table {
             schema,
             rows: Vec::new(),
+            columnar: None,
+            row_cache: OnceLock::new(),
             indexes: Vec::new(),
         }
     }
 
+    /// Empty columnar table with the given schema.
+    pub fn new_columnar(schema: Schema) -> Self {
+        let store = ColumnStore::new(&schema);
+        Table {
+            schema,
+            rows: Vec::new(),
+            columnar: Some(store),
+            row_cache: OnceLock::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// True when this table uses the columnar layout.
+    pub fn is_columnar(&self) -> bool {
+        self.columnar.is_some()
+    }
+
+    /// Columnar backing store, when this table is columnar.
+    pub(crate) fn column_store(&self) -> Option<&ColumnStore> {
+        self.columnar.as_ref()
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.columnar {
+            Some(st) => st.len(),
+            None => self.rows.len(),
+        }
     }
 
     /// True when the table holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// Read-only view of all rows.
+    /// Read-only view of all rows. For a columnar table this materializes
+    /// (and caches) the rows on first use; fast paths avoid it by reading
+    /// the column store directly.
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        match &self.columnar {
+            None => &self.rows,
+            Some(st) => self.row_cache.get_or_init(|| st.to_rows()),
+        }
+    }
+
+    /// Drop the materialized row cache after a mutation.
+    fn invalidate_cache(&mut self) {
+        self.row_cache.take();
     }
 
     /// Create an index named `name` over `column` (`ordered` selects the
@@ -190,7 +264,8 @@ impl Table {
             .ok_or_else(|| DbError::NoSuchColumn(column.to_string()))?;
         if let Some(pos) = self.indexes.iter().position(|ix| ix.column == ci) {
             if ordered && !self.indexes[pos].is_ordered() {
-                self.indexes[pos].store = IndexStore::build(true, ci, &self.rows);
+                self.indexes[pos].store =
+                    Self::build_index_store(&self.rows, self.columnar.as_ref(), true, ci);
             }
             return Ok(());
         }
@@ -200,9 +275,25 @@ impl Table {
         self.indexes.push(Index {
             name: name.to_string(),
             column: ci,
-            store: IndexStore::build(ordered, ci, &self.rows),
+            store: Self::build_index_store(&self.rows, self.columnar.as_ref(), ordered, ci),
         });
         Ok(())
+    }
+
+    /// Build one index store from whichever layout backs the table.
+    fn build_index_store(
+        rows: &[Row],
+        columnar: Option<&ColumnStore>,
+        ordered: bool,
+        ci: usize,
+    ) -> IndexStore {
+        match columnar {
+            None => IndexStore::build(ordered, rows.iter().map(|r| ValueKey::of(&r[ci]))),
+            Some(st) => IndexStore::build(
+                ordered,
+                (0..st.len()).map(|p| ValueKey::of(&st.value(p, ci))),
+            ),
+        }
     }
 
     /// Is there an index over `column` (by position)?
@@ -315,14 +406,20 @@ impl Table {
 
     /// Append an already-validated row and index it.
     fn append_row(&mut self, row: Row) {
-        let pos = self.rows.len();
+        let pos = self.len();
         for ix in &mut self.indexes {
             let key = ValueKey::of(&row[ix.column]);
             if !key.is_null() {
                 ix.store.push(key, pos);
             }
         }
-        self.rows.push(row);
+        match &mut self.columnar {
+            None => self.rows.push(row),
+            Some(st) => {
+                st.push_row(&row);
+                self.invalidate_cache();
+            }
+        }
     }
 
     /// Validate, coerce and append one row.
@@ -341,7 +438,9 @@ impl Table {
             checked.push(self.check_row(r)?);
         }
         let n = checked.len();
-        self.rows.reserve(n);
+        if self.columnar.is_none() {
+            self.rows.reserve(n);
+        }
         for r in checked {
             self.append_row(r);
         }
@@ -354,13 +453,14 @@ impl Table {
     /// remapped through every index — O(survivors) per index instead of a
     /// full rebuild.
     pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
-        let keep: Vec<bool> = self.rows.iter().map(|r| !pred(r)).collect();
+        // `rows()` serves both layouts (materializing columnar tables once).
+        let keep: Vec<bool> = self.rows().iter().map(|r| !pred(r)).collect();
         let removed = keep.iter().filter(|k| !**k).count();
         if removed == 0 {
             return 0;
         }
         // Old position → new position, usize::MAX for deleted rows.
-        let mut new_of = vec![usize::MAX; self.rows.len()];
+        let mut new_of = vec![usize::MAX; keep.len()];
         let mut next = 0;
         for (i, k) in keep.iter().enumerate() {
             if *k {
@@ -368,12 +468,18 @@ impl Table {
                 next += 1;
             }
         }
-        let mut i = 0;
-        self.rows.retain(|_| {
-            let k = keep[i];
-            i += 1;
-            k
-        });
+        match &mut self.columnar {
+            None => {
+                let mut i = 0;
+                self.rows.retain(|_| {
+                    let k = keep[i];
+                    i += 1;
+                    k
+                });
+            }
+            Some(st) => st.retain(&keep),
+        }
+        self.invalidate_cache();
         for ix in &mut self.indexes {
             ix.store.remap_positions(&new_of);
         }
@@ -386,6 +492,9 @@ impl Table {
     /// column is captured before the callback and the position moved to the
     /// new key afterwards (no-op when the key is unchanged).
     pub fn update_where(&mut self, mut f: impl FnMut(&mut Row) -> bool) -> usize {
+        if self.columnar.is_some() {
+            return self.update_where_columnar(&mut f);
+        }
         let mut n = 0;
         if self.indexes.is_empty() {
             for r in &mut self.rows {
@@ -415,13 +524,125 @@ impl Table {
         n
     }
 
+    /// Columnar flavour of [`Table::update_where`]: materialize each row for
+    /// the callback, write changed rows back cell-by-cell (values coerce to
+    /// the column type, exactly like the engine's SET path), and move index
+    /// positions for rewritten keys.
+    fn update_where_columnar(&mut self, f: &mut impl FnMut(&mut Row) -> bool) -> usize {
+        let Table {
+            schema,
+            columnar,
+            indexes,
+            ..
+        } = self;
+        let st = columnar.as_mut().expect("columnar layout");
+        let mut n = 0;
+        let mut changed = false;
+        let mut old_keys = Vec::with_capacity(indexes.len());
+        for pos in 0..st.len() {
+            let mut row = st.materialize_row(pos);
+            old_keys.clear();
+            old_keys.extend(indexes.iter().map(|ix| ValueKey::of(&row[ix.column])));
+            if !f(&mut row) {
+                continue;
+            }
+            n += 1;
+            changed = true;
+            st.set_row(pos, &row, schema);
+            for (ix, old) in indexes.iter_mut().zip(&old_keys) {
+                // Key of the *stored* (coerced) value, so index and storage
+                // can never disagree.
+                let new = ValueKey::of(&st.value(pos, ix.column));
+                if new != *old {
+                    ix.store.move_position(old, new, pos);
+                }
+            }
+        }
+        if changed {
+            self.invalidate_cache();
+        }
+        n
+    }
+
     /// Rebuild every index from scratch. Normal mutation paths maintain
     /// indexes incrementally; this remains public as the brute-force
     /// baseline (the `mutation_batch` microbench measures incremental
     /// maintenance against it) and as a recovery hammer.
     pub fn rebuild_indexes(&mut self) {
-        for ix in &mut self.indexes {
-            ix.store = IndexStore::build(ix.is_ordered(), ix.column, &self.rows);
+        let Table {
+            rows,
+            columnar,
+            indexes,
+            ..
+        } = self;
+        for ix in indexes {
+            ix.store = Self::build_index_store(rows, columnar.as_ref(), ix.is_ordered(), ix.column);
+        }
+    }
+
+    /// Memory accounting for this table: actual bytes of the current layout
+    /// plus an estimate of what the *other* layout would cost, so the obs
+    /// gauges can report the row-vs-columnar trade-off.
+    pub fn memory_footprint(&self) -> TableMemory {
+        let n = self.len();
+        let arity = self.schema.arity();
+        let value_sz = std::mem::size_of::<Value>();
+        // Row layout: one Vec header + arity inline Values per row, plus the
+        // heap payload of every text cell.
+        let row_fixed = n * (std::mem::size_of::<Row>() + arity * value_sz);
+        match &self.columnar {
+            Some(st) => {
+                let m: ColumnarMemory = st.memory();
+                TableMemory {
+                    rows: n,
+                    columnar: true,
+                    row_layout_bytes: row_fixed + m.row_text_bytes,
+                    columnar_layout_bytes: m.data_bytes + m.dict_bytes,
+                    dict_bytes: m.dict_bytes,
+                    dict_entries: m.dict_entries,
+                }
+            }
+            None => {
+                // Estimate the columnar cost of this row table: 8 bytes per
+                // numeric cell, 4-byte codes plus a distinct-string
+                // dictionary per text column, one null bit per cell.
+                let mut text_heap = 0;
+                let mut columnar_est = 0;
+                let mut dict_bytes = 0;
+                let mut dict_entries = 0;
+                for (ci, col) in self.schema.columns.iter().enumerate() {
+                    columnar_est += n.div_ceil(8); // null bitmap
+                    match col.dtype {
+                        DataType::Int | DataType::Float | DataType::Timestamp => {
+                            columnar_est += 8 * n;
+                        }
+                        DataType::Bool => columnar_est += n,
+                        DataType::Text => {
+                            columnar_est += 4 * n;
+                            let mut distinct: HashSet<&str> = HashSet::new();
+                            for r in &self.rows {
+                                if let Value::Text(s) = &r[ci] {
+                                    text_heap += s.len();
+                                    distinct.insert(s.as_str());
+                                }
+                            }
+                            dict_entries += distinct.len();
+                            for s in distinct {
+                                dict_bytes += 2 * (24 + s.len());
+                            }
+                        }
+                    }
+                }
+                columnar_est += dict_bytes;
+                TableMemory {
+                    rows: n,
+                    columnar: false,
+                    row_layout_bytes: row_fixed + text_heap,
+                    columnar_layout_bytes: columnar_est,
+                    dict_bytes,
+                    dict_entries,
+                }
+            }
         }
     }
 }
@@ -698,5 +919,112 @@ mod tests {
         // A later hash request over the ordered index stays a no-op.
         tb.create_index("h2", "id", false).unwrap();
         assert!(tb.has_ordered_index_on(0));
+    }
+
+    fn tc() -> Table {
+        Table::new_columnar(
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("bw", DataType::Float),
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// A columnar table behaves identically to a row table through the whole
+    /// mutation + index surface: same inserts, deletes, updates and lookups.
+    #[test]
+    fn columnar_matches_row_layout_through_mutations() {
+        let mut rt = t();
+        let mut ct = tc();
+        assert!(ct.is_columnar() && !rt.is_columnar());
+        for tb in [&mut rt, &mut ct] {
+            tb.create_index("by_id", "id", true).unwrap();
+            for i in 0..30 {
+                tb.insert(vec![Value::Int(i % 7), Value::Float(i as f64)])
+                    .unwrap();
+            }
+            tb.delete_where(|r| r[1].as_f64().unwrap() % 3.0 == 0.0);
+            tb.update_where(|r| {
+                if r[0] == Value::Int(2) {
+                    r[0] = Value::Int(11);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        assert_eq!(rt.rows(), ct.rows());
+        assert_eq!(rt.len(), ct.len());
+        for k in 0..12 {
+            assert_eq!(lookup_ids(&rt, k), lookup_ids(&ct, k), "key {k}");
+        }
+        assert_eq!(
+            rt.range_lookup(
+                0,
+                Bound::Included(&ValueKey::of(&Value::Int(1))),
+                Bound::Excluded(&ValueKey::of(&Value::Int(5)))
+            ),
+            ct.range_lookup(
+                0,
+                Bound::Included(&ValueKey::of(&Value::Int(1))),
+                Bound::Excluded(&ValueKey::of(&Value::Int(5)))
+            )
+        );
+    }
+
+    #[test]
+    fn columnar_row_cache_invalidates_on_mutation() {
+        let mut tb = tc();
+        tb.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap();
+        assert_eq!(tb.rows().len(), 1); // cache materializes
+        tb.insert(vec![Value::Int(2), Value::Float(2.0)]).unwrap();
+        assert_eq!(tb.rows().len(), 2); // cache was invalidated
+        tb.update_where(|r| {
+            r[1] = Value::Float(9.0);
+            true
+        });
+        assert_eq!(tb.rows()[0][1], Value::Float(9.0));
+        tb.delete_where(|r| r[0] == Value::Int(1));
+        assert_eq!(tb.rows().len(), 1);
+        assert_eq!(tb.rows()[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn columnar_insert_all_stays_atomic() {
+        let mut tb = tc();
+        tb.create_index("by_id", "id", false).unwrap();
+        tb.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap();
+        let err = tb.insert_all(vec![
+            vec![Value::Int(2), Value::Float(2.0)],
+            vec![Value::Null, Value::Float(3.0)],
+        ]);
+        assert!(err.is_err());
+        assert_eq!(tb.len(), 1);
+        assert!(tb
+            .index_lookup(0, &ValueKey::of(&Value::Int(2)))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn memory_footprint_reports_both_layouts() {
+        let mut rt = t();
+        let mut ct = tc();
+        for tb in [&mut rt, &mut ct] {
+            for i in 0..100 {
+                tb.insert(vec![Value::Int(i), Value::Float(i as f64)])
+                    .unwrap();
+            }
+        }
+        let rm = rt.memory_footprint();
+        let cm = ct.memory_footprint();
+        assert!(!rm.columnar && cm.columnar);
+        assert_eq!(rm.rows, 100);
+        assert_eq!(cm.rows, 100);
+        assert!(rm.row_layout_bytes > 0 && rm.columnar_layout_bytes > 0);
+        assert!(cm.columnar_layout_bytes > 0 && cm.row_layout_bytes > 0);
+        // Two numeric columns: columnar is far denser than 32-byte Values.
+        assert!(cm.columnar_layout_bytes < cm.row_layout_bytes);
     }
 }

@@ -245,6 +245,63 @@ fn pushdown_moves_at_least_10x_fewer_rows() {
     );
 }
 
+/// Run-data tables are columnar (append-mostly import tables) and keep
+/// that layout when shipped to their owning shard — and back to the
+/// frontend on detach. Aggregation pushdown over the columnar shards
+/// returns the same artifact as frontend materialization while moving
+/// fewer rows, so the vectorized path and the pushdown planner compose.
+#[test]
+fn pushdown_over_columnar_shards_matches_and_keeps_layout() {
+    let db = campaign_db(2);
+    shard(&db, 4);
+    let sh = db.sharding().unwrap();
+    let cluster = sh.cluster().clone();
+    let mut placed = 0;
+    for run_id in db.run_ids().unwrap() {
+        let owner = sh.map().node_of(run_id).expect("every run is placed");
+        let table = format!("pb_rundata_{run_id}");
+        let eng = &cluster.node(owner).engine;
+        assert!(
+            eng.table(&table).unwrap().read().is_columnar(),
+            "{table} lost its columnar layout on node {owner}"
+        );
+        placed += 1;
+    }
+    assert!(placed > 0, "campaign must place runs");
+
+    let spec = r#"<query name="colshard"><source id="s">
+         <parameter name="technique" carry="true"/>
+         <parameter name="s_chunk" carry="true"/>
+         <value name="b_separate"/>
+       </source>
+       <operator id="a" type="avg" input="s"/>
+       <output id="o" input="a" format="csv"/></query>"#;
+    let pushed = QueryRunner::new(&db)
+        .run(query_from_str(spec).unwrap())
+        .unwrap();
+    let fetched = QueryRunner::new(&db)
+        .pushdown(false)
+        .run(query_from_str(spec).unwrap())
+        .unwrap();
+    assert_eq!(pushed.artifacts["o"], fetched.artifacts["o"]);
+    let (tp, tf) = (pushed.transfer.unwrap(), fetched.transfer.unwrap());
+    assert!(
+        tp.rows < tf.rows,
+        "pushdown over columnar shards must move fewer rows ({} vs {})",
+        tp.rows,
+        tf.rows
+    );
+
+    db.detach_cluster().unwrap();
+    for run_id in db.run_ids().unwrap() {
+        let table = format!("pb_rundata_{run_id}");
+        assert!(
+            db.engine().table(&table).unwrap().read().is_columnar(),
+            "{table} lost its columnar layout on detach"
+        );
+    }
+}
+
 #[test]
 fn lan_latency_is_charged_per_query() {
     let db = campaign_db(2);

@@ -85,4 +85,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 echo "== microbench =="
 cargo run --release -p bench --bin microbench
 
+echo "== bench regression guard =="
+cargo run --release -p bench --bin bench_guard
+
 echo "smoke: OK"

@@ -98,6 +98,24 @@ counters! {
     MemDictEntries => "mem.dict_entries",
     /// Tables currently stored in the columnar layout (gauge).
     MemColumnarTables => "mem.columnar_tables",
+    /// Catalog snapshots pinned by readers (`Engine::snapshot`).
+    MvccSnapshotsPinned => "mvcc.snapshots_pinned",
+    /// Copy-on-write table clones forced because a pinned snapshot still
+    /// referenced the version a writer wanted to mutate.
+    MvccCowClones => "mvcc.cow_clones",
+    /// Current commit epoch (gauge; bumped once per applied mutation).
+    MvccEpoch => "mvcc.epoch",
+    /// HTTP requests accepted by the server front end.
+    HttpRequests => "http.requests",
+    /// Requests answered 503: admission queue full, queue wait timed out,
+    /// the session table was full, or the connection limit was exceeded.
+    HttpRejectedOverload => "http.rejected_503",
+    /// Open client connections (gauge).
+    HttpActiveConns => "http.active_conns",
+    /// Statements waiting in the admission queue (gauge).
+    HttpQueueDepth => "http.queue_depth",
+    /// Registered query sessions holding a pinned snapshot (gauge).
+    HttpSessions => "http.sessions",
 }
 
 const N: usize = Counter::ALL.len();

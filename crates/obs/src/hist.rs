@@ -53,6 +53,14 @@ hists! {
     ElementNs => "dag.element_ns",
     /// Rows per cluster shipment.
     ShipmentRows => "cluster.shipment_rows",
+    /// `/query` endpoint latency (admission wait + execution + render).
+    HttpQueryNs => "http.query_ns",
+    /// `/ingest` endpoint latency (admission wait + execution).
+    HttpIngestNs => "http.ingest_ns",
+    /// `/stats` endpoint latency.
+    HttpStatsNs => "http.stats_ns",
+    /// Latency of every other endpoint (health, epoch, sessions, shutdown).
+    HttpOtherNs => "http.other_ns",
 }
 
 const N: usize = Hist::ALL.len();

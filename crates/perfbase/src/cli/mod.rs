@@ -29,6 +29,13 @@
 //!   process-wide engine telemetry; with `--export-experiment`, write the
 //!   metrics as a perfbase experiment (definition + input description +
 //!   run file) so they can be imported and queried through perfbase itself
+//! * `serve --db file [--addr A] [--threads N] [--max-sessions N]
+//!   [--queue N] [--wal --sync P]` — serve the database over HTTP for
+//!   concurrent analysts (see `docs/HTTP_API.md`); prints `listening on
+//!   ADDR` immediately and blocks until a client posts `/shutdown`, then
+//!   saves (or checkpoints) the database
+//! * `sql --db file 'SELECT …'` — run one SELECT and print it as TSV,
+//!   byte-identical to the server's `/query` response body
 //!
 //! `query` additionally accepts `--trace file`, writing the span tree of
 //! the query's execution (DAG elements, SQL statements, cluster traffic)
@@ -41,6 +48,7 @@
 //! testable without process spawning.
 
 pub mod args;
+mod serve;
 mod stats;
 
 use args::{Args, OptSpec};
@@ -76,13 +84,15 @@ pub fn run(argv: Vec<String>) -> Result<String, String> {
         "show" => cmd_show(rest),
         "suspect" => cmd_suspect(rest),
         "stats" => stats::cmd_stats(rest),
+        "serve" => serve::cmd_serve(rest),
+        "sql" => serve::cmd_sql(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
 }
 
 fn usage() -> String {
-    "usage: perfbase <setup|update|input|checkpoint|query|info|ls|show|missing|delete|check|dump|suspect|stats> [options]\n\
+    "usage: perfbase <setup|update|input|checkpoint|query|info|ls|show|missing|delete|check|dump|suspect|stats|serve|sql> [options]\n\
      run `perfbase help` for details"
         .to_string()
 }

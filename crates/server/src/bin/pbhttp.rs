@@ -1,0 +1,114 @@
+//! `pbhttp` — a tiny std-only HTTP/1.1 client for driving the perfbase
+//! server from shell scripts (smoke tests, CI) without a curl dependency.
+//!
+//! ```text
+//! pbhttp [-i] [-H 'Name: value']... METHOD URL [BODY|@FILE]
+//! ```
+//!
+//! * `-i` prints the status line and response headers before the body.
+//! * `-H` adds a request header (repeatable), e.g. `-H 'X-Session: 3'`.
+//! * `BODY` is sent verbatim; `@FILE` sends the file's contents; with
+//!   neither, the request has no body.
+//!
+//! Exit status: 0 for 2xx responses, 1 for any other status, 2 for usage
+//! or transport errors.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("pbhttp: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = std::env::args().skip(1);
+    let mut include_headers = false;
+    let mut extra_headers: Vec<String> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-i" => include_headers = true,
+            "-H" => extra_headers.push(args.next().ok_or("-H needs a 'Name: value' argument")?),
+            "-h" | "--help" => {
+                println!("usage: pbhttp [-i] [-H 'Name: value']... METHOD URL [BODY|@FILE]");
+                return Ok(ExitCode::SUCCESS);
+            }
+            _ => positional.push(a),
+        }
+    }
+    if positional.len() < 2 || positional.len() > 3 {
+        return Err("usage: pbhttp [-i] [-H 'Name: value']... METHOD URL [BODY|@FILE]".into());
+    }
+    let method = positional[0].to_ascii_uppercase();
+    let (host, target) = parse_url(&positional[1])?;
+    let body = match positional.get(2) {
+        None => Vec::new(),
+        Some(arg) => match arg.strip_prefix('@') {
+            Some(path) => std::fs::read(path).map_err(|e| format!("{path}: {e}"))?,
+            None => arg.clone().into_bytes(),
+        },
+    };
+
+    let mut stream = TcpStream::connect(&host).map_err(|e| format!("connect {host}: {e}"))?;
+    let mut req = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for h in &extra_headers {
+        req.push_str(h);
+        req.push_str("\r\n");
+    }
+    req.push_str("\r\n");
+    stream
+        .write_all(req.as_bytes())
+        .and_then(|()| stream.write_all(&body))
+        .map_err(|e| format!("send: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("recv: {e}"))?;
+    let raw = String::from_utf8_lossy(&raw);
+    let (head, resp_body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("malformed response (no header terminator)")?;
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+
+    if include_headers {
+        println!("{head}");
+        println!();
+    }
+    print!("{resp_body}");
+    Ok(if (200..300).contains(&status) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Split `http://host:port/path?query` into `(host:port, /path?query)`.
+fn parse_url(url: &str) -> Result<(String, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("only http:// URLs are supported, got {url:?}"))?;
+    let (host, target) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    if host.is_empty() {
+        return Err(format!("no host in {url:?}"));
+    }
+    Ok((host.to_string(), target.to_string()))
+}

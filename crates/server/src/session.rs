@@ -1,0 +1,126 @@
+//! Per-analyst sessions: a registry of pinned [`Snapshot`]s.
+//!
+//! `POST /session` pins the current catalog snapshot and returns an id;
+//! subsequent `/query` requests carrying `X-Session: <id>` run against
+//! that frozen epoch — **repeatable reads** across many requests, no
+//! matter how many imports commit in between. Sessions are capped (the
+//! server's `--max-sessions`); a full table answers 503 so a leaky client
+//! cannot pin unbounded table versions. `DELETE /session` (or
+//! `POST /session/close`) releases the pin and lets copy-on-write
+//! versions be reclaimed.
+
+use sqldb::Snapshot;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Registry of live sessions, keyed by the id handed to the client.
+pub struct SessionTable {
+    sessions: Mutex<HashMap<u64, Arc<Snapshot>>>,
+    next_id: AtomicU64,
+    capacity: usize,
+}
+
+impl SessionTable {
+    /// Empty table holding at most `capacity` sessions.
+    pub fn new(capacity: usize) -> SessionTable {
+        SessionTable {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Register a pinned snapshot; `None` when the table is full (503).
+    pub fn open(&self, snapshot: Snapshot) -> Option<u64> {
+        let mut s = self.sessions.lock().unwrap();
+        if s.len() >= self.capacity {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        s.insert(id, Arc::new(snapshot));
+        obs::set(obs::Counter::HttpSessions, s.len() as u64);
+        Some(id)
+    }
+
+    /// The snapshot a session pinned, if the session exists.
+    pub fn get(&self, id: u64) -> Option<Arc<Snapshot>> {
+        self.sessions.lock().unwrap().get(&id).cloned()
+    }
+
+    /// Release a session; reports whether it existed.
+    pub fn close(&self, id: u64) -> bool {
+        let mut s = self.sessions.lock().unwrap();
+        let existed = s.remove(&id).is_some();
+        obs::set(obs::Counter::HttpSessions, s.len() as u64);
+        existed
+    }
+
+    /// `(id, epoch)` of every live session, sorted by id (for `/session`
+    /// listing and `/stats`).
+    pub fn list(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .sessions
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&id, snap)| (id, snap.epoch()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqldb::Engine;
+
+    #[test]
+    fn open_get_close_roundtrip() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        let table = SessionTable::new(4);
+        let id = table.open(db.snapshot()).unwrap();
+        assert!(table.get(id).is_some());
+        assert_eq!(table.list().len(), 1);
+        assert!(table.close(id));
+        assert!(!table.close(id));
+        assert!(table.get(id).is_none());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let db = Engine::new();
+        let table = SessionTable::new(2);
+        assert!(table.open(db.snapshot()).is_some());
+        assert!(table.open(db.snapshot()).is_some());
+        assert!(table.open(db.snapshot()).is_none(), "third must be refused");
+        let (id, _) = table.list()[0];
+        table.close(id);
+        assert!(table.open(db.snapshot()).is_some());
+    }
+
+    #[test]
+    fn session_pins_its_epoch() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        let table = SessionTable::new(4);
+        let id = table.open(db.snapshot()).unwrap();
+        let epoch = table.get(id).unwrap().epoch();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        assert_eq!(table.get(id).unwrap().epoch(), epoch);
+        assert!(db.epoch() > epoch);
+    }
+}

@@ -1,0 +1,290 @@
+//! End-to-end tests of the HTTP front end over real sockets: every
+//! endpoint, the documented error codes (including 503 under overload),
+//! session-pinned repeatable reads, and clean shutdown.
+
+use pbserver::{Server, ServerConfig, ServerHandle};
+use sqldb::Engine;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Send one request on a fresh connection; return (status, headers, body).
+fn call(
+    handle: &ServerHandle,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut req = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, resp_body) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .lines()
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    (status, head.to_string(), resp_body.to_string())
+}
+
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        (k.trim().eq_ignore_ascii_case(name)).then(|| v.trim().to_string())
+    })
+}
+
+fn serve_sample() -> (Arc<Engine>, ServerHandle) {
+    let engine = Arc::new(Engine::new());
+    engine
+        .execute("CREATE TABLE runs (run_index INTEGER, fs TEXT, bw FLOAT)")
+        .unwrap();
+    engine
+        .execute("INSERT INTO runs VALUES (1, 'ufs', 214.5), (2, 'nfs', 98.1)")
+        .unwrap();
+    let handle = Server::start(engine.clone(), ServerConfig::default()).unwrap();
+    (engine, handle)
+}
+
+#[test]
+fn health_epoch_query_and_stats_roundtrip() {
+    let (engine, handle) = serve_sample();
+
+    let (status, head, body) = call(&handle, "GET", "/health", &[], "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(
+        header_value(&head, "X-Epoch").unwrap(),
+        engine.epoch().to_string()
+    );
+
+    let (status, _, body) = call(&handle, "GET", "/epoch", &[], "");
+    assert_eq!(status, 200);
+    assert_eq!(body.trim(), engine.epoch().to_string());
+
+    let (status, head, body) = call(
+        &handle,
+        "POST",
+        "/query",
+        &[],
+        "SELECT fs, bw FROM runs ORDER BY fs DESC",
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(body, "fs\tbw\nufs\t214.5\nnfs\t98.1\n");
+    assert_eq!(header_value(&head, "X-Rows").unwrap(), "2");
+    // The wire body is exactly the engine's own TSV rendering.
+    assert_eq!(
+        body,
+        engine
+            .query("SELECT fs, bw FROM runs ORDER BY fs DESC")
+            .unwrap()
+            .render_tsv()
+    );
+
+    let (status, _, body) = call(&handle, "POST", "/query", &[], "EXPLAIN SELECT * FROM runs");
+    assert_eq!(status, 200);
+    assert!(body.contains("Scan runs"), "explain output: {body}");
+
+    let (status, _, body) = call(
+        &handle,
+        "POST",
+        "/query",
+        &[],
+        "EXPLAIN ANALYZE SELECT count(*) FROM runs",
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("Rows returned: 1"), "analyze output: {body}");
+
+    let (status, _, body) = call(&handle, "GET", "/stats", &[], "");
+    assert_eq!(status, 200);
+    assert!(body.contains("== server =="), "stats output: {body}");
+    assert!(body.contains("active_connections"));
+
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn ingest_is_atomic_and_queryable() {
+    let (engine, handle) = serve_sample();
+
+    let (status, head, body) = call(
+        &handle,
+        "POST",
+        "/ingest?table=runs",
+        &[],
+        "fs\tbw\trun_index\npvfs\t55.5\t3\npvfs\t66.6\t4\n",
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("inserted 2 row(s)"));
+    assert_eq!(
+        header_value(&head, "X-Epoch").unwrap(),
+        engine.epoch().to_string()
+    );
+    assert_eq!(engine.row_count("runs").unwrap(), 4);
+
+    let (status, _, body) = call(
+        &handle,
+        "POST",
+        "/query",
+        &[],
+        "SELECT count(*) FROM runs WHERE fs = 'pvfs'",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(body, "count(*)\n2\n");
+
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn sessions_give_repeatable_reads() {
+    let (engine, handle) = serve_sample();
+
+    let (status, head, body) = call(&handle, "POST", "/session", &[], "");
+    assert_eq!(status, 200);
+    let id = body.trim().to_string();
+    let pinned_epoch = header_value(&head, "X-Epoch").unwrap();
+
+    // A later import must not be visible inside the session.
+    engine
+        .execute("INSERT INTO runs VALUES (3, 'pvfs', 1.0)")
+        .unwrap();
+    let sql = "SELECT count(*) FROM runs";
+    let (_, head, body) = call(&handle, "POST", "/query", &[("X-Session", &id)], sql);
+    assert_eq!(body, "count(*)\n2\n", "session must see the pinned epoch");
+    assert_eq!(header_value(&head, "X-Epoch").unwrap(), pinned_epoch);
+    let (_, _, live) = call(&handle, "POST", "/query", &[], sql);
+    assert_eq!(live, "count(*)\n3\n", "live read sees the import");
+
+    // Listing shows the session; closing removes it.
+    let (_, _, listing) = call(&handle, "GET", "/session", &[], "");
+    assert!(
+        listing.contains(&format!("{id}\t{pinned_epoch}")),
+        "{listing}"
+    );
+    let (status, _, _) = call(&handle, "POST", &format!("/session/close?id={id}"), &[], "");
+    assert_eq!(status, 200);
+    let (status, _, _) = call(&handle, "POST", "/query", &[("X-Session", &id)], sql);
+    assert_eq!(status, 404, "closed session must be gone");
+
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn error_codes_match_the_documentation() {
+    let (_engine, handle) = serve_sample();
+
+    let (status, _, _) = call(&handle, "GET", "/nope", &[], "");
+    assert_eq!(status, 404);
+    let (status, _, _) = call(&handle, "GET", "/query", &[], "");
+    assert_eq!(status, 405);
+    let (status, _, body) = call(&handle, "POST", "/query", &[], "SELEC oops");
+    assert_eq!(status, 400, "body: {body}");
+    let (status, _, _) = call(&handle, "POST", "/query", &[], "");
+    assert_eq!(status, 400);
+    let (status, _, _) = call(
+        &handle,
+        "POST",
+        "/query",
+        &[("X-Session", "999")],
+        "SELECT 1",
+    );
+    assert_eq!(status, 404);
+    let (status, _, _) = call(
+        &handle,
+        "POST",
+        "/query",
+        &[("X-Session", "zzz")],
+        "SELECT 1",
+    );
+    assert_eq!(status, 400);
+    let (status, _, _) = call(&handle, "POST", "/ingest?table=runs", &[], "zzz\n1\n");
+    assert_eq!(status, 400);
+    let (status, _, _) = call(&handle, "POST", "/ingest", &[], "a\n1\n");
+    assert_eq!(status, 400);
+
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn session_table_overflow_answers_503() {
+    let engine = Arc::new(Engine::new());
+    engine.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    let handle = Server::start(
+        engine,
+        ServerConfig {
+            max_sessions: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    assert_eq!(call(&handle, "POST", "/session", &[], "").0, 200);
+    assert_eq!(call(&handle, "POST", "/session", &[], "").0, 200);
+    let (status, head, _) = call(&handle, "POST", "/session", &[], "");
+    assert_eq!(status, 503);
+    assert_eq!(header_value(&head, "Retry-After").unwrap(), "1");
+
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let (_engine, handle) = serve_sample();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    for i in 0..3 {
+        let body = "SELECT count(*) FROM runs";
+        let req = format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).unwrap();
+        // Read exactly one response: headers then Content-Length bytes.
+        let mut buf = Vec::new();
+        let mut b = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut b).unwrap();
+            buf.push(b[0]);
+        }
+        let head = String::from_utf8_lossy(&buf).to_string();
+        assert!(head.starts_with("HTTP/1.1 200"), "request {i}: {head}");
+        let len: usize = header_value(&head, "Content-Length")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut body_buf = vec![0u8; len];
+        stream.read_exact(&mut body_buf).unwrap();
+        assert_eq!(String::from_utf8_lossy(&body_buf), "count(*)\n2\n");
+    }
+    drop(stream);
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let (_engine, handle) = serve_sample();
+    let (status, _, body) = call(&handle, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    assert_eq!(body, "shutting down\n");
+    assert!(handle.stopping());
+    handle.join();
+}

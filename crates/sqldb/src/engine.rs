@@ -6,6 +6,7 @@ use crate::error::DbError;
 use crate::exec;
 use crate::expr::{self, RowCtx};
 use crate::schema::{Column, Schema};
+use crate::snapshot::Snapshot;
 use crate::sql::{self, Stmt};
 use crate::sync::{Mutex, RwLock};
 use crate::table::{Row, Table, TableMemory};
@@ -13,6 +14,7 @@ use crate::value::Value;
 use crate::wal::{RecoveryReport, Wal, WalOptions};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -103,24 +105,138 @@ impl ResultSet {
         let i = self.columns.iter().position(|c| c == name)?;
         Some(self.rows.iter().map(|r| r[i].clone()).collect())
     }
+
+    /// Render as tab-separated text: one header line of column names, one
+    /// line per row, values in SQL display form. This is the wire format
+    /// of the HTTP `/query` endpoint and of `perfbase sql`, shared here so
+    /// the two surfaces stay byte-identical.
+    pub fn render_tsv(&self) -> String {
+        let mut out = self.columns.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            let mut first = true;
+            for v in row {
+                if !first {
+                    out.push('\t');
+                }
+                first = false;
+                out.push_str(&v.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
 }
 
-/// An in-process database: a catalog of `RwLock`-guarded tables.
+/// An in-process database: a catalog of multi-versioned tables.
 ///
-/// The engine is `Sync`; concurrent readers of the same table proceed in
-/// parallel, which is what lets perfbase *source* elements run concurrently
-/// (paper §4.3).
+/// The engine is `Sync`, and reads are snapshot-isolated: each catalog
+/// slot holds an `Arc<Table>` *version*. Readers pin a version (one `Arc`
+/// clone under the slot's read lock, dropped immediately) and scan
+/// lock-free; writers mutate in place while nobody pins the current
+/// version and copy-on-write otherwise. A long analytical scan therefore
+/// never blocks an import and vice versa — which is what lets many
+/// analysts query shared experiment data while imports keep landing
+/// (paper's "parallel working", §4.3).
+///
+/// Cross-table consistency comes from the *commit gate*: writers hold it
+/// exclusively while applying a statement and bumping the [`epoch`]
+/// counter; [`Engine::snapshot`] holds it shared while pinning every
+/// table, so a snapshot reflects every statement up to its epoch and
+/// nothing after.
+///
+/// [`epoch`]: Engine::epoch
 #[derive(Debug, Default)]
 pub struct Engine {
-    tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+    tables: RwLock<HashMap<String, Arc<RwLock<Arc<Table>>>>>,
     temps: Mutex<HashSet<String>>,
     /// Optional write-ahead log. When attached, every mutating statement on
     /// a non-TEMP table is appended here *before* it is applied; the log
     /// mutex is held across the no-op checks, the append AND the apply, so
     /// the log/skip decision cannot race a concurrent writer and log order
-    /// equals apply order (lock order is always wal → tables/temps, so
-    /// this cannot deadlock).
+    /// equals apply order (lock order is always wal → commit →
+    /// tables/temps → slot, so this cannot deadlock).
     wal: Mutex<Option<Wal>>,
+    /// MVCC commit gate: exclusive while a mutation is applied and the
+    /// epoch bumped, shared while a snapshot pins the catalog.
+    commit: RwLock<()>,
+    /// Monotonic commit epoch; bumped once per applied mutation.
+    epoch: AtomicU64,
+}
+
+/// RAII half of [`Engine::begin_commit`]: holds the commit gate
+/// exclusively and bumps the epoch (mirrored to the `mvcc.epoch` gauge)
+/// when dropped.
+struct CommitGuard<'a> {
+    engine: &'a Engine,
+    _gate: std::sync::RwLockWriteGuard<'a, ()>,
+}
+
+impl Drop for CommitGuard<'_> {
+    fn drop(&mut self) {
+        let epoch = self.engine.epoch.fetch_add(1, Ordering::Release) + 1;
+        obs::set(obs::Counter::MvccEpoch, epoch);
+    }
+}
+
+/// Natural string ordering: digit runs compare numerically (after
+/// stripping leading zeros), everything else byte-wise, with the raw
+/// digit-run length as the deterministic tiebreak (`a7` sorts before
+/// `a07`). Used to keep per-table reports in a stable, humanly ordered
+/// sequence — plain lexicographic order interleaves `pb_rundata_10`
+/// before `pb_rundata_2`.
+pub(crate) fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let (mut x, mut y) = (a.as_bytes(), b.as_bytes());
+    loop {
+        match (x.first(), y.first()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some(&cx), Some(&cy)) if cx.is_ascii_digit() && cy.is_ascii_digit() => {
+                let xe = x
+                    .iter()
+                    .position(|c| !c.is_ascii_digit())
+                    .unwrap_or(x.len());
+                let ye = y
+                    .iter()
+                    .position(|c| !c.is_ascii_digit())
+                    .unwrap_or(y.len());
+                let (xd, yd) = (&x[..xe], &y[..ye]);
+                let xt = &xd[xd.iter().take_while(|&&c| c == b'0').count()..];
+                let yt = &yd[yd.iter().take_while(|&&c| c == b'0').count()..];
+                let ord = xt
+                    .len()
+                    .cmp(&yt.len())
+                    .then_with(|| xt.cmp(yt))
+                    .then_with(|| xd.len().cmp(&yd.len()));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+                x = &x[xe..];
+                y = &y[ye..];
+            }
+            (Some(&cx), Some(&cy)) => {
+                if cx != cy {
+                    return cx.cmp(&cy);
+                }
+                x = &x[1..];
+                y = &y[1..];
+            }
+        }
+    }
+}
+
+/// Copy-on-write access to a table version. Mutates in place while no
+/// snapshot pins the current `Arc<Table>`; otherwise clones the table once
+/// — rows, columnar store, dictionaries, indexes and the lazily
+/// materialised row cache all travel with the clone — and mutates the new
+/// version, leaving every pinned reader's view frozen.
+fn cow(slot: &mut Arc<Table>) -> &mut Table {
+    if Arc::strong_count(slot) > 1 {
+        obs::incr(obs::Counter::MvccCowClones);
+    }
+    Arc::make_mut(slot)
 }
 
 impl Engine {
@@ -190,6 +306,7 @@ impl Engine {
         if_not_exists: bool,
         columnar: bool,
     ) -> Result<(), DbError> {
+        let _commit = self.begin_commit();
         let mut tables = self.tables.write();
         if tables.contains_key(name) {
             if if_not_exists {
@@ -202,7 +319,7 @@ impl Engine {
         } else {
             Table::new(schema)
         };
-        tables.insert(name.to_string(), Arc::new(RwLock::new(table)));
+        tables.insert(name.to_string(), Arc::new(RwLock::new(Arc::new(table))));
         if temp {
             self.temps.lock().insert(name.to_string());
         }
@@ -230,6 +347,7 @@ impl Engine {
     }
 
     fn drop_table_unlogged(&self, name: &str, if_exists: bool) -> Result<(), DbError> {
+        let _commit = self.begin_commit();
         let removed = self.tables.write().remove(name).is_some();
         self.temps.lock().remove(name);
         if !removed && !if_exists {
@@ -243,13 +361,55 @@ impl Engine {
         self.tables.read().contains_key(name)
     }
 
-    /// Shared handle to a table.
-    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>, DbError> {
+    /// Shared handle to a table's catalog slot. The slot holds the table's
+    /// current *version*; prefer [`Engine::pin_table`] for reads (it
+    /// releases the slot lock immediately) and go through the engine's
+    /// statement entry points for writes.
+    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Arc<Table>>>, DbError> {
         self.tables
             .read()
             .get(name)
             .cloned()
             .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Pin the current version of one table: a single `Arc` clone under
+    /// the slot's read lock, which is dropped before returning. The caller
+    /// scans the pinned version lock-free; concurrent writers proceed via
+    /// copy-on-write and are never blocked by the pin.
+    pub fn pin_table(&self, name: &str) -> Result<Arc<Table>, DbError> {
+        Ok(self.table(name)?.read().clone())
+    }
+
+    /// The current commit epoch. Bumped once per applied mutation; two
+    /// reads returning the same epoch observed the same data.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Pin a transaction-consistent [`Snapshot`] of the whole catalog:
+    /// every table's current version plus the commit epoch, taken while
+    /// holding the commit gate shared — so the snapshot can never observe
+    /// statement N+1's effect without statement N's. Acquisition waits at
+    /// most for the one in-flight statement; scans against the snapshot
+    /// hold no engine lock at all.
+    pub fn snapshot(&self) -> Snapshot {
+        let _gate = self.commit.read();
+        let tables = self.tables.read();
+        let pinned: HashMap<String, Arc<Table>> = tables
+            .iter()
+            .map(|(name, slot)| (name.clone(), slot.read().clone()))
+            .collect();
+        obs::incr(obs::Counter::MvccSnapshotsPinned);
+        Snapshot::new(self.epoch.load(Ordering::Acquire), pinned)
+    }
+
+    /// Exclusive commit-gate guard; the epoch bumps when it drops.
+    fn begin_commit(&self) -> CommitGuard<'_> {
+        CommitGuard {
+            engine: self,
+            _gate: self.commit.write(),
+        }
     }
 
     /// Insert rows programmatically.
@@ -267,8 +427,10 @@ impl Engine {
     }
 
     fn insert_rows_unlogged(&self, name: &str, rows: Vec<Row>) -> Result<usize, DbError> {
+        let _commit = self.begin_commit();
         let t = self.table(name)?;
-        let n = t.write().insert_all(rows)?;
+        let mut slot = t.write();
+        let n = cow(&mut slot).insert_all(rows)?;
         Ok(n)
     }
 
@@ -277,11 +439,11 @@ impl Engine {
         self.temps.lock().contains(name)
     }
 
-    /// Snapshot a table's schema and rows (copy under the read lock).
+    /// Snapshot a table's schema and rows (materialised from the pinned
+    /// current version; no lock is held during the copy).
     pub fn read_snapshot(&self, name: &str) -> Result<(Schema, Vec<Row>), DbError> {
-        let t = self.table(name)?;
-        let guard = t.read();
-        Ok((guard.schema.clone(), guard.rows().to_vec()))
+        let t = self.pin_table(name)?;
+        Ok((t.schema.clone(), t.rows().to_vec()))
     }
 
     /// Row count of a table.
@@ -303,17 +465,21 @@ impl Engine {
         v
     }
 
-    /// Per-table memory accounting, sorted by table name. Each entry
-    /// carries both the actual layout cost and the estimated cost of the
-    /// other layout (see [`TableMemory`]).
+    /// Per-table memory accounting in *natural* table-name order: embedded
+    /// digit runs compare numerically, so `pb_rundata_2` lists before
+    /// `pb_rundata_10` no matter how many runs exist. The ordering is
+    /// fully deterministic — `perfbase stats --db` output is stable for
+    /// goldens and docs capture. Each entry carries both the actual layout
+    /// cost and the estimated cost of the other layout (see
+    /// [`TableMemory`]).
     pub fn memory_report(&self) -> Vec<(String, TableMemory)> {
-        let handles: Vec<(String, Arc<RwLock<Table>>)> = {
+        let handles: Vec<(String, Arc<RwLock<Arc<Table>>>)> = {
             let tables = self.tables.read();
             let mut v: Vec<_> = tables
                 .iter()
                 .map(|(n, t)| (n.clone(), Arc::clone(t)))
                 .collect();
-            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v.sort_by(|a, b| natural_cmp(&a.0, &b.0));
             v
         };
         handles
@@ -353,6 +519,7 @@ impl Engine {
     /// Drop every TEMP table — perfbase does this at the end of a query.
     pub fn drop_temp_tables(&self) {
         let names = self.temp_table_names();
+        let _commit = self.begin_commit();
         let mut tables = self.tables.write();
         for n in &names {
             tables.remove(n);
@@ -514,9 +681,10 @@ impl Engine {
         column: &str,
         ordered: bool,
     ) -> Result<(), DbError> {
+        let _commit = self.begin_commit();
         let t = self.table(table)?;
-        let mut guard = t.write();
-        guard.create_index(name, column, ordered)
+        let mut slot = t.write();
+        cow(&mut slot).create_index(name, column, ordered)
     }
 
     /// Would `CREATE [ORDERED] INDEX … ON table (column)` change nothing?
@@ -569,13 +737,63 @@ impl Engine {
         });
         obs::incr(obs::Counter::QueriesRun);
         let exec_started = Instant::now();
+        let cat = exec::Catalog::Live(self);
         let result = match analyze {
-            None => exec::run_select(self, &sel),
-            Some(analyze) => exec::run_explain(self, &sel, analyze),
+            None => exec::run_select(cat, &sel),
+            Some(analyze) => exec::run_explain(cat, &sel, analyze),
         };
         obs::record_statement(class, exec_started.elapsed().as_nanos() as u64);
         obs::record_duration(obs::Hist::ExecNs, exec_started.elapsed());
         result
+    }
+
+    /// Run a SELECT (or `EXPLAIN [ANALYZE] SELECT`) against a pinned
+    /// [`Snapshot`] instead of the live catalog: every table resolves to
+    /// the version the snapshot pinned, so repeated queries against the
+    /// same snapshot return identical results no matter how many writers
+    /// commit in between — and hold no engine lock while they run.
+    pub fn query_at(&self, snapshot: &Snapshot, sql_text: &str) -> Result<ResultSet, DbError> {
+        let parse_started = Instant::now();
+        let stmt = sql::parse_statement(sql_text)?;
+        obs::incr(obs::Counter::StmtParsed);
+        obs::record_duration(obs::Hist::ParseNs, parse_started.elapsed());
+        let class = stmt_class(&stmt);
+        let (sel, analyze) = match stmt {
+            Stmt::Select(sel) => (sel, None),
+            Stmt::Explain { analyze, select } => (select, Some(analyze)),
+            _ => {
+                return Err(DbError::Execution(
+                    "query_at() only accepts SELECT statements".into(),
+                ))
+            }
+        };
+        let _class_scope = obs::class_scope(class);
+        obs::incr(obs::Counter::QueriesRun);
+        let exec_started = Instant::now();
+        let cat = exec::Catalog::At(snapshot);
+        let result = match analyze {
+            None => exec::run_select(cat, &sel),
+            Some(analyze) => exec::run_explain(cat, &sel, analyze),
+        };
+        obs::record_statement(class, exec_started.elapsed().as_nanos() as u64);
+        obs::record_duration(obs::Hist::ExecNs, exec_started.elapsed());
+        result
+    }
+
+    /// [`Engine::query_reference`] at a pinned [`Snapshot`]: the oracle for
+    /// the snapshot-isolation equivalence tests (optimized and reference
+    /// execution of the same statement at the same epoch must agree).
+    pub fn query_reference_at(
+        &self,
+        snapshot: &Snapshot,
+        sql_text: &str,
+    ) -> Result<ResultSet, DbError> {
+        match sql::parse_statement(sql_text)? {
+            Stmt::Select(sel) => exec::run_select_reference(exec::Catalog::At(snapshot), &sel),
+            _ => Err(DbError::Execution(
+                "query() only accepts SELECT statements".into(),
+            )),
+        }
     }
 
     /// Run a SELECT through the unoptimized reference executor: full table
@@ -584,7 +802,7 @@ impl Engine {
     /// for the `microbench` binary — not for production use.
     pub fn query_reference(&self, sql_text: &str) -> Result<ResultSet, DbError> {
         match sql::parse_statement(sql_text)? {
-            Stmt::Select(sel) => exec::run_select_reference(self, &sel),
+            Stmt::Select(sel) => exec::run_select_reference(exec::Catalog::Live(self), &sel),
             _ => Err(DbError::Execution(
                 "query() only accepts SELECT statements".into(),
             )),
@@ -727,8 +945,10 @@ impl Engine {
         columns: Option<Vec<String>>,
         rows: Vec<Vec<sql::SqlExpr>>,
     ) -> Result<usize, DbError> {
+        let _commit = self.begin_commit();
         let t = self.table(table)?;
-        let mut guard = t.write();
+        let mut slot = t.write();
+        let guard = cow(&mut slot);
         let schema = guard.schema.clone();
         let empty_schema = Schema::default();
         let empty_row: Vec<Value> = Vec::new();
@@ -778,8 +998,10 @@ impl Engine {
         sets: Vec<(String, sql::SqlExpr)>,
         where_clause: Option<sql::SqlExpr>,
     ) -> Result<usize, DbError> {
+        let _commit = self.begin_commit();
         let t = self.table(table)?;
-        let mut guard = t.write();
+        let mut slot = t.write();
+        let guard = cow(&mut slot);
         let schema = guard.schema.clone();
         // Resolve target columns up front.
         let mut targets = Vec::with_capacity(sets.len());
@@ -850,8 +1072,10 @@ impl Engine {
         table: &str,
         where_clause: Option<sql::SqlExpr>,
     ) -> Result<usize, DbError> {
+        let _commit = self.begin_commit();
         let t = self.table(table)?;
-        let mut guard = t.write();
+        let mut slot = t.write();
+        let guard = cow(&mut slot);
         let schema = guard.schema.clone();
         let mut err: Option<DbError> = None;
         let n = guard.delete_where(|row| {
@@ -1095,6 +1319,94 @@ mod tests {
             "the failed INSERT fails again on replay"
         );
         assert_eq!(db2.query("SELECT a FROM t ORDER BY a").unwrap(), expected);
+    }
+
+    #[test]
+    fn natural_cmp_orders_digit_runs_numerically() {
+        use std::cmp::Ordering;
+        assert_eq!(natural_cmp("pb_rundata_2", "pb_rundata_10"), Ordering::Less);
+        assert_eq!(
+            natural_cmp("pb_rundata_10", "pb_rundata_2"),
+            Ordering::Greater
+        );
+        assert_eq!(natural_cmp("a2b", "a2b"), Ordering::Equal);
+        // Equal numeric value: fewer leading zeros sorts first.
+        assert_eq!(natural_cmp("t007", "t7"), Ordering::Greater);
+        assert_eq!(natural_cmp("t7", "t007"), Ordering::Less);
+        // Digits before the run differs.
+        assert_eq!(natural_cmp("run9x", "run10a"), Ordering::Less);
+        // Pure text falls back to byte order.
+        assert_eq!(natural_cmp("alpha", "beta"), Ordering::Less);
+        // Prefix relationships.
+        assert_eq!(natural_cmp("t1", "t1x"), Ordering::Less);
+
+        let mut names = vec!["t10", "t2", "t1", "plain", "t02"];
+        names.sort_by(|a, b| natural_cmp(a, b));
+        assert_eq!(names, vec!["plain", "t1", "t2", "t02", "t10"]);
+    }
+
+    #[test]
+    fn memory_report_is_naturally_ordered_and_deterministic() {
+        let db = Engine::new();
+        for name in ["pb_rundata_10", "pb_rundata_2", "pb_rundata_1", "alpha"] {
+            db.execute(&format!("CREATE TABLE {name} (a INTEGER)"))
+                .unwrap();
+        }
+        let order: Vec<String> = db.memory_report().into_iter().map(|e| e.0).collect();
+        assert_eq!(
+            order,
+            vec!["alpha", "pb_rundata_1", "pb_rundata_2", "pb_rundata_10"]
+        );
+        // Stable across calls.
+        let again: Vec<String> = db.memory_report().into_iter().map(|e| e.0).collect();
+        assert_eq!(order, again);
+    }
+
+    #[test]
+    fn writer_copies_on_write_only_while_pinned() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+
+        // Unpinned: the writer mutates the sole version in place.
+        let before = db.pin_table("t").unwrap();
+        drop(before);
+        db.execute("INSERT INTO t VALUES (2)").unwrap();
+
+        // Pinned: the writer must clone; the pin keeps the old version.
+        let pinned = db.pin_table("t").unwrap();
+        db.execute("INSERT INTO t VALUES (3)").unwrap();
+        assert_eq!(pinned.len(), 2, "pinned version is frozen");
+        assert_eq!(db.row_count("t").unwrap(), 3, "live table moved on");
+        // The live slot now holds a different allocation.
+        let live = db.pin_table("t").unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&pinned, &live));
+    }
+
+    #[test]
+    fn epoch_advances_once_per_mutation() {
+        let db = Engine::new();
+        let e0 = db.epoch();
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.execute("UPDATE t SET a = 2").unwrap();
+        db.execute("DELETE FROM t WHERE a = 2").unwrap();
+        assert_eq!(db.epoch(), e0 + 4);
+        // Reads do not advance the epoch.
+        db.query("SELECT * FROM t").unwrap();
+        let _snap = db.snapshot();
+        assert_eq!(db.epoch(), e0 + 4);
+    }
+
+    #[test]
+    fn render_tsv_matches_wire_format() {
+        let db = Engine::new();
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT, c FLOAT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.5), (2, NULL, 2.0)")
+            .unwrap();
+        let rs = db.query("SELECT a, b, c FROM t ORDER BY a").unwrap();
+        assert_eq!(rs.render_tsv(), "a\tb\tc\n1\tx\t1.5\n2\tNULL\t2.0\n");
     }
 
     #[test]

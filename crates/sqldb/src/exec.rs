@@ -35,6 +35,7 @@ use crate::engine::{Engine, ResultSet};
 use crate::error::DbError;
 use crate::expr::{binary_values, eval, truthy, LikePattern, RowCtx};
 use crate::schema::{Column, Schema};
+use crate::snapshot::Snapshot;
 use crate::sql::{JoinClause, SelectItem, SelectStmt, SqlExpr};
 use crate::table::{Row, Table};
 use crate::value::{DataType, Value, ValueKey};
@@ -134,13 +135,43 @@ fn measure_spawn_cost_ns() -> u64 {
     samples[samples.len() / 2]
 }
 
-/// Execute a SELECT against the engine (optimized pipeline).
-pub fn run_select(engine: &Engine, sel: &SelectStmt) -> Result<ResultSet, DbError> {
+/// Where a SELECT resolves table names: the live engine, each table
+/// pinned at first touch (read-committed, statement-level per-table
+/// atomicity), or a pinned [`Snapshot`], every table resolved to the
+/// version frozen at one epoch (snapshot isolation). Either way the scan
+/// itself runs over a pinned `Arc<Table>` with no engine lock held, so
+/// long analytical queries never block writers.
+#[derive(Clone, Copy)]
+pub(crate) enum Catalog<'a> {
+    /// Resolve tables from the live engine catalog.
+    Live(&'a Engine),
+    /// Resolve tables from a pinned snapshot.
+    At(&'a Snapshot),
+}
+
+impl Catalog<'_> {
+    /// Pin the version of `name` this catalog view resolves to.
+    fn pin(&self, name: &str) -> Result<std::sync::Arc<Table>, DbError> {
+        match self {
+            Catalog::Live(engine) => engine.pin_table(name),
+            Catalog::At(snapshot) => snapshot.table(name),
+        }
+    }
+}
+
+/// Materialise a table's schema and rows from the catalog view.
+fn materialize(cat: Catalog<'_>, name: &str) -> Result<(Schema, Vec<Row>), DbError> {
+    let t = cat.pin(name)?;
+    Ok((t.schema.clone(), t.rows().to_vec()))
+}
+
+/// Execute a SELECT against a catalog view (optimized pipeline).
+pub(crate) fn run_select(cat: Catalog<'_>, sel: &SelectStmt) -> Result<ResultSet, DbError> {
     match &sel.from {
         None => general_select(sel, Schema::default(), vec![Vec::new()]),
-        Some(base) if sel.joins.is_empty() => single_table_select(engine, base, sel),
+        Some(base) if sel.joins.is_empty() => single_table_select(cat, base, sel),
         Some(base) => {
-            let (schema, rows) = join_input(engine, base, &sel.joins)?;
+            let (schema, rows) = join_input(cat, base, &sel.joins)?;
             general_select(sel, schema, rows)
         }
     }
@@ -150,14 +181,17 @@ pub fn run_select(engine: &Engine, sel: &SelectStmt) -> Result<ResultSet, DbErro
 /// interpreted per-row evaluation, nested-loop joins. Semantically
 /// equivalent to [`run_select`]; kept as the equivalence-test oracle and
 /// microbench baseline.
-pub fn run_select_reference(engine: &Engine, sel: &SelectStmt) -> Result<ResultSet, DbError> {
+pub(crate) fn run_select_reference(
+    cat: Catalog<'_>,
+    sel: &SelectStmt,
+) -> Result<ResultSet, DbError> {
     let (schema, mut rows) = match &sel.from {
         None => (Schema::default(), vec![Vec::new()]),
         Some(base) => {
             if sel.joins.is_empty() {
-                engine.read_snapshot(base)?
+                materialize(cat, base)?
             } else {
-                join_input_nested_loop(engine, base, &sel.joins)?
+                join_input_nested_loop(cat, base, &sel.joins)?
             }
         }
     };
@@ -214,16 +248,16 @@ fn is_aggregation(sel: &SelectStmt) -> bool {
         })
 }
 
-/// Single-table SELECT: stream under the read guard, optionally through a
-/// secondary-index point lookup, with compiled expressions throughout.
+/// Single-table SELECT: stream over the pinned table version (no lock is
+/// held during the scan), optionally through a secondary-index point
+/// lookup, with compiled expressions throughout.
 fn single_table_select(
-    engine: &Engine,
+    cat: Catalog<'_>,
     base: &str,
     sel: &SelectStmt,
 ) -> Result<ResultSet, DbError> {
-    let handle = engine.table(base)?;
-    let guard = handle.read();
-    let table: &Table = &guard;
+    let pinned = cat.pin(base)?;
+    let table: &Table = &pinned;
     let schema = &table.schema;
 
     let filter = sel.where_clause.as_ref().map(|w| compile(w, schema));
@@ -239,7 +273,6 @@ fn single_table_select(
         if let Some((columns, out_rows)) =
             columnar_select(store, schema, sel, candidates.as_deref())?
         {
-            drop(guard);
             return finalize(sel, columns, out_rows);
         }
     }
@@ -261,7 +294,6 @@ fn single_table_select(
                     None => fast_agg_scan(table.rows(), filter, plan, key_idx)?,
                 };
                 let columns = output_names(sel, schema);
-                drop(guard);
                 return finalize(sel, columns, out_rows);
             }
         }
@@ -272,9 +304,7 @@ fn single_table_select(
             Some(ids) => project_ids(table, ids, filter, &star)?,
             None => project_scan(table.rows(), filter, &star)?,
         };
-        let schema = schema.clone();
-        drop(guard);
-        let (columns, out_rows) = aggregate_project(sel, &schema, &rows)?;
+        let (columns, out_rows) = aggregate_project(sel, schema, &rows)?;
         return finalize(sel, columns, out_rows);
     }
 
@@ -285,7 +315,6 @@ fn single_table_select(
         Some(ids) => project_ids(table, ids, filter, &items)?,
         None => project_scan(table.rows(), filter, &items)?,
     };
-    drop(guard);
     finalize(sel, columns, out_rows)
 }
 
@@ -1627,7 +1656,11 @@ fn plan_point_lookup(where_clause: Option<&SqlExpr>, table: &Table) -> Option<Ve
 /// operation applied to the access path at the bottom. ANALYZE also runs
 /// the query, annotating the scan with the actual candidate row count and
 /// appending a trailing `Rows returned` line.
-pub fn run_explain(engine: &Engine, sel: &SelectStmt, analyze: bool) -> Result<ResultSet, DbError> {
+pub(crate) fn run_explain(
+    cat: Catalog<'_>,
+    sel: &SelectStmt,
+    analyze: bool,
+) -> Result<ResultSet, DbError> {
     let mut lines: Vec<String> = Vec::new();
     if let Some(n) = sel.limit {
         lines.push(format!("Limit: {n}"));
@@ -1688,9 +1721,8 @@ pub fn run_explain(engine: &Engine, sel: &SelectStmt, analyze: bool) -> Result<R
     match &sel.from {
         None => lines.push("Values: 1 row".to_string()),
         Some(base) => {
-            let handle = engine.table(base)?;
-            let guard = handle.read();
-            let table: &Table = &guard;
+            let pinned = cat.pin(base)?;
+            let table: &Table = &pinned;
             let nrows = table.len();
             let plan = if sel.joins.is_empty() {
                 plan_access(sel.where_clause.as_ref(), table)
@@ -1713,7 +1745,6 @@ pub fn run_explain(engine: &Engine, sel: &SelectStmt, analyze: bool) -> Result<R
                     " layout=columnar".to_string()
                 }
             });
-            drop(guard);
             let mut scan = format!("Scan {base} access={}", plan.kind.name());
             if let Some(col) = &plan.column {
                 scan.push_str(&format!(" column={col}"));
@@ -1730,7 +1761,7 @@ pub fn run_explain(engine: &Engine, sel: &SelectStmt, analyze: bool) -> Result<R
         }
     }
     if analyze {
-        let rs = run_select(engine, sel)?;
+        let rs = run_select(cat, sel)?;
         lines.push(format!("Rows returned: {}", rs.len()));
     }
     let rows: Vec<Row> = lines.into_iter().map(|l| vec![Value::Text(l)]).collect();
@@ -1833,16 +1864,16 @@ fn resolve_join_keys(
 /// accumulated-major / joined-minor regardless of build side, matching the
 /// nested-loop reference.
 fn join_input(
-    engine: &Engine,
+    cat: Catalog<'_>,
     base: &str,
     joins: &[JoinClause],
 ) -> Result<(Schema, Vec<Row>), DbError> {
-    let (bs, brows) = engine.read_snapshot(base)?;
+    let (bs, brows) = materialize(cat, base)?;
     let mut schema = qualify(&bs, base)?;
     let mut rows = brows;
 
     for j in joins {
-        let (js, jrows) = engine.read_snapshot(&j.table)?;
+        let (js, jrows) = materialize(cat, &j.table)?;
         let jschema = qualify(&js, &j.table)?;
         let (ai, ni) = resolve_join_keys(&schema, &jschema, j)?;
 
@@ -1913,16 +1944,16 @@ fn join_input(
 
 /// Nested-loop join used by the reference executor.
 fn join_input_nested_loop(
-    engine: &Engine,
+    cat: Catalog<'_>,
     base: &str,
     joins: &[JoinClause],
 ) -> Result<(Schema, Vec<Row>), DbError> {
-    let (bs, brows) = engine.read_snapshot(base)?;
+    let (bs, brows) = materialize(cat, base)?;
     let mut schema = qualify(&bs, base)?;
     let mut rows = brows;
 
     for j in joins {
-        let (js, jrows) = engine.read_snapshot(&j.table)?;
+        let (js, jrows) = materialize(cat, &j.table)?;
         let jschema = qualify(&js, &j.table)?;
         let (ai, ni) = resolve_join_keys(&schema, &jschema, j)?;
 

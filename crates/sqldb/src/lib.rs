@@ -24,8 +24,16 @@
 //!   expressions once per statement, and equi-joins hash the smaller side
 //!   (see DESIGN.md "Query execution pipeline").
 //!
-//! Not implemented (not needed by perfbase): transactions, NULL-aware
-//! three-valued logic (NULL comparisons are false), and subqueries.
+//! Concurrent analysts are served with **MVCC snapshot reads**: every
+//! committed mutation bumps a global epoch, [`Engine::snapshot`] pins the
+//! current version of every table (one `Arc` clone each, taken under a
+//! shared commit gate so the set is transaction-consistent), and writers
+//! copy-on-write any table a snapshot still pins. Readers never block
+//! writers and vice versa; see [`Snapshot`] and [`Engine::query_at`].
+//!
+//! Not implemented (not needed by perfbase): multi-statement write
+//! transactions, NULL-aware three-valued logic (NULL comparisons are
+//! false), and subqueries.
 //!
 //! # Example
 //!
@@ -49,6 +57,7 @@ mod error;
 mod exec;
 mod expr;
 mod schema;
+mod snapshot;
 pub mod sql;
 pub mod sync;
 mod table;
@@ -59,6 +68,7 @@ pub use column::{ColumnStore, ColumnarMemory};
 pub use engine::{Engine, ResultSet};
 pub use error::DbError;
 pub use schema::{Column, Schema};
+pub use snapshot::Snapshot;
 pub use table::{Table, TableMemory};
 pub use value::{format_timestamp, parse_timestamp, DataType, Value, ValueKey};
 pub use wal::{IoFailpoint, RecoveryReport, SyncPolicy, Wal, WalOptions};

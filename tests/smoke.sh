@@ -2,10 +2,11 @@
 # Offline smoke test: full release build, a warning-free clippy pass, the
 # complete test suite (including the sharded-vs-frontend equivalence suite
 # and the WAL crash-consistency suites), a warning-free documentation
-# build, and the sqldb microbenchmarks (writes BENCH_sqldb.json to the repo
-# root, including the sharded-aggregation transfer numbers and the
-# wal_append/recovery_replay durability costs).
-# Must pass with no network access and no external crates.
+# build, an HTTP server round trip (`perfbase serve` answering ingest and
+# query over a real socket, diffed against the CLI), and the sqldb
+# microbenchmarks plus the 256-connection server stress harness (both
+# write into BENCH_sqldb.json at the repo root, gated by bench_guard).
+# Must pass with no network access beyond loopback and no external crates.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -79,11 +80,41 @@ awk '$1 == "select" && $2 > 0 { found = 1 } END { exit !found }' \
     || { echo "stats export missing select activity"; exit 1; }
 "$PB" stats >/dev/null
 
+echo "== server round trip (HTTP vs CLI) =="
+PBHTTP=./target/release/pbhttp
+"$PB" serve --db "$SMOKE_DIR/exp.pbdb" --addr 127.0.0.1:0 \
+    > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+i=0
+while ! grep -q "listening on" "$SMOKE_DIR/serve.log" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "server did not start"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.log")
+"$PBHTTP" GET "http://$ADDR/health" | grep -q ok \
+    || { echo "health check failed"; exit 1; }
+SMOKE_SQL='SELECT step, elapsed FROM pb_rundata_1 ORDER BY step'
+"$PBHTTP" POST "http://$ADDR/query" "$SMOKE_SQL" > "$SMOKE_DIR/http.out"
+"$PB" sql --db "$SMOKE_DIR/exp.pbdb" "$SMOKE_SQL" > "$SMOKE_DIR/cli.out"
+diff "$SMOKE_DIR/http.out" "$SMOKE_DIR/cli.out" \
+    || { echo "HTTP /query and 'perfbase sql' disagree"; exit 1; }
+printf 'step\telapsed\n99\t3.125\n' > "$SMOKE_DIR/batch.tsv"
+"$PBHTTP" POST "http://$ADDR/ingest?table=pb_rundata_1" "@$SMOKE_DIR/batch.tsv" \
+    | grep -q "inserted 1 row" || { echo "HTTP ingest failed"; exit 1; }
+"$PBHTTP" POST "http://$ADDR/query" 'SELECT count(*) FROM pb_rundata_1' \
+    | grep -q '^3$' || { echo "ingested row not visible over HTTP"; exit 1; }
+"$PBHTTP" POST "http://$ADDR/shutdown" >/dev/null
+wait "$SERVE_PID" || { echo "server exited non-zero"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+
 echo "== docs (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 echo "== microbench =="
 cargo run --release -p bench --bin microbench
+
+echo "== server stress (256 connections, quick workload) =="
+cargo run --release -p bench --bin server_stress -- --quick
 
 echo "== bench regression guard =="
 cargo run --release -p bench --bin bench_guard

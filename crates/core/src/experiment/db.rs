@@ -22,7 +22,10 @@ use crate::error::{Error, Result};
 use crate::xmldef;
 use sqldb::cluster::{Cluster, ShardMap};
 use sqldb::sync::RwLock;
-use sqldb::{Column, DataType, Engine, RecoveryReport, ResultSet, Schema, Value, WalOptions};
+use sqldb::{
+    Column, DataType, Engine, Promotion, RecoveryReport, ReplOptions, Replicator, ResultSet,
+    Schema, Value, WalOptions,
+};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -168,6 +171,27 @@ impl ExperimentDb {
     /// (it models data already living there), and the stats are reset
     /// afterwards so they reflect query traffic only.
     pub fn attach_cluster(&self, cluster: Arc<Cluster>) -> Result<()> {
+        self.attach_cluster_replicated(
+            cluster,
+            ReplOptions {
+                replicas: 0,
+                ..ReplOptions::default()
+            },
+        )
+    }
+
+    /// Like [`ExperimentDb::attach_cluster`], but with `opts.replicas`
+    /// replica copies per shard: every `pb_rundata_<id>` table is
+    /// base-copied to its owner's replica nodes (uncharged, like the
+    /// initial placement), and a [`Replicator`] is installed so that on
+    /// WAL-attached owners every further committed frame ships to the
+    /// replicas automatically. Reads round-robin across owner and fresh
+    /// replicas; [`ExperimentDb::fail_over`] promotes on node death.
+    pub fn attach_cluster_replicated(
+        &self,
+        cluster: Arc<Cluster>,
+        opts: ReplOptions,
+    ) -> Result<()> {
         if !Arc::ptr_eq(&cluster.frontend().engine, &self.engine) {
             return Err(Error::Query(
                 "cluster frontend (node 0) must be the experiment's own engine \
@@ -186,7 +210,7 @@ impl ExperimentDb {
                 }
             }
         }
-        let map = ShardMap::with_assignments(cluster.len(), existing);
+        let map = ShardMap::with_assignments(cluster.len(), existing).with_replicas(opts.replicas);
         for run_id in self.run_ids()? {
             let owner = map.place(run_id);
             let table = rundata_table(run_id);
@@ -196,15 +220,50 @@ impl ExperimentDb {
                 let columnar = self.engine.table(&table)?.read().is_columnar();
                 let dst = &cluster.node(owner).engine;
                 dst.drop_table(&table, true)?;
-                dst.create_table_layout(&table, schema, false, false, columnar)?;
-                dst.insert_rows(&table, rows)?;
+                dst.create_table_layout(&table, schema.clone(), false, false, columnar)?;
+                dst.insert_rows(&table, rows.clone())?;
                 self.engine.drop_table(&table, false)?;
+                // Base-copy to the replica nodes (uncharged: models data
+                // already living there, like the primary placement). Must
+                // complete before the Replicator's taps attach below, so
+                // the migration frames just logged are never also shipped.
+                for rep in map.replica_nodes(owner) {
+                    let engine = &cluster.node(rep).engine;
+                    engine.drop_table(&table, true)?;
+                    engine.create_table_layout(&table, schema.clone(), false, false, columnar)?;
+                    engine.insert_rows(&table, rows.clone())?;
+                }
             }
         }
         self.persist_shard_map(&map)?;
         cluster.reset_stats();
-        *self.shards.write() = Some(Arc::new(Sharding::new(cluster, map)));
+        let sharding = if opts.replicas > 0 && cluster.len() > 2 {
+            let repl = Replicator::attach(&cluster, opts);
+            Sharding::with_replication(cluster, map, repl)
+        } else {
+            Sharding::new(cluster, map)
+        };
+        *self.shards.write() = Some(Arc::new(sharding));
         Ok(())
+    }
+
+    /// Fail node `dead` over to its most-caught-up live replica: the
+    /// replica's shipped-but-unapplied WAL tail is replayed, every shard
+    /// assignment on `dead` is rewritten to the promoted node (with a
+    /// redirect for future hash placements), and the rewritten map is
+    /// persisted to `pb_shards`. Subsequent reads and imports route to
+    /// the promoted node.
+    pub fn fail_over(&self, dead: usize) -> Result<Promotion> {
+        let sh = self
+            .sharding()
+            .ok_or_else(|| Error::Query("no cluster attached".into()))?;
+        let repl = sh
+            .replicator()
+            .ok_or_else(|| Error::Query("replication is not enabled on this cluster".into()))?;
+        let promotion = repl.promote(sh.cluster(), dead)?;
+        sh.map().reassign_node(dead, promotion.promoted);
+        self.persist_shard_map(sh.map())?;
+        Ok(promotion)
     }
 
     /// Detach the cluster, moving every remote `pb_rundata_<id>` table back
@@ -215,6 +274,11 @@ impl ExperimentDb {
         let Some(sh) = self.shards.write().take() else {
             return Ok(());
         };
+        // Stop replication first: the engine-held taps must not ship the
+        // move-back traffic below (or outlive the cluster they point at).
+        if let Some(repl) = sh.replicator() {
+            repl.detach(sh.cluster());
+        }
         for (run_id, node) in sh.map().assignments() {
             let table = rundata_table(run_id);
             let src = &sh.cluster().node(node).engine;
@@ -227,6 +291,15 @@ impl ExperimentDb {
                     .create_table_layout(&table, schema, false, false, columnar)?;
                 self.engine.insert_rows(&table, rows)?;
                 src.drop_table(&table, false)?;
+            }
+            // Clear replica copies (and any stale copy on a failed-over
+            // node) so no backend keeps a shadow of the table.
+            if sh.map().replicas() > 0 {
+                for other in 1..sh.cluster().len() {
+                    if other != node {
+                        let _ = sh.cluster().node(other).engine.drop_table(&table, true);
+                    }
+                }
             }
         }
         Ok(())
@@ -249,11 +322,14 @@ impl ExperimentDb {
     pub fn query_run_data(&self, run_id: i64, sql: &str) -> Result<ResultSet> {
         match self.sharding() {
             Some(sh) => {
-                let owner = sh.owner_of(run_id);
-                if owner == 0 {
+                // With replication this round-robins across the owner and
+                // its fresh replicas (the freshness gate falls back to the
+                // owner for replicas behind the last appended frame).
+                let node = sh.read_node_of(run_id);
+                if node == 0 {
                     Ok(self.engine.query(sql)?)
                 } else {
-                    Ok(sh.cluster().fetch(owner, 0, sql)?)
+                    Ok(sh.cluster().fetch(node, 0, sql)?)
                 }
             }
             None => Ok(self.engine.query(sql)?),
@@ -443,9 +519,29 @@ impl ExperimentDb {
                 // them columnar so the vectorized path serves analysis.
                 target.create_table_columnar(&data_table, rundata_schema(&def))?;
                 let n = rows.len();
-                target.insert_rows(&data_table, rows)?;
+                target.insert_rows(&data_table, rows.clone())?;
                 if owner != 0 {
                     sh.cluster().charge_shipment(n);
+                }
+                if sh.map().replicas() > 0 && owner != 0 {
+                    if target.has_wal() {
+                        // WAL-attached owner: the drop/create/insert above
+                        // were logged, so the commit barrier ships and
+                        // applies them on every replica — flushed here,
+                        // *before* the pb_shards/pb_runs publish, so a run
+                        // is never visible while its replicas lack the
+                        // data (zero committed rows lost on owner death).
+                        target.wal_sync()?;
+                    } else {
+                        // No log to ship from: mirror the write by hand.
+                        for rep in sh.map().replica_nodes(owner) {
+                            let engine = &sh.cluster().node(rep).engine;
+                            engine.drop_table(&data_table, true)?;
+                            engine.create_table_columnar(&data_table, rundata_schema(&def))?;
+                            engine.insert_rows(&data_table, rows.clone())?;
+                            sh.cluster().charge_shipment(n);
+                        }
+                    }
                 }
                 self.engine
                     .execute(&format!("DELETE FROM pb_shards WHERE run_id = {run_id}"))?;
@@ -517,6 +613,23 @@ impl ExperimentDb {
         self.rundata_engine(run_id)
             .drop_table(&rundata_table(run_id), true)?;
         if let Some(sh) = self.sharding() {
+            if sh.map().replicas() > 0 {
+                if let Some(owner) = sh.map().node_of(run_id) {
+                    let owner_engine = &sh.cluster().node(owner).engine;
+                    if owner_engine.has_wal() {
+                        // The logged drop ships to the replicas at the
+                        // commit barrier.
+                        owner_engine.wal_sync()?;
+                    } else {
+                        for rep in sh.map().replica_nodes(owner) {
+                            sh.cluster()
+                                .node(rep)
+                                .engine
+                                .drop_table(&rundata_table(run_id), true)?;
+                        }
+                    }
+                }
+            }
             sh.map().remove(run_id);
             self.engine
                 .execute(&format!("DELETE FROM pb_shards WHERE run_id = {run_id}"))?;

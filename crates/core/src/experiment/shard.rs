@@ -16,21 +16,57 @@
 //! (both charged to the cluster's [`TransferStats`](sqldb::cluster::TransferStats)).
 
 use sqldb::cluster::{Cluster, ShardMap};
-use sqldb::Engine;
+use sqldb::{Engine, Replicator};
 use std::sync::Arc;
 
 /// The sharding context of an experiment database: the attached cluster
-/// plus the run-id → node map. Handed out as an `Arc` by
+/// plus the run-id → node map, and — when replication is enabled — the
+/// [`Replicator`] that ships each primary's WAL frames to its replicas
+/// and routes reads across them. Handed out as an `Arc` by
 /// [`ExperimentDb::sharding`](super::ExperimentDb::sharding).
 pub struct Sharding {
     cluster: Arc<Cluster>,
     map: ShardMap,
+    repl: Option<Arc<Replicator>>,
 }
 
 impl Sharding {
     /// New context over `cluster` with placements from `map`.
     pub(crate) fn new(cluster: Arc<Cluster>, map: ShardMap) -> Self {
-        Sharding { cluster, map }
+        Sharding {
+            cluster,
+            map,
+            repl: None,
+        }
+    }
+
+    /// New replicated context: `repl` ships WAL frames and routes reads.
+    pub(crate) fn with_replication(
+        cluster: Arc<Cluster>,
+        map: ShardMap,
+        repl: Arc<Replicator>,
+    ) -> Self {
+        Sharding {
+            cluster,
+            map,
+            repl: Some(repl),
+        }
+    }
+
+    /// The replication controller, when `--replicas` > 0.
+    pub fn replicator(&self) -> Option<&Arc<Replicator>> {
+        self.repl.as_ref()
+    }
+
+    /// The node to *serve a read* of `run_id`'s data: with replication,
+    /// round-robin across the owner and its fresh replicas (stale or dead
+    /// replicas fall back to the owner); without, the owner itself.
+    pub fn read_node_of(&self, run_id: i64) -> usize {
+        let owner = self.owner_of(run_id);
+        match &self.repl {
+            Some(r) => r.read_node_for(owner),
+            None => owner,
+        }
     }
 
     /// The attached cluster (for transfer stats and cross-node fetches).
@@ -60,6 +96,7 @@ impl std::fmt::Debug for Sharding {
         f.debug_struct("Sharding")
             .field("nodes", &self.cluster.len())
             .field("assignments", &self.map.assignments().len())
+            .field("replicas", &self.map.replicas())
             .finish()
     }
 }

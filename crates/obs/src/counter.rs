@@ -116,6 +116,27 @@ counters! {
     HttpQueueDepth => "http.queue_depth",
     /// Registered query sessions holding a pinned snapshot (gauge).
     HttpSessions => "http.sessions",
+    /// WAL frames shipped from a primary to a replica (one count per
+    /// frame per replica it reached).
+    ReplFramesShipped => "repl.frames_shipped",
+    /// Shipped frames applied on a replica through the replay path.
+    ReplFramesApplied => "repl.frames_applied",
+    /// Frames buffered on primaries awaiting shipment (gauge; the
+    /// instantaneous ship lag, refreshed on every append and ship).
+    ReplShipLag => "repl.ship_lag",
+    /// Shard reads the frontend routed to a replica instead of the primary.
+    ReplReplicaReads => "repl.replica_reads",
+    /// Shard reads served by the primary (replica stale, dead, or its
+    /// round-robin turn).
+    ReplPrimaryReads => "repl.primary_reads",
+    /// Replica reads that fell back to the primary because the replica was
+    /// behind the last committed sequence (freshness gate).
+    ReplStaleFallbacks => "repl.stale_fallbacks",
+    /// Completed failovers (a replica promoted to primary).
+    ReplFailovers => "repl.failovers",
+    /// Pre-compaction barriers that shipped pending frames before the log
+    /// dropped them.
+    ReplCompactBarriers => "repl.compact_barriers",
 }
 
 const N: usize = Counter::ALL.len();

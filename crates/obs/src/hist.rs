@@ -61,6 +61,11 @@ hists! {
     HttpStatsNs => "http.stats_ns",
     /// Latency of every other endpoint (health, epoch, sessions, shutdown).
     HttpOtherNs => "http.other_ns",
+    /// Latency of shipping one batch of WAL frames to every live replica.
+    ReplShipNs => "repl.ship_ns",
+    /// Failover latency: promoting the most-caught-up replica, including
+    /// the replay of its shipped-but-unapplied tail.
+    ReplFailoverNs => "repl.failover_ns",
 }
 
 const N: usize = Hist::ALL.len();

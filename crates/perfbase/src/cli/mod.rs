@@ -14,10 +14,12 @@
 //! * `checkpoint --db file` — replay any leftover write-ahead log into the
 //!   database, rewrite the SQL dump atomically and compact the log
 //! * `query --db file --spec query.xml [--user U] [--parallel] [--nodes N]
-//!   [--latency none|lan|fast] [--no-pushdown] [--timings]` — without
-//!   `--parallel`, `--nodes N` shards the run data across an N-node
-//!   simulated cluster and pushes aggregations to the data (transfer
-//!   statistics are printed after the outputs)
+//!   [--replicas R] [--latency none|lan|fast] [--no-pushdown] [--timings]`
+//!   — without `--parallel`, `--nodes N` shards the run data across an
+//!   N-node simulated cluster and pushes aggregations to the data
+//!   (transfer statistics are printed after the outputs); `--replicas R`
+//!   additionally keeps R replica copies of each shard, serves reads from
+//!   fresh replicas round-robin, and prints a `== replication ==` report
 //! * `info --db file` / `ls --db file [--param name=value] [--since/--until]`
 //! * `missing --db file param…` — sweep-hole detection
 //! * `delete --db file --run N --user U`
@@ -60,7 +62,7 @@ use perfbase_core::query::{ParallelQueryRunner, Placement, QueryRunner};
 use perfbase_core::status::{self, RunCriteria};
 use perfbase_core::xmldef;
 use sqldb::cluster::{Cluster, LatencyModel};
-use sqldb::{Engine, IoFailpoint, RecoveryReport, SyncPolicy, WalOptions};
+use sqldb::{Engine, IoFailpoint, RecoveryReport, ReplOptions, SyncPolicy, WalOptions};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -471,6 +473,10 @@ fn cmd_query(argv: Vec<String>) -> Result<String, String> {
                 takes_value: true,
             },
             OptSpec {
+                name: "replicas",
+                takes_value: true,
+            },
+            OptSpec {
                 name: "parallel",
                 takes_value: false,
             },
@@ -505,7 +511,7 @@ fn cmd_query(argv: Vec<String>) -> Result<String, String> {
         .map(|n| n.max(1));
 
     let run_query = || -> Result<_, String> { run_query_outcome(&a, &db, spec, nodes) };
-    let outcome = if let Some(path) = a.get("trace") {
+    let (outcome, replication) = if let Some(path) = a.get("trace") {
         // Collect the span tree for this query only: attach the sink,
         // run, detach before any error propagates.
         let collector = obs::TraceCollector::new();
@@ -532,6 +538,9 @@ fn cmd_query(argv: Vec<String>) -> Result<String, String> {
             t.messages, t.rows, t.simulated
         ));
     }
+    if let Some(rep) = &replication {
+        out.push_str(rep);
+    }
     if a.flag("timings") {
         out.push_str("== element timings ==\n");
         for t in &outcome.timings {
@@ -555,35 +564,66 @@ fn run_query_outcome(
     db: &ExperimentDb,
     spec: perfbase_core::query::spec::QuerySpec,
     nodes: Option<usize>,
-) -> Result<perfbase_core::query::QueryOutcome, String> {
+) -> Result<(perfbase_core::query::QueryOutcome, Option<String>), String> {
     if a.flag("parallel") {
         // Element-level parallelism: DAG elements round-robin over worker
         // nodes, the experiment data stays on the frontend.
-        match nodes {
+        let outcome = match nodes {
             Some(n) => {
                 let latency = latency_model(a, LatencyModel::fast_interconnect())?;
                 let cluster = Cluster::new(n, latency);
                 ParallelQueryRunner::new(db)
                     .on_cluster(&cluster, Placement::RoundRobin)
                     .run(spec)
-                    .map_err(err)
+                    .map_err(err)?
             }
-            None => ParallelQueryRunner::new(db).run(spec).map_err(err),
-        }
+            None => ParallelQueryRunner::new(db).run(spec).map_err(err)?,
+        };
+        Ok((outcome, None))
     } else if let Some(n) = nodes {
         // Data-level distribution: shard the run data across the cluster
         // and push decomposable aggregations to the owning nodes.
+        let replicas = a
+            .get("replicas")
+            .map(|r| r.parse::<usize>().map_err(|_| "bad --replicas".to_string()))
+            .transpose()?
+            .unwrap_or(0);
         let latency = latency_model(a, LatencyModel::lan())?;
         let cluster = Arc::new(Cluster::with_frontend(db.engine().clone(), n, latency));
-        db.attach_cluster(cluster).map_err(err)?;
+        db.attach_cluster_replicated(
+            cluster,
+            ReplOptions {
+                replicas,
+                ..ReplOptions::default()
+            },
+        )
+        .map_err(err)?;
         let outcome = QueryRunner::new(db)
             .pushdown(!a.flag("no-pushdown"))
             .run(spec)
             .map_err(err)?;
+        // The replication report must be read before detach drops the
+        // replicator with the sharding context.
+        let replication = db
+            .sharding()
+            .and_then(|sh| sh.replicator().map(|r| r.report()))
+            .map(|rep| {
+                format!(
+                    "== replication ==\n\
+                     {} frame(s) shipped, {} applied, {} replica read(s), \
+                     {} primary read(s), {} stale fallback(s), {} failover(s)\n",
+                    rep.frames_shipped,
+                    rep.frames_applied,
+                    rep.replica_reads,
+                    rep.primary_reads,
+                    rep.stale_fallbacks,
+                    rep.failovers
+                )
+            });
         db.detach_cluster().map_err(err)?;
-        Ok(outcome)
+        Ok((outcome, replication))
     } else {
-        QueryRunner::new(db).run(spec).map_err(err)
+        Ok((QueryRunner::new(db).run(spec).map_err(err)?, None))
     }
 }
 

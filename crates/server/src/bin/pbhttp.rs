@@ -2,11 +2,14 @@
 //! server from shell scripts (smoke tests, CI) without a curl dependency.
 //!
 //! ```text
-//! pbhttp [-i] [-H 'Name: value']... METHOD URL [BODY|@FILE]
+//! pbhttp [-i] [-H 'Name: value']... [--retries N] METHOD URL [BODY|@FILE]
 //! ```
 //!
 //! * `-i` prints the status line and response headers before the body.
 //! * `-H` adds a request header (repeatable), e.g. `-H 'X-Session: 3'`.
+//! * `--retries N` retries a 503 response up to N times, honoring the
+//!   server's `Retry-After` header between attempts (default 0, so
+//!   scripts keep the single-shot behavior).
 //! * `BODY` is sent verbatim; `@FILE` sends the file's contents; with
 //!   neither, the request has no body.
 //!
@@ -16,6 +19,10 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str =
+    "usage: pbhttp [-i] [-H 'Name: value']... [--retries N] METHOD URL [BODY|@FILE]";
 
 fn main() -> ExitCode {
     match run() {
@@ -30,21 +37,29 @@ fn main() -> ExitCode {
 fn run() -> Result<ExitCode, String> {
     let mut args = std::env::args().skip(1);
     let mut include_headers = false;
+    let mut retries: u32 = 0;
     let mut extra_headers: Vec<String> = Vec::new();
     let mut positional: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "-i" => include_headers = true,
             "-H" => extra_headers.push(args.next().ok_or("-H needs a 'Name: value' argument")?),
+            "--retries" => {
+                retries = args
+                    .next()
+                    .ok_or("--retries needs a count")?
+                    .parse()
+                    .map_err(|_| "--retries needs a non-negative integer".to_string())?;
+            }
             "-h" | "--help" => {
-                println!("usage: pbhttp [-i] [-H 'Name: value']... METHOD URL [BODY|@FILE]");
+                println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
             }
             _ => positional.push(a),
         }
     }
     if positional.len() < 2 || positional.len() > 3 {
-        return Err("usage: pbhttp [-i] [-H 'Name: value']... METHOD URL [BODY|@FILE]".into());
+        return Err(USAGE.into());
     }
     let method = positional[0].to_ascii_uppercase();
     let (host, target) = parse_url(&positional[1])?;
@@ -56,19 +71,51 @@ fn run() -> Result<ExitCode, String> {
         },
     };
 
-    let mut stream = TcpStream::connect(&host).map_err(|e| format!("connect {host}: {e}"))?;
+    // Bounded retry loop: only 503 (the server's overload answer) retries,
+    // after waiting out the server-provided Retry-After. Every other
+    // status — and the final 503 — is printed and reported as-is.
+    let mut attempts_left = retries;
+    loop {
+        let (status, head, resp_body) = request(&method, &host, &target, &extra_headers, &body)?;
+        if status == 503 && attempts_left > 0 {
+            attempts_left -= 1;
+            std::thread::sleep(retry_after(&head));
+            continue;
+        }
+        if include_headers {
+            println!("{head}");
+            println!();
+        }
+        print!("{resp_body}");
+        return Ok(if (200..300).contains(&status) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+}
+
+/// One request/response exchange: returns `(status, head, body)`.
+fn request(
+    method: &str,
+    host: &str,
+    target: &str,
+    extra_headers: &[String],
+    body: &[u8],
+) -> Result<(u16, String, String), String> {
+    let mut stream = TcpStream::connect(host).map_err(|e| format!("connect {host}: {e}"))?;
     let mut req = format!(
         "{method} {target} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\nContent-Length: {}\r\n",
         body.len()
     );
-    for h in &extra_headers {
+    for h in extra_headers {
         req.push_str(h);
         req.push_str("\r\n");
     }
     req.push_str("\r\n");
     stream
         .write_all(req.as_bytes())
-        .and_then(|()| stream.write_all(&body))
+        .and_then(|()| stream.write_all(body))
         .map_err(|e| format!("send: {e}"))?;
 
     let mut raw = Vec::new();
@@ -85,17 +132,23 @@ fn run() -> Result<ExitCode, String> {
         .and_then(|l| l.split_whitespace().nth(1))
         .and_then(|s| s.parse().ok())
         .ok_or("malformed status line")?;
+    Ok((status, head.to_string(), resp_body.to_string()))
+}
 
-    if include_headers {
-        println!("{head}");
-        println!();
+/// The wait the server asked for: its `Retry-After: <seconds>` header
+/// (matched case-insensitively), falling back to 1 s when absent or
+/// malformed — the value the perfbase server always sends with a 503.
+fn retry_after(head: &str) -> Duration {
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("retry-after") {
+                if let Ok(secs) = value.trim().parse::<u64>() {
+                    return Duration::from_secs(secs);
+                }
+            }
+        }
     }
-    print!("{resp_body}");
-    Ok(if (200..300).contains(&status) {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    Duration::from_secs(1)
 }
 
 /// Split `http://host:port/path?query` into `(host:port, /path?query)`.

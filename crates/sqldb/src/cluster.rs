@@ -27,7 +27,7 @@ use crate::engine::{Engine, ResultSet};
 use crate::error::DbError;
 use crate::exec::infer_schema;
 use crate::sync::Mutex;
-use crate::wal::{RecoveryReport, Wal, WalOptions};
+use crate::wal::{IoFailpoint, RecoveryReport, SyncPolicy, Wal, WalOptions};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -110,7 +110,13 @@ impl TransferStats {
 #[derive(Debug)]
 pub struct ShardMap {
     nodes: usize,
+    /// Replica copies each shard keeps beyond its primary (0 = none).
+    replicas: usize,
     assigned: Mutex<HashMap<i64, usize>>,
+    /// Failover redirects: a retired (dead) node and the node promoted in
+    /// its place. [`ShardMap::place`] follows these so a *new* run id
+    /// whose hash lands on a dead node is assigned to its successor.
+    retired: Mutex<HashMap<usize, usize>>,
 }
 
 impl ShardMap {
@@ -119,8 +125,48 @@ impl ShardMap {
         assert!(nodes >= 1, "a shard map needs at least one node");
         ShardMap {
             nodes,
+            replicas: 0,
             assigned: Mutex::new(HashMap::new()),
+            retired: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The same map, with each shard keeping `replicas` replica copies on
+    /// nodes distinct from the primary (capped by the backend count — see
+    /// [`crate::repl::replica_nodes`]).
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Replica copies per shard (0 = unreplicated).
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The nodes holding replica copies of `primary`'s shards.
+    pub fn replica_nodes(&self, primary: usize) -> Vec<usize> {
+        crate::repl::replica_nodes(primary, self.nodes, self.replicas)
+    }
+
+    /// Fail node `from` over to node `to`: every run assigned to `from` is
+    /// reassigned to `to`, and a redirect is recorded so future hash
+    /// placements that land on `from` also resolve to `to`. Returns the
+    /// run ids that moved, sorted.
+    pub fn reassign_node(&self, from: usize, to: usize) -> Vec<i64> {
+        let mut moved = Vec::new();
+        {
+            let mut a = self.assigned.lock();
+            for (&run_id, node) in a.iter_mut() {
+                if *node == from {
+                    *node = to;
+                    moved.push(run_id);
+                }
+            }
+        }
+        self.retired.lock().insert(from, to);
+        moved.sort_unstable();
+        moved
     }
 
     /// A map over `nodes` nodes seeded with previously recorded
@@ -149,13 +195,39 @@ impl ShardMap {
     }
 
     /// The owning node for `run_id`, assigning (and recording) one via the
-    /// deterministic hash if the run was never placed before.
+    /// deterministic hash if the run was never placed before. Hash
+    /// placements landing on a failed-over node follow its recorded
+    /// redirect (chains allowed: two successive failovers compose).
     pub fn place(&self, run_id: i64) -> usize {
-        *self
-            .assigned
-            .lock()
-            .entry(run_id)
-            .or_insert_with(|| Self::hash_node(run_id, self.nodes))
+        let node = {
+            let mut a = self.assigned.lock();
+            match a.get(&run_id) {
+                Some(&n) => n,
+                None => {
+                    let n = self.resolve_retired(Self::hash_node(run_id, self.nodes));
+                    a.insert(run_id, n);
+                    n
+                }
+            }
+        };
+        // Recorded assignments were rewritten by reassign_node, but guard
+        // against a record that raced in pointing at a retired node.
+        self.resolve_retired(node)
+    }
+
+    /// Follow failover redirects until a live (never-retired) node is
+    /// reached; chains compose across successive failovers.
+    fn resolve_retired(&self, mut node: usize) -> usize {
+        let retired = self.retired.lock();
+        let mut hops = 0;
+        while let Some(&to) = retired.get(&node) {
+            node = to;
+            hops += 1;
+            if hops > self.nodes {
+                break; // defensive: a redirect cycle
+            }
+        }
+        node
     }
 
     /// The recorded owner of `run_id`, if it was ever placed.
@@ -203,6 +275,13 @@ pub struct Cluster {
     nodes: Vec<Arc<Node>>,
     latency: LatencyModel,
     stats: Mutex<TransferStats>,
+    /// One whole-node kill switch per node, distinct from any failpoint
+    /// shared through [`WalOptions`]: tripping `failpoints[i]` models the
+    /// death of node `i` alone, while the WAL-options failpoint may be
+    /// shared by every node's log (the crash-consistency suites rely on
+    /// that sharing). [`Cluster::node_wal_options`] builds per-node WAL
+    /// options around these, so killing a node also kills its log.
+    failpoints: Vec<Arc<IoFailpoint>>,
 }
 
 impl Cluster {
@@ -232,10 +311,38 @@ impl Cluster {
                 Arc::new(Node { id, engine })
             })
             .collect();
+        let failpoints = (0..n).map(|_| Arc::new(IoFailpoint::none())).collect();
         Cluster {
             nodes,
             latency,
             stats: Mutex::new(TransferStats::default()),
+            failpoints,
+        }
+    }
+
+    /// The whole-node kill switch for node `i`.
+    pub fn node_failpoint(&self, i: usize) -> &Arc<IoFailpoint> {
+        &self.failpoints[i]
+    }
+
+    /// Is node `i` still up? (Its kill switch has not been tripped.)
+    pub fn node_alive(&self, i: usize) -> bool {
+        !self.failpoints[i].is_crashed()
+    }
+
+    /// Kill node `i`: every further fetch from it fails, replication stops
+    /// shipping to (or from) it, and — when its WAL was attached through
+    /// [`Cluster::node_wal_options`] — its log dies with it.
+    pub fn kill_node(&self, i: usize) {
+        self.failpoints[i].kill();
+    }
+
+    /// WAL options wired to node `i`'s kill switch: a log attached with
+    /// these dies when [`Cluster::kill_node`] trips the node.
+    pub fn node_wal_options(&self, i: usize, sync: SyncPolicy) -> WalOptions {
+        WalOptions {
+            sync,
+            failpoint: self.failpoints[i].clone(),
         }
     }
 
@@ -322,6 +429,17 @@ impl Cluster {
         dir: &Path,
         opts: &WalOptions,
     ) -> Result<Vec<Option<RecoveryReport>>, DbError> {
+        self.attach_wal_dir_with(dir, |_| opts.clone())
+    }
+
+    /// Like [`Cluster::attach_wal_dir`], but with per-node WAL options —
+    /// the replication suites pass `|i| cluster.node_wal_options(i, sync)`
+    /// so each node's log is wired to that node's own kill switch.
+    pub fn attach_wal_dir_with(
+        &self,
+        dir: &Path,
+        opts_for: impl Fn(usize) -> WalOptions,
+    ) -> Result<Vec<Option<RecoveryReport>>, DbError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| DbError::Io(format!("create {}: {e}", dir.display())))?;
         let mut reports = Vec::with_capacity(self.nodes.len());
@@ -343,7 +461,7 @@ impl Cluster {
                 node.engine.execute_script(&script)?;
             }
             let (wal, statements, mut report) =
-                Wal::open_recover(&self.node_wal_path(dir, node.id), opts.clone())?;
+                Wal::open_recover(&self.node_wal_path(dir, node.id), opts_for(node.id))?;
             node.engine
                 .recover_replay(&statements, ckpt_seq, &mut report);
             node.engine.attach_wal(wal);
@@ -392,6 +510,9 @@ impl Cluster {
     /// Run a query on node `src` and return the result *here* (i.e. to the
     /// caller's node `dst`), charging socket cost when `src != dst`.
     pub fn fetch(&self, src: usize, dst: usize, sql: &str) -> Result<ResultSet, DbError> {
+        if !self.node_alive(src) {
+            return Err(DbError::Io(format!("node {src} is down")));
+        }
         let mut span = obs::span("cluster.fetch");
         let rs = self.nodes[src].engine.query(sql)?;
         span.annotate(|| format!("src={src} dst={dst} rows={}", rs.len()));

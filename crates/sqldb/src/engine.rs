@@ -847,6 +847,24 @@ impl Engine {
         self.wal.lock().as_ref().map_or(0, |w| w.frames())
     }
 
+    /// Install (or clear) a [`crate::wal::FrameTap`] on the attached log — the hook
+    /// replication uses to ship committed frames. Returns `false` (and
+    /// does nothing) when no WAL is attached.
+    pub fn wal_set_tap(&self, tap: Option<Arc<dyn crate::wal::FrameTap>>) -> bool {
+        match self.wal.lock().as_mut() {
+            Some(w) => {
+                w.set_tap(tap);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The attached log's fault-injection hook, if a WAL is attached.
+    pub fn wal_failpoint(&self) -> Option<Arc<crate::wal::IoFailpoint>> {
+        self.wal.lock().as_ref().map(|w| w.failpoint().clone())
+    }
+
     /// Checkpoint: atomically write the SQL dump to `dump_path`, then
     /// compact the log (every logged frame is now reflected in the dump).
     /// The log mutex is held throughout, so no statement can slip between

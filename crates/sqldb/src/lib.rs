@@ -56,6 +56,7 @@ mod engine;
 mod error;
 mod exec;
 mod expr;
+pub mod repl;
 mod schema;
 mod snapshot;
 pub mod sql;
@@ -67,11 +68,12 @@ pub mod wal;
 pub use column::{ColumnStore, ColumnarMemory};
 pub use engine::{Engine, ResultSet};
 pub use error::DbError;
+pub use repl::{Promotion, ReplOptions, ReplReport, Replicator};
 pub use schema::{Column, Schema};
 pub use snapshot::Snapshot;
 pub use table::{Table, TableMemory};
 pub use value::{format_timestamp, parse_timestamp, DataType, Value, ValueKey};
-pub use wal::{IoFailpoint, RecoveryReport, SyncPolicy, Wal, WalOptions};
+pub use wal::{FrameTap, IoFailpoint, RecoveryReport, SyncPolicy, Wal, WalOptions};
 
 #[cfg(test)]
 mod tests {

@@ -103,6 +103,13 @@ impl WalOptions {
 /// WAL behaves like a killed process: every further append fails with
 /// [`DbError::Io`], and whatever bytes reached the file stay exactly as
 /// they were — including a torn, partially-written tail frame.
+///
+/// Beyond the WAL's own I/O, a failpoint also models *whole-node* death
+/// for the replication subsystem ([`crate::repl`]): [`IoFailpoint::kill`]
+/// drops a node outright, [`IoFailpoint::arm_ship_kill`] kills a primary
+/// in the middle of shipping frames to its replicas, and
+/// [`IoFailpoint::arm_promotion_kill`] kills a replica while it replays
+/// its unapplied tail during promotion.
 #[derive(Debug)]
 pub struct IoFailpoint {
     /// Bytes still allowed to reach the file; `u64::MAX` = unlimited.
@@ -112,9 +119,13 @@ pub struct IoFailpoint {
     /// Bytes recovery is allowed to read back; `u64::MAX` = unlimited
     /// (models a short read of a truncated or still-dirty file).
     read_budget: AtomicU64,
+    /// Frames still allowed to ship to replicas; `u64::MAX` = unlimited.
+    ship_budget: AtomicU64,
     /// Die inside checkpoint, after the dump rename but before the log is
     /// compacted — the window where dump and log both hold every frame.
     compact_crash: AtomicBool,
+    /// Die while replaying the unapplied tail during replica promotion.
+    promote_crash: AtomicBool,
     /// Tripped: the simulated process is dead.
     crashed: AtomicBool,
 }
@@ -133,7 +144,9 @@ impl IoFailpoint {
             write_budget: AtomicU64::new(u64::MAX),
             frame_budget: AtomicU64::new(u64::MAX),
             read_budget: AtomicU64::new(u64::MAX),
+            ship_budget: AtomicU64::new(u64::MAX),
             compact_crash: AtomicBool::new(false),
+            promote_crash: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
         }
     }
@@ -174,6 +187,50 @@ impl IoFailpoint {
         fp
     }
 
+    /// Crash cleanly after `frames` more frames have been *shipped* to
+    /// replicas — a primary dying mid-shipment, after some replicas got a
+    /// frame the rest never saw.
+    pub fn kill_after_shipped_frames(frames: u64) -> Self {
+        let fp = IoFailpoint::none();
+        fp.arm_ship_kill(frames);
+        fp
+    }
+
+    /// Crash while a promotion replays this node's unapplied tail.
+    pub fn crash_during_promotion() -> Self {
+        let fp = IoFailpoint::none();
+        fp.arm_promotion_kill();
+        fp
+    }
+
+    /// Arm [`IoFailpoint::kill_after_shipped_frames`] on an existing
+    /// failpoint (e.g. one already wired into a running cluster node).
+    pub fn arm_ship_kill(&self, frames: u64) {
+        self.ship_budget.store(frames, Ordering::SeqCst);
+        if frames == 0 {
+            self.crashed.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Arm [`IoFailpoint::crash_during_promotion`] on an existing
+    /// failpoint.
+    pub fn arm_promotion_kill(&self) {
+        self.promote_crash.store(true, Ordering::SeqCst);
+    }
+
+    /// Arm [`IoFailpoint::crash_before_compact`] on an existing failpoint
+    /// (e.g. one already wired into a running cluster node).
+    pub fn arm_compact_kill(&self) {
+        self.compact_crash.store(true, Ordering::SeqCst);
+    }
+
+    /// Whole-node kill: trip the crash flag immediately. Every path guarded
+    /// by this failpoint — appends, shipping, fetches routed through a
+    /// cluster that consults it — fails from here on.
+    pub fn kill(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+    }
+
     /// Has the simulated crash happened?
     pub fn is_crashed(&self) -> bool {
         self.crashed.load(Ordering::SeqCst)
@@ -185,14 +242,47 @@ impl IoFailpoint {
         self.write_budget.store(u64::MAX, Ordering::SeqCst);
         self.frame_budget.store(u64::MAX, Ordering::SeqCst);
         self.read_budget.store(u64::MAX, Ordering::SeqCst);
+        self.ship_budget.store(u64::MAX, Ordering::SeqCst);
         self.compact_crash.store(false, Ordering::SeqCst);
+        self.promote_crash.store(false, Ordering::SeqCst);
         self.crashed.store(false, Ordering::SeqCst);
     }
 
-    fn check_alive(&self) -> Result<(), DbError> {
+    pub(crate) fn check_alive(&self) -> Result<(), DbError> {
         if self.is_crashed() {
             return Err(DbError::Io(
                 "simulated crash: write-ahead log is gone".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Account one frame shipped to replicas; trips the crash flag (and
+    /// errors) when the ship budget runs out — the primary dies with the
+    /// shipment half delivered.
+    pub(crate) fn admit_ship(&self) -> Result<(), DbError> {
+        self.check_alive()?;
+        let budget = self.ship_budget.load(Ordering::SeqCst);
+        if budget == u64::MAX {
+            return Ok(());
+        }
+        if budget == 0 {
+            self.crashed.store(true, Ordering::SeqCst);
+            return Err(DbError::Io(
+                "simulated crash: primary killed mid-shipment".into(),
+            ));
+        }
+        self.ship_budget.store(budget - 1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Trip the crash flag if a kill was armed for the promotion replay.
+    pub(crate) fn admit_promotion(&self) -> Result<(), DbError> {
+        self.check_alive()?;
+        if self.promote_crash.swap(false, Ordering::SeqCst) {
+            self.crashed.store(true, Ordering::SeqCst);
+            return Err(DbError::Io(
+                "simulated crash: replica killed mid-promotion".into(),
             ));
         }
         Ok(())
@@ -280,7 +370,6 @@ pub struct RecoveryReport {
 /// cache still holds it); only a machine crash — or the simulated
 /// [`IoFailpoint`] crash, which models one — can lose the tail written
 /// since the last fsync.
-#[derive(Debug)]
 pub struct Wal {
     file: File,
     path: PathBuf,
@@ -298,6 +387,51 @@ pub struct Wal {
     window_open: Option<Instant>,
     /// Total frames currently in the log segment.
     frames: u64,
+    /// Observer the log streams frames through; see [`FrameTap`].
+    tap: Option<Arc<dyn FrameTap>>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("opts", &self.opts)
+            .field("next_seq", &self.next_seq)
+            .field("start_seq", &self.start_seq)
+            .field("unsynced", &self.unsynced)
+            .field("frames", &self.frames)
+            .field("tap", &self.tap.as_ref().map(|_| "FrameTap"))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Observer of a [`Wal`]'s frame stream — the hook the replication
+/// subsystem ([`crate::repl`]) uses to ship committed frames off-node.
+///
+/// The log calls [`FrameTap::on_frame`] after a frame has fully reached
+/// the file (same ordering guarantee the engine gets: log first, then
+/// everything else), [`FrameTap::on_commit`] right after an fsync makes
+/// the written tail durable, and [`FrameTap::pre_compact`] before frames
+/// are dropped from the segment — the tap's last chance to ship them.
+/// Errors from any hook abort the surrounding operation.
+pub trait FrameTap: Send + Sync {
+    /// A frame reached the log file. `crc` is the frame's stored
+    /// `frame_crc(seq, payload)`, so a shipping tap can forward and
+    /// re-verify it without re-hashing.
+    fn on_frame(&self, seq: u64, crc: u32, stmt: &str) -> Result<(), DbError>;
+
+    /// The written tail was just fsynced — every frame passed to
+    /// [`FrameTap::on_frame`] so far is durable on the primary.
+    fn on_commit(&self) -> Result<(), DbError> {
+        Ok(())
+    }
+
+    /// The log is about to drop every frame in the segment (checkpoint
+    /// compaction). Returning an error aborts the compaction and keeps
+    /// the frames in the log.
+    fn pre_compact(&self) -> Result<(), DbError> {
+        Ok(())
+    }
 }
 
 impl Wal {
@@ -322,6 +456,7 @@ impl Wal {
             unsynced: 0,
             window_open: None,
             frames: 0,
+            tap: None,
         })
     }
 
@@ -422,6 +557,7 @@ impl Wal {
             unsynced: 0,
             window_open: None,
             frames,
+            tap: None,
         };
         Ok((wal, statements, report))
     }
@@ -442,6 +578,7 @@ impl Wal {
             )));
         }
         let seq = self.next_seq;
+        let crc = frame_crc(seq, payload);
         // Encode the frame into the reused scratch buffer — no per-append
         // allocation — then hand it to the file in one write. Frames reach
         // the file on every append; only the fsync is deferred, so a
@@ -452,8 +589,7 @@ impl Wal {
         self.buf
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&seq.to_le_bytes());
-        self.buf
-            .extend_from_slice(&frame_crc(seq, payload).to_le_bytes());
+        self.buf.extend_from_slice(&crc.to_le_bytes());
         self.buf.extend_from_slice(payload);
 
         let allowed = fp.admit_write(frame_len as u64) as usize;
@@ -471,6 +607,14 @@ impl Wal {
         self.next_seq += 1;
         self.frames += 1;
         self.unsynced += 1;
+        // The tap sees the frame after it reached the file but before any
+        // window-expiry fsync, so an `on_commit` fired by `maybe_sync`
+        // below already covers this frame. A tap error propagates with the
+        // frame in the log and the statement unapplied — the same state a
+        // crash leaves, which recovery already handles.
+        if let Some(tap) = self.tap.clone() {
+            tap.on_frame(seq, crc, stmt)?;
+        }
         self.maybe_sync()?;
         fp.admit_frame();
         // Timed inclusive of any policy-driven inline fsync, so the append
@@ -511,6 +655,9 @@ impl Wal {
                 .map_err(|e| io_err(&self.path, "fsync", &e))?;
             obs::wal_fsync(batch, t_sync.elapsed().as_nanos() as u64);
             self.unsynced = 0;
+            if let Some(tap) = self.tap.clone() {
+                tap.on_commit()?;
+            }
         }
         self.window_open = None;
         Ok(())
@@ -529,6 +676,11 @@ impl Wal {
         let fp = self.opts.failpoint.clone();
         fp.check_alive()?;
         fp.admit_compact()?;
+        // Pre-compaction barrier: give the tap its last chance to ship the
+        // frames about to be dropped. An error keeps the segment intact.
+        if let Some(tap) = self.tap.clone() {
+            tap.pre_compact()?;
+        }
         self.sync()?;
         let dropped = self.frames;
         self.start_seq = self.next_seq;
@@ -563,6 +715,14 @@ impl Wal {
     /// The fault-injection hook this log writes through.
     pub fn failpoint(&self) -> &Arc<IoFailpoint> {
         &self.opts.failpoint
+    }
+
+    /// Install (or clear) the frame observer. Frames appended before the
+    /// tap was installed are not replayed into it — callers bring the
+    /// observer up to date themselves (replication base-copies the
+    /// engine's current state before attaching).
+    pub fn set_tap(&mut self, tap: Option<Arc<dyn FrameTap>>) {
+        self.tap = tap;
     }
 }
 

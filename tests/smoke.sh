@@ -1,11 +1,13 @@
 #!/bin/sh
 # Offline smoke test: full release build, a warning-free clippy pass, the
-# complete test suite (including the sharded-vs-frontend equivalence suite
-# and the WAL crash-consistency suites), a warning-free documentation
-# build, an HTTP server round trip (`perfbase serve` answering ingest and
-# query over a real socket, diffed against the CLI), and the sqldb
-# microbenchmarks plus the 256-connection server stress harness (both
-# write into BENCH_sqldb.json at the repo root, gated by bench_guard).
+# complete test suite (including the sharded-vs-frontend equivalence suite,
+# the WAL crash-consistency suites, and the replication chaos/failover
+# suites), a replicated CLI query diffed against the unsharded run, a
+# warning-free documentation build, an HTTP server round trip
+# (`perfbase serve` answering ingest and query over a real socket, diffed
+# against the CLI), and the sqldb microbenchmarks plus the 256-connection
+# server stress harness (both write into BENCH_sqldb.json at the repo
+# root, gated by bench_guard).
 # Must pass with no network access beyond loopback and no external crates.
 set -eu
 
@@ -26,6 +28,10 @@ cargo test -q -p perfbase --test sharded_equivalence
 echo "== crash consistency (WAL kill points + kill-during-import) =="
 cargo test -q -p sqldb --test wal_crash
 cargo test -q -p perfbase --test crash_recovery
+
+echo "== replication (log shipping, chaos kills, failover equivalence) =="
+cargo test -q -p sqldb --test repl_chaos
+cargo test -q -p perfbase --test replication_failover
 
 echo "== explain plans (golden files) + telemetry round trip =="
 cargo test -q -p perfbase --test explain_golden
@@ -79,6 +85,19 @@ awk '$1 == "select" && $2 > 0 { found = 1 } END { exit !found }' \
     "$SMOKE_DIR/telem/telemetry_run.txt" \
     || { echo "stats export missing select activity"; exit 1; }
 "$PB" stats >/dev/null
+
+echo "== replicated query round trip (4 nodes, 1 replica per shard) =="
+"$PB" query --db "$SMOKE_DIR/exp.pbdb" --spec "$SMOKE_DIR/q.xml" --user smoke \
+    > "$SMOKE_DIR/solo.out"
+"$PB" query --db "$SMOKE_DIR/exp.pbdb" --spec "$SMOKE_DIR/q.xml" --user smoke \
+    --nodes 4 --replicas 1 > "$SMOKE_DIR/repl_full.out"
+grep -q "== replication ==" "$SMOKE_DIR/repl_full.out" \
+    || { echo "missing replication report"; exit 1; }
+# The query outputs (everything before the transfer/replication reports)
+# must match the unsharded run byte for byte.
+sed '/^== transfer ==$/,$d' "$SMOKE_DIR/repl_full.out" > "$SMOKE_DIR/repl.out"
+diff "$SMOKE_DIR/solo.out" "$SMOKE_DIR/repl.out" \
+    || { echo "replicated query output diverges from unsharded"; exit 1; }
 
 echo "== server round trip (HTTP vs CLI) =="
 PBHTTP=./target/release/pbhttp
